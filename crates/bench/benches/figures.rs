@@ -1,0 +1,127 @@
+//! Criterion benches: one group per paper experiment family.
+//!
+//! These measure the *reproduction pipeline itself* (wall-clock of the
+//! simulated runs) at reduced scales, one bench per table/figure, so
+//! `cargo bench` exercises every experiment path:
+//!
+//! * `fig1_breakdown/*` — characterization runs (instruction counting).
+//! * `fig3_monomorphism/*` — profiling runs with Figure 3 classification.
+//! * `fig8_speedup/*` — timed baseline + mechanism runs (the Figure 8/9
+//!   pipeline) on representative benchmarks from each suite.
+//! * `table1_classlist` — the Class List build/render path.
+//! * `classcache_microbench` — raw Class Cache store-request throughput
+//!   (the §5.3.2 "no penalty on hits" structure).
+
+use checkelide_bench::{find, run_benchmark, RunConfig};
+use checkelide_core::{ClassCache, ClassId, ClassList, StoreRequest};
+use checkelide_engine::Mechanism;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const QUICK_SCALE: i32 = 2;
+
+fn quick(mech: Mechanism, timing: bool) -> RunConfig {
+    RunConfig {
+        mechanism: mech,
+        opt: true,
+        iterations: 2,
+        scale: Some(QUICK_SCALE),
+        timing,
+        class_cache: checkelide_core::classcache::ClassCacheConfig::default(),
+    }
+}
+
+fn fig1_breakdown(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_breakdown");
+    g.sample_size(10);
+    for name in ["richards", "access-nbody", "crypto-aes"] {
+        let b = find(name).expect("registered");
+        g.bench_function(name, |bench| {
+            bench.iter(|| {
+                let out = run_benchmark(b, quick(Mechanism::ProfileOnly, false));
+                black_box(out.counters.fig1_row())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn fig3_monomorphism(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_monomorphism");
+    g.sample_size(10);
+    for name in ["ai-astar", "deltablue"] {
+        let b = find(name).expect("registered");
+        g.bench_function(name, |bench| {
+            bench.iter(|| {
+                let out = run_benchmark(b, quick(Mechanism::ProfileOnly, false));
+                black_box(out.fig3)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn fig8_speedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_speedup");
+    g.sample_size(10);
+    for name in ["ai-astar", "richards", "audio-oscillator"] {
+        let b = find(name).expect("registered");
+        g.bench_function(format!("{name}/baseline"), |bench| {
+            bench.iter(|| black_box(run_benchmark(b, quick(Mechanism::Off, true)).sim));
+        });
+        g.bench_function(format!("{name}/mechanism"), |bench| {
+            bench.iter(|| black_box(run_benchmark(b, quick(Mechanism::Full, true)).sim));
+        });
+    }
+    g.finish();
+}
+
+fn table1_classlist(c: &mut Criterion) {
+    c.bench_function("table1_classlist", |bench| {
+        bench.iter(|| {
+            let mut list = ClassList::new();
+            for class in 0..32u8 {
+                for pos in 1..8u8 {
+                    let req = StoreRequest {
+                        holder: ClassId::new(class).unwrap(),
+                        line: 0,
+                        pos,
+                        stored: ClassId::SMI,
+                    };
+                    black_box(list.profile_store(&req));
+                }
+            }
+            black_box(list.render_table(|c| format!("{c}")))
+        });
+    });
+}
+
+fn classcache_microbench(c: &mut Criterion) {
+    c.bench_function("classcache_store_requests", |bench| {
+        let mut cache = ClassCache::with_default_config();
+        let mut list = ClassList::new();
+        let reqs: Vec<StoreRequest> = (0..64u8)
+            .map(|i| StoreRequest {
+                holder: ClassId::new(i % 32).unwrap(),
+                line: i % 2,
+                pos: 1 + i % 7,
+                stored: ClassId::SMI,
+            })
+            .collect();
+        bench.iter(|| {
+            for r in &reqs {
+                black_box(cache.store_request(r, &mut list));
+            }
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    fig1_breakdown,
+    fig3_monomorphism,
+    fig8_speedup,
+    table1_classlist,
+    classcache_microbench
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+// crypto-aes analog (SunSpider): byte-table substitution/permutation
+// network; the cipher state object holds its state/key arrays as
+// properties, as in the original's AES object.
+var SBOX = [];
+(function() {
+    var p = 5;
+    for (var i = 0; i < 256; i++) {
+        SBOX[i] = (p ^ (p >> 3) ^ (p << 2)) & 255;
+        p = (p * 11 + 13) & 255;
+    }
+})();
+
+function Cipher() {
+    this.state = [];
+    this.key = [];
+    this.rounds = 10;
+    for (var i = 0; i < 16; i++) {
+        this.state[i] = i * 7 & 255;
+        this.key[i] = i * 29 & 255;
+    }
+}
+
+function cipherRound(c, round) {
+    var state = c.state;
+    var key = c.key;
+    for (var i = 0; i < 16; i++) state[i] = SBOX[(state[i] ^ key[(round + i) & 15]) & 255];
+    var t = state[1];
+    state[1] = state[5]; state[5] = state[9]; state[9] = state[13]; state[13] = t;
+    for (var col = 0; col < 4; col++) {
+        var a = state[col * 4], b = state[col * 4 + 1];
+        state[col * 4] = (a ^ (b << 1) ^ (b >> 7)) & 255;
+        state[col * 4 + 1] = (b ^ (a << 1) ^ (a >> 7)) & 255;
+    }
+}
+
+function encrypt(c) {
+    for (var round = 0; round < c.rounds; round++) cipherRound(c, round);
+    return c.state[0] + c.state[15];
+}
+
+function bench(scale) {
+    var c = new Cipher();
+    var acc = 0;
+    for (var r = 0; r < scale * 120; r++) acc = (acc + encrypt(c)) & 0xffffff;
+    return acc;
+}

@@ -1,0 +1,92 @@
+// ai-astar analog (Kraken). The paper's headline benchmark (~34% speedup):
+// a grid search whose hot loop performs many monomorphic property loads
+// (g/h/f/visited/closed/parent) and elements loads of GraphNode objects.
+// Container classes (Grid, NodeList) mirror the paper's Table 1 shapes.
+var COLS = 48;
+var ROWS = 48;
+
+function GraphNode(x, y, wall) {
+    this.x = x;
+    this.y = y;
+    this.wall = wall;
+    this.g = 0;
+    this.h = 0;
+    this.f = 0;
+    this.visited = 0;
+    this.closed = 0;
+    this.parent = this;
+}
+
+function Grid() { this.cols = COLS; this.rows = ROWS; }
+function NodeList() { this.count = 0; }
+
+function buildGrid() {
+    var g = new Grid();
+    for (var y = 0; y < ROWS; y++) {
+        for (var x = 0; x < COLS; x++) {
+            var wall = ((x * 7 + y * 13) % 9) == 0 && x != 0 && y != 0;
+            g[y * COLS + x] = new GraphNode(x, y, wall ? 1 : 0);
+        }
+    }
+    return g;
+}
+
+function heuristic(a, b) {
+    return Math.abs(a.x - b.x) + Math.abs(a.y - b.y);
+}
+
+function search(grid) {
+    var start = grid[0];
+    var end = grid[ROWS * COLS - 1];
+    var open = new NodeList();
+    open[0] = start;
+    open.count = 1;
+    start.visited = 1;
+    var steps = 0;
+    while (open.count > 0) {
+        var lowInd = 0;
+        for (var i = 1; i < open.count; i++) {
+            if (open[i].f < open[lowInd].f) lowInd = i;
+        }
+        var cur = open[lowInd];
+        steps++;
+        if (cur.x == end.x && cur.y == end.y) {
+            var len = 0;
+            var n = cur;
+            while (n.parent != n) { len++; n = n.parent; }
+            return len * 1000 + steps;
+        }
+        open[lowInd] = open[open.count - 1];
+        open.count = open.count - 1;
+        cur.closed = 1;
+        for (var d = 0; d < 4; d++) {
+            var nx = cur.x + (d == 0 ? 1 : (d == 1 ? -1 : 0));
+            var ny = cur.y + (d == 2 ? 1 : (d == 3 ? -1 : 0));
+            if (nx < 0 || ny < 0 || nx >= COLS || ny >= ROWS) continue;
+            var nb = grid[ny * COLS + nx];
+            if (nb.closed || nb.wall) continue;
+            var gs = cur.g + 1;
+            if (!nb.visited || gs < nb.g) {
+                if (!nb.visited) {
+                    open[open.count] = nb;
+                    open.count = open.count + 1;
+                    nb.visited = 1;
+                }
+                nb.g = gs;
+                nb.h = heuristic(nb, end);
+                nb.f = gs + nb.h;
+                nb.parent = cur;
+            }
+        }
+    }
+    return steps;
+}
+
+function bench(scale) {
+    var sum = 0;
+    for (var r = 0; r < scale; r++) {
+        var grid = buildGrid();
+        sum += search(grid);
+    }
+    return sum;
+}

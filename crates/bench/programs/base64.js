@@ -1,0 +1,25 @@
+// string-base64 analog (SunSpider): encode bytes to base64 via
+// fromCharCode/charCodeAt; dominated by non-optimized string runtime in
+// the paper (near-zero check overhead).
+var CHARS = 'ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/';
+
+function toBase64(bytes, n) {
+    var out = '';
+    for (var i = 0; i + 2 < n; i += 3) {
+        var b = (bytes[i] << 16) | (bytes[i + 1] << 8) | bytes[i + 2];
+        out = out + CHARS.charAt((b >> 18) & 63) + CHARS.charAt((b >> 12) & 63)
+                  + CHARS.charAt((b >> 6) & 63) + CHARS.charAt(b & 63);
+    }
+    return out;
+}
+
+function bench(scale) {
+    var bytes = [];
+    for (var i = 0; i < 96; i++) bytes[i] = (i * 41 + 3) & 255;
+    var acc = 0;
+    for (var r = 0; r < scale * 4; r++) {
+        var s = toBase64(bytes, 96);
+        acc = (acc + s.charCodeAt(r % s.length)) & 0xffffff;
+    }
+    return acc;
+}

@@ -1,0 +1,49 @@
+// audio-beat-detection analog (Kraken): energy envelope over sample
+// frames; Frame objects hold double properties, history in a ring.
+function Frame(energy, flux) { this.energy = energy; this.flux = flux; }
+function Ring(n) { this.size = n; this.pos = 0; }
+function Detector() { this.threshold = 1.3; this.beats = 0; this.last = 0.0; }
+
+function pushFrame(ring, f) {
+    ring[ring.pos] = f;
+    ring.pos = (ring.pos + 1) % ring.size;
+}
+
+function averageEnergy(ring) {
+    var sum = 0.0;
+    for (var i = 0; i < ring.size; i++) sum += ring[i].energy;
+    return sum / ring.size;
+}
+
+function detect(det, ring, samples, n) {
+    var beats = 0;
+    for (var i = 0; i + 16 <= n; i += 16) {
+        var e = 0.0;
+        for (var j = 0; j < 16; j++) {
+            var s = samples[i + j];
+            e += s * s;
+        }
+        var flux = e - det.last;
+        det.last = e;
+        pushFrame(ring, new Frame(e, flux));
+        var avg = averageEnergy(ring);
+        if (e > avg * det.threshold) beats++;
+    }
+    det.beats += beats;
+    return beats;
+}
+
+function Samples() { this.rate = 44100; }
+
+function bench(scale) {
+    var n = 512;
+    var samples = new Samples();
+    for (var i = 0; i < n; i++)
+        samples[i] = Math.sin(i * 0.21) * 0.7 + Math.sin(i * 0.04) * 0.3;
+    var ring = new Ring(43);
+    for (var i = 0; i < 43; i++) ring[i] = new Frame(0.0, 0.0);
+    var det = new Detector();
+    var total = 0;
+    for (var r = 0; r < scale; r++) total += detect(det, ring, samples, n);
+    return total;
+}

@@ -1,0 +1,35 @@
+// access-binary-trees analog (SunSpider): allocation-heavy recursive
+// tree construction and checksum walks.
+function TreeNode(left, right, item) {
+    this.left = left;
+    this.right = right;
+    this.item = item;
+}
+
+function bottomUpTree(item, depth) {
+    if (depth > 0) {
+        return new TreeNode(
+            bottomUpTree(2 * item - 1, depth - 1),
+            bottomUpTree(2 * item, depth - 1),
+            item);
+    }
+    return new TreeNode(null, null, item);
+}
+
+function itemCheck(node) {
+    if (node.left == null) return node.item;
+    return node.item + itemCheck(node.left) - itemCheck(node.right);
+}
+
+function bench(scale) {
+    var check = 0;
+    var maxDepth = 6;
+    for (var d = 3; d <= maxDepth; d++) {
+        var iters = scale << (maxDepth - d);
+        for (var i = 1; i <= iters; i++) {
+            check += itemCheck(bottomUpTree(i, d));
+            check += itemCheck(bottomUpTree(-i, d));
+        }
+    }
+    return check;
+}

@@ -1,0 +1,17 @@
+// bitops-bits-in-byte analog (SunSpider): pure SMI bit counting — one of
+// the zero-overhead benchmarks in Figure 2.
+function bitsinbyte(b) {
+    var m = 1, c = 0;
+    while (m < 0x100) {
+        if (b & m) c++;
+        m <<= 1;
+    }
+    return c;
+}
+
+function bench(scale) {
+    var acc = 0;
+    for (var r = 0; r < scale; r++)
+        for (var i = 0; i < 256; i++) acc += bitsinbyte(i);
+    return acc;
+}

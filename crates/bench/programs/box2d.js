@@ -1,0 +1,93 @@
+// box2d analog (Octane): rigid-body step with many small vector/body/
+// contact classes (box2d is one of the two paper benchmarks exceeding 32
+// hidden classes; we create a widened class population).
+function B2Vec(x, y) { this.x = x; this.y = y; }
+function B2Body(px, py, vx, vy, mass) {
+    this.pos = new B2Vec(px, py);
+    this.vel = new B2Vec(vx, vy);
+    this.force = new B2Vec(0.0, 0.0);
+    this.invMass = 1.0 / mass;
+    this.angle = 0.0;
+    this.omega = 0.0;
+}
+function B2Contact(a, b) { this.a = a; this.b = b; this.depth = 0.0; }
+function B2World() { this.nBodies = 0; this.gravity = new B2Vec(0.0, -10.0); }
+function ContactList() { this.n = 0; }
+
+// Widen the class population like real box2d (fixtures, shapes, joints…).
+function Shape0(r) { this.r = r; } function Shape1(r) { this.r = r; }
+function Shape2(r) { this.r = r; } function Shape3(r) { this.r = r; }
+function Shape4(r) { this.r = r; } function Shape5(r) { this.r = r; }
+function Shape6(r) { this.r = r; } function Shape7(r) { this.r = r; }
+
+function attachShape(body, i) {
+    if (i % 8 == 0) body.shape = new Shape0(0.5);
+    else if (i % 8 == 1) body.shape = new Shape1(0.5);
+    else if (i % 8 == 2) body.shape = new Shape2(0.5);
+    else if (i % 8 == 3) body.shape = new Shape3(0.5);
+    else if (i % 8 == 4) body.shape = new Shape4(0.5);
+    else if (i % 8 == 5) body.shape = new Shape5(0.5);
+    else if (i % 8 == 6) body.shape = new Shape6(0.5);
+    else body.shape = new Shape7(0.5);
+}
+
+function integrate(world, dt) {
+    for (var i = 0; i < world.nBodies; i++) {
+        var b = world[i];
+        b.vel.x = b.vel.x + (world.gravity.x + b.force.x * b.invMass) * dt;
+        b.vel.y = b.vel.y + (world.gravity.y + b.force.y * b.invMass) * dt;
+        b.pos.x = b.pos.x + b.vel.x * dt;
+        b.pos.y = b.pos.y + b.vel.y * dt;
+        b.angle = b.angle + b.omega * dt;
+        if (b.pos.y < 0.0) { b.pos.y = 0.0; b.vel.y = -b.vel.y * 0.5; }
+    }
+}
+
+function findContacts(world, contacts) {
+    var n = 0;
+    for (var i = 0; i < world.nBodies; i++) {
+        for (var j = i + 1; j < world.nBodies; j++) {
+            var a = world[i];
+            var b = world[j];
+            var dx = a.pos.x - b.pos.x;
+            var dy = a.pos.y - b.pos.y;
+            var d2 = dx * dx + dy * dy;
+            if (d2 < 1.0) {
+                var c = new B2Contact(a, b);
+                c.depth = 1.0 - Math.sqrt(d2);
+                contacts[n] = c;
+                n++;
+            }
+        }
+    }
+    contacts.n = n;
+}
+
+function solve(contacts) {
+    for (var i = 0; i < contacts.n; i++) {
+        var c = contacts[i];
+        var push = c.depth * 0.5;
+        c.a.vel.x = c.a.vel.x + push;
+        c.b.vel.x = c.b.vel.x - push;
+        c.a.vel.y = c.a.vel.y + push * 0.3;
+        c.b.vel.y = c.b.vel.y - push * 0.3;
+    }
+}
+
+function bench(scale) {
+    var world = new B2World();
+    for (var i = 0; i < 12; i++) {
+        world[i] = new B2Body((i % 4) * 0.8, 2.0 + i * 0.5, 0.1 * i, 0.0, 1.0 + i * 0.1);
+        attachShape(world[i], i);
+    }
+    world.nBodies = 12;
+    var contacts = new ContactList();
+    var acc = 0.0;
+    for (var step = 0; step < scale * 6; step++) {
+        integrate(world, 0.016);
+        findContacts(world, contacts);
+        solve(contacts);
+        acc += world[0].pos.y + world[5].vel.x;
+    }
+    return Math.floor(acc * 1e3);
+}

@@ -1,0 +1,34 @@
+// math-cordic analog (SunSpider): fixed-point CORDIC rotation, SMI
+// arithmetic with a table array.
+var ANGLES = [];
+(function() {
+    var v = 45.0;
+    for (var i = 0; i < 25; i++) { ANGLES[i] = Math.floor(v * 65536.0); v = v / 2.0; }
+})();
+
+function cordicsincos(target) {
+    var x = 39796; // 0.6072529350 * 65536
+    var y = 0;
+    var angle = 0;
+    var targetFixed = Math.floor(target * 65536.0);
+    for (var i = 0; i < 25; i++) {
+        var nx;
+        if (angle < targetFixed) {
+            nx = x - (y >> i);
+            y = (x >> i) + y;
+            angle += ANGLES[i];
+        } else {
+            nx = x + (y >> i);
+            y = y - (x >> i);
+            angle -= ANGLES[i];
+        }
+        x = nx;
+    }
+    return x + y;
+}
+
+function bench(scale) {
+    var acc = 0;
+    for (var r = 0; r < scale * 25; r++) acc = (acc + cordicsincos((r % 90) * 1.0)) | 0;
+    return acc;
+}

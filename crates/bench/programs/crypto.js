@@ -1,0 +1,59 @@
+// crypto analog (Octane): bignum modular arithmetic over SMI digit
+// arrays held in BigInt wrapper objects (as in the original's BigInteger).
+function BigInt(n) { this.t = n; this.s = 0; }
+
+function bnNew(value) {
+    var b = new BigInt(0);
+    var i = 0;
+    while (value > 0) {
+        b[i] = value % 32768;
+        value = Math.floor(value / 32768);
+        i++;
+    }
+    b.t = i;
+    return b;
+}
+
+function bnMulMod(a, b, m) {
+    // Multiply two bignums then reduce by repeated subtraction-free mod:
+    // keep digits bounded via carry propagation and a cheap fold.
+    var r = new BigInt(0);
+    var n = a.t + b.t;
+    for (var i = 0; i < n; i++) r[i] = 0;
+    r.t = n;
+    for (var i = 0; i < a.t; i++) {
+        var carry = 0;
+        var ai = a[i];
+        for (var j = 0; j < b.t; j++) {
+            var v = r[i + j] + ai * b[j] + carry;
+            r[i + j] = v % 32768;
+            carry = Math.floor(v / 32768);
+        }
+        r[i + b.t] = r[i + b.t] + carry;
+    }
+    // fold down modulo a pseudo-prime
+    var acc = 0;
+    for (var i = r.t - 1; i >= 0; i--) acc = (acc * 7 + r[i]) % m;
+    return bnNew(acc);
+}
+
+function modPow(base, exp, m) {
+    var result = bnNew(1);
+    var b = bnNew(base);
+    while (exp > 0) {
+        if (exp & 1) result = bnMulMod(result, b, m);
+        b = bnMulMod(b, b, m);
+        exp >>= 1;
+    }
+    var acc = 0;
+    for (var i = result.t - 1; i >= 0; i--) acc = (acc * 31 + result[i]) & 0xffffff;
+    return acc;
+}
+
+function bench(scale) {
+    var acc = 0;
+    for (var r = 0; r < scale; r++) {
+        acc = (acc + modPow(12345 + r, 65537, 99991)) & 0xffffff;
+    }
+    return acc;
+}

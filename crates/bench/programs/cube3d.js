@@ -1,0 +1,58 @@
+// 3d-cube analog (SunSpider): rotate a wireframe cube; Vertex objects
+// with double properties, matrix in a wrapper object.
+function Vertex(x, y, z) { this.vx = x; this.vy = y; this.vz = z; }
+function Matrix() { this.n = 9; }
+function Mesh() { this.count = 0; }
+
+function makeCube() {
+    var m = new Mesh();
+    var i = 0;
+    for (var x = -1; x <= 1; x += 2)
+        for (var y = -1; y <= 1; y += 2)
+            for (var z = -1; z <= 1; z += 2)
+                m[i++] = new Vertex(x * 1.0, y * 1.0, z * 1.0);
+    m.count = i;
+    return m;
+}
+
+function rotMatrix(ax, ay, az) {
+    var m = new Matrix();
+    var ca = Math.cos(ax), sa = Math.sin(ax);
+    var cb = Math.cos(ay), sb = Math.sin(ay);
+    var cc = Math.cos(az), sc = Math.sin(az);
+    m[0] = cb * cc; m[1] = -cb * sc; m[2] = sb;
+    m[3] = sa * sb * cc + ca * sc; m[4] = -sa * sb * sc + ca * cc; m[5] = -sa * cb;
+    m[6] = -ca * sb * cc + sa * sc; m[7] = ca * sb * sc + sa * cc; m[8] = ca * cb;
+    return m;
+}
+
+function apply(mesh, m) {
+    for (var i = 0; i < mesh.count; i++) {
+        var v = mesh[i];
+        var x = v.vx, y = v.vy, z = v.vz;
+        v.vx = m[0] * x + m[1] * y + m[2] * z;
+        v.vy = m[3] * x + m[4] * y + m[5] * z;
+        v.vz = m[6] * x + m[7] * y + m[8] * z;
+    }
+}
+
+function project(mesh) {
+    var acc = 0.0;
+    for (var i = 0; i < mesh.count; i++) {
+        var v = mesh[i];
+        var d = 4.0 / (4.0 + v.vz);
+        acc += v.vx * d + v.vy * d;
+    }
+    return acc;
+}
+
+function bench(scale) {
+    var mesh = makeCube();
+    var acc = 0.0;
+    for (var r = 0; r < scale * 25; r++) {
+        var m = rotMatrix(0.01 * r, 0.017 * r, 0.023 * r);
+        apply(mesh, m);
+        acc += project(mesh);
+    }
+    return Math.floor(acc * 1e3);
+}

@@ -1,0 +1,35 @@
+// date-format-tofte analog (SunSpider): string assembly from numeric
+// fields; string concatenation and charCode traffic.
+function Date2(y, mo, d, h, mi, s) {
+    this.year = y; this.month = mo; this.day = d;
+    this.hour = h; this.minute = mi; this.second = s;
+}
+
+var MONTHS = ['Jan', 'Feb', 'Mar', 'Apr', 'May', 'Jun',
+              'Jul', 'Aug', 'Sep', 'Oct', 'Nov', 'Dec'];
+
+function pad(n) {
+    if (n < 10) return '0' + n;
+    return '' + n;
+}
+
+function formatDate(d) {
+    return MONTHS[d.month] + ' ' + pad(d.day) + ' ' + d.year + ' ' +
+           pad(d.hour) + ':' + pad(d.minute) + ':' + pad(d.second);
+}
+
+function checksumString(s) {
+    var h = 0;
+    for (var i = 0; i < s.length; i++) h = (h * 31 + s.charCodeAt(i)) & 0xffffff;
+    return h;
+}
+
+function bench(scale) {
+    var acc = 0;
+    for (var i = 0; i < scale * 10; i++) {
+        var d = new Date2(1970 + (i % 60), i % 12, 1 + (i % 28),
+                          i % 24, i % 60, (i * 7) % 60);
+        acc = (acc + checksumString(formatDate(d))) & 0xffffff;
+    }
+    return acc;
+}

@@ -1,0 +1,69 @@
+// deltablue analog (Octane): one-way constraint propagation; Variable
+// and Constraint objects with method-valued properties.
+function Variable(value) {
+    this.value = value;
+    this.stay = 1;
+    this.determinedBy = NIL_C;
+}
+function Constraint(a, b, offset) {
+    this.a = a;
+    this.b = b;
+    this.offset = offset;
+    this.satisfied = 0;
+}
+var NIL_V = new Variable(0);
+var NIL_C = new Constraint(NIL_V, NIL_V, 0);
+NIL_V.determinedBy = NIL_C;
+
+function ConstraintList() { this.n = 0; }
+function VariableList() { this.n = 0; }
+
+function satisfy(c) {
+    // b = a + offset
+    c.b.value = c.a.value + c.offset;
+    c.b.determinedBy = c;
+    c.b.stay = c.a.stay;
+    c.satisfied = 1;
+}
+
+function propagate(constraints, times) {
+    for (var t = 0; t < times; t++) {
+        for (var i = 0; i < constraints.n; i++) satisfy(constraints[i]);
+    }
+}
+
+function chainTest(n, times) {
+    var vars = new VariableList();
+    for (var i = 0; i <= n; i++) vars[i] = new Variable(i);
+    vars.n = n + 1;
+    var cs = new ConstraintList();
+    for (var i = 0; i < n; i++) cs[i] = new Constraint(vars[i], vars[i + 1], 1);
+    cs.n = n;
+    vars[0].value = 17;
+    propagate(cs, times);
+    return vars[n].value;
+}
+
+function projectionTest(n, times) {
+    var src = new VariableList();
+    var dst = new VariableList();
+    var cs = new ConstraintList();
+    for (var i = 0; i < n; i++) {
+        src[i] = new Variable(i);
+        dst[i] = new Variable(0);
+        cs[i] = new Constraint(src[i], dst[i], i * 2);
+    }
+    src.n = n; dst.n = n; cs.n = n;
+    var acc = 0;
+    for (var t = 0; t < times; t++) {
+        propagate(cs, 1);
+        acc += dst[n - 1].value;
+    }
+    return acc;
+}
+
+function bench(scale) {
+    var a = chainTest(30, scale * 4);
+    var b = projectionTest(20, scale * 4);
+    return a * 1000 + (b & 0xffff);
+}

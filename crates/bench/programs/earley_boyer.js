@@ -1,0 +1,64 @@
+// earley-boyer analog (Octane): symbolic term rewriting over cons cells;
+// allocation-heavy tagged structures with recursion.
+function Cons(car, cdr) { this.car = car; this.cdr = cdr; }
+function Sym(id) { this.id = id; }
+var NIL = new Sym(0);
+var TRUE_S = new Sym(1);
+var FALSE_S = new Sym(2);
+
+function list3(a, b, c) { return new Cons(a, new Cons(b, new Cons(c, NIL_CONS))); }
+var NIL_CONS = new Cons(NIL, NIL);
+NIL_CONS.cdr = NIL_CONS;
+NIL_CONS.car = NIL;
+
+function termSize(t, depth) {
+    if (depth > 12) return 1;
+    if (t == NIL_CONS) return 0;
+    var n = 1;
+    var c = t;
+    var guard = 0;
+    while (c != NIL_CONS && guard < 16) {
+        var head = c.car;
+        n += rewriteCount(head, depth + 1);
+        c = c.cdr;
+        guard++;
+    }
+    return n;
+}
+
+function rewriteCount(t, depth) {
+    // Symbols count 1; conses recurse.
+    if (depth > 12) return 1;
+    var s = 1;
+    // tag dispatch through a property common to both classes
+    if (t.id == undefined) s += termSize(t, depth);
+    return s;
+}
+
+function buildTerm(seed, depth) {
+    if (depth == 0) return new Sym(3 + (seed % 7));
+    return list3(
+        buildTerm(seed * 3 + 1, depth - 1),
+        buildTerm(seed * 5 + 2, depth - 1),
+        new Sym(seed % 11));
+}
+
+function rewrite(t, depth) {
+    // (f a b) -> (f b a) style flip, allocating fresh cells.
+    if (depth > 6) return t;
+    if (t.id != undefined) return t;
+    var a = t.car;
+    var d = t.cdr;
+    if (d == NIL_CONS) return new Cons(rewrite(a, depth + 1), NIL_CONS);
+    return new Cons(rewrite(d.car, depth + 1), new Cons(rewrite(a, depth + 1), d.cdr));
+}
+
+function bench(scale) {
+    var acc = 0;
+    for (var r = 0; r < scale; r++) {
+        var t = buildTerm(r + 1, 5);
+        for (var i = 0; i < 4; i++) t = rewrite(t, 0);
+        acc += termSize(t, 0);
+    }
+    return acc;
+}

@@ -1,0 +1,75 @@
+// access-fannkuch analog (SunSpider): permutation flipping. State lives
+// in a Fannkuch object holding SMI arrays; the flip kernel is a hot
+// helper performing property + element accesses.
+function Fannkuch(n) {
+    this.n = n;
+    this.perm = [];
+    this.perm1 = [];
+    this.count = [];
+    this.maxFlips = 0;
+    this.checksum = 0;
+    this.permCount = 0;
+    for (var i = 0; i < n; i++) {
+        this.perm1[i] = i;
+        this.perm[i] = 0;
+        this.count[i] = 0;
+    }
+}
+
+function countFlips(st) {
+    var perm = st.perm;
+    var perm1 = st.perm1;
+    var n = st.n;
+    for (var i = 0; i < n; i++) perm[i] = perm1[i];
+    var flips = 0;
+    var k = perm[0];
+    while (k != 0) {
+        var half = (k + 1) >> 1;
+        for (var j = 0; j < half; j++) {
+            var t = perm[j];
+            perm[j] = perm[k - j];
+            perm[k - j] = t;
+        }
+        flips++;
+        k = perm[0];
+    }
+    return flips;
+}
+
+function nextPermutation(st, r) {
+    var perm1 = st.perm1;
+    var count = st.count;
+    var n = st.n;
+    while (r != n) {
+        var p0 = perm1[0];
+        for (var i = 0; i < r; i++) perm1[i] = perm1[i + 1];
+        perm1[r] = p0;
+        count[r] = count[r] - 1;
+        if (count[r] > 0) return r;
+        r++;
+    }
+    // Wrapped: restart the permutation space.
+    for (var i = 0; i < n; i++) perm1[i] = i;
+    return n - 1;
+}
+
+function step(st, r) {
+    var count = st.count;
+    while (r != 1) {
+        count[r - 1] = r;
+        r--;
+    }
+    var flips = countFlips(st);
+    if (flips > st.maxFlips) st.maxFlips = flips;
+    st.checksum += (st.permCount % 2 == 0) ? flips : -flips;
+    st.permCount = st.permCount + 1;
+    return nextPermutation(st, 1);
+}
+
+function bench(scale) {
+    var st = new Fannkuch(7);
+    var r = st.n;
+    var limit = scale * 600;
+    while (st.permCount < limit) r = step(st, r);
+    return st.maxFlips * 100000 + (st.checksum & 0xffff);
+}

@@ -1,0 +1,61 @@
+// imaging-gaussian-blur analog (Kraken): separable convolution over an
+// image object with unboxed double elements.
+function Image(w, h) { this.width = w; this.height = h; }
+function Kernel() { this.size = 0; }
+
+function buildImage(w, h) {
+    var img = new Image(w, h);
+    for (var y = 0; y < h; y++)
+        for (var x = 0; x < w; x++)
+            img[y * w + x] = ((x * 31 + y * 17) % 255) / 255.0;
+    return img;
+}
+
+function buildKernel(radius) {
+    var k = new Kernel();
+    var sigma = radius / 2.0;
+    var sum = 0.0;
+    for (var i = -radius; i <= radius; i++) {
+        var v = Math.exp(-(i * i) / (2.0 * sigma * sigma));
+        k[i + radius] = v;
+        sum += v;
+    }
+    for (var j = 0; j < 2 * radius + 1; j++) k[j] = k[j] / sum;
+    k.size = 2 * radius + 1;
+    return k;
+}
+
+function blurPass(src, dst, k, radius, horizontal) {
+    var w = src.width;
+    var h = src.height;
+    for (var y = 0; y < h; y++) {
+        for (var x = 0; x < w; x++) {
+            var acc = 0.0;
+            for (var i = -radius; i <= radius; i++) {
+                var sx = horizontal ? x + i : x;
+                var sy = horizontal ? y : y + i;
+                if (sx < 0) sx = 0;
+                if (sy < 0) sy = 0;
+                if (sx >= w) sx = w - 1;
+                if (sy >= h) sy = h - 1;
+                acc += src[sy * w + sx] * k[i + radius];
+            }
+            dst[y * w + x] = acc;
+        }
+    }
+}
+
+function bench(scale) {
+    var radius = 3;
+    var k = buildKernel(radius);
+    var img = buildImage(24, 24);
+    var tmp = new Image(24, 24);
+    for (var i = 0; i < 24 * 24; i++) tmp[i] = 0.0;
+    var acc = 0.0;
+    for (var r = 0; r < scale; r++) {
+        blurPass(img, tmp, k, radius, true);
+        blurPass(tmp, img, k, radius, false);
+        acc += img[300];
+    }
+    return Math.floor(acc * 1e6);
+}

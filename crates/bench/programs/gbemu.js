@@ -1,0 +1,39 @@
+// gbemu analog (Octane): CPU-emulator main loop — opcode dispatch over a
+// SMI memory array with a register-file object.
+function Cpu() {
+    this.a = 0; this.b = 0; this.c = 0; this.d = 0;
+    this.pc = 0; this.sp = 0xfff0; this.cycles = 0; this.flags = 0;
+}
+function Memory() { this.size = 4096; }
+
+function step(cpu, mem) {
+    var op = mem[cpu.pc & 4095];
+    cpu.pc = (cpu.pc + 1) & 4095;
+    var kind = op & 15;
+    if (kind == 0) { cpu.a = (cpu.a + 1) & 255; }
+    else if (kind == 1) { cpu.a = (cpu.a + cpu.b) & 255; cpu.flags = cpu.a == 0 ? 1 : 0; }
+    else if (kind == 2) { cpu.b = mem[(cpu.pc + cpu.c) & 4095] & 255; }
+    else if (kind == 3) { mem[(cpu.sp - 1) & 4095] = cpu.a; cpu.sp = (cpu.sp - 1) & 4095; }
+    else if (kind == 4) { cpu.a = mem[cpu.sp & 4095] & 255; cpu.sp = (cpu.sp + 1) & 4095; }
+    else if (kind == 5) { cpu.c = (cpu.c ^ cpu.a) & 255; }
+    else if (kind == 6) { cpu.d = (cpu.d + cpu.c) & 255; }
+    else if (kind == 7) { if (cpu.flags) cpu.pc = (cpu.pc + (op >> 4)) & 4095; }
+    else if (kind == 8) { cpu.a = (cpu.a << 1) & 255; }
+    else if (kind == 9) { cpu.a = (cpu.a >> 1) & 255; }
+    else if (kind == 10) { cpu.b = (cpu.b + 3) & 255; }
+    else if (kind == 11) { var t = cpu.a; cpu.a = cpu.b & 255; cpu.b = t & 255; }
+    else if (kind == 12) { cpu.flags = (cpu.a > cpu.b) ? 1 : 0; }
+    else if (kind == 13) { mem[cpu.d & 4095] = (cpu.a + cpu.c) & 255; }
+    else if (kind == 14) { cpu.a = (cpu.a | cpu.c) & 255; }
+    else { cpu.a = (cpu.a & cpu.d) & 255; }
+    cpu.cycles = cpu.cycles + 1;
+}
+
+function bench(scale) {
+    var mem = new Memory();
+    for (var i = 0; i < 4096; i++) mem[i] = (i * 197 + 31) & 255;
+    var cpu = new Cpu();
+    var steps = scale * 800;
+    for (var i = 0; i < steps; i++) step(cpu, mem);
+    return cpu.a * 65536 + cpu.b * 256 + (cpu.cycles & 255);
+}

@@ -1,0 +1,34 @@
+// mandreel analog (Octane): compiled-C++-style kernel — flat double
+// buffers with computed indices (asm.js-ish), low object traffic.
+function Buffer(n) { this.n = n; }
+
+function physicsKernel(pos, vel, n, dt) {
+    for (var i = 0; i < n; i++) {
+        var p = pos[i];
+        var v = vel[i];
+        v = v + (-9.8) * dt - v * 0.01;
+        p = p + v * dt;
+        if (p < 0.0) { p = -p; v = -v * 0.7; }
+        pos[i] = p;
+        vel[i] = v;
+    }
+}
+
+function sumKernel(buf, n) {
+    var s = 0.0;
+    for (var i = 0; i < n; i++) s += buf[i];
+    return s;
+}
+
+function bench(scale) {
+    var n = 256;
+    var pos = new Buffer(n);
+    var vel = new Buffer(n);
+    for (var i = 0; i < n; i++) { pos[i] = 1.0 + (i % 17) * 0.1; vel[i] = 0.0; }
+    var acc = 0.0;
+    for (var step = 0; step < scale * 6; step++) {
+        physicsKernel(pos, vel, n, 0.016);
+        acc += sumKernel(pos, n);
+    }
+    return Math.floor(acc * 100);
+}

@@ -1,0 +1,48 @@
+// navier-stokes analog (Octane): fluid solver steps over flat double
+// grids — array-heavy with near-zero check-after-load overhead.
+function Field(n) { this.n = n; }
+
+function linSolve(x, x0, n, a, c) {
+    var invC = 1.0 / c;
+    for (var k = 0; k < 4; k++) {
+        for (var j = 1; j < n - 1; j++) {
+            for (var i = 1; i < n - 1; i++) {
+                var ix = j * n + i;
+                x[ix] = (x0[ix] + a * (x[ix - 1] + x[ix + 1] + x[ix - n] + x[ix + n])) * invC;
+            }
+        }
+    }
+}
+
+function advect(d, d0, u, n, dt) {
+    for (var j = 1; j < n - 1; j++) {
+        for (var i = 1; i < n - 1; i++) {
+            var ix = j * n + i;
+            var src = i - dt * u[ix];
+            if (src < 0.5) src = 0.5;
+            if (src > n - 1.5) src = n - 1.5;
+            var i0 = Math.floor(src);
+            var frac = src - i0;
+            d[ix] = d0[j * n + i0] * (1.0 - frac) + d0[j * n + i0 + 1] * frac;
+        }
+    }
+}
+
+function bench(scale) {
+    var n = 16;
+    var x = new Field(n * n);
+    var x0 = new Field(n * n);
+    var u = new Field(n * n);
+    for (var i = 0; i < n * n; i++) {
+        x[i] = 0.0;
+        x0[i] = ((i * 31) % 97) / 97.0;
+        u[i] = ((i * 17) % 13 - 6) / 6.0;
+    }
+    var acc = 0.0;
+    for (var r = 0; r < scale * 4; r++) {
+        linSolve(x, x0, n, 0.2, 1.8);
+        advect(x0, x, u, n, 0.1);
+        acc += x0[n * 8 + 8];
+    }
+    return Math.floor(acc * 1e6);
+}

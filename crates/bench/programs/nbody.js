@@ -1,0 +1,74 @@
+// access-nbody analog (SunSpider): planetary simulation with objects
+// holding double-typed properties — untagging checks dominate.
+function Body(x, y, z, vx, vy, vz, mass) {
+    this.x = x; this.y = y; this.z = z;
+    this.vx = vx; this.vy = vy; this.vz = vz;
+    this.mass = mass;
+}
+function System() { this.n = 0; }
+
+function makeSystem() {
+    var s = new System();
+    s[0] = new Body(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 39.47841760435743);
+    s[1] = new Body(4.841431442464721, -1.1603200440274284, -0.10362204447112311,
+                    0.606326392995832, 2.81198684491626, -0.02521836165988763, 0.03769367487038949);
+    s[2] = new Body(8.34336671824458, 4.124798564124305, -0.4035234171143214,
+                    -1.0107743461787924, 1.8256623712304119, 0.008415761376584154, 0.011286326131968767);
+    s[3] = new Body(12.894369562139131, -15.111151401698631, -0.22330757889265573,
+                    1.0827910064415354, 0.8687130181696082, -0.010832637401363636, 0.0017237240570597112);
+    s[4] = new Body(15.379697114850917, -25.919314609987964, 0.17925877295037118,
+                    0.979090732243898, 0.5946989986476762, -0.034755955504078104, 0.0002033686869335811);
+    s.n = 5;
+    return s;
+}
+
+function advance(s, dt) {
+    var n = s.n;
+    for (var i = 0; i < n; i++) {
+        var bi = s[i];
+        for (var j = i + 1; j < n; j++) {
+            var bj = s[j];
+            var dx = bi.x - bj.x;
+            var dy = bi.y - bj.y;
+            var dz = bi.z - bj.z;
+            var d2 = dx * dx + dy * dy + dz * dz;
+            var mag = dt / (d2 * Math.sqrt(d2));
+            bi.vx = bi.vx - dx * bj.mass * mag;
+            bi.vy = bi.vy - dy * bj.mass * mag;
+            bi.vz = bi.vz - dz * bj.mass * mag;
+            bj.vx = bj.vx + dx * bi.mass * mag;
+            bj.vy = bj.vy + dy * bi.mass * mag;
+            bj.vz = bj.vz + dz * bi.mass * mag;
+        }
+    }
+    for (var k = 0; k < n; k++) {
+        var b = s[k];
+        b.x = b.x + dt * b.vx;
+        b.y = b.y + dt * b.vy;
+        b.z = b.z + dt * b.vz;
+    }
+}
+
+function energy(s) {
+    var e = 0.0;
+    var n = s.n;
+    for (var i = 0; i < n; i++) {
+        var bi = s[i];
+        e += 0.5 * bi.mass * (bi.vx * bi.vx + bi.vy * bi.vy + bi.vz * bi.vz);
+        for (var j = i + 1; j < n; j++) {
+            var bj = s[j];
+            var dx = bi.x - bj.x;
+            var dy = bi.y - bj.y;
+            var dz = bi.z - bj.z;
+            e -= bi.mass * bj.mass / Math.sqrt(dx * dx + dy * dy + dz * dz);
+        }
+    }
+    return e;
+}
+
+function bench(scale) {
+    var s = makeSystem();
+    var e0 = energy(s);
+    for (var i = 0; i < scale * 10; i++) advance(s, 0.01);
+    return Math.floor((e0 - energy(s)) * 1e9);
+}

@@ -1,0 +1,50 @@
+// audio-oscillator analog (Kraken): additive synthesis into a sample
+// buffer object; mixes double elements arrays with envelope objects.
+function Envelope(attack, decay) {
+    this.attack = attack;
+    this.decay = decay;
+    this.level = 0.0;
+}
+function Oscillator(freq, gain) {
+    this.freq = freq;
+    this.gain = gain;
+    this.phase = 0.0;
+}
+function SampleBuffer(n) { this.length2 = n; }
+
+function generate(oscs, env, buf, n) {
+    for (var i = 0; i < n; i++) buf[i] = 0.0;
+    for (var o = 0; o < oscs.length; o++) {
+        var osc = oscs[o];
+        var ph = osc.phase;
+        var step = osc.freq * 0.0012;
+        var gain = osc.gain;
+        for (var i = 0; i < n; i++) {
+            buf[i] = buf[i] + Math.sin(ph) * gain;
+            ph = ph + step;
+        }
+        osc.phase = ph;
+    }
+    // envelope
+    var level = env.level;
+    for (var i = 0; i < n; i++) {
+        level = level * env.decay + env.attack;
+        buf[i] = buf[i] * level;
+    }
+    env.level = level;
+    var acc = 0.0;
+    for (var i = 0; i < n; i++) acc += buf[i] * buf[i];
+    return acc;
+}
+
+var oscillators = [];
+for (var i = 0; i < 4; i++) oscillators.push(new Oscillator(110.0 * (i + 1), 0.25 / (i + 1)));
+
+function bench(scale) {
+    var env = new Envelope(0.004, 0.995);
+    var buf = new SampleBuffer(512);
+    for (var i = 0; i < 4; i++) oscillators[i].phase = 0.0;
+    var acc = 0.0;
+    for (var r = 0; r < scale; r++) acc += generate(oscillators, env, buf, 512);
+    return Math.floor(acc * 1e6);
+}

@@ -1,0 +1,34 @@
+// stanford-crypto-pbkdf2 analog (Kraken): iterated keyed mixing, arrays
+// of SMI words plus a key-state object.
+function Prf() { this.k0 = 0x36363636 | 0; this.k1 = 0x5c5c5c5c | 0; }
+function Block() { this.n = 16; }
+
+function mix(prf, blk) {
+    var a = prf.k0;
+    var b = prf.k1;
+    for (var i = 0; i < 16; i++) {
+        var v = blk[i];
+        a = (a + ((v ^ b) | 0)) | 0;
+        a = ((a << 5) | (a >>> 27)) ^ v;
+        b = (b + ((a << 3) | (a >>> 29))) | 0;
+        blk[i] = (a ^ (b >>> 7)) | 0;
+    }
+    prf.k0 = a;
+    prf.k1 = b;
+    return (a ^ b) | 0;
+}
+
+function derive(iterations) {
+    var prf = new Prf();
+    var blk = new Block();
+    for (var i = 0; i < 16; i++) blk[i] = (i * 2654435761) | 0;
+    var acc = 0;
+    for (var it = 0; it < iterations; it++) acc = (acc + mix(prf, blk)) | 0;
+    return acc;
+}
+
+function bench(scale) {
+    var acc = 0;
+    for (var r = 0; r < scale; r++) acc = (acc + derive(160)) | 0;
+    return acc;
+}

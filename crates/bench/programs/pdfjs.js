@@ -1,0 +1,48 @@
+// pdfjs analog (Octane): stream decoding — bit reader object over a byte
+// array, dictionary objects, Huffman-ish table walks.
+function BitReader(data, n) {
+    this.data = data;
+    this.n = n;
+    this.pos = 0;
+    this.bitBuf = 0;
+    this.bitCnt = 0;
+}
+function ByteData() { this.len = 0; }
+function DecodeTable() { this.size = 0; }
+
+function readBits(br, count) {
+    while (br.bitCnt < count) {
+        br.bitBuf = (br.bitBuf << 8) | br.data[br.pos % br.n];
+        br.pos = br.pos + 1;
+        br.bitCnt = br.bitCnt + 8;
+    }
+    br.bitCnt = br.bitCnt - count;
+    var v = (br.bitBuf >> br.bitCnt) & ((1 << count) - 1);
+    return v;
+}
+
+function decode(br, table, count) {
+    var out = 0;
+    for (var i = 0; i < count; i++) {
+        var code = readBits(br, 5);
+        var sym = table[code];
+        if (sym >= 24) sym = sym - readBits(br, 2);
+        out = (out * 33 + sym) & 0xffffff;
+    }
+    return out;
+}
+
+function bench(scale) {
+    var data = new ByteData();
+    for (var i = 0; i < 512; i++) data[i] = (i * 89 + 7) & 255;
+    data.len = 512;
+    var table = new DecodeTable();
+    for (var i = 0; i < 32; i++) table[i] = (i * 13) & 31;
+    table.size = 32;
+    var acc = 0;
+    for (var r = 0; r < scale; r++) {
+        var br = new BitReader(data, 512);
+        acc = (acc + decode(br, table, 600)) & 0xffffff;
+    }
+    return acc;
+}

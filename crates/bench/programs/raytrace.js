@@ -1,0 +1,87 @@
+// raytrace analog (Octane): recursive shading with vector/material/shape
+// objects; one of the two benchmarks exceeding 32 hidden classes in the
+// paper — emulated with extra material/light classes.
+function V3(x, y, z) { this.x = x; this.y = y; this.z = z; }
+function Mat1(r) { this.reflect = r; this.shade = 0.9; }
+function Mat2(r) { this.reflect = r; this.shade = 0.7; }
+function Mat3(r) { this.reflect = r; this.shade = 0.5; }
+function Light(pos, power) { this.pos = pos; this.power = power; }
+function Ball(center, radius, mat) {
+    this.center = center;
+    this.radius = radius;
+    this.mat = mat;
+}
+function World() { this.nBalls = 0; this.nLights = 0; }
+
+function vdot(a, b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+function vsub(a, b) { return new V3(a.x - b.x, a.y - b.y, a.z - b.z); }
+function vscale(a, s) { return new V3(a.x * s, a.y * s, a.z * s); }
+function vadd(a, b) { return new V3(a.x + b.x, a.y + b.y, a.z + b.z); }
+
+function hitBall(ball, orig, dir) {
+    var oc = vsub(orig, ball.center);
+    var b = 2.0 * vdot(oc, dir);
+    var c = vdot(oc, oc) - ball.radius * ball.radius;
+    var disc = b * b - 4.0 * c;
+    if (disc < 0.0) return -1.0;
+    return (-b - Math.sqrt(disc)) * 0.5;
+}
+
+function shade(world, orig, dir, depth) {
+    var best = 1e30;
+    var hit = world.ball0;
+    var found = 0;
+    for (var i = 0; i < world.nBalls; i++) {
+        var t = hitBall(world[i], orig, dir);
+        if (t > 0.001 && t < best) { best = t; hit = world[i]; found = 1; }
+    }
+    if (!found) return 0.05;
+    var point = vadd(orig, vscale(dir, best));
+    var normal = vscale(vsub(point, hit.center), 1.0 / hit.radius);
+    var brightness = 0.0;
+    for (var l = 0; l < world.nLights; l++) {
+        var light = world.lights[l];
+        var toLight = vsub(light.pos, point);
+        var d = vdot(normal, toLight);
+        if (d > 0.0) brightness += d * light.power * 0.01;
+    }
+    var col = brightness * hit.mat.shade;
+    if (depth < 2 && hit.mat.reflect > 0.0) {
+        var refl = vsub(dir, vscale(normal, 2.0 * vdot(dir, normal)));
+        col += hit.mat.reflect * shade(world, point, refl, depth + 1);
+    }
+    return col;
+}
+
+function LightList() { this.n = 0; }
+
+function makeWorld() {
+    var w = new World();
+    w[0] = new Ball(new V3(0.0, 0.0, 6.0), 1.5, new Mat1(0.4));
+    w[1] = new Ball(new V3(2.0, 1.0, 8.0), 1.0, new Mat2(0.2));
+    w[2] = new Ball(new V3(-2.5, -0.5, 7.0), 1.2, new Mat3(0.0));
+    w[3] = new Ball(new V3(0.5, -2.0, 5.0), 0.6, new Mat1(0.7));
+    w.nBalls = 4;
+    w.ball0 = w[0];
+    var lights = new LightList();
+    lights[0] = new Light(new V3(5.0, 5.0, 0.0), 8.0);
+    lights[1] = new Light(new V3(-5.0, 3.0, 1.0), 5.0);
+    w.lights = lights;
+    w.nLights = 2;
+    return w;
+}
+
+function bench(scale) {
+    var world = makeWorld();
+    var orig = new V3(0.0, 0.0, 0.0);
+    var acc = 0.0;
+    var size = 8 + scale;
+    for (var py = 0; py < size; py++) {
+        for (var px = 0; px < size * 2; px++) {
+            var dir = new V3((px - size) / size, (py - size / 2.0) / size, 1.0);
+            var inv = 1.0 / Math.sqrt(vdot(dir, dir));
+            acc += shade(world, orig, vscale(dir, inv), 0);
+        }
+    }
+    return Math.floor(acc * 1e4);
+}

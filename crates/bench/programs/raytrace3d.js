@@ -1,0 +1,55 @@
+// 3d-raytrace analog (SunSpider): sphere intersection with vector
+// objects; double-heavy property traffic.
+function Vec(x, y, z) { this.x = x; this.y = y; this.z = z; }
+function Sphere(center, radius, color) {
+    this.center = center;
+    this.radius = radius;
+    this.color = color;
+}
+function Scene() { this.count = 0; }
+
+function dot(a, b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+function sub(a, b) { return new Vec(a.x - b.x, a.y - b.y, a.z - b.z); }
+
+function intersect(sphere, orig, dir) {
+    var oc = sub(orig, sphere.center);
+    var b = 2.0 * dot(oc, dir);
+    var c = dot(oc, oc) - sphere.radius * sphere.radius;
+    var disc = b * b - 4.0 * c;
+    if (disc < 0.0) return -1.0;
+    var t = (-b - Math.sqrt(disc)) * 0.5;
+    return t;
+}
+
+function trace(scene, orig, dir) {
+    var best = 1e30;
+    var hit = scene[0];
+    var found = 0;
+    for (var i = 0; i < scene.count; i++) {
+        var s = scene[i];
+        var t = intersect(s, orig, dir);
+        if (t > 0.0 && t < best) { best = t; hit = s; found = 1; }
+    }
+    if (!found) return 0.0;
+    return hit.color * (1.0 / (1.0 + best));
+}
+
+function bench(scale) {
+    var scene = new Scene();
+    for (var i = 0; i < 6; i++) {
+        scene[i] = new Sphere(new Vec(i - 3.0, (i % 3) - 1.0, 5.0 + i), 0.8, 0.1 * (i + 1));
+        scene.count = i + 1;
+    }
+    var orig = new Vec(0.0, 0.0, 0.0);
+    var acc = 0.0;
+    var size = 12 + scale;
+    for (var py = 0; py < size; py++) {
+        for (var px = 0; px < size * 4; px++) {
+            var dir = new Vec((px - size * 2) / (size * 2.0), (py - size / 2) / size, 1.0);
+            var norm = 1.0 / Math.sqrt(dot(dir, dir));
+            dir.x = dir.x * norm; dir.y = dir.y * norm; dir.z = dir.z * norm;
+            acc += trace(scene, orig, dir);
+        }
+    }
+    return Math.floor(acc * 1e4);
+}

@@ -1,0 +1,55 @@
+// regexp analog (Octane): a tiny NFA-free matcher (literal + classes +
+// star) driven over strings — string/runtime dominated.
+function Pattern(src) { this.src = src; this.len = src.length; }
+
+function matchClass(c, cls) {
+    if (cls == 0) return c >= 97 && c <= 122;    // [a-z]
+    if (cls == 1) return c >= 48 && c <= 57;     // [0-9]
+    return c == 32;                              // space
+}
+
+function matchAt(text, pos, pat) {
+    var p = 0;
+    var t = pos;
+    while (p < pat.len) {
+        var pc = pat.src.charCodeAt(p);
+        if (pc == 42) { // '*': previous class, greedy
+            var cls = pat.src.charCodeAt(p - 1) - 48;
+            while (t < text.length && matchClass(text.charCodeAt(t), cls)) t++;
+            p++;
+        } else if (pc >= 48 && pc <= 50) { // class digit
+            if (t < text.length && (p + 1 < pat.len && pat.src.charCodeAt(p + 1) == 42)) {
+                p++; // star handles it
+            } else {
+                if (t >= text.length || !matchClass(text.charCodeAt(t), pc - 48)) return -1;
+                t++;
+                p++;
+            }
+        } else {
+            if (t >= text.length || text.charCodeAt(t) != pc) return -1;
+            t++;
+            p++;
+        }
+    }
+    return t - pos;
+}
+
+function countMatches(text, pat) {
+    var count = 0;
+    for (var i = 0; i < text.length; i++) {
+        if (matchAt(text, i, pat) >= 0) count++;
+    }
+    return count;
+}
+
+var TEXT = 'the year 2017 saw 42 papers about jit compilers and 7 about caches ' +
+           'while 1999 had none but plenty of hype about the web and its 90 percent';
+
+function bench(scale) {
+    var pats = [new Pattern('0*2'), new Pattern('1*'), new Pattern('the'), new Pattern('a0*')];
+    var acc = 0;
+    for (var r = 0; r < scale * 6; r++) {
+        for (var p = 0; p < pats.length; p++) acc += countMatches(TEXT, pats[p]);
+    }
+    return acc;
+}

@@ -1,0 +1,84 @@
+// richards analog (Octane): task scheduler with linked TCB objects,
+// packets and per-task state — heavily monomorphic property traffic.
+function Packet(link, id, kind) {
+    this.link = link;
+    this.id = id;
+    this.kind = kind;
+    this.a1 = 0;
+    this.a2 = 0;
+}
+function Task(id, priority) {
+    this.id = id;
+    this.priority = priority;
+    this.queue = null2();
+    this.state = 0;
+    this.count = 0;
+    this.work = 0;
+}
+function Scheduler() {
+    this.queueCount = 0;
+    this.holdCount = 0;
+    this.current = 0;
+}
+function TaskList() { this.n = 0; }
+
+// A shared sentinel keeps `link`/`queue` slots monomorphic (Packet/Task
+// slots never alternate with null).
+var NIL_PACKET = new Packet(0, -1, -1);
+NIL_PACKET.link = NIL_PACKET;
+function null2() { return NIL_PACKET; }
+
+function enqueue(task, packet) {
+    packet.link = NIL_PACKET;
+    if (task.queue == NIL_PACKET) {
+        task.queue = packet;
+        return;
+    }
+    var p = task.queue;
+    while (p.link != NIL_PACKET) p = p.link;
+    p.link = packet;
+}
+
+function dequeue(task) {
+    var p = task.queue;
+    task.queue = p.link;
+    return p;
+}
+
+function runTask(sched, task) {
+    if (task.queue == NIL_PACKET) {
+        task.work = task.work + 1;
+        return;
+    }
+    var p = dequeue(task);
+    sched.queueCount = sched.queueCount + 1;
+    task.count = task.count + 1;
+    task.state = (task.state + p.kind) & 7;
+    p.a1 = (p.a1 + task.id) & 0xffff;
+    p.a2 = (p.a2 ^ p.a1) & 0xffff;
+}
+
+function schedule(sched, tasks, rounds) {
+    for (var r = 0; r < rounds; r++) {
+        for (var i = 0; i < tasks.n; i++) {
+            var t = tasks[i];
+            runTask(sched, t);
+            // Produce packets for the next task in line.
+            if ((r + i) % 3 == 0) {
+                var target = tasks[(i + 1) % tasks.n];
+                enqueue(target, new Packet(NIL_PACKET, r & 255, i & 3));
+            }
+        }
+    }
+}
+
+function bench(scale) {
+    var sched = new Scheduler();
+    var tasks = new TaskList();
+    for (var i = 0; i < 6; i++) tasks[i] = new Task(i, 6 - i);
+    tasks.n = 6;
+    schedule(sched, tasks, scale * 12);
+    var acc = sched.queueCount * 1000;
+    for (var i = 0; i < 6; i++) acc += tasks[i].count + tasks[i].state + tasks[i].work;
+    return acc;
+}

@@ -1,0 +1,58 @@
+// stanford-crypto-sha256-iterative analog (Kraken): bitwise-heavy SMI
+// array kernel with a state object.
+function HashState() {
+    this.h0 = 0x6a09e667 | 0; this.h1 = 0xbb67ae85 | 0;
+    this.h2 = 0x3c6ef372 | 0; this.h3 = 0xa54ff53a | 0;
+    this.h4 = 0x510e527f | 0; this.h5 = 0x9b05688c | 0;
+    this.h6 = 0x1f83d9ab | 0; this.h7 = 0x5be0cd19 | 0;
+}
+function WordBlock() { this.n = 64; }
+
+var K = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2];
+
+function rotr(x, n) { return (x >>> n) | (x << (32 - n)); }
+
+function compress(st, w) {
+    for (var t = 16; t < 64; t++) {
+        var w15 = w[t - 15];
+        var w2 = w[t - 2];
+        var s0 = rotr(w15, 7) ^ rotr(w15, 18) ^ (w15 >>> 3);
+        var s1 = rotr(w2, 17) ^ rotr(w2, 19) ^ (w2 >>> 10);
+        w[t] = (w[t - 16] + s0 + w[t - 7] + s1) | 0;
+    }
+    var a = st.h0, b = st.h1, c = st.h2, d = st.h3;
+    var e = st.h4, f = st.h5, g = st.h6, h = st.h7;
+    for (var t = 0; t < 64; t++) {
+        var S1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+        var ch = (e & f) ^ (~e & g);
+        var t1 = (h + S1 + ch + K[t] + w[t]) | 0;
+        var S0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+        var maj = (a & b) ^ (a & c) ^ (b & c);
+        var t2 = (S0 + maj) | 0;
+        h = g; g = f; f = e; e = (d + t1) | 0;
+        d = c; c = b; b = a; a = (t1 + t2) | 0;
+    }
+    st.h0 = (st.h0 + a) | 0; st.h1 = (st.h1 + b) | 0;
+    st.h2 = (st.h2 + c) | 0; st.h3 = (st.h3 + d) | 0;
+    st.h4 = (st.h4 + e) | 0; st.h5 = (st.h5 + f) | 0;
+    st.h6 = (st.h6 + g) | 0; st.h7 = (st.h7 + h) | 0;
+}
+
+function bench(scale) {
+    var st = new HashState();
+    var w = new WordBlock();
+    for (var i = 0; i < 16; i++) w[i] = (i * 0x01010101) | 0;
+    for (var r = 0; r < scale * 8; r++) {
+        w[0] = (w[0] + r) | 0;
+        compress(st, w);
+    }
+    return (st.h0 ^ st.h3 ^ st.h7) | 0;
+}

@@ -1,0 +1,41 @@
+// math-spectral-norm analog (SunSpider): power iteration with double
+// vectors stored in wrapper objects.
+function Vector(n) { this.n = n; }
+
+function A(i, j) { return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1); }
+
+function multiplyAv(v, av, n) {
+    for (var i = 0; i < n; i++) {
+        var sum = 0.0;
+        for (var j = 0; j < n; j++) sum += A(i, j) * v[j];
+        av[i] = sum;
+    }
+}
+
+function multiplyAtv(v, atv, n) {
+    for (var i = 0; i < n; i++) {
+        var sum = 0.0;
+        for (var j = 0; j < n; j++) sum += A(j, i) * v[j];
+        atv[i] = sum;
+    }
+}
+
+function multiplyAtAv(v, out, tmp, n) {
+    multiplyAv(v, tmp, n);
+    multiplyAtv(tmp, out, n);
+}
+
+function bench(scale) {
+    var n = 8 * scale;
+    var u = new Vector(n);
+    var v = new Vector(n);
+    var tmp = new Vector(n);
+    for (var i = 0; i < n; i++) { u[i] = 1.0; v[i] = 0.0; tmp[i] = 0.0; }
+    for (var it = 0; it < 8; it++) {
+        multiplyAtAv(u, v, tmp, n);
+        multiplyAtAv(v, u, tmp, n);
+    }
+    var vBv = 0.0, vv = 0.0;
+    for (var i = 0; i < n; i++) { vBv += u[i] * v[i]; vv += v[i] * v[i]; }
+    return Math.floor(Math.sqrt(vBv / vv) * 1e9);
+}

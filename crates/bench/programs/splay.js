@@ -1,0 +1,94 @@
+// splay analog (Octane): top-down splay tree with allocation churn —
+// exercises the GC and pointer-heavy monomorphic nodes.
+function SplayNode(key, value) {
+    this.key = key;
+    this.value = value;
+    this.left = NIL_N;
+    this.right = NIL_N;
+}
+var NIL_N = new SplayNode(-1, -1);
+NIL_N.left = NIL_N;
+NIL_N.right = NIL_N;
+
+function Tree() { this.root = NIL_N; this.size = 0; }
+
+function splay(tree, key) {
+    if (tree.root == NIL_N) return;
+    var dummy = new SplayNode(0, 0);
+    var left = dummy;
+    var right = dummy;
+    var cur = tree.root;
+    for (var guard = 0; guard < 64; guard++) {
+        if (key < cur.key) {
+            if (cur.left == NIL_N) break;
+            if (key < cur.left.key) {
+                var y = cur.left;
+                cur.left = y.right;
+                y.right = cur;
+                cur = y;
+                if (cur.left == NIL_N) break;
+            }
+            right.left = cur;
+            right = cur;
+            cur = cur.left;
+        } else if (key > cur.key) {
+            if (cur.right == NIL_N) break;
+            if (key > cur.right.key) {
+                var y2 = cur.right;
+                cur.right = y2.left;
+                y2.left = cur;
+                cur = y2;
+                if (cur.right == NIL_N) break;
+            }
+            left.right = cur;
+            left = cur;
+            cur = cur.right;
+        } else break;
+    }
+    left.right = cur.left;
+    right.left = cur.right;
+    cur.left = dummy.right;
+    cur.right = dummy.left;
+    tree.root = cur;
+}
+
+function insert(tree, key, value) {
+    if (tree.root == NIL_N) {
+        tree.root = new SplayNode(key, value);
+        tree.size = tree.size + 1;
+        return;
+    }
+    splay(tree, key);
+    if (tree.root.key == key) return;
+    var node = new SplayNode(key, value);
+    if (key > tree.root.key) {
+        node.left = tree.root;
+        node.right = tree.root.right;
+        tree.root.right = NIL_N;
+    } else {
+        node.right = tree.root;
+        node.left = tree.root.left;
+        tree.root.left = NIL_N;
+    }
+    tree.root = node;
+    tree.size = tree.size + 1;
+}
+
+function find(tree, key) {
+    if (tree.root == NIL_N) return -1;
+    splay(tree, key);
+    if (tree.root.key == key) return tree.root.value;
+    return -1;
+}
+
+function bench(scale) {
+    var tree = new Tree();
+    var acc = 0;
+    var key = 1;
+    for (var i = 0; i < scale * 40; i++) {
+        key = (key * 131 + 7) % 1009;
+        insert(tree, key, i);
+        if (i % 3 == 0) acc += find(tree, (key * 17) % 1009);
+    }
+    return acc + tree.size;
+}

@@ -1,0 +1,64 @@
+// stanford-crypto-aes analog (Kraken): SMI S-box tables, state object,
+// round transforms.
+function AesState() { this.rounds = 10; }
+function Sbox() { this.n = 256; }
+
+var sbox = new Sbox();
+(function() {
+    // A simple bijective byte permutation standing in for the AES S-box.
+    var p = 1;
+    for (var i = 0; i < 256; i++) {
+        sbox[i] = (p ^ (p << 1) ^ ((p >> 4) * 9)) & 255;
+        p = (p * 3 + 7) & 255;
+    }
+})();
+
+function subShiftMix(aes) {
+    var st = aes.state;
+    var sbox = aes.sbox;
+    for (var c = 0; c < 4; c++) {
+        var a0 = sbox[st[c * 4] & 255];
+        var a1 = sbox[st[((c + 1) & 3) * 4 + 1] & 255];
+        var a2 = sbox[st[((c + 2) & 3) * 4 + 2] & 255];
+        var a3 = sbox[st[((c + 3) & 3) * 4 + 3] & 255];
+        st[c * 4] = a0 ^ ((a1 << 1) & 255) ^ a2;
+        st[c * 4 + 1] = a1 ^ ((a2 << 1) & 255) ^ a3;
+        st[c * 4 + 2] = a2 ^ ((a3 << 1) & 255) ^ a0;
+        st[c * 4 + 3] = a3 ^ ((a0 << 1) & 255) ^ a1;
+    }
+}
+
+function addRoundKey(aes, round) {
+    var st = aes.state;
+    var key = aes.key;
+    for (var i = 0; i < 16; i++) st[i] = (st[i] ^ key[(round * 16 + i) & 63]) & 255;
+}
+
+function encryptBlock(aes) {
+    addRoundKey(aes, 0);
+    var rounds = aes.rounds;
+    for (var r = 1; r <= rounds; r++) {
+        subShiftMix(aes);
+        addRoundKey(aes, r);
+    }
+}
+
+function Aes() {
+    this.rounds = 10;
+    this.sbox = sbox;
+    this.state = new AesState();
+    this.key = new KeySchedule();
+}
+function KeySchedule() { this.len = 64; }
+
+function bench(scale) {
+    var aes = new Aes();
+    for (var i = 0; i < 64; i++) aes.key[i] = (i * 73 + 11) & 255;
+    for (var i = 0; i < 16; i++) aes.state[i] = i * 11 & 255;
+    var acc = 0;
+    for (var r = 0; r < scale * 40; r++) {
+        encryptBlock(aes);
+        acc = (acc + aes.state[0]) & 0xffff;
+    }
+    return acc;
+}

@@ -1,0 +1,49 @@
+// stanford-crypto-ccm analog (Kraken): CTR+CBC-MAC composition over the
+// same cipher kernel; two state objects alive at once.
+function CcmState() { this.counter = 0; }
+function MacState() { this.acc = 0; }
+function CipherBlock() { this.n = 16; }
+
+function stepCipher(blk, k) {
+    var x = k;
+    for (var i = 0; i < 16; i++) {
+        x = (x ^ blk[i]) | 0;
+        x = ((x << 7) | (x >>> 25)) | 0;
+        x = (x + 0x9e3779b9) | 0;
+        blk[i] = x & 255;
+    }
+    return x;
+}
+
+function ccmEncrypt(ccm, mac, data, n) {
+    var blk = new CipherBlock();
+    var out = 0;
+    for (var off = 0; off + 16 <= n; off += 16) {
+        // CTR part.
+        for (var i = 0; i < 16; i++) blk[i] = (ccm.counter + i) & 255;
+        var ks = stepCipher(blk, ccm.counter);
+        ccm.counter = (ccm.counter + 1) | 0;
+        // XOR keystream into data; accumulate CBC-MAC.
+        for (var i = 0; i < 16; i++) {
+            var c = (data[off + i] ^ blk[i]) & 255;
+            data[off + i] = c;
+            mac.acc = ((mac.acc << 1) | (mac.acc >>> 31)) ^ c;
+        }
+        out = (out + ks) | 0;
+    }
+    return out;
+}
+
+function Payload() { this.n = 0; }
+
+function bench(scale) {
+    var data = new Payload();
+    var n = 256;
+    for (var i = 0; i < n; i++) data[i] = (i * 37) & 255;
+    data.n = n;
+    var ccm = new CcmState();
+    var mac = new MacState();
+    var acc = 0;
+    for (var r = 0; r < scale * 20; r++) acc = (acc + ccmEncrypt(ccm, mac, data, n)) | 0;
+    return (acc ^ mac.acc) | 0;
+}

@@ -1,0 +1,40 @@
+// string-unpack-code analog (SunSpider): decode a packed string into
+// tokens; charCodeAt scanning and dictionary lookup via arrays.
+var PACKED = 'fn a b c ret add sub mul div mod if else while for var new this 0 1 2 3 4 5 6 7 8 9';
+
+function Dict() { this.count = 0; }
+
+function buildDict(s) {
+    var d = new Dict();
+    var word = '';
+    var n = 0;
+    for (var i = 0; i <= s.length; i++) {
+        var c = i < s.length ? s.charCodeAt(i) : 32;
+        if (c == 32) {
+            if (word.length > 0) { d[n] = word; n++; word = ''; }
+        } else {
+            word = word + s.charAt(i);
+        }
+    }
+    d.count = n;
+    return d;
+}
+
+function unpack(codes, nCodes, dict) {
+    var out = 0;
+    for (var i = 0; i < nCodes; i++) {
+        var w = dict[codes[i] % dict.count];
+        for (var j = 0; j < w.length; j++) out = (out * 17 + w.charCodeAt(j)) & 0xffffff;
+    }
+    return out;
+}
+
+var dict = buildDict(PACKED);
+
+function bench(scale) {
+    var codes = [];
+    for (var i = 0; i < 64; i++) codes[i] = (i * 13 + 5) & 31;
+    var acc = 0;
+    for (var r = 0; r < scale * 12; r++) acc = (acc + unpack(codes, 64, dict)) & 0xffffff;
+    return acc;
+}

@@ -1,0 +1,48 @@
+// zlib analog (Octane): LZ-style window compression over SMI byte
+// arrays; hash-chain matching.
+function Window() { this.size = 1024; }
+function HashHeads() { this.n = 256; }
+
+function compress(data, n, heads, out) {
+    for (var i = 0; i < 256; i++) heads[i] = -1;
+    var outN = 0;
+    var i = 0;
+    while (i < n) {
+        var h = (data[i] * 33 + (i + 1 < n ? data[i + 1] : 0)) & 255;
+        var cand = heads[h];
+        heads[h] = i;
+        var matchLen = 0;
+        if (cand >= 0 && i - cand < 255) {
+            while (matchLen < 15 && i + matchLen < n &&
+                   data[cand + matchLen] == data[i + matchLen]) {
+                matchLen++;
+            }
+        }
+        if (matchLen >= 3) {
+            out[outN] = 256 + (matchLen << 8) + (i - cand);
+            outN++;
+            i += matchLen;
+        } else {
+            out[outN] = data[i];
+            outN++;
+            i++;
+        }
+    }
+    return outN;
+}
+
+function bench(scale) {
+    var data = new Window();
+    var n = 1024;
+    for (var i = 0; i < n; i++) {
+        data[i] = ((i * 7) ^ (i >> 3)) & 63;  // repetitive source
+    }
+    var heads = new HashHeads();
+    var out = new Window();
+    var acc = 0;
+    for (var r = 0; r < scale * 3; r++) {
+        var m = compress(data, n, heads, out);
+        acc = (acc + m + out[m - 1]) & 0xffffff;
+    }
+    return acc;
+}

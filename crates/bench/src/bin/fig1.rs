@@ -1,0 +1,9 @@
+//! Regenerate Figure 1: breakdown of dynamic instructions.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = checkelide_bench::figures::fig1(quick);
+    print!("{}", checkelide_bench::figures::render_fig1(&rows));
+    checkelide_bench::figures::save_json("fig1", &rows).expect("write results/fig1.json");
+    eprintln!("saved results/fig1.json");
+}

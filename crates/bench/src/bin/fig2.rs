@@ -1,0 +1,9 @@
+//! Regenerate Figure 2: check/untag overhead after object load accesses.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = checkelide_bench::figures::fig2(quick);
+    print!("{}", checkelide_bench::figures::render_fig2(&rows));
+    checkelide_bench::figures::save_json("fig2", &rows).expect("write results/fig2.json");
+    eprintln!("saved results/fig2.json");
+}

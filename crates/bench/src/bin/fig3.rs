@@ -1,0 +1,10 @@
+//! Regenerate Figure 3: object loads from monomorphic properties and
+//! elements arrays.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = checkelide_bench::figures::fig3(quick);
+    print!("{}", checkelide_bench::figures::render_fig3(&rows));
+    checkelide_bench::figures::save_json("fig3", &rows).expect("write results/fig3.json");
+    eprintln!("saved results/fig3.json");
+}

@@ -1,0 +1,27 @@
+//! Regenerate Figure 8 (speedup) and, as a side effect of sharing the
+//! runs, Figure 9 (energy). Use `--detail <name>` for the §5.1 ai-astar
+//! style memory-hierarchy analysis of one benchmark.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if let Some(pos) = args.iter().position(|a| a == "--detail") {
+        let name = args.get(pos + 1).expect("--detail <benchmark>");
+        let b = checkelide_bench::find(name).expect("unknown benchmark");
+        let row = checkelide_bench::figures::fig89_one(b, quick);
+        println!("{name}:");
+        println!("  speedup (whole app)    {:>7.1}%", row.speedup_whole);
+        println!("  speedup (optimized)    {:>7.1}%", row.speedup_opt);
+        println!("  dyn. instructions      {} -> {}", row.base_uops, row.full_uops);
+        println!("  cycles                 {} -> {}", row.base_cycles, row.full_cycles);
+        println!("  DL1 hit rate           {:.4} -> {:.4}", row.dl1_hit.0, row.dl1_hit.1);
+        println!("  L2 hit rate            {:.4} -> {:.4}", row.l2_hit.0, row.l2_hit.1);
+        println!("  DTLB hit rate          {:.4} -> {:.4}", row.dtlb_hit.0, row.dtlb_hit.1);
+        println!("  Class Cache hit rate   {:.5}", row.class_cache_hit);
+        return;
+    }
+    let rows = checkelide_bench::figures::fig89(quick);
+    print!("{}", checkelide_bench::figures::render_fig89(&rows));
+    checkelide_bench::figures::save_json("fig8_fig9", &rows).expect("write results");
+    eprintln!("saved results/fig8_fig9.json");
+}

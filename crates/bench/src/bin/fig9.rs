@@ -1,0 +1,21 @@
+//! Regenerate Figure 9: energy reduction (shares its runs with Figure 8).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = checkelide_bench::figures::fig89(quick);
+    println!("{:<34} {:>12} {:>10}", "benchmark", "energy red.", "(opt)");
+    for r in &rows {
+        println!("{:<34} {:>11.1}% {:>9.1}%", r.name, r.energy_whole, r.energy_opt);
+    }
+    let n = rows.len() as f64;
+    if n > 0.0 {
+        println!(
+            "{:<34} {:>11.1}% {:>9.1}%   (paper: 4.5% / 6.5%)",
+            "overall average",
+            rows.iter().map(|r| r.energy_whole).sum::<f64>() / n,
+            rows.iter().map(|r| r.energy_opt).sum::<f64>() / n,
+        );
+    }
+    checkelide_bench::figures::save_json("fig8_fig9", &rows).expect("write results");
+    eprintln!("saved results/fig8_fig9.json");
+}

@@ -1,0 +1,21 @@
+//! §5.4 hardware cost: Class Cache storage and core-area fraction.
+
+use checkelide_core::classcache::ClassCacheConfig;
+use checkelide_core::hwcost;
+
+fn main() {
+    let cfg = ClassCacheConfig::default();
+    let bits = hwcost::class_cache_storage_bits(&cfg);
+    let bytes = hwcost::class_cache_storage_bytes(&cfg);
+    println!("Class Cache ({} entries, {}-way):", cfg.entries, cfg.ways);
+    println!("  storage            {bits} bits = {bytes} bytes");
+    println!("  paper's claim      < 1.5 KB ({})", if bytes < 1536 { "HOLDS" } else { "VIOLATED" });
+    println!("  core-area fraction {:.4}% (paper: < 0.04%)", 100.0 * hwcost::core_area_fraction(&cfg));
+    println!("  special registers  {} bits (regObjectClassId + regArrayObjectClassId0-3)",
+             hwcost::special_register_bits());
+    println!("\nScaling:");
+    for entries in [32usize, 64, 128, 256, 512] {
+        let c = ClassCacheConfig { entries, ways: 2 };
+        println!("  {:>4} entries: {:>5} bytes", entries, hwcost::class_cache_storage_bytes(&c));
+    }
+}

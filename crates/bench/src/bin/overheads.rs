@@ -1,0 +1,16 @@
+//! §5.3 incurred overheads: warm-up, Class Cache hit rates, larger
+//! objects, line-0 access fraction.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = checkelide_bench::figures::overheads(quick);
+    print!("{}", checkelide_bench::figures::render_overheads(&rows));
+    let avg_hit =
+        rows.iter().map(|r| r.cc_hit_rate).sum::<f64>() / rows.len().max(1) as f64;
+    let avg_line0 =
+        rows.iter().map(|r| r.line0_frac).sum::<f64>() / rows.len().max(1) as f64;
+    println!("\naverage Class Cache hit rate: {:.3}% (paper: >99.9%)", 100.0 * avg_hit);
+    println!("average line-0 access share : {:.1}% (paper: 79%)", 100.0 * avg_line0);
+    checkelide_bench::figures::save_json("overheads", &rows).expect("write results");
+    eprintln!("saved results/overheads.json");
+}

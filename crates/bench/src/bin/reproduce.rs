@@ -1,0 +1,34 @@
+//! Run every experiment in the paper and save all results under
+//! `results/`. Pass `--quick` for a reduced-scale smoke run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let f = checkelide_bench::figures::save_json::<Vec<checkelide_bench::figures::Fig1Row>>;
+
+    println!("=== Figure 1: dynamic instruction breakdown ===");
+    let rows = checkelide_bench::figures::fig1(quick);
+    print!("{}", checkelide_bench::figures::render_fig1(&rows));
+    f("fig1", &rows).expect("save");
+
+    println!("\n=== Figure 2: checks/untags after object loads ===");
+    let rows = checkelide_bench::figures::fig2(quick);
+    print!("{}", checkelide_bench::figures::render_fig2(&rows));
+    checkelide_bench::figures::save_json("fig2", &rows).expect("save");
+
+    println!("\n=== Figure 3: monomorphic object loads ===");
+    let rows = checkelide_bench::figures::fig3(quick);
+    print!("{}", checkelide_bench::figures::render_fig3(&rows));
+    checkelide_bench::figures::save_json("fig3", &rows).expect("save");
+
+    println!("\n=== Figures 8 & 9: speedup and energy ===");
+    let rows = checkelide_bench::figures::fig89(quick);
+    print!("{}", checkelide_bench::figures::render_fig89(&rows));
+    checkelide_bench::figures::save_json("fig8_fig9", &rows).expect("save");
+
+    println!("\n=== §5.3 overheads ===");
+    let rows = checkelide_bench::figures::overheads(quick);
+    print!("{}", checkelide_bench::figures::render_overheads(&rows));
+    checkelide_bench::figures::save_json("overheads", &rows).expect("save");
+
+    println!("\nAll results saved under results/.");
+}

@@ -1,0 +1,25 @@
+//! Debugging aid: stall-cause breakdown from the timing model for one
+//! benchmark, baseline vs full mechanism.
+//!
+//!     cargo run --release -p checkelide-bench --bin diag3 -- <benchmark>
+
+fn main() {
+    use checkelide_bench::{find, run_benchmark, RunConfig};
+    let name = std::env::args().nth(1).unwrap_or_else(|| "ai-astar".into());
+    let b = find(&name).expect("unknown benchmark");
+    for (label, cfg) in
+        [("base", RunConfig::baseline_timed()), ("full", RunConfig::mechanism_timed())]
+    {
+        let s = run_benchmark(b, cfg).sim.expect("timed run");
+        println!(
+            "{label}: uops={} cycles={} ipc={:.2} fetch_stall={} src_wait={} window_wait={} mem_wait={}",
+            s.uops,
+            s.cycles,
+            s.ipc(),
+            s.fetch_stall,
+            s.src_wait,
+            s.window_wait,
+            s.mem_wait
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Regenerate Table 1: an example Class List for the paper's GraphNode /
+//! NodeList shapes (the ai-astar object model).
+
+use checkelide_engine::{EngineConfig, Mechanism, Vm};
+use checkelide_isa::NullSink;
+use checkelide_opt::install_optimizer;
+
+const PROGRAM: &str = "
+function ClassPosition(x, y) { this.px = x; this.py = y; }
+function GraphNode(i) {
+    // Nine properties: two cache lines, as in Table 1.
+    this.p1 = i; this.p2 = i; this.p3 = i; this.p4 = i; this.p5 = i;
+    this.position = new ClassPosition(i, i + 1);
+    this.p7 = i; this.p8 = i; this.p9 = i;
+}
+function NodeList() { this.a = 0; this.b = 0; this.c = 0; this.d = 0; }
+function findGraphNode(list, n, key) {
+    for (var i = 0; i < n; i++) {
+        var node = list[i];
+        if (node.position.px == key) return node;
+    }
+    return list[0];
+}
+var list = new NodeList();
+for (var i = 0; i < 40; i++) list[i] = new GraphNode(i);
+function bench(scale) {
+    var acc = 0;
+    for (var r = 0; r < scale * 40; r++) acc += findGraphNode(list, 40, r % 40).p1;
+    return acc;
+}
+";
+
+fn main() {
+    let mut vm = Vm::new(EngineConfig { mechanism: Mechanism::Full, ..EngineConfig::default() });
+    install_optimizer(&mut vm);
+    let mut sink = NullSink::new();
+    vm.run_program(PROGRAM, &mut sink).expect("setup");
+    for _ in 0..10 {
+        vm.call_global("bench", &[checkelide_runtime::Value::smi(4)], &mut sink)
+            .expect("bench");
+    }
+    println!("Table 1 — Class List contents (GraphNode / NodeList example):\n");
+    let table = vm.class_list.render_table(|c| vm.rt.maps.label_of_class(c));
+    // Show only rows for the example's classes, mirroring the paper.
+    for line in table.lines() {
+        if line.contains("GraphNode") || line.contains("NodeList") || line.contains("ClassID") {
+            println!("{line}");
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Print Table 2: the simulated microarchitecture configuration.
+
+fn main() {
+    println!("Table 2 — Simulated micro-architecture configuration:\n");
+    print!("{}", checkelide_uarch::CoreConfig::nehalem().table2());
+}

@@ -1,0 +1,506 @@
+//! Figure/table drivers: one function per experiment in the paper.
+//!
+//! Each driver returns serializable row structures (written as JSON under
+//! `results/` by the binaries) and has a text renderer mirroring the
+//! paper's presentation. `quick` mode shrinks workloads for CI/tests.
+
+use crate::runner::{run_benchmark, RunConfig, RunOutput};
+use crate::suite::{selected, Benchmark, Suite, BENCHMARKS};
+use serde::Serialize;
+
+fn cfg_scale(b: &Benchmark, quick: bool) -> i32 {
+    if quick {
+        (b.scale / 6).max(2)
+    } else {
+        b.scale
+    }
+}
+
+fn iters(quick: bool) -> u32 {
+    if quick {
+        4
+    } else {
+        10
+    }
+}
+
+/// Figure 1 row: the dynamic-instruction breakdown (percent).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Suite name.
+    pub suite: String,
+    /// Checks %.
+    pub checks: f64,
+    /// Tags/Untags %.
+    pub tags_untags: f64,
+    /// Math assumptions %.
+    pub math_assumptions: f64,
+    /// Other optimized code %.
+    pub other_optimized: f64,
+    /// Rest of code %.
+    pub rest_of_code: f64,
+}
+
+/// Run the Figure 1 characterization (all benchmarks, ProfileOnly).
+pub fn fig1(quick: bool) -> Vec<Fig1Row> {
+    BENCHMARKS
+        .iter()
+        .map(|b| {
+            let out = run_benchmark(
+                b,
+                RunConfig::characterize()
+                    .with_scale(cfg_scale(b, quick))
+                    .with_iterations(iters(quick)),
+            );
+            let row = out.counters.fig1_row();
+            Fig1Row {
+                name: b.name.to_string(),
+                suite: b.suite.name().to_string(),
+                checks: row[0],
+                tags_untags: row[1],
+                math_assumptions: row[2],
+                other_optimized: row[3],
+                rest_of_code: row[4],
+            }
+        })
+        .collect()
+}
+
+/// Render Figure 1 as an aligned table.
+pub fn render_fig1(rows: &[Fig1Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<34} {:>7} {:>11} {:>9} {:>10} {:>8}",
+        "benchmark", "Checks", "Tags/Untags", "MathAssm", "OtherOpt", "Rest"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>6.1}% {:>10.1}% {:>8.1}% {:>9.1}% {:>7.1}%",
+            r.name, r.checks, r.tags_untags, r.math_assumptions, r.other_optimized, r.rest_of_code
+        );
+    }
+    for suite in [Suite::Octane, Suite::SunSpider, Suite::Kraken] {
+        let sel: Vec<&Fig1Row> =
+            rows.iter().filter(|r| r.suite == suite.name()).collect();
+        if sel.is_empty() {
+            continue;
+        }
+        let n = sel.len() as f64;
+        let _ = writeln!(
+            out,
+            "{:<34} {:>6.1}% {:>10.1}% {:>8.1}% {:>9.1}% {:>7.1}%",
+            format!("{} average", suite.name()),
+            sel.iter().map(|r| r.checks).sum::<f64>() / n,
+            sel.iter().map(|r| r.tags_untags).sum::<f64>() / n,
+            sel.iter().map(|r| r.math_assumptions).sum::<f64>() / n,
+            sel.iter().map(|r| r.other_optimized).sum::<f64>() / n,
+            sel.iter().map(|r| r.rest_of_code).sum::<f64>() / n,
+        );
+    }
+    out
+}
+
+/// Figure 2 row: check/untag overhead after object loads (percent of
+/// dynamic instructions).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Suite.
+    pub suite: String,
+    /// Whole-application percentage.
+    pub whole: f64,
+    /// Optimized-code-only percentage.
+    pub optimized: f64,
+    /// Whether this crosses the paper's 1 % selection threshold.
+    pub selected_by_threshold: bool,
+}
+
+/// Run the Figure 2 characterization.
+pub fn fig2(quick: bool) -> Vec<Fig2Row> {
+    BENCHMARKS
+        .iter()
+        .map(|b| {
+            let out = run_benchmark(
+                b,
+                RunConfig::characterize()
+                    .with_scale(cfg_scale(b, quick))
+                    .with_iterations(iters(quick)),
+            );
+            let whole = out.counters.fig2_whole_pct();
+            Fig2Row {
+                name: b.name.to_string(),
+                suite: b.suite.name().to_string(),
+                whole,
+                optimized: out.counters.fig2_optimized_pct(),
+                selected_by_threshold: whole > 1.0,
+            }
+        })
+        .collect()
+}
+
+/// Render Figure 2.
+pub fn render_fig2(rows: &[Fig2Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<34} {:>10} {:>12}", "benchmark", "whole app", "optimized");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>9.1}% {:>11.1}% {}",
+            r.name,
+            r.whole,
+            r.optimized,
+            if r.selected_by_threshold { "*" } else { "" }
+        );
+    }
+    let sel: Vec<&Fig2Row> = rows.iter().filter(|r| r.selected_by_threshold).collect();
+    if !sel.is_empty() {
+        let n = sel.len() as f64;
+        let _ = writeln!(
+            out,
+            "{:<34} {:>9.1}% {:>11.1}%   (paper: 10.7% / 15.9%)",
+            format!("selected average ({} benchmarks)", sel.len()),
+            sel.iter().map(|r| r.whole).sum::<f64>() / n,
+            sel.iter().map(|r| r.optimized).sum::<f64>() / n,
+        );
+    }
+    out
+}
+
+/// Figure 3 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3RowOut {
+    /// Benchmark name.
+    pub name: String,
+    /// Suite.
+    pub suite: String,
+    /// Monomorphic named-property loads (% of object loads).
+    pub mono_properties: f64,
+    /// Monomorphic elements-array loads (%).
+    pub mono_elements: f64,
+    /// Non-monomorphic property loads (%).
+    pub poly_properties: f64,
+    /// Non-monomorphic elements loads (%).
+    pub poly_elements: f64,
+}
+
+/// Run Figure 3 over the selected benchmarks.
+pub fn fig3(quick: bool) -> Vec<Fig3RowOut> {
+    selected()
+        .map(|b| {
+            let out = run_benchmark(
+                b,
+                RunConfig::characterize()
+                    .with_scale(cfg_scale(b, quick))
+                    .with_iterations(iters(quick)),
+            );
+            Fig3RowOut {
+                name: b.name.to_string(),
+                suite: b.suite.name().to_string(),
+                mono_properties: out.fig3.mono_properties,
+                mono_elements: out.fig3.mono_elements,
+                poly_properties: out.fig3.poly_properties,
+                poly_elements: out.fig3.poly_elements,
+            }
+        })
+        .collect()
+}
+
+/// Render Figure 3.
+pub fn render_fig3(rows: &[Fig3RowOut]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<34} {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "benchmark", "mono prop", "mono elem", "poly prop", "poly elem", "mono"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}% {:>6.1}%",
+            r.name,
+            r.mono_properties,
+            r.mono_elements,
+            r.poly_properties,
+            r.poly_elements,
+            r.mono_properties + r.mono_elements,
+        );
+    }
+    let n = rows.len() as f64;
+    if n > 0.0 {
+        let mono = rows.iter().map(|r| r.mono_properties + r.mono_elements).sum::<f64>() / n;
+        let _ = writeln!(out, "{:<34} {:>52.1}%  (paper: 66%)", "average monomorphic", mono);
+    }
+    out
+}
+
+/// Figure 8 + Figure 9 row (the runs are shared).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig89Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Suite.
+    pub suite: String,
+    /// Whole-application speedup (%).
+    pub speedup_whole: f64,
+    /// Optimized-code speedup (%).
+    pub speedup_opt: f64,
+    /// Whole-application energy reduction (%).
+    pub energy_whole: f64,
+    /// Optimized-code energy reduction (%).
+    pub energy_opt: f64,
+    /// Baseline dynamic µops (measured iteration).
+    pub base_uops: u64,
+    /// Mechanism dynamic µops.
+    pub full_uops: u64,
+    /// Baseline cycles.
+    pub base_cycles: u64,
+    /// Mechanism cycles.
+    pub full_cycles: u64,
+    /// DL1 hit-rate: baseline → mechanism.
+    pub dl1_hit: (f64, f64),
+    /// L2 hit-rate: baseline → mechanism.
+    pub l2_hit: (f64, f64),
+    /// DTLB hit-rate: baseline → mechanism.
+    pub dtlb_hit: (f64, f64),
+    /// Class Cache hit rate on the mechanism run.
+    pub class_cache_hit: f64,
+}
+
+/// Run Figures 8 and 9 over the selected benchmarks.
+pub fn fig89(quick: bool) -> Vec<Fig89Row> {
+    selected().map(|b| fig89_one(b, quick)).collect()
+}
+
+/// Run Figures 8/9 for one benchmark.
+pub fn fig89_one(b: &Benchmark, quick: bool) -> Fig89Row {
+    let base = run_benchmark(
+        b,
+        RunConfig::baseline_timed()
+            .with_scale(cfg_scale(b, quick))
+            .with_iterations(iters(quick)),
+    );
+    let full = run_benchmark(
+        b,
+        RunConfig::mechanism_timed()
+            .with_scale(cfg_scale(b, quick))
+            .with_iterations(iters(quick)),
+    );
+    assert_eq!(
+        base.checksum, full.checksum,
+        "{}: mechanism changed program semantics",
+        b.name
+    );
+    let bs = base.sim.as_ref().expect("timed");
+    let fs = full.sim.as_ref().expect("timed");
+    Fig89Row {
+        name: b.name.to_string(),
+        suite: b.suite.name().to_string(),
+        speedup_whole: bs.speedup_pct_over(fs),
+        speedup_opt: bs.speedup_opt_pct_over(fs),
+        energy_whole: bs.energy_reduction_pct(fs),
+        energy_opt: bs.energy_reduction_opt_pct(fs),
+        base_uops: base.uops,
+        full_uops: full.uops,
+        base_cycles: bs.cycles,
+        full_cycles: fs.cycles,
+        dl1_hit: (bs.dl1.hit_rate(), fs.dl1.hit_rate()),
+        l2_hit: (bs.l2.hit_rate(), fs.l2.hit_rate()),
+        dtlb_hit: (bs.dtlb.hit_rate(), fs.dtlb.hit_rate()),
+        class_cache_hit: full.class_cache.hit_rate(),
+    }
+}
+
+/// Render Figure 8 (speedup) and Figure 9 (energy).
+pub fn render_fig89(rows: &[Fig89Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<34} {:>11} {:>9} | {:>12} {:>10}",
+        "benchmark", "speedup", "(opt)", "energy red.", "(opt)"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>10.1}% {:>8.1}% | {:>11.1}% {:>9.1}%",
+            r.name, r.speedup_whole, r.speedup_opt, r.energy_whole, r.energy_opt
+        );
+    }
+    for suite in [Suite::Octane, Suite::SunSpider, Suite::Kraken] {
+        let sel: Vec<&Fig89Row> = rows.iter().filter(|r| r.suite == suite.name()).collect();
+        if sel.is_empty() {
+            continue;
+        }
+        let n = sel.len() as f64;
+        let _ = writeln!(
+            out,
+            "{:<34} {:>10.1}% {:>8.1}% | {:>11.1}% {:>9.1}%",
+            format!("{} average", suite.name()),
+            sel.iter().map(|r| r.speedup_whole).sum::<f64>() / n,
+            sel.iter().map(|r| r.speedup_opt).sum::<f64>() / n,
+            sel.iter().map(|r| r.energy_whole).sum::<f64>() / n,
+            sel.iter().map(|r| r.energy_opt).sum::<f64>() / n,
+        );
+    }
+    let n = rows.len() as f64;
+    if n > 0.0 {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>10.1}% {:>8.1}% | {:>11.1}% {:>9.1}%   (paper: 5% / 7.1% | 4.5% / 6.5%)",
+            "overall average",
+            rows.iter().map(|r| r.speedup_whole).sum::<f64>() / n,
+            rows.iter().map(|r| r.speedup_opt).sum::<f64>() / n,
+            rows.iter().map(|r| r.energy_whole).sum::<f64>() / n,
+            rows.iter().map(|r| r.energy_opt).sum::<f64>() / n,
+        );
+    }
+    out
+}
+
+/// §5.3 overhead row.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Hidden classes created (§5.3.1 warm-up ∝ this; paper: ≤32 for all
+    /// but box2d/raytrace).
+    pub hidden_classes: usize,
+    /// Class Cache accesses on the measured iteration.
+    pub cc_accesses: u64,
+    /// Class Cache hit rate (§5.3.2–5.3.3; paper: >99.9 %).
+    pub cc_hit_rate: f64,
+    /// Objects allocated.
+    pub objects: u64,
+    /// Fraction of objects with more than one cache line (§5.3.4).
+    pub multi_line_frac: f64,
+    /// Memory increase from per-line headers, over multi-line objects'
+    /// words (paper: 7–11 %).
+    pub mem_increase_pct: f64,
+    /// Fraction of property accesses hitting line 0 (paper: 79 %).
+    pub line0_frac: f64,
+}
+
+/// Run the §5.3 overheads analysis over the selected benchmarks.
+pub fn overheads(quick: bool) -> Vec<OverheadRow> {
+    selected()
+        .map(|b| {
+            let out = run_benchmark(
+                b,
+                RunConfig::mechanism_timed()
+                    .with_scale(cfg_scale(b, quick))
+                    .with_iterations(iters(quick)),
+            );
+            overhead_row(b.name, &out)
+        })
+        .collect()
+}
+
+fn overhead_row(name: &str, out: &RunOutput) -> OverheadRow {
+    let st = &out.obj_stats;
+    let line_total = out.vm_stats.line0_accesses + out.vm_stats.linen_accesses;
+    OverheadRow {
+        name: name.to_string(),
+        hidden_classes: out.hidden_classes,
+        cc_accesses: out.class_cache.accesses,
+        cc_hit_rate: out.class_cache.hit_rate(),
+        objects: st.objects,
+        multi_line_frac: if st.objects == 0 {
+            0.0
+        } else {
+            st.multi_line_objects as f64 / st.objects as f64
+        },
+        mem_increase_pct: if st.object_words == 0 {
+            0.0
+        } else {
+            100.0 * st.extra_header_words as f64 / st.object_words as f64
+        },
+        line0_frac: if line_total == 0 {
+            1.0
+        } else {
+            out.vm_stats.line0_accesses as f64 / line_total as f64
+        },
+    }
+}
+
+/// Render the overheads table.
+pub fn render_overheads(rows: &[OverheadRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<34} {:>8} {:>12} {:>9} {:>10} {:>9} {:>8}",
+        "benchmark", "classes", "cc accesses", "cc hit%", "multiline%", "mem+%", "line0%"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>8} {:>12} {:>8.2}% {:>9.1}% {:>8.1}% {:>7.1}%",
+            r.name,
+            r.hidden_classes,
+            r.cc_accesses,
+            100.0 * r.cc_hit_rate,
+            100.0 * r.multi_line_frac,
+            r.mem_increase_pct,
+            100.0 * r.line0_frac,
+        );
+    }
+    out
+}
+
+/// Save any serializable result set as JSON under `results/`.
+///
+/// # Errors
+///
+/// I/O errors from creating the directory or writing the file.
+pub fn save_json<T: Serialize>(name: &str, rows: &T) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    let path = format!("results/{name}.json");
+    let json = serde_json::to_string_pretty(rows)?;
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::find;
+
+    #[test]
+    fn fig89_one_quick_is_consistent() {
+        let b = find("richards").expect("registered");
+        let row = fig89_one(b, true);
+        assert_eq!(row.name, "richards");
+        assert!(row.base_uops > 0 && row.full_uops > 0);
+        assert!(row.base_cycles > 0 && row.full_cycles > 0);
+        assert!(row.class_cache_hit > 0.9);
+    }
+
+    #[test]
+    fn renderers_are_total() {
+        let rows = vec![Fig1Row {
+            name: "x".into(),
+            suite: "Octane".into(),
+            checks: 5.0,
+            tags_untags: 4.0,
+            math_assumptions: 1.0,
+            other_optimized: 40.0,
+            rest_of_code: 50.0,
+        }];
+        assert!(render_fig1(&rows).contains("Octane average"));
+        let rows = vec![Fig2Row {
+            name: "x".into(),
+            suite: "Kraken".into(),
+            whole: 12.0,
+            optimized: 20.0,
+            selected_by_threshold: true,
+        }];
+        assert!(render_fig2(&rows).contains("selected average"));
+    }
+}

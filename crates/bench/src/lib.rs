@@ -1,0 +1,17 @@
+//! Benchmarks and the experiment harness.
+//!
+//! * [`suite`] — 33 njs kernels modelled on the paper's Octane / Kraken /
+//!   SunSpider benchmarks (26 "selected" ones reproduce Figures 3/8/9;
+//!   the rest pad Figures 1–2 with the low-overhead population).
+//! * [`runner`] — the steady-state protocol: ten iterations, statistics
+//!   from the tenth (§5).
+//! * [`figures`] — drivers that regenerate every table and figure of the
+//!   paper; see the `fig1`…`fig9`, `table1`, `table2`, `overheads`,
+//!   `hwcost` and `reproduce` binaries.
+
+pub mod figures;
+pub mod runner;
+pub mod suite;
+
+pub use runner::{run_benchmark, RunConfig, RunOutput};
+pub use suite::{find, selected, Benchmark, Suite, BENCHMARKS};

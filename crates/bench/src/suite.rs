@@ -1,0 +1,134 @@
+//! The benchmark registry: njs kernels modelled on the paper's selected
+//! Octane / Kraken / SunSpider benchmarks (see DESIGN.md for the
+//! substitution rationale). Each program defines `function bench(scale)`
+//! returning a checksum value; top-level code performs one-time setup.
+
+/// Which suite a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Octane analogs.
+    Octane,
+    /// SunSpider analogs.
+    SunSpider,
+    /// Kraken analogs.
+    Kraken,
+}
+
+impl Suite {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Octane => "Octane",
+            Suite::SunSpider => "SunSpider",
+            Suite::Kraken => "Kraken",
+        }
+    }
+}
+
+/// One benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// Paper benchmark name.
+    pub name: &'static str,
+    /// Suite.
+    pub suite: Suite,
+    /// njs source (defines `bench`).
+    pub source: &'static str,
+    /// Default scale passed to `bench(scale)`.
+    pub scale: i32,
+    /// Whether the paper selects it for Figures 3/8/9 (> 1 % overhead
+    /// from checks after object loads).
+    pub selected: bool,
+}
+
+macro_rules! bench {
+    ($name:literal, $suite:ident, $file:literal, $scale:literal, $selected:literal) => {
+        Benchmark {
+            name: $name,
+            suite: Suite::$suite,
+            source: include_str!(concat!("../programs/", $file)),
+            scale: $scale,
+            selected: $selected,
+        }
+    };
+}
+
+/// All implemented benchmarks, in the paper's figure order.
+pub static BENCHMARKS: &[Benchmark] = &[
+    // Octane analogs.
+    bench!("box2d", Octane, "box2d.js", 24, true),
+    bench!("crypto", Octane, "crypto.js", 18, true),
+    bench!("deltablue", Octane, "deltablue.js", 28, true),
+    bench!("earley-boyer", Octane, "earley_boyer.js", 12, true),
+    bench!("gbemu", Octane, "gbemu.js", 26, true),
+    bench!("mandreel", Octane, "mandreel.js", 40, true),
+    bench!("pdfjs", Octane, "pdfjs.js", 24, true),
+    bench!("raytrace", Octane, "raytrace.js", 14, true),
+    bench!("richards", Octane, "richards.js", 80, true),
+    bench!("navier-stokes", Octane, "navier_stokes.js", 26, false),
+    bench!("splay", Octane, "splay.js", 60, false),
+    bench!("regexp", Octane, "regexp.js", 24, false),
+    bench!("zlib", Octane, "zlib.js", 12, false),
+    // SunSpider analogs.
+    bench!("3d-cube", SunSpider, "cube3d.js", 24, true),
+    bench!("3d-raytrace", SunSpider, "raytrace3d.js", 10, true),
+    bench!("access-binary-trees", SunSpider, "binary_trees.js", 8, true),
+    bench!("access-fannkuch", SunSpider, "fannkuch.js", 7, true),
+    bench!("access-nbody", SunSpider, "nbody.js", 160, true),
+    bench!("crypto-aes", SunSpider, "aes.js", 10, true),
+    bench!("date-format-tofte", SunSpider, "date_format.js", 120, true),
+    bench!("math-spectral-norm", SunSpider, "spectral_norm.js", 8, true),
+    bench!("string-unpack-code", SunSpider, "unpack_code.js", 16, true),
+    bench!("bitops-bits-in-byte", SunSpider, "bits_in_byte.js", 60, false),
+    bench!("math-cordic", SunSpider, "cordic.js", 120, false),
+    bench!("string-base64", SunSpider, "base64.js", 20, false),
+    // Kraken analogs.
+    bench!("ai-astar", Kraken, "astar.js", 3, true),
+    bench!("audio-beat-detection", Kraken, "beat_detection.js", 16, true),
+    bench!("audio-oscillator", Kraken, "oscillator.js", 18, true),
+    bench!("imaging-gaussian-blur", Kraken, "gaussian_blur.js", 14, true),
+    bench!("stanford-crypto-aes", Kraken, "stanford_aes.js", 9, true),
+    bench!("stanford-crypto-ccm", Kraken, "stanford_ccm.js", 7, true),
+    bench!("stanford-crypto-pbkdf2", Kraken, "pbkdf2.js", 5, true),
+    bench!("stanford-crypto-sha256-iterative", Kraken, "sha256.js", 16, true),
+];
+
+/// Look up a benchmark by name.
+pub fn find(name: &str) -> Option<&'static Benchmark> {
+    BENCHMARKS.iter().find(|b| b.name == name)
+}
+
+/// The paper's selected subset (Figures 3, 8 and 9).
+pub fn selected() -> impl Iterator<Item = &'static Benchmark> {
+    BENCHMARKS.iter().filter(|b| b.selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_shape() {
+        assert!(BENCHMARKS.len() >= 30);
+        assert_eq!(selected().count(), 26, "paper's Fig. 8 selects 26 benchmarks");
+        assert!(find("ai-astar").is_some());
+        assert!(find("nope").is_none());
+        // Names are unique.
+        let mut names: Vec<_> = BENCHMARKS.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BENCHMARKS.len());
+    }
+
+    #[test]
+    fn sources_define_bench() {
+        for b in BENCHMARKS {
+            assert!(
+                b.source.contains("function bench("),
+                "{} must define bench(scale)",
+                b.name
+            );
+            assert!(b.scale > 0);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Every benchmark must run to completion under all three configurations
+//! with identical checksums, and must exercise the machinery it claims to
+//! (object loads for the selected set, Class Cache traffic in Full mode).
+
+use checkelide_bench::{RunConfig, BENCHMARKS};
+use checkelide_engine::Mechanism;
+
+fn quick(mech: Mechanism, opt: bool) -> RunConfig {
+    RunConfig {
+        mechanism: mech,
+        opt,
+        iterations: 3,
+        scale: Some(2),
+        timing: false,
+        class_cache: checkelide_core::classcache::ClassCacheConfig::default(),
+    }
+}
+
+#[test]
+fn all_benchmarks_agree_across_configurations() {
+    for b in BENCHMARKS {
+        let base = checkelide_bench::run_benchmark(b, quick(Mechanism::Off, false));
+        let opt = checkelide_bench::run_benchmark(b, quick(Mechanism::ProfileOnly, true));
+        let full = checkelide_bench::run_benchmark(b, quick(Mechanism::Full, true));
+        assert_eq!(
+            base.checksum, opt.checksum,
+            "{}: baseline vs optimized checksum mismatch",
+            b.name
+        );
+        assert_eq!(
+            base.checksum, full.checksum,
+            "{}: baseline vs full-mechanism checksum mismatch",
+            b.name
+        );
+        assert!(base.uops > 10_000, "{}: workload too small ({} µops)", b.name, base.uops);
+        assert!(
+            opt.vm_stats.opt_entries > 0,
+            "{}: the optimizing tier never ran",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn selected_benchmarks_profile_object_loads() {
+    for b in checkelide_bench::selected() {
+        let out = checkelide_bench::run_benchmark(b, quick(Mechanism::ProfileOnly, true));
+        let mono = out.fig3.mono_total();
+        assert!(
+            out.fig3.mono_properties + out.fig3.poly_properties > 0.0
+                || out.fig3.mono_elements + out.fig3.poly_elements > 0.0,
+            "{}: no object loads recorded",
+            b.name
+        );
+        assert!(
+            (0.0..=100.0).contains(&mono),
+            "{}: bad Figure 3 row {:?}",
+            b.name,
+            out.fig3
+        );
+    }
+}
+
+#[test]
+fn full_mechanism_reaches_class_cache_with_high_hit_rate() {
+    for b in checkelide_bench::selected() {
+        let out = checkelide_bench::run_benchmark(b, quick(Mechanism::Full, true));
+        assert!(out.class_cache.accesses > 0, "{}: no Class Cache traffic", b.name);
+        assert!(
+            out.class_cache.hit_rate() > 0.95,
+            "{}: Class Cache hit rate {:.4} (paper: >0.999 at full scale)",
+            b.name,
+            out.class_cache.hit_rate()
+        );
+    }
+}
+
+#[test]
+fn hidden_class_counts_match_papers_warmup_claim() {
+    // Paper §5.3.1: benchmarks use ≤32 hidden classes except box2d and
+    // raytrace. Our runtime preinstalls ~15 fixed/builtin maps, so allow
+    // that fixed offset on top of the 32.
+    let fixed_overhead = {
+        let vm = checkelide_engine::Vm::new(checkelide_engine::EngineConfig::default());
+        vm.rt.maps.len()
+    };
+    for b in checkelide_bench::selected() {
+        let out = checkelide_bench::run_benchmark(b, quick(Mechanism::Full, true));
+        let program_classes = out.hidden_classes.saturating_sub(fixed_overhead);
+        if b.name == "box2d" || b.name == "raytrace" {
+            assert!(
+                program_classes > 20,
+                "{}: expected a wide class population, got {program_classes}",
+                b.name
+            );
+        } else {
+            assert!(
+                program_classes <= 40,
+                "{}: {program_classes} hidden classes (paper claims ≤32)",
+                b.name
+            );
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! The Class Cache store-request protocol (§4.2.1.3, Figures 4–6).
+//!
+//! Every `movStoreClassCache` / `movStoreClassCacheArray` instruction sends
+//! a [`StoreRequest`] to the Class Cache in parallel with the DL1 write.
+//! The cache answers with a [`StoreOutcome`]; a
+//! [`StoreOutcome::Misspeculation`] models the hardware exception that the
+//! runtime's exception routine services by deoptimizing the functions in
+//! the slot's FunctionList.
+
+use crate::classid::{ClassId, FuncId};
+
+/// A Class Cache request issued by a special store instruction.
+///
+/// For a `movStoreClassCache` the fields come from the written object's
+/// header (ClassID + Line), the store address bits 3–5 (`pos`), and the
+/// `regObjectClassId` special register (`stored`). For a
+/// `movStoreClassCacheArray`, `line` is fixed to 0 and `pos` to the
+/// elements slot, and the holder ClassID comes from one of the
+/// `regArrayObjectClassId0-3` registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StoreRequest {
+    /// Hidden class of the object that holds the written property (or that
+    /// owns the elements array).
+    pub holder: ClassId,
+    /// Relative cache line within the object.
+    pub line: u8,
+    /// Property position within the line (1..=7; position 2 of line 0 is
+    /// the elements-array profile).
+    pub pos: u8,
+    /// ClassID of the *stored* value (from `regObjectClassId`).
+    pub stored: ClassId,
+}
+
+/// The hardware exception raised when a store breaks the monomorphism of a
+/// slot that at least one function speculated on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MisspeculationException {
+    /// Hidden class of the holder object.
+    pub holder: ClassId,
+    /// Object cache line of the offending slot.
+    pub line: u8,
+    /// Property position of the offending slot.
+    pub pos: u8,
+    /// The class the profile had recorded.
+    pub profiled: ClassId,
+    /// The class actually being stored.
+    pub observed: ClassId,
+    /// Functions that must be deoptimized (the slot's FunctionList).
+    pub functions: Vec<FuncId>,
+}
+
+/// Result of a Class Cache store request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// First write to the slot: class recorded, InitMap bit set.
+    Initialized,
+    /// Stored class matches the profile: nothing changes.
+    Match,
+    /// Stored class differs and the slot *was* monomorphic but unused for
+    /// speculation: ValidMap bit cleared (forever), no exception.
+    Invalidated,
+    /// Stored class differs but the slot was already known polymorphic.
+    Polymorphic,
+    /// Stored class differs and a speculative optimization depended on the
+    /// slot: ValidMap and SpeculateMap cleared, exception raised.
+    Misspeculation(MisspeculationException),
+}
+
+impl StoreOutcome {
+    /// True for the outcomes where monomorphism was lost by this store.
+    pub fn lost_monomorphism(&self) -> bool {
+        matches!(self, StoreOutcome::Invalidated | StoreOutcome::Misspeculation(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lost_monomorphism_classification() {
+        assert!(!StoreOutcome::Initialized.lost_monomorphism());
+        assert!(!StoreOutcome::Match.lost_monomorphism());
+        assert!(!StoreOutcome::Polymorphic.lost_monomorphism());
+        assert!(StoreOutcome::Invalidated.lost_monomorphism());
+        let exc = MisspeculationException {
+            holder: ClassId::new(1).unwrap(),
+            line: 0,
+            pos: 1,
+            profiled: ClassId::SMI,
+            observed: ClassId::new(2).unwrap(),
+            functions: vec![],
+        };
+        assert!(StoreOutcome::Misspeculation(exc).lost_monomorphism());
+    }
+}

@@ -1,0 +1,83 @@
+//! The special registers of §4.2.1.2.
+//!
+//! `movClassID` loads the ClassID of the value about to be stored into
+//! `regObjectClassId`; `movClassIDArray` loads the ClassID of the object
+//! *containing* an elements array into one of four
+//! `regArrayObjectClassId0-3` registers so that the load can be hoisted out
+//! of loops (up to four different arrays per loop).
+
+use crate::classid::ClassId;
+
+/// Number of `regArrayObjectClassId` registers (the paper provides four so
+/// up to four `movClassIDArray` instructions can be hoisted per loop).
+pub const NUM_ARRAY_CLASS_REGS: usize = 4;
+
+/// The architectural special-register file added by the mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecialRegs {
+    /// `regObjectClassId`: ClassID of the value consumed by the next
+    /// `movStoreClassCache{,Array}`.
+    pub object_class: ClassId,
+    /// `regArrayObjectClassId0-3`: ClassIDs of array-holder objects.
+    pub array_object_class: [ClassId; NUM_ARRAY_CLASS_REGS],
+}
+
+impl Default for SpecialRegs {
+    fn default() -> Self {
+        SpecialRegs {
+            object_class: ClassId::SMI,
+            array_object_class: [ClassId::SMI; NUM_ARRAY_CLASS_REGS],
+        }
+    }
+}
+
+impl SpecialRegs {
+    /// Fresh register file (contents architecturally undefined; we use SMI).
+    pub fn new() -> SpecialRegs {
+        SpecialRegs::default()
+    }
+
+    /// Execute `movClassID`: latch the stored value's ClassID.
+    pub fn mov_class_id(&mut self, class: ClassId) {
+        self.object_class = class;
+    }
+
+    /// Execute `movClassIDArray reg_ix`: latch an array-holder ClassID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg_ix >= 4` (architecturally invalid encoding).
+    pub fn mov_class_id_array(&mut self, reg_ix: usize, class: ClassId) {
+        assert!(reg_ix < NUM_ARRAY_CLASS_REGS, "invalid regArrayObjectClassId index");
+        self.array_object_class[reg_ix] = class;
+    }
+
+    /// Read `regArrayObjectClassIdN` as consumed by
+    /// `movStoreClassCacheArray`.
+    pub fn array_class(&self, reg_ix: usize) -> ClassId {
+        self.array_object_class[reg_ix]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_and_read() {
+        let mut regs = SpecialRegs::new();
+        let c = ClassId::new(10).unwrap();
+        regs.mov_class_id(c);
+        assert_eq!(regs.object_class, c);
+        regs.mov_class_id_array(2, c);
+        assert_eq!(regs.array_class(2), c);
+        assert_eq!(regs.array_class(0), ClassId::SMI);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid regArrayObjectClassId")]
+    fn bad_register_index_panics() {
+        let mut regs = SpecialRegs::new();
+        regs.mov_class_id_array(4, ClassId::SMI);
+    }
+}

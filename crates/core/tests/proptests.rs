@@ -1,0 +1,140 @@
+//! Property-based tests for the Class List / Class Cache mechanism.
+
+use checkelide_core::{
+    ClassCache, ClassCacheConfig, ClassId, ClassList, FuncId, StoreOutcome, StoreRequest,
+};
+use proptest::prelude::*;
+
+fn arb_class() -> impl Strategy<Value = ClassId> {
+    prop_oneof![
+        (0u8..32).prop_map(|c| ClassId::new(c).unwrap()),
+        Just(ClassId::SMI),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = StoreRequest> {
+    (arb_class(), 0u8..3, 1u8..8, arb_class()).prop_map(|(holder, line, pos, stored)| {
+        StoreRequest { holder, line, pos, stored }
+    })
+}
+
+proptest! {
+    /// The Class Cache is a pure cache: for any request sequence, the
+    /// outcomes match a cache-less Class List reference model, and the
+    /// final Class List state is identical.
+    #[test]
+    fn class_cache_equals_reference_model(reqs in proptest::collection::vec(arb_request(), 1..300)) {
+        let mut ref_list = ClassList::new();
+        let mut cached_list = ClassList::new();
+        let mut cache = ClassCache::new(ClassCacheConfig { entries: 8, ways: 2 });
+        for r in &reqs {
+            let a = ref_list.profile_store(r);
+            let b = cache.store_request(r, &mut cached_list);
+            prop_assert_eq!(a, b);
+        }
+        for class_raw in 0..=255u8 {
+            let Some(class) = ClassId::new(class_raw) else { continue };
+            for line in 0..3u8 {
+                let x = ref_list.entry(class, line).map(|e| (e.init_map, e.valid_map, e.props));
+                let y = cached_list.entry(class, line).map(|e| (e.init_map, e.valid_map, e.props));
+                prop_assert_eq!(x, y);
+            }
+        }
+    }
+
+    /// Monomorphism is sticky: once a slot reports non-monomorphic, no
+    /// later store sequence can make it monomorphic again.
+    #[test]
+    fn invalidation_is_permanent(reqs in proptest::collection::vec(arb_request(), 1..300)) {
+        let mut list = ClassList::new();
+        let mut dead: Vec<(ClassId, u8, u8)> = Vec::new();
+        for r in &reqs {
+            let _ = list.profile_store(r);
+            for &(c, l, p) in &dead {
+                prop_assert!(list.monomorphic_class(c, l, p).is_none(),
+                    "slot ({c}, {l}, {p}) resurrected");
+            }
+            if list.monomorphic_class(r.holder, r.line, r.pos).is_none() {
+                dead.push((r.holder, r.line, r.pos));
+            }
+        }
+    }
+
+    /// A slot reports monomorphic iff every store it received used one
+    /// single class.
+    #[test]
+    fn monomorphism_reflects_history(reqs in proptest::collection::vec(arb_request(), 1..200)) {
+        let mut list = ClassList::new();
+        for r in &reqs {
+            let _ = list.profile_store(r);
+        }
+        use std::collections::HashMap;
+        let mut history: HashMap<(ClassId, u8, u8), Vec<ClassId>> = HashMap::new();
+        for r in &reqs {
+            history.entry((r.holder, r.line, r.pos)).or_default().push(r.stored);
+        }
+        for ((c, l, p), stores) in history {
+            let mono = list.monomorphic_class(c, l, p);
+            let uniform = stores.iter().all(|&s| s == stores[0]);
+            if uniform {
+                prop_assert_eq!(mono, Some(stores[0]));
+            } else {
+                prop_assert_eq!(mono, None);
+            }
+        }
+    }
+
+    /// Misspeculation exceptions fire exactly when a speculated slot loses
+    /// monomorphism, and carry the registered functions.
+    #[test]
+    fn speculation_exceptions_are_precise(
+        reqs in proptest::collection::vec(arb_request(), 1..200),
+        spec_at in 0usize..50,
+    ) {
+        let mut list = ClassList::new();
+        let mut speculated: Option<(ClassId, u8, u8)> = None;
+        for (i, r) in reqs.iter().enumerate() {
+            let outcome = list.profile_store(r);
+            match (&speculated, &outcome) {
+                (Some(s), StoreOutcome::Misspeculation(exc)) => {
+                    prop_assert_eq!((exc.holder, exc.line, exc.pos), *s);
+                    prop_assert_eq!(&exc.functions, &vec![FuncId(1)]);
+                    speculated = None;
+                }
+                (None, StoreOutcome::Misspeculation(_)) => {
+                    prop_assert!(false, "exception without speculation");
+                }
+                (Some(s), _) => {
+                    // While speculated and no exception, the slot must
+                    // still be monomorphic.
+                    prop_assert!(list.monomorphic_class(s.0, s.1, s.2).is_some());
+                }
+                _ => {}
+            }
+            if i == spec_at && speculated.is_none() {
+                if let Some(_c) = list.monomorphic_class(r.holder, r.line, r.pos) {
+                    prop_assert!(list.speculate(r.holder, r.line, r.pos, FuncId(1)));
+                    speculated = Some((r.holder, r.line, r.pos));
+                }
+            }
+        }
+    }
+
+    /// Cache geometry never affects outcomes, only hit rates.
+    #[test]
+    fn geometry_affects_only_hit_rate(reqs in proptest::collection::vec(arb_request(), 1..200)) {
+        let configs = [
+            ClassCacheConfig { entries: 4, ways: 1 },
+            ClassCacheConfig { entries: 8, ways: 2 },
+            ClassCacheConfig { entries: 128, ways: 2 },
+        ];
+        let mut outcomes: Vec<Vec<StoreOutcome>> = Vec::new();
+        for cfg in configs {
+            let mut list = ClassList::new();
+            let mut cache = ClassCache::new(cfg);
+            outcomes.push(reqs.iter().map(|r| cache.store_request(r, &mut list)).collect());
+        }
+        prop_assert_eq!(&outcomes[0], &outcomes[1]);
+        prop_assert_eq!(&outcomes[1], &outcomes[2]);
+    }
+}

@@ -1,0 +1,176 @@
+//! The register-poor, stack-based bytecode executed by the baseline tier
+//! (the Full Codegen analog).
+//!
+//! Every type-sensitive site carries a *feedback slot* index; the baseline
+//! interpreter records inline-cache state there and the optimizing tier
+//! reads it to specialize (§3.2).
+
+use checkelide_runtime::NameId;
+
+/// Index of a feedback slot within a function.
+pub type FbIx = u32;
+
+/// One bytecode instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bc {
+    /// Push a SMI constant.
+    LdaSmi(i32),
+    /// Push a (possibly non-SMI) numeric constant.
+    LdaNum(f64),
+    /// Push an interned string constant (index into the function's string
+    /// constant table).
+    LdaStr(u32),
+    /// Push `true`.
+    LdaTrue,
+    /// Push `false`.
+    LdaFalse,
+    /// Push `null`.
+    LdaNull,
+    /// Push `undefined`.
+    LdaUndef,
+    /// Push `this`.
+    LdaThis,
+    /// Push a function object for function-table entry `ix`.
+    LdaFunc(u32),
+    /// Push local `ix`.
+    LdLocal(u16),
+    /// Pop into local `ix`.
+    StLocal(u16),
+    /// Push global `ix`.
+    LdGlobal(u32),
+    /// Pop into global `ix`.
+    StGlobal(u32),
+    /// Pop object, push `obj.name`.
+    GetProp(NameId, FbIx),
+    /// Pop value then object, store `obj.name = value`, push value.
+    SetProp(NameId, FbIx),
+    /// Pop index then object, push `obj[index]`.
+    GetElem(FbIx),
+    /// Pop value, index, object; store; push value.
+    SetElem(FbIx),
+    /// Binary arithmetic: pop rhs, lhs; push result.
+    Add(FbIx),
+    /// Subtraction.
+    Sub(FbIx),
+    /// Multiplication.
+    Mul(FbIx),
+    /// Division.
+    Div(FbIx),
+    /// Remainder.
+    Mod(FbIx),
+    /// Bitwise and.
+    BitAnd(FbIx),
+    /// Bitwise or.
+    BitOr(FbIx),
+    /// Bitwise xor.
+    BitXor(FbIx),
+    /// Shift left.
+    Shl(FbIx),
+    /// Arithmetic shift right.
+    Sar(FbIx),
+    /// Logical shift right.
+    Shr(FbIx),
+    /// Arithmetic negation.
+    Neg(FbIx),
+    /// Bitwise not.
+    BitNot(FbIx),
+    /// Logical not (pop, push boolean).
+    Not,
+    /// Comparison `<`.
+    TestLt(FbIx),
+    /// Comparison `<=`.
+    TestLe(FbIx),
+    /// Comparison `>`.
+    TestGt(FbIx),
+    /// Comparison `>=`.
+    TestGe(FbIx),
+    /// Loose equality.
+    TestEq(FbIx),
+    /// Loose inequality.
+    TestNe(FbIx),
+    /// Strict equality.
+    TestStrictEq(FbIx),
+    /// Strict inequality.
+    TestStrictNe(FbIx),
+    /// Unconditional jump to bytecode index.
+    Jump(u32),
+    /// Pop; jump when falsy.
+    JumpIfFalse(u32),
+    /// Pop; jump when truthy.
+    JumpIfTrue(u32),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Pop and discard.
+    Pop,
+    /// Call: stack is `[callee, arg0..argN-1]`; pops all, pushes result.
+    Call(u8, FbIx),
+    /// Method call: stack is `[receiver, arg0..argN-1]`; property `name`
+    /// of the receiver is the callee, receiver becomes `this`.
+    CallMethod(NameId, u8, FbIx),
+    /// Constructor call: stack is `[callee, args...]`.
+    New(u8, FbIx),
+    /// Return the top of stack.
+    Return,
+    /// Return `undefined`.
+    ReturnUndef,
+    /// Create an empty object literal.
+    NewObject,
+    /// Create an array from the top `n` stack values.
+    NewArray(u16),
+    /// Loop header: back-edge / on-stack-replacement counter site.
+    LoopHead,
+}
+
+/// A compiled function body.
+#[derive(Debug, Clone)]
+pub struct BytecodeFunc {
+    /// Function name (for diagnostics).
+    pub name: String,
+    /// Number of parameters.
+    pub params: u16,
+    /// Total locals (parameters first).
+    pub n_locals: u16,
+    /// The code.
+    pub code: Vec<Bc>,
+    /// String constant table.
+    pub strings: Vec<String>,
+    /// Number of feedback slots.
+    pub n_feedback: u32,
+    /// Maximum operand-stack depth (computed by the compiler).
+    pub max_stack: u16,
+}
+
+impl BytecodeFunc {
+    /// Render a human-readable disassembly.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "function {} ({} params, {} locals)", self.name, self.params, self.n_locals);
+        for (i, bc) in self.code.iter().enumerate() {
+            let _ = writeln!(out, "  {i:4}: {bc:?}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disassembly_contains_ops() {
+        let f = BytecodeFunc {
+            name: "f".into(),
+            params: 1,
+            n_locals: 2,
+            code: vec![Bc::LdLocal(0), Bc::LdaSmi(1), Bc::Add(0), Bc::Return],
+            strings: vec![],
+            n_feedback: 1,
+            max_stack: 2,
+        };
+        let d = f.disassemble();
+        assert!(d.contains("LdLocal(0)"));
+        assert!(d.contains("Add(0)"));
+        assert!(d.contains("function f"));
+    }
+}

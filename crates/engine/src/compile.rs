@@ -1,0 +1,895 @@
+//! AST → bytecode compiler.
+//!
+//! One [`FuncDecl`] compiles to one [`BytecodeFunc`]. Identifier resolution
+//! is two-level: function-scoped locals (parameters, hoisted `var`s,
+//! hoisted nested function declarations) and globals. njs has no closures
+//! over locals, so anything not local is a global.
+
+use crate::bytecode::{Bc, BytecodeFunc, FbIx};
+use crate::feedback::{BinFeedback, CallFeedback, FeedbackSlot, SiteFeedback};
+use checkelide_lang::{BinOp, Expr, FuncDecl, LogOp, Stmt, UnOp, UpdateOp};
+use checkelide_runtime::NameId;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Services the compiler needs from the embedding VM.
+pub trait CompileEnv {
+    /// Intern a property/variable name.
+    fn intern(&mut self, name: &str) -> NameId;
+    /// Resolve (creating if needed) a global's index.
+    fn global_ix(&mut self, name: &str) -> u32;
+    /// Register a nested function declaration/expression, returning its
+    /// function-table index.
+    fn register_function(&mut self, decl: Rc<FuncDecl>) -> u32;
+}
+
+/// Compile a function declaration. With `global_scope` set (top-level
+/// code), `var` declarations and hoisted function declarations target
+/// globals instead of locals, matching JavaScript top-level semantics.
+pub fn compile_function(
+    env: &mut dyn CompileEnv,
+    decl: &FuncDecl,
+    global_scope: bool,
+) -> (BytecodeFunc, Vec<FeedbackSlot>) {
+    let mut c = Compiler::new(env, decl, global_scope);
+    c.hoist(&decl.body);
+    for stmt in &decl.body {
+        c.stmt(stmt);
+    }
+    c.emit(Bc::ReturnUndef);
+    c.finish(decl)
+}
+
+struct LoopCtx {
+    continue_target: Option<u32>,
+    break_patches: Vec<usize>,
+    continue_patches: Vec<usize>,
+}
+
+struct Compiler<'e> {
+    env: &'e mut dyn CompileEnv,
+    code: Vec<Bc>,
+    locals: HashMap<String, u16>,
+    n_locals: u16,
+    feedback: Vec<FeedbackSlot>,
+    strings: Vec<String>,
+    string_ix: HashMap<String, u32>,
+    loops: Vec<LoopCtx>,
+    /// (local index, function-table index) pairs for hoisted declarations.
+    hoisted_funcs: Vec<(String, u32)>,
+    global_scope: bool,
+    depth: i32,
+    max_depth: i32,
+    temp_pool: Vec<u16>,
+}
+
+impl<'e> Compiler<'e> {
+    fn new(env: &'e mut dyn CompileEnv, decl: &FuncDecl, global_scope: bool) -> Compiler<'e> {
+        let mut c = Compiler {
+            env,
+            code: Vec::new(),
+            locals: HashMap::new(),
+            n_locals: 0,
+            feedback: Vec::new(),
+            strings: Vec::new(),
+            string_ix: HashMap::new(),
+            loops: Vec::new(),
+            hoisted_funcs: Vec::new(),
+            global_scope,
+            depth: 0,
+            max_depth: 0,
+            temp_pool: Vec::new(),
+        };
+        for p in &decl.params {
+            c.declare_local(p);
+        }
+        c
+    }
+
+    fn declare_local(&mut self, name: &str) -> u16 {
+        if let Some(&ix) = self.locals.get(name) {
+            return ix;
+        }
+        let ix = self.n_locals;
+        self.n_locals += 1;
+        self.locals.insert(name.to_string(), ix);
+        ix
+    }
+
+    fn alloc_temp(&mut self) -> u16 {
+        if let Some(t) = self.temp_pool.pop() {
+            return t;
+        }
+        let ix = self.n_locals;
+        self.n_locals += 1;
+        ix
+    }
+
+    fn free_temp(&mut self, t: u16) {
+        self.temp_pool.push(t);
+    }
+
+    /// Hoist `var` declarations and nested function declarations.
+    fn hoist(&mut self, body: &[Stmt]) {
+        self.hoist_stmts(body);
+        // Materialize hoisted function declarations at entry.
+        let hoisted = std::mem::take(&mut self.hoisted_funcs);
+        for (name, func_ix) in &hoisted {
+            self.emit(Bc::LdaFunc(*func_ix));
+            match self.locals.get(name.as_str()) {
+                Some(&local) => {
+                    self.emit(Bc::StLocal(local));
+                }
+                None => {
+                    let g = self.env.global_ix(name);
+                    self.emit(Bc::StGlobal(g));
+                }
+            }
+        }
+        self.hoisted_funcs = hoisted;
+    }
+
+    fn hoist_stmts(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.hoist_stmt(s);
+        }
+    }
+
+    fn hoist_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Var { name, .. }
+                if !self.global_scope => {
+                    self.declare_local(name);
+                }
+            Stmt::Function(decl) => {
+                if !self.global_scope {
+                    self.declare_local(&decl.name);
+                }
+                let func_ix = self.env.register_function(decl.clone());
+                self.hoisted_funcs.push((decl.name.clone(), func_ix));
+            }
+            Stmt::If { then, els, .. } => {
+                self.hoist_stmt(then);
+                if let Some(e) = els {
+                    self.hoist_stmt(e);
+                }
+            }
+            Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => self.hoist_stmt(body),
+            Stmt::For { init, body, .. } => {
+                if let Some(i) = init {
+                    self.hoist_stmt(i);
+                }
+                self.hoist_stmt(body);
+            }
+            Stmt::Block(b) => self.hoist_stmts(b),
+            _ => {}
+        }
+    }
+
+    fn stack_effect(bc: &Bc, _self_n: ()) -> i32 {
+        use Bc::*;
+        match bc {
+            LdaSmi(_) | LdaNum(_) | LdaStr(_) | LdaTrue | LdaFalse | LdaNull | LdaUndef
+            | LdaThis | LdaFunc(_) | LdLocal(_) | LdGlobal(_) | Dup | NewObject => 1,
+            StLocal(_) | StGlobal(_) | Pop | Return | JumpIfFalse(_) | JumpIfTrue(_)
+            | SetProp(..) | GetElem(_) => -1,
+            SetElem(_) => -2,
+            Add(_) | Sub(_) | Mul(_) | Div(_) | Mod(_) | BitAnd(_) | BitOr(_) | BitXor(_)
+            | Shl(_) | Sar(_) | Shr(_) | TestLt(_) | TestLe(_) | TestGt(_) | TestGe(_)
+            | TestEq(_) | TestNe(_) | TestStrictEq(_) | TestStrictNe(_) => -1,
+            Neg(_) | BitNot(_) | Not | GetProp(..) | Jump(_) | ReturnUndef | LoopHead => 0,
+            Call(n, _) | CallMethod(_, n, _) | New(n, _) => -(*n as i32),
+            NewArray(n) => 1 - *n as i32,
+        }
+    }
+
+    fn emit(&mut self, bc: Bc) -> usize {
+        self.depth += Self::stack_effect(&bc, ());
+        self.max_depth = self.max_depth.max(self.depth);
+        self.code.push(bc);
+        self.code.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn patch_jump(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            Bc::Jump(t) | Bc::JumpIfFalse(t) | Bc::JumpIfTrue(t) => *t = target,
+            other => panic!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn new_site_fb(&mut self) -> FbIx {
+        self.feedback.push(FeedbackSlot::Site(SiteFeedback::default()));
+        (self.feedback.len() - 1) as FbIx
+    }
+
+    fn new_bin_fb(&mut self) -> FbIx {
+        self.feedback.push(FeedbackSlot::Bin(BinFeedback::default()));
+        (self.feedback.len() - 1) as FbIx
+    }
+
+    fn new_call_fb(&mut self) -> FbIx {
+        self.feedback.push(FeedbackSlot::Call(CallFeedback::default()));
+        (self.feedback.len() - 1) as FbIx
+    }
+
+    fn string_const(&mut self, s: &str) -> u32 {
+        if let Some(&ix) = self.string_ix.get(s) {
+            return ix;
+        }
+        let ix = self.strings.len() as u32;
+        self.strings.push(s.to_string());
+        self.string_ix.insert(s.to_string(), ix);
+        ix
+    }
+
+    // ----- statements -----
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Var { name, init } => {
+                if let Some(e) = init {
+                    self.expr(e);
+                    match self.locals.get(name.as_str()) {
+                        Some(&ix) => {
+                            self.emit(Bc::StLocal(ix));
+                        }
+                        None => {
+                            let g = self.env.global_ix(name);
+                            self.emit(Bc::StGlobal(g));
+                        }
+                    }
+                }
+            }
+            Stmt::Expr(e) => {
+                self.expr(e);
+                self.emit(Bc::Pop);
+            }
+            Stmt::If { cond, then, els } => {
+                self.expr(cond);
+                let jf = self.emit(Bc::JumpIfFalse(0));
+                self.stmt(then);
+                if let Some(e) = els {
+                    let jend = self.emit(Bc::Jump(0));
+                    let l_else = self.here();
+                    self.patch_jump(jf, l_else);
+                    self.stmt(e);
+                    let l_end = self.here();
+                    self.patch_jump(jend, l_end);
+                } else {
+                    let l_end = self.here();
+                    self.patch_jump(jf, l_end);
+                }
+            }
+            Stmt::While { cond, body } => {
+                let head = self.here();
+                self.emit(Bc::LoopHead);
+                self.expr(cond);
+                let jf = self.emit(Bc::JumpIfFalse(0));
+                self.loops.push(LoopCtx {
+                    continue_target: Some(head),
+                    break_patches: vec![],
+                    continue_patches: vec![],
+                });
+                self.stmt(body);
+                self.emit(Bc::Jump(head));
+                let end = self.here();
+                self.patch_jump(jf, end);
+                let ctx = self.loops.pop().unwrap();
+                for p in ctx.break_patches {
+                    self.patch_jump(p, end);
+                }
+            }
+            Stmt::DoWhile { body, cond } => {
+                let top = self.here();
+                self.emit(Bc::LoopHead);
+                self.loops.push(LoopCtx {
+                    continue_target: None,
+                    break_patches: vec![],
+                    continue_patches: vec![],
+                });
+                self.stmt(body);
+                let cont = self.here();
+                self.expr(cond);
+                self.emit(Bc::JumpIfTrue(top));
+                let end = self.here();
+                let ctx = self.loops.pop().unwrap();
+                for p in ctx.break_patches {
+                    self.patch_jump(p, end);
+                }
+                for p in ctx.continue_patches {
+                    self.patch_jump(p, cont);
+                }
+            }
+            Stmt::For { init, cond, update, body } => {
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                let head = self.here();
+                self.emit(Bc::LoopHead);
+                let jf = cond.as_ref().map(|c| {
+                    self.expr(c);
+                    self.emit(Bc::JumpIfFalse(0))
+                });
+                self.loops.push(LoopCtx {
+                    continue_target: None,
+                    break_patches: vec![],
+                    continue_patches: vec![],
+                });
+                self.stmt(body);
+                let cont = self.here();
+                if let Some(u) = update {
+                    self.expr(u);
+                    self.emit(Bc::Pop);
+                }
+                self.emit(Bc::Jump(head));
+                let end = self.here();
+                if let Some(jf) = jf {
+                    self.patch_jump(jf, end);
+                }
+                let ctx = self.loops.pop().unwrap();
+                for p in ctx.break_patches {
+                    self.patch_jump(p, end);
+                }
+                for p in ctx.continue_patches {
+                    self.patch_jump(p, cont);
+                }
+            }
+            Stmt::Break => {
+                let j = self.emit(Bc::Jump(0));
+                let ctx = self.loops.last_mut().expect("break outside loop");
+                ctx.break_patches.push(j);
+            }
+            Stmt::Continue => {
+                let target = self.loops.last().expect("continue outside loop").continue_target;
+                match target {
+                    Some(t) => {
+                        self.emit(Bc::Jump(t));
+                    }
+                    None => {
+                        let j = self.emit(Bc::Jump(0));
+                        self.loops.last_mut().unwrap().continue_patches.push(j);
+                    }
+                }
+            }
+            Stmt::Return(e) => {
+                match e {
+                    Some(e) => {
+                        self.expr(e);
+                        self.emit(Bc::Return);
+                    }
+                    None => {
+                        self.emit(Bc::ReturnUndef);
+                    }
+                };
+            }
+            Stmt::Function(_) => {
+                // Hoisted at entry; nothing at the declaration site.
+            }
+            Stmt::Block(b) => {
+                for s in b {
+                    self.stmt(s);
+                }
+            }
+            Stmt::Empty => {}
+        }
+    }
+
+    // ----- expressions -----
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Num(n) => {
+                if n.fract() == 0.0
+                    && *n >= i32::MIN as f64
+                    && *n <= i32::MAX as f64
+                    && !(*n == 0.0 && n.is_sign_negative())
+                {
+                    self.emit(Bc::LdaSmi(*n as i32));
+                } else {
+                    self.emit(Bc::LdaNum(*n));
+                }
+            }
+            Expr::Str(s) => {
+                let ix = self.string_const(s);
+                self.emit(Bc::LdaStr(ix));
+            }
+            Expr::Bool(true) => {
+                self.emit(Bc::LdaTrue);
+            }
+            Expr::Bool(false) => {
+                self.emit(Bc::LdaFalse);
+            }
+            Expr::Null => {
+                self.emit(Bc::LdaNull);
+            }
+            Expr::Undefined => {
+                self.emit(Bc::LdaUndef);
+            }
+            Expr::This => {
+                self.emit(Bc::LdaThis);
+            }
+            Expr::Ident(name) => match self.locals.get(name.as_str()) {
+                Some(&ix) => {
+                    self.emit(Bc::LdLocal(ix));
+                }
+                None => {
+                    let g = self.env.global_ix(name);
+                    self.emit(Bc::LdGlobal(g));
+                }
+            },
+            Expr::Assign { target, op, value } => self.assign(target, *op, value),
+            Expr::Binary { op, lhs, rhs } => {
+                self.expr(lhs);
+                self.expr(rhs);
+                self.binop(*op);
+            }
+            Expr::Logical { op, lhs, rhs } => {
+                self.expr(lhs);
+                self.emit(Bc::Dup);
+                let j = match op {
+                    LogOp::And => self.emit(Bc::JumpIfFalse(0)),
+                    LogOp::Or => self.emit(Bc::JumpIfTrue(0)),
+                };
+                self.emit(Bc::Pop);
+                self.expr(rhs);
+                let end = self.here();
+                self.patch_jump(j, end);
+                // Both paths leave exactly one value; fix tracked depth.
+                self.depth -= 0;
+            }
+            Expr::Unary { op, expr } => match op {
+                UnOp::Neg => {
+                    self.expr(expr);
+                    let fb = self.new_bin_fb();
+                    self.emit(Bc::Neg(fb));
+                }
+                UnOp::Plus => {
+                    // Numeric coercion: x - 0.
+                    self.expr(expr);
+                    self.emit(Bc::LdaSmi(0));
+                    let fb = self.new_bin_fb();
+                    self.emit(Bc::Sub(fb));
+                }
+                UnOp::Not => {
+                    self.expr(expr);
+                    self.emit(Bc::Not);
+                }
+                UnOp::BitNot => {
+                    self.expr(expr);
+                    let fb = self.new_bin_fb();
+                    self.emit(Bc::BitNot(fb));
+                }
+            },
+            Expr::Update { op, prefix, target } => self.update(*op, *prefix, target),
+            Expr::Cond { cond, then, els } => {
+                self.expr(cond);
+                let jf = self.emit(Bc::JumpIfFalse(0));
+                let depth0 = self.depth;
+                self.expr(then);
+                let jend = self.emit(Bc::Jump(0));
+                let l_else = self.here();
+                self.patch_jump(jf, l_else);
+                self.depth = depth0;
+                self.expr(els);
+                let l_end = self.here();
+                self.patch_jump(jend, l_end);
+            }
+            Expr::Call { callee, args } => match &**callee {
+                Expr::Member { obj, prop } => {
+                    self.expr(obj);
+                    for a in args {
+                        self.expr(a);
+                    }
+                    let name = self.env.intern(prop);
+                    // Method calls use two adjacent slots: `fb` (site,
+                    // receiver maps) and `fb + 1` (call, callee identity).
+                    let fb = self.new_site_fb();
+                    let _call_fb = self.new_call_fb();
+                    self.emit(Bc::CallMethod(name, args.len() as u8, fb));
+                }
+                other => {
+                    self.expr(other);
+                    for a in args {
+                        self.expr(a);
+                    }
+                    let fb = self.new_call_fb();
+                    self.emit(Bc::Call(args.len() as u8, fb));
+                }
+            },
+            Expr::New { callee, args } => {
+                self.expr(callee);
+                for a in args {
+                    self.expr(a);
+                }
+                let fb = self.new_call_fb();
+                self.emit(Bc::New(args.len() as u8, fb));
+            }
+            Expr::Member { obj, prop } => {
+                self.expr(obj);
+                let name = self.env.intern(prop);
+                let fb = self.new_site_fb();
+                self.emit(Bc::GetProp(name, fb));
+            }
+            Expr::Index { obj, index } => {
+                self.expr(obj);
+                self.expr(index);
+                let fb = self.new_site_fb();
+                self.emit(Bc::GetElem(fb));
+            }
+            Expr::Array(items) => {
+                for i in items {
+                    self.expr(i);
+                }
+                self.emit(Bc::NewArray(items.len() as u16));
+            }
+            Expr::Object(props) => {
+                self.emit(Bc::NewObject);
+                for (k, v) in props {
+                    self.emit(Bc::Dup);
+                    self.expr(v);
+                    let name = self.env.intern(k);
+                    let fb = self.new_site_fb();
+                    self.emit(Bc::SetProp(name, fb));
+                    self.emit(Bc::Pop);
+                }
+            }
+            Expr::Function(decl) => {
+                let ix = self.env.register_function(decl.clone());
+                self.emit(Bc::LdaFunc(ix));
+            }
+        }
+    }
+
+    fn binop(&mut self, op: BinOp) {
+        let bc = match op {
+            BinOp::Add => Bc::Add(self.new_bin_fb()),
+            BinOp::Sub => Bc::Sub(self.new_bin_fb()),
+            BinOp::Mul => Bc::Mul(self.new_bin_fb()),
+            BinOp::Div => Bc::Div(self.new_bin_fb()),
+            BinOp::Mod => Bc::Mod(self.new_bin_fb()),
+            BinOp::BitAnd => Bc::BitAnd(self.new_bin_fb()),
+            BinOp::BitOr => Bc::BitOr(self.new_bin_fb()),
+            BinOp::BitXor => Bc::BitXor(self.new_bin_fb()),
+            BinOp::Shl => Bc::Shl(self.new_bin_fb()),
+            BinOp::Sar => Bc::Sar(self.new_bin_fb()),
+            BinOp::Shr => Bc::Shr(self.new_bin_fb()),
+            BinOp::Lt => Bc::TestLt(self.new_bin_fb()),
+            BinOp::Le => Bc::TestLe(self.new_bin_fb()),
+            BinOp::Gt => Bc::TestGt(self.new_bin_fb()),
+            BinOp::Ge => Bc::TestGe(self.new_bin_fb()),
+            BinOp::Eq => Bc::TestEq(self.new_bin_fb()),
+            BinOp::NotEq => Bc::TestNe(self.new_bin_fb()),
+            BinOp::StrictEq => Bc::TestStrictEq(self.new_bin_fb()),
+            BinOp::StrictNotEq => Bc::TestStrictNe(self.new_bin_fb()),
+        };
+        self.emit(bc);
+    }
+
+    fn assign(&mut self, target: &Expr, op: Option<BinOp>, value: &Expr) {
+        match target {
+            Expr::Ident(name) => {
+                if let Some(op) = op {
+                    self.expr(target);
+                    self.expr(value);
+                    self.binop(op);
+                } else {
+                    self.expr(value);
+                }
+                self.emit(Bc::Dup);
+                match self.locals.get(name.as_str()) {
+                    Some(&ix) => {
+                        self.emit(Bc::StLocal(ix));
+                    }
+                    None => {
+                        let g = self.env.global_ix(name);
+                        self.emit(Bc::StGlobal(g));
+                    }
+                }
+            }
+            Expr::Member { obj, prop } => {
+                self.expr(obj);
+                if let Some(op) = op {
+                    self.emit(Bc::Dup);
+                    let name = self.env.intern(prop);
+                    let fb = self.new_site_fb();
+                    self.emit(Bc::GetProp(name, fb));
+                    self.expr(value);
+                    self.binop(op);
+                } else {
+                    self.expr(value);
+                }
+                let name = self.env.intern(prop);
+                let fb = self.new_site_fb();
+                self.emit(Bc::SetProp(name, fb));
+            }
+            Expr::Index { obj, index } => {
+                if let Some(op) = op {
+                    let t_obj = self.alloc_temp();
+                    let t_idx = self.alloc_temp();
+                    self.expr(obj);
+                    self.emit(Bc::StLocal(t_obj));
+                    self.expr(index);
+                    self.emit(Bc::StLocal(t_idx));
+                    self.emit(Bc::LdLocal(t_obj));
+                    self.emit(Bc::LdLocal(t_idx));
+                    self.emit(Bc::LdLocal(t_obj));
+                    self.emit(Bc::LdLocal(t_idx));
+                    let fb = self.new_site_fb();
+                    self.emit(Bc::GetElem(fb));
+                    self.expr(value);
+                    self.binop(op);
+                    let fb = self.new_site_fb();
+                    self.emit(Bc::SetElem(fb));
+                    self.free_temp(t_idx);
+                    self.free_temp(t_obj);
+                } else {
+                    self.expr(obj);
+                    self.expr(index);
+                    self.expr(value);
+                    let fb = self.new_site_fb();
+                    self.emit(Bc::SetElem(fb));
+                }
+            }
+            other => panic!("invalid assignment target {other:?} (parser bug)"),
+        }
+    }
+
+    fn update(&mut self, op: UpdateOp, prefix: bool, target: &Expr) {
+        let one = 1;
+        let binop = match op {
+            UpdateOp::Inc => BinOp::Add,
+            UpdateOp::Dec => BinOp::Sub,
+        };
+        if prefix {
+            // ++x  ≡  x = x + 1 (value = new)
+            self.assign(target, Some(binop), &Expr::Num(one as f64));
+            return;
+        }
+        // Postfix: value = old. Use temps for the general case.
+        match target {
+            Expr::Ident(name) => {
+                self.expr(target);
+                self.emit(Bc::Dup);
+                self.emit(Bc::LdaSmi(one));
+                self.binop(binop);
+                match self.locals.get(name.as_str()) {
+                    Some(&ix) => {
+                        self.emit(Bc::StLocal(ix));
+                    }
+                    None => {
+                        let g = self.env.global_ix(name);
+                        self.emit(Bc::StGlobal(g));
+                    }
+                }
+            }
+            Expr::Member { obj, prop } => {
+                let t_obj = self.alloc_temp();
+                let t_old = self.alloc_temp();
+                self.expr(obj);
+                self.emit(Bc::StLocal(t_obj));
+                self.emit(Bc::LdLocal(t_obj));
+                let name = self.env.intern(prop);
+                let fb = self.new_site_fb();
+                self.emit(Bc::GetProp(name, fb));
+                self.emit(Bc::StLocal(t_old));
+                self.emit(Bc::LdLocal(t_obj));
+                self.emit(Bc::LdLocal(t_old));
+                self.emit(Bc::LdaSmi(one));
+                self.binop(binop);
+                let fb = self.new_site_fb();
+                self.emit(Bc::SetProp(name, fb));
+                self.emit(Bc::Pop);
+                self.emit(Bc::LdLocal(t_old));
+                self.free_temp(t_old);
+                self.free_temp(t_obj);
+            }
+            Expr::Index { obj, index } => {
+                let t_obj = self.alloc_temp();
+                let t_idx = self.alloc_temp();
+                let t_old = self.alloc_temp();
+                self.expr(obj);
+                self.emit(Bc::StLocal(t_obj));
+                self.expr(index);
+                self.emit(Bc::StLocal(t_idx));
+                self.emit(Bc::LdLocal(t_obj));
+                self.emit(Bc::LdLocal(t_idx));
+                let fb = self.new_site_fb();
+                self.emit(Bc::GetElem(fb));
+                self.emit(Bc::StLocal(t_old));
+                self.emit(Bc::LdLocal(t_obj));
+                self.emit(Bc::LdLocal(t_idx));
+                self.emit(Bc::LdLocal(t_old));
+                self.emit(Bc::LdaSmi(one));
+                self.binop(binop);
+                let fb = self.new_site_fb();
+                self.emit(Bc::SetElem(fb));
+                self.emit(Bc::Pop);
+                self.emit(Bc::LdLocal(t_old));
+                self.free_temp(t_old);
+                self.free_temp(t_idx);
+                self.free_temp(t_obj);
+            }
+            other => panic!("invalid update target {other:?} (parser bug)"),
+        }
+    }
+
+    fn finish(self, decl: &FuncDecl) -> (BytecodeFunc, Vec<FeedbackSlot>) {
+        let f = BytecodeFunc {
+            name: if decl.name.is_empty() { "<anon>".into() } else { decl.name.clone() },
+            params: decl.params.len() as u16,
+            n_locals: self.n_locals,
+            code: self.code,
+            strings: self.strings,
+            n_feedback: self.feedback.len() as u32,
+            max_stack: self.max_depth.max(0) as u16,
+        };
+        (f, self.feedback)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use checkelide_lang::parse_program;
+    use checkelide_runtime::NameTable;
+
+    struct TestEnv {
+        names: NameTable,
+        globals: Vec<String>,
+        funcs: Vec<Rc<FuncDecl>>,
+    }
+
+    impl TestEnv {
+        fn new() -> TestEnv {
+            TestEnv { names: NameTable::new(), globals: vec![], funcs: vec![] }
+        }
+    }
+
+    impl CompileEnv for TestEnv {
+        fn intern(&mut self, name: &str) -> NameId {
+            self.names.intern(name)
+        }
+        fn global_ix(&mut self, name: &str) -> u32 {
+            if let Some(p) = self.globals.iter().position(|g| g == name) {
+                return p as u32;
+            }
+            self.globals.push(name.to_string());
+            (self.globals.len() - 1) as u32
+        }
+        fn register_function(&mut self, decl: Rc<FuncDecl>) -> u32 {
+            self.funcs.push(decl);
+            (self.funcs.len() - 1) as u32
+        }
+    }
+
+    fn compile_src(src: &str) -> (BytecodeFunc, Vec<FeedbackSlot>, TestEnv) {
+        let p = parse_program(src).unwrap();
+        let decl = FuncDecl { name: "<main>".into(), params: vec![], body: p.body, line: 1 };
+        let mut env = TestEnv::new();
+        let (f, fb) = compile_function(&mut env, &decl, false);
+        (f, fb, env)
+    }
+
+    #[test]
+    fn compiles_arithmetic() {
+        let (f, fb, _) = compile_src("var x = 1 + 2 * 3;");
+        assert!(f.code.contains(&Bc::LdaSmi(1)));
+        assert!(matches!(f.code[3], Bc::Mul(_)));
+        assert!(matches!(f.code[4], Bc::Add(_)));
+        assert_eq!(fb.len(), 2);
+        assert_eq!(f.n_locals, 1);
+    }
+
+    #[test]
+    fn smi_vs_double_literals() {
+        let (f, _, _) = compile_src("var a = 5; var b = 2.5; var c = 3e9;");
+        assert!(f.code.contains(&Bc::LdaSmi(5)));
+        assert!(f.code.contains(&Bc::LdaNum(2.5)));
+        assert!(f.code.contains(&Bc::LdaNum(3e9)), "out-of-smi-range integral is a double");
+    }
+
+    #[test]
+    fn while_loop_has_loophead_and_backedge() {
+        let (f, _, _) = compile_src("var i = 0; while (i < 10) { i = i + 1; }");
+        let head = f.code.iter().position(|b| *b == Bc::LoopHead).unwrap();
+        assert!(f
+            .code
+            .iter()
+            .any(|b| matches!(b, Bc::Jump(t) if *t == head as u32)));
+    }
+
+    #[test]
+    fn for_loop_continue_jumps_to_update() {
+        let (f, _, _) = compile_src(
+            "for (var i = 0; i < 10; i++) { if (i == 5) continue; i = i + 1; }",
+        );
+        assert!(f.code.iter().filter(|b| matches!(b, Bc::LoopHead)).count() == 1);
+    }
+
+    #[test]
+    fn member_assignment_shapes() {
+        let (f, _, env) = compile_src("var o = {}; o.x = 1; o.x += 2;");
+        let sets = f.code.iter().filter(|b| matches!(b, Bc::SetProp(..))).count();
+        let gets = f.code.iter().filter(|b| matches!(b, Bc::GetProp(..))).count();
+        assert_eq!(sets, 2);
+        assert_eq!(gets, 1, "compound assignment loads once");
+        assert!(env.names.lookup("x").is_some());
+    }
+
+    #[test]
+    fn method_call_compiles_to_callmethod() {
+        let (f, _, _) = compile_src("var a = []; a.push(1);");
+        assert!(f.code.iter().any(|b| matches!(b, Bc::CallMethod(_, 1, _))));
+    }
+
+    #[test]
+    fn new_and_calls() {
+        let (f, _, _) = compile_src("function F(a) { this.a = a; } var o = new F(3); F(1);");
+        assert!(f.code.iter().any(|b| matches!(b, Bc::New(1, _))));
+        assert!(f.code.iter().any(|b| matches!(b, Bc::Call(1, _))));
+        // Hoisted function materialization.
+        assert!(f.code.iter().any(|b| matches!(b, Bc::LdaFunc(0))));
+    }
+
+    #[test]
+    fn postfix_update_uses_temps() {
+        let (f, _, _) = compile_src("var a = [1]; var o = {}; o.n = 0; var x = a[0]++; var y = o.n++;");
+        // Temps bumped n_locals beyond the 4 declared locals.
+        assert!(f.n_locals > 4);
+        assert!(f.code.iter().any(|b| matches!(b, Bc::SetElem(_))));
+    }
+
+    #[test]
+    fn logical_ops_short_circuit_shape() {
+        let (f, _, _) = compile_src("var x = 1 && 2; var y = 0 || 3;");
+        assert!(f.code.iter().any(|b| matches!(b, Bc::JumpIfFalse(_))));
+        assert!(f.code.iter().any(|b| matches!(b, Bc::JumpIfTrue(_))));
+        assert!(f.code.iter().any(|b| matches!(b, Bc::Dup)));
+    }
+
+    #[test]
+    fn object_literal_sets_props_in_order() {
+        let (f, _, _) = compile_src("var p = { x: 1, y: 2 };");
+        let set_count = f.code.iter().filter(|b| matches!(b, Bc::SetProp(..))).count();
+        assert_eq!(set_count, 2);
+        assert!(f.code.contains(&Bc::NewObject));
+    }
+
+    #[test]
+    fn array_literal() {
+        let (f, _, _) = compile_src("var a = [1, 2, 3];");
+        assert!(f.code.contains(&Bc::NewArray(3)));
+    }
+
+    #[test]
+    fn globals_resolve_to_indices() {
+        let (f, _, env) = compile_src("g = 1; h = g + 1;");
+        assert_eq!(env.globals, vec!["g", "h"]);
+        assert!(f.code.contains(&Bc::StGlobal(0)));
+        assert!(f.code.contains(&Bc::LdGlobal(0)));
+        assert!(f.code.contains(&Bc::StGlobal(1)));
+    }
+
+    #[test]
+    fn nested_function_expression_registers() {
+        let (_, _, env) = compile_src("var f = function(a) { return a; };");
+        assert_eq!(env.funcs.len(), 1);
+        assert_eq!(env.funcs[0].params, vec!["a"]);
+    }
+
+    #[test]
+    fn do_while_shape() {
+        let (f, _, _) = compile_src("var i = 0; do { i++; } while (i < 3);");
+        assert!(f.code.iter().any(|b| matches!(b, Bc::JumpIfTrue(_))));
+    }
+
+    #[test]
+    fn every_function_ends_with_return_undef() {
+        let (f, _, _) = compile_src("var x = 1;");
+        assert_eq!(*f.code.last().unwrap(), Bc::ReturnUndef);
+    }
+}

@@ -1,0 +1,367 @@
+//! Baseline-tier µop emission.
+//!
+//! The interpreter *is* the model of the Full Codegen-generated machine
+//! code: for every bytecode operation it emits the µop sequence the
+//! generated code (plus its inline-cache stubs) would retire. Sequences
+//! are chained through a rolling accumulator token so the timing model
+//! sees the operand-stack dataflow, and memory µops carry real simulated
+//! addresses so the cache hierarchy behaves realistically.
+//!
+//! All baseline µops are [`Category::RestOfCode`]: the paper's
+//! Checks/Tags/Untags/Math categories measure *optimized* code (those
+//! checks live in `checkelide-opt`).
+
+use checkelide_isa::layout::RUNTIME_CODE_BASE;
+use checkelide_isa::uop::{Category, MemRef, Region, Tok, Uop, UopKind};
+use checkelide_isa::TraceSink;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+// One token namespace for the whole process: emitters are created per
+// activation (frames, optimized bodies, builtin calls), and dataflow
+// tokens must never collide across them — a collision fabricates a
+// dependency in the timing model.
+static NEXT_TOK: AtomicU32 = AtomicU32::new(1);
+
+/// Fixed stub entry points in the runtime-code region (one cache line of
+/// simulated code per stub keeps the IL1 behaviour sane).
+pub mod stubs {
+    use checkelide_isa::layout::RUNTIME_CODE_BASE;
+
+    /// Inline-cache miss handler.
+    pub const IC_MISS: u64 = RUNTIME_CODE_BASE;
+    /// Generic binary-op stub (doubles / strings).
+    pub const BINOP_SLOW: u64 = RUNTIME_CODE_BASE + 0x100;
+    /// Allocation stub.
+    pub const ALLOC: u64 = RUNTIME_CODE_BASE + 0x200;
+    /// Property-transition (map change) runtime path.
+    pub const TRANSITION: u64 = RUNTIME_CODE_BASE + 0x300;
+    /// Elements grow/transition runtime path.
+    pub const ELEMS_SLOW: u64 = RUNTIME_CODE_BASE + 0x400;
+    /// Builtin dispatch.
+    pub const BUILTIN: u64 = RUNTIME_CODE_BASE + 0x500;
+    /// Garbage collector.
+    pub const GC: u64 = RUNTIME_CODE_BASE + 0x600;
+    /// Deoptimizer / misspeculation exception routine.
+    pub const DEOPT: u64 = RUNTIME_CODE_BASE + 0x700;
+    /// String runtime helpers (concat etc.).
+    pub const STRINGS: u64 = RUNTIME_CODE_BASE + 0x800;
+}
+
+/// µop emitter for one execution tier.
+///
+/// Tracks the program counter within the current bytecode op's code blob
+/// and the accumulator dataflow token.
+#[derive(Debug)]
+pub struct Emitter {
+    /// Base address of the current op's generated code.
+    pub pc: u64,
+    k: u64,
+    acc: Tok,
+    region: Region,
+}
+
+impl Emitter {
+    /// New emitter for a tier.
+    pub fn new(region: Region) -> Emitter {
+        Emitter { pc: RUNTIME_CODE_BASE, k: 0, acc: Tok::NONE, region }
+    }
+
+    /// Start a new bytecode op's code blob at `pc`.
+    #[inline]
+    pub fn at(&mut self, pc: u64) {
+        self.pc = pc;
+        self.k = 0;
+    }
+
+    /// The region this emitter tags µops with.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Fresh dataflow token (globally unique until `u32` wrap-around; the
+    /// timing model's generation check treats a wrapped collision as "no
+    /// dependency").
+    #[inline]
+    pub fn fresh(&mut self) -> Tok {
+        let mut t = NEXT_TOK.fetch_add(1, Ordering::Relaxed);
+        if t == 0 {
+            t = NEXT_TOK.fetch_add(1, Ordering::Relaxed);
+        }
+        Tok(t)
+    }
+
+    /// Current accumulator token (top-of-stack dataflow).
+    #[inline]
+    pub fn acc(&self) -> Tok {
+        self.acc
+    }
+
+    /// Overwrite the accumulator token.
+    #[inline]
+    pub fn set_acc(&mut self, t: Tok) {
+        self.acc = t;
+    }
+
+    #[inline]
+    fn next_pc(&mut self) -> u64 {
+        let pc = self.pc + self.k * 4;
+        self.k += 1;
+        pc
+    }
+
+    /// Emit one µop chained off the accumulator: srcs = [acc], dst = fresh,
+    /// accumulator updated.
+    #[inline]
+    pub fn chain(&mut self, sink: &mut dyn TraceSink, kind: UopKind, cat: Category) -> Tok {
+        let dst = self.fresh();
+        let u = Uop {
+            kind,
+            category: cat,
+            pc: self.next_pc(),
+            mem: None,
+            srcs: [self.acc, Tok::NONE],
+            dst,
+            provenance: Default::default(),
+            region: self.region,
+            taken: false,
+        };
+        sink.emit(&u);
+        self.acc = dst;
+        dst
+    }
+
+    /// Emit a dependency-free µop that *starts* a chain (e.g. a constant
+    /// materialization or a frame-slot load whose address is a frame
+    /// pointer plus an immediate): no source operands, fresh destination,
+    /// accumulator reset to it.
+    #[inline]
+    pub fn root(&mut self, sink: &mut dyn TraceSink, kind: UopKind, cat: Category) -> Tok {
+        let dst = self.fresh();
+        let u = Uop {
+            kind,
+            category: cat,
+            pc: self.next_pc(),
+            mem: None,
+            srcs: [Tok::NONE, Tok::NONE],
+            dst,
+            provenance: Default::default(),
+            region: self.region,
+            taken: false,
+        };
+        sink.emit(&u);
+        self.acc = dst;
+        dst
+    }
+
+    /// Emit a dependency-free load (frame slot / global cell).
+    #[inline]
+    pub fn root_load(&mut self, sink: &mut dyn TraceSink, addr: u64, cat: Category) -> Tok {
+        let dst = self.fresh();
+        let u = Uop {
+            kind: UopKind::Load,
+            category: cat,
+            pc: self.next_pc(),
+            mem: Some(MemRef::load(addr)),
+            srcs: [Tok::NONE, Tok::NONE],
+            dst,
+            provenance: Default::default(),
+            region: self.region,
+            taken: false,
+        };
+        sink.emit(&u);
+        self.acc = dst;
+        dst
+    }
+
+    /// Emit a chained memory load from `addr`.
+    #[inline]
+    pub fn chain_load(&mut self, sink: &mut dyn TraceSink, addr: u64, cat: Category) -> Tok {
+        let dst = self.fresh();
+        let u = Uop {
+            kind: UopKind::Load,
+            category: cat,
+            pc: self.next_pc(),
+            mem: Some(MemRef::load(addr)),
+            srcs: [self.acc, Tok::NONE],
+            dst,
+            provenance: Default::default(),
+            region: self.region,
+            taken: false,
+        };
+        sink.emit(&u);
+        self.acc = dst;
+        dst
+    }
+
+    /// Emit a chained store to `addr` (accumulator is the stored data).
+    #[inline]
+    pub fn chain_store(&mut self, sink: &mut dyn TraceSink, addr: u64, cat: Category) {
+        let u = Uop {
+            kind: UopKind::Store,
+            category: cat,
+            pc: self.next_pc(),
+            mem: Some(MemRef::store(addr)),
+            srcs: [self.acc, Tok::NONE],
+            dst: Tok::NONE,
+            provenance: Default::default(),
+            region: self.region,
+            taken: false,
+        };
+        sink.emit(&u);
+    }
+
+    /// Emit a chained conditional branch.
+    #[inline]
+    pub fn chain_branch(&mut self, sink: &mut dyn TraceSink, taken: bool, cat: Category) {
+        let u = Uop {
+            kind: UopKind::Branch,
+            category: cat,
+            pc: self.next_pc(),
+            mem: None,
+            srcs: [self.acc, Tok::NONE],
+            dst: Tok::NONE,
+            provenance: Default::default(),
+            region: self.region,
+            taken,
+        };
+        sink.emit(&u);
+    }
+
+    /// Emit a jump/call/return µop.
+    #[inline]
+    pub fn jump(&mut self, sink: &mut dyn TraceSink, cat: Category) {
+        let u = Uop {
+            kind: UopKind::Jump,
+            category: cat,
+            pc: self.next_pc(),
+            mem: None,
+            srcs: [Tok::NONE, Tok::NONE],
+            dst: Tok::NONE,
+            provenance: Default::default(),
+            region: self.region,
+            taken: true,
+        };
+        sink.emit(&u);
+    }
+
+    /// Emit a raw µop (full control).
+    #[inline]
+    pub fn raw(&mut self, sink: &mut dyn TraceSink, mut uop: Uop) {
+        uop.pc = self.next_pc();
+        uop.region = self.region;
+        sink.emit(&uop);
+    }
+
+    /// Emit `n` generic ALU µops at a stub address (modelling a runtime
+    /// helper of that rough length, with a call and return around it).
+    ///
+    /// Stub bodies fan out from the entry operand rather than forming one
+    /// serial chain: real helper routines have internal ILP, so their cost
+    /// is fetch/issue bandwidth (and their memory traffic), not a latency
+    /// chain proportional to their length.
+    pub fn stub_call(&mut self, sink: &mut dyn TraceSink, stub: u64, n_alu: u64, n_mem: u64) {
+        let saved_pc = self.pc;
+        let saved_k = self.k;
+        self.jump(sink, Category::RestOfCode);
+        self.at(stub);
+        let entry = self.acc;
+        let mut last = entry;
+        for i in 0..n_alu {
+            let dst = self.fresh();
+            let kind = if i % 5 == 4 { UopKind::Branch } else { UopKind::Alu };
+            let mut u = Uop {
+                kind,
+                category: Category::RestOfCode,
+                pc: self.next_pc(),
+                mem: None,
+                srcs: [entry, Tok::NONE],
+                dst,
+                provenance: Default::default(),
+                region: self.region,
+                taken: i % 2 == 0,
+            };
+            if kind == UopKind::Branch {
+                u.dst = Tok::NONE;
+            } else {
+                last = dst;
+            }
+            sink.emit(&u);
+        }
+        for i in 0..n_mem {
+            let dst = self.fresh();
+            let u = Uop {
+                kind: UopKind::Load,
+                category: Category::RestOfCode,
+                pc: self.next_pc(),
+                mem: Some(MemRef::load(stub + 0x40 + i * 8)),
+                srcs: [entry, Tok::NONE],
+                dst,
+                provenance: Default::default(),
+                region: self.region,
+                taken: false,
+            };
+            sink.emit(&u);
+            last = dst;
+        }
+        self.jump(sink, Category::RestOfCode);
+        self.acc = last;
+        self.pc = saved_pc;
+        self.k = saved_k;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use checkelide_isa::trace::VecSink;
+
+    #[test]
+    fn chain_threads_tokens() {
+        let mut e = Emitter::new(Region::Baseline);
+        let mut s = VecSink::new();
+        e.at(0x1000);
+        let t1 = e.chain(&mut s, UopKind::Alu, Category::RestOfCode);
+        let t2 = e.chain(&mut s, UopKind::Alu, Category::RestOfCode);
+        assert_ne!(t1, t2);
+        assert_eq!(s.uops[1].srcs[0], t1, "second op consumes first's result");
+        assert_eq!(s.uops[0].pc, 0x1000);
+        assert_eq!(s.uops[1].pc, 0x1004);
+    }
+
+    #[test]
+    fn memory_uops_carry_addresses() {
+        let mut e = Emitter::new(Region::Optimized);
+        let mut s = VecSink::new();
+        e.at(0x2000);
+        e.chain_load(&mut s, 0xabc0, Category::Check);
+        e.chain_store(&mut s, 0xdef0, Category::OtherOptimized);
+        assert_eq!(s.uops[0].mem.unwrap().addr, 0xabc0);
+        assert!(!s.uops[0].mem.unwrap().is_store);
+        assert_eq!(s.uops[1].mem.unwrap().addr, 0xdef0);
+        assert!(s.uops[1].mem.unwrap().is_store);
+        assert!(s.uops.iter().all(|u| u.region == Region::Optimized));
+    }
+
+    #[test]
+    fn stub_call_restores_pc() {
+        let mut e = Emitter::new(Region::Baseline);
+        let mut s = VecSink::new();
+        e.at(0x3000);
+        e.chain(&mut s, UopKind::Alu, Category::RestOfCode);
+        e.stub_call(&mut s, stubs::IC_MISS, 10, 2);
+        e.chain(&mut s, UopKind::Alu, Category::RestOfCode);
+        let last = s.uops.last().unwrap();
+        assert!(last.pc >= 0x3000 && last.pc < 0x3100, "pc back in op blob: {:#x}", last.pc);
+        // Stub µops landed in the runtime-code region.
+        assert!(s.uops.iter().any(|u| u.pc >= stubs::IC_MISS && u.pc < stubs::IC_MISS + 0x100));
+        assert_eq!(s.uops.len(), 1 + 1 + 10 + 2 + 1 + 1);
+    }
+
+    #[test]
+    fn fresh_tokens_never_zero() {
+        let mut e = Emitter::new(Region::Runtime);
+        for _ in 0..10 {
+            assert!(e.fresh().is_some());
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Type feedback recorded by the baseline tier's inline caches (§3.2).
+
+use checkelide_runtime::{FuncRef, MapIx, NumPath};
+
+/// Maximum distinct maps an IC remembers before going megamorphic
+/// (polymorphic inline cache degree).
+pub const MAX_POLYMORPHISM: usize = 4;
+
+/// Inline-cache state for a property / element / method site.
+#[derive(Debug, Clone, Default)]
+pub struct SiteFeedback {
+    /// Receiver maps seen (in first-seen order).
+    pub maps: Vec<MapIx>,
+    /// Whether the site overflowed [`MAX_POLYMORPHISM`].
+    pub megamorphic: bool,
+    /// Dynamic hits with a receiver already in `maps` (IC hits).
+    pub hits: u64,
+    /// Dynamic misses (new map, megamorphic, or non-object receiver).
+    pub misses: u64,
+}
+
+impl SiteFeedback {
+    /// Record a receiver map; returns `true` when this was an IC hit.
+    pub fn record(&mut self, map: MapIx) -> bool {
+        if self.maps.contains(&map) {
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.megamorphic {
+            return false;
+        }
+        if self.maps.len() >= MAX_POLYMORPHISM {
+            self.megamorphic = true;
+            return false;
+        }
+        self.maps.push(map);
+        false
+    }
+
+    /// Record a miss that carries no usable map (primitive receiver etc.).
+    pub fn record_generic(&mut self) {
+        self.misses += 1;
+        self.megamorphic = true;
+    }
+
+    /// The single map of a monomorphic site.
+    pub fn monomorphic_map(&self) -> Option<MapIx> {
+        if !self.megamorphic && self.maps.len() == 1 {
+            Some(self.maps[0])
+        } else {
+            None
+        }
+    }
+}
+
+/// Lattice of numeric-operation feedback.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinFeedback {
+    /// SMI ⊕ SMI → SMI observed.
+    pub smi: bool,
+    /// A double path (incl. SMI overflow) observed.
+    pub double: bool,
+    /// A string path observed.
+    pub string: bool,
+    /// Oddball/object coercion observed.
+    pub generic: bool,
+}
+
+impl BinFeedback {
+    /// Fold a dynamic path into the lattice.
+    pub fn record(&mut self, path: NumPath) {
+        match path {
+            NumPath::SmiSmi => self.smi = true,
+            NumPath::SmiOverflow | NumPath::Double => self.double = true,
+            NumPath::Str => self.string = true,
+            NumPath::Generic => self.generic = true,
+        }
+    }
+
+    /// Whether the optimizer may specialize the site to pure SMI.
+    pub fn smi_only(&self) -> bool {
+        self.smi && !self.double && !self.string && !self.generic
+    }
+
+    /// Whether the optimizer may specialize to unboxed doubles
+    /// (numbers only).
+    pub fn numeric_only(&self) -> bool {
+        (self.smi || self.double) && !self.string && !self.generic
+    }
+
+    /// Whether anything was recorded at all.
+    pub fn observed(&self) -> bool {
+        self.smi || self.double || self.string || self.generic
+    }
+}
+
+/// Call-site feedback.
+#[derive(Debug, Clone, Default)]
+pub struct CallFeedback {
+    /// The single callee seen, while monomorphic.
+    pub target: Option<FuncRef>,
+    /// More than one callee seen.
+    pub polymorphic: bool,
+}
+
+impl CallFeedback {
+    /// Record a callee.
+    pub fn record(&mut self, f: FuncRef) {
+        match self.target {
+            None => self.target = Some(f),
+            Some(t) if t == f => {}
+            Some(_) => {
+                self.polymorphic = true;
+                self.target = None;
+            }
+        }
+    }
+}
+
+/// One feedback slot (sites use the variant they need).
+#[derive(Debug, Clone)]
+pub enum FeedbackSlot {
+    /// Property/element/method site.
+    Site(SiteFeedback),
+    /// Numeric operation site.
+    Bin(BinFeedback),
+    /// Call site.
+    Call(CallFeedback),
+}
+
+impl FeedbackSlot {
+    /// Access as a site slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot has a different variant.
+    pub fn site_mut(&mut self) -> &mut SiteFeedback {
+        match self {
+            FeedbackSlot::Site(s) => s,
+            other => panic!("expected site feedback, found {other:?}"),
+        }
+    }
+
+    /// Access as a site slot, immutably.
+    pub fn site(&self) -> &SiteFeedback {
+        match self {
+            FeedbackSlot::Site(s) => s,
+            other => panic!("expected site feedback, found {other:?}"),
+        }
+    }
+
+    /// Access as a numeric slot.
+    pub fn bin_mut(&mut self) -> &mut BinFeedback {
+        match self {
+            FeedbackSlot::Bin(b) => b,
+            other => panic!("expected binop feedback, found {other:?}"),
+        }
+    }
+
+    /// Access as a numeric slot, immutably.
+    pub fn bin(&self) -> &BinFeedback {
+        match self {
+            FeedbackSlot::Bin(b) => b,
+            other => panic!("expected binop feedback, found {other:?}"),
+        }
+    }
+
+    /// Access as a call slot.
+    pub fn call_mut(&mut self) -> &mut CallFeedback {
+        match self {
+            FeedbackSlot::Call(c) => c,
+            other => panic!("expected call feedback, found {other:?}"),
+        }
+    }
+
+    /// Access as a call slot, immutably.
+    pub fn call(&self) -> &CallFeedback {
+        match self {
+            FeedbackSlot::Call(c) => c,
+            other => panic!("expected call feedback, found {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_feedback_goes_megamorphic() {
+        let mut s = SiteFeedback::default();
+        assert!(!s.record(MapIx(1)), "first sight is a miss");
+        assert!(s.record(MapIx(1)), "second sight hits");
+        assert_eq!(s.monomorphic_map(), Some(MapIx(1)));
+        for i in 2..=5 {
+            s.record(MapIx(i));
+        }
+        assert!(s.megamorphic);
+        assert_eq!(s.monomorphic_map(), None);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn bin_feedback_lattice() {
+        let mut b = BinFeedback::default();
+        assert!(!b.observed());
+        b.record(NumPath::SmiSmi);
+        assert!(b.smi_only());
+        assert!(b.numeric_only());
+        b.record(NumPath::SmiOverflow);
+        assert!(!b.smi_only());
+        assert!(b.numeric_only());
+        b.record(NumPath::Str);
+        assert!(!b.numeric_only());
+    }
+
+    #[test]
+    fn call_feedback_tracks_monomorphism() {
+        let mut c = CallFeedback::default();
+        c.record(FuncRef::User(1));
+        assert_eq!(c.target, Some(FuncRef::User(1)));
+        c.record(FuncRef::User(1));
+        assert_eq!(c.target, Some(FuncRef::User(1)));
+        c.record(FuncRef::User(2));
+        assert!(c.polymorphic);
+        assert_eq!(c.target, None);
+    }
+}

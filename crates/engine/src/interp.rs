@@ -1,0 +1,939 @@
+//! The baseline bytecode interpreter (the Full Codegen analog).
+//!
+//! Executes bytecode against the runtime while (a) recording type
+//! feedback in the function's inline caches, (b) emitting the µop trace
+//! the equivalent generated code would retire, and (c) in profiling
+//! modes, driving the Class List / Class Cache store protocol.
+
+use crate::bytecode::Bc;
+use crate::emit::{stubs, Emitter};
+use crate::vm::{Frame, Vm, VmError};
+use checkelide_isa::uop::{Category, Region, Tok, UopKind};
+use checkelide_isa::TraceSink;
+use checkelide_runtime::numops::{self, BitwiseOp, CmpOp};
+use checkelide_runtime::{maps::fixed, Builtin, ElemKind, NumPath, Value};
+
+const CAT: Category = Category::RestOfCode;
+
+impl Vm {
+    /// Run a frame from `start_pc` until return.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn interpret(
+        &mut self,
+        sink: &mut dyn TraceSink,
+        func: u32,
+        frame: Frame,
+        start_pc: u32,
+    ) -> Result<Value, VmError> {
+        let mut frame = frame;
+        frame.toks.resize(frame.stack.len(), Tok::NONE);
+        frame.local_toks.resize(frame.locals.len(), Tok::NONE);
+        self.frames.push(frame);
+        let r = self.interp_loop(sink, func, start_pc);
+        self.frames.pop();
+        r
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn interp_loop(
+        &mut self,
+        sink: &mut dyn TraceSink,
+        func: u32,
+        start_pc: u32,
+    ) -> Result<Value, VmError> {
+        let bc = self.funcs[func as usize].bytecode.clone().expect("bytecode compiled");
+        let fx = self.frames.len() - 1;
+        let code_base = Vm::code_base(func);
+        let mut em = Emitter::new(Region::Baseline);
+        let mut pc = start_pc as usize;
+
+        macro_rules! push {
+            ($v:expr, $t:expr) => {{
+                let v = $v;
+                let t = $t;
+                self.frames[fx].stack.push(v);
+                self.frames[fx].toks.push(t);
+            }};
+        }
+        macro_rules! pop {
+            () => {{
+                let v = self.frames[fx].stack.pop().expect("stack underflow");
+                let t = self.frames[fx].toks.pop().expect("tok underflow");
+                (v, t)
+            }};
+        }
+
+        loop {
+            let op = bc.code[pc];
+            em.at(code_base + pc as u64 * 64);
+            match op {
+                Bc::LdaSmi(n) => {
+                    let t = em.root(sink, UopKind::Move, CAT);
+                    push!(Value::smi(n), t);
+                }
+                Bc::LdaNum(f) => {
+                    let v = self.rt.double_constant(f);
+                    let t = em.root(sink, UopKind::Move, CAT);
+                    push!(v, t);
+                }
+                Bc::LdaStr(ix) => {
+                    let v = self.rt.string_value(&bc.strings[ix as usize]);
+                    let t = em.root(sink, UopKind::Move, CAT);
+                    push!(v, t);
+                }
+                Bc::LdaTrue => {
+                    let t = em.root(sink, UopKind::Move, CAT);
+                    push!(self.rt.odd.true_v, t);
+                }
+                Bc::LdaFalse => {
+                    let t = em.root(sink, UopKind::Move, CAT);
+                    push!(self.rt.odd.false_v, t);
+                }
+                Bc::LdaNull => {
+                    let t = em.root(sink, UopKind::Move, CAT);
+                    push!(self.rt.odd.null, t);
+                }
+                Bc::LdaUndef => {
+                    let t = em.root(sink, UopKind::Move, CAT);
+                    push!(self.rt.odd.undefined, t);
+                }
+                Bc::LdaThis => {
+                    let t = em.root(sink, UopKind::Move, CAT);
+                    push!(self.frames[fx].this, t);
+                }
+                Bc::LdaFunc(ix) => {
+                    let v = self.function_value(ix);
+                    let t = em.root(sink, UopKind::Move, CAT);
+                    push!(v, t);
+                }
+                Bc::LdLocal(i) => {
+                    let v = self.frames[fx].locals[i as usize];
+                    let t = em.root_load(sink, self.local_addr(i), CAT);
+                    push!(v, t);
+                }
+                Bc::StLocal(i) => {
+                    let (v, t) = pop!();
+                    em.set_acc(t);
+                    em.chain_store(sink, self.local_addr(i), CAT);
+                    self.frames[fx].locals[i as usize] = v;
+                }
+                Bc::LdGlobal(g) => {
+                    let v = self.globals[g as usize];
+                    let t = em.root_load(sink, Vm::global_addr(g), CAT);
+                    push!(v, t);
+                }
+                Bc::StGlobal(g) => {
+                    let (v, t) = pop!();
+                    em.set_acc(t);
+                    em.chain_store(sink, Vm::global_addr(g), CAT);
+                    self.globals[g as usize] = v;
+                }
+                Bc::GetProp(name, fb) => {
+                    let (obj, t) = pop!();
+                    em.set_acc(t);
+                    let (v, vt) = self.ip_get_prop(sink, &mut em, func, obj, name, fb, pc)?;
+                    push!(v, vt);
+                }
+                Bc::SetProp(name, fb) => {
+                    let (value, vt) = pop!();
+                    let (obj, _ot) = pop!();
+                    let value =
+                        self.ip_set_prop(sink, &mut em, func, obj, name, value, vt, fb)?;
+                    push!(value, vt);
+                }
+                Bc::GetElem(fb) => {
+                    let (ix, _it) = pop!();
+                    let (obj, ot) = pop!();
+                    em.set_acc(ot);
+                    let (v, vt) = self.ip_get_elem(sink, &mut em, func, obj, ix, fb)?;
+                    push!(v, vt);
+                }
+                Bc::SetElem(fb) => {
+                    let (value, vt) = pop!();
+                    let (ix, _it) = pop!();
+                    let (obj, _ot) = pop!();
+                    self.ip_set_elem(sink, &mut em, func, obj, ix, value, vt, fb)?;
+                    push!(value, vt);
+                }
+                Bc::Add(fb) | Bc::Sub(fb) | Bc::Mul(fb) | Bc::Div(fb) | Bc::Mod(fb) => {
+                    let (b, _bt) = pop!();
+                    let (a, at) = pop!();
+                    em.set_acc(at);
+                    let (v, path) = match op {
+                        Bc::Add(_) => numops::add(&mut self.rt, a, b),
+                        Bc::Sub(_) => numops::sub(&mut self.rt, a, b),
+                        Bc::Mul(_) => numops::mul(&mut self.rt, a, b),
+                        Bc::Div(_) => numops::div(&mut self.rt, a, b),
+                        _ => numops::rem(&mut self.rt, a, b),
+                    };
+                    self.funcs[func as usize].feedback[fb as usize].bin_mut().record(path);
+                    let t = self.ip_emit_arith(sink, &mut em, path, matches!(op, Bc::Div(_) | Bc::Mod(_)));
+                    push!(v, t);
+                }
+                Bc::BitAnd(fb) | Bc::BitOr(fb) | Bc::BitXor(fb) | Bc::Shl(fb) | Bc::Sar(fb)
+                | Bc::Shr(fb) => {
+                    let (b, _bt) = pop!();
+                    let (a, at) = pop!();
+                    em.set_acc(at);
+                    let bop = match op {
+                        Bc::BitAnd(_) => BitwiseOp::And,
+                        Bc::BitOr(_) => BitwiseOp::Or,
+                        Bc::BitXor(_) => BitwiseOp::Xor,
+                        Bc::Shl(_) => BitwiseOp::Shl,
+                        Bc::Sar(_) => BitwiseOp::Sar,
+                        _ => BitwiseOp::Shr,
+                    };
+                    let (v, path) = numops::bitwise(&mut self.rt, bop, a, b);
+                    self.funcs[func as usize].feedback[fb as usize].bin_mut().record(path);
+                    // Fast path: untag, op, tag. Slow: coercion stub.
+                    let t = if path == NumPath::SmiSmi {
+                        em.chain(sink, UopKind::Alu, CAT);
+                        em.chain(sink, UopKind::Alu, CAT)
+                    } else {
+                        em.stub_call(sink, stubs::BINOP_SLOW, 8, 2);
+                        em.chain(sink, UopKind::Alu, CAT)
+                    };
+                    push!(v, t);
+                }
+                Bc::Neg(fb) => {
+                    let (a, at) = pop!();
+                    em.set_acc(at);
+                    let (v, path) = numops::neg(&mut self.rt, a);
+                    self.funcs[func as usize].feedback[fb as usize].bin_mut().record(path);
+                    let t = self.ip_emit_arith(sink, &mut em, path, false);
+                    push!(v, t);
+                }
+                Bc::BitNot(fb) => {
+                    let (a, at) = pop!();
+                    em.set_acc(at);
+                    let (v, path) = numops::bit_not(&mut self.rt, a);
+                    self.funcs[func as usize].feedback[fb as usize].bin_mut().record(path);
+                    let t = em.chain(sink, UopKind::Alu, CAT);
+                    push!(v, t);
+                }
+                Bc::Not => {
+                    let (a, at) = pop!();
+                    em.set_acc(at);
+                    let truthy = self.rt.is_truthy(a);
+                    em.chain(sink, UopKind::Alu, CAT);
+                    let t = em.chain(sink, UopKind::Alu, CAT);
+                    push!(self.rt.bool_value(!truthy), t);
+                }
+                Bc::TestLt(fb) | Bc::TestLe(fb) | Bc::TestGt(fb) | Bc::TestGe(fb) => {
+                    let (b, _bt) = pop!();
+                    let (a, at) = pop!();
+                    em.set_acc(at);
+                    let cmp = match op {
+                        Bc::TestLt(_) => CmpOp::Lt,
+                        Bc::TestLe(_) => CmpOp::Le,
+                        Bc::TestGt(_) => CmpOp::Gt,
+                        _ => CmpOp::Ge,
+                    };
+                    let (r, path) = numops::compare(&self.rt, cmp, a, b);
+                    self.funcs[func as usize].feedback[fb as usize].bin_mut().record(path);
+                    let t = match path {
+                        NumPath::SmiSmi => {
+                            em.chain(sink, UopKind::Alu, CAT);
+                            em.chain(sink, UopKind::Alu, CAT)
+                        }
+                        NumPath::Double => {
+                            em.chain(sink, UopKind::Alu, CAT);
+                            em.chain_load(sink, ptr_or(a, b), CAT);
+                            em.chain(sink, UopKind::FpAdd, CAT);
+                            em.chain(sink, UopKind::Alu, CAT)
+                        }
+                        _ => {
+                            em.stub_call(sink, stubs::BINOP_SLOW, 12, 4);
+                            em.chain(sink, UopKind::Alu, CAT)
+                        }
+                    };
+                    push!(self.rt.bool_value(r), t);
+                }
+                Bc::TestEq(fb) | Bc::TestNe(fb) => {
+                    let (b, _bt) = pop!();
+                    let (a, at) = pop!();
+                    em.set_acc(at);
+                    let r = numops::loose_eq(&self.rt, a, b);
+                    let r = if matches!(op, Bc::TestNe(_)) { !r } else { r };
+                    let path = if a.is_smi() && b.is_smi() {
+                        NumPath::SmiSmi
+                    } else {
+                        NumPath::Generic
+                    };
+                    self.funcs[func as usize].feedback[fb as usize].bin_mut().record(path);
+                    let t = if path == NumPath::SmiSmi {
+                        em.chain(sink, UopKind::Alu, CAT);
+                        em.chain(sink, UopKind::Alu, CAT)
+                    } else {
+                        em.stub_call(sink, stubs::BINOP_SLOW, 10, 3);
+                        em.chain(sink, UopKind::Alu, CAT)
+                    };
+                    push!(self.rt.bool_value(r), t);
+                }
+                Bc::TestStrictEq(fb) | Bc::TestStrictNe(fb) => {
+                    let (b, _bt) = pop!();
+                    let (a, at) = pop!();
+                    em.set_acc(at);
+                    let r = numops::strict_eq(&self.rt, a, b);
+                    let r = if matches!(op, Bc::TestStrictNe(_)) { !r } else { r };
+                    let path = if a.is_smi() && b.is_smi() {
+                        NumPath::SmiSmi
+                    } else if self.rt.is_number(a) && self.rt.is_number(b) {
+                        NumPath::Double
+                    } else {
+                        NumPath::Generic
+                    };
+                    self.funcs[func as usize].feedback[fb as usize].bin_mut().record(path);
+                    em.chain(sink, UopKind::Alu, CAT);
+                    let t = em.chain(sink, UopKind::Alu, CAT);
+                    push!(self.rt.bool_value(r), t);
+                }
+                Bc::Jump(target) => {
+                    em.jump(sink, CAT);
+                    pc = target as usize;
+                    continue;
+                }
+                Bc::JumpIfFalse(target) | Bc::JumpIfTrue(target) => {
+                    let (a, at) = pop!();
+                    em.set_acc(at);
+                    let truthy = self.rt.is_truthy(a);
+                    if !(a.is_smi() || matches!(self.rt.kind_of(a), checkelide_runtime::VKind::Bool(_))) {
+                        em.chain(sink, UopKind::Alu, CAT); // generic ToBoolean
+                        em.chain(sink, UopKind::Alu, CAT);
+                    }
+                    em.chain(sink, UopKind::Alu, CAT);
+                    let jump_if_false = matches!(op, Bc::JumpIfFalse(_));
+                    let taken = if jump_if_false { !truthy } else { truthy };
+                    em.chain_branch(sink, taken, CAT);
+                    if taken {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Bc::Dup => {
+                    let (v, t) = pop!();
+                    push!(v, t);
+                    push!(v, t);
+                    em.chain(sink, UopKind::Move, CAT);
+                }
+                Bc::Pop => {
+                    let _ = pop!();
+                }
+                Bc::Call(argc, fb) => {
+                    let v = self.ip_call(sink, &mut em, func, fx, argc, fb, false, None)?;
+                    let t = em.fresh();
+                    em.set_acc(t);
+                    push!(v, t);
+                }
+                Bc::CallMethod(name, argc, fb) => {
+                    let v = self.ip_call(sink, &mut em, func, fx, argc, fb, true, Some(name))?;
+                    let t = em.fresh();
+                    em.set_acc(t);
+                    push!(v, t);
+                }
+                Bc::New(argc, fb) => {
+                    let v = self.ip_new(sink, &mut em, func, fx, argc, fb)?;
+                    let t = em.fresh();
+                    em.set_acc(t);
+                    push!(v, t);
+                }
+                Bc::Return => {
+                    let (v, _t) = pop!();
+                    em.jump(sink, CAT);
+                    return Ok(v);
+                }
+                Bc::ReturnUndef => {
+                    em.jump(sink, CAT);
+                    return Ok(self.rt.odd.undefined);
+                }
+                Bc::NewObject => {
+                    em.stub_call(sink, stubs::ALLOC, 10, 3);
+                    let v = self.rt.alloc_object(fixed::OBJECT_LITERAL_ROOT, 1);
+                    let t = em.fresh();
+                    em.set_acc(t);
+                    push!(v, t);
+                }
+                Bc::NewArray(n) => {
+                    em.stub_call(sink, stubs::ALLOC, 12, 4);
+                    let mut items = Vec::with_capacity(n as usize);
+                    for _ in 0..n {
+                        let (v, _) = pop!();
+                        items.push(v);
+                    }
+                    items.reverse();
+                    let arr = self.rt.alloc_object(fixed::ARRAY_ROOT, 1);
+                    // Keep the array rooted while element stores may box.
+                    push!(arr, em.fresh());
+                    for (i, &v) in items.iter().enumerate() {
+                        let st = self.rt.store_element(arr, i as i64, v);
+                        if let Some(nm) = st.transitioned {
+                            self.note_kind_transition(sink, nm, None);
+                        }
+                        let map_after = self.rt.object_map(arr);
+                        self.store_element_profiled(
+                            sink, &mut em, arr, map_after, st.kind, st.slot_addr, v, None, None,
+                        );
+                    }
+                    let (arr, t) = pop!();
+                    push!(arr, t);
+                }
+                Bc::LoopHead => {
+                    self.gc_safepoint(sink, &[], &[]);
+                    em.chain(sink, UopKind::Alu, CAT);
+                    em.chain_branch(sink, false, CAT);
+                }
+            }
+            pc += 1;
+        }
+    }
+
+    fn ip_emit_arith(
+        &mut self,
+        sink: &mut dyn TraceSink,
+        em: &mut Emitter,
+        path: NumPath,
+        is_div: bool,
+    ) -> Tok {
+        match path {
+            NumPath::SmiSmi => {
+                em.chain(sink, UopKind::Alu, CAT); // tag test
+                em.chain_branch(sink, false, CAT);
+                let t = em.chain(sink, if is_div { UopKind::Div } else { UopKind::Alu }, CAT);
+                em.chain_branch(sink, false, CAT); // overflow check
+                t
+            }
+            NumPath::SmiOverflow => {
+                em.chain(sink, UopKind::Alu, CAT);
+                em.chain_branch(sink, false, CAT);
+                em.chain(sink, UopKind::Alu, CAT);
+                em.chain_branch(sink, true, CAT);
+                // Box the double result.
+                em.stub_call(sink, stubs::ALLOC, 4, 2);
+                em.chain(sink, UopKind::FpAdd, CAT)
+            }
+            NumPath::Double => {
+                em.chain(sink, UopKind::Alu, CAT); // tag test
+                em.chain_branch(sink, true, CAT);
+                em.stub_call(sink, stubs::BINOP_SLOW, 3, 2); // unbox operands
+                let t = em.chain(sink, if is_div { UopKind::FpDiv } else { UopKind::FpMul }, CAT);
+                em.stub_call(sink, stubs::ALLOC, 4, 2); // box result
+                t
+            }
+            NumPath::Str => {
+                em.stub_call(sink, stubs::STRINGS, 35, 12);
+                em.chain(sink, UopKind::Alu, CAT)
+            }
+            NumPath::Generic => {
+                em.stub_call(sink, stubs::BINOP_SLOW, 20, 6);
+                em.chain(sink, UopKind::Alu, CAT)
+            }
+        }
+    }
+
+    /// Baseline `obj.name` with inline caching.
+    #[allow(clippy::too_many_arguments)]
+    fn ip_get_prop(
+        &mut self,
+        sink: &mut dyn TraceSink,
+        em: &mut Emitter,
+        func: u32,
+        obj: Value,
+        name: checkelide_runtime::NameId,
+        fb: u32,
+        _pc: usize,
+    ) -> Result<(Value, Tok), VmError> {
+        use checkelide_runtime::VKind;
+        match if obj.is_smi() { VKind::Smi } else { self.rt.kind_of(obj) } {
+            VKind::Object => {
+                let map = self.rt.object_map(obj);
+                let hit = self.funcs[func as usize].feedback[fb as usize].site_mut().record(map);
+                if hit {
+                    self.stats.ic_hits += 1;
+                } else {
+                    self.stats.ic_misses += 1;
+                }
+                // IC dispatch: call + map check.
+                em.jump(sink, CAT);
+                em.chain_load(sink, obj.addr(), CAT);
+                em.chain(sink, UopKind::Alu, CAT);
+                em.chain_branch(sink, false, CAT);
+                if !hit {
+                    em.stub_call(sink, stubs::IC_MISS, 20, 6);
+                }
+                if let Some(off) = self.rt.maps.get(map).offset_of(name) {
+                    self.note_line_access(off);
+                    if self.config.mechanism.profiles() {
+                        if let Some(cid) = self.rt.maps.get(map).class_id {
+                            self.load_stats.record_property_load(cid, (off / 8) as u8, (off % 8) as u8);
+                        }
+                    }
+                    let v = self.rt.load_slot(obj, off);
+                    let t = em.chain_load(sink, self.rt.slot_addr(obj, off), CAT);
+                    em.jump(sink, CAT);
+                    return Ok((v, t));
+                }
+                // `length` falls back to the elements length.
+                if self.rt.names.text(name) == "length" {
+                    let len = self.rt.elements_length(obj);
+                    let t = em.chain_load(
+                        sink,
+                        obj.addr() + 8 * checkelide_runtime::maps::ELEMENTS_LEN_WORD as u64,
+                        CAT,
+                    );
+                    em.jump(sink, CAT);
+                    return Ok((Value::smi(len as i32), t));
+                }
+                // Missing property: undefined.
+                em.stub_call(sink, stubs::IC_MISS, 10, 4);
+                Ok((self.rt.odd.undefined, em.fresh()))
+            }
+            VKind::Str => {
+                self.funcs[func as usize].feedback[fb as usize].site_mut().record_generic();
+                if self.rt.names.text(name) == "length" {
+                    let len = self.rt.strings.len(self.rt.str_id(obj)) as i32;
+                    let t = em.chain_load(sink, obj.addr() + 8, CAT);
+                    return Ok((Value::smi(len), t));
+                }
+                em.stub_call(sink, stubs::IC_MISS, 8, 2);
+                Ok((self.rt.odd.undefined, em.fresh()))
+            }
+            VKind::Null | VKind::Undefined => Err(VmError::new(format!(
+                "cannot read property `{}` of {}",
+                self.rt.names.text(name),
+                self.rt.to_display_string(obj)
+            ))),
+            _ => {
+                self.funcs[func as usize].feedback[fb as usize].site_mut().record_generic();
+                em.stub_call(sink, stubs::IC_MISS, 8, 2);
+                Ok((self.rt.odd.undefined, em.fresh()))
+            }
+        }
+    }
+
+    /// Baseline `obj.name = value` with inline caching, transitions and
+    /// store profiling. Returns the (possibly relocation-fixed) value.
+    #[allow(clippy::too_many_arguments)]
+    fn ip_set_prop(
+        &mut self,
+        sink: &mut dyn TraceSink,
+        em: &mut Emitter,
+        func: u32,
+        obj: Value,
+        name: checkelide_runtime::NameId,
+        value: Value,
+        vt: Tok,
+        fb: u32,
+    ) -> Result<Value, VmError> {
+        use checkelide_runtime::VKind;
+        if obj.is_smi() {
+            return Ok(value);
+        }
+        match self.rt.kind_of(obj) {
+            VKind::Object => {}
+            VKind::Null | VKind::Undefined => {
+                return Err(VmError::new(format!(
+                    "cannot set property `{}` of {}",
+                    self.rt.names.text(name),
+                    self.rt.to_display_string(obj)
+                )))
+            }
+            _ => return Ok(value),
+        }
+        let map_before = self.rt.object_map(obj);
+        let hit = self.funcs[func as usize].feedback[fb as usize].site_mut().record(map_before);
+        if hit {
+            self.stats.ic_hits += 1;
+        } else {
+            self.stats.ic_misses += 1;
+        }
+        em.jump(sink, CAT);
+        em.chain_load(sink, obj.addr(), CAT);
+        em.chain(sink, UopKind::Alu, CAT);
+        em.chain_branch(sink, false, CAT);
+        if !hit {
+            em.stub_call(sink, stubs::IC_MISS, 20, 6);
+        }
+
+        if let Some(off) = self.rt.maps.get(map_before).offset_of(name) {
+            self.note_line_access(off);
+            self.rt.store_slot(obj, off, value);
+            em.set_acc(vt);
+            self.store_property_profiled(sink, em, obj, map_before, off, value, None);
+            em.jump(sink, CAT);
+            return Ok(value);
+        }
+
+        // Transition (property addition): an in-place class change.
+        em.stub_call(sink, stubs::TRANSITION, 25, 8);
+        self.note_map_transition(sink, map_before, None);
+        let add = self.rt.add_property(obj, name);
+        let (obj, value) = match add.relocated {
+            Some((old, new)) => {
+                self.fix_roots(old, new);
+                let fix = |v: Value| if v.is_ptr() && v.addr() == old { Value::ptr(new) } else { v };
+                (fix(obj), fix(value))
+            }
+            None => (obj, value),
+        };
+        self.note_line_access(add.offset);
+        self.rt.store_slot(obj, add.offset, value);
+        em.set_acc(vt);
+        self.store_property_profiled(sink, em, obj, add.new_map, add.offset, value, None);
+        em.jump(sink, CAT);
+        Ok(value)
+    }
+
+    /// Baseline `obj[ix]`.
+    fn ip_get_elem(
+        &mut self,
+        sink: &mut dyn TraceSink,
+        em: &mut Emitter,
+        func: u32,
+        obj: Value,
+        ix: Value,
+        fb: u32,
+    ) -> Result<(Value, Tok), VmError> {
+        use checkelide_runtime::VKind;
+        if obj.is_smi() {
+            return Err(VmError::new("cannot index a number"));
+        }
+        match self.rt.kind_of(obj) {
+            VKind::Str => {
+                self.funcs[func as usize].feedback[fb as usize].site_mut().record_generic();
+                em.stub_call(sink, stubs::STRINGS, 8, 3);
+                let i = integral_index(&self.rt, ix);
+                let v = match i {
+                    Some(i) => {
+                        checkelide_runtime::call_builtin(
+                            &mut self.rt,
+                            Builtin::CharAt,
+                            obj,
+                            &[Value::smi(i as i32)],
+                        )
+                    }
+                    None => self.rt.odd.undefined,
+                };
+                Ok((v, em.fresh()))
+            }
+            VKind::Object => {
+                let map = self.rt.object_map(obj);
+                let hit = self.funcs[func as usize].feedback[fb as usize].site_mut().record(map);
+                if hit {
+                    self.stats.ic_hits += 1;
+                } else {
+                    self.stats.ic_misses += 1;
+                    em.stub_call(sink, stubs::IC_MISS, 15, 5);
+                }
+                // Map check + bounds check.
+                em.jump(sink, CAT);
+                em.chain_load(sink, obj.addr(), CAT);
+                em.chain(sink, UopKind::Alu, CAT);
+                em.chain_branch(sink, false, CAT);
+                em.chain_load(sink, obj.addr() + 24, CAT); // length
+                em.chain(sink, UopKind::Alu, CAT);
+                em.chain_branch(sink, false, CAT);
+                let Some(i) = integral_index(&self.rt, ix) else {
+                    em.stub_call(sink, stubs::ELEMS_SLOW, 10, 3);
+                    return Ok((self.rt.odd.undefined, em.fresh()));
+                };
+                let ld = self.rt.load_element(obj, i);
+                if self.config.mechanism.profiles()
+                    && ld.kind == ElemKind::Tagged
+                    && !ld.oob
+                {
+                    if let Some(cid) = self.rt.maps.get(map).class_id {
+                        self.load_stats.record_elements_load(cid);
+                    }
+                }
+                let t = em.chain_load(sink, ld.slot_addr, CAT);
+                if ld.boxed_double {
+                    em.stub_call(sink, stubs::ALLOC, 4, 2);
+                }
+                em.jump(sink, CAT);
+                Ok((ld.value, t))
+            }
+            VKind::Null | VKind::Undefined => Err(VmError::new("cannot index null/undefined")),
+            _ => Ok((self.rt.odd.undefined, em.fresh())),
+        }
+    }
+
+    /// Baseline `obj[ix] = value`.
+    #[allow(clippy::too_many_arguments)]
+    fn ip_set_elem(
+        &mut self,
+        sink: &mut dyn TraceSink,
+        em: &mut Emitter,
+        func: u32,
+        obj: Value,
+        ix: Value,
+        value: Value,
+        vt: Tok,
+        fb: u32,
+    ) -> Result<(), VmError> {
+        use checkelide_runtime::VKind;
+        if obj.is_smi() || self.rt.kind_of(obj) != VKind::Object {
+            return Err(VmError::new("cannot index-assign a non-object"));
+        }
+        let map_before = self.rt.object_map(obj);
+        let hit = self.funcs[func as usize].feedback[fb as usize].site_mut().record(map_before);
+        if hit {
+            self.stats.ic_hits += 1;
+        } else {
+            self.stats.ic_misses += 1;
+            em.stub_call(sink, stubs::IC_MISS, 15, 5);
+        }
+        em.jump(sink, CAT);
+        em.chain_load(sink, obj.addr(), CAT);
+        em.chain(sink, UopKind::Alu, CAT);
+        em.chain_branch(sink, false, CAT);
+        em.chain_load(sink, obj.addr() + 24, CAT);
+        em.chain(sink, UopKind::Alu, CAT);
+        em.chain_branch(sink, false, CAT);
+        let Some(i) = integral_index(&self.rt, ix) else {
+            em.stub_call(sink, stubs::ELEMS_SLOW, 10, 3);
+            return Ok(());
+        };
+        let st = self.rt.store_element(obj, i, value);
+        if let Some(nm) = st.transitioned {
+            self.note_kind_transition(sink, nm, None);
+        }
+        if st.transitioned.is_some() || st.grew {
+            em.stub_call(sink, stubs::ELEMS_SLOW, 30, 12);
+        }
+        let map_after = self.rt.object_map(obj);
+        em.set_acc(vt);
+        self.store_element_profiled(
+            sink, em, obj, map_after, st.kind, st.slot_addr, value, None, None,
+        );
+        em.jump(sink, CAT);
+        Ok(())
+    }
+
+    /// Baseline call / method-call.
+    #[allow(clippy::too_many_arguments)]
+    fn ip_call(
+        &mut self,
+        sink: &mut dyn TraceSink,
+        em: &mut Emitter,
+        func: u32,
+        fx: usize,
+        argc: u8,
+        fb: u32,
+        is_method: bool,
+        name: Option<checkelide_runtime::NameId>,
+    ) -> Result<Value, VmError> {
+        use checkelide_runtime::VKind;
+        let stack_len = self.frames[fx].stack.len();
+        let args: Vec<Value> =
+            self.frames[fx].stack.split_off(stack_len - argc as usize);
+        let new_toks = self.frames[fx].toks.len() - argc as usize;
+        self.frames[fx].toks.truncate(new_toks);
+        let (recv_or_callee, _t) = {
+            let v = self.frames[fx].stack.pop().expect("stack underflow");
+            let t = self.frames[fx].toks.pop().unwrap();
+            (v, t)
+        };
+
+        // Call overhead: argument moves + call.
+        for _ in 0..argc {
+            em.chain(sink, UopKind::Move, CAT);
+        }
+        em.chain(sink, UopKind::Alu, CAT);
+
+        if !is_method {
+            em.jump(sink, CAT);
+            if !recv_or_callee.is_smi()
+                && matches!(self.rt.kind_of(recv_or_callee), VKind::Func)
+            {
+                let fr = self.rt.func_ref(recv_or_callee);
+                self.funcs[func as usize].feedback[fb as usize].call_mut().record(fr);
+            }
+            let undef = self.rt.odd.undefined;
+            return self.call_value(sink, recv_or_callee, undef, &args);
+        }
+
+        let name = name.expect("method call has a name");
+        // Method lookup µops (an IC-dispatched property load).
+        em.chain_load(sink, if recv_or_callee.is_ptr() { recv_or_callee.addr() } else { 0x1000 }, CAT);
+        em.chain(sink, UopKind::Alu, CAT);
+        em.chain_branch(sink, false, CAT);
+        match if recv_or_callee.is_smi() { VKind::Smi } else { self.rt.kind_of(recv_or_callee) } {
+            VKind::Str => {
+                let b = match self.rt.names.text(name) {
+                    "charCodeAt" => Builtin::CharCodeAt,
+                    "charAt" => Builtin::CharAt,
+                    "substring" => Builtin::Substring,
+                    "indexOf" => Builtin::IndexOf,
+                    other => {
+                        return Err(VmError::new(format!("string has no method `{other}`")))
+                    }
+                };
+                self.funcs[func as usize].feedback[fb as usize].site_mut().record_generic();
+                self.funcs[func as usize].feedback[fb as usize + 1]
+                    .call_mut()
+                    .record(FuncRefBuiltin(b));
+                Ok(self.call_builtin_traced(sink, b, recv_or_callee, &args))
+            }
+            VKind::Object => {
+                let map = self.rt.object_map(recv_or_callee);
+                let hit =
+                    self.funcs[func as usize].feedback[fb as usize].site_mut().record(map);
+                if hit {
+                    self.stats.ic_hits += 1;
+                } else {
+                    self.stats.ic_misses += 1;
+                    em.stub_call(sink, stubs::IC_MISS, 20, 6);
+                }
+                if let Some(off) = self.rt.maps.get(map).offset_of(name) {
+                    self.note_line_access(off);
+                    if self.config.mechanism.profiles() {
+                        if let Some(cid) = self.rt.maps.get(map).class_id {
+                            self.load_stats.record_property_load(
+                                cid,
+                                (off / 8) as u8,
+                                (off % 8) as u8,
+                            );
+                        }
+                    }
+                    let callee = self.rt.load_slot(recv_or_callee, off);
+                    em.chain_load(sink, self.rt.slot_addr(recv_or_callee, off), CAT);
+                    em.jump(sink, CAT);
+                    if !callee.is_smi() && matches!(self.rt.kind_of(callee), VKind::Func) {
+                        let fr = self.rt.func_ref(callee);
+                        self.funcs[func as usize].feedback[fb as usize + 1]
+                            .call_mut()
+                            .record(fr);
+                    }
+                    return self.call_value(sink, callee, recv_or_callee, &args);
+                }
+                // Builtin array methods.
+                let b = match self.rt.names.text(name) {
+                    "push" => Builtin::ArrayPush,
+                    "pop" => Builtin::ArrayPop,
+                    other => {
+                        return Err(VmError::new(format!("object has no method `{other}`")))
+                    }
+                };
+                self.funcs[func as usize].feedback[fb as usize + 1]
+                    .call_mut()
+                    .record(FuncRefBuiltin(b));
+                em.jump(sink, CAT);
+                // Element stores inside push are profiled like SetElem.
+                let before_len = self.rt.elements_length(recv_or_callee);
+                let kind_before = self.rt.elements_kind(recv_or_callee);
+                let r = self.call_builtin_traced(sink, b, recv_or_callee, &args);
+                if self.rt.elements_kind(recv_or_callee) != kind_before {
+                    let nm = self.rt.object_map(recv_or_callee);
+                    self.note_kind_transition(sink, nm, None);
+                }
+                if b == Builtin::ArrayPush && self.config.mechanism.profiles() {
+                    let map_after = self.rt.object_map(recv_or_callee);
+                    let kind = self.rt.elements_kind(recv_or_callee);
+                    for (k, &a) in args.iter().enumerate() {
+                        let idx = before_len as i64 + k as i64;
+                        let ld = self.rt.load_element(recv_or_callee, idx);
+                        self.store_element_profiled(
+                            sink,
+                            em,
+                            recv_or_callee,
+                            map_after,
+                            kind,
+                            ld.slot_addr,
+                            a,
+                            None,
+                            None,
+                        );
+                    }
+                }
+                Ok(r)
+            }
+            _ => Err(VmError::new("method call on non-object")),
+        }
+    }
+
+    /// Baseline `new F(...)`.
+    fn ip_new(
+        &mut self,
+        sink: &mut dyn TraceSink,
+        em: &mut Emitter,
+        func: u32,
+        fx: usize,
+        argc: u8,
+        fb: u32,
+    ) -> Result<Value, VmError> {
+        use checkelide_runtime::VKind;
+        let stack_len = self.frames[fx].stack.len();
+        let args: Vec<Value> = self.frames[fx].stack.split_off(stack_len - argc as usize);
+        let new_toks = self.frames[fx].toks.len() - argc as usize;
+        self.frames[fx].toks.truncate(new_toks);
+        let callee = self.frames[fx].stack.pop().expect("stack underflow");
+        self.frames[fx].toks.pop();
+
+        if callee.is_smi() || !matches!(self.rt.kind_of(callee), VKind::Func) {
+            return Err(VmError::new("`new` target is not a function"));
+        }
+        let fr = self.rt.func_ref(callee);
+        self.funcs[func as usize].feedback[fb as usize].call_mut().record(fr);
+        let checkelide_runtime::FuncRef::User(fi) = fr else {
+            return Err(VmError::new("builtins are not constructors"));
+        };
+
+        em.stub_call(sink, stubs::ALLOC, 12, 4);
+        let initial_map = self.construction_map(fi);
+        let capacity = self.funcs[fi as usize].expected_lines;
+        let obj = self.rt.alloc_object(initial_map, capacity);
+
+        // Keep the fresh object rooted (and relocation-fixable) on our
+        // operand stack during the constructor call.
+        self.frames[fx].stack.push(obj);
+        self.frames[fx].toks.push(Tok::NONE);
+        let ret = self.call_user(sink, fi, obj, &args);
+        let obj = self.frames[fx].stack.pop().expect("constructor receiver");
+        self.frames[fx].toks.pop();
+        let ret = ret?;
+
+        // Allocation-site feedback: final size and elements kind.
+        self.record_construction(fi, obj);
+
+        if !ret.is_smi() && matches!(self.rt.kind_of(ret), VKind::Object) {
+            Ok(ret)
+        } else {
+            Ok(obj)
+        }
+    }
+}
+
+/// Integral, non-negative array index from a value.
+fn integral_index(rt: &checkelide_runtime::Runtime, v: Value) -> Option<i64> {
+    if v.is_smi() {
+        let i = v.as_smi();
+        return if i >= 0 { Some(i as i64) } else { None };
+    }
+    if matches!(rt.kind_of(v), checkelide_runtime::VKind::Number) {
+        let f = rt.heap_number_value(v);
+        if f.trunc() == f && (0.0..2_147_483_648.0).contains(&f) {
+            return Some(f as i64);
+        }
+    }
+    None
+}
+
+/// Address of whichever operand is a heap pointer (for the double-compare
+/// unbox load); falls back to a fixed stub address.
+fn ptr_or(a: Value, b: Value) -> u64 {
+    if a.is_ptr() {
+        a.addr()
+    } else if b.is_ptr() {
+        b.addr()
+    } else {
+        stubs::BINOP_SLOW
+    }
+}
+
+#[allow(non_snake_case)]
+fn FuncRefBuiltin(b: Builtin) -> checkelide_runtime::FuncRef {
+    checkelide_runtime::FuncRef::Builtin(b)
+}

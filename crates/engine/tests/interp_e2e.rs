@@ -1,0 +1,410 @@
+//! End-to-end baseline-interpreter tests: parse → compile → run, checking
+//! results, feedback, profiling and GC behaviour.
+
+use checkelide_engine::{EngineConfig, Mechanism, Vm};
+use checkelide_isa::{CounterSink, NullSink};
+use checkelide_runtime::Value;
+
+fn run(src: &str) -> (Vm, Value) {
+    let mut vm = Vm::new(EngineConfig::default());
+    let mut sink = NullSink::new();
+    let v = vm.run_program(src, &mut sink).expect("program runs");
+    (vm, v)
+}
+
+fn eval_global(src: &str, name: &str) -> Value {
+    let (vm, _) = run(src);
+    vm.global_value(name).unwrap_or_else(|| panic!("global {name} not set"))
+}
+
+fn eval_num(src: &str) -> f64 {
+    let (vm, _) = run(&format!("var __r = ({src});"));
+    let v = vm.global_value("__r").unwrap();
+    vm.rt.to_f64(v)
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(eval_num("1 + 2 * 3"), 7.0);
+    assert_eq!(eval_num("(1 + 2) * 3"), 9.0);
+    assert_eq!(eval_num("10 / 4"), 2.5);
+    assert_eq!(eval_num("7 % 3"), 1.0);
+    assert_eq!(eval_num("-7 % 3"), -1.0);
+    assert_eq!(eval_num("2147483647 + 1"), 2147483648.0);
+    assert_eq!(eval_num("0.1 + 0.2"), 0.1 + 0.2);
+    assert_eq!(eval_num("1 << 10"), 1024.0);
+    assert_eq!(eval_num("-1 >>> 0"), 4294967295.0);
+    assert_eq!(eval_num("~5"), -6.0);
+    assert_eq!(eval_num("5 & 3"), 1.0);
+    assert_eq!(eval_num("5 | 3"), 7.0);
+    assert_eq!(eval_num("5 ^ 3"), 6.0);
+}
+
+#[test]
+fn comparisons_and_logic() {
+    assert_eq!(eval_num("1 < 2 ? 10 : 20"), 10.0);
+    assert_eq!(eval_num("2 <= 1 ? 10 : 20"), 20.0);
+    assert_eq!(eval_num("(1 == '1') ? 1 : 0"), 1.0);
+    assert_eq!(eval_num("(1 === 1) ? 1 : 0"), 1.0);
+    assert_eq!(eval_num("(null == undefined) ? 1 : 0"), 1.0);
+    assert_eq!(eval_num("(null === undefined) ? 1 : 0"), 0.0);
+    assert_eq!(eval_num("0 || 7"), 7.0);
+    assert_eq!(eval_num("3 || 7"), 3.0);
+    assert_eq!(eval_num("0 && 7"), 0.0);
+    assert_eq!(eval_num("2 && 7"), 7.0);
+    assert_eq!(eval_num("!0 ? 1 : 2"), 1.0);
+}
+
+#[test]
+fn loops_and_control_flow() {
+    assert_eq!(
+        eval_num("(function() { var s = 0; for (var i = 0; i < 10; i++) s += i; return s; })()"),
+        45.0
+    );
+    assert_eq!(
+        eval_num(
+            "(function() { var s = 0; var i = 0; while (i < 10) { i++; if (i % 2) continue; s \
+             += i; if (i >= 8) break; } return s; })()"
+        ),
+        (2 + 4 + 6 + 8) as f64
+    );
+    assert_eq!(
+        eval_num("(function() { var i = 0; do { i++; } while (i < 5); return i; })()"),
+        5.0
+    );
+}
+
+#[test]
+fn functions_and_recursion() {
+    let v = eval_global(
+        "function fib(n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+         var r = fib(15);",
+        "r",
+    );
+    assert_eq!(v.as_smi(), 610);
+}
+
+#[test]
+fn objects_and_hidden_classes() {
+    let (vm, _) = run(
+        "function Point(x, y) { this.x = x; this.y = y; }
+         var a = new Point(1, 2);
+         var b = new Point(3, 4);
+         var s = a.x + a.y + b.x + b.y;
+         a.x = 10;
+         var t = a.x;",
+    );
+    assert_eq!(vm.global_value("s").unwrap().as_smi(), 10);
+    assert_eq!(vm.global_value("t").unwrap().as_smi(), 10);
+    // a and b share a hidden class.
+    let a = vm.global_value("a").unwrap();
+    let b = vm.global_value("b").unwrap();
+    assert_eq!(vm.rt.object_map(a), vm.rt.object_map(b));
+}
+
+#[test]
+fn object_literals() {
+    let (vm, _) = run("var o = { a: 1, b: { c: 2 } }; var r = o.a + o.b.c;");
+    assert_eq!(vm.global_value("r").unwrap().as_smi(), 3);
+}
+
+#[test]
+fn arrays_and_elements_kinds() {
+    let (vm, _) = run(
+        "var a = [1, 2, 3];
+         a[3] = 4;
+         var s = a[0] + a[1] + a[2] + a[3] + a.length;
+         var d = [1.5, 2.5];
+         var ds = d[0] + d[1];
+         a.push(5);
+         var p = a.pop();
+         var len = a.length;",
+    );
+    assert_eq!(vm.global_value("s").unwrap().as_smi(), 14);
+    assert_eq!(vm.rt.to_f64(vm.global_value("ds").unwrap()), 4.0);
+    assert_eq!(vm.global_value("p").unwrap().as_smi(), 5);
+    assert_eq!(vm.global_value("len").unwrap().as_smi(), 4);
+}
+
+#[test]
+fn strings() {
+    let (vm, _) = run(
+        "var s = 'hello' + ' ' + 'world';
+         var n = s.length;
+         var c = s.charCodeAt(0);
+         var sub = s.substring(0, 5);
+         var i = s.indexOf('world');
+         var ch = s.charAt(4);
+         var cat = 'x=' + 5 + '!';",
+    );
+    let s = |name: &str| {
+        let v = vm.global_value(name).unwrap();
+        vm.rt.to_display_string(v)
+    };
+    assert_eq!(s("s"), "hello world");
+    assert_eq!(vm.global_value("n").unwrap().as_smi(), 11);
+    assert_eq!(vm.global_value("c").unwrap().as_smi(), 104);
+    assert_eq!(s("sub"), "hello");
+    assert_eq!(vm.global_value("i").unwrap().as_smi(), 6);
+    assert_eq!(s("ch"), "o");
+    assert_eq!(s("cat"), "x=5!");
+}
+
+#[test]
+fn math_builtins() {
+    assert_eq!(eval_num("Math.sqrt(16)"), 4.0);
+    assert_eq!(eval_num("Math.abs(-3.5)"), 3.5);
+    assert_eq!(eval_num("Math.max(1, 7, 3)"), 7.0);
+    assert_eq!(eval_num("Math.floor(2.7)"), 2.0);
+    assert_eq!(eval_num("Math.pow(2, 8)"), 256.0);
+    let r = eval_num("Math.random()");
+    assert!((0.0..1.0).contains(&r));
+}
+
+#[test]
+fn methods_stored_as_properties() {
+    let (vm, _) = run(
+        "function Counter(start) {
+             this.n = start;
+             this.bump = counterBump;
+         }
+         function counterBump(by) { this.n = this.n + by; return this.n; }
+         var c = new Counter(10);
+         c.bump(5);
+         var r = c.bump(1);",
+    );
+    assert_eq!(vm.global_value("r").unwrap().as_smi(), 16);
+}
+
+#[test]
+fn constructor_with_many_properties_relocates() {
+    let (vm, _) = run(
+        "function Big(v) {
+             this.p0 = v; this.p1 = v; this.p2 = v; this.p3 = v;
+             this.p4 = v; this.p5 = v; this.p6 = v; this.p7 = v; this.p8 = v;
+         }
+         var o = new Big(3);
+         var r = o.p0 + o.p5 + o.p8;
+         var o2 = new Big(1);
+         var r2 = o2.p8;",
+    );
+    assert_eq!(vm.global_value("r").unwrap().as_smi(), 9);
+    assert_eq!(vm.global_value("r2").unwrap().as_smi(), 1);
+    // Slack tracking: only the first construction relocated.
+    assert_eq!(vm.rt.heap.stats().relocations, 1);
+}
+
+#[test]
+fn feedback_is_recorded() {
+    let (vm, _) = run(
+        "function Point(x) { this.x = x; }
+         function get(p) { return p.x; }
+         var s = 0;
+         for (var i = 0; i < 20; i++) { s += get(new Point(i)); }",
+    );
+    // `get` has a monomorphic property-load site.
+    let get_ix = vm
+        .funcs
+        .iter()
+        .position(|f| f.decl.name == "get")
+        .expect("get registered");
+    let fb = &vm.funcs[get_ix].feedback;
+    let site = fb
+        .iter()
+        .find_map(|f| match f {
+            checkelide_engine::FeedbackSlot::Site(s) if !s.maps.is_empty() => Some(s),
+            _ => None,
+        })
+        .expect("property site has feedback");
+    assert_eq!(site.maps.len(), 1, "monomorphic");
+    assert!(site.hits >= 18);
+}
+
+#[test]
+fn profiling_mode_builds_class_list() {
+    let mut vm = Vm::new(EngineConfig {
+        mechanism: Mechanism::ProfileOnly,
+        ..EngineConfig::default()
+    });
+    let mut sink = NullSink::new();
+    vm.run_program(
+        "function Point(x, y) { this.x = x; this.y = y; }
+         var pts = [];
+         for (var i = 0; i < 10; i++) pts.push(new Point(i, i * 2));
+         var s = 0;
+         for (var j = 0; j < 10; j++) s += pts[j].x;",
+        &mut sink,
+    )
+    .unwrap();
+    // The Point classes' x slot (offset 1) is profiled SMI-monomorphic.
+    let a = vm.global_value("pts").unwrap();
+    let p0 = vm.rt.load_element(a, 0).value;
+    let map = vm.rt.object_map(p0);
+    let x = vm.rt.names.lookup("x").unwrap();
+    let intro = vm.rt.maps.introducer_of(map, x).unwrap();
+    let off = vm.rt.maps.get(map).offset_of(x).unwrap();
+    let agg = vm.aggregated_monomorphic_class(intro, (off / 8) as u8, (off % 8) as u8);
+    assert_eq!(agg, Some(checkelide_core::ClassId::SMI));
+    // The array's elements profile records the Point class.
+    let arr_map = vm.rt.object_map(a);
+    let arr_cid = vm.rt.maps.get(arr_map).class_id.unwrap();
+    let point_cid = vm.rt.maps.get(map).class_id.unwrap();
+    assert_eq!(
+        vm.class_list.monomorphic_class(arr_cid, 0, checkelide_core::ELEMENTS_SLOT),
+        Some(point_cid)
+    );
+    // Load stats saw both property and elements loads.
+    assert!(vm.load_stats.total() > 0);
+}
+
+#[test]
+fn full_mechanism_baseline_profiles_through_class_cache() {
+    let mut vm = Vm::new(EngineConfig {
+        mechanism: Mechanism::Full,
+        opt_enabled: false,
+        ..EngineConfig::default()
+    });
+    let mut sink = CounterSink::new();
+    vm.run_program(
+        "function T(v) { this.v = v; }
+         var s = 0;
+         for (var i = 0; i < 50; i++) { var t = new T(i); t.v = i + 1; s += t.v; }",
+        &mut sink,
+    )
+    .unwrap();
+    assert_eq!(vm.global_value("s").unwrap().as_smi(), (1..=50).sum::<i32>());
+    let st = vm.class_cache.stats();
+    assert!(st.accesses >= 100, "two profiled stores per iteration, got {}", st.accesses);
+    assert!(st.hit_rate() > 0.9, "hit rate {}", st.hit_rate());
+    assert!(sink.total() > 0);
+}
+
+#[test]
+fn gc_survives_heavy_allocation() {
+    let mut vm = Vm::new(EngineConfig {
+        gc_threshold_words: 20_000,
+        ..EngineConfig::default()
+    });
+    let mut sink = NullSink::new();
+    vm.run_program(
+        "function Node(v) { this.v = v; this.next = null; }
+         var keep = new Node(0);
+         var sum = 0;
+         for (var i = 0; i < 20000; i++) {
+             var n = new Node(i);
+             n.next = new Node(i * 2);
+             sum += n.v + n.next.v;  // garbage after this iteration
+         }
+         keep.v = 42;
+         var r = keep.v;",
+        &mut sink,
+    )
+    .unwrap();
+    assert!(vm.stats.gc_runs > 0, "GC must have run");
+    assert_eq!(vm.global_value("r").unwrap().as_smi(), 42);
+    let expected: i64 = (0..20000i64).map(|i| i + i * 2).sum();
+    assert_eq!(vm.rt.to_f64(vm.global_value("sum").unwrap()), expected as f64);
+}
+
+#[test]
+fn runtime_errors_are_reported() {
+    let mut vm = Vm::new(EngineConfig::default());
+    let mut sink = NullSink::new();
+    let err = vm.run_program("var x = null; x.y;", &mut sink).unwrap_err();
+    assert!(err.message.contains("cannot read property"), "{err}");
+    let mut vm = Vm::new(EngineConfig::default());
+    let err = vm.run_program("nothing();", &mut sink).unwrap_err();
+    assert!(err.message.contains("not a function"), "{err}");
+}
+
+#[test]
+fn print_builtin() {
+    let _ = checkelide_runtime::take_output();
+    run("print('answer', 42);");
+    assert_eq!(checkelide_runtime::take_output(), vec!["answer 42"]);
+}
+
+#[test]
+fn elements_kind_transition_preserves_values() {
+    let (vm, _) = run(
+        "var a = [1, 2];
+         a[2] = 3.5;       // Smi -> Double
+         var x = a[0] + a[2];
+         a[3] = 'str';     // Double -> Tagged
+         var y = a[1];
+         var z = a[3];",
+    );
+    assert_eq!(vm.rt.to_f64(vm.global_value("x").unwrap()), 4.5);
+    assert_eq!(vm.global_value("y").unwrap().as_smi(), 2);
+    let z = vm.global_value("z").unwrap();
+    assert_eq!(vm.rt.to_display_string(z), "str");
+}
+
+#[test]
+fn update_expressions_postfix_and_prefix() {
+    assert_eq!(eval_num("(function() { var i = 5; var a = i++; return a * 100 + i; })()"), 506.0);
+    assert_eq!(eval_num("(function() { var i = 5; var a = ++i; return a * 100 + i; })()"), 606.0);
+    let (vm, _) = run("var o = { n: 1 }; var a = o.n++; var b = o.n;");
+    assert_eq!(vm.global_value("a").unwrap().as_smi(), 1);
+    assert_eq!(vm.global_value("b").unwrap().as_smi(), 2);
+    let (vm, _) = run("var arr = [7]; var a = arr[0]--; var b = arr[0];");
+    assert_eq!(vm.global_value("a").unwrap().as_smi(), 7);
+    assert_eq!(vm.global_value("b").unwrap().as_smi(), 6);
+}
+
+#[test]
+fn compound_assignment_on_members() {
+    let (vm, _) = run("var o = { n: 10 }; o.n += 5; o.n *= 2; var r = o.n;");
+    assert_eq!(vm.global_value("r").unwrap().as_smi(), 30);
+    let (vm, _) = run("var a = [1, 2]; a[0] += 9; a[1] <<= 3; var r = a[0] * 100 + a[1];");
+    assert_eq!(vm.global_value("r").unwrap().as_smi(), 1016);
+}
+
+#[test]
+fn string_char_indexing() {
+    let (vm, _) = run("var s = 'abc'; var c = s[1];");
+    let c = vm.global_value("c").unwrap();
+    assert_eq!(vm.rt.to_display_string(c), "b");
+}
+
+#[test]
+fn function_expressions_work() {
+    assert_eq!(eval_num("(function(a, b) { return a * b; })(6, 7)"), 42.0);
+    let (vm, _) = run("var f = function(x) { return x + 1; }; var r = f(4);");
+    assert_eq!(vm.global_value("r").unwrap().as_smi(), 5);
+}
+
+#[test]
+fn global_functions_call_each_other() {
+    let (vm, _) = run(
+        "function a(n) { return n <= 0 ? 0 : b(n - 1) + 1; }
+         function b(n) { return n <= 0 ? 0 : a(n - 1) + 1; }
+         var r = a(9);",
+    );
+    assert_eq!(vm.global_value("r").unwrap().as_smi(), 9);
+}
+
+#[test]
+fn parse_int_and_float_globals() {
+    assert_eq!(eval_num("parseInt('42')"), 42.0);
+    assert_eq!(eval_num("parseFloat('2.5x')"), 2.5);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let src = "function W() { this.v = Math.random(); }
+               var s = 0;
+               for (var i = 0; i < 100; i++) s += new W().v;
+               var r = s;";
+    let a = {
+        let (vm, _) = run(src);
+        let v = vm.global_value("r").unwrap();
+        vm.rt.to_f64(v)
+    };
+    let b = {
+        let (vm, _) = run(src);
+        let v = vm.global_value("r").unwrap();
+        vm.rt.to_f64(v)
+    };
+    assert_eq!(a, b);
+}

@@ -1,0 +1,129 @@
+//! Golden properties of the emitted µop traces: the baseline tier retires
+//! only Rest-of-Code/Runtime µops, memory µops carry plausible simulated
+//! addresses, and Full mode adds exactly the paper's new instructions.
+
+use checkelide_engine::{EngineConfig, Mechanism, Vm};
+use checkelide_isa::layout;
+use checkelide_isa::trace::VecSink;
+use checkelide_isa::uop::{Category, Region, UopKind};
+
+fn trace(src: &str, mech: Mechanism) -> VecSink {
+    let mut vm = Vm::new(EngineConfig {
+        mechanism: mech,
+        opt_enabled: false,
+        ..EngineConfig::default()
+    });
+    let mut sink = VecSink::new();
+    vm.run_program(src, &mut sink).expect("program runs");
+    sink
+}
+
+const SRC: &str = "function T(v) { this.v = v; }
+     var a = [];
+     for (var i = 0; i < 10; i++) a[i] = new T(i);
+     var s = 0;
+     for (var i = 0; i < 10; i++) s += a[i].v;";
+
+#[test]
+fn baseline_tier_emits_no_optimized_categories() {
+    let t = trace(SRC, Mechanism::Off);
+    assert!(!t.is_empty());
+    for u in &t.uops {
+        assert_ne!(u.region, Region::Optimized, "baseline-only run");
+        assert!(
+            matches!(u.category, Category::RestOfCode),
+            "baseline µops are Rest of Code (got {:?})",
+            u.category
+        );
+    }
+}
+
+#[test]
+fn memory_uops_land_in_known_regions() {
+    let t = trace(SRC, Mechanism::Off);
+    let mut heap = 0u64;
+    let mut stack = 0u64;
+    let mut globals = 0u64;
+    for u in &t.uops {
+        // Instruction addresses must be in a code region.
+        assert!(
+            u.pc >= layout::BASELINE_CODE_BASE && u.pc < layout::CLASS_LIST_BASE,
+            "pc {:#x} outside code regions",
+            u.pc
+        );
+        if let Some(m) = u.mem {
+            if m.addr >= layout::STACK_BASE {
+                stack += 1;
+            } else if m.addr >= 0x7e00_0000 {
+                globals += 1;
+            } else if m.addr >= layout::HEAP_BASE && m.addr < layout::BASELINE_CODE_BASE {
+                heap += 1;
+            }
+        }
+    }
+    assert!(heap > 50, "heap traffic expected ({heap})");
+    // Top-level vars live in globals; only constructor params hit frames.
+    assert!(stack >= 10, "frame-slot traffic expected ({stack})");
+    assert!(globals > 5, "global-cell traffic expected ({globals})");
+}
+
+#[test]
+fn full_mode_adds_exactly_the_new_instructions() {
+    let off = trace(SRC, Mechanism::Off);
+    let full = trace(SRC, Mechanism::Full);
+    let count = |t: &VecSink, k: UopKind| t.uops.iter().filter(|u| u.kind == k).count();
+
+    for k in [
+        UopKind::MovClassId,
+        UopKind::MovClassIdArray,
+        UopKind::MovStoreClassCache,
+        UopKind::MovStoreClassCacheArray,
+    ] {
+        assert_eq!(count(&off, k), 0, "{k:?} must not appear without the mechanism");
+    }
+    // Property stores inside the constructor → movStoreClassCache;
+    // element stores of objects → movStoreClassCacheArray (+ its
+    // movClassIDArray holder-class load, unhoisted in baseline).
+    assert!(count(&full, UopKind::MovStoreClassCache) >= 10);
+    assert!(count(&full, UopKind::MovStoreClassCacheArray) >= 10);
+    assert!(count(&full, UopKind::MovClassIdArray) >= 10);
+    assert!(count(&full, UopKind::MovClassId) >= 20);
+    // Every special store still performs its data write.
+    for u in &full.uops {
+        if u.kind == UopKind::MovStoreClassCache || u.kind == UopKind::MovStoreClassCacheArray
+        {
+            let m = u.mem.expect("special stores write memory");
+            assert!(m.is_store);
+            assert!(m.addr >= layout::HEAP_BASE && m.addr < layout::BASELINE_CODE_BASE);
+        }
+    }
+}
+
+#[test]
+fn class_cache_misses_fetch_the_class_list() {
+    let full = trace(SRC, Mechanism::Full);
+    let cl_loads = full
+        .uops
+        .iter()
+        .filter(|u| {
+            u.kind == UopKind::Load
+                && u.mem.is_some_and(|m| {
+                    m.addr >= layout::CLASS_LIST_BASE && m.addr < layout::STACK_BASE
+                })
+        })
+        .count();
+    assert!(cl_loads > 0, "cold Class Cache misses walk the in-memory Class List");
+}
+
+#[test]
+fn traces_are_identical_across_repeat_runs() {
+    let a = trace(SRC, Mechanism::Full);
+    let b = trace(SRC, Mechanism::Full);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.uops.iter().zip(&b.uops) {
+        assert_eq!(x.kind, y.kind);
+        assert_eq!(x.pc, y.pc);
+        assert_eq!(x.category, y.category);
+        assert_eq!(x.mem.map(|m| m.addr), y.mem.map(|m| m.addr));
+    }
+}

@@ -1,0 +1,215 @@
+//! Dynamic-instruction accounting.
+//!
+//! [`CounterSink`] tallies retired µops by [`Category`] and [`Region`], and
+//! separately counts the check/untag µops whose subject value was obtained
+//! from an object load ([`Provenance`]). These tallies are exactly the data
+//! required to regenerate Figures 1 and 2 of the paper.
+
+use crate::trace::TraceSink;
+use crate::uop::{Category, Provenance, Region, Uop};
+
+/// Instruction-mix counters for one measured run.
+#[derive(Debug, Clone, Default)]
+pub struct CounterSink {
+    /// `counts[region][category]` = retired µops.
+    counts: [[u64; 5]; 3],
+    /// Check/untag µops guarding a value obtained from a named-property
+    /// load, per region.
+    after_property_load: [u64; 3],
+    /// Check/untag µops guarding a value obtained from an elements-array
+    /// load, per region.
+    after_elements_load: [u64; 3],
+}
+
+impl CounterSink {
+    /// Create zeroed counters.
+    pub fn new() -> CounterSink {
+        CounterSink::default()
+    }
+
+    /// Reset all counters to zero (used at the steady-state boundary).
+    pub fn reset(&mut self) {
+        *self = CounterSink::default();
+    }
+
+    /// Total retired µops across all regions and categories.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Total retired µops in one region.
+    pub fn total_in(&self, region: Region) -> u64 {
+        self.counts[region.index()].iter().sum()
+    }
+
+    /// Total retired µops inside optimized code.
+    pub fn total_optimized(&self) -> u64 {
+        self.total_in(Region::Optimized)
+    }
+
+    /// Retired µops of `category` summed over all regions.
+    pub fn by_category(&self, category: Category) -> u64 {
+        self.counts.iter().map(|r| r[category.index()]).sum()
+    }
+
+    /// Retired µops of `category` within `region`.
+    pub fn count(&self, region: Region, category: Category) -> u64 {
+        self.counts[region.index()][category.index()]
+    }
+
+    /// Fraction (0..=1) of all retired µops that have `category`.
+    pub fn fraction(&self, category: Category) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.by_category(category) as f64 / t as f64
+        }
+    }
+
+    /// Check/untag µops that guard values obtained from object loads
+    /// (property + elements), across all regions. The Figure 2
+    /// "whole application" numerator.
+    pub fn after_object_load(&self) -> u64 {
+        self.after_property_load.iter().sum::<u64>()
+            + self.after_elements_load.iter().sum::<u64>()
+    }
+
+    /// Same, restricted to optimized code. The Figure 2 "optimized code"
+    /// numerator.
+    pub fn after_object_load_optimized(&self) -> u64 {
+        let i = Region::Optimized.index();
+        self.after_property_load[i] + self.after_elements_load[i]
+    }
+
+    /// Figure 2, "whole application" series: percentage of all dynamic
+    /// instructions that are checks/untag-checks after object loads.
+    pub fn fig2_whole_pct(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            100.0 * self.after_object_load() as f64 / t as f64
+        }
+    }
+
+    /// Figure 2, "optimized code" series: same percentage over optimized
+    /// code only.
+    pub fn fig2_optimized_pct(&self) -> f64 {
+        let t = self.total_optimized();
+        if t == 0 {
+            0.0
+        } else {
+            100.0 * self.after_object_load_optimized() as f64 / t as f64
+        }
+    }
+
+    /// Figure 1 row: percentage of all dynamic instructions per category,
+    /// in [`Category::ALL`] order. Sums to 100 (up to rounding) when any
+    /// instructions were retired.
+    pub fn fig1_row(&self) -> [f64; 5] {
+        let t = self.total();
+        let mut row = [0.0; 5];
+        if t == 0 {
+            return row;
+        }
+        for c in Category::ALL {
+            row[c.index()] = 100.0 * self.by_category(c) as f64 / t as f64;
+        }
+        row
+    }
+}
+
+impl TraceSink for CounterSink {
+    #[inline]
+    fn emit(&mut self, uop: &Uop) {
+        self.counts[uop.region.index()][uop.category.index()] += 1;
+        match uop.provenance {
+            Provenance::None => {}
+            Provenance::PropertyLoad => {
+                self.after_property_load[uop.region.index()] += 1;
+            }
+            Provenance::ElementsLoad => {
+                self.after_elements_load[uop.region.index()] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uop::{Provenance, Uop};
+
+    fn check_after_prop(region: Region) -> Uop {
+        Uop::alu(0, Category::Check, region).with_provenance(Provenance::PropertyLoad)
+    }
+
+    #[test]
+    fn totals_and_fractions() {
+        let mut c = CounterSink::new();
+        for _ in 0..3 {
+            c.emit(&Uop::alu(0, Category::RestOfCode, Region::Baseline));
+        }
+        c.emit(&Uop::alu(0, Category::Check, Region::Optimized));
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.by_category(Category::Check), 1);
+        assert!((c.fraction(Category::Check) - 0.25).abs() < 1e-12);
+        assert_eq!(c.total_optimized(), 1);
+    }
+
+    #[test]
+    fn fig2_percentages() {
+        let mut c = CounterSink::new();
+        // 2 optimized µops, one of which is a check-after-property-load.
+        c.emit(&check_after_prop(Region::Optimized));
+        c.emit(&Uop::alu(0, Category::OtherOptimized, Region::Optimized));
+        // 2 baseline µops, no relevant checks.
+        c.emit(&Uop::alu(0, Category::RestOfCode, Region::Baseline));
+        c.emit(&Uop::alu(0, Category::RestOfCode, Region::Baseline));
+        assert!((c.fig2_whole_pct() - 25.0).abs() < 1e-9);
+        assert!((c.fig2_optimized_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig1_row_sums_to_100() {
+        let mut c = CounterSink::new();
+        c.emit(&Uop::alu(0, Category::Check, Region::Optimized));
+        c.emit(&Uop::alu(0, Category::TagUntag, Region::Optimized));
+        c.emit(&Uop::alu(0, Category::MathAssume, Region::Optimized));
+        c.emit(&Uop::alu(0, Category::OtherOptimized, Region::Optimized));
+        c.emit(&Uop::alu(0, Category::RestOfCode, Region::Runtime));
+        let row = c.fig1_row();
+        let sum: f64 = row.iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert!(row.iter().all(|&x| (x - 20.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut c = CounterSink::new();
+        c.emit(&check_after_prop(Region::Optimized));
+        c.reset();
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.after_object_load(), 0);
+    }
+
+    #[test]
+    fn empty_counters_give_zero_percentages() {
+        let c = CounterSink::new();
+        assert_eq!(c.fig2_whole_pct(), 0.0);
+        assert_eq!(c.fig2_optimized_pct(), 0.0);
+        assert_eq!(c.fig1_row(), [0.0; 5]);
+    }
+
+    #[test]
+    fn elements_provenance_counted() {
+        let mut c = CounterSink::new();
+        c.emit(
+            &Uop::alu(0, Category::Check, Region::Optimized)
+                .with_provenance(Provenance::ElementsLoad),
+        );
+        assert_eq!(c.after_object_load(), 1);
+        assert_eq!(c.after_object_load_optimized(), 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Streaming trace consumption.
+//!
+//! Producers (the execution tiers) push each retired µop into a
+//! [`TraceSink`]. Consumers include [`crate::counters::CounterSink`] (for
+//! the instruction-mix figures) and the timing model in `checkelide-uarch`
+//! (for the cycle/energy figures). [`Tee`] fans one trace out to two sinks,
+//! so a single program run can feed both.
+
+use crate::uop::Uop;
+
+/// A consumer of retired µops.
+pub trait TraceSink {
+    /// Consume one retired µop.
+    fn emit(&mut self, uop: &Uop);
+
+    /// Notification that the producer finished (end of measured region).
+    /// Consumers may finalize statistics here. Default: no-op.
+    fn finish(&mut self) {}
+}
+
+/// A sink that discards everything. Used for warm-up iterations, where the
+/// paper only keeps profiling state, not statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl NullSink {
+    /// Create a new discarding sink.
+    pub fn new() -> NullSink {
+        NullSink
+    }
+}
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn emit(&mut self, _uop: &Uop) {}
+}
+
+/// Fans a trace out to two sinks.
+#[derive(Debug)]
+pub struct Tee<'a, A: ?Sized, B: ?Sized> {
+    a: &'a mut A,
+    b: &'a mut B,
+}
+
+impl<'a, A: TraceSink + ?Sized, B: TraceSink + ?Sized> Tee<'a, A, B> {
+    /// Create a tee over two sinks.
+    pub fn new(a: &'a mut A, b: &'a mut B) -> Self {
+        Tee { a, b }
+    }
+}
+
+impl<A: TraceSink + ?Sized, B: TraceSink + ?Sized> TraceSink for Tee<'_, A, B> {
+    #[inline]
+    fn emit(&mut self, uop: &Uop) {
+        self.a.emit(uop);
+        self.b.emit(uop);
+    }
+
+    fn finish(&mut self) {
+        self.a.finish();
+        self.b.finish();
+    }
+}
+
+/// A sink that records every µop into a vector. Intended for tests and for
+/// small golden traces, not for full benchmark runs.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// The recorded trace.
+    pub uops: Vec<Uop>,
+}
+
+impl VecSink {
+    /// Create an empty recording sink.
+    pub fn new() -> VecSink {
+        VecSink { uops: Vec::new() }
+    }
+
+    /// Number of recorded µops.
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+}
+
+impl TraceSink for VecSink {
+    #[inline]
+    fn emit(&mut self, uop: &Uop) {
+        self.uops.push(*uop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uop::{Category, Region, Uop};
+
+    #[test]
+    fn tee_duplicates_uops() {
+        let mut a = VecSink::new();
+        let mut b = VecSink::new();
+        {
+            let mut tee = Tee::new(&mut a, &mut b);
+            tee.emit(&Uop::alu(0, Category::RestOfCode, Region::Baseline));
+            tee.emit(&Uop::alu(4, Category::Check, Region::Optimized));
+            tee.finish();
+        }
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(a.uops[1].category, Category::Check);
+    }
+
+    #[test]
+    fn null_sink_accepts_anything() {
+        let mut s = NullSink::new();
+        for pc in 0..100 {
+            s.emit(&Uop::alu(pc, Category::RestOfCode, Region::Runtime));
+        }
+    }
+
+    #[test]
+    fn vec_sink_records_in_order() {
+        let mut s = VecSink::new();
+        assert!(s.is_empty());
+        s.emit(&Uop::alu(8, Category::MathAssume, Region::Optimized));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.uops[0].pc, 8);
+    }
+}

@@ -1,0 +1,376 @@
+//! The micro-operation (dynamic instruction) model.
+//!
+//! Every instruction retired by the simulated core is described by a [`Uop`].
+//! The execution tiers attach to each µop:
+//!
+//! * a [`UopKind`] controlling its functional-unit latency in the timing
+//!   model (and identifying the paper's four new instructions),
+//! * a [`Category`] reproducing the Figure 1 dynamic-instruction breakdown,
+//! * a [`Provenance`] marking checks that guard a value *obtained from an
+//!   object load* (needed for Figure 2),
+//! * a [`Region`] distinguishing optimized code from the rest of the
+//!   application (needed for the "optimized code" vs "whole application"
+//!   series of Figures 2, 8 and 9), and
+//! * up to two source tokens and one destination token, a lightweight
+//!   dataflow encoding used by the out-of-order window model.
+
+/// A dataflow token: an abstract register name used for dependence tracking
+/// in the timing model. `Tok::NONE` means "no operand".
+///
+/// Tokens are allocated by the trace producers; they only need to be unique
+/// while a value is live, so producers use small rotating namespaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tok(pub u32);
+
+impl Tok {
+    /// The absent operand.
+    pub const NONE: Tok = Tok(0);
+
+    /// Returns true if this token denotes a real operand.
+    #[inline]
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl Default for Tok {
+    fn default() -> Self {
+        Tok::NONE
+    }
+}
+
+/// Functional class of a µop. Determines execution latency and which
+/// structures it touches in the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UopKind {
+    /// Integer ALU operation (add, sub, logic, compare, shift, lea, test).
+    Alu,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide.
+    Div,
+    /// Floating-point add/sub/convert.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide / sqrt.
+    FpDiv,
+    /// Memory load (goes through DTLB + DL1).
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump, call or return.
+    Jump,
+    /// Register-to-register move / immediate load.
+    Move,
+    /// `movClassID` — loads the ClassID of an object into the special
+    /// `regObjectClassId` register (§4.2.1.2). Reads the object header word
+    /// unless the operand is a SMI.
+    MovClassId,
+    /// `movClassIDArray` — same, into one of `regArrayObjectClassId0-3`.
+    MovClassIdArray,
+    /// `movStoreClassCache` — a store to an object property that, in
+    /// parallel with the DL1 write, sends a profiling/verification request
+    /// to the Class Cache.
+    MovStoreClassCache,
+    /// `movStoreClassCacheArray` — the elements-array variant.
+    MovStoreClassCacheArray,
+}
+
+impl UopKind {
+    /// Whether this µop performs a data-memory access by itself
+    /// (loads, stores, and the Class Cache store instructions).
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            UopKind::Load
+                | UopKind::Store
+                | UopKind::MovStoreClassCache
+                | UopKind::MovStoreClassCacheArray
+        )
+    }
+
+    /// Whether this µop is one of the paper's four new machine instructions.
+    pub fn is_class_cache_isa(self) -> bool {
+        matches!(
+            self,
+            UopKind::MovClassId
+                | UopKind::MovClassIdArray
+                | UopKind::MovStoreClassCache
+                | UopKind::MovStoreClassCacheArray
+        )
+    }
+}
+
+/// Dynamic-instruction category, reproducing the stacked breakdown of
+/// Figure 1 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Checking operations: Check Map, Check SMI, Check Non-SMI (§3.3).
+    Check,
+    /// Boxing/unboxing of number values, including the checking operations
+    /// folded into untag sequences (§3.3 "Tags/Untags").
+    TagUntag,
+    /// Runtime value verifications on math operations: SMI overflow,
+    /// division by zero, minus-zero (§3.3 "math assumptions").
+    MathAssume,
+    /// All other instructions executed inside optimized (Crankshaft-tier)
+    /// code.
+    OtherOptimized,
+    /// Everything else: baseline (Full Codegen-tier) code, IC stubs,
+    /// runtime helpers.
+    RestOfCode,
+}
+
+impl Category {
+    /// All categories, in the order the paper's Figure 1 stacks them.
+    pub const ALL: [Category; 5] = [
+        Category::Check,
+        Category::TagUntag,
+        Category::MathAssume,
+        Category::OtherOptimized,
+        Category::RestOfCode,
+    ];
+
+    /// Stable index for array-based accounting.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Category::Check => 0,
+            Category::TagUntag => 1,
+            Category::MathAssume => 2,
+            Category::OtherOptimized => 3,
+            Category::RestOfCode => 4,
+        }
+    }
+
+    /// Human-readable label matching the paper's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Check => "Checks",
+            Category::TagUntag => "Tags/Untags",
+            Category::MathAssume => "Math Assumptions",
+            Category::OtherOptimized => "Other Optimized Code",
+            Category::RestOfCode => "Rest of Code",
+        }
+    }
+}
+
+/// Where the guarded value of a check µop came from. Figure 2 counts the
+/// check/untag overhead incurred *after object load accesses*, i.e. checks
+/// whose subject was loaded from a named property or from an elements array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Provenance {
+    /// Not a check, or the checked value did not come from an object load.
+    #[default]
+    None,
+    /// The checked value was loaded from a named object property.
+    PropertyLoad,
+    /// The checked value was loaded from an elements array.
+    ElementsLoad,
+}
+
+impl Provenance {
+    /// True for checks that Figure 2 counts.
+    #[inline]
+    pub fn from_object_load(self) -> bool {
+        !matches!(self, Provenance::None)
+    }
+}
+
+/// Which execution tier retired the µop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Specialized code produced by the optimizing tier.
+    Optimized,
+    /// Generic code produced by the baseline tier (including IC stubs).
+    Baseline,
+    /// Runtime housekeeping executed on behalf of either tier
+    /// (allocation slow paths, IC misses, deoptimization).
+    Runtime,
+}
+
+impl Region {
+    /// Stable index for array-based accounting.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Region::Optimized => 0,
+            Region::Baseline => 1,
+            Region::Runtime => 2,
+        }
+    }
+}
+
+/// A data-memory reference performed by a µop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Simulated virtual byte address.
+    pub addr: u64,
+    /// Access width in bytes.
+    pub size: u8,
+    /// True for stores.
+    pub is_store: bool,
+}
+
+impl MemRef {
+    /// An 8-byte load at `addr`.
+    pub fn load(addr: u64) -> MemRef {
+        MemRef { addr, size: 8, is_store: false }
+    }
+
+    /// An 8-byte store at `addr`.
+    pub fn store(addr: u64) -> MemRef {
+        MemRef { addr, size: 8, is_store: true }
+    }
+}
+
+/// One retired dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uop {
+    /// Functional class.
+    pub kind: UopKind,
+    /// Figure 1 category.
+    pub category: Category,
+    /// Simulated instruction address (drives IL1/ITLB behaviour).
+    pub pc: u64,
+    /// Data-memory access, if any.
+    pub mem: Option<MemRef>,
+    /// Source dataflow tokens (0, 1 or 2 real operands).
+    pub srcs: [Tok; 2],
+    /// Destination dataflow token.
+    pub dst: Tok,
+    /// Check provenance for Figure 2 accounting.
+    pub provenance: Provenance,
+    /// Producing tier.
+    pub region: Region,
+    /// For branches: whether the branch was taken (used by the predictor
+    /// model). Meaningless for other kinds.
+    pub taken: bool,
+}
+
+impl Uop {
+    /// A plain µop with no operands and no memory access.
+    pub fn new(kind: UopKind, pc: u64, category: Category, region: Region) -> Uop {
+        Uop {
+            kind,
+            category,
+            pc,
+            mem: None,
+            srcs: [Tok::NONE; 2],
+            dst: Tok::NONE,
+            provenance: Provenance::None,
+            region,
+            taken: false,
+        }
+    }
+
+    /// Convenience constructor for an ALU µop.
+    pub fn alu(pc: u64, category: Category, region: Region) -> Uop {
+        Uop::new(UopKind::Alu, pc, category, region)
+    }
+
+    /// Convenience constructor for a load µop.
+    pub fn load(pc: u64, addr: u64, category: Category, region: Region) -> Uop {
+        let mut u = Uop::new(UopKind::Load, pc, category, region);
+        u.mem = Some(MemRef::load(addr));
+        u
+    }
+
+    /// Convenience constructor for a store µop.
+    pub fn store(pc: u64, addr: u64, category: Category, region: Region) -> Uop {
+        let mut u = Uop::new(UopKind::Store, pc, category, region);
+        u.mem = Some(MemRef::store(addr));
+        u
+    }
+
+    /// Convenience constructor for a branch µop.
+    pub fn branch(pc: u64, taken: bool, category: Category, region: Region) -> Uop {
+        let mut u = Uop::new(UopKind::Branch, pc, category, region);
+        u.taken = taken;
+        u
+    }
+
+    /// Builder-style: set source tokens.
+    pub fn with_srcs(mut self, a: Tok, b: Tok) -> Uop {
+        self.srcs = [a, b];
+        self
+    }
+
+    /// Builder-style: set destination token.
+    pub fn with_dst(mut self, dst: Tok) -> Uop {
+        self.dst = dst;
+        self
+    }
+
+    /// Builder-style: set check provenance.
+    pub fn with_provenance(mut self, p: Provenance) -> Uop {
+        self.provenance = p;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_indices_are_dense_and_distinct() {
+        let mut seen = [false; 5];
+        for c in Category::ALL {
+            assert!(!seen[c.index()], "duplicate index for {c:?}");
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn memory_kinds() {
+        assert!(UopKind::Load.is_memory());
+        assert!(UopKind::Store.is_memory());
+        assert!(UopKind::MovStoreClassCache.is_memory());
+        assert!(UopKind::MovStoreClassCacheArray.is_memory());
+        assert!(!UopKind::Alu.is_memory());
+        assert!(!UopKind::MovClassId.is_memory() || false);
+    }
+
+    #[test]
+    fn class_cache_isa_flags() {
+        assert!(UopKind::MovClassId.is_class_cache_isa());
+        assert!(UopKind::MovClassIdArray.is_class_cache_isa());
+        assert!(UopKind::MovStoreClassCache.is_class_cache_isa());
+        assert!(UopKind::MovStoreClassCacheArray.is_class_cache_isa());
+        assert!(!UopKind::Load.is_class_cache_isa());
+    }
+
+    #[test]
+    fn uop_builders() {
+        let u = Uop::load(0x40, 0x1000, Category::Check, Region::Optimized)
+            .with_srcs(Tok(3), Tok::NONE)
+            .with_dst(Tok(4))
+            .with_provenance(Provenance::PropertyLoad);
+        assert_eq!(u.mem.unwrap().addr, 0x1000);
+        assert!(!u.mem.unwrap().is_store);
+        assert!(u.provenance.from_object_load());
+        assert_eq!(u.srcs[0], Tok(3));
+        assert!(u.dst.is_some());
+    }
+
+    #[test]
+    fn tok_none_is_not_some() {
+        assert!(!Tok::NONE.is_some());
+        assert!(Tok(1).is_some());
+        assert_eq!(Tok::default(), Tok::NONE);
+    }
+
+    #[test]
+    fn memref_constructors() {
+        let l = MemRef::load(64);
+        let s = MemRef::store(64);
+        assert!(!l.is_store);
+        assert!(s.is_store);
+        assert_eq!(l.size, 8);
+    }
+}

@@ -1,0 +1,328 @@
+//! The njs abstract syntax tree.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A whole source file: a list of top-level statements. Function
+/// declarations at the top level define globals; all other statements run
+/// in order in the global scope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A function declaration or function expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name (empty for anonymous function expressions).
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the `function` keyword (for diagnostics).
+    pub line: u32,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var x = e;` / `let x = e;` — function-scoped declaration.
+    Var {
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if (c) t else e`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Box<Stmt>,
+        /// Optional else branch (possibly another `If` for `else if`).
+        els: Option<Box<Stmt>>,
+    },
+    /// `while (c) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `do body while (c);`
+    DoWhile {
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `for (init; cond; update) body`.
+    For {
+        /// Optional init statement (`var` or expression).
+        init: Option<Box<Stmt>>,
+        /// Optional condition (absent = true).
+        cond: Option<Expr>,
+        /// Optional update expression.
+        update: Option<Expr>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return e;`
+    Return(Option<Expr>),
+    /// `function f(..) { .. }` declaration.
+    Function(Rc<FuncDecl>),
+    /// `{ .. }` block.
+    Block(Vec<Stmt>),
+    /// `;`
+    Empty,
+}
+
+/// Binary (strict, non-short-circuit) operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Sar,
+    Shr,
+    Eq,
+    NotEq,
+    StrictEq,
+    StrictNotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl BinOp {
+    /// Whether the operator produces a boolean.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq
+                | BinOp::NotEq
+                | BinOp::StrictEq
+                | BinOp::StrictNotEq
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+        )
+    }
+
+    /// Whether the operator coerces operands to int32 (bitwise family).
+    pub fn is_bitwise(self) -> bool {
+        matches!(
+            self,
+            BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Sar | BinOp::Shr
+        )
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Sar => ">>",
+            BinOp::Shr => ">>>",
+            BinOp::Eq => "==",
+            BinOp::NotEq => "!=",
+            BinOp::StrictEq => "===",
+            BinOp::StrictNotEq => "!==",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Short-circuit logical operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogOp {
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Unary plus (number coercion).
+    Plus,
+    /// Logical not.
+    Not,
+    /// Bitwise not.
+    BitNot,
+}
+
+/// `++` / `--`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateOp {
+    /// Increment by one.
+    Inc,
+    /// Decrement by one.
+    Dec,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(Rc<str>),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// `undefined`.
+    Undefined,
+    /// `this`.
+    This,
+    /// Identifier reference.
+    Ident(String),
+    /// Assignment; `op` is `Some` for compound assignments (`+=` etc.).
+    Assign {
+        /// Assignable target (`Ident`, `Member`, or `Index`).
+        target: Box<Expr>,
+        /// Compound operator, if any.
+        op: Option<BinOp>,
+        /// Right-hand side.
+        value: Box<Expr>,
+    },
+    /// Strict binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Short-circuit logical operation.
+    Logical {
+        /// Operator.
+        op: LogOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `++x`, `x++`, `--x`, `x--`.
+    Update {
+        /// Increment or decrement.
+        op: UpdateOp,
+        /// True for prefix form.
+        prefix: bool,
+        /// Assignable target.
+        target: Box<Expr>,
+    },
+    /// `c ? t : e`.
+    Cond {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when truthy.
+        then: Box<Expr>,
+        /// Value when falsy.
+        els: Box<Expr>,
+    },
+    /// Function call. When `callee` is a `Member`, the base object becomes
+    /// `this` for the call (method call).
+    Call {
+        /// Callee expression.
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `new F(args)`.
+    New {
+        /// Constructor expression.
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `obj.prop`.
+    Member {
+        /// Base object.
+        obj: Box<Expr>,
+        /// Property name.
+        prop: String,
+    },
+    /// `obj[index]`.
+    Index {
+        /// Base object.
+        obj: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Array literal.
+    Array(Vec<Expr>),
+    /// Object literal: ordered key/value pairs.
+    Object(Vec<(String, Expr)>),
+    /// Function expression.
+    Function(Rc<FuncDecl>),
+}
+
+impl Expr {
+    /// Whether this expression is a valid assignment target.
+    pub fn is_assignable(&self) -> bool {
+        matches!(self, Expr::Ident(_) | Expr::Member { .. } | Expr::Index { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignable_targets() {
+        assert!(Expr::Ident("x".into()).is_assignable());
+        assert!(Expr::Member { obj: Box::new(Expr::Ident("o".into())), prop: "p".into() }
+            .is_assignable());
+        assert!(!Expr::Num(1.0).is_assignable());
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::Shr.is_bitwise());
+        assert!(!BinOp::Lt.is_bitwise());
+        assert_eq!(format!("{}", BinOp::StrictEq), "===");
+    }
+}

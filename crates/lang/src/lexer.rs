@@ -1,0 +1,388 @@
+//! The njs lexer.
+
+use crate::token::{Span, Token, TokenKind};
+use std::fmt;
+
+/// A lexical error with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where the error occurred.
+    pub span: Span,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Streaming lexer over source bytes.
+#[derive(Debug)]
+pub struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Lexer<'s> {
+    /// Lex from a source string.
+    pub fn new(src: &'s str) -> Lexer<'s> {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    /// Lex the whole input into a token vector (ending with `Eof`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`LexError`] encountered.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn peek3(&self) -> u8 {
+        *self.src.get(self.pos + 2).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn span_from(&self, start: usize, line: u32, col: u32) -> Span {
+        Span { start, end: self.pos, line, col }
+    }
+
+    fn error(&self, start: usize, line: u32, col: u32, msg: impl Into<String>) -> LexError {
+        LexError { message: msg.into(), span: self.span_from(start, line, col) }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let (start, line, col) = (self.pos, self.line, self.col);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.pos >= self.src.len() {
+                            return Err(self.error(start, line, col, "unterminated block comment"));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_number(&mut self, start: usize, line: u32, col: u32) -> Result<Token, LexError> {
+        if self.peek() == b'0' && (self.peek2() == b'x' || self.peek2() == b'X') {
+            self.bump();
+            self.bump();
+            let digits_start = self.pos;
+            while self.peek().is_ascii_hexdigit() {
+                self.bump();
+            }
+            if self.pos == digits_start {
+                return Err(self.error(start, line, col, "empty hex literal"));
+            }
+            let text = std::str::from_utf8(&self.src[digits_start..self.pos]).unwrap();
+            let value = u64::from_str_radix(text, 16)
+                .map_err(|_| self.error(start, line, col, "hex literal too large"))?;
+            return Ok(Token {
+                kind: TokenKind::Num(value as f64),
+                span: self.span_from(start, line, col),
+            });
+        }
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        if self.peek() == b'.' && self.peek2().is_ascii_digit() {
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        if self.peek() == b'e' || self.peek() == b'E' {
+            let save = (self.pos, self.line, self.col);
+            self.bump();
+            if self.peek() == b'+' || self.peek() == b'-' {
+                self.bump();
+            }
+            if self.peek().is_ascii_digit() {
+                while self.peek().is_ascii_digit() {
+                    self.bump();
+                }
+            } else {
+                // Not an exponent after all (e.g. `1e` followed by ident).
+                self.pos = save.0;
+                self.line = save.1;
+                self.col = save.2;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let value: f64 = text
+            .parse()
+            .map_err(|_| self.error(start, line, col, format!("bad number literal `{text}`")))?;
+        Ok(Token { kind: TokenKind::Num(value), span: self.span_from(start, line, col) })
+    }
+
+    fn lex_string(&mut self, start: usize, line: u32, col: u32) -> Result<Token, LexError> {
+        let quote = self.bump();
+        let mut value = String::new();
+        loop {
+            if self.pos >= self.src.len() {
+                return Err(self.error(start, line, col, "unterminated string literal"));
+            }
+            let c = self.bump();
+            if c == quote {
+                break;
+            }
+            if c == b'\\' {
+                let esc = self.bump();
+                value.push(match esc {
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    b'0' => '\0',
+                    b'\\' => '\\',
+                    b'\'' => '\'',
+                    b'"' => '"',
+                    other => {
+                        return Err(self.error(
+                            start,
+                            line,
+                            col,
+                            format!("unknown escape `\\{}`", other as char),
+                        ))
+                    }
+                });
+            } else {
+                value.push(c as char);
+            }
+        }
+        Ok(Token { kind: TokenKind::Str(value), span: self.span_from(start, line, col) })
+    }
+
+    /// Lex the next token.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LexError`] on malformed input.
+    pub fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia()?;
+        let (start, line, col) = (self.pos, self.line, self.col);
+        if self.pos >= self.src.len() {
+            return Ok(Token { kind: TokenKind::Eof, span: self.span_from(start, line, col) });
+        }
+        let c = self.peek();
+        if c.is_ascii_digit() {
+            return self.lex_number(start, line, col);
+        }
+        if c == b'"' || c == b'\'' {
+            return self.lex_string(start, line, col);
+        }
+        if c.is_ascii_alphabetic() || c == b'_' || c == b'$' {
+            while {
+                let p = self.peek();
+                p.is_ascii_alphanumeric() || p == b'_' || p == b'$'
+            } {
+                self.bump();
+            }
+            let word = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            let kind = TokenKind::keyword(word)
+                .unwrap_or_else(|| TokenKind::Ident(word.to_string()));
+            return Ok(Token { kind, span: self.span_from(start, line, col) });
+        }
+
+        use TokenKind::*;
+        macro_rules! tok {
+            ($kind:expr, $n:expr) => {{
+                for _ in 0..$n {
+                    self.bump();
+                }
+                Ok(Token { kind: $kind, span: self.span_from(start, line, col) })
+            }};
+        }
+        let (c2, c3) = (self.peek2(), self.peek3());
+        match c {
+            b'(' => tok!(LParen, 1),
+            b')' => tok!(RParen, 1),
+            b'{' => tok!(LBrace, 1),
+            b'}' => tok!(RBrace, 1),
+            b'[' => tok!(LBracket, 1),
+            b']' => tok!(RBracket, 1),
+            b',' => tok!(Comma, 1),
+            b';' => tok!(Semi, 1),
+            b'.' => tok!(Dot, 1),
+            b':' => tok!(Colon, 1),
+            b'?' => tok!(Question, 1),
+            b'~' => tok!(Tilde, 1),
+            b'+' if c2 == b'+' => tok!(PlusPlus, 2),
+            b'+' if c2 == b'=' => tok!(PlusAssign, 2),
+            b'+' => tok!(Plus, 1),
+            b'-' if c2 == b'-' => tok!(MinusMinus, 2),
+            b'-' if c2 == b'=' => tok!(MinusAssign, 2),
+            b'-' => tok!(Minus, 1),
+            b'*' if c2 == b'=' => tok!(StarAssign, 2),
+            b'*' => tok!(Star, 1),
+            b'/' if c2 == b'=' => tok!(SlashAssign, 2),
+            b'/' => tok!(Slash, 1),
+            b'%' if c2 == b'=' => tok!(PercentAssign, 2),
+            b'%' => tok!(Percent, 1),
+            b'&' if c2 == b'&' => tok!(AndAnd, 2),
+            b'&' if c2 == b'=' => tok!(AmpAssign, 2),
+            b'&' => tok!(Amp, 1),
+            b'|' if c2 == b'|' => tok!(OrOr, 2),
+            b'|' if c2 == b'=' => tok!(PipeAssign, 2),
+            b'|' => tok!(Pipe, 1),
+            b'^' if c2 == b'=' => tok!(CaretAssign, 2),
+            b'^' => tok!(Caret, 1),
+            b'!' if c2 == b'=' && c3 == b'=' => tok!(NotEqEq, 3),
+            b'!' if c2 == b'=' => tok!(NotEq, 2),
+            b'!' => tok!(Bang, 1),
+            b'=' if c2 == b'=' && c3 == b'=' => tok!(EqEqEq, 3),
+            b'=' if c2 == b'=' => tok!(EqEq, 2),
+            b'=' => tok!(Assign, 1),
+            b'<' if c2 == b'<' && c3 == b'=' => tok!(ShlAssign, 3),
+            b'<' if c2 == b'<' => tok!(Shl, 2),
+            b'<' if c2 == b'=' => tok!(Le, 2),
+            b'<' => tok!(Lt, 1),
+            b'>' if c2 == b'>' && c3 == b'>' => {
+                if self.src.get(self.pos + 3) == Some(&b'=') {
+                    tok!(ShrAssign, 4)
+                } else {
+                    tok!(Shr, 3)
+                }
+            }
+            b'>' if c2 == b'>' && c3 == b'=' => tok!(SarAssign, 3),
+            b'>' if c2 == b'>' => tok!(Sar, 2),
+            b'>' if c2 == b'=' => tok!(Ge, 2),
+            b'>' => tok!(Gt, 1),
+            other => Err(self.error(
+                start,
+                line,
+                col,
+                format!("unexpected character `{}`", other as char),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        use TokenKind::*;
+        assert_eq!(kinds("42"), vec![Num(42.0), Eof]);
+        assert_eq!(kinds("3.5"), vec![Num(3.5), Eof]);
+        assert_eq!(kinds("1e3"), vec![Num(1000.0), Eof]);
+        assert_eq!(kinds("2.5e-2"), vec![Num(0.025), Eof]);
+        assert_eq!(kinds("0xff"), vec![Num(255.0), Eof]);
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb" 'c'"#),
+            vec![TokenKind::Str("a\nb".into()), TokenKind::Str("c".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_and_identifiers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("var x = new Foo;"),
+            vec![Var, Ident("x".into()), Assign, New, Ident("Foo".into()), Semi, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_multichar_operators_greedily() {
+        use TokenKind::*;
+        assert_eq!(kinds("=== == ="), vec![EqEqEq, EqEq, Assign, Eof]);
+        assert_eq!(kinds(">>> >> >="), vec![Shr, Sar, Ge, Eof]);
+        assert_eq!(kinds(">>>= >>= <<="), vec![ShrAssign, SarAssign, ShlAssign, Eof]);
+        assert_eq!(kinds("++ += +"), vec![PlusPlus, PlusAssign, Plus, Eof]);
+        assert_eq!(kinds("!== !="), vec![NotEqEq, NotEq, Eof]);
+    }
+
+    #[test]
+    fn skips_comments() {
+        use TokenKind::*;
+        assert_eq!(kinds("1 // line\n2 /* block\nstill */ 3"), vec![Num(1.0), Num(2.0), Num(3.0), Eof]);
+    }
+
+    #[test]
+    fn member_dot_vs_float() {
+        use TokenKind::*;
+        // `a.b` is member access; `1.5` is a float; `x.1` doesn't occur.
+        assert_eq!(kinds("a.b"), vec![Ident("a".into()), Dot, Ident("b".into()), Eof]);
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = Lexer::new("1\n  2").tokenize().unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+    }
+
+    #[test]
+    fn reports_errors() {
+        assert!(Lexer::new("\"unterminated").tokenize().is_err());
+        assert!(Lexer::new("@").tokenize().is_err());
+        assert!(Lexer::new("/* open").tokenize().is_err());
+        let err = Lexer::new("  #").tokenize().unwrap_err();
+        assert_eq!(err.span.col, 3);
+        assert!(format!("{err}").contains("unexpected character"));
+    }
+}

@@ -1,0 +1,803 @@
+//! Recursive-descent parser for njs.
+
+use crate::ast::*;
+use crate::lexer::{LexError, Lexer};
+use crate::token::{Span, Token, TokenKind};
+use std::fmt;
+use std::rc::Rc;
+
+/// A parse (or lex) error with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where the error occurred.
+    pub span: Span,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, span: e.span }
+    }
+}
+
+/// Parse a full program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on the first malformed construct.
+///
+/// # Example
+///
+/// ```
+/// let p = checkelide_lang::parse_program("var x = 1 + 2 * 3;")?;
+/// assert_eq!(p.body.len(), 1);
+/// # Ok::<(), checkelide_lang::ParseError>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    Parser::new(src)?.program()
+}
+
+/// The parser state.
+#[derive(Debug)]
+pub struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Lex `src` and prepare to parse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lexer errors.
+    pub fn new(src: &str) -> Result<Parser, ParseError> {
+        Ok(Parser { toks: Lexer::new(src).tokenize()?, pos: 0 })
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek_span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token, ParseError> {
+        if self.peek() == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), span: self.peek_span() }
+    }
+
+    /// Parse the whole program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed input.
+    pub fn program(&mut self) -> Result<Program, ParseError> {
+        let mut body = Vec::new();
+        while *self.peek() != TokenKind::Eof {
+            body.push(self.statement()?);
+        }
+        Ok(Program { body })
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            TokenKind::Var | TokenKind::Let => self.var_statement(),
+            TokenKind::Function => {
+                let f = self.function_decl()?;
+                if f.name.is_empty() {
+                    return Err(self.err("function declarations need a name"));
+                }
+                Ok(Stmt::Function(f))
+            }
+            TokenKind::If => self.if_statement(),
+            TokenKind::While => self.while_statement(),
+            TokenKind::Do => self.do_while_statement(),
+            TokenKind::For => self.for_statement(),
+            TokenKind::Return => {
+                self.bump();
+                let value = if self.eat(&TokenKind::Semi) {
+                    None
+                } else {
+                    let e = self.expression()?;
+                    self.expect(&TokenKind::Semi, "`;`")?;
+                    Some(e)
+                };
+                Ok(Stmt::Return(value))
+            }
+            TokenKind::Break => {
+                self.bump();
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Break)
+            }
+            TokenKind::Continue => {
+                self.bump();
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Continue)
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let mut body = Vec::new();
+                while !self.eat(&TokenKind::RBrace) {
+                    if *self.peek() == TokenKind::Eof {
+                        return Err(self.err("unterminated block"));
+                    }
+                    body.push(self.statement()?);
+                }
+                Ok(Stmt::Block(body))
+            }
+            TokenKind::Semi => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            _ => {
+                let e = self.expression()?;
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn var_statement(&mut self) -> Result<Stmt, ParseError> {
+        self.bump(); // var | let
+        let stmt = self.var_declarator()?;
+        let mut decls = vec![stmt];
+        while self.eat(&TokenKind::Comma) {
+            decls.push(self.var_declarator()?);
+        }
+        self.expect(&TokenKind::Semi, "`;`")?;
+        if decls.len() == 1 {
+            Ok(decls.pop().unwrap())
+        } else {
+            Ok(Stmt::Block(decls))
+        }
+    }
+
+    fn var_declarator(&mut self) -> Result<Stmt, ParseError> {
+        let name = self.ident("variable name")?;
+        let init = if self.eat(&TokenKind::Assign) { Some(self.expression()?) } else { None };
+        Ok(Stmt::Var { name, init })
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn function_decl(&mut self) -> Result<Rc<FuncDecl>, ParseError> {
+        let line = self.peek_span().line;
+        self.expect(&TokenKind::Function, "`function`")?;
+        let name = if let TokenKind::Ident(n) = self.peek().clone() {
+            self.bump();
+            n
+        } else {
+            String::new()
+        };
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                params.push(self.ident("parameter name")?);
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(&TokenKind::Comma, "`,`")?;
+            }
+        }
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut body = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if *self.peek() == TokenKind::Eof {
+                return Err(self.err("unterminated function body"));
+            }
+            body.push(self.statement()?);
+        }
+        Ok(Rc::new(FuncDecl { name, params, body, line }))
+    }
+
+    fn if_statement(&mut self) -> Result<Stmt, ParseError> {
+        self.bump();
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let cond = self.expression()?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        let then = Box::new(self.statement()?);
+        let els =
+            if self.eat(&TokenKind::Else) { Some(Box::new(self.statement()?)) } else { None };
+        Ok(Stmt::If { cond, then, els })
+    }
+
+    fn while_statement(&mut self) -> Result<Stmt, ParseError> {
+        self.bump();
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let cond = self.expression()?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        let body = Box::new(self.statement()?);
+        Ok(Stmt::While { cond, body })
+    }
+
+    fn do_while_statement(&mut self) -> Result<Stmt, ParseError> {
+        self.bump();
+        let body = Box::new(self.statement()?);
+        self.expect(&TokenKind::While, "`while`")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let cond = self.expression()?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        self.expect(&TokenKind::Semi, "`;`")?;
+        Ok(Stmt::DoWhile { body, cond })
+    }
+
+    fn for_statement(&mut self) -> Result<Stmt, ParseError> {
+        self.bump();
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let init = if self.eat(&TokenKind::Semi) {
+            None
+        } else if matches!(self.peek(), TokenKind::Var | TokenKind::Let) {
+            Some(Box::new(self.var_statement()?))
+        } else {
+            let e = self.expression()?;
+            self.expect(&TokenKind::Semi, "`;`")?;
+            Some(Box::new(Stmt::Expr(e)))
+        };
+        let cond = if *self.peek() == TokenKind::Semi { None } else { Some(self.expression()?) };
+        self.expect(&TokenKind::Semi, "`;`")?;
+        let update =
+            if *self.peek() == TokenKind::RParen { None } else { Some(self.expression()?) };
+        self.expect(&TokenKind::RParen, "`)`")?;
+        let body = Box::new(self.statement()?);
+        Ok(Stmt::For { init, cond, update, body })
+    }
+
+    /// Parse one expression (assignment level).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed input.
+    pub fn expression(&mut self) -> Result<Expr, ParseError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.ternary()?;
+        let op = match self.peek() {
+            TokenKind::Assign => None,
+            TokenKind::PlusAssign => Some(BinOp::Add),
+            TokenKind::MinusAssign => Some(BinOp::Sub),
+            TokenKind::StarAssign => Some(BinOp::Mul),
+            TokenKind::SlashAssign => Some(BinOp::Div),
+            TokenKind::PercentAssign => Some(BinOp::Mod),
+            TokenKind::AmpAssign => Some(BinOp::BitAnd),
+            TokenKind::PipeAssign => Some(BinOp::BitOr),
+            TokenKind::CaretAssign => Some(BinOp::BitXor),
+            TokenKind::ShlAssign => Some(BinOp::Shl),
+            TokenKind::SarAssign => Some(BinOp::Sar),
+            TokenKind::ShrAssign => Some(BinOp::Shr),
+            _ => return Ok(lhs),
+        };
+        if !lhs.is_assignable() {
+            return Err(self.err("invalid assignment target"));
+        }
+        self.bump();
+        let value = self.assignment()?;
+        Ok(Expr::Assign { target: Box::new(lhs), op, value: Box::new(value) })
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.logical_or()?;
+        if self.eat(&TokenKind::Question) {
+            let then = self.assignment()?;
+            self.expect(&TokenKind::Colon, "`:`")?;
+            let els = self.assignment()?;
+            Ok(Expr::Cond { cond: Box::new(cond), then: Box::new(then), els: Box::new(els) })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.logical_and()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.logical_and()?;
+            lhs = Expr::Logical { op: LogOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_or()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.bit_or()?;
+            lhs = Expr::Logical { op: LogOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn binary_level<F>(&mut self, mut next: F, table: &[(TokenKind, BinOp)]) -> Result<Expr, ParseError>
+    where
+        F: FnMut(&mut Self) -> Result<Expr, ParseError>,
+    {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, op) in table {
+                if self.peek() == tok {
+                    self.bump();
+                    let rhs = next(self)?;
+                    lhs = Expr::Binary { op: *op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(Self::bit_xor, &[(TokenKind::Pipe, BinOp::BitOr)])
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(Self::bit_and, &[(TokenKind::Caret, BinOp::BitXor)])
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(Self::equality, &[(TokenKind::Amp, BinOp::BitAnd)])
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            Self::relational,
+            &[
+                (TokenKind::EqEqEq, BinOp::StrictEq),
+                (TokenKind::NotEqEq, BinOp::StrictNotEq),
+                (TokenKind::EqEq, BinOp::Eq),
+                (TokenKind::NotEq, BinOp::NotEq),
+            ],
+        )
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            Self::shift,
+            &[
+                (TokenKind::Le, BinOp::Le),
+                (TokenKind::Ge, BinOp::Ge),
+                (TokenKind::Lt, BinOp::Lt),
+                (TokenKind::Gt, BinOp::Gt),
+            ],
+        )
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            Self::additive,
+            &[
+                (TokenKind::Shl, BinOp::Shl),
+                (TokenKind::Shr, BinOp::Shr),
+                (TokenKind::Sar, BinOp::Sar),
+            ],
+        )
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            Self::multiplicative,
+            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+        )
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            Self::unary,
+            &[
+                (TokenKind::Star, BinOp::Mul),
+                (TokenKind::Slash, BinOp::Div),
+                (TokenKind::Percent, BinOp::Mod),
+            ],
+        )
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let op = match self.peek() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Plus => Some(UnOp::Plus),
+            TokenKind::Bang => Some(UnOp::Not),
+            TokenKind::Tilde => Some(UnOp::BitNot),
+            TokenKind::PlusPlus | TokenKind::MinusMinus => {
+                let op = if *self.peek() == TokenKind::PlusPlus {
+                    UpdateOp::Inc
+                } else {
+                    UpdateOp::Dec
+                };
+                self.bump();
+                let target = self.unary()?;
+                if !target.is_assignable() {
+                    return Err(self.err("invalid increment/decrement target"));
+                }
+                return Ok(Expr::Update { op, prefix: true, target: Box::new(target) });
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let expr = self.unary()?;
+            return Ok(Expr::Unary { op, expr: Box::new(expr) });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let expr = self.call_member()?;
+        let op = match self.peek() {
+            TokenKind::PlusPlus => UpdateOp::Inc,
+            TokenKind::MinusMinus => UpdateOp::Dec,
+            _ => return Ok(expr),
+        };
+        if !expr.is_assignable() {
+            return Err(self.err("invalid increment/decrement target"));
+        }
+        self.bump();
+        Ok(Expr::Update { op, prefix: false, target: Box::new(expr) })
+    }
+
+    fn call_member(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = if *self.peek() == TokenKind::New {
+            self.bump();
+            let callee = self.member_only()?;
+            let args = if *self.peek() == TokenKind::LParen { self.arguments()? } else { vec![] };
+            Expr::New { callee: Box::new(callee), args }
+        } else {
+            self.primary()?
+        };
+        loop {
+            match self.peek() {
+                TokenKind::Dot => {
+                    self.bump();
+                    let prop = self.ident("property name")?;
+                    expr = Expr::Member { obj: Box::new(expr), prop };
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let index = self.expression()?;
+                    self.expect(&TokenKind::RBracket, "`]`")?;
+                    expr = Expr::Index { obj: Box::new(expr), index: Box::new(index) };
+                }
+                TokenKind::LParen => {
+                    let args = self.arguments()?;
+                    expr = Expr::Call { callee: Box::new(expr), args };
+                }
+                _ => return Ok(expr),
+            }
+        }
+    }
+
+    /// A member chain without call suffixes: used for `new F.x(...)`.
+    fn member_only(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = self.primary()?;
+        while self.eat(&TokenKind::Dot) {
+            let prop = self.ident("property name")?;
+            expr = Expr::Member { obj: Box::new(expr), prop };
+        }
+        Ok(expr)
+    }
+
+    fn arguments(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if self.eat(&TokenKind::RParen) {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.assignment()?);
+            if self.eat(&TokenKind::RParen) {
+                return Ok(args);
+            }
+            self.expect(&TokenKind::Comma, "`,`")?;
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Num(n) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s.into()))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            TokenKind::Null => {
+                self.bump();
+                Ok(Expr::Null)
+            }
+            TokenKind::Undefined => {
+                self.bump();
+                Ok(Expr::Undefined)
+            }
+            TokenKind::This => {
+                self.bump();
+                Ok(Expr::This)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::Ident(name))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expression()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.eat(&TokenKind::RBracket) {
+                    loop {
+                        items.push(self.assignment()?);
+                        if self.eat(&TokenKind::RBracket) {
+                            break;
+                        }
+                        self.expect(&TokenKind::Comma, "`,`")?;
+                        if self.eat(&TokenKind::RBracket) {
+                            break; // trailing comma
+                        }
+                    }
+                }
+                Ok(Expr::Array(items))
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let mut props = Vec::new();
+                if !self.eat(&TokenKind::RBrace) {
+                    loop {
+                        let key = match self.peek().clone() {
+                            TokenKind::Ident(n) => {
+                                self.bump();
+                                n
+                            }
+                            TokenKind::Str(s) => {
+                                self.bump();
+                                s
+                            }
+                            other => {
+                                return Err(self.err(format!(
+                                    "expected property key, found {other:?}"
+                                )))
+                            }
+                        };
+                        self.expect(&TokenKind::Colon, "`:`")?;
+                        let value = self.assignment()?;
+                        props.push((key, value));
+                        if self.eat(&TokenKind::RBrace) {
+                            break;
+                        }
+                        self.expect(&TokenKind::Comma, "`,`")?;
+                        if self.eat(&TokenKind::RBrace) {
+                            break; // trailing comma
+                        }
+                    }
+                }
+                Ok(Expr::Object(props))
+            }
+            TokenKind::Function => {
+                let f = self.function_decl()?;
+                Ok(Expr::Function(f))
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_expr(src: &str) -> Expr {
+        let p = parse_program(&format!("{src};")).unwrap();
+        match &p.body[0] {
+            Stmt::Expr(e) => e.clone(),
+            other => panic!("expected expression statement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expr("1 + 2 * 3");
+        match e {
+            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_shift_vs_relational() {
+        // `a < b << c` parses as `a < (b << c)`.
+        let e = parse_expr("a < b << c");
+        assert!(matches!(e, Expr::Binary { op: BinOp::Lt, .. }));
+    }
+
+    #[test]
+    fn assignment_is_right_associative() {
+        let e = parse_expr("a = b = 1");
+        match e {
+            Expr::Assign { value, .. } => assert!(matches!(*value, Expr::Assign { .. })),
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let e = parse_expr("a += 2");
+        assert!(matches!(e, Expr::Assign { op: Some(BinOp::Add), .. }));
+        let e = parse_expr("a >>>= 1");
+        assert!(matches!(e, Expr::Assign { op: Some(BinOp::Shr), .. }));
+    }
+
+    #[test]
+    fn member_call_chains() {
+        let e = parse_expr("a.b.c(1)[2](3)");
+        // Outermost is a call.
+        assert!(matches!(e, Expr::Call { .. }));
+    }
+
+    #[test]
+    fn method_call_shape() {
+        let e = parse_expr("obj.method(1, 2)");
+        match e {
+            Expr::Call { callee, args } => {
+                assert_eq!(args.len(), 2);
+                assert!(matches!(*callee, Expr::Member { .. }));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn new_expression() {
+        let e = parse_expr("new Point(1, 2)");
+        match e {
+            Expr::New { callee, args } => {
+                assert!(matches!(*callee, Expr::Ident(ref n) if n == "Point"));
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+        // `new F` without parens.
+        assert!(matches!(parse_expr("new F"), Expr::New { .. }));
+        // `new F().m()` — the call after new binds to the result.
+        assert!(matches!(parse_expr("new F().m()"), Expr::Call { .. }));
+    }
+
+    #[test]
+    fn object_and_array_literals() {
+        // Parenthesized: a bare `{` at statement position opens a block.
+        let e = parse_expr("({ a: 1, 'b c': 2, })");
+        match e {
+            Expr::Object(props) => {
+                assert_eq!(props.len(), 2);
+                assert_eq!(props[1].0, "b c");
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+        let e = parse_expr("[1, 2, 3,]");
+        assert!(matches!(e, Expr::Array(ref v) if v.len() == 3));
+    }
+
+    #[test]
+    fn update_expressions() {
+        assert!(matches!(parse_expr("i++"), Expr::Update { prefix: false, op: UpdateOp::Inc, .. }));
+        assert!(matches!(parse_expr("--i"), Expr::Update { prefix: true, op: UpdateOp::Dec, .. }));
+        assert!(matches!(parse_expr("a.b++"), Expr::Update { .. }));
+    }
+
+    #[test]
+    fn ternary_and_logical() {
+        let e = parse_expr("a ? b : c || d");
+        assert!(matches!(e, Expr::Cond { .. }));
+        let e = parse_expr("a && b || c");
+        assert!(matches!(e, Expr::Logical { op: LogOp::Or, .. }));
+    }
+
+    #[test]
+    fn statements_roundtrip_shapes() {
+        let p = parse_program(
+            "function f(a, b) { return a + b; }
+             var x = f(1, 2);
+             if (x > 1) { x = 0; } else x = 1;
+             while (x < 10) x++;
+             do { x--; } while (x > 0);
+             for (var i = 0; i < 3; i++) { continue; }
+             for (;;) { break; }",
+        )
+        .unwrap();
+        assert_eq!(p.body.len(), 7);
+        assert!(matches!(p.body[0], Stmt::Function(_)));
+        assert!(matches!(p.body[6], Stmt::For { ref init, ref cond, ref update, .. }
+            if init.is_none() && cond.is_none() && update.is_none()));
+    }
+
+    #[test]
+    fn multi_declarator_var() {
+        let p = parse_program("var a = 1, b = 2;").unwrap();
+        match &p.body[0] {
+            Stmt::Block(decls) => assert_eq!(decls.len(), 2),
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_expression() {
+        let p = parse_program("var f = function(a) { return a; };").unwrap();
+        match &p.body[0] {
+            Stmt::Var { init: Some(Expr::Function(f)), .. } => {
+                assert!(f.name.is_empty());
+                assert_eq!(f.params, vec!["a"]);
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse_program("var = 1;").unwrap_err();
+        assert!(err.message.contains("variable name"), "{err}");
+        let err = parse_program("1 + ;").unwrap_err();
+        assert!(err.message.contains("unexpected token"), "{err}");
+        let err = parse_program("1 = 2;").unwrap_err();
+        assert!(err.message.contains("invalid assignment target"), "{err}");
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let p = parse_program("if (a) b; else if (c) d; else e;").unwrap();
+        match &p.body[0] {
+            Stmt::If { els: Some(els), .. } => assert!(matches!(**els, Stmt::If { .. })),
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Tokens and source positions.
+
+use std::fmt;
+
+/// A half-open byte range into the source, with 1-based line/column of its
+/// start for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+    /// 1-based source column of `start`.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Lexical token kinds of njs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals and names
+    /// Numeric literal (decimal or `0x` hexadecimal).
+    Num(f64),
+    /// String literal (escapes already resolved).
+    Str(String),
+    /// Identifier.
+    Ident(String),
+
+    // Keywords
+    Var,
+    Let,
+    Function,
+    Return,
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    Break,
+    Continue,
+    New,
+    True,
+    False,
+    Null,
+    Undefined,
+    This,
+
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Dot,
+    Colon,
+    Question,
+
+    // Operators
+    Assign,        // =
+    PlusAssign,    // +=
+    MinusAssign,   // -=
+    StarAssign,    // *=
+    SlashAssign,   // /=
+    PercentAssign, // %=
+    AmpAssign,     // &=
+    PipeAssign,    // |=
+    CaretAssign,   // ^=
+    ShlAssign,     // <<=
+    SarAssign,     // >>=
+    ShrAssign,     // >>>=
+    EqEq,          // ==
+    NotEq,         // !=
+    EqEqEq,        // ===
+    NotEqEq,       // !==
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Shl, // <<
+    Sar, // >>
+    Shr, // >>>
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    AndAnd,
+    OrOr,
+    PlusPlus,
+    MinusMinus,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "var" => TokenKind::Var,
+            "let" => TokenKind::Let,
+            "function" => TokenKind::Function,
+            "return" => TokenKind::Return,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "do" => TokenKind::Do,
+            "for" => TokenKind::For,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            "new" => TokenKind::New,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "null" => TokenKind::Null,
+            "undefined" => TokenKind::Undefined,
+            "this" => TokenKind::This,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexed token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("var"), Some(TokenKind::Var));
+        assert_eq!(TokenKind::keyword("function"), Some(TokenKind::Function));
+        assert_eq!(TokenKind::keyword("undefined"), Some(TokenKind::Undefined));
+        assert_eq!(TokenKind::keyword("varx"), None);
+    }
+
+    #[test]
+    fn span_displays_line_col() {
+        let s = Span { start: 0, end: 1, line: 3, col: 9 };
+        assert_eq!(format!("{s}"), "3:9");
+    }
+}

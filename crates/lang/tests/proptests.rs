@@ -1,0 +1,88 @@
+//! Property-based tests for the njs front end.
+
+use checkelide_lang::{parse_program, Expr, Stmt};
+use proptest::prelude::*;
+
+/// Generate random well-formed expressions as source text.
+fn arb_expr_src(depth: u32) -> BoxedStrategy<String> {
+    if depth == 0 {
+        return prop_oneof![
+            (0u32..1000).prop_map(|n| n.to_string()),
+            (0u32..100).prop_map(|n| format!("{n}.5")),
+            "[a-c]".prop_map(|s| s),
+            Just("true".to_string()),
+            Just("null".to_string()),
+        ]
+        .boxed();
+    }
+    let inner = arb_expr_src(depth - 1);
+    prop_oneof![
+        (inner.clone(), inner.clone(), proptest::sample::select(vec![
+            "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", ">>>",
+            "<", "<=", ">", ">=", "==", "===", "&&", "||",
+        ]))
+            .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
+        (inner.clone(), inner.clone(), inner.clone())
+            .prop_map(|(c, t, e)| format!("({c} ? {t} : {e})")),
+        inner.clone().prop_map(|e| format!("(-{e})")),
+        inner.clone().prop_map(|e| format!("(!{e})")),
+        (inner.clone(), inner.clone()).prop_map(|(o, i)| format!("({o})[{i}]")),
+        inner.clone().prop_map(|o| format!("({o}).prop")),
+        (inner.clone(), inner).prop_map(|(f, a)| format!("f({f}, {a})")),
+    ]
+    .boxed()
+}
+
+proptest! {
+    /// Every generated expression parses, and parenthesization is the
+    /// identity on the AST.
+    #[test]
+    fn generated_expressions_parse(src in arb_expr_src(3)) {
+        let p1 = parse_program(&format!("x = {src};")).expect("parses");
+        let p2 = parse_program(&format!("x = (({src}));")).expect("parses with parens");
+        prop_assert_eq!(p1, p2, "redundant parens must not change the AST");
+    }
+
+    /// Whitespace and comments never change the parse.
+    #[test]
+    fn trivia_insensitive(src in arb_expr_src(2)) {
+        let tight = format!("x={src};");
+        let airy = format!("  x /* comment */ =\n\t{src} // end\n;");
+        prop_assert_eq!(parse_program(&tight).unwrap(), parse_program(&airy).unwrap());
+    }
+
+    /// Numeric literals round-trip through the lexer.
+    #[test]
+    fn number_literals_roundtrip(n in 0u64..1_000_000_000, frac in 0u32..1000) {
+        let src = format!("x = {n}.{frac:03};");
+        let p = parse_program(&src).unwrap();
+        let expected = format!("{n}.{frac:03}").parse::<f64>().unwrap();
+        match &p.body[0] {
+            Stmt::Expr(Expr::Assign { value, .. }) => match **value {
+                Expr::Num(v) => prop_assert_eq!(v, expected),
+                ref other => prop_assert!(false, "expected number, got {:?}", other),
+            },
+            other => prop_assert!(false, "unexpected stmt {:?}", other),
+        }
+    }
+
+    /// String literals with arbitrary printable ASCII round-trip.
+    #[test]
+    fn string_literals_roundtrip(s in "[ -~&&[^\"\\\\']]{0,30}") {
+        let src = format!("x = \"{s}\";");
+        let p = parse_program(&src).unwrap();
+        match &p.body[0] {
+            Stmt::Expr(Expr::Assign { value, .. }) => match &**value {
+                Expr::Str(v) => prop_assert_eq!(&**v, s.as_str()),
+                other => prop_assert!(false, "expected string, got {:?}", other),
+            },
+            other => prop_assert!(false, "unexpected stmt {:?}", other),
+        }
+    }
+
+    /// The parser never panics on arbitrary input (errors are `Err`s).
+    #[test]
+    fn parser_total_on_garbage(src in "[ -~\\n]{0,120}") {
+        let _ = parse_program(&src);
+    }
+}

@@ -1,0 +1,1222 @@
+//! Feedback-directed analysis: abstract interpretation over the bytecode
+//! that decides, per operation, which checks must be emitted and which can
+//! be removed — classically (a dominating check already proved the fact)
+//! or speculatively via the Class Cache profile (§4.3.1–4.3.3).
+
+use crate::plan::*;
+use checkelide_engine::{FeedbackSlot, Vm};
+use checkelide_engine::bytecode::{Bc, BytecodeFunc};
+use checkelide_isa::uop::Provenance;
+use checkelide_core::{classlist::ELEMENTS_SLOT, ClassId};
+use checkelide_runtime::{maps::fixed, ElemKind, MapIx};
+use std::collections::VecDeque;
+
+/// An abstract value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Abs {
+    /// Nothing known.
+    Unknown,
+    /// Known SMI.
+    Smi,
+    /// Known number (SMI or boxed double).
+    Number,
+    /// Known boxed double. `cc`: the fact comes from the Class Cache
+    /// profile (survives calls; protected by the exception mechanism).
+    HeapNum {
+        /// Class-Cache-derived fact.
+        cc: bool,
+    },
+    /// Known string.
+    Str,
+    /// Known boolean.
+    Bool,
+    /// Object with a known hidden class.
+    KnownMap {
+        /// The map.
+        map: MapIx,
+        /// Class-Cache-derived fact (survives calls).
+        cc: bool,
+    },
+}
+
+impl Abs {
+    fn meet(a: Abs, b: Abs) -> Abs {
+        use Abs::*;
+        if a == b {
+            return a;
+        }
+        match (a, b) {
+            (Smi, Number) | (Number, Smi) => Number,
+            (Smi, HeapNum { .. }) | (HeapNum { .. }, Smi) => Number,
+            (Number, HeapNum { .. }) | (HeapNum { .. }, Number) => Number,
+            (HeapNum { cc: x }, HeapNum { cc: y }) => HeapNum { cc: x && y },
+            (KnownMap { map: m1, cc: x }, KnownMap { map: m2, cc: y }) if m1 == m2 => {
+                KnownMap { map: m1, cc: x && y }
+            }
+            _ => Unknown,
+        }
+    }
+
+    /// Kill facts that a call can invalidate (hidden classes of mutable
+    /// objects proven only by a dominating check).
+    fn kill_across_call(self) -> Abs {
+        match self {
+            Abs::KnownMap { cc: false, .. } => Abs::Unknown,
+            other => other,
+        }
+    }
+
+    fn is_smi(self) -> bool {
+        self == Abs::Smi
+    }
+}
+
+/// What a stack slot aliases (for check-refinement propagation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Alias {
+    /// Nothing trackable.
+    None,
+    /// Copy of a local.
+    Local(u16),
+    /// Copy of `this`.
+    This,
+}
+
+/// One abstract stack entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AEntry {
+    /// Abstract value.
+    pub abs: Abs,
+    /// Alias for refinement.
+    pub alias: Alias,
+    /// Where the value was originally produced (Figure 2 accounting).
+    pub origin: Provenance,
+}
+
+impl AEntry {
+    fn unknown() -> AEntry {
+        AEntry { abs: Abs::Unknown, alias: Alias::None, origin: Provenance::None }
+    }
+
+    fn of(abs: Abs) -> AEntry {
+        AEntry { abs, alias: Alias::None, origin: Provenance::None }
+    }
+
+    fn meet(a: &AEntry, b: &AEntry) -> AEntry {
+        AEntry {
+            abs: Abs::meet(a.abs, b.abs),
+            alias: if a.alias == b.alias { a.alias } else { Alias::None },
+            origin: if a.origin == b.origin { a.origin } else { Provenance::None },
+        }
+    }
+}
+
+/// Abstract machine state at one bytecode boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsState {
+    /// Per-local (abstract value, original provenance).
+    pub locals: Vec<(Abs, Provenance)>,
+    /// Abstract `this`.
+    pub this: Abs,
+    /// Abstract operand stack.
+    pub stack: Vec<AEntry>,
+}
+
+impl AbsState {
+    fn entry(n_locals: usize) -> AbsState {
+        AbsState {
+            locals: vec![(Abs::Unknown, Provenance::None); n_locals],
+            this: Abs::Unknown,
+            stack: Vec::new(),
+        }
+    }
+
+    fn meet(a: &AbsState, b: &AbsState) -> AbsState {
+        debug_assert_eq!(a.stack.len(), b.stack.len(), "stack depth mismatch at join");
+        AbsState {
+            locals: a
+                .locals
+                .iter()
+                .zip(&b.locals)
+                .map(|(&(x, px), &(y, py))| {
+                    (Abs::meet(x, y), if px == py { px } else { Provenance::None })
+                })
+                .collect(),
+            this: Abs::meet(a.this, b.this),
+            stack: a.stack.iter().zip(&b.stack).map(|(x, y)| AEntry::meet(x, y)).collect(),
+        }
+    }
+
+    fn kill_across_call(&mut self) {
+        for (a, _) in &mut self.locals {
+            *a = a.kill_across_call();
+        }
+        self.this = self.this.kill_across_call();
+        for e in &mut self.stack {
+            e.abs = e.abs.kill_across_call();
+        }
+    }
+
+    fn refine(&mut self, alias: Alias, abs: Abs) {
+        match alias {
+            Alias::Local(i) => self.locals[i as usize].0 = abs,
+            Alias::This => self.this = abs,
+            Alias::None => {}
+        }
+    }
+}
+
+/// Analysis products.
+pub struct Analysis {
+    /// Per-op specialization plans.
+    pub plans: Vec<OpPlan>,
+    /// Slots to register speculations on: (introducer map, line, pos).
+    pub speculations: Vec<(MapIx, u8, u8)>,
+    /// Number of check sites removed via the Class Cache profile.
+    pub elided_sites: u32,
+}
+
+/// Run the analysis for `func`.
+pub fn analyze(vm: &Vm, func: u32, bc: &BytecodeFunc) -> Analysis {
+    let mut a = Analyzer {
+        vm,
+        func,
+        bc,
+        elide: vm.config.mechanism == checkelide_engine::Mechanism::Full,
+        speculations: Vec::new(),
+        elided_sites: 0,
+    };
+    let states = a.fixpoint();
+    let mut plans = vec![OpPlan::Generic; bc.code.len()];
+    for (pc, st) in states.iter().enumerate() {
+        if let Some(st) = st {
+            let mut s = st.clone();
+            let plan = a.transfer(&mut s, pc, true);
+            plans[pc] = plan;
+        }
+        // Unreachable ops keep the Generic plan; they can only be reached
+        // after a deopt, which resumes in the interpreter anyway.
+    }
+    hoist_mov_class_id_array(bc, &mut plans);
+    Analysis { plans, speculations: a.speculations, elided_sites: a.elided_sites }
+}
+
+struct Analyzer<'v> {
+    vm: &'v Vm,
+    func: u32,
+    bc: &'v BytecodeFunc,
+    elide: bool,
+    speculations: Vec<(MapIx, u8, u8)>,
+    elided_sites: u32,
+}
+
+impl<'v> Analyzer<'v> {
+    fn feedback(&self, fb: u32) -> &FeedbackSlot {
+        &self.vm.funcs[self.func as usize].feedback[fb as usize]
+    }
+
+    fn fixpoint(&mut self) -> Vec<Option<AbsState>> {
+        let n = self.bc.code.len();
+        let mut states: Vec<Option<AbsState>> = vec![None; n];
+        states[0] = Some(AbsState::entry(self.bc.n_locals as usize));
+        let mut work: VecDeque<usize> = VecDeque::from([0]);
+        let mut iterations = 0usize;
+        while let Some(pc) = work.pop_front() {
+            iterations += 1;
+            assert!(iterations < 40 * n + 1000, "abstract interpretation diverged");
+            let Some(st) = states[pc].clone() else { continue };
+            let mut s = st;
+            let _ = self.transfer(&mut s, pc, false);
+            for succ in successors(&self.bc.code[pc], pc) {
+                let merged = match &states[succ] {
+                    None => Some(s.clone()),
+                    Some(prev) => {
+                        let m = AbsState::meet(prev, &s);
+                        if m == *prev {
+                            None
+                        } else {
+                            Some(m)
+                        }
+                    }
+                };
+                if let Some(m) = merged {
+                    states[succ] = Some(m);
+                    work.push_back(succ);
+                }
+            }
+        }
+        states
+    }
+
+    /// Abstract value of a profiled [`ClassId`].
+    fn abs_of_class(&self, c: ClassId) -> Abs {
+        if c.is_smi() {
+            return Abs::Smi;
+        }
+        let Some(m) = self.vm.rt.maps.map_of_class(c) else { return Abs::Unknown };
+        match self.vm.rt.maps.get(m).kind {
+            checkelide_runtime::MapKind::HeapNumber => Abs::HeapNum { cc: true },
+            checkelide_runtime::MapKind::StringObj => Abs::Str,
+            checkelide_runtime::MapKind::Object => Abs::KnownMap { map: m, cc: true },
+            _ => Abs::Unknown,
+        }
+    }
+
+    /// Class-Cache query for a named-property slot of `map`; records the
+    /// speculation when it answers.
+    fn cc_prop_knowledge(&mut self, map: MapIx, name: checkelide_runtime::NameId, offset: u16) -> Option<Abs> {
+        if !self.elide {
+            return None;
+        }
+        let intro = self.vm.rt.maps.introducer_of(map, name)?;
+        let line = (offset / 8) as u8;
+        let pos = (offset % 8) as u8;
+        let c = self.vm.aggregated_monomorphic_class(intro, line, pos)?;
+        let abs = self.abs_of_class(c);
+        if abs == Abs::Unknown {
+            return None;
+        }
+        self.speculations.push((intro, line, pos));
+        Some(abs)
+    }
+
+    /// Class-Cache query for an elements profile.
+    fn cc_elem_knowledge(&mut self, map: MapIx) -> Option<Abs> {
+        if !self.elide {
+            return None;
+        }
+        let root = self.vm.rt.maps.root_of(map);
+        let c = self.vm.aggregated_monomorphic_class(root, 0, ELEMENTS_SLOT)?;
+        let abs = self.abs_of_class(c);
+        if abs == Abs::Unknown {
+            return None;
+        }
+        self.speculations.push((root, 0, ELEMENTS_SLOT));
+        Some(abs)
+    }
+
+    /// Whether a store to `(map, offset)` still targets a monomorphic
+    /// profile (emitted as `movStoreClassCache`).
+    fn store_still_mono(&self, map: MapIx, name: checkelide_runtime::NameId, offset: u16) -> bool {
+        if self.vm.config.mechanism != checkelide_engine::Mechanism::Full {
+            return false;
+        }
+        let Some(intro) = self.vm.rt.maps.introducer_of(map, name) else { return false };
+        self.vm
+            .aggregated_monomorphic_class(intro, (offset / 8) as u8, (offset % 8) as u8)
+            .is_some()
+    }
+
+    fn elems_still_mono(&self, map: MapIx) -> bool {
+        if self.vm.config.mechanism != checkelide_engine::Mechanism::Full {
+            return false;
+        }
+        let root = self.vm.rt.maps.root_of(map);
+        self.vm.aggregated_monomorphic_class(root, 0, ELEMENTS_SLOT).is_some()
+    }
+
+    /// Plan an operand check for an expected-SMI value.
+    fn smi_operand(&mut self, e: &AEntry) -> OperandPlan {
+        match e.abs {
+            Abs::Smi => OperandPlan {
+                check: CheckKind::None,
+                provenance: e.origin,
+                // Elided *via the Class Cache* only when the fact came from
+                // a profiled load; checks proven by dominating checks are
+                // classic redundancy.
+                elided: e.origin.from_object_load() && self.elide_counted(e),
+            },
+            _ => OperandPlan { check: CheckKind::Smi, provenance: e.origin, elided: false },
+        }
+    }
+
+    /// Count an elision once.
+    fn elide_counted(&mut self, _e: &AEntry) -> bool {
+        if self.elide {
+            self.elided_sites += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Plan an operand for a double-mode op.
+    fn number_operand(&mut self, e: &AEntry) -> OperandPlan {
+        match e.abs {
+            Abs::Smi | Abs::Number => {
+                OperandPlan { check: CheckKind::None, provenance: e.origin, elided: false }
+            }
+            Abs::HeapNum { cc } => OperandPlan {
+                check: CheckKind::None,
+                provenance: e.origin,
+                elided: cc && e.origin.from_object_load() && self.elide_counted(e),
+            },
+            _ => OperandPlan { check: CheckKind::Number, provenance: e.origin, elided: false },
+        }
+    }
+
+    /// Transfer one op over the state; when `emit` is set, build the plan
+    /// and record speculations/elisions.
+    #[allow(clippy::too_many_lines)]
+    fn transfer(&mut self, s: &mut AbsState, pc: usize, emit: bool) -> OpPlan {
+        use Bc::*;
+        let op = self.bc.code[pc];
+        let mut plan = OpPlan::Generic;
+        match op {
+            LdaSmi(_) => s.stack.push(AEntry::of(Abs::Smi)),
+            LdaNum(_) => s.stack.push(AEntry::of(Abs::HeapNum { cc: false })),
+            LdaStr(_) => s.stack.push(AEntry::of(Abs::Str)),
+            LdaTrue | LdaFalse => s.stack.push(AEntry::of(Abs::Bool)),
+            LdaNull | LdaUndef | LdaFunc(_) => s.stack.push(AEntry::unknown()),
+            LdaThis => s.stack.push(AEntry {
+                abs: s.this,
+                alias: Alias::This,
+                origin: Provenance::None,
+            }),
+            LdLocal(i) => s.stack.push(AEntry {
+                abs: s.locals[i as usize].0,
+                alias: Alias::Local(i),
+                origin: s.locals[i as usize].1,
+            }),
+            StLocal(i) => {
+                let e = s.stack.pop().expect("abs stack");
+                s.locals[i as usize] = (e.abs, e.origin);
+            }
+            LdGlobal(_) => s.stack.push(AEntry::unknown()),
+            StGlobal(_) => {
+                s.stack.pop();
+            }
+            GetProp(name, fb) => {
+                let recv = s.stack.pop().expect("abs stack");
+                plan = self.plan_get_prop(s, recv, name, fb, emit);
+            }
+            SetProp(name, fb) => {
+                let val = s.stack.pop().expect("abs stack");
+                let recv = s.stack.pop().expect("abs stack");
+                plan = self.plan_set_prop(s, recv, name, fb, emit);
+                s.stack.push(val);
+            }
+            GetElem(fb) => {
+                let ix = s.stack.pop().expect("abs stack");
+                let recv = s.stack.pop().expect("abs stack");
+                plan = self.plan_get_elem(s, recv, ix, fb, emit);
+            }
+            SetElem(fb) => {
+                let val = s.stack.pop().expect("abs stack");
+                let ix = s.stack.pop().expect("abs stack");
+                let recv = s.stack.pop().expect("abs stack");
+                plan = self.plan_set_elem(s, recv, ix, &val, fb, emit);
+                s.stack.push(val);
+            }
+            Add(fb) | Sub(fb) | Mul(fb) | Div(fb) | Mod(fb) => {
+                let rhs = s.stack.pop().expect("abs stack");
+                let lhs = s.stack.pop().expect("abs stack");
+                let bfb = *self.feedback(fb).bin();
+                if !bfb.observed() {
+                    plan = OpPlan::ColdDeopt;
+                    s.stack.push(AEntry::unknown());
+                } else if bfb.smi_only() {
+                    plan = OpPlan::Bin(BinPlan {
+                        mode: NumMode::Smi,
+                        lhs: self.smi_operand(&lhs),
+                        rhs: self.smi_operand(&rhs),
+                    });
+                    s.stack.push(AEntry::of(Abs::Smi));
+                } else if bfb.numeric_only() {
+                    plan = OpPlan::Bin(BinPlan {
+                        mode: NumMode::Double,
+                        lhs: self.number_operand(&lhs),
+                        rhs: self.number_operand(&rhs),
+                    });
+                    s.stack.push(AEntry::of(Abs::Number));
+                } else if matches!(op, Add(_)) && bfb.string && !bfb.generic {
+                    plan = OpPlan::Bin(BinPlan {
+                        mode: NumMode::Str,
+                        lhs: OperandPlan::none(),
+                        rhs: OperandPlan::none(),
+                    });
+                    s.stack.push(AEntry::of(Abs::Str));
+                } else {
+                    plan = OpPlan::Bin(BinPlan {
+                        mode: NumMode::Generic,
+                        lhs: OperandPlan::none(),
+                        rhs: OperandPlan::none(),
+                    });
+                    s.stack.push(AEntry::unknown());
+                }
+            }
+            BitAnd(fb) | BitOr(fb) | BitXor(fb) | Shl(fb) | Sar(fb) | Shr(fb) => {
+                let rhs = s.stack.pop().expect("abs stack");
+                let lhs = s.stack.pop().expect("abs stack");
+                let bfb = *self.feedback(fb).bin();
+                if !bfb.observed() {
+                    plan = OpPlan::ColdDeopt;
+                } else {
+                    let mode = if bfb.smi_only() { NumMode::Smi } else { NumMode::Generic };
+                    plan = OpPlan::Bin(BinPlan {
+                        mode,
+                        lhs: if mode == NumMode::Smi {
+                            self.smi_operand(&lhs)
+                        } else {
+                            OperandPlan::none()
+                        },
+                        rhs: if mode == NumMode::Smi {
+                            self.smi_operand(&rhs)
+                        } else {
+                            OperandPlan::none()
+                        },
+                    });
+                }
+                s.stack.push(AEntry::of(if matches!(op, Shr(_)) {
+                    Abs::Number
+                } else {
+                    Abs::Smi
+                }));
+            }
+            Neg(fb) | BitNot(fb) => {
+                let v = s.stack.pop().expect("abs stack");
+                let bfb = *self.feedback(fb).bin();
+                if !bfb.observed() {
+                    plan = OpPlan::ColdDeopt;
+                    s.stack.push(AEntry::unknown());
+                } else if bfb.smi_only() {
+                    plan = OpPlan::Bin(BinPlan {
+                        mode: NumMode::Smi,
+                        lhs: self.smi_operand(&v),
+                        rhs: OperandPlan::none(),
+                    });
+                    s.stack.push(AEntry::of(Abs::Smi));
+                } else if bfb.numeric_only() {
+                    plan = OpPlan::Bin(BinPlan {
+                        mode: NumMode::Double,
+                        lhs: self.number_operand(&v),
+                        rhs: OperandPlan::none(),
+                    });
+                    s.stack.push(AEntry::of(Abs::Number));
+                } else {
+                    plan = OpPlan::Bin(BinPlan {
+                        mode: NumMode::Generic,
+                        lhs: OperandPlan::none(),
+                        rhs: OperandPlan::none(),
+                    });
+                    s.stack.push(AEntry::unknown());
+                }
+            }
+            Not => {
+                s.stack.pop();
+                s.stack.push(AEntry::of(Abs::Bool));
+            }
+            TestLt(fb) | TestLe(fb) | TestGt(fb) | TestGe(fb) => {
+                let rhs = s.stack.pop().expect("abs stack");
+                let lhs = s.stack.pop().expect("abs stack");
+                let bfb = *self.feedback(fb).bin();
+                if !bfb.observed() {
+                    plan = OpPlan::ColdDeopt;
+                } else if bfb.smi_only() {
+                    plan = OpPlan::Bin(BinPlan {
+                        mode: NumMode::Smi,
+                        lhs: self.smi_operand(&lhs),
+                        rhs: self.smi_operand(&rhs),
+                    });
+                } else if bfb.numeric_only() {
+                    plan = OpPlan::Bin(BinPlan {
+                        mode: NumMode::Double,
+                        lhs: self.number_operand(&lhs),
+                        rhs: self.number_operand(&rhs),
+                    });
+                } else {
+                    plan = OpPlan::Bin(BinPlan {
+                        mode: NumMode::Generic,
+                        lhs: OperandPlan::none(),
+                        rhs: OperandPlan::none(),
+                    });
+                }
+                s.stack.push(AEntry::of(Abs::Bool));
+            }
+            TestEq(_) | TestNe(_) | TestStrictEq(_) | TestStrictNe(_) => {
+                let rhs = s.stack.pop().expect("abs stack");
+                let lhs = s.stack.pop().expect("abs stack");
+                let smi = lhs.abs.is_smi() && rhs.abs.is_smi();
+                plan = OpPlan::Bin(BinPlan {
+                    mode: if smi { NumMode::Smi } else { NumMode::Generic },
+                    lhs: OperandPlan::none(),
+                    rhs: OperandPlan::none(),
+                });
+                s.stack.push(AEntry::of(Abs::Bool));
+            }
+            Jump(_) => {}
+            JumpIfFalse(_) | JumpIfTrue(_) => {
+                s.stack.pop();
+            }
+            Dup => {
+                let e = *s.stack.last().expect("abs stack");
+                s.stack.push(e);
+            }
+            Pop => {
+                s.stack.pop();
+            }
+            Call(argc, fb) => {
+                for _ in 0..argc {
+                    s.stack.pop();
+                }
+                s.stack.pop(); // callee
+                let cfb = self.feedback(fb).call().clone();
+                if cfb.target.is_none() && !cfb.polymorphic {
+                    plan = OpPlan::ColdDeopt;
+                } else {
+                    plan = OpPlan::Call(CallPlan { known: cfb.target });
+                }
+                s.kill_across_call();
+                s.stack.push(AEntry::unknown());
+            }
+            CallMethod(name, argc, fb) => {
+                for _ in 0..argc {
+                    s.stack.pop();
+                }
+                let recv = s.stack.pop().expect("abs stack");
+                plan = self.plan_call_method(recv, name, fb, emit);
+                s.kill_across_call();
+                s.stack.push(AEntry::unknown());
+            }
+            New(argc, fb) => {
+                for _ in 0..argc {
+                    s.stack.pop();
+                }
+                s.stack.pop();
+                let cfb = self.feedback(fb).call().clone();
+                let ctor = match cfb.target {
+                    Some(checkelide_runtime::FuncRef::User(fi)) => self.vm.funcs
+                        [fi as usize]
+                        .initial_map
+                        .map(|m| (fi, m)),
+                    _ => None,
+                };
+                if cfb.target.is_none() && !cfb.polymorphic {
+                    plan = OpPlan::ColdDeopt;
+                } else {
+                    plan = OpPlan::New(NewPlan { ctor });
+                }
+                s.kill_across_call();
+                s.stack.push(AEntry::unknown());
+            }
+            Return | ReturnUndef => {
+                // Terminal; nothing flows out.
+            }
+            NewObject => {
+                s.stack.push(AEntry::of(Abs::KnownMap {
+                    map: fixed::OBJECT_LITERAL_ROOT,
+                    cc: false,
+                }));
+            }
+            NewArray(n) => {
+                let mut all_smi = true;
+                for _ in 0..n {
+                    let e = s.stack.pop().expect("abs stack");
+                    all_smi &= e.abs.is_smi();
+                }
+                s.stack.push(if all_smi {
+                    AEntry::of(Abs::KnownMap { map: fixed::ARRAY_ROOT, cc: false })
+                } else {
+                    AEntry::unknown()
+                });
+            }
+            LoopHead => {
+                plan = OpPlan::LoopHead(LoopPlan::default());
+            }
+        }
+        plan
+    }
+
+    fn plan_get_prop(
+        &mut self,
+        s: &mut AbsState,
+        recv: AEntry,
+        name: checkelide_runtime::NameId,
+        fb: u32,
+        emit: bool,
+    ) -> OpPlan {
+        let site = self.feedback(fb).site().clone();
+        if site.megamorphic || site.maps.is_empty() {
+            if site.maps.is_empty() && !site.megamorphic && site.hits + site.misses == 0 {
+                s.stack.push(AEntry::unknown());
+                return OpPlan::ColdDeopt;
+            }
+            // String `.length` (string receivers record as generic).
+            if site.maps.is_empty()
+                && (recv.abs == Abs::Str || self.vm.rt.names.text(name) == "length")
+            {
+                s.stack.push(AEntry::of(Abs::Smi));
+                return OpPlan::GetProp(GetPropPlan {
+                    cases: vec![],
+                    recv_check_needed: recv.abs != Abs::Str,
+                    recv_provenance: recv.origin,
+                    recv_elided: false,
+                    length_path: false,
+                    string_length: true,
+                });
+            }
+            s.stack.push(AEntry::unknown());
+            return OpPlan::Generic;
+        }
+
+        let known = match recv.abs {
+            Abs::KnownMap { map, cc } => Some((map, cc)),
+            _ => None,
+        };
+        let mut cases = Vec::new();
+        let mut length_path = false;
+        let maps_to_use: Vec<MapIx> = match known {
+            Some((m, _)) => vec![m],
+            None => site.maps.clone(),
+        };
+        for m in &maps_to_use {
+            match self.vm.rt.maps.get(*m).offset_of(name) {
+                Some(off) => cases.push(PropCase { map: *m, offset: off }),
+                None => {
+                    if self.vm.rt.names.text(name) == "length" && maps_to_use.len() == 1 {
+                        length_path = true;
+                        cases.push(PropCase { map: *m, offset: 0 });
+                    } else {
+                        // A map without the property: keep this site
+                        // generic (undefined results are a slow path).
+                        s.stack.push(AEntry::unknown());
+                        return OpPlan::Generic;
+                    }
+                }
+            }
+        }
+
+        let recv_check_needed = known.is_none();
+        let recv_elided = if let Some((_, true)) = known {
+            emit && recv.origin.from_object_load() && {
+                self.elided_sites += 1;
+                true
+            }
+        } else {
+            false
+        };
+
+        // Result knowledge via the Class Cache profile (monomorphic only).
+        let result = if cases.len() == 1 && !length_path {
+            if let Some(abs) = if emit {
+                self.cc_prop_knowledge(cases[0].map, name, cases[0].offset)
+            } else {
+                self.cc_prop_knowledge_peek(cases[0].map, name, cases[0].offset)
+            } {
+                abs
+            } else {
+                Abs::Unknown
+            }
+        } else {
+            Abs::Unknown
+        };
+
+        // A passed mono check refines the receiver's alias.
+        if cases.len() == 1 && recv_check_needed {
+            s.refine(recv.alias, Abs::KnownMap { map: cases[0].map, cc: false });
+        }
+
+        s.stack.push(AEntry {
+            abs: if length_path { Abs::Smi } else { result },
+            alias: Alias::None,
+            origin: if length_path { Provenance::None } else { Provenance::PropertyLoad },
+        });
+        OpPlan::GetProp(GetPropPlan {
+            cases,
+            recv_check_needed,
+            recv_provenance: recv.origin,
+            recv_elided,
+            length_path,
+            string_length: false,
+        })
+    }
+
+    /// Like [`Self::cc_prop_knowledge`] but without recording speculation
+    /// (used during fixpoint iteration).
+    fn cc_prop_knowledge_peek(
+        &self,
+        map: MapIx,
+        name: checkelide_runtime::NameId,
+        offset: u16,
+    ) -> Option<Abs> {
+        if !self.elide {
+            return None;
+        }
+        let intro = self.vm.rt.maps.introducer_of(map, name)?;
+        let c = self
+            .vm
+            .aggregated_monomorphic_class(intro, (offset / 8) as u8, (offset % 8) as u8)?;
+        let abs = self.abs_of_class_peek(c);
+        if abs == Abs::Unknown {
+            None
+        } else {
+            Some(abs)
+        }
+    }
+
+    fn abs_of_class_peek(&self, c: ClassId) -> Abs {
+        if c.is_smi() {
+            return Abs::Smi;
+        }
+        let Some(m) = self.vm.rt.maps.map_of_class(c) else { return Abs::Unknown };
+        match self.vm.rt.maps.get(m).kind {
+            checkelide_runtime::MapKind::HeapNumber => Abs::HeapNum { cc: true },
+            checkelide_runtime::MapKind::StringObj => Abs::Str,
+            checkelide_runtime::MapKind::Object => Abs::KnownMap { map: m, cc: true },
+            _ => Abs::Unknown,
+        }
+    }
+
+    fn plan_set_prop(
+        &mut self,
+        s: &mut AbsState,
+        recv: AEntry,
+        name: checkelide_runtime::NameId,
+        fb: u32,
+        emit: bool,
+    ) -> OpPlan {
+        let site = self.feedback(fb).site().clone();
+        if site.megamorphic {
+            return OpPlan::Generic;
+        }
+        if site.maps.is_empty() {
+            return OpPlan::ColdDeopt;
+        }
+        let known = match recv.abs {
+            Abs::KnownMap { map, cc } => Some((map, cc)),
+            _ => None,
+        };
+        let maps_to_use: Vec<MapIx> = match known {
+            Some((m, _)) => vec![m],
+            None => site.maps.clone(),
+        };
+        let mut cases = Vec::new();
+        let mut any_transition = false;
+        for m in &maps_to_use {
+            match self.vm.rt.maps.get(*m).offset_of(name) {
+                Some(off) => {
+                    let prof = self.store_still_mono(*m, name, off);
+                    cases.push((*m, SetPropCase::Store { offset: off }, prof));
+                }
+                None => match self.vm.rt.maps.transition_target(*m, name) {
+                    Some((new_map, off)) => {
+                        any_transition = true;
+                        let prof = self.store_still_mono(new_map, name, off);
+                        cases.push((*m, SetPropCase::Transition { new_map, offset: off }, prof));
+                    }
+                    None => return OpPlan::Generic,
+                },
+            }
+        }
+        let recv_check_needed = known.is_none();
+        let recv_elided = if let Some((_, true)) = known {
+            emit && recv.origin.from_object_load() && {
+                self.elided_sites += 1;
+                true
+            }
+        } else {
+            false
+        };
+        if any_transition {
+            // A transition changes some object's map: conservatively drop
+            // every check-derived map fact except the refined receiver.
+            let refined = if cases.len() == 1 {
+                match cases[0].1 {
+                    SetPropCase::Transition { new_map, .. } => Some(new_map),
+                    SetPropCase::Store { .. } => Some(cases[0].0),
+                }
+            } else {
+                None
+            };
+            for (a, _) in &mut s.locals {
+                if matches!(a, Abs::KnownMap { cc: false, .. }) {
+                    *a = Abs::Unknown;
+                }
+            }
+            if matches!(s.this, Abs::KnownMap { cc: false, .. }) {
+                s.this = Abs::Unknown;
+            }
+            for e in &mut s.stack {
+                if matches!(e.abs, Abs::KnownMap { cc: false, .. }) {
+                    e.abs = Abs::Unknown;
+                }
+            }
+            if let Some(nm) = refined {
+                s.refine(recv.alias, Abs::KnownMap { map: nm, cc: false });
+            }
+        } else if cases.len() == 1 {
+            s.refine(recv.alias, Abs::KnownMap { map: cases[0].0, cc: false });
+        }
+        OpPlan::SetProp(SetPropPlan {
+            cases,
+            recv_check_needed,
+            recv_provenance: recv.origin,
+            recv_elided,
+        })
+    }
+
+    /// Element sites often see the same container at several points of
+    /// its elements-kind ramp (Smi → Double → Tagged). When every feedback
+    /// map lies on one transition chain, specialize on the most general
+    /// kind — with allocation-site kind feedback, steady-state objects are
+    /// born with that kind, so the earlier maps are stale warm-up noise.
+    fn pick_elem_map(&self, maps: &[MapIx]) -> Option<(MapIx, Vec<(MapIx, ElemKind)>)> {
+        match maps {
+            [] => None,
+            [m] => Some((*m, Vec::new())),
+            many => {
+                let root = self.vm.rt.maps.root_of(many[0]);
+                if many.iter().any(|m| self.vm.rt.maps.root_of(*m) != root) {
+                    return None;
+                }
+                // Prefer the most general kind; on ties, the most
+                // recently seen map (later generations come from
+                // allocation-site feedback and describe steady state).
+                // The rest become polymorphic alternative cases.
+                let primary = many
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .max_by_key(|(i, m)| (self.vm.rt.maps.get(*m).elements_kind.index(), *i))
+                    .map(|(_, m)| m)?;
+                let alt = many
+                    .iter()
+                    .filter(|m| **m != primary)
+                    .map(|m| (*m, self.vm.rt.maps.get(*m).elements_kind))
+                    .collect();
+                Some((primary, alt))
+            }
+        }
+    }
+
+    fn plan_get_elem(
+        &mut self,
+        s: &mut AbsState,
+        recv: AEntry,
+        ix: AEntry,
+        fb: u32,
+        emit: bool,
+    ) -> OpPlan {
+        let site = self.feedback(fb).site().clone();
+        if site.megamorphic {
+            s.stack.push(AEntry::unknown());
+            return OpPlan::Generic;
+        }
+        let known = match recv.abs {
+            Abs::KnownMap { map, cc } => Some((map, cc)),
+            _ => None,
+        };
+        let (map, alt) = match known {
+            Some((m, _)) => (m, Vec::new()),
+            None => match self.pick_elem_map(&site.maps) {
+                Some(picked) => picked,
+                None if site.maps.is_empty() => {
+                    s.stack.push(AEntry::unknown());
+                    return OpPlan::ColdDeopt;
+                }
+                None => {
+                    s.stack.push(AEntry::unknown());
+                    return OpPlan::Generic;
+                }
+            },
+        };
+        let kind = self.vm.rt.maps.get(map).elements_kind;
+        let recv_check_needed = known.is_none();
+        let recv_elided = if let Some((_, true)) = known {
+            emit && recv.origin.from_object_load() && {
+                self.elided_sites += 1;
+                true
+            }
+        } else {
+            false
+        };
+        let index_check = if ix.abs.is_smi() { CheckKind::None } else { CheckKind::Smi };
+        if recv_check_needed {
+            s.refine(recv.alias, Abs::KnownMap { map, cc: false });
+        }
+        let result = match kind {
+            ElemKind::Smi => AEntry {
+                abs: Abs::Smi,
+                alias: Alias::None,
+                origin: Provenance::ElementsLoad,
+            },
+            ElemKind::Double => AEntry {
+                abs: Abs::Number,
+                alias: Alias::None,
+                origin: Provenance::ElementsLoad,
+            },
+            ElemKind::Tagged => {
+                let abs = if emit {
+                    self.cc_elem_knowledge(map).unwrap_or(Abs::Unknown)
+                } else {
+                    self.cc_elem_knowledge_peek(map).unwrap_or(Abs::Unknown)
+                };
+                AEntry { abs, alias: Alias::None, origin: Provenance::ElementsLoad }
+            }
+        };
+        s.stack.push(result);
+        OpPlan::GetElem(GetElemPlan {
+            map,
+            kind,
+            recv_check_needed,
+            recv_provenance: recv.origin,
+            recv_elided,
+            index_check,
+            alt,
+        })
+    }
+
+    fn cc_elem_knowledge_peek(&self, map: MapIx) -> Option<Abs> {
+        if !self.elide {
+            return None;
+        }
+        let root = self.vm.rt.maps.root_of(map);
+        let c = self.vm.aggregated_monomorphic_class(root, 0, ELEMENTS_SLOT)?;
+        let abs = self.abs_of_class_peek(c);
+        if abs == Abs::Unknown {
+            None
+        } else {
+            Some(abs)
+        }
+    }
+
+    fn plan_set_elem(
+        &mut self,
+        s: &mut AbsState,
+        recv: AEntry,
+        ix: AEntry,
+        val: &AEntry,
+        fb: u32,
+        emit: bool,
+    ) -> OpPlan {
+        let site = self.feedback(fb).site().clone();
+        if site.megamorphic {
+            return OpPlan::Generic;
+        }
+        let known = match recv.abs {
+            Abs::KnownMap { map, cc } => Some((map, cc)),
+            _ => None,
+        };
+        let (map, alt) = match known {
+            Some((m, _)) => (m, Vec::new()),
+            None => match self.pick_elem_map(&site.maps) {
+                Some(picked) => picked,
+                None if site.maps.is_empty() => return OpPlan::ColdDeopt,
+                None => return OpPlan::Generic,
+            },
+        };
+        let kind = self.vm.rt.maps.get(map).elements_kind;
+        let recv_check_needed = known.is_none();
+        let recv_elided = if let Some((_, true)) = known {
+            emit && recv.origin.from_object_load() && {
+                self.elided_sites += 1;
+                true
+            }
+        } else {
+            false
+        };
+        let index_check = if ix.abs.is_smi() { CheckKind::None } else { CheckKind::Smi };
+        let value_check = match kind {
+            ElemKind::Smi => {
+                if val.abs.is_smi() {
+                    CheckKind::None
+                } else {
+                    CheckKind::Smi
+                }
+            }
+            ElemKind::Double => match val.abs {
+                Abs::Smi | Abs::Number | Abs::HeapNum { .. } => CheckKind::None,
+                _ => CheckKind::Number,
+            },
+            ElemKind::Tagged => CheckKind::None,
+        };
+        if recv_check_needed {
+            s.refine(recv.alias, Abs::KnownMap { map, cc: false });
+        }
+        let recv_local = match recv.alias {
+            Alias::Local(i) => Some(i),
+            _ => None,
+        };
+        let _ = emit;
+        OpPlan::SetElem(SetElemPlan {
+            map,
+            kind,
+            recv_check_needed,
+            recv_provenance: recv.origin,
+            recv_elided,
+            index_check,
+            value_check,
+            alt,
+            hoisted_reg: None,
+            profiled: kind != ElemKind::Double && self.elems_still_mono(map),
+            recv_local,
+        })
+    }
+
+    fn plan_call_method(
+        &mut self,
+        recv: AEntry,
+        name: checkelide_runtime::NameId,
+        fb: u32,
+        emit: bool,
+    ) -> OpPlan {
+        let site = self.feedback(fb).site().clone();
+        let callfb = self.feedback(fb + 1).call().clone();
+        let text = self.vm.rt.names.text(name).to_string();
+        // String methods.
+        if recv.abs == Abs::Str
+            || (site.maps.is_empty()
+                && matches!(
+                    callfb.target,
+                    Some(checkelide_runtime::FuncRef::Builtin(
+                        checkelide_runtime::Builtin::CharCodeAt
+                            | checkelide_runtime::Builtin::CharAt
+                            | checkelide_runtime::Builtin::Substring
+                            | checkelide_runtime::Builtin::IndexOf
+                    ))
+                ))
+        {
+            let b = match text.as_str() {
+                "charCodeAt" => checkelide_runtime::Builtin::CharCodeAt,
+                "charAt" => checkelide_runtime::Builtin::CharAt,
+                "substring" => checkelide_runtime::Builtin::Substring,
+                "indexOf" => checkelide_runtime::Builtin::IndexOf,
+                _ => return OpPlan::Generic,
+            };
+            return OpPlan::CallMethod(MethodPlan::StringBuiltin {
+                builtin: b,
+                recv_check: if recv.abs == Abs::Str { CheckKind::None } else { CheckKind::Str },
+            });
+        }
+        if site.megamorphic {
+            return OpPlan::Generic;
+        }
+        if site.maps.is_empty() && callfb.target.is_none() && !callfb.polymorphic {
+            return OpPlan::ColdDeopt;
+        }
+        let known = match recv.abs {
+            Abs::KnownMap { map, cc } => Some((map, cc)),
+            _ => None,
+        };
+        let maps_to_use: Vec<MapIx> = match known {
+            Some((m, _)) => vec![m],
+            None => site.maps.clone(),
+        };
+        if maps_to_use.is_empty() {
+            return OpPlan::Generic;
+        }
+        // Array builtins.
+        if let Some(checkelide_runtime::FuncRef::Builtin(b)) = callfb.target {
+            if matches!(
+                b,
+                checkelide_runtime::Builtin::ArrayPush | checkelide_runtime::Builtin::ArrayPop
+            ) && maps_to_use.len() == 1
+            {
+                return OpPlan::CallMethod(MethodPlan::ArrayBuiltin {
+                    builtin: b,
+                    map: maps_to_use[0],
+                    recv_check_needed: known.is_none(),
+                });
+            }
+        }
+        let mut cases = Vec::new();
+        for m in &maps_to_use {
+            match self.vm.rt.maps.get(*m).offset_of(name) {
+                Some(off) => cases.push(PropCase { map: *m, offset: off }),
+                None => return OpPlan::Generic,
+            }
+        }
+        let recv_elided = if let Some((_, true)) = known {
+            emit && recv.origin.from_object_load() && {
+                self.elided_sites += 1;
+                true
+            }
+        } else {
+            false
+        };
+        OpPlan::CallMethod(MethodPlan::Object {
+            cases,
+            recv_check_needed: known.is_none(),
+            recv_provenance: recv.origin,
+            recv_elided,
+            known: callfb.target,
+        })
+    }
+}
+
+/// Successor pcs of an op.
+fn successors(op: &Bc, pc: usize) -> Vec<usize> {
+    match op {
+        Bc::Jump(t) => vec![*t as usize],
+        Bc::JumpIfFalse(t) | Bc::JumpIfTrue(t) => vec![pc + 1, *t as usize],
+        Bc::Return | Bc::ReturnUndef => vec![],
+        _ => vec![pc + 1],
+    }
+}
+
+/// Hoist `movClassIDArray` out of loops (§4.2.1.3): for each loop without
+/// calls, up to four profiled element stores whose receiver local is not
+/// reassigned inside the loop get a `regArrayObjectClassId` register, and
+/// the loop header loads it once.
+fn hoist_mov_class_id_array(bc: &BytecodeFunc, plans: &mut [OpPlan]) {
+    let code = &bc.code;
+    for h in 0..code.len() {
+        if !matches!(code[h], Bc::LoopHead) {
+            continue;
+        }
+        // Loop extent: last jump back to h.
+        let mut end = None;
+        for (j, op) in code.iter().enumerate().skip(h + 1) {
+            if let Bc::Jump(t) = op {
+                if *t as usize == h {
+                    end = Some(j);
+                }
+            }
+        }
+        let Some(end) = end else { continue };
+        let body = (h + 1)..=end;
+        // Paper precondition: no calls inside the loop.
+        if code[body.clone()].iter().any(|op| {
+            matches!(op, Bc::Call(..) | Bc::CallMethod(..) | Bc::New(..))
+        }) {
+            continue;
+        }
+        // Locals reassigned inside the loop are not invariant.
+        let reassigned: Vec<u16> = code[body.clone()]
+            .iter()
+            .filter_map(|op| match op {
+                Bc::StLocal(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        let mut hoists: Vec<(u16, usize)> = Vec::new();
+        for pc in body {
+            if let OpPlan::SetElem(p) = &mut plans[pc] {
+                if !p.profiled || p.hoisted_reg.is_some() {
+                    continue;
+                }
+                let Some(local) = p.recv_local else { continue };
+                if reassigned.contains(&local) {
+                    continue;
+                }
+                let reg = match hoists.iter().position(|&(l, _)| l == local) {
+                    Some(k) => hoists[k].1,
+                    None => {
+                        if hoists.len() >= checkelide_core::regs::NUM_ARRAY_CLASS_REGS {
+                            continue;
+                        }
+                        let r = hoists.len();
+                        hoists.push((local, r));
+                        r
+                    }
+                };
+                p.hoisted_reg = Some(reg);
+            }
+        }
+        if !hoists.is_empty() {
+            if let OpPlan::LoopHead(lp) = &mut plans[h] {
+                lp.hoists = hoists;
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Specialization plans.
+//!
+//! The optimizing compiler (the Crankshaft analog) lowers each bytecode
+//! operation to a *plan*: the exact specialized sequence — including which
+//! Check Map / Check SMI / Check Non-SMI operations remain and which were
+//! elided thanks to the Class Cache profile — that the optimized code
+//! executes and whose µops it retires.
+
+use checkelide_isa::uop::Provenance;
+use checkelide_runtime::{Builtin, ElemKind, MapIx};
+
+/// A type check guarding an operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckKind {
+    /// No check needed (statically known, or elided via the Class Cache).
+    None,
+    /// Check Map against one expected hidden class (§3.3).
+    Map(MapIx),
+    /// Check SMI: the low tag bit must be 0.
+    Smi,
+    /// Check Non-SMI.
+    NonSmi,
+    /// Check "is a number": SMI fast path, else Check Map(HeapNumber).
+    Number,
+    /// Check Non-SMI + Check Map(HeapNumber): boxed double expected.
+    HeapNumber,
+    /// Check Non-SMI + Check Map(String).
+    Str,
+}
+
+impl CheckKind {
+    /// Whether any check µops are emitted.
+    pub fn is_some(self) -> bool {
+        self != CheckKind::None
+    }
+}
+
+/// How a numeric operation is specialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumMode {
+    /// Unboxed int32 arithmetic with an overflow math-assumption.
+    Smi,
+    /// Unboxed double arithmetic (untag, op, tag).
+    Double,
+    /// String concatenation / comparison.
+    Str,
+    /// Generic stub call.
+    Generic,
+}
+
+/// One operand's handling in a specialized numeric op.
+#[derive(Debug, Clone, Copy)]
+pub struct OperandPlan {
+    /// Check applied before use.
+    pub check: CheckKind,
+    /// Figure 2 provenance: the checked value was loaded from an object.
+    pub provenance: Provenance,
+    /// Whether the check was removed thanks to a Class Cache profile
+    /// (accounting only — `check` is already `None`).
+    pub elided: bool,
+}
+
+impl OperandPlan {
+    /// An unchecked operand.
+    pub fn none() -> OperandPlan {
+        OperandPlan { check: CheckKind::None, provenance: Provenance::None, elided: false }
+    }
+}
+
+/// Specialized binary/unary numeric op.
+#[derive(Debug, Clone, Copy)]
+pub struct BinPlan {
+    /// Arithmetic mode.
+    pub mode: NumMode,
+    /// Left operand.
+    pub lhs: OperandPlan,
+    /// Right operand.
+    pub rhs: OperandPlan,
+}
+
+/// One receiver case of a (possibly polymorphic) property access.
+#[derive(Debug, Clone, Copy)]
+pub struct PropCase {
+    /// Expected receiver map.
+    pub map: MapIx,
+    /// Word offset of the property in objects of that map.
+    pub offset: u16,
+}
+
+/// Specialized `obj.name` load.
+#[derive(Debug, Clone)]
+pub struct GetPropPlan {
+    /// Receiver cases (1 = monomorphic; ≤4 = polymorphic). Empty +
+    /// `length_path` for string length.
+    pub cases: Vec<PropCase>,
+    /// Receiver map check elided (receiver statically known).
+    pub recv_check_needed: bool,
+    /// Provenance of the receiver check.
+    pub recv_provenance: Provenance,
+    /// Receiver check removed via Class Cache knowledge.
+    pub recv_elided: bool,
+    /// The site reads the elements length instead of a named slot.
+    pub length_path: bool,
+    /// String `.length` fast path.
+    pub string_length: bool,
+}
+
+/// How a property store case behaves.
+#[derive(Debug, Clone, Copy)]
+pub enum SetPropCase {
+    /// Overwrite an existing slot.
+    Store {
+        /// Word offset.
+        offset: u16,
+    },
+    /// Add the property: transition to `new_map`, then store.
+    Transition {
+        /// Map after the transition.
+        new_map: MapIx,
+        /// Word offset of the added slot.
+        offset: u16,
+    },
+}
+
+/// Specialized `obj.name = v`.
+#[derive(Debug, Clone)]
+pub struct SetPropPlan {
+    /// (receiver map → case → store still monomorphic, i.e. emitted as a
+    /// `movStoreClassCache` rather than a regular store).
+    pub cases: Vec<(MapIx, SetPropCase, bool)>,
+    /// Receiver map check needed?
+    pub recv_check_needed: bool,
+    /// Provenance of the receiver check.
+    pub recv_provenance: Provenance,
+    /// Receiver check removed via Class Cache knowledge.
+    pub recv_elided: bool,
+}
+
+/// Specialized `obj[i]` load.
+#[derive(Debug, Clone)]
+pub struct GetElemPlan {
+    /// Expected receiver map (covers the elements kind).
+    pub map: MapIx,
+    /// Elements kind implied by `map`.
+    pub kind: ElemKind,
+    /// Check on the receiver.
+    pub recv_check_needed: bool,
+    /// Provenance of the receiver check.
+    pub recv_provenance: Provenance,
+    /// Receiver check removed via Class Cache knowledge.
+    pub recv_elided: bool,
+    /// Check on the index.
+    pub index_check: CheckKind,
+    /// Alternative receiver maps on the same transition chain (warm-up
+    /// generations); dispatched like a polymorphic inline cache.
+    pub alt: Vec<(MapIx, ElemKind)>,
+}
+
+/// Specialized `obj[i] = v`.
+#[derive(Debug, Clone)]
+pub struct SetElemPlan {
+    /// Expected receiver map.
+    pub map: MapIx,
+    /// Elements kind implied by `map`.
+    pub kind: ElemKind,
+    /// Check on the receiver.
+    pub recv_check_needed: bool,
+    /// Provenance of the receiver check.
+    pub recv_provenance: Provenance,
+    /// Receiver check removed via Class Cache knowledge.
+    pub recv_elided: bool,
+    /// Check on the index.
+    pub index_check: CheckKind,
+    /// Check on the stored value (elements-kind guard).
+    pub value_check: CheckKind,
+    /// Alternative receiver maps on the same transition chain.
+    pub alt: Vec<(MapIx, ElemKind)>,
+    /// `regArrayObjectClassId` register when the holder's `movClassIDArray`
+    /// was hoisted out of the loop (§4.2.1.3).
+    pub hoisted_reg: Option<usize>,
+    /// Whether the store targets a still-monomorphic elements profile and
+    /// is therefore emitted as `movStoreClassCacheArray`.
+    pub profiled: bool,
+    /// Local variable holding the receiver, when statically known (input
+    /// to the `movClassIDArray` hoisting pass).
+    pub recv_local: Option<u16>,
+}
+
+/// Specialized direct call.
+#[derive(Debug, Clone)]
+pub struct CallPlan {
+    /// Known monomorphic callee (checked by identity).
+    pub known: Option<checkelide_runtime::FuncRef>,
+}
+
+/// Specialized method call.
+#[derive(Debug, Clone)]
+pub enum MethodPlan {
+    /// Property-loaded callee on a known-map receiver.
+    Object {
+        /// Receiver cases.
+        cases: Vec<PropCase>,
+        /// Receiver map check needed?
+        recv_check_needed: bool,
+        /// Provenance of the receiver check.
+        recv_provenance: Provenance,
+        /// Receiver check removed via Class Cache knowledge.
+        recv_elided: bool,
+        /// Known callee identity (enables a direct call).
+        known: Option<checkelide_runtime::FuncRef>,
+    },
+    /// String builtin method.
+    StringBuiltin {
+        /// Which builtin.
+        builtin: Builtin,
+        /// Receiver string check.
+        recv_check: CheckKind,
+    },
+    /// Array push/pop on a known-map receiver.
+    ArrayBuiltin {
+        /// Which builtin.
+        builtin: Builtin,
+        /// Expected receiver map.
+        map: MapIx,
+        /// Receiver check needed?
+        recv_check_needed: bool,
+    },
+}
+
+/// Specialized `new F(...)`.
+#[derive(Debug, Clone)]
+pub struct NewPlan {
+    /// Constructor function index and its initial map.
+    pub ctor: Option<(u32, MapIx)>,
+}
+
+/// Loop-header work.
+#[derive(Debug, Clone, Default)]
+pub struct LoopPlan {
+    /// `(local holding the array object, regArrayObjectClassId index)`
+    /// pairs whose `movClassIDArray` was hoisted to this loop entry.
+    pub hoists: Vec<(u16, usize)>,
+}
+
+/// The per-bytecode-op specialization.
+#[derive(Debug, Clone, Default)]
+pub enum OpPlan {
+    /// Default lowering (op needs no type specialization).
+    #[default]
+    Generic,
+    /// Site never executed during warm-up: unconditional deopt.
+    ColdDeopt,
+    /// Specialized property load.
+    GetProp(GetPropPlan),
+    /// Specialized property store.
+    SetProp(SetPropPlan),
+    /// Specialized element load.
+    GetElem(GetElemPlan),
+    /// Specialized element store.
+    SetElem(SetElemPlan),
+    /// Specialized numeric/compare op.
+    Bin(BinPlan),
+    /// Specialized call.
+    Call(CallPlan),
+    /// Specialized method call.
+    CallMethod(MethodPlan),
+    /// Specialized construction.
+    New(NewPlan),
+    /// Loop header with hoists.
+    LoopHead(LoopPlan),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_kind_someness() {
+        assert!(!CheckKind::None.is_some());
+        assert!(CheckKind::Smi.is_some());
+        assert!(CheckKind::Map(MapIx(3)).is_some());
+    }
+
+    #[test]
+    fn default_plan_is_generic() {
+        assert!(matches!(OpPlan::default(), OpPlan::Generic));
+    }
+}

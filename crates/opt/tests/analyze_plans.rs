@@ -1,0 +1,245 @@
+//! White-box tests of the specialization planner: compile functions with
+//! controlled feedback and inspect the plans it produces.
+
+use checkelide_engine::{EngineConfig, Mechanism, Vm};
+use checkelide_isa::NullSink;
+use checkelide_opt::plan::{NumMode, OpPlan};
+use checkelide_opt::{analyze, install_optimizer};
+
+/// Warm a program, then analyze `func_name` and return its plans.
+fn plans_for(src: &str, func_name: &str, mech: Mechanism) -> (Vm, Vec<OpPlan>) {
+    let mut vm = Vm::new(EngineConfig { mechanism: mech, ..EngineConfig::default() });
+    install_optimizer(&mut vm);
+    let mut sink = NullSink::new();
+    vm.run_program(src, &mut sink).expect("program runs");
+    let fi = vm
+        .funcs
+        .iter()
+        .position(|f| f.decl.name == func_name)
+        .unwrap_or_else(|| panic!("function {func_name} not found")) as u32;
+    let bc = vm.ensure_bytecode(fi);
+    let analysis = analyze(&vm, fi, &bc);
+    (vm, analysis.plans)
+}
+
+const POINT_SRC: &str = "function Point(x, y) { this.x = x; this.y = y; }
+     function getx(p) { return p.x; }
+     function addxy(p) { return p.x + p.y; }
+     var ps = [];
+     for (var i = 0; i < 50; i++) ps.push(new Point(i, i * 2));
+     var r = 0;
+     for (var k = 0; k < 20; k++)
+         for (var i = 0; i < 50; i++) r += getx(ps[i]) + addxy(ps[i]);";
+
+#[test]
+fn monomorphic_property_load_gets_single_case() {
+    let (_, plans) = plans_for(POINT_SRC, "getx", Mechanism::ProfileOnly);
+    let get = plans
+        .iter()
+        .find_map(|p| match p {
+            OpPlan::GetProp(g) => Some(g),
+            _ => None,
+        })
+        .expect("a GetProp plan");
+    assert_eq!(get.cases.len(), 1, "monomorphic site");
+    assert!(get.recv_check_needed, "parameter receiver must be checked");
+    assert!(!get.recv_elided, "no elision without the mechanism");
+}
+
+#[test]
+fn smi_feedback_specializes_arithmetic() {
+    let (_, plans) = plans_for(POINT_SRC, "addxy", Mechanism::ProfileOnly);
+    let bin = plans
+        .iter()
+        .find_map(|p| match p {
+            OpPlan::Bin(b) => Some(b),
+            _ => None,
+        })
+        .expect("a Bin plan");
+    assert_eq!(bin.mode, NumMode::Smi);
+    // Without the Class Cache, loaded operands need Check SMI.
+    assert!(bin.lhs.check.is_some() || bin.rhs.check.is_some());
+}
+
+#[test]
+fn full_mechanism_elides_checks_on_profiled_loads() {
+    let (vm, plans) = plans_for(POINT_SRC, "addxy", Mechanism::Full);
+    let bin = plans
+        .iter()
+        .find_map(|p| match p {
+            OpPlan::Bin(b) => Some(b),
+            _ => None,
+        })
+        .expect("a Bin plan");
+    assert_eq!(bin.mode, NumMode::Smi);
+    assert!(
+        !bin.lhs.check.is_some() && !bin.rhs.check.is_some(),
+        "Check SMI on values loaded from SMI-profiled properties must be elided: {bin:?}"
+    );
+    assert!(bin.lhs.elided || bin.rhs.elided, "elision must be accounted");
+    // And the speculation is registered in the Class List.
+    assert!(
+        vm.class_list.iter().any(|(_, _, e)| e.speculate_map != 0),
+        "SpeculateMap bits set"
+    );
+}
+
+#[test]
+fn elements_load_knowledge_elides_downstream_receiver_check() {
+    const SRC: &str = "function Node(v) { this.v = v; }
+         function Box2() { this.n = 0; }
+         function sum(list, n) {
+             var s = 0;
+             for (var i = 0; i < n; i++) s += list[i].v;
+             return s;
+         }
+         var list = new Box2();
+         for (var i = 0; i < 40; i++) list[i] = new Node(i);
+         var r = 0;
+         for (var k = 0; k < 25; k++) r = sum(list, 40);";
+    // Without the mechanism, the loaded element needs a map check.
+    let (_, plans) = plans_for(SRC, "sum", Mechanism::ProfileOnly);
+    let get = plans
+        .iter()
+        .find_map(|p| match p {
+            OpPlan::GetProp(g) => Some(g),
+            _ => None,
+        })
+        .expect("GetProp for .v");
+    assert!(get.recv_check_needed, "element value unknown without profile");
+
+    // With it, the elements profile makes the receiver known.
+    let (_, plans) = plans_for(SRC, "sum", Mechanism::Full);
+    let get = plans
+        .iter()
+        .find_map(|p| match p {
+            OpPlan::GetProp(g) => Some(g),
+            _ => None,
+        })
+        .expect("GetProp for .v");
+    assert!(
+        !get.recv_check_needed,
+        "Check Maps elimination (§4.3.1) on the elements-profiled load"
+    );
+    assert!(get.recv_elided);
+}
+
+#[test]
+fn polymorphic_property_sites_get_multiple_cases() {
+    const SRC: &str = "function A(v) { this.tag = 1; this.v = v; }
+         function B(v) { this.kind = 1; this.v = v; }
+         function getv(o) { return o.v; }
+         var xs = [];
+         for (var i = 0; i < 40; i++) xs.push(i % 2 ? new A(i) : new B(i));
+         var r = 0;
+         for (var k = 0; k < 20; k++) for (var i = 0; i < 40; i++) r += getv(xs[i]);";
+    let (_, plans) = plans_for(SRC, "getv", Mechanism::Full);
+    let get = plans
+        .iter()
+        .find_map(|p| match p {
+            OpPlan::GetProp(g) => Some(g),
+            _ => None,
+        })
+        .expect("GetProp plan");
+    assert_eq!(get.cases.len(), 2, "two receiver classes");
+    // Distinct hidden classes; `v` happens to share the slot index (it is
+    // the second property in both), so dispatch is purely by map.
+    assert_ne!(get.cases[0].map, get.cases[1].map);
+}
+
+#[test]
+fn cold_sites_plan_deopt() {
+    const SRC: &str = "function f(p, cold) {
+             if (cold) return p.never + 1;
+             return 1;
+         }
+         var o = { never: 1 };
+         var r = 0;
+         for (var i = 0; i < 30; i++) r += f(o, false);";
+    let (_, plans) = plans_for(SRC, "f", Mechanism::ProfileOnly);
+    assert!(
+        plans.iter().any(|p| matches!(p, OpPlan::ColdDeopt)),
+        "the never-executed branch must plan an unconditional deopt"
+    );
+}
+
+#[test]
+fn loop_hoisting_assigns_array_class_registers() {
+    const SRC: &str = "function Buf() { this.n = 0; }
+         function fill(buf, n) {
+             for (var i = 0; i < n; i++) buf[i] = i;
+             return buf[0];
+         }
+         var b = new Buf();
+         var r = 0;
+         for (var k = 0; k < 25; k++) r = fill(b, 64);";
+    let (_, plans) = plans_for(SRC, "fill", Mechanism::Full);
+    let set = plans
+        .iter()
+        .find_map(|p| match p {
+            OpPlan::SetElem(s) => Some(s),
+            _ => None,
+        })
+        .expect("SetElem plan");
+    assert!(set.profiled, "monomorphic elements target uses movStoreClassCacheArray");
+    assert_eq!(
+        set.hoisted_reg,
+        Some(0),
+        "movClassIDArray hoisted to regArrayObjectClassId0 (§4.2.1.3)"
+    );
+    let loop_plan = plans
+        .iter()
+        .find_map(|p| match p {
+            OpPlan::LoopHead(l) if !l.hoists.is_empty() => Some(l),
+            _ => None,
+        })
+        .expect("loop head carries the hoist");
+    assert_eq!(loop_plan.hoists.len(), 1);
+}
+
+#[test]
+fn calls_inside_loop_block_hoisting() {
+    const SRC: &str = "function Buf() { this.n = 0; }
+         function id(x) { return x; }
+         function fill(buf, n) {
+             for (var i = 0; i < n; i++) buf[i] = id(i);
+             return buf[0];
+         }
+         var b = new Buf();
+         var r = 0;
+         for (var k = 0; k < 25; k++) r = fill(b, 32);";
+    let (_, plans) = plans_for(SRC, "fill", Mechanism::Full);
+    let set = plans
+        .iter()
+        .find_map(|p| match p {
+            OpPlan::SetElem(s) => Some(s),
+            _ => None,
+        })
+        .expect("SetElem plan");
+    assert_eq!(
+        set.hoisted_reg, None,
+        "the paper requires no calls inside the loop for hoisting"
+    );
+}
+
+#[test]
+fn known_callee_gets_direct_call_plan() {
+    let (_, plans) = plans_for(POINT_SRC, "<main>", Mechanism::ProfileOnly);
+    let call = plans
+        .iter()
+        .find_map(|p| match p {
+            OpPlan::Call(c) => Some(c),
+            _ => None,
+        })
+        .expect("a Call plan in main");
+    assert!(call.known.is_some(), "monomorphic call site knows its callee");
+}
+
+#[test]
+fn profile_only_never_registers_speculations() {
+    let (vm, _) = plans_for(POINT_SRC, "addxy", Mechanism::ProfileOnly);
+    assert!(
+        vm.class_list.iter().all(|(_, _, e)| e.speculate_map == 0),
+        "ProfileOnly must not set SpeculateMap bits"
+    );
+}

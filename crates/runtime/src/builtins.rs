@@ -1,0 +1,499 @@
+//! Native builtins (`Math.*`, string methods, array methods, `print`).
+//!
+//! Builtins are exposed to programs as function objects whose
+//! [`crate::FuncRef`] carries a [`Builtin`] discriminant; the engine
+//! installs them on the `Math` / `String` global objects at startup.
+
+use crate::runtime::{Runtime, VKind};
+use crate::value::Value;
+
+/// All native builtins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Builtin {
+    /// `Math.sqrt`
+    MathSqrt = 0,
+    /// `Math.abs`
+    MathAbs,
+    /// `Math.floor`
+    MathFloor,
+    /// `Math.ceil`
+    MathCeil,
+    /// `Math.round`
+    MathRound,
+    /// `Math.sin`
+    MathSin,
+    /// `Math.cos`
+    MathCos,
+    /// `Math.tan`
+    MathTan,
+    /// `Math.atan`
+    MathAtan,
+    /// `Math.atan2`
+    MathAtan2,
+    /// `Math.pow`
+    MathPow,
+    /// `Math.exp`
+    MathExp,
+    /// `Math.log`
+    MathLog,
+    /// `Math.min`
+    MathMin,
+    /// `Math.max`
+    MathMax,
+    /// `Math.random` (deterministic xorshift)
+    MathRandom,
+    /// `String.fromCharCode`
+    StringFromCharCode,
+    /// `str.charCodeAt(i)`
+    CharCodeAt,
+    /// `str.charAt(i)`
+    CharAt,
+    /// `str.substring(a, b)`
+    Substring,
+    /// `str.indexOf(needle [, from])`
+    IndexOf,
+    /// `arr.push(v, ...)`
+    ArrayPush,
+    /// `arr.pop()`
+    ArrayPop,
+    /// `print(...)` — appends to [`Runtime`]-captured output
+    Print,
+    /// `parseInt(s [, radix])`
+    ParseInt,
+    /// `parseFloat(s)`
+    ParseFloat,
+}
+
+impl Builtin {
+    /// Decode from the packed function-reference byte.
+    pub fn from_u8(b: u8) -> Builtin {
+        assert!(b <= Builtin::ParseFloat as u8, "bad builtin id {b}");
+        // Safety in spirit: dense repr(u8) enum; use a match to stay safe.
+        use Builtin::*;
+        const ALL: [Builtin; 26] = [
+            MathSqrt,
+            MathAbs,
+            MathFloor,
+            MathCeil,
+            MathRound,
+            MathSin,
+            MathCos,
+            MathTan,
+            MathAtan,
+            MathAtan2,
+            MathPow,
+            MathExp,
+            MathLog,
+            MathMin,
+            MathMax,
+            MathRandom,
+            StringFromCharCode,
+            CharCodeAt,
+            CharAt,
+            Substring,
+            IndexOf,
+            ArrayPush,
+            ArrayPop,
+            Print,
+            ParseInt,
+            ParseFloat,
+        ];
+        ALL[b as usize]
+    }
+
+    /// The property name the builtin is installed under.
+    pub fn name(self) -> &'static str {
+        use Builtin::*;
+        match self {
+            MathSqrt => "sqrt",
+            MathAbs => "abs",
+            MathFloor => "floor",
+            MathCeil => "ceil",
+            MathRound => "round",
+            MathSin => "sin",
+            MathCos => "cos",
+            MathTan => "tan",
+            MathAtan => "atan",
+            MathAtan2 => "atan2",
+            MathPow => "pow",
+            MathExp => "exp",
+            MathLog => "log",
+            MathMin => "min",
+            MathMax => "max",
+            MathRandom => "random",
+            StringFromCharCode => "fromCharCode",
+            CharCodeAt => "charCodeAt",
+            CharAt => "charAt",
+            Substring => "substring",
+            IndexOf => "indexOf",
+            ArrayPush => "push",
+            ArrayPop => "pop",
+            Print => "print",
+            ParseInt => "parseInt",
+            ParseFloat => "parseFloat",
+        }
+    }
+
+    /// The `Math.*` builtins, for installing on the Math object.
+    pub fn math_members() -> &'static [Builtin] {
+        use Builtin::*;
+        &[
+            MathSqrt, MathAbs, MathFloor, MathCeil, MathRound, MathSin, MathCos, MathTan,
+            MathAtan, MathAtan2, MathPow, MathExp, MathLog, MathMin, MathMax, MathRandom,
+        ]
+    }
+}
+
+fn arg(args: &[Value], i: usize, rt: &Runtime) -> Value {
+    args.get(i).copied().unwrap_or(rt.odd.undefined)
+}
+
+fn num_arg(args: &[Value], i: usize, rt: &Runtime) -> f64 {
+    rt.to_f64(arg(args, i, rt))
+}
+
+/// Invoke a builtin.
+///
+/// `this` is the receiver for method-style builtins (string / array
+/// methods) and ignored otherwise.
+pub fn call_builtin(rt: &mut Runtime, b: Builtin, this: Value, args: &[Value]) -> Value {
+    use Builtin::*;
+    match b {
+        MathSqrt => {
+            let v = num_arg(args, 0, rt).sqrt();
+            rt.make_number(v)
+        }
+        MathAbs => {
+            let v = num_arg(args, 0, rt).abs();
+            rt.make_number(v)
+        }
+        MathFloor => {
+            let v = num_arg(args, 0, rt).floor();
+            rt.make_number(v)
+        }
+        MathCeil => {
+            let v = num_arg(args, 0, rt).ceil();
+            rt.make_number(v)
+        }
+        MathRound => {
+            let x = num_arg(args, 0, rt);
+            let v = (x + 0.5).floor();
+            rt.make_number(v)
+        }
+        MathSin => {
+            let v = num_arg(args, 0, rt).sin();
+            rt.make_number(v)
+        }
+        MathCos => {
+            let v = num_arg(args, 0, rt).cos();
+            rt.make_number(v)
+        }
+        MathTan => {
+            let v = num_arg(args, 0, rt).tan();
+            rt.make_number(v)
+        }
+        MathAtan => {
+            let v = num_arg(args, 0, rt).atan();
+            rt.make_number(v)
+        }
+        MathAtan2 => {
+            let v = num_arg(args, 0, rt).atan2(num_arg(args, 1, rt));
+            rt.make_number(v)
+        }
+        MathPow => {
+            let v = num_arg(args, 0, rt).powf(num_arg(args, 1, rt));
+            rt.make_number(v)
+        }
+        MathExp => {
+            let v = num_arg(args, 0, rt).exp();
+            rt.make_number(v)
+        }
+        MathLog => {
+            let v = num_arg(args, 0, rt).ln();
+            rt.make_number(v)
+        }
+        MathMin => {
+            let mut best = f64::INFINITY;
+            for i in 0..args.len() {
+                let v = num_arg(args, i, rt);
+                if v.is_nan() {
+                    return rt.make_number(f64::NAN);
+                }
+                if v < best {
+                    best = v;
+                }
+            }
+            rt.make_number(best)
+        }
+        MathMax => {
+            let mut best = f64::NEG_INFINITY;
+            for i in 0..args.len() {
+                let v = num_arg(args, i, rt);
+                if v.is_nan() {
+                    return rt.make_number(f64::NAN);
+                }
+                if v > best {
+                    best = v;
+                }
+            }
+            rt.make_number(best)
+        }
+        MathRandom => {
+            let v = rt.random_f64();
+            rt.make_number(v)
+        }
+        StringFromCharCode => {
+            let mut s = String::new();
+            for i in 0..args.len() {
+                let c = num_arg(args, i, rt) as u32 as u8 as char;
+                s.push(c);
+            }
+            rt.string_value(&s)
+        }
+        CharCodeAt => {
+            let i = num_arg(args, 0, rt) as i64;
+            let id = rt.str_id(this);
+            let bytes = rt.strings.text(id).as_bytes();
+            if i < 0 || i as usize >= bytes.len() {
+                rt.make_number(f64::NAN)
+            } else {
+                Value::smi(bytes[i as usize] as i32)
+            }
+        }
+        CharAt => {
+            let i = num_arg(args, 0, rt) as i64;
+            let id = rt.str_id(this);
+            let text = rt.strings.text(id);
+            let s = if i < 0 || i as usize >= text.len() {
+                String::new()
+            } else {
+                text[i as usize..i as usize + 1].to_string()
+            };
+            rt.string_value(&s)
+        }
+        Substring => {
+            let id = rt.str_id(this);
+            let len = rt.strings.len(id) as i64;
+            let a = (num_arg(args, 0, rt) as i64).clamp(0, len);
+            let b = if args.len() > 1 { (num_arg(args, 1, rt) as i64).clamp(0, len) } else { len };
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let s = rt.strings.text(id)[lo as usize..hi as usize].to_string();
+            rt.string_value(&s)
+        }
+        IndexOf => {
+            let id = rt.str_id(this);
+            let needle_v = arg(args, 0, rt);
+            let needle = rt.to_display_string(needle_v);
+            let from = if args.len() > 1 { num_arg(args, 1, rt) as usize } else { 0 };
+            let text = rt.strings.text(id);
+            let r = if from <= text.len() {
+                text[from..].find(&needle).map(|p| (p + from) as i32).unwrap_or(-1)
+            } else {
+                -1
+            };
+            Value::smi(r)
+        }
+        ArrayPush => {
+            debug_assert_eq!(rt.kind_of(this), VKind::Object);
+            let mut len = rt.elements_length(this);
+            for &a in args {
+                rt.store_element(this, len as i64, a);
+                len += 1;
+            }
+            Value::smi(len as i32)
+        }
+        ArrayPop => {
+            let len = rt.elements_length(this);
+            if len == 0 {
+                return rt.odd.undefined;
+            }
+            let v = rt.load_element(this, len as i64 - 1).value;
+            rt.set_elements_length(this, len - 1);
+            v
+        }
+        Print => {
+            let parts: Vec<String> = args.iter().map(|&a| rt.to_display_string(a)).collect();
+            rt_output(rt, parts.join(" "));
+            rt.odd.undefined
+        }
+        ParseInt => {
+            let s_v = arg(args, 0, rt);
+            let s = rt.to_display_string(s_v);
+            let radix = if args.len() > 1 { num_arg(args, 1, rt) as u32 } else { 10 };
+            let t = s.trim();
+            let (neg, t) = match t.strip_prefix('-') {
+                Some(rest) => (true, rest),
+                None => (false, t.strip_prefix('+').unwrap_or(t)),
+            };
+            let (radix, t) = if radix == 16 || (radix == 10 && t.starts_with("0x")) {
+                (16, t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")).unwrap_or(t))
+            } else {
+                (radix.clamp(2, 36), t)
+            };
+            let digits: String =
+                t.chars().take_while(|c| c.is_digit(radix)).collect();
+            if digits.is_empty() {
+                return rt.make_number(f64::NAN);
+            }
+            let mut v = 0f64;
+            for c in digits.chars() {
+                v = v * radix as f64 + c.to_digit(radix).unwrap() as f64;
+            }
+            rt.make_number(if neg { -v } else { v })
+        }
+        ParseFloat => {
+            let s_v = arg(args, 0, rt);
+            let s = rt.to_display_string(s_v);
+            let t = s.trim();
+            // Longest numeric prefix.
+            let mut end = 0;
+            for i in (0..=t.len()).rev() {
+                if t[..i].parse::<f64>().is_ok() {
+                    end = i;
+                    break;
+                }
+            }
+            if end == 0 {
+                rt.make_number(f64::NAN)
+            } else {
+                let v = t[..end].parse::<f64>().unwrap();
+                rt.make_number(v)
+            }
+        }
+    }
+}
+
+// Captured program output lives outside `Runtime` state proper to keep the
+// struct lean; a thread-local keeps the builtin signature simple.
+thread_local! {
+    static OUTPUT: std::cell::RefCell<Vec<String>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn rt_output(_rt: &mut Runtime, line: String) {
+    OUTPUT.with(|o| o.borrow_mut().push(line));
+}
+
+/// Drain everything `print` emitted on this thread.
+pub fn take_output() -> Vec<String> {
+    OUTPUT.with(|o| std::mem::take(&mut *o.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maps::fixed;
+
+    fn rt() -> Runtime {
+        Runtime::new()
+    }
+
+    #[test]
+    fn builtin_ids_roundtrip() {
+        for b in [
+            Builtin::MathSqrt,
+            Builtin::MathRandom,
+            Builtin::ArrayPop,
+            Builtin::ParseFloat,
+            Builtin::Print,
+        ] {
+            assert_eq!(Builtin::from_u8(b as u8), b);
+        }
+    }
+
+    #[test]
+    fn math_functions() {
+        let mut r = rt();
+        let und = r.odd.undefined;
+        let v = call_builtin(&mut r, Builtin::MathSqrt, und, &[Value::smi(9)]);
+        assert_eq!(v.as_smi(), 3);
+        let half = r.make_number(2.25);
+        let v = call_builtin(&mut r, Builtin::MathSqrt, und, &[half]);
+        assert_eq!(r.to_f64(v), 1.5);
+        let v = call_builtin(&mut r, Builtin::MathMin, und, &[Value::smi(3), Value::smi(-2)]);
+        assert_eq!(v.as_smi(), -2);
+        let v = call_builtin(&mut r, Builtin::MathPow, und, &[Value::smi(2), Value::smi(10)]);
+        assert_eq!(v.as_smi(), 1024);
+        let neg = r.make_number(-0.5);
+        let v = call_builtin(&mut r, Builtin::MathRound, und, &[neg]);
+        // JS Math.round(-0.5) === -0.
+        assert!(r.to_f64(v) == 0.0);
+        let v = call_builtin(&mut r, Builtin::MathFloor, und, &[neg]);
+        assert_eq!(r.to_f64(v), -1.0);
+    }
+
+    #[test]
+    fn string_methods() {
+        let mut r = rt();
+        let s = r.string_value("hello");
+        let v = call_builtin(&mut r, Builtin::CharCodeAt, s, &[Value::smi(1)]);
+        assert_eq!(v.as_smi(), 'e' as i32);
+        let v = call_builtin(&mut r, Builtin::CharAt, s, &[Value::smi(0)]);
+        assert_eq!(r.strings.text(r.str_id(v)), "h");
+        let v = call_builtin(&mut r, Builtin::Substring, s, &[Value::smi(1), Value::smi(3)]);
+        assert_eq!(r.strings.text(r.str_id(v)), "el");
+        let needle = r.string_value("lo");
+        let v = call_builtin(&mut r, Builtin::IndexOf, s, &[needle]);
+        assert_eq!(v.as_smi(), 3);
+        let missing = r.string_value("zz");
+        let v = call_builtin(&mut r, Builtin::IndexOf, s, &[missing]);
+        assert_eq!(v.as_smi(), -1);
+        let und = r.odd.undefined;
+        let v = call_builtin(
+            &mut r,
+            Builtin::StringFromCharCode,
+            und,
+            &[Value::smi(104), Value::smi(105)],
+        );
+        assert_eq!(r.strings.text(r.str_id(v)), "hi");
+        // OOB charCodeAt is NaN.
+        let v = call_builtin(&mut r, Builtin::CharCodeAt, s, &[Value::smi(99)]);
+        assert!(r.to_f64(v).is_nan());
+    }
+
+    #[test]
+    fn array_push_pop() {
+        let mut r = rt();
+        let arr = r.alloc_object(fixed::ARRAY_ROOT, 1);
+        let v = call_builtin(&mut r, Builtin::ArrayPush, arr, &[Value::smi(1), Value::smi(2)]);
+        assert_eq!(v.as_smi(), 2);
+        assert_eq!(r.elements_length(arr), 2);
+        let v = call_builtin(&mut r, Builtin::ArrayPop, arr, &[]);
+        assert_eq!(v.as_smi(), 2);
+        assert_eq!(r.elements_length(arr), 1);
+        call_builtin(&mut r, Builtin::ArrayPop, arr, &[]);
+        let v = call_builtin(&mut r, Builtin::ArrayPop, arr, &[]);
+        assert_eq!(v, r.odd.undefined);
+    }
+
+    #[test]
+    fn parse_int_and_float() {
+        let mut r = rt();
+        let und = r.odd.undefined;
+        let s = r.string_value("42px");
+        let v = call_builtin(&mut r, Builtin::ParseInt, und, &[s]);
+        assert_eq!(v.as_smi(), 42);
+        let s = r.string_value("0xff");
+        let v = call_builtin(&mut r, Builtin::ParseInt, und, &[s]);
+        assert_eq!(v.as_smi(), 255);
+        let s = r.string_value("-17");
+        let v = call_builtin(&mut r, Builtin::ParseInt, und, &[s]);
+        assert_eq!(v.as_smi(), -17);
+        let s = r.string_value("3.5rest");
+        let v = call_builtin(&mut r, Builtin::ParseFloat, und, &[s]);
+        assert_eq!(r.to_f64(v), 3.5);
+        let s = r.string_value("x");
+        let v = call_builtin(&mut r, Builtin::ParseInt, und, &[s]);
+        assert!(r.to_f64(v).is_nan());
+    }
+
+    #[test]
+    fn print_captures_output() {
+        let mut r = rt();
+        let _ = take_output();
+        let s = r.string_value("x =");
+        let und = r.odd.undefined;
+        call_builtin(&mut r, Builtin::Print, und, &[s, Value::smi(3)]);
+        assert_eq!(take_output(), vec!["x = 3"]);
+    }
+}

@@ -1,0 +1,541 @@
+//! Hidden classes (V8 "maps", §3.1).
+//!
+//! Every heap object's first word points at its map; objects sharing a map
+//! have the same type. Adding a named property transitions an object to a
+//! child map (creating it the first time), so maps form a transition tree
+//! rooted at each constructor's initial map. Elements-kind changes
+//! (Smi → Double → Tagged) also transition the map, mirroring V8's
+//! elements-kind lattice, so that "array of unboxed doubles" and "array of
+//! tagged pointers" are distinct hidden classes.
+//!
+//! Each map is assigned a dense 8-bit [`ClassId`] at creation (the paper's
+//! hardware identifier); allocation degrades gracefully past 254 classes.
+
+use crate::names::NameId;
+use checkelide_core::{ClassId, ClassIdAllocator};
+use std::collections::HashMap;
+
+/// Index of a map in the [`MapTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MapIx(pub u32);
+
+/// What an object with this map is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MapKind {
+    /// An ordinary JavaScript object (incl. arrays).
+    Object,
+    /// A boxed double.
+    HeapNumber,
+    /// A string.
+    StringObj,
+    /// A function object.
+    Function,
+    /// `true` / `false` / `null` / `undefined`.
+    Oddball,
+    /// Elements backing store, SMI kind.
+    ElementsSmi,
+    /// Elements backing store, unboxed-double kind.
+    ElementsDouble,
+    /// Elements backing store, tagged kind.
+    ElementsTagged,
+}
+
+/// Elements kind of an object map (V8's elements-kind lattice, packed
+/// variants only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemKind {
+    /// All elements are SMIs.
+    Smi,
+    /// All elements are doubles, stored unboxed.
+    Double,
+    /// Elements are arbitrary tagged values.
+    Tagged,
+}
+
+impl ElemKind {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        match self {
+            ElemKind::Smi => 0,
+            ElemKind::Double => 1,
+            ElemKind::Tagged => 2,
+        }
+    }
+
+    /// Least upper bound in the kind lattice.
+    pub fn join(a: ElemKind, b: ElemKind) -> ElemKind {
+        use ElemKind::*;
+        match (a, b) {
+            (Smi, k) | (k, Smi) => k,
+            (Double, Double) => Double,
+            _ => Tagged,
+        }
+    }
+
+    /// Partial order: is `self` at least as general as `other`?
+    pub fn generalizes(self, other: ElemKind) -> bool {
+        ElemKind::join(self, other) == self
+    }
+
+    /// Whether a transition from `self` to `to` is allowed (the lattice
+    /// only moves toward more general kinds).
+    pub fn can_transition_to(self, to: ElemKind) -> bool {
+        matches!(
+            (self, to),
+            (ElemKind::Smi, ElemKind::Double)
+                | (ElemKind::Smi, ElemKind::Tagged)
+                | (ElemKind::Double, ElemKind::Tagged)
+        )
+    }
+}
+
+/// Number of usable property slots in line 0 (words 1, 4, 5, 6, 7 — words
+/// 0, 2 and 3 hold the header, elements pointer and elements length).
+pub const LINE0_SLOTS: usize = 5;
+
+/// Usable property slots per subsequent line (word 0 of each line is a
+/// header, per the paper's object layout; Fig. 4).
+pub const LINE_SLOTS: usize = 7;
+
+/// Word offset of the elements-array pointer within an object.
+pub const ELEMENTS_PTR_WORD: u16 = 2;
+
+/// Word offset of the elements length within an object.
+pub const ELEMENTS_LEN_WORD: u16 = 3;
+
+/// Word offset of the `i`-th property (0-based property index →
+/// absolute word offset within the object).
+pub fn slot_word_offset(index: usize) -> u16 {
+    const LINE0: [u16; LINE0_SLOTS] = [1, 4, 5, 6, 7];
+    if index < LINE0_SLOTS {
+        LINE0[index]
+    } else {
+        let rest = index - LINE0_SLOTS;
+        let line = 1 + rest / LINE_SLOTS;
+        (line * 8 + 1 + rest % LINE_SLOTS) as u16
+    }
+}
+
+/// Number of 64-byte lines needed for `n` properties.
+pub fn lines_for_props(n: usize) -> u8 {
+    if n <= LINE0_SLOTS {
+        1
+    } else {
+        (1 + (n - LINE0_SLOTS).div_ceil(LINE_SLOTS)) as u8
+    }
+}
+
+/// One hidden class.
+#[derive(Debug)]
+pub struct Map {
+    /// Object kind.
+    pub kind: MapKind,
+    /// Dense hardware identifier; `None` once the 8-bit space is exhausted.
+    pub class_id: Option<ClassId>,
+    /// Elements kind (meaningful for `Object` kind).
+    pub elements_kind: ElemKind,
+    /// Parent in the transition tree.
+    pub parent: Option<MapIx>,
+    /// Property name → absolute word offset.
+    pub prop_offsets: HashMap<NameId, u16>,
+    /// Properties in insertion order.
+    pub props_order: Vec<NameId>,
+    /// Named-property transitions.
+    transitions: HashMap<NameId, MapIx>,
+    /// Elements-kind transitions.
+    elem_transitions: [Option<MapIx>; 3],
+    /// All children (named + elements transitions), for subtree queries.
+    children: Vec<MapIx>,
+    /// Debug label ("Point", "Array", ...).
+    pub label: String,
+}
+
+impl Map {
+    /// Word offset of a named property, if present.
+    pub fn offset_of(&self, name: NameId) -> Option<u16> {
+        self.prop_offsets.get(&name).copied()
+    }
+
+    /// Iterate over `(name, word offset)` pairs.
+    pub fn prop_offsets_iter(&self) -> impl Iterator<Item = (&NameId, &u16)> {
+        self.prop_offsets.iter()
+    }
+
+    /// Number of named properties.
+    pub fn prop_count(&self) -> usize {
+        self.props_order.len()
+    }
+
+    /// Lines occupied by objects of this map.
+    pub fn lines(&self) -> u8 {
+        lines_for_props(self.prop_count())
+    }
+}
+
+/// Well-known map indices created by [`MapTable::new`].
+pub mod fixed {
+    use super::MapIx;
+
+    /// Oddballs (`true`/`false`/`null`/`undefined`).
+    pub const ODDBALL: MapIx = MapIx(0);
+    /// Boxed doubles.
+    pub const HEAP_NUMBER: MapIx = MapIx(1);
+    /// Strings.
+    pub const STRING: MapIx = MapIx(2);
+    /// Function objects.
+    pub const FUNCTION: MapIx = MapIx(3);
+    /// SMI elements storage.
+    pub const ELEMS_SMI: MapIx = MapIx(4);
+    /// Double elements storage.
+    pub const ELEMS_DOUBLE: MapIx = MapIx(5);
+    /// Tagged elements storage.
+    pub const ELEMS_TAGGED: MapIx = MapIx(6);
+    /// Root map for object literals.
+    pub const OBJECT_LITERAL_ROOT: MapIx = MapIx(7);
+    /// Root map for array literals / `new Array`.
+    pub const ARRAY_ROOT: MapIx = MapIx(8);
+}
+
+/// The table of all hidden classes.
+#[derive(Debug)]
+pub struct MapTable {
+    maps: Vec<Map>,
+    /// Allocator for the dense 8-bit hardware identifiers.
+    pub class_ids: ClassIdAllocator,
+}
+
+impl Default for MapTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MapTable {
+    /// Create the table with the fixed runtime maps preinstalled.
+    pub fn new() -> MapTable {
+        let mut t = MapTable { maps: Vec::new(), class_ids: ClassIdAllocator::new() };
+        t.create(MapKind::Oddball, ElemKind::Smi, None, "Oddball");
+        t.create(MapKind::HeapNumber, ElemKind::Smi, None, "HeapNumber");
+        t.create(MapKind::StringObj, ElemKind::Smi, None, "String");
+        t.create(MapKind::Function, ElemKind::Smi, None, "Function");
+        t.create(MapKind::ElementsSmi, ElemKind::Smi, None, "ElemsSmi");
+        t.create(MapKind::ElementsDouble, ElemKind::Double, None, "ElemsDouble");
+        t.create(MapKind::ElementsTagged, ElemKind::Tagged, None, "ElemsTagged");
+        t.create(MapKind::Object, ElemKind::Smi, None, "Object");
+        t.create(MapKind::Object, ElemKind::Smi, None, "Array");
+        t
+    }
+
+    fn create(
+        &mut self,
+        kind: MapKind,
+        elements_kind: ElemKind,
+        parent: Option<MapIx>,
+        label: &str,
+    ) -> MapIx {
+        let ix = MapIx(self.maps.len() as u32);
+        let class_id = self.class_ids.get_or_alloc(ix.0);
+        let (prop_offsets, props_order) = match parent {
+            Some(p) => (self.maps[p.0 as usize].prop_offsets.clone(),
+                        self.maps[p.0 as usize].props_order.clone()),
+            None => (HashMap::new(), Vec::new()),
+        };
+        self.maps.push(Map {
+            kind,
+            class_id,
+            elements_kind,
+            parent,
+            prop_offsets,
+            props_order,
+            transitions: HashMap::new(),
+            elem_transitions: [None; 3],
+            children: Vec::new(),
+            label: label.to_string(),
+        });
+        if let Some(p) = parent {
+            self.maps[p.0 as usize].children.push(ix);
+        }
+        ix
+    }
+
+    /// Access a map.
+    pub fn get(&self, ix: MapIx) -> &Map {
+        &self.maps[ix.0 as usize]
+    }
+
+    /// Number of maps (hidden classes) created so far. The §5.3.1 warm-up
+    /// metric.
+    pub fn len(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// Whether the table is empty (never true in practice — fixed maps).
+    pub fn is_empty(&self) -> bool {
+        self.maps.is_empty()
+    }
+
+    /// Create a fresh transition-tree root for a constructor function
+    /// (V8's "initial map").
+    pub fn new_constructor_root(&mut self, label: &str) -> MapIx {
+        self.create(MapKind::Object, ElemKind::Smi, None, label)
+    }
+
+    /// Find or create the child map of `ix` with property `name` appended.
+    /// Returns the child and the word offset assigned to `name`.
+    pub fn transition_add_prop(&mut self, ix: MapIx, name: NameId) -> (MapIx, u16) {
+        if let Some(&child) = self.maps[ix.0 as usize].transitions.get(&name) {
+            let off = self.maps[child.0 as usize].prop_offsets[&name];
+            return (child, off);
+        }
+        let (kind, ek, label) = {
+            let m = self.get(ix);
+            (m.kind, m.elements_kind, m.label.clone())
+        };
+        debug_assert_eq!(kind, MapKind::Object, "only objects take named properties");
+        let child = self.create(kind, ek, Some(ix), &label);
+        let off = slot_word_offset(self.maps[child.0 as usize].props_order.len());
+        let cm = &mut self.maps[child.0 as usize];
+        cm.prop_offsets.insert(name, off);
+        cm.props_order.push(name);
+        self.maps[ix.0 as usize].transitions.insert(name, child);
+        (child, off)
+    }
+
+    /// Find or create the elements-kind transition of `ix` to `kind`.
+    pub fn transition_elem_kind(&mut self, ix: MapIx, kind: ElemKind) -> MapIx {
+        let cur = self.get(ix).elements_kind;
+        assert!(
+            cur.can_transition_to(kind),
+            "invalid elements transition {cur:?} -> {kind:?}"
+        );
+        if let Some(child) = self.maps[ix.0 as usize].elem_transitions[kind.index()] {
+            return child;
+        }
+        let (mkind, label) = {
+            let m = self.get(ix);
+            (m.kind, m.label.clone())
+        };
+        let child = self.create(mkind, kind, Some(ix), &label);
+        self.maps[ix.0 as usize].elem_transitions[kind.index()] = Some(child);
+        child
+    }
+
+    /// Read-only lookup of an existing named-property transition: the
+    /// child map and the offset `name` gets there. Used by the optimizer,
+    /// which must not create maps during analysis.
+    pub fn transition_target(&self, ix: MapIx, name: NameId) -> Option<(MapIx, u16)> {
+        let child = *self.maps[ix.0 as usize].transitions.get(&name)?;
+        let off = self.maps[child.0 as usize].prop_offsets[&name];
+        Some((child, off))
+    }
+
+    /// Resolve a ClassId back to its map, if any (≤255 candidates).
+    pub fn map_of_class(&self, class: ClassId) -> Option<MapIx> {
+        if class.is_smi() {
+            return None;
+        }
+        self.maps
+            .iter()
+            .position(|m| m.class_id == Some(class))
+            .map(|i| MapIx(i as u32))
+    }
+
+    /// The map in `ix`'s ancestor chain that *introduced* property `name`
+    /// (the first map from the root that has it).
+    pub fn introducer_of(&self, ix: MapIx, name: NameId) -> Option<MapIx> {
+        let mut cur = ix;
+        self.get(cur).offset_of(name)?;
+        loop {
+            match self.get(cur).parent {
+                Some(p) if self.get(p).offset_of(name).is_some() => cur = p,
+                _ => return Some(cur),
+            }
+        }
+    }
+
+    /// Root of the transition tree containing `ix`.
+    pub fn root_of(&self, ix: MapIx) -> MapIx {
+        let mut cur = ix;
+        while let Some(p) = self.get(cur).parent {
+            cur = p;
+        }
+        cur
+    }
+
+    /// All maps in the transition subtree rooted at `ix` (including `ix`).
+    pub fn subtree(&self, ix: MapIx) -> Vec<MapIx> {
+        let mut out = vec![ix];
+        let mut i = 0;
+        while i < out.len() {
+            out.extend(self.maps[out[i].0 as usize].children.iter().copied());
+            i += 1;
+        }
+        out
+    }
+
+    /// The storage map for an elements kind.
+    pub fn storage_map_for(kind: ElemKind) -> MapIx {
+        match kind {
+            ElemKind::Smi => fixed::ELEMS_SMI,
+            ElemKind::Double => fixed::ELEMS_DOUBLE,
+            ElemKind::Tagged => fixed::ELEMS_TAGGED,
+        }
+    }
+
+    /// Resolve a [`ClassId`] back to the map label (for Table 1 rendering).
+    pub fn label_of_class(&self, class: ClassId) -> String {
+        if class.is_smi() {
+            return "SMI".to_string();
+        }
+        for m in &self.maps {
+            if m.class_id == Some(class) {
+                return m.label.clone();
+            }
+        }
+        format!("{class}")
+    }
+}
+
+/// Pack an object-line header word: map index in the low 32 bits (standing
+/// in for V8's 48-bit map address), ClassID and Line in the two most
+/// significant bytes, as in Fig. 4.
+pub fn pack_header(map: MapIx, class_id: Option<ClassId>, line: u8) -> u64 {
+    let cid = class_id.map_or(0xFF, |c| c.raw());
+    (map.0 as u64) | ((cid as u64) << 48) | ((line as u64) << 56)
+}
+
+/// Unpack the map index from a header word.
+pub fn header_map(word: u64) -> MapIx {
+    MapIx(word as u32)
+}
+
+/// Unpack the ClassID byte from a header word (`0xFF` when unprofiled
+/// — callers must consult the map to distinguish SMI-encoding overflow).
+pub fn header_class_id(word: u64) -> u8 {
+    (word >> 48) as u8
+}
+
+/// Unpack the line byte from a header word.
+pub fn header_line(word: u64) -> u8 {
+    (word >> 56) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::NameTable;
+
+    #[test]
+    fn slot_layout_matches_paper() {
+        // Line 0: words 1, 4, 5, 6, 7 (0 = header, 2 = elements ptr,
+        // 3 = elements length).
+        assert_eq!(slot_word_offset(0), 1);
+        assert_eq!(slot_word_offset(1), 4);
+        assert_eq!(slot_word_offset(4), 7);
+        // Line 1: words 9..=15.
+        assert_eq!(slot_word_offset(5), 9);
+        assert_eq!(slot_word_offset(11), 15);
+        // Line 2 starts at word 17.
+        assert_eq!(slot_word_offset(12), 17);
+    }
+
+    #[test]
+    fn lines_for_props_matches_table1_examples() {
+        // NodeList: 4 properties -> one line.
+        assert_eq!(lines_for_props(4), 1);
+        // GraphNode: 9 properties -> two lines.
+        assert_eq!(lines_for_props(9), 2);
+        assert_eq!(lines_for_props(0), 1);
+        assert_eq!(lines_for_props(5), 1);
+        assert_eq!(lines_for_props(6), 2);
+        assert_eq!(lines_for_props(12), 2);
+        assert_eq!(lines_for_props(13), 3);
+    }
+
+    #[test]
+    fn transitions_are_shared_and_ordered() {
+        let mut names = NameTable::new();
+        let mut maps = MapTable::new();
+        let x = names.intern("x");
+        let y = names.intern("y");
+        let root = maps.new_constructor_root("Point");
+        let (m1, off_x) = maps.transition_add_prop(root, x);
+        let (m2, off_y) = maps.transition_add_prop(m1, y);
+        assert_eq!(off_x, 1);
+        assert_eq!(off_y, 4);
+        // Re-walking the same insertion order reuses the same maps.
+        assert_eq!(maps.transition_add_prop(root, x), (m1, off_x));
+        assert_eq!(maps.transition_add_prop(m1, y), (m2, off_y));
+        // Different insertion order produces a different class.
+        let (m1b, _) = maps.transition_add_prop(root, y);
+        assert_ne!(m1b, m1);
+    }
+
+    #[test]
+    fn elem_kind_transitions() {
+        let mut maps = MapTable::new();
+        let root = fixed::ARRAY_ROOT;
+        let dbl = maps.transition_elem_kind(root, ElemKind::Double);
+        assert_eq!(maps.get(dbl).elements_kind, ElemKind::Double);
+        assert_eq!(maps.transition_elem_kind(root, ElemKind::Double), dbl);
+        let tagged = maps.transition_elem_kind(dbl, ElemKind::Tagged);
+        assert_eq!(maps.get(tagged).elements_kind, ElemKind::Tagged);
+        // Property layout unchanged across elements transitions.
+        assert_eq!(maps.get(tagged).prop_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid elements transition")]
+    fn backward_elem_transition_panics() {
+        let mut maps = MapTable::new();
+        let tagged = maps.transition_elem_kind(fixed::ARRAY_ROOT, ElemKind::Tagged);
+        let _ = maps.transition_elem_kind(tagged, ElemKind::Smi);
+    }
+
+    #[test]
+    fn introducer_and_subtree() {
+        let mut names = NameTable::new();
+        let mut maps = MapTable::new();
+        let x = names.intern("x");
+        let y = names.intern("y");
+        let root = maps.new_constructor_root("T");
+        let (m1, _) = maps.transition_add_prop(root, x);
+        let (m2, _) = maps.transition_add_prop(m1, y);
+        assert_eq!(maps.introducer_of(m2, x), Some(m1));
+        assert_eq!(maps.introducer_of(m2, y), Some(m2));
+        assert_eq!(maps.introducer_of(m1, y), None);
+        assert_eq!(maps.root_of(m2), root);
+        let sub = maps.subtree(m1);
+        assert!(sub.contains(&m1) && sub.contains(&m2) && !sub.contains(&root));
+    }
+
+    #[test]
+    fn header_packing_roundtrip() {
+        let cid = ClassId::new(9);
+        let w = pack_header(MapIx(1234), cid, 2);
+        assert_eq!(header_map(w), MapIx(1234));
+        assert_eq!(header_class_id(w), 9);
+        assert_eq!(header_line(w), 2);
+        let w2 = pack_header(MapIx(7), None, 0);
+        assert_eq!(header_class_id(w2), 0xFF);
+    }
+
+    #[test]
+    fn fixed_maps_have_expected_kinds() {
+        let maps = MapTable::new();
+        assert_eq!(maps.get(fixed::HEAP_NUMBER).kind, MapKind::HeapNumber);
+        assert_eq!(maps.get(fixed::ELEMS_DOUBLE).kind, MapKind::ElementsDouble);
+        assert_eq!(maps.get(fixed::ARRAY_ROOT).kind, MapKind::Object);
+        // Fixed maps get dense class ids starting at 0.
+        assert_eq!(maps.get(fixed::ODDBALL).class_id.unwrap().raw(), 0);
+    }
+
+    #[test]
+    fn class_labels_resolve() {
+        let mut maps = MapTable::new();
+        let root = maps.new_constructor_root("Pt");
+        let cid = maps.get(root).class_id.unwrap();
+        assert_eq!(maps.label_of_class(cid), "Pt");
+        assert_eq!(maps.label_of_class(ClassId::SMI), "SMI");
+    }
+}

@@ -1,0 +1,77 @@
+//! Interned property/variable names.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameId(pub u32);
+
+impl fmt::Display for NameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The name intern table.
+#[derive(Debug, Default)]
+pub struct NameTable {
+    by_text: HashMap<String, NameId>,
+    texts: Vec<String>,
+}
+
+impl NameTable {
+    /// Empty table.
+    pub fn new() -> NameTable {
+        NameTable::default()
+    }
+
+    /// Intern `text`, returning its stable id.
+    pub fn intern(&mut self, text: &str) -> NameId {
+        if let Some(&id) = self.by_text.get(text) {
+            return id;
+        }
+        let id = NameId(self.texts.len() as u32);
+        self.texts.push(text.to_string());
+        self.by_text.insert(text.to_string(), id);
+        id
+    }
+
+    /// Look up without interning.
+    pub fn lookup(&self, text: &str) -> Option<NameId> {
+        self.by_text.get(text).copied()
+    }
+
+    /// The text of an interned name.
+    pub fn text(&self, id: NameId) -> &str {
+        &self.texts[id.0 as usize]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// Whether no names are interned.
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_unique() {
+        let mut t = NameTable::new();
+        let a = t.intern("x");
+        let b = t.intern("y");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("x"), a);
+        assert_eq!(t.text(a), "x");
+        assert_eq!(t.lookup("y"), Some(b));
+        assert_eq!(t.lookup("z"), None);
+        assert_eq!(t.len(), 2);
+    }
+}

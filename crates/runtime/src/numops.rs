@@ -1,0 +1,478 @@
+//! Numeric and comparison semantics shared by both execution tiers.
+//!
+//! Every operation reports which *path* it took ([`NumPath`]); the baseline
+//! tier records the path as type feedback and the optimizing tier uses the
+//! feedback to emit specialized code with the corresponding checks.
+
+use crate::runtime::{Runtime, VKind};
+use crate::value::Value;
+
+/// The dynamic path a numeric operation took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumPath {
+    /// Both operands SMI, result SMI (the fast path).
+    SmiSmi,
+    /// Both operands SMI, but the result overflowed into a double.
+    SmiOverflow,
+    /// At least one double operand (or a SMI-incompatible result).
+    Double,
+    /// String operation (concatenation / string comparison).
+    Str,
+    /// Anything else (coercions from oddballs/objects).
+    Generic,
+}
+
+impl NumPath {
+    /// Whether this path stayed within numbers.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, NumPath::SmiSmi | NumPath::SmiOverflow | NumPath::Double)
+    }
+}
+
+fn num_path(rt: &Runtime, a: Value, b: Value) -> NumPath {
+    match (rt.kind_of(a), rt.kind_of(b)) {
+        (VKind::Smi, VKind::Smi) => NumPath::SmiSmi,
+        (VKind::Smi | VKind::Number, VKind::Smi | VKind::Number) => NumPath::Double,
+        (VKind::Str, _) | (_, VKind::Str) => NumPath::Str,
+        _ => NumPath::Generic,
+    }
+}
+
+/// JavaScript `+`: numeric addition or string concatenation.
+pub fn add(rt: &mut Runtime, a: Value, b: Value) -> (Value, NumPath) {
+    match num_path(rt, a, b) {
+        NumPath::SmiSmi => match a.as_smi().checked_add(b.as_smi()) {
+            Some(r) => (Value::smi(r), NumPath::SmiSmi),
+            None => {
+                let v = rt.make_number(a.as_smi() as f64 + b.as_smi() as f64);
+                (v, NumPath::SmiOverflow)
+            }
+        },
+        NumPath::Str => {
+            let s = format!("{}{}", rt.to_display_string(a), rt.to_display_string(b));
+            (rt.string_value(&s), NumPath::Str)
+        }
+        NumPath::Generic => {
+            let v = rt.to_f64(a) + rt.to_f64(b);
+            let v = rt.make_number(v);
+            (v, NumPath::Generic)
+        }
+        _ => {
+            let v = rt.to_f64(a) + rt.to_f64(b);
+            let v = rt.make_number(v);
+            (v, NumPath::Double)
+        }
+    }
+}
+
+macro_rules! smi_fast_binop {
+    ($name:ident, $checked:ident, $op:tt) => {
+        /// JavaScript arithmetic operator.
+        pub fn $name(rt: &mut Runtime, a: Value, b: Value) -> (Value, NumPath) {
+            match num_path(rt, a, b) {
+                NumPath::SmiSmi => match a.as_smi().$checked(b.as_smi()) {
+                    Some(r) => (Value::smi(r), NumPath::SmiSmi),
+                    None => {
+                        let v = rt.make_number((a.as_smi() as f64) $op (b.as_smi() as f64));
+                        (v, NumPath::SmiOverflow)
+                    }
+                },
+                path => {
+                    let v = rt.to_f64(a) $op rt.to_f64(b);
+                    let v = rt.make_number(v);
+                    (v, if path == NumPath::Generic || path == NumPath::Str {
+                        NumPath::Generic
+                    } else {
+                        NumPath::Double
+                    })
+                }
+            }
+        }
+    };
+}
+
+smi_fast_binop!(sub, checked_sub, -);
+smi_fast_binop!(mul_raw, checked_mul, *);
+
+/// JavaScript `*` (wraps the SMI fast path with the −0 corner case:
+/// `-1 * 0` must produce `-0`, a HeapNumber).
+pub fn mul(rt: &mut Runtime, a: Value, b: Value) -> (Value, NumPath) {
+    if let (VKind::Smi, VKind::Smi) = (rt.kind_of(a), rt.kind_of(b)) {
+        let (x, y) = (a.as_smi(), b.as_smi());
+        if (x == 0 && y < 0) || (y == 0 && x < 0) {
+            let v = rt.make_number(-0.0);
+            return (v, NumPath::SmiOverflow);
+        }
+    }
+    mul_raw(rt, a, b)
+}
+
+/// JavaScript `/`. The SMI fast path requires exact division (V8's rule);
+/// otherwise the double path is taken. Division by zero falls through to
+/// the double path and produces ±Infinity or NaN — the "math assumption"
+/// check of §3.3.
+pub fn div(rt: &mut Runtime, a: Value, b: Value) -> (Value, NumPath) {
+    match num_path(rt, a, b) {
+        NumPath::SmiSmi => {
+            let (x, y) = (a.as_smi(), b.as_smi());
+            if y != 0
+                && x % y == 0
+                && !(x == 0 && y < 0)
+                && !(x == i32::MIN && y == -1)
+            {
+                (Value::smi(x / y), NumPath::SmiSmi)
+            } else {
+                let v = rt.make_number(x as f64 / y as f64);
+                (v, NumPath::SmiOverflow)
+            }
+        }
+        path => {
+            let v = rt.to_f64(a) / rt.to_f64(b);
+            let v = rt.make_number(v);
+            (v, if path.is_numeric() { NumPath::Double } else { NumPath::Generic })
+        }
+    }
+}
+
+/// JavaScript `%` (sign follows the dividend, like Rust's `%`).
+pub fn rem(rt: &mut Runtime, a: Value, b: Value) -> (Value, NumPath) {
+    match num_path(rt, a, b) {
+        NumPath::SmiSmi => {
+            let (x, y) = (a.as_smi(), b.as_smi());
+            if y != 0 && !(x == i32::MIN && y == -1) {
+                let r = x % y;
+                if r == 0 && x < 0 {
+                    let v = rt.make_number(-0.0);
+                    (v, NumPath::SmiOverflow)
+                } else {
+                    (Value::smi(r), NumPath::SmiSmi)
+                }
+            } else {
+                let v = rt.make_number((x as f64) % (y as f64));
+                (v, NumPath::SmiOverflow)
+            }
+        }
+        path => {
+            let v = rt.to_f64(a) % rt.to_f64(b);
+            let v = rt.make_number(v);
+            (v, if path.is_numeric() { NumPath::Double } else { NumPath::Generic })
+        }
+    }
+}
+
+/// JavaScript unary negation.
+pub fn neg(rt: &mut Runtime, v: Value) -> (Value, NumPath) {
+    if v.is_smi() {
+        let x = v.as_smi();
+        if x == 0 || x == i32::MIN {
+            // -0 and -(i32::MIN) leave the SMI range.
+            let r = rt.make_number(-(x as f64));
+            return (r, NumPath::SmiOverflow);
+        }
+        return (Value::smi(-x), NumPath::SmiSmi);
+    }
+    let f = -rt.to_f64(v);
+    let r = rt.make_number(f);
+    let path = if rt.is_number(v) { NumPath::Double } else { NumPath::Generic };
+    (r, path)
+}
+
+/// JavaScript bitwise not (`~x` — always SMI-representable).
+pub fn bit_not(rt: &mut Runtime, v: Value) -> (Value, NumPath) {
+    let path = if v.is_smi() { NumPath::SmiSmi } else { NumPath::Double };
+    (Value::smi(!to_int32(rt, v)), path)
+}
+
+/// ECMAScript `ToInt32`.
+pub fn to_int32(rt: &Runtime, v: Value) -> i32 {
+    if v.is_smi() {
+        return v.as_smi();
+    }
+    let f = rt.to_f64(v);
+    if !f.is_finite() {
+        return 0;
+    }
+    (f.trunc() as i64 as u64) as u32 as i32
+}
+
+/// ECMAScript `ToUint32`.
+pub fn to_uint32(rt: &Runtime, v: Value) -> u32 {
+    to_int32(rt, v) as u32
+}
+
+/// Bitwise operators family. `op` chooses the operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitwiseOp {
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Sar,
+    /// `>>>`
+    Shr,
+}
+
+/// Evaluate a bitwise operator.
+pub fn bitwise(rt: &mut Runtime, op: BitwiseOp, a: Value, b: Value) -> (Value, NumPath) {
+    let path = if a.is_smi() && b.is_smi() { NumPath::SmiSmi } else { NumPath::Double };
+    let x = to_int32(rt, a);
+    match op {
+        BitwiseOp::And => (Value::smi(x & to_int32(rt, b)), path),
+        BitwiseOp::Or => (Value::smi(x | to_int32(rt, b)), path),
+        BitwiseOp::Xor => (Value::smi(x ^ to_int32(rt, b)), path),
+        BitwiseOp::Shl => (Value::smi(x << (to_uint32(rt, b) & 31)), path),
+        BitwiseOp::Sar => (Value::smi(x >> (to_uint32(rt, b) & 31)), path),
+        BitwiseOp::Shr => {
+            let r = (x as u32) >> (to_uint32(rt, b) & 31);
+            if r <= i32::MAX as u32 {
+                (Value::smi(r as i32), path)
+            } else {
+                let v = rt.make_number(r as f64);
+                (v, NumPath::Double)
+            }
+        }
+    }
+}
+
+/// Relational comparison kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Evaluate a relational comparison (numeric, or lexicographic when both
+/// operands are strings).
+pub fn compare(rt: &Runtime, op: CmpOp, a: Value, b: Value) -> (bool, NumPath) {
+    if let (VKind::Str, VKind::Str) = (rt.kind_of(a), rt.kind_of(b)) {
+        let x = rt.strings.text(rt.str_id(a));
+        let y = rt.strings.text(rt.str_id(b));
+        let r = match op {
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        };
+        return (r, NumPath::Str);
+    }
+    let path = num_path(rt, a, b);
+    let (x, y) = (rt.to_f64(a), rt.to_f64(b));
+    let r = match op {
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    };
+    (r, if path == NumPath::Str { NumPath::Generic } else { path })
+}
+
+/// Strict equality (`===`).
+pub fn strict_eq(rt: &Runtime, a: Value, b: Value) -> bool {
+    if a == b {
+        // Identical encodings: equal unless NaN.
+        if rt.kind_of(a) == VKind::Number {
+            return !rt.heap_number_value(a).is_nan();
+        }
+        return true;
+    }
+    // Different encodings can still be numerically equal (Smi 1 vs
+    // HeapNumber 1.0 — possible via double arithmetic producing integral
+    // boxed results is avoided by make_number, but cross-kind compares of
+    // Number values must still work).
+    match (rt.kind_of(a), rt.kind_of(b)) {
+        (VKind::Smi | VKind::Number, VKind::Smi | VKind::Number) => {
+            rt.to_f64(a) == rt.to_f64(b)
+        }
+        _ => false, // strings are interned, objects compare by identity
+    }
+}
+
+/// Loose equality (`==`) for the njs subset: `null == undefined`; numbers,
+/// strings and booleans coerce numerically; object-vs-primitive is `false`
+/// (njs has no `valueOf`).
+pub fn loose_eq(rt: &Runtime, a: Value, b: Value) -> bool {
+    use VKind::*;
+    let (ka, kb) = (rt.kind_of(a), rt.kind_of(b));
+    match (ka, kb) {
+        (Null, Undefined) | (Undefined, Null) => true,
+        (Null, Null) | (Undefined, Undefined) => true,
+        (Object, Object) | (Func, Func) => a == b,
+        (Str, Str) => a == b,
+        (Object | Func, _) | (_, Object | Func) => false,
+        _ => {
+            let (x, y) = (rt.to_f64(a), rt.to_f64(b));
+            x == y
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt() -> Runtime {
+        Runtime::new()
+    }
+
+    #[test]
+    fn smi_addition_fast_path() {
+        let mut r = rt();
+        let (v, p) = add(&mut r, Value::smi(2), Value::smi(3));
+        assert_eq!(v.as_smi(), 5);
+        assert_eq!(p, NumPath::SmiSmi);
+    }
+
+    #[test]
+    fn smi_addition_overflows_to_double() {
+        let mut r = rt();
+        let (v, p) = add(&mut r, Value::smi(i32::MAX), Value::smi(1));
+        assert_eq!(p, NumPath::SmiOverflow);
+        assert_eq!(r.to_f64(v), i32::MAX as f64 + 1.0);
+    }
+
+    #[test]
+    fn double_paths() {
+        let mut r = rt();
+        let h = r.make_number(0.5);
+        let (v, p) = add(&mut r, h, Value::smi(1));
+        assert_eq!(p, NumPath::Double);
+        assert_eq!(r.to_f64(v), 1.5);
+        let (v, p) = mul(&mut r, h, h);
+        assert_eq!(p, NumPath::Double);
+        assert_eq!(r.to_f64(v), 0.25);
+    }
+
+    #[test]
+    fn string_concat() {
+        let mut r = rt();
+        let s = r.string_value("a");
+        let (v, p) = add(&mut r, s, Value::smi(1));
+        assert_eq!(p, NumPath::Str);
+        assert_eq!(r.strings.text(r.str_id(v)), "a1");
+    }
+
+    #[test]
+    fn division_rules() {
+        let mut r = rt();
+        let (v, p) = div(&mut r, Value::smi(6), Value::smi(3));
+        assert_eq!((v.as_smi(), p), (2, NumPath::SmiSmi));
+        let (v, p) = div(&mut r, Value::smi(7), Value::smi(2));
+        assert_eq!(p, NumPath::SmiOverflow);
+        assert_eq!(r.to_f64(v), 3.5);
+        let (v, _) = div(&mut r, Value::smi(1), Value::smi(0));
+        assert_eq!(r.to_f64(v), f64::INFINITY);
+        let (v, _) = div(&mut r, Value::smi(-1), Value::smi(0));
+        assert_eq!(r.to_f64(v), f64::NEG_INFINITY);
+        let (v, _) = div(&mut r, Value::smi(0), Value::smi(0));
+        assert!(r.to_f64(v).is_nan());
+    }
+
+    #[test]
+    fn modulo_sign_semantics() {
+        let mut r = rt();
+        let (v, _) = rem(&mut r, Value::smi(7), Value::smi(3));
+        assert_eq!(v.as_smi(), 1);
+        let (v, _) = rem(&mut r, Value::smi(-7), Value::smi(3));
+        assert_eq!(v.as_smi(), -1);
+        // -6 % 3 is -0 in JS: must be a HeapNumber.
+        let (v, p) = rem(&mut r, Value::smi(-6), Value::smi(3));
+        assert_eq!(p, NumPath::SmiOverflow);
+        assert!(v.is_ptr());
+        assert!(r.heap_number_value(v) == 0.0 && r.heap_number_value(v).is_sign_negative());
+        let (v, _) = rem(&mut r, Value::smi(1), Value::smi(0));
+        assert!(r.to_f64(v).is_nan());
+    }
+
+    #[test]
+    fn minus_zero_multiplication() {
+        let mut r = rt();
+        let (v, p) = mul(&mut r, Value::smi(-1), Value::smi(0));
+        assert_eq!(p, NumPath::SmiOverflow);
+        assert!(r.heap_number_value(v).is_sign_negative());
+    }
+
+    #[test]
+    fn to_int32_semantics() {
+        let mut r = rt();
+        assert_eq!(to_int32(&r, Value::smi(-5)), -5);
+        let h = r.make_number(4294967296.0 + 7.0); // 2^32 + 7
+        assert_eq!(to_int32(&r, h), 7);
+        let h = r.make_number(-1.5);
+        assert_eq!(to_int32(&r, h), -1);
+        let h = r.make_number(f64::NAN);
+        assert_eq!(to_int32(&r, h), 0);
+        let h = r.make_number(2147483648.0); // 2^31
+        assert_eq!(to_int32(&r, h), i32::MIN);
+    }
+
+    #[test]
+    fn bitwise_and_shifts() {
+        let mut r = rt();
+        let (v, _) = bitwise(&mut r, BitwiseOp::And, Value::smi(0b1100), Value::smi(0b1010));
+        assert_eq!(v.as_smi(), 0b1000);
+        let (v, _) = bitwise(&mut r, BitwiseOp::Shl, Value::smi(1), Value::smi(4));
+        assert_eq!(v.as_smi(), 16);
+        let (v, _) = bitwise(&mut r, BitwiseOp::Sar, Value::smi(-8), Value::smi(1));
+        assert_eq!(v.as_smi(), -4);
+        // >>> of a negative produces a large unsigned value (double).
+        let (v, p) = bitwise(&mut r, BitwiseOp::Shr, Value::smi(-1), Value::smi(0));
+        assert_eq!(p, NumPath::Double);
+        assert_eq!(r.to_f64(v), 4294967295.0);
+        let (v, _) = bitwise(&mut r, BitwiseOp::Shr, Value::smi(-1), Value::smi(28));
+        assert_eq!(v.as_smi(), 15);
+    }
+
+    #[test]
+    fn comparisons() {
+        let mut r = rt();
+        assert!(compare(&r, CmpOp::Lt, Value::smi(1), Value::smi(2)).0);
+        assert!(!compare(&r, CmpOp::Ge, Value::smi(1), Value::smi(2)).0);
+        let h = r.make_number(1.5);
+        let (res, p) = compare(&r, CmpOp::Gt, h, Value::smi(1));
+        assert!(res);
+        assert_eq!(p, NumPath::Double);
+        let a = r.string_value("abc");
+        let b = r.string_value("abd");
+        let (res, p) = compare(&r, CmpOp::Lt, a, b);
+        assert!(res);
+        assert_eq!(p, NumPath::Str);
+        // NaN compares false.
+        let nan = r.make_number(f64::NAN);
+        assert!(!compare(&r, CmpOp::Lt, nan, Value::smi(1)).0);
+        assert!(!compare(&r, CmpOp::Ge, nan, Value::smi(1)).0);
+    }
+
+    #[test]
+    fn equality_semantics() {
+        let mut r = rt();
+        assert!(strict_eq(&r, Value::smi(3), Value::smi(3)));
+        assert!(!strict_eq(&r, Value::smi(3), Value::smi(4)));
+        let h = r.make_number(3.5);
+        let h2 = r.make_number(3.5);
+        assert!(strict_eq(&r, h, h2), "equal doubles in distinct boxes");
+        let nan = r.make_number(f64::NAN);
+        assert!(!strict_eq(&r, nan, nan), "NaN !== NaN");
+        assert!(loose_eq(&r, r.odd.null, r.odd.undefined));
+        assert!(!strict_eq(&r, r.odd.null, r.odd.undefined));
+        let s3 = r.string_value("3");
+        assert!(loose_eq(&r, s3, Value::smi(3)));
+        assert!(!strict_eq(&r, s3, Value::smi(3)));
+        assert!(loose_eq(&r, r.odd.true_v, Value::smi(1)));
+        let o1 = r.alloc_object(crate::maps::fixed::OBJECT_LITERAL_ROOT, 1);
+        let o2 = r.alloc_object(crate::maps::fixed::OBJECT_LITERAL_ROOT, 1);
+        assert!(loose_eq(&r, o1, o1));
+        assert!(!loose_eq(&r, o1, o2));
+        assert!(!loose_eq(&r, o1, Value::smi(0)));
+    }
+}

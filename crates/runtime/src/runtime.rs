@@ -1,0 +1,1021 @@
+//! The composed runtime: heap + maps + names + strings + object operations.
+
+use crate::heap::Heap;
+use crate::maps::{
+    fixed, header_class_id, header_line, header_map, pack_header, ElemKind,
+    MapIx, MapKind, MapTable, ELEMENTS_LEN_WORD, ELEMENTS_PTR_WORD,
+};
+use crate::names::{NameId, NameTable};
+use crate::strings::{StrId, StringTable};
+use crate::value::Value;
+use checkelide_core::ClassId;
+
+/// Coarse dynamic classification of a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VKind {
+    /// Small integer.
+    Smi,
+    /// Boxed double.
+    Number,
+    /// String.
+    Str,
+    /// Function object.
+    Func,
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// `undefined`.
+    Undefined,
+    /// Ordinary object (incl. arrays).
+    Object,
+}
+
+/// A function reference carried by function objects: either a user
+/// function index (into the engine's function table) or a builtin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuncRef {
+    /// Index into the engine's function table.
+    User(u32),
+    /// A native builtin.
+    Builtin(crate::builtins::Builtin),
+}
+
+impl FuncRef {
+    /// Pack to a payload word.
+    pub fn pack(self) -> u64 {
+        match self {
+            FuncRef::User(ix) => ix as u64,
+            FuncRef::Builtin(b) => (1 << 32) | b as u64,
+        }
+    }
+
+    /// Unpack from a payload word.
+    pub fn unpack(word: u64) -> FuncRef {
+        if word & (1 << 32) != 0 {
+            FuncRef::Builtin(crate::builtins::Builtin::from_u8(word as u8))
+        } else {
+            FuncRef::User(word as u32)
+        }
+    }
+}
+
+/// The preallocated oddball values.
+#[derive(Debug, Clone, Copy)]
+pub struct Oddballs {
+    /// `undefined`.
+    pub undefined: Value,
+    /// `null`.
+    pub null: Value,
+    /// `true`.
+    pub true_v: Value,
+    /// `false`.
+    pub false_v: Value,
+}
+
+/// Object-allocation statistics (for §5.3.4: larger objects).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObjectStats {
+    /// Ordinary objects allocated.
+    pub objects: u64,
+    /// Of which occupy more than one cache line.
+    pub multi_line_objects: u64,
+    /// Total words allocated to ordinary objects.
+    pub object_words: u64,
+    /// Words spent on the extra per-line headers beyond line 0 (the
+    /// paper's "one extra memory word per extra cache line").
+    pub extra_header_words: u64,
+}
+
+/// Result of adding a named property to an object.
+#[derive(Debug, Clone, Copy)]
+pub struct AddProp {
+    /// The object's map after the transition.
+    pub new_map: MapIx,
+    /// Word offset of the new property.
+    pub offset: u16,
+    /// Set when the object had to be relocated (grew past its
+    /// allocation); `(old_addr, new_addr)` — the caller must fix any
+    /// roots it holds.
+    pub relocated: Option<(u64, u64)>,
+}
+
+/// Result of an elements load.
+#[derive(Debug, Clone, Copy)]
+pub struct ElemLoad {
+    /// The loaded (tagged) value.
+    pub value: Value,
+    /// Simulated address of the element slot.
+    pub slot_addr: u64,
+    /// Address of the backing store.
+    pub storage_addr: u64,
+    /// True when a double was boxed into a fresh HeapNumber.
+    pub boxed_double: bool,
+    /// True when the index was out of bounds (value = undefined).
+    pub oob: bool,
+    /// Elements kind at the time of the load.
+    pub kind: ElemKind,
+}
+
+/// Result of an elements store.
+#[derive(Debug, Clone, Copy)]
+pub struct ElemStore {
+    /// Simulated address of the element slot written.
+    pub slot_addr: u64,
+    /// Address of the backing store after the operation.
+    pub storage_addr: u64,
+    /// Elements kind after the operation.
+    pub kind: ElemKind,
+    /// New map if the store forced an elements-kind transition.
+    pub transitioned: Option<MapIx>,
+    /// Whether the backing store was (re)allocated.
+    pub grew: bool,
+}
+
+/// The runtime.
+#[derive(Debug)]
+pub struct Runtime {
+    /// Simulated heap.
+    pub heap: Heap,
+    /// Hidden classes.
+    pub maps: MapTable,
+    /// Interned property/variable names.
+    pub names: NameTable,
+    /// Interned strings.
+    pub strings: StringTable,
+    /// Oddball values.
+    pub odd: Oddballs,
+    /// Object-allocation statistics.
+    pub obj_stats: ObjectStats,
+    empty_elements: u64,
+    prng: u64,
+    double_consts: std::collections::HashMap<u64, Value>,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runtime {
+    /// Build a runtime with oddballs and the empty backing store installed.
+    pub fn new() -> Runtime {
+        let mut heap = Heap::new();
+        let maps = MapTable::new();
+        let mk_odd = |heap: &mut Heap, maps: &MapTable, code: u64| {
+            let a = heap.alloc(2, false);
+            heap.write(a, pack_header(fixed::ODDBALL, maps.get(fixed::ODDBALL).class_id, 0));
+            heap.write(a + 8, code);
+            Value::ptr(a)
+        };
+        let undefined = mk_odd(&mut heap, &maps, 0);
+        let null = mk_odd(&mut heap, &maps, 1);
+        let false_v = mk_odd(&mut heap, &maps, 2);
+        let true_v = mk_odd(&mut heap, &maps, 3);
+        let empty_elements = heap.alloc(2, false);
+        heap.write(
+            empty_elements,
+            pack_header(fixed::ELEMS_SMI, maps.get(fixed::ELEMS_SMI).class_id, 0),
+        );
+        heap.write(empty_elements + 8, 0); // capacity 0
+        Runtime {
+            heap,
+            maps,
+            names: NameTable::new(),
+            strings: StringTable::new(),
+            odd: Oddballs { undefined, null, true_v, false_v },
+            obj_stats: ObjectStats::default(),
+            empty_elements,
+            prng: 0x9E37_79B9_7F4A_7C15,
+            double_consts: std::collections::HashMap::new(),
+        }
+    }
+
+    /// A permanently-rooted boxed constant for a double literal (V8 keeps
+    /// such constants in the code's constant pool rather than allocating
+    /// per execution).
+    pub fn double_constant(&mut self, f: f64) -> Value {
+        if Value::f64_fits_smi(f) {
+            return Value::smi(f as i32);
+        }
+        if let Some(&v) = self.double_consts.get(&f.to_bits()) {
+            return v;
+        }
+        let v = self.make_number(f);
+        self.double_consts.insert(f.to_bits(), v);
+        v
+    }
+
+    /// Deterministic PRNG for `Math.random` (xorshift64*).
+    pub fn random_f64(&mut self) -> f64 {
+        let mut x = self.prng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.prng = x;
+        let bits = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Reset the PRNG (for reproducible benchmark iterations).
+    pub fn reset_prng(&mut self) {
+        self.prng = 0x9E37_79B9_7F4A_7C15;
+    }
+
+    // ----- classification -----
+
+    /// Classify a value.
+    pub fn kind_of(&self, v: Value) -> VKind {
+        if v.is_smi() {
+            return VKind::Smi;
+        }
+        let header = self.heap.read(v.addr());
+        match self.maps.get(header_map(header)).kind {
+            MapKind::HeapNumber => VKind::Number,
+            MapKind::StringObj => VKind::Str,
+            MapKind::Function => VKind::Func,
+            MapKind::Oddball => match self.heap.read(v.addr() + 8) {
+                0 => VKind::Undefined,
+                1 => VKind::Null,
+                2 => VKind::Bool(false),
+                3 => VKind::Bool(true),
+                other => unreachable!("bad oddball code {other}"),
+            },
+            MapKind::Object => VKind::Object,
+            k => unreachable!("backing store {k:?} is never a value"),
+        }
+    }
+
+    /// JavaScript truthiness.
+    pub fn is_truthy(&self, v: Value) -> bool {
+        match self.kind_of(v) {
+            VKind::Smi => v.as_smi() != 0,
+            VKind::Number => {
+                let f = self.heap_number_value(v);
+                f != 0.0 && !f.is_nan()
+            }
+            VKind::Str => self.strings.len(self.str_id(v)) > 0,
+            VKind::Bool(b) => b,
+            VKind::Null | VKind::Undefined => false,
+            VKind::Func | VKind::Object => true,
+        }
+    }
+
+    /// Boolean to oddball.
+    pub fn bool_value(&self, b: bool) -> Value {
+        if b {
+            self.odd.true_v
+        } else {
+            self.odd.false_v
+        }
+    }
+
+    // ----- numbers -----
+
+    /// Box an `f64` as a SMI when representable, else as a HeapNumber.
+    pub fn make_number(&mut self, f: f64) -> Value {
+        if Value::f64_fits_smi(f) {
+            Value::smi(f as i32)
+        } else {
+            let a = self.heap.alloc(2, false);
+            self.heap.write(
+                a,
+                pack_header(fixed::HEAP_NUMBER, self.maps.get(fixed::HEAP_NUMBER).class_id, 0),
+            );
+            self.heap.write(a + 8, f.to_bits());
+            Value::ptr(a)
+        }
+    }
+
+    /// The `f64` payload of a HeapNumber.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `v` is not a HeapNumber.
+    pub fn heap_number_value(&self, v: Value) -> f64 {
+        debug_assert_eq!(self.kind_of(v), VKind::Number);
+        f64::from_bits(self.heap.read(v.addr() + 8))
+    }
+
+    /// Whether a value is a SMI or HeapNumber.
+    pub fn is_number(&self, v: Value) -> bool {
+        matches!(self.kind_of(v), VKind::Smi | VKind::Number)
+    }
+
+    /// `ToNumber` coercion (objects coerce to NaN — njs does not implement
+    /// `valueOf`).
+    pub fn to_f64(&self, v: Value) -> f64 {
+        match self.kind_of(v) {
+            VKind::Smi => v.as_smi() as f64,
+            VKind::Number => self.heap_number_value(v),
+            VKind::Bool(b) => b as u32 as f64,
+            VKind::Null => 0.0,
+            VKind::Undefined => f64::NAN,
+            VKind::Str => {
+                let t = self.strings.text(self.str_id(v)).trim();
+                if t.is_empty() {
+                    0.0
+                } else {
+                    t.parse::<f64>().unwrap_or(f64::NAN)
+                }
+            }
+            VKind::Func | VKind::Object => f64::NAN,
+        }
+    }
+
+    // ----- strings -----
+
+    /// Intern a string and return its heap value.
+    pub fn string_value(&mut self, text: &str) -> Value {
+        let id = self.strings.intern(text);
+        if let Some(addr) = self.strings.heap_addr[id.0 as usize] {
+            return Value::ptr(addr);
+        }
+        let a = self.heap.alloc(2, false);
+        self.heap
+            .write(a, pack_header(fixed::STRING, self.maps.get(fixed::STRING).class_id, 0));
+        self.heap.write(a + 8, StringTable::pack_payload(id, text.len()));
+        self.strings.heap_addr[id.0 as usize] = Some(a);
+        Value::ptr(a)
+    }
+
+    /// The intern id of a string value.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `v` is not a string.
+    pub fn str_id(&self, v: Value) -> StrId {
+        debug_assert_eq!(self.kind_of(v), VKind::Str);
+        StringTable::unpack_payload(self.heap.read(v.addr() + 8)).0
+    }
+
+    /// Render a value for display / string concatenation.
+    pub fn to_display_string(&self, v: Value) -> String {
+        match self.kind_of(v) {
+            VKind::Smi => format!("{}", v.as_smi()),
+            VKind::Number => format_f64(self.heap_number_value(v)),
+            VKind::Str => self.strings.text(self.str_id(v)).to_string(),
+            VKind::Bool(b) => format!("{b}"),
+            VKind::Null => "null".into(),
+            VKind::Undefined => "undefined".into(),
+            VKind::Func => "function".into(),
+            VKind::Object => "[object Object]".into(),
+        }
+    }
+
+    // ----- functions -----
+
+    /// Allocate a function object.
+    pub fn alloc_function(&mut self, f: FuncRef) -> Value {
+        let a = self.heap.alloc(2, false);
+        self.heap
+            .write(a, pack_header(fixed::FUNCTION, self.maps.get(fixed::FUNCTION).class_id, 0));
+        self.heap.write(a + 8, f.pack());
+        Value::ptr(a)
+    }
+
+    /// The function reference of a function object.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `v` is not a function.
+    pub fn func_ref(&self, v: Value) -> FuncRef {
+        debug_assert_eq!(self.kind_of(v), VKind::Func);
+        FuncRef::unpack(self.heap.read(v.addr() + 8))
+    }
+
+    // ----- objects -----
+
+    /// Allocate an ordinary object with map `map` and room for
+    /// `capacity_lines` cache lines. Properties start `undefined`;
+    /// elements point at the shared empty store.
+    pub fn alloc_object(&mut self, map: MapIx, capacity_lines: u8) -> Value {
+        let m = self.maps.get(map);
+        debug_assert_eq!(m.kind, MapKind::Object);
+        let lines = capacity_lines.max(m.lines()) as usize;
+        let cid = m.class_id;
+        let a = self.heap.alloc(lines * 8, true);
+        for line in 0..lines {
+            self.heap.write(a + (line as u64) * 64, pack_header(map, cid, line as u8));
+        }
+        for w in 0..lines * 8 {
+            if w % 8 == 0 || w == ELEMENTS_LEN_WORD as usize {
+                continue;
+            }
+            if w == ELEMENTS_PTR_WORD as usize {
+                self.heap.write(a + (w as u64) * 8, Value::ptr(self.empty_elements).raw());
+            } else {
+                self.heap.write_value(a + (w as u64) * 8, self.odd.undefined);
+            }
+        }
+        self.obj_stats.objects += 1;
+        self.obj_stats.object_words += (lines * 8) as u64;
+        if lines > 1 {
+            self.obj_stats.multi_line_objects += 1;
+            self.obj_stats.extra_header_words += (lines - 1) as u64;
+        }
+        Value::ptr(a)
+    }
+
+    /// The map of a heap object.
+    pub fn object_map(&self, v: Value) -> MapIx {
+        header_map(self.heap.read(v.addr()))
+    }
+
+    /// The (ClassID, Line) bytes of the header word at `addr` — what the
+    /// hardware sees on a `movClassID` (§4.2.1.2).
+    pub fn header_class_line(&self, addr: u64) -> (u8, u8) {
+        let w = self.heap.read(addr);
+        (header_class_id(w), header_line(w))
+    }
+
+    /// The hardware [`ClassId`] of an arbitrary value, as `movClassID`
+    /// computes it: SMIs encode as [`ClassId::SMI`]; heap objects read the
+    /// header byte. Returns `None` when the object's map never received an
+    /// 8-bit identifier (overflow).
+    pub fn class_id_of_value(&self, v: Value) -> Option<ClassId> {
+        if v.is_smi() {
+            return Some(ClassId::SMI);
+        }
+        self.maps.get(self.object_map(v)).class_id
+    }
+
+    /// Number of cache lines in the object's allocation (≥ its map's
+    /// occupied lines; slack from site feedback).
+    pub fn capacity_lines(&self, v: Value) -> u8 {
+        (self.heap.alloc_words(v.addr()) / 8) as u8
+    }
+
+    /// Rewrite all line headers for a (possibly new) map.
+    pub fn set_object_map(&mut self, v: Value, map: MapIx) {
+        let lines = self.capacity_lines(v) as usize;
+        let cid = self.maps.get(map).class_id;
+        for line in 0..lines {
+            self.heap.write(v.addr() + (line as u64) * 64, pack_header(map, cid, line as u8));
+        }
+    }
+
+    /// Read a property slot by word offset.
+    pub fn load_slot(&self, v: Value, offset: u16) -> Value {
+        self.heap.read_value(v.addr() + offset as u64 * 8)
+    }
+
+    /// Write a property slot by word offset.
+    pub fn store_slot(&mut self, v: Value, offset: u16, value: Value) {
+        self.heap.write_value(v.addr() + offset as u64 * 8, value);
+    }
+
+    /// Simulated address of a slot.
+    pub fn slot_addr(&self, v: Value, offset: u16) -> u64 {
+        v.addr() + offset as u64 * 8
+    }
+
+    /// Add property `name` to the object, transitioning its map and
+    /// relocating the object if it outgrew its allocation. The caller must
+    /// fix any roots it holds when `relocated` is set, and then store the
+    /// property value at `offset`.
+    pub fn add_property(&mut self, v: Value, name: NameId) -> AddProp {
+        let old_map = self.object_map(v);
+        let (new_map, offset) = self.maps.transition_add_prop(old_map, name);
+        let needed = self.maps.get(new_map).lines();
+        let mut relocated = None;
+        let mut obj = v;
+        if needed > self.capacity_lines(v) {
+            let old_addr = v.addr();
+            let old_words = self.heap.alloc_words(old_addr);
+            let new_addr = self.heap.alloc(needed as usize * 8, true);
+            for w in 0..old_words {
+                let word = self.heap.read(old_addr + w as u64 * 8);
+                self.heap.write(new_addr + w as u64 * 8, word);
+            }
+            // Initialize the fresh lines.
+            for w in old_words..needed as usize * 8 {
+                if w % 8 == 0 {
+                    continue; // headers written by set_object_map below
+                }
+                self.heap.write_value(new_addr + w as u64 * 8, self.odd.undefined);
+            }
+            self.heap.fix_pointer(&self.maps, old_addr, new_addr);
+            self.heap.free(old_addr);
+            self.heap.note_relocation();
+            self.obj_stats.object_words += (needed as u64 - old_words as u64 / 8) * 8;
+            self.obj_stats.extra_header_words += needed as u64 - old_words as u64 / 8;
+            if old_words / 8 == 1 && needed > 1 {
+                self.obj_stats.multi_line_objects += 1;
+            }
+            relocated = Some((old_addr, new_addr));
+            obj = Value::ptr(new_addr);
+        }
+        self.set_object_map(obj, new_map);
+        AddProp { new_map, offset, relocated }
+    }
+
+    // ----- elements -----
+
+    fn storage_addr(&self, v: Value) -> u64 {
+        self.heap.read_value(v.addr() + ELEMENTS_PTR_WORD as u64 * 8).addr()
+    }
+
+    fn storage_capacity(&self, storage: u64) -> u64 {
+        self.heap.read(storage + 8)
+    }
+
+    /// The elements length (the `length` of arrays).
+    pub fn elements_length(&self, v: Value) -> u64 {
+        self.heap.read(v.addr() + ELEMENTS_LEN_WORD as u64 * 8)
+    }
+
+    /// Set the elements length.
+    pub fn set_elements_length(&mut self, v: Value, len: u64) {
+        self.heap.write(v.addr() + ELEMENTS_LEN_WORD as u64 * 8, len);
+    }
+
+    /// Elements kind of an object (from its map).
+    pub fn elements_kind(&self, v: Value) -> ElemKind {
+        self.maps.get(self.object_map(v)).elements_kind
+    }
+
+    /// Load `obj[index]`.
+    pub fn load_element(&mut self, v: Value, index: i64) -> ElemLoad {
+        let kind = self.elements_kind(v);
+        let storage = self.storage_addr(v);
+        let len = self.elements_length(v) as i64;
+        if index < 0 || index >= len {
+            return ElemLoad {
+                value: self.odd.undefined,
+                slot_addr: storage + 16,
+                storage_addr: storage,
+                boxed_double: false,
+                oob: true,
+                kind,
+            };
+        }
+        let slot_addr = storage + 16 + index as u64 * 8;
+        match kind {
+            ElemKind::Smi | ElemKind::Tagged => ElemLoad {
+                value: self.heap.read_value(slot_addr),
+                slot_addr,
+                storage_addr: storage,
+                boxed_double: false,
+                oob: false,
+                kind,
+            },
+            ElemKind::Double => {
+                let f = f64::from_bits(self.heap.read(slot_addr));
+                let value = self.make_number(f);
+                ElemLoad {
+                    value,
+                    slot_addr,
+                    storage_addr: storage,
+                    boxed_double: value.is_ptr(),
+                    oob: false,
+                    kind,
+                }
+            }
+        }
+    }
+
+    fn required_elem_kind(&self, v: Value) -> ElemKind {
+        match self.kind_of(v) {
+            VKind::Smi => ElemKind::Smi,
+            VKind::Number => ElemKind::Double,
+            _ => ElemKind::Tagged,
+        }
+    }
+
+
+    fn alloc_storage(&mut self, kind: ElemKind, capacity: u64) -> u64 {
+        let map = MapTable::storage_map_for(kind);
+        let a = self.heap.alloc(2 + capacity as usize, false);
+        self.heap.write(a, pack_header(map, self.maps.get(map).class_id, 0));
+        self.heap.write(a + 8, capacity);
+        let fill = self.elem_fill(kind);
+        for i in 0..capacity {
+            self.heap.write(a + 16 + i * 8, fill);
+        }
+        a
+    }
+
+    fn elem_fill(&self, kind: ElemKind) -> u64 {
+        match kind {
+            ElemKind::Smi => Value::smi(0).raw(),
+            ElemKind::Double => 0f64.to_bits(),
+            ElemKind::Tagged => self.odd.undefined.raw(),
+        }
+    }
+
+    /// Store `obj[index] = value`, handling elements-kind transitions,
+    /// backing-store growth and length updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative indices (njs does not support them).
+    pub fn store_element(&mut self, v: Value, index: i64, value: Value) -> ElemStore {
+        assert!(index >= 0, "negative element index");
+        let index = index as u64;
+        let cur_kind = self.elements_kind(v);
+        let want = ElemKind::join(cur_kind, self.required_elem_kind(value));
+        let mut transitioned = None;
+
+        let mut storage = self.storage_addr(v);
+        let mut capacity = self.storage_capacity(storage);
+        let len = self.elements_length(v);
+        let mut grew = false;
+
+        // Kind transition: convert the backing store and transition the
+        // object's map (a hidden-class change, as in V8).
+        if want != cur_kind {
+            let new_map = self.maps.transition_elem_kind(self.object_map(v), want);
+            let new_storage = self.alloc_storage(want, capacity.max(index + 1).max(4));
+            for i in 0..len {
+                let old_slot = storage + 16 + i * 8;
+                let new_slot = new_storage + 16 + i * 8;
+                let word = match (cur_kind, want) {
+                    (ElemKind::Smi, ElemKind::Double) => {
+                        (Value::from_raw(self.heap.read(old_slot)).as_smi() as f64).to_bits()
+                    }
+                    (ElemKind::Smi, ElemKind::Tagged) => self.heap.read(old_slot),
+                    (ElemKind::Double, ElemKind::Tagged) => {
+                        let f = f64::from_bits(self.heap.read(old_slot));
+                        self.make_number(f).raw()
+                    }
+                    other => unreachable!("invalid elements conversion {other:?}"),
+                };
+                self.heap.write(new_slot, word);
+            }
+            if storage != self.empty_elements {
+                self.heap.free(storage);
+            }
+            self.heap
+                .write_value(v.addr() + ELEMENTS_PTR_WORD as u64 * 8, Value::ptr(new_storage));
+            self.set_object_map(v, new_map);
+            transitioned = Some(new_map);
+            storage = new_storage;
+            capacity = self.storage_capacity(storage);
+            grew = true;
+        }
+
+        let kind = self.elements_kind(v);
+        // Growth.
+        if index >= capacity {
+            let new_cap = (capacity * 2).max(index + 1).max(4);
+            let new_storage = self.alloc_storage(kind, new_cap);
+            for i in 0..len {
+                let w = self.heap.read(storage + 16 + i * 8);
+                self.heap.write(new_storage + 16 + i * 8, w);
+            }
+            if storage != self.empty_elements {
+                self.heap.free(storage);
+            }
+            self.heap
+                .write_value(v.addr() + ELEMENTS_PTR_WORD as u64 * 8, Value::ptr(new_storage));
+            storage = new_storage;
+            grew = true;
+        }
+
+        if index >= len {
+            self.set_elements_length(v, index + 1);
+        }
+
+        let slot_addr = storage + 16 + index * 8;
+        let word = match kind {
+            ElemKind::Smi | ElemKind::Tagged => value.raw(),
+            ElemKind::Double => self.to_f64(value).to_bits(),
+        };
+        self.heap.write(slot_addr, word);
+        ElemStore { slot_addr, storage_addr: storage, kind, transitioned, grew }
+    }
+
+    // ----- GC -----
+
+    /// Run a collection with the runtime's permanent roots (oddballs,
+    /// interned strings, the empty store) plus the caller's roots.
+    pub fn collect(&mut self, extra_roots: &[Value]) -> u64 {
+        let mut roots: Vec<Value> = vec![
+            self.odd.undefined,
+            self.odd.null,
+            self.odd.true_v,
+            self.odd.false_v,
+            Value::ptr(self.empty_elements),
+        ];
+        roots.extend(self.strings.heap_addr.iter().flatten().map(|&a| Value::ptr(a)));
+        roots.extend(self.double_consts.values().copied());
+        roots.extend_from_slice(extra_roots);
+        self.heap.collect(&self.maps, &roots)
+    }
+}
+
+/// Format an `f64` the way JavaScript's `ToString` does for the common
+/// cases (integral values print without a decimal point).
+pub fn format_f64(f: f64) -> String {
+    if f.is_nan() {
+        return "NaN".into();
+    }
+    if f.is_infinite() {
+        return if f > 0.0 { "Infinity".into() } else { "-Infinity".into() };
+    }
+    if f == f.trunc() && f.abs() < 1e21 {
+        format!("{}", f as i64)
+    } else {
+        format!("{f}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt() -> Runtime {
+        Runtime::new()
+    }
+
+    #[test]
+    fn oddballs_classify() {
+        let r = rt();
+        assert_eq!(r.kind_of(r.odd.undefined), VKind::Undefined);
+        assert_eq!(r.kind_of(r.odd.null), VKind::Null);
+        assert_eq!(r.kind_of(r.odd.true_v), VKind::Bool(true));
+        assert_eq!(r.kind_of(r.odd.false_v), VKind::Bool(false));
+    }
+
+    #[test]
+    fn truthiness() {
+        let mut r = rt();
+        assert!(!r.is_truthy(Value::smi(0)));
+        assert!(r.is_truthy(Value::smi(1)));
+        assert!(!r.is_truthy(r.odd.undefined));
+        assert!(!r.is_truthy(r.odd.null));
+        assert!(!r.is_truthy(r.odd.false_v));
+        let nan = r.make_number(f64::NAN);
+        assert!(!r.is_truthy(nan));
+        let s_empty = r.string_value("");
+        assert!(!r.is_truthy(s_empty));
+        let s = r.string_value("x");
+        assert!(r.is_truthy(s));
+    }
+
+    #[test]
+    fn numbers_box_and_unbox() {
+        let mut r = rt();
+        assert_eq!(r.make_number(5.0), Value::smi(5));
+        let h = r.make_number(2.5);
+        assert!(h.is_ptr());
+        assert_eq!(r.kind_of(h), VKind::Number);
+        assert_eq!(r.heap_number_value(h), 2.5);
+        assert_eq!(r.to_f64(h), 2.5);
+        assert_eq!(r.to_f64(Value::smi(-3)), -3.0);
+    }
+
+    #[test]
+    fn string_coercions() {
+        let mut r = rt();
+        let s = r.string_value("12.5");
+        assert_eq!(r.to_f64(s), 12.5);
+        let e = r.string_value("");
+        assert_eq!(r.to_f64(e), 0.0);
+        let b = r.string_value("nope");
+        assert!(r.to_f64(b).is_nan());
+        assert_eq!(r.to_display_string(Value::smi(7)), "7");
+        let h = r.make_number(1.5);
+        assert_eq!(r.to_display_string(h), "1.5");
+        let big = r.make_number(3e9);
+        assert_eq!(r.to_display_string(big), "3000000000");
+    }
+
+    #[test]
+    fn string_identity_is_content() {
+        let mut r = rt();
+        let a = r.string_value("hello");
+        let b = r.string_value("hello");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn functions_roundtrip() {
+        let mut r = rt();
+        let f = r.alloc_function(FuncRef::User(42));
+        assert_eq!(r.kind_of(f), VKind::Func);
+        assert_eq!(r.func_ref(f), FuncRef::User(42));
+    }
+
+    #[test]
+    fn object_allocation_layout() {
+        let mut r = rt();
+        let root = r.maps.new_constructor_root("T");
+        let obj = r.alloc_object(root, 1);
+        assert_eq!(obj.addr() % 64, 0);
+        assert_eq!(r.object_map(obj), root);
+        let (cid, line) = r.header_class_line(obj.addr());
+        assert_eq!(cid, r.maps.get(root).class_id.unwrap().raw());
+        assert_eq!(line, 0);
+        // Properties initialized to undefined; elements empty.
+        assert_eq!(r.load_slot(obj, 1), r.odd.undefined);
+        assert_eq!(r.elements_length(obj), 0);
+        assert_eq!(r.obj_stats.objects, 1);
+    }
+
+    #[test]
+    fn add_property_transitions_and_stores() {
+        let mut r = rt();
+        let root = r.maps.new_constructor_root("T");
+        let obj = r.alloc_object(root, 1);
+        let x = r.names.intern("x");
+        let res = r.add_property(obj, x);
+        assert!(res.relocated.is_none());
+        assert_eq!(res.offset, 1);
+        r.store_slot(obj, res.offset, Value::smi(9));
+        assert_eq!(r.load_slot(obj, 1).as_smi(), 9);
+        assert_eq!(r.object_map(obj), res.new_map);
+        // Header class id updated.
+        let (cid, _) = r.header_class_line(obj.addr());
+        assert_eq!(cid, r.maps.get(res.new_map).class_id.unwrap().raw());
+    }
+
+    #[test]
+    fn add_sixth_property_relocates() {
+        let mut r = rt();
+        let root = r.maps.new_constructor_root("T");
+        let mut obj = r.alloc_object(root, 1);
+        let names: Vec<NameId> = (0..6).map(|i| r.names.intern(&format!("p{i}"))).collect();
+        for (i, &n) in names.iter().enumerate() {
+            let res = r.add_property(obj, n);
+            if let Some((old, new)) = res.relocated {
+                assert_eq!(i, 5, "relocation exactly at the 6th property");
+                assert_eq!(old, obj.addr());
+                obj = Value::ptr(new);
+            }
+            r.store_slot(obj, res.offset, Value::smi(i as i32));
+        }
+        assert_eq!(r.capacity_lines(obj), 2);
+        // All six properties readable; 6th lives in line 1 (offset 9).
+        let m = r.object_map(obj);
+        for (i, &n) in names.iter().enumerate() {
+            let off = r.maps.get(m).offset_of(n).unwrap();
+            assert_eq!(r.load_slot(obj, off).as_smi(), i as i32);
+            if i == 5 {
+                assert_eq!(off, 9);
+            }
+        }
+        // Line-1 header carries line byte 1.
+        let (_, line) = r.header_class_line(obj.addr() + 64);
+        assert_eq!(line, 1);
+        assert_eq!(r.heap.stats().relocations, 1);
+    }
+
+    #[test]
+    fn relocation_fixes_heap_references() {
+        let mut r = rt();
+        let root = r.maps.new_constructor_root("T");
+        let holder_root = r.maps.new_constructor_root("H");
+        let holder = r.alloc_object(holder_root, 1);
+        let mut obj = r.alloc_object(root, 1);
+        // holder.ref = obj
+        let refname = r.names.intern("r");
+        let res = r.add_property(holder, refname);
+        r.store_slot(holder, res.offset, obj);
+        // Grow obj past one line.
+        for i in 0..6 {
+            let n = r.names.intern(&format!("q{i}"));
+            let res = r.add_property(obj, n);
+            if let Some((_, new)) = res.relocated {
+                obj = Value::ptr(new);
+            }
+            r.store_slot(obj, res.offset, Value::smi(1));
+        }
+        // holder's reference was fixed by the heap-wide scan.
+        let held = r.load_slot(holder, 1);
+        assert_eq!(held, obj);
+    }
+
+    #[test]
+    fn elements_smi_roundtrip_and_growth() {
+        let mut r = rt();
+        let arr = r.alloc_object(fixed::ARRAY_ROOT, 1);
+        let st = r.store_element(arr, 0, Value::smi(5));
+        assert_eq!(st.kind, ElemKind::Smi);
+        assert!(st.grew);
+        assert!(st.transitioned.is_none());
+        assert_eq!(r.elements_length(arr), 1);
+        let ld = r.load_element(arr, 0);
+        assert_eq!(ld.value.as_smi(), 5);
+        assert!(!ld.oob);
+        // Write far past the end: grows and fills with 0.
+        r.store_element(arr, 10, Value::smi(7));
+        assert_eq!(r.elements_length(arr), 11);
+        assert_eq!(r.load_element(arr, 5).value.as_smi(), 0);
+        // OOB read.
+        let oob = r.load_element(arr, 100);
+        assert!(oob.oob);
+        assert_eq!(oob.value, r.odd.undefined);
+    }
+
+    #[test]
+    fn elements_transition_smi_to_double() {
+        let mut r = rt();
+        let arr = r.alloc_object(fixed::ARRAY_ROOT, 1);
+        r.store_element(arr, 0, Value::smi(1));
+        let before = r.object_map(arr);
+        let h = r.make_number(0.5);
+        let st = r.store_element(arr, 1, h);
+        assert_eq!(st.kind, ElemKind::Double);
+        assert!(st.transitioned.is_some());
+        assert_ne!(r.object_map(arr), before, "kind change is a map change");
+        // Existing smi converted; loads rebox.
+        assert_eq!(r.load_element(arr, 0).value.as_smi(), 1);
+        let l1 = r.load_element(arr, 1);
+        assert!(l1.boxed_double);
+        assert_eq!(r.heap_number_value(l1.value), 0.5);
+    }
+
+    #[test]
+    fn elements_transition_double_to_tagged() {
+        let mut r = rt();
+        let arr = r.alloc_object(fixed::ARRAY_ROOT, 1);
+        let h = r.make_number(1.5);
+        r.store_element(arr, 0, h);
+        assert_eq!(r.elements_kind(arr), ElemKind::Double);
+        let s = r.string_value("x");
+        r.store_element(arr, 1, s);
+        assert_eq!(r.elements_kind(arr), ElemKind::Tagged);
+        // Doubles were boxed during conversion.
+        let l0 = r.load_element(arr, 0);
+        assert_eq!(r.heap_number_value(l0.value), 1.5);
+        assert_eq!(r.load_element(arr, 1).value, s);
+    }
+
+    #[test]
+    fn elements_transition_smi_to_tagged_directly() {
+        let mut r = rt();
+        let arr = r.alloc_object(fixed::ARRAY_ROOT, 1);
+        r.store_element(arr, 0, Value::smi(3));
+        let obj = r.alloc_object(fixed::OBJECT_LITERAL_ROOT, 1);
+        r.store_element(arr, 1, obj);
+        assert_eq!(r.elements_kind(arr), ElemKind::Tagged);
+        assert_eq!(r.load_element(arr, 0).value.as_smi(), 3);
+        assert_eq!(r.load_element(arr, 1).value, obj);
+    }
+
+    #[test]
+    fn gc_keeps_object_graphs_alive() {
+        let mut r = rt();
+        let root = r.maps.new_constructor_root("N");
+        let a = r.alloc_object(root, 1);
+        let b = r.alloc_object(root, 1);
+        let next = r.names.intern("next");
+        let res = r.add_property(a, next);
+        r.store_slot(a, res.offset, b);
+        // Unreachable garbage.
+        for _ in 0..10 {
+            let _ = r.alloc_object(root, 1);
+        }
+        let freed = r.collect(&[a]);
+        assert!(freed >= 10 * 8, "garbage reclaimed (freed {freed} words)");
+        // Graph intact.
+        assert_eq!(r.load_slot(a, 1), b);
+        assert_eq!(r.object_map(b), root);
+    }
+
+    #[test]
+    fn gc_preserves_interned_strings_and_oddballs() {
+        let mut r = rt();
+        let s = r.string_value("keep");
+        r.collect(&[]);
+        assert_eq!(r.kind_of(s), VKind::Str);
+        assert_eq!(r.strings.text(r.str_id(s)), "keep");
+        assert_eq!(r.kind_of(r.odd.true_v), VKind::Bool(true));
+    }
+
+    #[test]
+    fn class_id_of_value_matches_paper_encoding() {
+        let mut r = rt();
+        assert_eq!(r.class_id_of_value(Value::smi(1)), Some(ClassId::SMI));
+        let root = r.maps.new_constructor_root("T");
+        let obj = r.alloc_object(root, 1);
+        assert_eq!(r.class_id_of_value(obj), r.maps.get(root).class_id);
+    }
+
+    #[test]
+    fn prng_is_deterministic() {
+        let mut a = rt();
+        let mut b = rt();
+        let xs: Vec<f64> = (0..5).map(|_| a.random_f64()).collect();
+        let ys: Vec<f64> = (0..5).map(|_| b.random_f64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+        a.reset_prng();
+        assert_eq!(a.random_f64(), xs[0]);
+    }
+
+    #[test]
+    fn format_f64_matches_js_common_cases() {
+        assert_eq!(format_f64(1.0), "1");
+        assert_eq!(format_f64(-3.0), "-3");
+        assert_eq!(format_f64(1.5), "1.5");
+        assert_eq!(format_f64(f64::NAN), "NaN");
+        assert_eq!(format_f64(f64::INFINITY), "Infinity");
+    }
+
+    use crate::maps::fixed;
+    use crate::names::NameId;
+}

@@ -1,0 +1,94 @@
+//! Interned string contents.
+//!
+//! String *contents* live in a native intern table; each distinct content
+//! gets one simulated heap object (`[header, id | len<<32]`), so value
+//! identity coincides with content equality. This makes `===` on strings a
+//! pointer compare, like interned strings in production VMs.
+
+use std::collections::HashMap;
+
+/// Interned string id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StrId(pub u32);
+
+/// The string intern table.
+#[derive(Debug, Default)]
+pub struct StringTable {
+    by_text: HashMap<String, StrId>,
+    texts: Vec<String>,
+    /// Simulated heap address of each string's object, once allocated.
+    pub heap_addr: Vec<Option<u64>>,
+}
+
+impl StringTable {
+    /// Empty table.
+    pub fn new() -> StringTable {
+        StringTable::default()
+    }
+
+    /// Intern `text`.
+    pub fn intern(&mut self, text: &str) -> StrId {
+        if let Some(&id) = self.by_text.get(text) {
+            return id;
+        }
+        let id = StrId(self.texts.len() as u32);
+        self.texts.push(text.to_string());
+        self.by_text.insert(text.to_string(), id);
+        self.heap_addr.push(None);
+        id
+    }
+
+    /// Content of an interned string.
+    pub fn text(&self, id: StrId) -> &str {
+        &self.texts[id.0 as usize]
+    }
+
+    /// Length in bytes (njs strings are ASCII in practice).
+    pub fn len(&self, id: StrId) -> usize {
+        self.texts[id.0 as usize].len()
+    }
+
+    /// Whether the table has no strings.
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+
+    /// Number of distinct strings.
+    pub fn count(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// Pack the payload word of a string heap object.
+    pub fn pack_payload(id: StrId, len: usize) -> u64 {
+        (id.0 as u64) | ((len as u64) << 32)
+    }
+
+    /// Unpack `(id, len)` from a string object payload word.
+    pub fn unpack_payload(word: u64) -> (StrId, usize) {
+        (StrId(word as u32), (word >> 32) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedupes() {
+        let mut t = StringTable::new();
+        let a = t.intern("hi");
+        let b = t.intern("hi");
+        let c = t.intern("ho");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.text(a), "hi");
+        assert_eq!(t.len(c), 2);
+        assert_eq!(t.count(), 2);
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let w = StringTable::pack_payload(StrId(7), 42);
+        assert_eq!(StringTable::unpack_payload(w), (StrId(7), 42));
+    }
+}

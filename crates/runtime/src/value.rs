@@ -1,0 +1,157 @@
+//! Tagged values, mirroring V8's SMI/pointer boxing (§3.3).
+//!
+//! A [`Value`] is one 64-bit word:
+//!
+//! * **SMI** (small integer): the least-significant bit is `0` and the
+//!   32-bit integer payload lives in the 32 most-significant bits — exactly
+//!   the layout the paper describes ("the value is located in the 32 most
+//!   significant bits of the register and the last bit is set to 0").
+//! * **Pointer**: the least-significant bit is `1`; clearing it yields the
+//!   simulated heap address. Everything that is not a SMI is a heap object:
+//!   doubles are boxed `HeapNumber`s, and `true`/`false`/`null`/`undefined`
+//!   are preallocated oddball objects.
+
+use std::fmt;
+
+/// A tagged 64-bit value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Value(u64);
+
+impl Value {
+    /// Box a 32-bit integer as a SMI.
+    #[inline]
+    pub fn smi(v: i32) -> Value {
+        Value(((v as u32) as u64) << 32)
+    }
+
+    /// Tag a heap address as a pointer value.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `addr` is not 8-byte aligned.
+    #[inline]
+    pub fn ptr(addr: u64) -> Value {
+        debug_assert_eq!(addr & 7, 0, "heap addresses are word aligned");
+        Value(addr | 1)
+    }
+
+    /// Whether the tag bit says SMI.
+    #[inline]
+    pub fn is_smi(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Whether this is a heap pointer.
+    #[inline]
+    pub fn is_ptr(self) -> bool {
+        !self.is_smi()
+    }
+
+    /// The SMI payload.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the value is not a SMI.
+    #[inline]
+    pub fn as_smi(self) -> i32 {
+        debug_assert!(self.is_smi());
+        (self.0 >> 32) as u32 as i32
+    }
+
+    /// The heap address.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the value is a SMI.
+    #[inline]
+    pub fn addr(self) -> u64 {
+        debug_assert!(self.is_ptr());
+        self.0 & !1
+    }
+
+    /// The raw tagged word (as stored in object slots).
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstruct from a raw tagged word.
+    #[inline]
+    pub fn from_raw(raw: u64) -> Value {
+        Value(raw)
+    }
+
+    /// Whether an `f64` is representable as a SMI (integral, in i32 range,
+    /// and not negative zero).
+    #[inline]
+    pub fn f64_fits_smi(v: f64) -> bool {
+        v.trunc() == v
+            && v >= i32::MIN as f64
+            && v <= i32::MAX as f64
+            && !(v == 0.0 && v.is_sign_negative())
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_smi() {
+            write!(f, "Smi({})", self.as_smi())
+        } else {
+            write!(f, "Ptr({:#x})", self.addr())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smi_roundtrip() {
+        for v in [0, 1, -1, 42, i32::MAX, i32::MIN] {
+            let val = Value::smi(v);
+            assert!(val.is_smi());
+            assert_eq!(val.as_smi(), v);
+            // The LSB really is 0.
+            assert_eq!(val.raw() & 1, 0);
+            // Payload in the high 32 bits.
+            assert_eq!((val.raw() >> 32) as u32, v as u32);
+        }
+    }
+
+    #[test]
+    fn ptr_roundtrip() {
+        let val = Value::ptr(0x1000_0040);
+        assert!(val.is_ptr());
+        assert!(!val.is_smi());
+        assert_eq!(val.addr(), 0x1000_0040);
+        assert_eq!(val.raw() & 1, 1);
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let v = Value::smi(-7);
+        assert_eq!(Value::from_raw(v.raw()), v);
+        let p = Value::ptr(64);
+        assert_eq!(Value::from_raw(p.raw()), p);
+    }
+
+    #[test]
+    fn f64_smi_representability() {
+        assert!(Value::f64_fits_smi(0.0));
+        assert!(Value::f64_fits_smi(5.0));
+        assert!(Value::f64_fits_smi(-5.0));
+        assert!(!Value::f64_fits_smi(0.5));
+        assert!(!Value::f64_fits_smi(-0.0), "negative zero is a HeapNumber");
+        assert!(!Value::f64_fits_smi(2147483648.0), "i32::MAX + 1");
+        assert!(Value::f64_fits_smi(-2147483648.0));
+        assert!(!Value::f64_fits_smi(f64::NAN));
+        assert!(!Value::f64_fits_smi(f64::INFINITY));
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", Value::smi(3)), "Smi(3)");
+        assert_eq!(format!("{:?}", Value::ptr(0x40)), "Ptr(0x40)");
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based tests for the object model.
+
+use checkelide_runtime::{numops, ElemKind, Runtime, Value};
+use proptest::prelude::*;
+
+proptest! {
+    /// SMI tagging round-trips for every i32, with the paper's layout
+    /// (payload in the high 32 bits, tag bit 0 clear).
+    #[test]
+    fn smi_roundtrip(v in any::<i32>()) {
+        let tagged = Value::smi(v);
+        prop_assert!(tagged.is_smi());
+        prop_assert_eq!(tagged.as_smi(), v);
+        prop_assert_eq!(tagged.raw() & 1, 0);
+        prop_assert_eq!((tagged.raw() >> 32) as u32 as i32, v);
+    }
+
+    /// Number boxing round-trips every finite double, choosing SMI exactly
+    /// for i32-representable non-negative-zero values.
+    #[test]
+    fn number_boxing_roundtrip(f in any::<f64>()) {
+        let mut rt = Runtime::new();
+        let v = rt.make_number(f);
+        let back = rt.to_f64(v);
+        if f.is_nan() {
+            prop_assert!(back.is_nan());
+        } else {
+            prop_assert_eq!(back, f);
+            prop_assert_eq!(v.is_smi(), Value::f64_fits_smi(f));
+        }
+    }
+
+    /// Hidden-class confluence: the same property-insertion order yields
+    /// the same map; any difference in order yields a different map.
+    #[test]
+    fn hidden_class_transitions_deterministic(
+        names in proptest::collection::vec("[a-f]", 1..6),
+    ) {
+        let mut rt = Runtime::new();
+        let root = rt.maps.new_constructor_root("T");
+        let build = |rt: &mut Runtime| {
+            let mut obj = rt.alloc_object(root, 4);
+            for n in &names {
+                let id = rt.names.intern(n);
+                if rt.maps.get(rt.object_map(obj)).offset_of(id).is_some() {
+                    continue;
+                }
+                let add = rt.add_property(obj, id);
+                if let Some((_, new)) = add.relocated {
+                    obj = Value::ptr(new);
+                }
+                rt.store_slot(obj, add.offset, Value::smi(1));
+            }
+            rt.object_map(obj)
+        };
+        let m1 = build(&mut rt);
+        let m2 = build(&mut rt);
+        prop_assert_eq!(m1, m2, "same insertion order must share the hidden class");
+    }
+
+    /// Element stores/loads round-trip across kind transitions.
+    #[test]
+    fn elements_roundtrip(values in proptest::collection::vec(
+        prop_oneof![
+            any::<i32>().prop_map(|v| (0u8, v as f64)),
+            any::<i16>().prop_map(|v| (1u8, v as f64 / 8.0)),
+            (0u8..26).prop_map(|c| (2u8, c as f64)),
+        ],
+        1..40,
+    )) {
+        let mut rt = Runtime::new();
+        let arr = rt.alloc_object(checkelide_runtime::maps::fixed::ARRAY_ROOT, 1);
+        let mut expect: Vec<(u8, f64, Option<String>)> = Vec::new();
+        for (i, &(kind, num)) in values.iter().enumerate() {
+            match kind {
+                0 => {
+                    let v = Value::smi(num as i32);
+                    rt.store_element(arr, i as i64, v);
+                    expect.push((0, num as i32 as f64, None));
+                }
+                1 => {
+                    let v = rt.make_number(num);
+                    rt.store_element(arr, i as i64, v);
+                    expect.push((1, num, None));
+                }
+                _ => {
+                    let s = format!("s{}", num as u8 as char);
+                    let v = rt.string_value(&s);
+                    rt.store_element(arr, i as i64, v);
+                    expect.push((2, 0.0, Some(s)));
+                }
+            }
+        }
+        prop_assert_eq!(rt.elements_length(arr), values.len() as u64);
+        for (i, (kind, num, s)) in expect.iter().enumerate() {
+            let got = rt.load_element(arr, i as i64).value;
+            match kind {
+                0 | 1 => prop_assert_eq!(rt.to_f64(got), *num),
+                _ => prop_assert_eq!(rt.to_display_string(got), s.clone().unwrap()),
+            }
+        }
+    }
+
+    /// GC never corrupts a reachable object graph.
+    #[test]
+    fn gc_preserves_reachable_graph(seed in any::<u64>(), churn in 1usize..60) {
+        let mut rt = Runtime::new();
+        let root_map = rt.maps.new_constructor_root("N");
+        let name_v = rt.names.intern("v");
+        let name_next = rt.names.intern("next");
+
+        // Build a linked list with deterministic values.
+        let mut rng = seed;
+        let mut next_rand = || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng >> 33) as i32
+        };
+        let n = 10;
+        let mut head = rt.odd.null;
+        let mut expected = Vec::new();
+        for _ in 0..n {
+            let val = next_rand() & 0xffff;
+            expected.push(val);
+            let node = rt.alloc_object(root_map, 1);
+            let a = rt.add_property(node, name_v);
+            rt.store_slot(node, a.offset, Value::smi(val));
+            let a = rt.add_property(node, name_next);
+            rt.store_slot(node, a.offset, head);
+            head = node;
+        }
+        expected.reverse();
+
+        // Allocate garbage and collect repeatedly.
+        for _ in 0..churn {
+            let _ = rt.alloc_object(root_map, 2);
+        }
+        rt.collect(&[head]);
+        for _ in 0..churn {
+            let _ = rt.alloc_object(root_map, 1);
+        }
+        rt.collect(&[head]);
+
+        // Walk the list and compare.
+        let map = rt.object_map(head);
+        let off_v = rt.maps.get(map).offset_of(name_v).unwrap();
+        let off_next = rt.maps.get(map).offset_of(name_next).unwrap();
+        // Walking from the head visits nodes in reverse insertion order,
+        // matching the reversed `expected`.
+        let mut cur = head;
+        let mut got = Vec::new();
+        for _ in 0..n {
+            got.push(rt.load_slot(cur, off_v).as_smi());
+            cur = rt.load_slot(cur, off_next);
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Arithmetic agrees with f64 semantics on the numeric domain.
+    #[test]
+    fn numeric_ops_match_f64(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+        let mut rt = Runtime::new();
+        let va = rt.make_number(a);
+        let vb = rt.make_number(b);
+        let (sum, _) = numops::add(&mut rt, va, vb);
+        prop_assert_eq!(rt.to_f64(sum), a + b);
+        let (prod, _) = numops::mul(&mut rt, va, vb);
+        prop_assert_eq!(rt.to_f64(prod), a * b);
+        let (quot, _) = numops::div(&mut rt, va, vb);
+        prop_assert_eq!(rt.to_f64(quot), a / b);
+        let (lt, _) = numops::compare(&rt, numops::CmpOp::Lt, va, vb);
+        prop_assert_eq!(lt, a < b);
+    }
+
+    /// `ToInt32` matches the ECMAScript definition.
+    #[test]
+    fn to_int32_spec(f in -1e18f64..1e18) {
+        let mut rt = Runtime::new();
+        let v = rt.make_number(f);
+        let got = numops::to_int32(&rt, v);
+        let expected = (f.trunc() as i64 as u64) as u32 as i32;
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Elements-kind joins are commutative, associative and idempotent.
+    #[test]
+    fn elem_kind_lattice(a in 0u8..3, b in 0u8..3, c in 0u8..3) {
+        let k = |x: u8| match x {
+            0 => ElemKind::Smi,
+            1 => ElemKind::Double,
+            _ => ElemKind::Tagged,
+        };
+        let (a, b, c) = (k(a), k(b), k(c));
+        prop_assert_eq!(ElemKind::join(a, b), ElemKind::join(b, a));
+        prop_assert_eq!(
+            ElemKind::join(a, ElemKind::join(b, c)),
+            ElemKind::join(ElemKind::join(a, b), c)
+        );
+        prop_assert_eq!(ElemKind::join(a, a), a);
+        prop_assert!(ElemKind::join(a, b).generalizes(a));
+    }
+}

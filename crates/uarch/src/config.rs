@@ -1,0 +1,154 @@
+//! Simulated core configuration (Table 2 of the paper).
+
+use checkelide_core::ClassCacheConfig;
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total size in bytes.
+    pub size: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line: usize,
+}
+
+impl CacheGeometry {
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size / (self.ways * self.line)
+    }
+}
+
+/// The microarchitectural configuration (defaults reproduce Table 2:
+/// a Nehalem-like core).
+#[derive(Debug, Clone, Copy)]
+pub struct CoreConfig {
+    /// Fetch/issue width.
+    pub issue_width: u64,
+    /// Instruction window (ROB) size.
+    pub window_size: usize,
+    /// Instruction issue queue (modelled as an additional in-flight cap).
+    pub issue_queue: usize,
+    /// Maximum outstanding loads/stores.
+    pub outstanding_mem: usize,
+    /// L1 load-to-use latency in cycles.
+    pub l1_latency: u64,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u64,
+    /// Main-memory latency in cycles.
+    pub mem_latency: u64,
+    /// Instruction L1.
+    pub il1: CacheGeometry,
+    /// Data L1.
+    pub dl1: CacheGeometry,
+    /// Unified L2.
+    pub l2: CacheGeometry,
+    /// Instruction TLB entries.
+    pub itlb_entries: usize,
+    /// Data TLB entries.
+    pub dtlb_entries: usize,
+    /// TLB miss (page-walk) penalty in cycles.
+    pub tlb_miss_penalty: u64,
+    /// Branch misprediction penalty in cycles.
+    pub mispredict_penalty: u64,
+    /// Class Cache geometry (Table 2: 128 entries, 2-way).
+    pub class_cache: ClassCacheConfig,
+}
+
+impl CoreConfig {
+    /// The paper's Table 2 configuration.
+    pub fn nehalem() -> CoreConfig {
+        CoreConfig {
+            issue_width: 4,
+            window_size: 128,
+            issue_queue: 36,
+            outstanding_mem: 10,
+            l1_latency: 2,
+            l2_latency: 12,
+            mem_latency: 180,
+            il1: CacheGeometry { size: 32 << 10, ways: 4, line: 64 },
+            dl1: CacheGeometry { size: 32 << 10, ways: 8, line: 64 },
+            l2: CacheGeometry { size: 256 << 10, ways: 8, line: 64 },
+            itlb_entries: 128,
+            dtlb_entries: 256,
+            tlb_miss_penalty: 30,
+            mispredict_penalty: 15,
+            class_cache: ClassCacheConfig { entries: 128, ways: 2 },
+        }
+    }
+
+    /// Render the Table 2 rows.
+    pub fn table2(&self) -> String {
+        format!(
+            "Issue width              {}\n\
+             Instruction Issue queue  {} entries\n\
+             Window size              {}\n\
+             Outstanding load/stores  {}\n\
+             L1 load latency          {} cycles\n\
+             Itlb                     {} entries\n\
+             Dtlb                     {} entries\n\
+             Il1 cache                {} KB, {}-way\n\
+             Dl1 cache                {} KB, {}-way\n\
+             L2 cache                 {} KB, {}-way\n\
+             Class Cache              {} entries, {}-way\n",
+            self.issue_width,
+            self.issue_queue,
+            self.window_size,
+            self.outstanding_mem,
+            self.l1_latency,
+            self.itlb_entries,
+            self.dtlb_entries,
+            self.il1.size >> 10,
+            self.il1.ways,
+            self.dl1.size >> 10,
+            self.dl1.ways,
+            self.l2.size >> 10,
+            self.l2.ways,
+            self.class_cache.entries,
+            self.class_cache.ways,
+        )
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::nehalem()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nehalem_matches_table2() {
+        let c = CoreConfig::nehalem();
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.issue_queue, 36);
+        assert_eq!(c.window_size, 128);
+        assert_eq!(c.outstanding_mem, 10);
+        assert_eq!(c.l1_latency, 2);
+        assert_eq!(c.itlb_entries, 128);
+        assert_eq!(c.dtlb_entries, 256);
+        assert_eq!(c.il1.size, 32 << 10);
+        assert_eq!(c.il1.ways, 4);
+        assert_eq!(c.dl1.ways, 8);
+        assert_eq!(c.l2.size, 256 << 10);
+        assert_eq!(c.class_cache.entries, 128);
+    }
+
+    #[test]
+    fn geometry_sets() {
+        let g = CacheGeometry { size: 32 << 10, ways: 8, line: 64 };
+        assert_eq!(g.sets(), 64);
+    }
+
+    #[test]
+    fn table2_renders_all_rows() {
+        let t = CoreConfig::nehalem().table2();
+        assert!(t.contains("Issue width              4"));
+        assert!(t.contains("Class Cache              128 entries, 2-way"));
+        assert_eq!(t.lines().count(), 11);
+    }
+}

@@ -1,0 +1,117 @@
+//! Activity-based energy model (McPAT/CACTI substitute).
+//!
+//! Energy = Σ per-event dynamic energies + leakage power × cycles. The
+//! constants are Nehalem-class estimates in picojoules; the paper's energy
+//! result depends only on the *relative* contributions (fewer instructions
+//! → less dynamic energy; fewer cycles → less leakage), which this model
+//! reproduces.
+
+use checkelide_isa::uop::UopKind;
+
+/// Per-event energies in picojoules.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyParams {
+    /// Simple integer op.
+    pub alu: f64,
+    /// Integer multiply.
+    pub mul: f64,
+    /// Integer divide.
+    pub div: f64,
+    /// FP add/sub.
+    pub fp_add: f64,
+    /// FP multiply.
+    pub fp_mul: f64,
+    /// FP divide/sqrt.
+    pub fp_div: f64,
+    /// Load/store pipeline overhead (excl. cache access).
+    pub mem_op: f64,
+    /// Branch.
+    pub branch: f64,
+    /// Register move / immediate.
+    pub mov: f64,
+    /// Fetch+decode+rename+retire overhead per µop.
+    pub pipeline: f64,
+    /// DL1/IL1 access.
+    pub l1_access: f64,
+    /// L2 access.
+    pub l2_access: f64,
+    /// DRAM access.
+    pub mem_access: f64,
+    /// TLB access.
+    pub tlb_access: f64,
+    /// Class Cache access (CACTI for a < 1.5 KB structure: tiny, §5.4).
+    pub class_cache_access: f64,
+    /// Static leakage per cycle.
+    pub leakage_per_cycle: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            alu: 12.0,
+            mul: 25.0,
+            div: 60.0,
+            fp_add: 25.0,
+            fp_mul: 30.0,
+            fp_div: 80.0,
+            mem_op: 15.0,
+            branch: 10.0,
+            mov: 6.0,
+            pipeline: 22.0,
+            l1_access: 25.0,
+            l2_access: 90.0,
+            mem_access: 1800.0,
+            tlb_access: 6.0,
+            class_cache_access: 2.5,
+            leakage_per_cycle: 350.0,
+        }
+    }
+}
+
+impl EnergyParams {
+    /// Execution energy of one µop (excluding cache/TLB events, which are
+    /// charged separately).
+    pub fn uop_energy(&self, kind: UopKind) -> f64 {
+        let exec = match kind {
+            UopKind::Alu => self.alu,
+            UopKind::Mul => self.mul,
+            UopKind::Div => self.div,
+            UopKind::FpAdd => self.fp_add,
+            UopKind::FpMul => self.fp_mul,
+            UopKind::FpDiv => self.fp_div,
+            UopKind::Load | UopKind::Store => self.mem_op,
+            UopKind::Branch | UopKind::Jump => self.branch,
+            UopKind::Move => self.mov,
+            UopKind::MovClassId | UopKind::MovClassIdArray => self.mem_op,
+            UopKind::MovStoreClassCache | UopKind::MovStoreClassCacheArray => {
+                self.mem_op + self.class_cache_access
+            }
+        };
+        exec + self.pipeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energies_are_positive_and_ordered() {
+        let p = EnergyParams::default();
+        assert!(p.uop_energy(UopKind::Div) > p.uop_energy(UopKind::Alu));
+        assert!(p.uop_energy(UopKind::FpDiv) > p.uop_energy(UopKind::FpAdd));
+        assert!(p.uop_energy(UopKind::Move) > 0.0);
+        // The Class Cache access energy is small relative to a DL1 access
+        // (§5.4: negligible impact).
+        assert!(p.class_cache_access < p.l1_access / 5.0);
+    }
+
+    #[test]
+    fn class_cache_stores_cost_slightly_more_than_plain_stores() {
+        let p = EnergyParams::default();
+        let plain = p.uop_energy(UopKind::Store);
+        let cc = p.uop_energy(UopKind::MovStoreClassCache);
+        assert!(cc > plain);
+        assert!(cc - plain < 5.0);
+    }
+}

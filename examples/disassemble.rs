@@ -1,0 +1,46 @@
+//! Peek inside the pipeline: compile a function and show its bytecode,
+//! feedback and the µops the two tiers retire for one call.
+//!
+//!     cargo run --release --example disassemble
+
+use checkelide::engine::{EngineConfig, Mechanism, Vm};
+use checkelide::isa::trace::VecSink;
+use checkelide::isa::uop::Region;
+use checkelide::isa::NullSink;
+use checkelide::runtime::Value;
+
+const SRC: &str = "function Vec(x, y) { this.x = x; this.y = y; }
+function dot(a, b) { return a.x * b.x + a.y * b.y; }
+var u = new Vec(3, 4);
+var v = new Vec(5, 6);
+var r = 0;
+for (var i = 0; i < 40; i++) r = dot(u, v);";
+
+fn main() {
+    let mut vm = Vm::new(EngineConfig { mechanism: Mechanism::Full, ..Default::default() });
+    checkelide::opt::install_optimizer(&mut vm);
+    let mut sink = NullSink::new();
+    vm.run_program(SRC, &mut sink).unwrap();
+
+    let dot_ix = vm.funcs.iter().position(|f| f.decl.name == "dot").unwrap() as u32;
+    let bc = vm.ensure_bytecode(dot_ix);
+    println!("=== bytecode ===\n{}", bc.disassemble());
+
+    // One traced call through the optimized tier.
+    let (u, v) = (vm.global_value("u").unwrap(), vm.global_value("v").unwrap());
+    let mut trace = VecSink::new();
+    let f = vm.function_value(dot_ix);
+    let undef = vm.rt.odd.undefined;
+    let r = vm.call_value(&mut trace, f, undef, &[u, v]).unwrap();
+    println!("dot(u, v) = {}", vm.rt.to_display_string(r));
+    println!("=== optimized-tier µops for one call ===");
+    for u in trace.uops.iter().filter(|u| u.region == Region::Optimized) {
+        println!(
+            "  {:<24} {:<16} mem={:?}",
+            format!("{:?}", u.kind),
+            format!("{:?}", u.category),
+            u.mem.map(|m| m.addr)
+        );
+    }
+    let _ = Value::smi(0);
+}

@@ -1,0 +1,30 @@
+//! A domain scenario: grid pathfinding (the paper's headline ai-astar
+//! workload) measured under the cycle-level core model, baseline vs the
+//! full mechanism — a miniature Figure 8 for one application.
+//!
+//!     cargo run --release --example pathfinder
+
+use checkelide_bench::{find, run_benchmark, RunConfig};
+
+fn main() {
+    let b = find("ai-astar").expect("benchmark registered");
+    println!("running {} (10 iterations, stats from the 10th)…", b.name);
+
+    let base = run_benchmark(b, RunConfig::baseline_timed());
+    let full = run_benchmark(b, RunConfig::mechanism_timed());
+    assert_eq!(base.checksum, full.checksum, "semantics must not change");
+
+    let bs = base.sim.as_ref().unwrap();
+    let fs = full.sim.as_ref().unwrap();
+    println!("checksum             = {}", base.checksum);
+    println!("dynamic instructions = {} -> {}", base.uops, full.uops);
+    println!("cycles               = {} -> {}", bs.cycles, fs.cycles);
+    println!("speedup              = {:.1}%", bs.speedup_pct_over(fs));
+    println!("energy reduction     = {:.1}%", bs.energy_reduction_pct(fs));
+    println!("DL1 hit rate         = {:.4} -> {:.4}", bs.dl1.hit_rate(), fs.dl1.hit_rate());
+    println!("class cache hit rate = {:.5}", full.class_cache.hit_rate());
+    println!(
+        "misspeculations      = {} (types are stable in this workload)",
+        full.vm_stats.misspec_exceptions
+    );
+}

@@ -1,0 +1,48 @@
+//! Quickstart: run a dynamically typed program under the full Class Cache
+//! mechanism and inspect what the machinery did.
+//!
+//!     cargo run --release --example quickstart
+
+use checkelide::Session;
+
+fn main() {
+    let mut session = Session::full();
+    session
+        .eval(
+            "function Point(x, y) { this.x = x; this.y = y; }
+             function centroid(points, n) {
+                 var sx = 0, sy = 0;
+                 for (var i = 0; i < n; i++) {
+                     var p = points[i];
+                     sx += p.x;
+                     sy += p.y;
+                 }
+                 return sx / n + sy / n;
+             }
+             var pts = [];
+             for (var i = 0; i < 500; i++) pts.push(new Point(i, 1000 - i));
+             var result = 0;
+             for (var k = 0; k < 30; k++) result = centroid(pts, 500);
+             print('centroid sum =', result);",
+        )
+        .expect("program runs");
+
+    for line in checkelide::runtime::take_output() {
+        println!("program output: {line}");
+    }
+
+    let vm = session.vm();
+    println!("result global      = {}", session.global("result").unwrap());
+    println!("optimized entries  = {}", vm.stats.opt_entries);
+    println!("deopts             = {}", vm.stats.deopts);
+    println!("class cache        = {:?}", vm.class_cache.stats());
+    println!(
+        "hidden classes     = {} (incl. {} fixed runtime maps)",
+        vm.rt.maps.len(),
+        9
+    );
+    // Show which Class List slots carry live speculations.
+    let speculated: usize =
+        vm.class_list.iter().filter(|(_, _, e)| e.speculate_map != 0).count();
+    println!("speculated entries = {speculated}");
+}

@@ -1,0 +1,47 @@
+//! Type morphing and misspeculation: watch the Class Cache raise the
+//! hardware exception and the runtime deoptimize the affected function
+//! when a profiled-monomorphic property changes type (§4.2.2).
+//!
+//!     cargo run --release --example typemorph
+
+use checkelide::Session;
+
+fn main() {
+    let mut session = Session::full();
+    session
+        .eval(
+            "function Box(v) { this.v = v; }
+             function readv(b) { return b.v; }
+             var boxes = [];
+             for (var i = 0; i < 200; i++) boxes.push(new Box(i));
+             var warm = 0;
+             for (var k = 0; k < 20; k++)
+                 for (var i = 0; i < 200; i++) warm += readv(boxes[i]);",
+        )
+        .expect("warmup");
+    println!("after warm-up:");
+    println!("  misspeculation exceptions = {}", session.vm().stats.misspec_exceptions);
+    println!("  deopts                    = {}", session.vm().stats.deopts);
+    assert_eq!(session.vm().stats.misspec_exceptions, 0);
+
+    // Now break the monomorphism of Box.v: store a string where SMIs lived.
+    session
+        .eval("boxes[7].v = 'suddenly a string'; var post = readv(boxes[7]);")
+        .expect("morph");
+    println!("after type change:");
+    println!("  misspeculation exceptions = {}", session.vm().stats.misspec_exceptions);
+    println!("  deopts                    = {}", session.vm().stats.deopts);
+    println!("  post                      = {}", session.global("post").unwrap());
+    assert!(session.vm().stats.misspec_exceptions > 0);
+
+    // Execution continues, semantics intact, function re-optimizes with
+    // the check kept.
+    session
+        .eval(
+            "var rest = 0;
+             for (var k = 0; k < 20; k++)
+                 for (var i = 0; i < 200; i++) if (i != 7) rest += readv(boxes[i]);",
+        )
+        .expect("recovery");
+    println!("  rest                      = {}", session.global("rest").unwrap());
+}

@@ -1,0 +1,208 @@
+//! Cross-crate integration tests through the `checkelide` facade:
+//! differential execution across all three engine configurations,
+//! including randomized program generation.
+
+use checkelide::engine::{EngineConfig, Mechanism, Vm};
+use checkelide::isa::NullSink;
+use checkelide::Session;
+
+fn run_all_configs(src: &str, global: &str) -> (String, String, String) {
+    let run = |mech: Mechanism, opt: bool| {
+        let mut vm = Vm::new(EngineConfig { mechanism: mech, opt_enabled: opt, ..Default::default() });
+        if opt {
+            checkelide::opt::install_optimizer(&mut vm);
+        }
+        let mut sink = NullSink::new();
+        vm.run_program(src, &mut sink).expect("program runs");
+        let v = vm.global_value(global).expect("result global");
+        vm.rt.to_display_string(v)
+    };
+    (run(Mechanism::Off, false), run(Mechanism::ProfileOnly, true), run(Mechanism::Full, true))
+}
+
+/// A tiny deterministic generator of well-formed njs programs exercising
+/// objects, arrays, arithmetic and type morphing.
+struct ProgramGen {
+    rng: u64,
+}
+
+impl ProgramGen {
+    fn new(seed: u64) -> ProgramGen {
+        ProgramGen { rng: seed.wrapping_mul(2654435761).wrapping_add(99991) }
+    }
+
+    fn next(&mut self, n: u64) -> u64 {
+        self.rng = self.rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.rng >> 33) % n
+    }
+
+    fn expr(&mut self, depth: u32) -> String {
+        if depth == 0 {
+            return match self.next(5) {
+                0 => format!("{}", self.next(100)),
+                1 => format!("{}.5", self.next(50)),
+                2 => "o.a".to_string(),
+                3 => "o.b".to_string(),
+                _ => format!("arr[{}]", self.next(4)),
+            };
+        }
+        let a = self.expr(depth - 1);
+        let b = self.expr(depth - 1);
+        match self.next(7) {
+            0 => format!("({a} + {b})"),
+            1 => format!("({a} - {b})"),
+            2 => format!("({a} * {b})"),
+            3 => format!("({a} & {b})"),
+            4 => format!("({a} | 0) ^ ({b} | 0)"),
+            5 => format!("(({a}) < ({b}) ? {a} : {b})"),
+            _ => format!("Math.abs({a} - {b})"),
+        }
+    }
+
+    fn program(&mut self) -> String {
+        let mut body = String::new();
+        body.push_str(
+            "function T(a, b) { this.a = a; this.b = b; }\n\
+             var o = new T(3, 4.5);\n\
+             var arr = [1, 2, 3, 4];\n\
+             var acc = 0;\n",
+        );
+        let stmts = 3 + self.next(5);
+        for i in 0..stmts {
+            let e = self.expr(2);
+            match self.next(4) {
+                0 => body.push_str(&format!("acc += {e};\n")),
+                1 => body.push_str(&format!("o.a = {e};\n")),
+                2 => body.push_str(&format!("arr[{}] = {e};\n", self.next(5))),
+                _ => body.push_str(&format!(
+                    "for (var i{i} = 0; i{i} < {}; i{i}++) acc += {e};\n",
+                    2 + self.next(20)
+                )),
+            }
+        }
+        format!(
+            "{body}\nfunction loop() {{\n  var s = 0;\n  for (var k = 0; k < 40; k++) {{ {} }}\n  return s;\n}}\n\
+             var r = 0;\nfor (var w = 0; w < 12; w++) r = loop() + acc;\n",
+            {
+                let e = self.expr(2);
+                format!("s += {e} + o.a + o.b + arr[1];")
+            }
+        )
+    }
+}
+
+#[test]
+fn randomized_programs_agree_across_tiers() {
+    for seed in 0..25u64 {
+        let src = ProgramGen::new(seed).program();
+        let (base, opt, full) = run_all_configs(&src, "r");
+        assert_eq!(base, opt, "seed {seed}: baseline vs optimized\n{src}");
+        assert_eq!(base, full, "seed {seed}: baseline vs full mechanism\n{src}");
+    }
+}
+
+#[test]
+fn type_morphing_program_agrees_and_raises_exceptions() {
+    let src = "function H(v) { this.v = v; }
+         function get(h) { return h.v; }
+         var hs = [];
+         for (var i = 0; i < 60; i++) hs.push(new H(i));
+         var r = 0;
+         for (var k = 0; k < 30; k++) for (var i = 0; i < 60; i++) r += get(hs[i]);
+         hs[3].v = 1.5;           // SMI -> double
+         hs[4].v = 'str';         // -> string
+         hs[5].v = new H(0);      // -> object
+         for (var i = 0; i < 60; i++) r += get(hs[i]) == undefined ? 0 : 1;";
+    let (base, opt, full) = run_all_configs(src, "r");
+    assert_eq!(base, opt);
+    assert_eq!(base, full);
+}
+
+#[test]
+fn in_place_class_mutation_is_detected() {
+    // The soundness case from DESIGN.md: an object already stored in a
+    // profiled slot transitions its own hidden class. The mechanism must
+    // not keep using the stale profile.
+    let src = "function Item(v) { this.v = v; }
+         function Holder(item) { this.item = item; }
+         function get(h) { return h.item.v; }
+         var hs = [];
+         for (var i = 0; i < 50; i++) hs.push(new Holder(new Item(i)));
+         var r = 0;
+         for (var k = 0; k < 30; k++) for (var i = 0; i < 50; i++) r += get(hs[i]);
+         // Mutate an Item's class in place (no store to .item anywhere).
+         hs[0].item.extra = 'x';
+         hs[0].item.more = 'y';
+         var tail = 0;
+         for (var i = 0; i < 50; i++) tail += get(hs[i]);
+         r = r + tail;";
+    let (base, opt, full) = run_all_configs(src, "r");
+    assert_eq!(base, opt);
+    assert_eq!(base, full, "stale class profile survived an in-place transition");
+}
+
+#[test]
+fn session_facade_round_trip() {
+    let mut s = Session::full();
+    s.eval_counted(
+        "function fact(n) { return n < 2 ? 1 : n * fact(n - 1); }
+         var r = fact(10);",
+    )
+    .unwrap();
+    assert_eq!(s.global("r").unwrap(), "3628800");
+    assert!(s.counters.total() > 100);
+    let v = s.call("fact", &[6]).unwrap();
+    assert_eq!(s.display(v), "720");
+}
+
+#[test]
+fn whole_pipeline_through_uarch() {
+    use checkelide::isa::trace::Tee;
+    use checkelide::isa::CounterSink;
+    use checkelide::uarch::{CoreConfig, CoreSim};
+
+    let mut vm = Vm::new(EngineConfig { mechanism: Mechanism::Full, ..Default::default() });
+    checkelide::opt::install_optimizer(&mut vm);
+    let mut counters = CounterSink::new();
+    let mut sim = CoreSim::new(CoreConfig::nehalem());
+    {
+        let mut tee = Tee::new(&mut counters, &mut sim);
+        vm.run_program(
+            "function P(x) { this.x = x; }
+             function sum(ps, n) { var s = 0; for (var i = 0; i < n; i++) s += ps[i].x; return s; }
+             var ps = [];
+             for (var i = 0; i < 100; i++) ps.push(new P(i));
+             var r = 0;
+             for (var k = 0; k < 20; k++) r = sum(ps, 100);",
+            &mut tee,
+        )
+        .unwrap();
+    }
+    let res = sim.result();
+    assert_eq!(res.uops, counters.total(), "sim and counters see the same trace");
+    assert!(res.cycles > 0);
+    assert!(res.ipc() > 0.3 && res.ipc() < 4.0, "IPC {}", res.ipc());
+    assert!(res.energy_pj > 0.0);
+    assert_eq!(vm.global_value("r").unwrap().as_smi(), 4950);
+}
+
+#[test]
+fn stack_overflow_is_an_error_not_a_crash() {
+    let mut s = Session::full();
+    let err = s.eval("function f() { return f(); } f();").unwrap_err();
+    assert!(err.message.contains("stack overflow"));
+}
+
+#[test]
+fn deterministic_uop_counts_across_runs() {
+    let src = "function W(v) { this.v = v; }
+         var s = 0;
+         for (var i = 0; i < 200; i++) s += new W(i).v;
+         var r = s;";
+    let count = |_: u32| {
+        let mut s = Session::full();
+        s.eval_counted(src).unwrap();
+        s.counters.total()
+    };
+    assert_eq!(count(0), count(1), "trace generation must be deterministic");
+}
