@@ -5,15 +5,18 @@
 //! (§5.1). This sweep regenerates that design point: hit rate and storage
 //! across geometries, on the most class-diverse benchmarks.
 //!
-//!     cargo run --release -p checkelide-bench --bin ccsweep [--quick]
+//!     cargo run --release -p checkelide-bench --bin ccsweep [--quick] [--jobs N]
 
-use checkelide_bench::{find, run_benchmark, RunConfig};
+use checkelide_bench::pool::run_cells;
+use checkelide_bench::{find, try_run_benchmark, Benchmark, RunConfig};
 use checkelide_core::classcache::ClassCacheConfig;
 use checkelide_core::hwcost;
 use checkelide_engine::Mechanism;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = checkelide_bench::jobs_from_args(&args);
     // box2d and raytrace are the paper's two >32-class outliers — the
     // stress cases for a small cache; richards is a mid-size control.
     let names = ["box2d", "raytrace", "richards", "ai-astar"];
@@ -27,18 +30,11 @@ fn main() {
         ClassCacheConfig { entries: 256, ways: 2 },
     ];
 
-    println!(
-        "{:<16} {:>6} {:>5} {:>8} | {}",
-        "geometry", "bytes", "ways", "", "hit rate per benchmark"
-    );
+    // Fan the full (geometry × benchmark) grid through the worker pool;
+    // results come back in input order, so the printed table is identical
+    // for any --jobs value.
+    let mut cells: Vec<(String, (&'static Benchmark, RunConfig))> = Vec::new();
     for geom in geometries {
-        print!(
-            "{:<16} {:>6} {:>5} {:>8} |",
-            format!("{} entries", geom.entries),
-            hwcost::class_cache_storage_bytes(&geom),
-            geom.ways,
-            ""
-        );
         for name in names {
             let b = find(name).expect("registered");
             let cfg = RunConfig {
@@ -49,12 +45,51 @@ fn main() {
                 timing: false,
                 class_cache: geom,
             };
-            let out = run_benchmark(b, cfg);
-            print!(" {name}={:.3}%", 100.0 * out.class_cache.hit_rate());
+            cells.push((format!("ccsweep/{}e{}w/{}", geom.entries, geom.ways, name), (b, cfg)));
+        }
+    }
+    let outcomes = run_cells(cells, jobs, |(b, cfg)| {
+        try_run_benchmark(b, *cfg).map(|out| out.class_cache.hit_rate())
+    });
+
+    println!(
+        "{:<16} {:>6} {:>5} {:>8} | hit rate per benchmark",
+        "geometry", "bytes", "ways", ""
+    );
+    let mut failures: Vec<String> = Vec::new();
+    let mut it = outcomes.iter();
+    for geom in geometries {
+        print!(
+            "{:<16} {:>6} {:>5} {:>8} |",
+            format!("{} entries", geom.entries),
+            hwcost::class_cache_storage_bytes(&geom),
+            geom.ways,
+            ""
+        );
+        for name in names {
+            let outcome = it.next().expect("one outcome per cell");
+            match &outcome.result {
+                Ok(Ok(hit_rate)) => print!(" {name}={:.3}%", 100.0 * hit_rate),
+                Ok(Err(e)) => {
+                    print!(" {name}=ERR");
+                    failures.push(format!("{}: {e}", outcome.label));
+                }
+                Err(cell) => {
+                    print!(" {name}=PANIC");
+                    failures.push(format!("{}: {}", cell.label, cell.message));
+                }
+            }
         }
         println!();
     }
     println!(
         "\nThe paper's 128-entry 2-way point is the smallest geometry at >99.9% on all benchmarks."
     );
+    if !failures.is_empty() {
+        eprintln!("\n{} cell(s) failed:", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
 }

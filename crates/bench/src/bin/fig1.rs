@@ -1,9 +1,18 @@
 //! Regenerate Figure 1: breakdown of dynamic instructions.
+//!
+//!     fig1 [--quick] [--jobs N]
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let rows = checkelide_bench::figures::fig1(quick);
-    print!("{}", checkelide_bench::figures::render_fig1(&rows));
-    checkelide_bench::figures::save_json("fig1", &rows).expect("write results/fig1.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = checkelide_bench::jobs_from_args(&args);
+    let report = checkelide_bench::figures::fig1_report(quick, jobs);
+    print!("{}", checkelide_bench::figures::render_fig1(&report.rows));
+    checkelide_bench::figures::save_json("fig1", &report.rows)
+        .expect("write results/fig1.json");
     eprintln!("saved results/fig1.json");
+    if !report.failures.is_empty() {
+        eprint!("{}", checkelide_bench::figures::render_failures(&report.failures));
+        std::process::exit(1);
+    }
 }

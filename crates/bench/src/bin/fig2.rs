@@ -1,9 +1,18 @@
 //! Regenerate Figure 2: check/untag overhead after object load accesses.
+//!
+//!     fig2 [--quick] [--jobs N]
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let rows = checkelide_bench::figures::fig2(quick);
-    print!("{}", checkelide_bench::figures::render_fig2(&rows));
-    checkelide_bench::figures::save_json("fig2", &rows).expect("write results/fig2.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = checkelide_bench::jobs_from_args(&args);
+    let report = checkelide_bench::figures::fig2_report(quick, jobs);
+    print!("{}", checkelide_bench::figures::render_fig2(&report.rows));
+    checkelide_bench::figures::save_json("fig2", &report.rows)
+        .expect("write results/fig2.json");
     eprintln!("saved results/fig2.json");
+    if !report.failures.is_empty() {
+        eprint!("{}", checkelide_bench::figures::render_failures(&report.failures));
+        std::process::exit(1);
+    }
 }

@@ -1,10 +1,19 @@
 //! Regenerate Figure 3: object loads from monomorphic properties and
 //! elements arrays.
+//!
+//!     fig3 [--quick] [--jobs N]
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let rows = checkelide_bench::figures::fig3(quick);
-    print!("{}", checkelide_bench::figures::render_fig3(&rows));
-    checkelide_bench::figures::save_json("fig3", &rows).expect("write results/fig3.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = checkelide_bench::jobs_from_args(&args);
+    let report = checkelide_bench::figures::fig3_report(quick, jobs);
+    print!("{}", checkelide_bench::figures::render_fig3(&report.rows));
+    checkelide_bench::figures::save_json("fig3", &report.rows)
+        .expect("write results/fig3.json");
     eprintln!("saved results/fig3.json");
+    if !report.failures.is_empty() {
+        eprint!("{}", checkelide_bench::figures::render_failures(&report.failures));
+        std::process::exit(1);
+    }
 }

@@ -1,9 +1,11 @@
 //! Regenerate Figure 8 (speedup) and, as a side effect of sharing the
 //! runs, Figure 9 (energy). Use `--detail <name>` for the §5.1 ai-astar
 //! style memory-hierarchy analysis of one benchmark.
+//!
+//!     fig8 [--quick] [--jobs N] [--detail <benchmark>]
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     if let Some(pos) = args.iter().position(|a| a == "--detail") {
         let name = args.get(pos + 1).expect("--detail <benchmark>");
@@ -20,8 +22,13 @@ fn main() {
         println!("  Class Cache hit rate   {:.5}", row.class_cache_hit);
         return;
     }
-    let rows = checkelide_bench::figures::fig89(quick);
-    print!("{}", checkelide_bench::figures::render_fig89(&rows));
-    checkelide_bench::figures::save_json("fig8_fig9", &rows).expect("write results");
+    let jobs = checkelide_bench::jobs_from_args(&args);
+    let report = checkelide_bench::figures::fig89_report(quick, jobs);
+    print!("{}", checkelide_bench::figures::render_fig89(&report.rows));
+    checkelide_bench::figures::save_json("fig8_fig9", &report.rows).expect("write results");
     eprintln!("saved results/fig8_fig9.json");
+    if !report.failures.is_empty() {
+        eprint!("{}", checkelide_bench::figures::render_failures(&report.failures));
+        std::process::exit(1);
+    }
 }

@@ -1,10 +1,15 @@
 //! Regenerate Figure 9: energy reduction (shares its runs with Figure 8).
+//!
+//!     fig9 [--quick] [--jobs N]
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let rows = checkelide_bench::figures::fig89(quick);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = checkelide_bench::jobs_from_args(&args);
+    let report = checkelide_bench::figures::fig89_report(quick, jobs);
+    let rows = &report.rows;
     println!("{:<34} {:>12} {:>10}", "benchmark", "energy red.", "(opt)");
-    for r in &rows {
+    for r in rows {
         println!("{:<34} {:>11.1}% {:>9.1}%", r.name, r.energy_whole, r.energy_opt);
     }
     let n = rows.len() as f64;
@@ -16,6 +21,10 @@ fn main() {
             rows.iter().map(|r| r.energy_opt).sum::<f64>() / n,
         );
     }
-    checkelide_bench::figures::save_json("fig8_fig9", &rows).expect("write results");
+    checkelide_bench::figures::save_json("fig8_fig9", rows).expect("write results");
     eprintln!("saved results/fig8_fig9.json");
+    if !report.failures.is_empty() {
+        eprint!("{}", checkelide_bench::figures::render_failures(&report.failures));
+        std::process::exit(1);
+    }
 }

@@ -1,34 +1,101 @@
 //! Run every experiment in the paper and save all results under
-//! `results/`. Pass `--quick` for a reduced-scale smoke run.
+//! `results/`, fanning (benchmark × config) cells across a panic-isolated
+//! worker pool.
+//!
+//!     reproduce [--quick] [--jobs N]
+//!
+//! * `--quick` — reduced-scale smoke run.
+//! * `--jobs N` (or `-j N`, or env `CHECKELIDE_JOBS`) — worker threads;
+//!   defaults to the machine's available parallelism.
+//!
+//! A failing benchmark no longer aborts the run: its cell is reported in
+//! the failure summary (and in `results/run_meta.json`), every other
+//! cell's results are still produced and saved, and the exit code is
+//! nonzero.
+
+use checkelide_bench::figures::{self, FigureReport, RunMeta};
+use checkelide_bench::pool::{jobs_from_args, CellError};
+use checkelide_bench::ToJson;
+
+fn stage<R: ToJson>(
+    title: &str,
+    json_name: &str,
+    render: impl Fn(&[R]) -> String,
+    report: FigureReport<R>,
+    meta: &mut RunMeta,
+    failures: &mut Vec<CellError>,
+) {
+    println!("{title}");
+    print!("{}", render(&report.rows));
+    figures::save_json(json_name, &report.rows)
+        .unwrap_or_else(|e| panic!("write results/{json_name}.json: {e}"));
+    meta.absorb(&report);
+    failures.extend(report.failures);
+}
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let f = checkelide_bench::figures::save_json::<Vec<checkelide_bench::figures::Fig1Row>>;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = jobs_from_args(&args);
+    eprintln!("reproduce: {} mode, {jobs} worker(s)", if quick { "quick" } else { "full" });
 
-    println!("=== Figure 1: dynamic instruction breakdown ===");
-    let rows = checkelide_bench::figures::fig1(quick);
-    print!("{}", checkelide_bench::figures::render_fig1(&rows));
-    f("fig1", &rows).expect("save");
+    let start = std::time::Instant::now();
+    let mut meta = RunMeta::new(jobs, quick);
+    let mut failures: Vec<CellError> = Vec::new();
 
-    println!("\n=== Figure 2: checks/untags after object loads ===");
-    let rows = checkelide_bench::figures::fig2(quick);
-    print!("{}", checkelide_bench::figures::render_fig2(&rows));
-    checkelide_bench::figures::save_json("fig2", &rows).expect("save");
+    stage(
+        "=== Figure 1: dynamic instruction breakdown ===",
+        "fig1",
+        figures::render_fig1,
+        figures::fig1_report(quick, jobs),
+        &mut meta,
+        &mut failures,
+    );
+    stage(
+        "\n=== Figure 2: checks/untags after object loads ===",
+        "fig2",
+        figures::render_fig2,
+        figures::fig2_report(quick, jobs),
+        &mut meta,
+        &mut failures,
+    );
+    stage(
+        "\n=== Figure 3: monomorphic object loads ===",
+        "fig3",
+        figures::render_fig3,
+        figures::fig3_report(quick, jobs),
+        &mut meta,
+        &mut failures,
+    );
+    stage(
+        "\n=== Figures 8 & 9: speedup and energy ===",
+        "fig8_fig9",
+        figures::render_fig89,
+        figures::fig89_report(quick, jobs),
+        &mut meta,
+        &mut failures,
+    );
+    stage(
+        "\n=== §5.3 overheads ===",
+        "overheads",
+        figures::render_overheads,
+        figures::overheads_report(quick, jobs),
+        &mut meta,
+        &mut failures,
+    );
 
-    println!("\n=== Figure 3: monomorphic object loads ===");
-    let rows = checkelide_bench::figures::fig3(quick);
-    print!("{}", checkelide_bench::figures::render_fig3(&rows));
-    checkelide_bench::figures::save_json("fig3", &rows).expect("save");
+    meta.total_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    meta.save().expect("write results/run_meta.json");
 
-    println!("\n=== Figures 8 & 9: speedup and energy ===");
-    let rows = checkelide_bench::figures::fig89(quick);
-    print!("{}", checkelide_bench::figures::render_fig89(&rows));
-    checkelide_bench::figures::save_json("fig8_fig9", &rows).expect("save");
-
-    println!("\n=== §5.3 overheads ===");
-    let rows = checkelide_bench::figures::overheads(quick);
-    print!("{}", checkelide_bench::figures::render_overheads(&rows));
-    checkelide_bench::figures::save_json("overheads", &rows).expect("save");
-
-    println!("\nAll results saved under results/.");
+    println!(
+        "\nAll results saved under results/ ({} cells, {} worker(s), {:.1}s wall).",
+        meta.cells.len(),
+        jobs,
+        meta.total_wall_ms / 1e3,
+    );
+    if !failures.is_empty() {
+        eprint!("\n{}", figures::render_failures(&failures));
+        eprintln!("reproduce: completed WITH FAILURES (see above and results/run_meta.json)");
+        std::process::exit(1);
+    }
 }

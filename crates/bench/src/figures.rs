@@ -1,12 +1,18 @@
 //! Figure/table drivers: one function per experiment in the paper.
 //!
-//! Each driver returns serializable row structures (written as JSON under
-//! `results/` by the binaries) and has a text renderer mirroring the
-//! paper's presentation. `quick` mode shrinks workloads for CI/tests.
+//! Each driver fans its (benchmark × configuration) cells out across the
+//! [`crate::pool`] worker pool and returns a [`FigureReport`]: rows in
+//! registry order, per-cell observability metadata, and any failures —
+//! a panicking or erroring benchmark becomes a reported [`CellError`]
+//! instead of aborting the run. Rows are written as JSON under `results/`
+//! by the binaries, with a per-run `results/run_meta.json` capturing
+//! wall-time, dynamic µops, µop throughput and worker id for every cell.
+//! `quick` mode shrinks workloads for CI/tests.
 
-use crate::runner::{run_benchmark, RunConfig, RunOutput};
+use crate::json::{json_obj, Json, ToJson};
+use crate::pool::{self, CellError};
+use crate::runner::{try_run_benchmark, RunConfig, RunError, RunOutput};
 use crate::suite::{selected, Benchmark, Suite, BENCHMARKS};
-use serde::Serialize;
 
 fn cfg_scale(b: &Benchmark, quick: bool) -> i32 {
     if quick {
@@ -24,8 +30,208 @@ fn iters(quick: bool) -> u32 {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Pool plumbing shared by all drivers
+// ---------------------------------------------------------------------------
+
+/// Environment variable naming a benchmark whose cells deliberately panic.
+///
+/// Used to exercise the fault-isolation path end to end: the cell shows up
+/// in the failure summary while every sibling's results are still produced
+/// and saved.
+pub const INJECT_PANIC_ENV: &str = "CHECKELIDE_INJECT_PANIC";
+
+/// Per-cell observability metadata persisted to `results/run_meta.json`.
+#[derive(Debug, Clone)]
+pub struct CellMeta {
+    /// Figure/table this cell belongs to (e.g. `"fig1"`).
+    pub figure: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Worker thread that executed the cell.
+    pub worker: usize,
+    /// Wall-clock milliseconds spent in the cell.
+    pub wall_ms: f64,
+    /// Dynamic µops measured by the cell (0 on failure).
+    pub uops: u64,
+    /// µop throughput (dynamic µops per wall-clock second).
+    pub uops_per_sec: f64,
+    /// Whether the cell succeeded.
+    pub ok: bool,
+    /// Failure message, if any.
+    pub error: Option<String>,
+}
+
+impl ToJson for CellMeta {
+    fn to_json(&self) -> Json {
+        json_obj!(self, figure, benchmark, worker, wall_ms, uops, uops_per_sec, ok, error)
+    }
+}
+
+/// The result of one figure driver: ordered rows + failures + metadata.
+#[derive(Debug)]
+pub struct FigureReport<R> {
+    /// Figure/table name.
+    pub figure: &'static str,
+    /// Successful rows, in benchmark-registry order.
+    pub rows: Vec<R>,
+    /// Failed cells (panics and typed `RunError`s).
+    pub failures: Vec<CellError>,
+    /// Per-cell metadata (successes and failures, registry order).
+    pub cells: Vec<CellMeta>,
+}
+
+impl<R> FigureReport<R> {
+    /// Extract the rows, panicking if any cell failed (the behavior of the
+    /// pre-pool harness; tests and compat wrappers use this).
+    ///
+    /// # Panics
+    ///
+    /// If any cell failed.
+    pub fn expect_rows(self) -> Vec<R> {
+        if let Some(first) = self.failures.first() {
+            panic!("{} of {} {} cells failed; first: {first}",
+                self.failures.len(), self.cells.len(), self.figure);
+        }
+        self.rows
+    }
+}
+
+/// Render a failure summary (empty string when there are no failures).
+pub fn render_failures(failures: &[CellError]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if failures.is_empty() {
+        return out;
+    }
+    let _ = writeln!(out, "{} cell(s) FAILED:", failures.len());
+    for f in failures {
+        let _ = writeln!(out, "  {f}");
+    }
+    out
+}
+
+/// Fan one figure's benchmark cells across the pool and assemble a report.
+///
+/// `f` runs one benchmark and returns its row plus the dynamic-µop count
+/// for the throughput metadata.
+fn run_figure<R, F>(
+    figure: &'static str,
+    benches: Vec<&'static Benchmark>,
+    jobs: usize,
+    f: F,
+) -> FigureReport<R>
+where
+    R: Send,
+    F: Fn(&'static Benchmark) -> Result<(R, u64), RunError> + Sync,
+{
+    // Static proof that the cell inputs and outputs may cross threads.
+    // (The engine's `Rc`-based internals never do: each cell builds its
+    // own private `Vm` inside `try_run_benchmark`.)
+    pool::assert_send_sync::<(&'static Benchmark, RunConfig)>();
+    fn assert_out_send<T: Send>() {}
+    assert_out_send::<(RunOutput, Result<(), RunError>)>();
+
+    let inject = std::env::var(INJECT_PANIC_ENV).ok();
+    let cells: Vec<(String, &'static Benchmark)> =
+        benches.iter().map(|b| (format!("{figure}/{}", b.name), *b)).collect();
+    let outcomes = pool::run_cells(cells, jobs, |b: &&'static Benchmark| {
+        let b: &'static Benchmark = b;
+        if inject.as_deref() == Some(b.name) {
+            panic!("injected panic via {INJECT_PANIC_ENV} for fault-isolation testing");
+        }
+        f(b)
+    });
+
+    let mut report =
+        FigureReport { figure, rows: Vec::new(), failures: Vec::new(), cells: Vec::new() };
+    for (outcome, bench) in outcomes.into_iter().zip(benches) {
+        let wall_ms = outcome.wall.as_secs_f64() * 1e3;
+        let mut meta = CellMeta {
+            figure: figure.to_string(),
+            benchmark: bench.name.to_string(),
+            worker: outcome.worker,
+            wall_ms,
+            uops: 0,
+            uops_per_sec: 0.0,
+            ok: false,
+            error: None,
+        };
+        match outcome.result {
+            Ok(Ok((row, uops))) => {
+                meta.uops = uops;
+                meta.uops_per_sec =
+                    if wall_ms > 0.0 { uops as f64 / (wall_ms / 1e3) } else { 0.0 };
+                meta.ok = true;
+                report.rows.push(row);
+            }
+            Ok(Err(run_err)) => {
+                let err = CellError { label: outcome.label, message: run_err.to_string() };
+                meta.error = Some(err.message.clone());
+                report.failures.push(err);
+            }
+            Err(cell_err) => {
+                meta.error = Some(cell_err.message.clone());
+                report.failures.push(cell_err);
+            }
+        }
+        report.cells.push(meta);
+    }
+    report
+}
+
+/// Whole-run metadata accumulated across figure reports and persisted to
+/// `results/run_meta.json`.
+#[derive(Debug)]
+pub struct RunMeta {
+    /// Worker count used for the run.
+    pub jobs: usize,
+    /// Whether `--quick` scaling was in effect.
+    pub quick: bool,
+    /// Total wall-clock milliseconds of the whole run (filled at save).
+    pub total_wall_ms: f64,
+    /// Every executed cell, in execution-registry order.
+    pub cells: Vec<CellMeta>,
+}
+
+impl RunMeta {
+    /// Start collecting for a run with `jobs` workers.
+    pub fn new(jobs: usize, quick: bool) -> RunMeta {
+        RunMeta { jobs, quick, total_wall_ms: 0.0, cells: Vec::new() }
+    }
+
+    /// Absorb one figure report's cell metadata.
+    pub fn absorb<R>(&mut self, report: &FigureReport<R>) {
+        self.cells.extend(report.cells.iter().cloned());
+    }
+
+    /// Number of failed cells.
+    pub fn failed_cells(&self) -> usize {
+        self.cells.iter().filter(|c| !c.ok).count()
+    }
+
+    /// Persist to `results/run_meta.json`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from creating the directory or writing the file.
+    pub fn save(&self) -> std::io::Result<()> {
+        save_json("run_meta", self)
+    }
+}
+
+impl ToJson for RunMeta {
+    fn to_json(&self) -> Json {
+        json_obj!(self, jobs, quick, total_wall_ms, cells)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1
+// ---------------------------------------------------------------------------
+
 /// Figure 1 row: the dynamic-instruction breakdown (percent).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig1Row {
     /// Benchmark name.
     pub name: String,
@@ -43,18 +249,32 @@ pub struct Fig1Row {
     pub rest_of_code: f64,
 }
 
-/// Run the Figure 1 characterization (all benchmarks, ProfileOnly).
-pub fn fig1(quick: bool) -> Vec<Fig1Row> {
-    BENCHMARKS
-        .iter()
-        .map(|b| {
-            let out = run_benchmark(
-                b,
-                RunConfig::characterize()
-                    .with_scale(cfg_scale(b, quick))
-                    .with_iterations(iters(quick)),
-            );
-            let row = out.counters.fig1_row();
+impl ToJson for Fig1Row {
+    fn to_json(&self) -> Json {
+        json_obj!(
+            self,
+            name,
+            suite,
+            checks,
+            tags_untags,
+            math_assumptions,
+            other_optimized,
+            rest_of_code
+        )
+    }
+}
+
+/// Run the Figure 1 characterization across the pool.
+pub fn fig1_report(quick: bool, jobs: usize) -> FigureReport<Fig1Row> {
+    run_figure("fig1", BENCHMARKS.iter().collect(), jobs, move |b| {
+        let out = try_run_benchmark(
+            b,
+            RunConfig::characterize()
+                .with_scale(cfg_scale(b, quick))
+                .with_iterations(iters(quick)),
+        )?;
+        let row = out.counters.fig1_row();
+        Ok((
             Fig1Row {
                 name: b.name.to_string(),
                 suite: b.suite.name().to_string(),
@@ -63,9 +283,15 @@ pub fn fig1(quick: bool) -> Vec<Fig1Row> {
                 math_assumptions: row[2],
                 other_optimized: row[3],
                 rest_of_code: row[4],
-            }
-        })
-        .collect()
+            },
+            out.uops,
+        ))
+    })
+}
+
+/// Run the Figure 1 characterization serially (compat wrapper).
+pub fn fig1(quick: bool) -> Vec<Fig1Row> {
+    fig1_report(quick, 1).expect_rows()
 }
 
 /// Render Figure 1 as an aligned table.
@@ -105,9 +331,13 @@ pub fn render_fig1(rows: &[Fig1Row]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Figure 2
+// ---------------------------------------------------------------------------
+
 /// Figure 2 row: check/untag overhead after object loads (percent of
 /// dynamic instructions).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2Row {
     /// Benchmark name.
     pub name: String,
@@ -121,27 +351,38 @@ pub struct Fig2Row {
     pub selected_by_threshold: bool,
 }
 
-/// Run the Figure 2 characterization.
-pub fn fig2(quick: bool) -> Vec<Fig2Row> {
-    BENCHMARKS
-        .iter()
-        .map(|b| {
-            let out = run_benchmark(
-                b,
-                RunConfig::characterize()
-                    .with_scale(cfg_scale(b, quick))
-                    .with_iterations(iters(quick)),
-            );
-            let whole = out.counters.fig2_whole_pct();
+impl ToJson for Fig2Row {
+    fn to_json(&self) -> Json {
+        json_obj!(self, name, suite, whole, optimized, selected_by_threshold)
+    }
+}
+
+/// Run the Figure 2 characterization across the pool.
+pub fn fig2_report(quick: bool, jobs: usize) -> FigureReport<Fig2Row> {
+    run_figure("fig2", BENCHMARKS.iter().collect(), jobs, move |b| {
+        let out = try_run_benchmark(
+            b,
+            RunConfig::characterize()
+                .with_scale(cfg_scale(b, quick))
+                .with_iterations(iters(quick)),
+        )?;
+        let whole = out.counters.fig2_whole_pct();
+        Ok((
             Fig2Row {
                 name: b.name.to_string(),
                 suite: b.suite.name().to_string(),
                 whole,
                 optimized: out.counters.fig2_optimized_pct(),
                 selected_by_threshold: whole > 1.0,
-            }
-        })
-        .collect()
+            },
+            out.uops,
+        ))
+    })
+}
+
+/// Run the Figure 2 characterization serially (compat wrapper).
+pub fn fig2(quick: bool) -> Vec<Fig2Row> {
+    fig2_report(quick, 1).expect_rows()
 }
 
 /// Render Figure 2.
@@ -173,8 +414,12 @@ pub fn render_fig2(rows: &[Fig2Row]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Figure 3
+// ---------------------------------------------------------------------------
+
 /// Figure 3 row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3RowOut {
     /// Benchmark name.
     pub name: String,
@@ -190,16 +435,30 @@ pub struct Fig3RowOut {
     pub poly_elements: f64,
 }
 
-/// Run Figure 3 over the selected benchmarks.
-pub fn fig3(quick: bool) -> Vec<Fig3RowOut> {
-    selected()
-        .map(|b| {
-            let out = run_benchmark(
-                b,
-                RunConfig::characterize()
-                    .with_scale(cfg_scale(b, quick))
-                    .with_iterations(iters(quick)),
-            );
+impl ToJson for Fig3RowOut {
+    fn to_json(&self) -> Json {
+        json_obj!(
+            self,
+            name,
+            suite,
+            mono_properties,
+            mono_elements,
+            poly_properties,
+            poly_elements
+        )
+    }
+}
+
+/// Run Figure 3 over the selected benchmarks across the pool.
+pub fn fig3_report(quick: bool, jobs: usize) -> FigureReport<Fig3RowOut> {
+    run_figure("fig3", selected().collect(), jobs, move |b| {
+        let out = try_run_benchmark(
+            b,
+            RunConfig::characterize()
+                .with_scale(cfg_scale(b, quick))
+                .with_iterations(iters(quick)),
+        )?;
+        Ok((
             Fig3RowOut {
                 name: b.name.to_string(),
                 suite: b.suite.name().to_string(),
@@ -207,9 +466,15 @@ pub fn fig3(quick: bool) -> Vec<Fig3RowOut> {
                 mono_elements: out.fig3.mono_elements,
                 poly_properties: out.fig3.poly_properties,
                 poly_elements: out.fig3.poly_elements,
-            }
-        })
-        .collect()
+            },
+            out.uops,
+        ))
+    })
+}
+
+/// Run Figure 3 serially (compat wrapper).
+pub fn fig3(quick: bool) -> Vec<Fig3RowOut> {
+    fig3_report(quick, 1).expect_rows()
 }
 
 /// Render Figure 3.
@@ -241,8 +506,12 @@ pub fn render_fig3(rows: &[Fig3RowOut]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Figures 8 & 9
+// ---------------------------------------------------------------------------
+
 /// Figure 8 + Figure 9 row (the runs are shared).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig89Row {
     /// Benchmark name.
     pub name: String,
@@ -274,33 +543,78 @@ pub struct Fig89Row {
     pub class_cache_hit: f64,
 }
 
-/// Run Figures 8 and 9 over the selected benchmarks.
-pub fn fig89(quick: bool) -> Vec<Fig89Row> {
-    selected().map(|b| fig89_one(b, quick)).collect()
+impl ToJson for Fig89Row {
+    fn to_json(&self) -> Json {
+        json_obj!(
+            self,
+            name,
+            suite,
+            speedup_whole,
+            speedup_opt,
+            energy_whole,
+            energy_opt,
+            base_uops,
+            full_uops,
+            base_cycles,
+            full_cycles,
+            dl1_hit,
+            l2_hit,
+            dtlb_hit,
+            class_cache_hit
+        )
+    }
 }
 
-/// Run Figures 8/9 for one benchmark.
-pub fn fig89_one(b: &Benchmark, quick: bool) -> Fig89Row {
-    let base = run_benchmark(
+/// Run Figures 8 and 9 over the selected benchmarks across the pool.
+pub fn fig89_report(quick: bool, jobs: usize) -> FigureReport<Fig89Row> {
+    run_figure("fig8_fig9", selected().collect(), jobs, move |b| {
+        let (row, uops) = fig89_one_cell(b, quick)?;
+        Ok((row, uops))
+    })
+}
+
+/// Run Figures 8 and 9 serially (compat wrapper).
+pub fn fig89(quick: bool) -> Vec<Fig89Row> {
+    fig89_report(quick, 1).expect_rows()
+}
+
+/// Run Figures 8/9 for one benchmark, reporting failures as data.
+///
+/// A checksum divergence between the baseline and mechanism runs is a
+/// [`RunError::ChecksumMismatch`] — it flows into the pool's failure
+/// summary instead of aborting the suite (the seed used `assert_eq!`
+/// here).
+///
+/// # Errors
+///
+/// Any [`RunError`] from either configuration, or the checksum mismatch.
+pub fn try_fig89_one(b: &Benchmark, quick: bool) -> Result<Fig89Row, RunError> {
+    fig89_one_cell(b, quick).map(|(row, _)| row)
+}
+
+fn fig89_one_cell(b: &Benchmark, quick: bool) -> Result<(Fig89Row, u64), RunError> {
+    let base = try_run_benchmark(
         b,
         RunConfig::baseline_timed()
             .with_scale(cfg_scale(b, quick))
             .with_iterations(iters(quick)),
-    );
-    let full = run_benchmark(
+    )?;
+    let full = try_run_benchmark(
         b,
         RunConfig::mechanism_timed()
             .with_scale(cfg_scale(b, quick))
             .with_iterations(iters(quick)),
-    );
-    assert_eq!(
-        base.checksum, full.checksum,
-        "{}: mechanism changed program semantics",
-        b.name
-    );
+    )?;
+    if base.checksum != full.checksum {
+        return Err(RunError::ChecksumMismatch {
+            bench: b.name.to_string(),
+            base: base.checksum,
+            full: full.checksum,
+        });
+    }
     let bs = base.sim.as_ref().expect("timed");
     let fs = full.sim.as_ref().expect("timed");
-    Fig89Row {
+    let row = Fig89Row {
         name: b.name.to_string(),
         suite: b.suite.name().to_string(),
         speedup_whole: bs.speedup_pct_over(fs),
@@ -315,7 +629,18 @@ pub fn fig89_one(b: &Benchmark, quick: bool) -> Fig89Row {
         l2_hit: (bs.l2.hit_rate(), fs.l2.hit_rate()),
         dtlb_hit: (bs.dtlb.hit_rate(), fs.dtlb.hit_rate()),
         class_cache_hit: full.class_cache.hit_rate(),
-    }
+    };
+    Ok((row, base.uops + full.uops))
+}
+
+/// Run Figures 8/9 for one benchmark, panicking on failure (compat
+/// wrapper used by the smoke tests and `fig8 --detail`).
+///
+/// # Panics
+///
+/// On any [`RunError`], including checksum mismatches.
+pub fn fig89_one(b: &Benchmark, quick: bool) -> Fig89Row {
+    try_fig89_one(b, quick).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Render Figure 8 (speedup) and Figure 9 (energy).
@@ -365,8 +690,12 @@ pub fn render_fig89(rows: &[Fig89Row]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// §5.3 overheads
+// ---------------------------------------------------------------------------
+
 /// §5.3 overhead row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct OverheadRow {
     /// Benchmark name.
     pub name: String,
@@ -388,19 +717,40 @@ pub struct OverheadRow {
     pub line0_frac: f64,
 }
 
-/// Run the §5.3 overheads analysis over the selected benchmarks.
+impl ToJson for OverheadRow {
+    fn to_json(&self) -> Json {
+        json_obj!(
+            self,
+            name,
+            hidden_classes,
+            cc_accesses,
+            cc_hit_rate,
+            objects,
+            multi_line_frac,
+            mem_increase_pct,
+            line0_frac
+        )
+    }
+}
+
+/// Run the §5.3 overheads analysis over the selected benchmarks across the
+/// pool.
+pub fn overheads_report(quick: bool, jobs: usize) -> FigureReport<OverheadRow> {
+    run_figure("overheads", selected().collect(), jobs, move |b| {
+        let out = try_run_benchmark(
+            b,
+            RunConfig::mechanism_timed()
+                .with_scale(cfg_scale(b, quick))
+                .with_iterations(iters(quick)),
+        )?;
+        let uops = out.uops;
+        Ok((overhead_row(b.name, &out), uops))
+    })
+}
+
+/// Run the §5.3 overheads analysis serially (compat wrapper).
 pub fn overheads(quick: bool) -> Vec<OverheadRow> {
-    selected()
-        .map(|b| {
-            let out = run_benchmark(
-                b,
-                RunConfig::mechanism_timed()
-                    .with_scale(cfg_scale(b, quick))
-                    .with_iterations(iters(quick)),
-            );
-            overhead_row(b.name, &out)
-        })
-        .collect()
+    overheads_report(quick, 1).expect_rows()
 }
 
 fn overhead_row(name: &str, out: &RunOutput) -> OverheadRow {
@@ -460,10 +810,10 @@ pub fn render_overheads(rows: &[OverheadRow]) -> String {
 /// # Errors
 ///
 /// I/O errors from creating the directory or writing the file.
-pub fn save_json<T: Serialize>(name: &str, rows: &T) -> std::io::Result<()> {
+pub fn save_json<T: ToJson + ?Sized>(name: &str, rows: &T) -> std::io::Result<()> {
     std::fs::create_dir_all("results")?;
     let path = format!("results/{name}.json");
-    let json = serde_json::to_string_pretty(rows)?;
+    let json = crate::json::to_string_pretty(rows);
     std::fs::write(path, json)
 }
 
@@ -502,5 +852,31 @@ mod tests {
             selected_by_threshold: true,
         }];
         assert!(render_fig2(&rows).contains("selected average"));
+        let failures = vec![CellError {
+            label: "fig1/x".into(),
+            message: "x: setup failed: boom".into(),
+        }];
+        let summary = render_failures(&failures);
+        assert!(summary.contains("1 cell(s) FAILED"));
+        assert!(summary.contains("fig1/x"));
+        assert_eq!(render_failures(&[]), "");
+    }
+
+    #[test]
+    fn cell_meta_serializes_with_stable_fields() {
+        let meta = CellMeta {
+            figure: "fig1".into(),
+            benchmark: "richards".into(),
+            worker: 3,
+            wall_ms: 12.5,
+            uops: 1000,
+            uops_per_sec: 80000.0,
+            ok: true,
+            error: None,
+        };
+        let json = crate::json::to_string_pretty(&meta);
+        for key in ["figure", "benchmark", "worker", "wall_ms", "uops", "uops_per_sec", "ok"] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key} in {json}");
+        }
     }
 }

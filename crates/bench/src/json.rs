@@ -1,0 +1,276 @@
+//! Dependency-free JSON serialization for result rows.
+//!
+//! The build environment is offline (no crates.io mirror), so `serde` /
+//! `serde_json` are unavailable; this module provides the small, fully
+//! deterministic subset the harness needs: an explicit [`Json`] tree, a
+//! [`ToJson`] trait for row structs, and a pretty printer whose output is
+//! byte-stable for identical inputs (insertion-ordered objects, shortest
+//! round-trip float formatting). The determinism tests in
+//! `tests/pool_determinism.rs` rely on that byte stability.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer (serialized without decimal point).
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point; non-finite values serialize as `null` (like
+    /// `serde_json`).
+    Num(f64),
+    /// String (escaped on output).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered fields.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+/// Conversion into a [`Json`] tree.
+pub trait ToJson {
+    /// Build the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::UInt(*self)
+    }
+}
+
+impl ToJson for u32 {
+    fn to_json(&self) -> Json {
+        Json::UInt(u64::from(*self))
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::UInt(*self as u64)
+    }
+}
+
+impl ToJson for i32 {
+    fn to_json(&self) -> Json {
+        Json::Int(i64::from(*self))
+    }
+}
+
+impl ToJson for i64 {
+    fn to_json(&self) -> Json {
+        Json::Int(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl ToJson for (f64, f64) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![Json::Num(self.0), Json::Num(self.1)])
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+/// Build a `Json::Obj` from struct fields: `json_obj!(self, name, suite)`.
+macro_rules! json_obj {
+    ($self:ident, $($field:ident),+ $(,)?) => {
+        $crate::json::Json::Obj(vec![
+            $((stringify!($field), $crate::json::ToJson::to_json(&$self.$field))),+
+        ])
+    };
+}
+pub(crate) use json_obj;
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn num_to_string(f: f64) -> String {
+    if !f.is_finite() {
+        return "null".to_string();
+    }
+    if f == f.trunc() && f.abs() < 1e15 {
+        // Match serde_json's integral-float rendering ("1.0").
+        format!("{f:.1}")
+    } else {
+        // Rust's shortest round-trip formatting: deterministic.
+        format!("{f}")
+    }
+}
+
+fn write_value(out: &mut String, v: &Json, indent: usize) {
+    const STEP: usize = 2;
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Json::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Json::Num(f) => out.push_str(&num_to_string(*f)),
+        Json::Str(s) => escape_into(out, s),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent + STEP));
+                write_value(out, item, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent + STEP));
+                escape_into(out, k);
+                out.push_str(": ");
+                write_value(out, val, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-print with two-space indentation (byte-deterministic).
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json(), 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(to_string_pretty(&Json::Null), "null");
+        assert_eq!(to_string_pretty(&true), "true");
+        assert_eq!(to_string_pretty(&3.5f64), "3.5");
+        assert_eq!(to_string_pretty(&3.0f64), "3.0");
+        assert_eq!(to_string_pretty(&f64::NAN), "null");
+        assert_eq!(to_string_pretty(&42u64), "42");
+        assert_eq!(to_string_pretty(&"a\"b\n"), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn nested_structure_is_stable() {
+        struct Row {
+            name: String,
+            pct: f64,
+            selected: bool,
+        }
+        impl ToJson for Row {
+            fn to_json(&self) -> Json {
+                json_obj!(self, name, pct, selected)
+            }
+        }
+        let rows = vec![
+            Row { name: "a".into(), pct: 10.25, selected: true },
+            Row { name: "b".into(), pct: 0.0, selected: false },
+        ];
+        let one = to_string_pretty(&rows);
+        let two = to_string_pretty(&rows);
+        assert_eq!(one, two, "serialization must be byte-deterministic");
+        assert_eq!(
+            one,
+            "[\n  {\n    \"name\": \"a\",\n    \"pct\": 10.25,\n    \"selected\": true\n  },\n  \
+             {\n    \"name\": \"b\",\n    \"pct\": 0.0,\n    \"selected\": false\n  }\n]"
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string_pretty(&Json::Arr(vec![])), "[]");
+        assert_eq!(to_string_pretty(&Json::Obj(vec![])), "{}");
+    }
+}

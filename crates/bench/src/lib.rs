@@ -8,10 +8,20 @@
 //! * [`figures`] — drivers that regenerate every table and figure of the
 //!   paper; see the `fig1`…`fig9`, `table1`, `table2`, `overheads`,
 //!   `hwcost` and `reproduce` binaries.
+//! * [`pool`] — the parallel, fault-isolated experiment-execution layer:
+//!   (benchmark × config) cells fan out across `--jobs N` /
+//!   `CHECKELIDE_JOBS` scoped worker threads; per-cell panics become
+//!   reported [`CellError`]s and results return in registry order.
+//! * [`json`] — dependency-free, byte-deterministic JSON output for
+//!   `results/*.json` and the per-run `results/run_meta.json` metadata.
 
 pub mod figures;
+pub mod json;
+pub mod pool;
 pub mod runner;
 pub mod suite;
 
-pub use runner::{run_benchmark, RunConfig, RunOutput};
+pub use json::{Json, ToJson};
+pub use pool::{default_jobs, jobs_from_args, run_cells, CellError, CellOutcome};
+pub use runner::{run_benchmark, try_run_benchmark, RunConfig, RunError, RunOutput};
 pub use suite::{find, selected, Benchmark, Suite, BENCHMARKS};

@@ -83,6 +83,71 @@ impl RunConfig {
     }
 }
 
+/// A typed benchmark failure.
+///
+/// Replaces the seed harness's mid-suite `panic!` paths so one failing
+/// benchmark flows through [`crate::pool`]'s failure reporting as a
+/// `CellError` instead of aborting an entire `reproduce` run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// Top-level program execution (one-time setup) failed.
+    Setup {
+        /// Benchmark name.
+        bench: String,
+        /// VM error message.
+        message: String,
+    },
+    /// A warm-up iteration failed.
+    Warmup {
+        /// Benchmark name.
+        bench: String,
+        /// 1-based warm-up iteration.
+        iteration: u32,
+        /// VM error message.
+        message: String,
+    },
+    /// The measured (final) iteration failed.
+    Measured {
+        /// Benchmark name.
+        bench: String,
+        /// VM error message.
+        message: String,
+    },
+    /// Two configurations of the same benchmark produced different
+    /// checksums (the mechanism changed program semantics).
+    ChecksumMismatch {
+        /// Benchmark name.
+        bench: String,
+        /// Baseline checksum.
+        base: String,
+        /// Mechanism checksum.
+        full: String,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Setup { bench, message } => {
+                write!(f, "{bench}: setup failed: {message}")
+            }
+            RunError::Warmup { bench, iteration, message } => {
+                write!(f, "{bench}: warmup {iteration} failed: {message}")
+            }
+            RunError::Measured { bench, message } => {
+                write!(f, "{bench}: measured run failed: {message}")
+            }
+            RunError::ChecksumMismatch { bench, base, full } => write!(
+                f,
+                "{bench}: mechanism changed program semantics \
+                 (baseline checksum {base:?}, mechanism checksum {full:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// Everything measured on the final iteration.
 #[derive(Debug)]
 pub struct RunOutput {
@@ -110,9 +175,20 @@ pub struct RunOutput {
 ///
 /// # Panics
 ///
-/// Panics if the benchmark source fails to parse or errors at runtime —
-/// benchmarks are part of the repository and must always run.
+/// Panics on any [`RunError`]; the pool-based harnesses use
+/// [`try_run_benchmark`] instead, which reports failures as data.
 pub fn run_benchmark(bench: &Benchmark, cfg: RunConfig) -> RunOutput {
+    try_run_benchmark(bench, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Run one benchmark under a configuration, reporting failures as a typed
+/// [`RunError`] instead of panicking.
+///
+/// # Errors
+///
+/// Any parse/runtime failure during setup, warm-up or the measured
+/// iteration.
+pub fn try_run_benchmark(bench: &Benchmark, cfg: RunConfig) -> Result<RunOutput, RunError> {
     let engine_cfg = EngineConfig {
         mechanism: cfg.mechanism,
         opt_enabled: cfg.opt,
@@ -124,8 +200,10 @@ pub fn run_benchmark(bench: &Benchmark, cfg: RunConfig) -> RunOutput {
         install_optimizer(&mut vm);
     }
     let mut null = NullSink::new();
-    vm.run_program(bench.source, &mut null)
-        .unwrap_or_else(|e| panic!("{}: setup failed: {e}", bench.name));
+    vm.run_program(bench.source, &mut null).map_err(|e| RunError::Setup {
+        bench: bench.name.to_string(),
+        message: e.to_string(),
+    })?;
 
     let scale = cfg.scale.unwrap_or(bench.scale);
     let args = [Value::smi(scale)];
@@ -133,8 +211,11 @@ pub fn run_benchmark(bench: &Benchmark, cfg: RunConfig) -> RunOutput {
     // Warm-up iterations.
     for i in 1..cfg.iterations {
         vm.rt.reset_prng();
-        vm.call_global("bench", &args, &mut null)
-            .unwrap_or_else(|e| panic!("{}: warmup {i} failed: {e}", bench.name));
+        vm.call_global("bench", &args, &mut null).map_err(|e| RunError::Warmup {
+            bench: bench.name.to_string(),
+            iteration: i,
+            message: e.to_string(),
+        })?;
     }
 
     // Steady-state boundary: reset statistics, keep all warm state.
@@ -143,25 +224,26 @@ pub fn run_benchmark(bench: &Benchmark, cfg: RunConfig) -> RunOutput {
     vm.stats = VmStats::default();
     vm.rt.reset_prng();
 
+    let measured_err = |e: checkelide_engine::vm::VmError| RunError::Measured {
+        bench: bench.name.to_string(),
+        message: e.to_string(),
+    };
     let mut counters = CounterSink::new();
     let (result, sim) = if cfg.timing {
         let mut sim = CoreSim::new(CoreConfig::nehalem());
         let result = {
             let mut tee = Tee::new(&mut counters, &mut sim);
-            vm.call_global("bench", &args, &mut tee)
-                .unwrap_or_else(|e| panic!("{}: measured run failed: {e}", bench.name))
+            vm.call_global("bench", &args, &mut tee).map_err(measured_err)?
         };
         (result, Some(sim.result()))
     } else {
-        let result = vm
-            .call_global("bench", &args, &mut counters)
-            .unwrap_or_else(|e| panic!("{}: measured run failed: {e}", bench.name));
+        let result = vm.call_global("bench", &args, &mut counters).map_err(measured_err)?;
         (result, None)
     };
     counters.finish();
 
     let fig3 = classify_fig3(&vm);
-    RunOutput {
+    Ok(RunOutput {
         uops: counters.total(),
         sim,
         fig3,
@@ -171,7 +253,7 @@ pub fn run_benchmark(bench: &Benchmark, cfg: RunConfig) -> RunOutput {
         obj_stats: vm.rt.obj_stats,
         checksum: vm.rt.to_display_string(result),
         counters,
-    }
+    })
 }
 
 /// Figure 3 classification with the subtree-aggregated monomorphism query
@@ -228,6 +310,99 @@ mod tests {
         let full = quick(Mechanism::Full, true);
         assert_eq!(base, opt);
         assert_eq!(base, full);
+    }
+
+    /// The Fig. 3 decode audit (pure layout half).
+    ///
+    /// The engine profiles property slots as `(line = off / 8,
+    /// pos = off % 8)` of the slot's word offset, and [`classify_fig3`]
+    /// decodes `prop_offsets` the same way. Check that decode against the
+    /// heap layout for every slot of a four-line object: no property slot
+    /// may decode to a header word (`pos == 0`), none may alias the
+    /// elements ptr/len words (line 0, pos 2/3 — pos 2 doubles as the
+    /// `ELEMENTS_SLOT` pseudo-profile), and the decode must be injective
+    /// so distinct properties never share a profile site.
+    #[test]
+    fn fig3_offset_decode_matches_heap_layout() {
+        use checkelide_runtime::maps::{slot_word_offset, LINE0_SLOTS, LINE_SLOTS};
+        let slots = LINE0_SLOTS + 3 * LINE_SLOTS; // four heap lines
+        let mut seen = std::collections::HashSet::new();
+        for index in 0..slots {
+            let off = slot_word_offset(index);
+            let (line, pos) = (off / 8, off % 8);
+            assert_ne!(pos, 0, "slot {index} decodes to a header word (off {off})");
+            if line == 0 {
+                assert!(
+                    ![2, 3].contains(&pos),
+                    "slot {index} aliases the elements ptr/len words (off {off})"
+                );
+                assert_ne!(
+                    pos,
+                    u16::from(checkelide_core::ELEMENTS_SLOT),
+                    "slot {index} aliases the ELEMENTS_SLOT pseudo-profile"
+                );
+            }
+            assert!(
+                seen.insert((line, pos)),
+                "slots {index} and an earlier one share profile site ({line},{pos})"
+            );
+        }
+    }
+
+    /// The Fig. 3 decode audit (end-to-end half), on the ai-astar
+    /// GraphNode shape: nine properties, so `x,y,wall,g,h` fill line 0
+    /// (words 1,4,5,6,7) and `f,visited,closed,parent` spill to line 1
+    /// (words 9..=12). Hot loads of both line-0 and line-1 slots must
+    /// classify as monomorphic properties; a wrong `(off/8, off%8)` decode
+    /// in [`classify_fig3`] would fail to find the line-1 introducer and
+    /// push those loads into the polymorphic bucket.
+    #[test]
+    fn fig3_classifies_multiline_graphnode_properties_as_monomorphic() {
+        static SRC: &str = "\
+function GraphNode(x, y, wall) {
+    this.x = x;
+    this.y = y;
+    this.wall = wall;
+    this.g = 0;
+    this.h = 0;
+    this.f = 0;
+    this.visited = 0;
+    this.closed = 0;
+    this.parent = this;
+}
+var nodes = [];
+for (var i = 0; i < 16; i++) {
+    nodes[i] = new GraphNode(i, i * 3, 0);
+    nodes[i].parent = nodes[0];
+}
+function bench(scale) {
+    var sum = 0;
+    for (var it = 0; it < scale * 200; it++) {
+        var n = nodes[it % 16];
+        sum += n.x + n.g + n.f + n.closed + n.parent.y;
+    }
+    return sum;
+}
+";
+        let bench = Benchmark {
+            name: "fig3-multiline-graphnode",
+            suite: crate::suite::Suite::Kraken,
+            source: SRC,
+            scale: 4,
+            selected: false,
+        };
+        let cfg = RunConfig::characterize().with_scale(4).with_iterations(3);
+        let out = try_run_benchmark(&bench, cfg).expect("synthetic benchmark runs");
+        assert!(
+            out.fig3.mono_properties > 50.0,
+            "line-1 property loads mis-classified: {:?}",
+            out.fig3
+        );
+        assert!(
+            out.fig3.poly_properties < 1.0,
+            "expected no polymorphic property loads: {:?}",
+            out.fig3
+        );
     }
 
     #[test]

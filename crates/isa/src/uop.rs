@@ -333,7 +333,7 @@ mod tests {
         assert!(UopKind::MovStoreClassCache.is_memory());
         assert!(UopKind::MovStoreClassCacheArray.is_memory());
         assert!(!UopKind::Alu.is_memory());
-        assert!(!UopKind::MovClassId.is_memory() || false);
+        assert!(!UopKind::MovClassId.is_memory());
     }
 
     #[test]

@@ -68,6 +68,31 @@ fn fig8_mechanism_wins_on_the_headline_benchmark() {
 }
 
 #[test]
+fn pool_preserves_order_and_isolates_a_panicking_cell() {
+    use checkelide::bench::{pool, try_run_benchmark, RunConfig};
+    let names = ["richards", "ai-astar", "bitops-bits-in-byte"];
+    let cells: Vec<(String, &str)> = names.iter().map(|n| (n.to_string(), *n)).collect();
+    let outcomes = pool::run_cells(cells, 2, |name: &&str| {
+        if *name == "ai-astar" {
+            panic!("deliberate cell failure");
+        }
+        let b = checkelide::bench::find(name).unwrap();
+        try_run_benchmark(b, RunConfig::characterize().with_scale(2).with_iterations(2))
+            .map(|o| o.uops)
+    });
+    // Results come back in input order regardless of scheduling.
+    assert_eq!(outcomes.len(), 3);
+    for (outcome, name) in outcomes.iter().zip(names) {
+        assert_eq!(outcome.label, name);
+    }
+    // The panicking cell is a reported CellError; its siblings completed.
+    assert!(matches!(&outcomes[0].result, Ok(Ok(uops)) if *uops > 0));
+    let err = outcomes[1].result.as_ref().expect_err("panic captured");
+    assert!(err.message.contains("deliberate cell failure"), "{}", err.message);
+    assert!(matches!(&outcomes[2].result, Ok(Ok(uops)) if *uops > 0));
+}
+
+#[test]
 fn table2_and_hwcost_hold_paper_claims() {
     let cfg = checkelide::uarch::CoreConfig::nehalem();
     assert_eq!(cfg.issue_width, 4);

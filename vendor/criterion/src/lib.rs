@@ -1,0 +1,173 @@
+//! A std-only, offline shim of the subset of the `criterion` API this
+//! workspace uses (`Criterion`, `benchmark_group`, `bench_function`,
+//! `Bencher::iter`, `criterion_group!`, `criterion_main!`, `black_box`).
+//!
+//! The build environment has no access to a crates.io mirror, so the real
+//! `criterion` cannot be downloaded. This shim times each benchmark with a
+//! fixed warm-up plus `sample_size` measured samples and reports the
+//! median, which is enough to keep `cargo bench` working as a smoke/perf
+//! harness.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// No-op in the shim (real criterion parses CLI flags here).
+    #[must_use]
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), self.sample_size, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A named group; the shim only tracks the group name and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Close the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, collecting the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call (also sizes the per-sample iteration count).
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed();
+        // Aim for samples of at least ~1ms without exceeding ~64 iters.
+        let per = if once < Duration::from_micros(20) {
+            64
+        } else if once < Duration::from_millis(1) {
+            8
+        } else {
+            1
+        };
+        self.iters_per_sample = per;
+        for _ in 0..self.target_samples {
+            let t = Instant::now();
+            for _ in 0..per {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / per as u32);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut b =
+        Bencher { samples: Vec::new(), iters_per_sample: 1, target_samples: sample_size };
+    let t0 = Instant::now();
+    f(&mut b);
+    let total = t0.elapsed();
+    if b.samples.is_empty() {
+        println!("{name:<44} (no samples; wall {total:.2?})");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let lo = b.samples[0];
+    let hi = b.samples[b.samples.len() - 1];
+    println!(
+        "{name:<44} time: [{lo:>10.2?} {median:>10.2?} {hi:>10.2?}]  ({} samples x {} iters)",
+        b.samples.len(),
+        b.iters_per_sample,
+    );
+}
+
+/// Define a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("unit", |b| b.iter(|| black_box(2 + 2)));
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("one", |b| {
+                b.iter(|| {
+                    ran += 1;
+                    black_box(ran)
+                })
+            });
+            g.finish();
+        }
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,576 @@
+//! A std-only, offline shim of the subset of the `proptest` API this
+//! workspace uses.
+//!
+//! The build environment has no access to a crates.io mirror, so the real
+//! `proptest` cannot be downloaded. This crate reimplements the pieces the
+//! test suites rely on — `proptest!`, `Strategy`/`BoxedStrategy`,
+//! `any::<T>()`, ranges, `Just`, `prop_oneof!`, `prop_map`,
+//! `collection::vec`, `sample::select` and simple character-class string
+//! strategies — as a plain seeded random-case runner (no shrinking). Each
+//! property runs [`CASES`] deterministic pseudo-random cases seeded from
+//! the test name, so failures are reproducible run-to-run.
+
+use std::rc::Rc;
+
+/// Number of pseudo-random cases executed per property.
+pub const CASES: u32 = 128;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic splitmix64 generator used to drive all strategies.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed from an arbitrary state value.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Seed deterministically from a test name (FNV-1a).
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng::new(h)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Multiply-shift; bias is irrelevant for test-case generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A generator of test values (shim: sampling only, no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase into a clonable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let this = self;
+        BoxedStrategy(Rc::new(move |rng| this.sample(rng)))
+    }
+}
+
+/// A clonable, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (built by [`prop_oneof!`]).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].sample(rng)
+    }
+}
+
+// --- `any` ---------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Full bit-pattern coverage: NaNs, infinities, subnormals included.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+/// Strategy for the full domain of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// --- ranges --------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u64;
+                assert!(span > 0, "empty range strategy");
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() as i128 - *self.start() as i128) as u64;
+                (*self.start() as i128 + rng.below(span.wrapping_add(1).max(1)) as i128) as $t
+            }
+        }
+    )+};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// --- tuples --------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+// --- string patterns -----------------------------------------------------
+
+/// `&str` literals act as simplified regex strategies: one character class
+/// (`[a-f]`, `[ -~\n]`, with `&&[^…]` intersections) with an optional
+/// `{m,n}` repetition, producing `String`s.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = pattern::parse(self);
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+mod pattern {
+    /// The universe used for negated classes: printable ASCII + `\n`/`\t`.
+    fn universe() -> Vec<char> {
+        let mut u: Vec<char> = (0x20u8..=0x7e).map(|b| b as char).collect();
+        u.push('\n');
+        u.push('\t');
+        u
+    }
+
+    /// Parse `pattern` into (alphabet, min_len, max_len).
+    pub fn parse(pattern: &str) -> (Vec<char>, usize, usize) {
+        let s: Vec<char> = pattern.chars().collect();
+        assert!(
+            !s.is_empty() && s[0] == '[',
+            "string strategy shim only supports `[class]{{m,n}}` patterns, got {pattern:?}"
+        );
+        let close = matching_bracket(&s, 0);
+        let alphabet = parse_class(&s[0..=close]);
+        assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+        let rest: String = s[close + 1..].iter().collect();
+        let (min, max) = if rest.is_empty() {
+            (1, 1)
+        } else {
+            let inner = rest
+                .strip_prefix('{')
+                .and_then(|r| r.strip_suffix('}'))
+                .unwrap_or_else(|| panic!("unsupported repetition {rest:?} in {pattern:?}"));
+            let mut it = inner.splitn(2, ',');
+            let lo: usize = it.next().unwrap().trim().parse().unwrap();
+            let hi: usize = it.next().map_or(lo, |h| h.trim().parse().unwrap());
+            (lo, hi)
+        };
+        (alphabet, min, max)
+    }
+
+    /// Index of the `]` matching the `[` at `open`.
+    fn matching_bracket(s: &[char], open: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < s.len() {
+            match s[i] {
+                '\\' => i += 1,
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        panic!("unbalanced [ in pattern");
+    }
+
+    /// Parse a bracketed class (including brackets) into its alphabet.
+    fn parse_class(s: &[char]) -> Vec<char> {
+        let inner = &s[1..s.len() - 1];
+        let (negated, inner) = match inner.first() {
+            Some('^') => (true, &inner[1..]),
+            _ => (false, inner),
+        };
+        // Split on top-level `&&` (class intersection).
+        let mut parts: Vec<&[char]> = Vec::new();
+        let mut start = 0usize;
+        let mut i = 0usize;
+        while i < inner.len() {
+            match inner[i] {
+                '\\' => i += 1,
+                '[' => {
+                    let close = matching_bracket(inner, i);
+                    i = close;
+                }
+                '&' if i + 1 < inner.len() && inner[i + 1] == '&' => {
+                    parts.push(&inner[start..i]);
+                    i += 1;
+                    start = i + 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        parts.push(&inner[start..]);
+
+        let mut set: Option<Vec<char>> = None;
+        for part in parts {
+            let chars = if part.first() == Some(&'[') {
+                parse_class(part)
+            } else {
+                parse_items(part)
+            };
+            set = Some(match set {
+                None => chars,
+                Some(prev) => prev.into_iter().filter(|c| chars.contains(c)).collect(),
+            });
+        }
+        let set = set.unwrap_or_default();
+        if negated {
+            universe().into_iter().filter(|c| !set.contains(c)).collect()
+        } else {
+            set
+        }
+    }
+
+    /// Parse plain class items: literals, escapes and `a-z` ranges.
+    fn parse_items(s: &[char]) -> Vec<char> {
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        let unescape = |c: char| match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        };
+        while i < s.len() {
+            let c = if s[i] == '\\' {
+                i += 1;
+                unescape(s[i])
+            } else {
+                s[i]
+            };
+            // Range?
+            if i + 2 < s.len() && s[i + 1] == '-' && s[i + 2] != ']' {
+                let hi = if s[i + 2] == '\\' {
+                    i += 1;
+                    unescape(s[i + 2])
+                } else {
+                    s[i + 2]
+                };
+                for v in (c as u32)..=(hi as u32) {
+                    if let Some(ch) = char::from_u32(v) {
+                        out.push(ch);
+                    }
+                }
+                i += 3;
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// collection / sample modules
+// ---------------------------------------------------------------------------
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Vec of values from `element`, length uniform in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`proptest::sample::select`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Uniform choice from a fixed list.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// `proptest::sample::select(items)`.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select of empty list");
+        Select(items)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// macros
+// ---------------------------------------------------------------------------
+
+/// Property-test entry point: `proptest! { #[test] fn p(x in strat) { … } }`.
+///
+/// Each property becomes a `#[test]` that runs [`CASES`] deterministic
+/// random cases (seeded from the property name). No shrinking.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::TestRng::from_name(stringify!($name));
+                for __case in 0..$crate::CASES {
+                    let _ = __case;
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Property assertion (shim: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion (shim: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion (shim: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The conventional glob import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy, TestRng, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (3u8..9).sample(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (-2.0f64..2.0).sample(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn char_class_patterns() {
+        let mut rng = TestRng::from_name("classes");
+        for _ in 0..200 {
+            let s = "[a-f]".sample(&mut rng);
+            assert_eq!(s.len(), 1);
+            assert!(('a'..='f').contains(&s.chars().next().unwrap()));
+
+            let s = r#"[ -~&&[^"\\']]{0,30}"#.sample(&mut rng);
+            assert!(s.len() <= 30);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)
+                && c != '"'
+                && c != '\\'
+                && c != '\''));
+
+            let s = "[ -~\\n]{0,120}".sample(&mut rng);
+            assert!(s.len() <= 120);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) || c == '\n'));
+        }
+    }
+
+    #[test]
+    fn oneof_union_covers_arms() {
+        let mut rng = TestRng::from_name("union");
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strat.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    proptest! {
+        /// The macro itself compiles and drives parameters.
+        #[test]
+        fn macro_smoke(x in 0u32..10, v in crate::collection::vec(0u8..3, 1..5)) {
+            prop_assert!(x < 10);
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert_eq!(v.iter().filter(|&&b| b > 2).count(), 0);
+        }
+    }
+}
