@@ -14,9 +14,8 @@ use checkelide_core::hwcost;
 use checkelide_engine::Mechanism;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let jobs = checkelide_bench::jobs_from_args(&args);
+    let cli = checkelide_bench::Cli::parse();
+    let (quick, jobs) = (cli.quick, cli.jobs);
     // box2d and raytrace are the paper's two >32-class outliers — the
     // stress cases for a small cache; richards is a mid-size control.
     let names = ["box2d", "raytrace", "richards", "ai-astar"];

@@ -7,7 +7,7 @@
 fn main() {
     use checkelide_engine::{EngineConfig, Mechanism, Vm};
     use checkelide_isa::NullSink;
-    let name = std::env::args().nth(1).unwrap_or_else(|| "ai-astar".into());
+    let name = checkelide_bench::Cli::parse().positional_or("ai-astar");
     let b = checkelide_bench::find(&name).unwrap_or_else(|| {
         eprintln!("unknown benchmark `{name}`; available:");
         for b in checkelide_bench::BENCHMARKS {

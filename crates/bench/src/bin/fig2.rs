@@ -3,9 +3,8 @@
 //!     fig2 [--quick] [--jobs N]
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let jobs = checkelide_bench::jobs_from_args(&args);
+    let cli = checkelide_bench::Cli::parse();
+    let (quick, jobs) = (cli.quick, cli.jobs);
     let report = checkelide_bench::figures::fig2_report(quick, jobs);
     print!("{}", checkelide_bench::figures::render_fig2(&report.rows));
     checkelide_bench::figures::save_json("fig2", &report.rows)

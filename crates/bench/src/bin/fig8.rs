@@ -5,10 +5,9 @@
 //!     fig8 [--quick] [--jobs N] [--detail <benchmark>]
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    if let Some(pos) = args.iter().position(|a| a == "--detail") {
-        let name = args.get(pos + 1).expect("--detail <benchmark>");
+    let cli = checkelide_bench::Cli::parse();
+    let quick = cli.quick;
+    if let Some(name) = cli.value_of("--detail") {
         let b = checkelide_bench::find(name).expect("unknown benchmark");
         let row = checkelide_bench::figures::fig89_one(b, quick);
         println!("{name}:");
@@ -22,8 +21,7 @@ fn main() {
         println!("  Class Cache hit rate   {:.5}", row.class_cache_hit);
         return;
     }
-    let jobs = checkelide_bench::jobs_from_args(&args);
-    let report = checkelide_bench::figures::fig89_report(quick, jobs);
+    let report = checkelide_bench::figures::fig89_report(quick, cli.jobs);
     print!("{}", checkelide_bench::figures::render_fig89(&report.rows));
     checkelide_bench::figures::save_json("fig8_fig9", &report.rows).expect("write results");
     eprintln!("saved results/fig8_fig9.json");

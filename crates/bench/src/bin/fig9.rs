@@ -3,9 +3,8 @@
 //!     fig9 [--quick] [--jobs N]
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let jobs = checkelide_bench::jobs_from_args(&args);
+    let cli = checkelide_bench::Cli::parse();
+    let (quick, jobs) = (cli.quick, cli.jobs);
     let report = checkelide_bench::figures::fig89_report(quick, jobs);
     let rows = &report.rows;
     println!("{:<34} {:>12} {:>10}", "benchmark", "energy red.", "(opt)");

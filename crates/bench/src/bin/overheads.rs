@@ -4,9 +4,8 @@
 //!     overheads [--quick] [--jobs N]
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let jobs = checkelide_bench::jobs_from_args(&args);
+    let cli = checkelide_bench::Cli::parse();
+    let (quick, jobs) = (cli.quick, cli.jobs);
     let report = checkelide_bench::figures::overheads_report(quick, jobs);
     let rows = &report.rows;
     print!("{}", checkelide_bench::figures::render_overheads(rows));

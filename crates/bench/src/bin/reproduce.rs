@@ -14,7 +14,7 @@
 //! nonzero.
 
 use checkelide_bench::figures::{self, FigureReport, RunMeta};
-use checkelide_bench::pool::{jobs_from_args, CellError};
+use checkelide_bench::pool::CellError;
 use checkelide_bench::ToJson;
 
 fn stage<R: ToJson>(
@@ -34,9 +34,8 @@ fn stage<R: ToJson>(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let jobs = jobs_from_args(&args);
+    let cli = checkelide_bench::Cli::parse();
+    let (quick, jobs) = (cli.quick, cli.jobs);
     eprintln!("reproduce: {} mode, {jobs} worker(s)", if quick { "quick" } else { "full" });
 
     let start = std::time::Instant::now();

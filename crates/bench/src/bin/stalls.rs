@@ -5,7 +5,7 @@
 
 fn main() {
     use checkelide_bench::{find, run_benchmark, RunConfig};
-    let name = std::env::args().nth(1).unwrap_or_else(|| "ai-astar".into());
+    let name = checkelide_bench::Cli::parse().positional_or("ai-astar");
     let b = find(&name).expect("unknown benchmark");
     for (label, cfg) in
         [("base", RunConfig::baseline_timed()), ("full", RunConfig::mechanism_timed())]

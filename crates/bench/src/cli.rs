@@ -1,0 +1,161 @@
+//! Shared command-line parsing for the harness binaries.
+//!
+//! Every `crates/bench/src/bin/*` entry point (and `checkelide-xcheck`'s
+//! `xcheck` binary) used to hand-roll the same `--quick` / `--jobs N` /
+//! `CHECKELIDE_JOBS` handling; this module centralizes it. Parsing is
+//! deliberately tiny and dependency-free:
+//!
+//! * boolean flags: `--quick` (or anything via [`Cli::has`]);
+//! * value flags: `--name V` or `--name=V` (see [`Cli::value_of`]);
+//! * `--jobs N` / `-j N` / `--jobs=N` / env `CHECKELIDE_JOBS`, delegated
+//!   to [`crate::pool::jobs_from_args`] so the two layers can never
+//!   disagree;
+//! * positionals: the first argument that is neither a flag nor the value
+//!   of a known value-taking flag ([`Cli::positional_or`]).
+
+use crate::pool::jobs_from_args;
+
+/// Flags that consume the following argument as their value. Needed to
+/// tell `--jobs 4 foo` (positional `foo`) apart from `--jobs 4` alone.
+const VALUE_FLAGS: &[&str] =
+    &["--jobs", "-j", "--detail", "--seed", "--count", "--dump-dir", "--max-shrink"];
+
+/// Parsed command line shared by the harness binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// `--quick` — reduced-scale smoke run.
+    pub quick: bool,
+    /// Worker threads (`--jobs N`, `-j N`, `--jobs=N`, `CHECKELIDE_JOBS`,
+    /// default: available parallelism).
+    pub jobs: usize,
+    args: Vec<String>,
+}
+
+impl Cli {
+    /// Parse the process's own arguments.
+    pub fn parse() -> Cli {
+        Cli::from_args(std::env::args().skip(1).collect())
+    }
+
+    /// Parse an explicit argument vector (no program name).
+    pub fn from_args(args: Vec<String>) -> Cli {
+        let quick = args.iter().any(|a| a == "--quick");
+        let jobs = jobs_from_args(&args);
+        Cli { quick, jobs, args }
+    }
+
+    /// The raw arguments, for bin-specific handling.
+    pub fn args(&self) -> &[String] {
+        &self.args
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn has(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+
+    /// The value of `--flag V` or `--flag=V`, if present.
+    pub fn value_of(&self, flag: &str) -> Option<&str> {
+        let mut it = self.args.iter();
+        while let Some(a) = it.next() {
+            if a == flag {
+                return it.next().map(String::as_str);
+            }
+            if let Some(rest) = a.strip_prefix(flag) {
+                if let Some(v) = rest.strip_prefix('=') {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// A `u64`-valued flag, or `default` when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message when the value is not a number.
+    pub fn u64_or(&self, flag: &str, default: u64) -> u64 {
+        match self.value_of(flag) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag} expects an unsigned integer, got `{v}`")),
+        }
+    }
+
+    /// A `usize`-valued flag, or `default` when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message when the value is not a number.
+    pub fn usize_or(&self, flag: &str, default: usize) -> usize {
+        self.u64_or(flag, default as u64) as usize
+    }
+
+    /// The first positional argument (not a flag, not the value of a
+    /// known value-taking flag), or `default`.
+    pub fn positional_or(&self, default: &str) -> String {
+        let mut skip_next = false;
+        for a in &self.args {
+            if skip_next {
+                skip_next = false;
+                continue;
+            }
+            if VALUE_FLAGS.contains(&a.as_str()) {
+                skip_next = true;
+                continue;
+            }
+            if a.starts_with('-') {
+                continue;
+            }
+            return a.clone();
+        }
+        default.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> Cli {
+        Cli::from_args(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn parses_quick_and_jobs() {
+        let c = cli(&["--quick", "--jobs", "3"]);
+        assert!(c.quick);
+        assert_eq!(c.jobs, 3);
+        let c = cli(&["--jobs=2"]);
+        assert!(!c.quick);
+        assert_eq!(c.jobs, 2);
+    }
+
+    #[test]
+    fn value_flags_both_spellings() {
+        let c = cli(&["--seed", "7", "--count=500"]);
+        assert_eq!(c.value_of("--seed"), Some("7"));
+        assert_eq!(c.value_of("--count"), Some("500"));
+        assert_eq!(c.value_of("--detail"), None);
+        assert_eq!(c.u64_or("--seed", 1), 7);
+        assert_eq!(c.u64_or("--missing", 42), 42);
+    }
+
+    #[test]
+    fn positionals_skip_flag_values() {
+        let c = cli(&["--jobs", "4", "ai-astar"]);
+        assert_eq!(c.positional_or("x"), "ai-astar");
+        let c = cli(&["--quick"]);
+        assert_eq!(c.positional_or("ai-astar"), "ai-astar");
+        let c = cli(&["splay"]);
+        assert_eq!(c.positional_or("x"), "splay");
+    }
+
+    #[test]
+    #[should_panic(expected = "--seed expects an unsigned integer")]
+    fn malformed_numeric_flag_panics() {
+        cli(&["--seed", "zap"]).u64_or("--seed", 1);
+    }
+}

@@ -14,13 +14,17 @@
 //!   reported [`CellError`]s and results return in registry order.
 //! * [`json`] — dependency-free, byte-deterministic JSON output for
 //!   `results/*.json` and the per-run `results/run_meta.json` metadata.
+//! * [`cli`] — the shared `--quick` / `--jobs` / value-flag / positional
+//!   parsing used by every harness binary (and by `xcheck`).
 
+pub mod cli;
 pub mod figures;
 pub mod json;
 pub mod pool;
 pub mod runner;
 pub mod suite;
 
+pub use cli::Cli;
 pub use json::{Json, ToJson};
 pub use pool::{default_jobs, jobs_from_args, run_cells, CellError, CellOutcome};
 pub use runner::{run_benchmark, try_run_benchmark, RunConfig, RunError, RunOutput};

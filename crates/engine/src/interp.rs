@@ -67,6 +67,10 @@ impl Vm {
         }
 
         loop {
+            if self.steps_remaining == 0 {
+                return Err(VmError::new(crate::vm::STEP_BUDGET_MSG));
+            }
+            self.steps_remaining -= 1;
             let op = bc.code[pc];
             em.at(code_base + pc as u64 * 64);
             match op {

@@ -43,7 +43,7 @@ pub use emit::Emitter;
 pub use feedback::{BinFeedback, CallFeedback, FeedbackSlot, SiteFeedback};
 pub use vm::{
     CompileOutcome, DeoptReason, DeoptState, EngineConfig, ExecResult, Frame, FunctionInfo,
-    Mechanism, OptimizedCode, OptimizerHook, Vm, VmError, VmStats,
+    Mechanism, OptimizedCode, OptimizerHook, Vm, VmError, VmStats, STEP_BUDGET_MSG,
 };
 
 impl Vm {

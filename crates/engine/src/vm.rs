@@ -62,6 +62,12 @@ pub struct EngineConfig {
     pub max_deopts: u32,
     /// Class Cache geometry.
     pub class_cache: ClassCacheConfig,
+    /// Execution step budget: the VM aborts with a `step budget
+    /// exceeded` runtime error after this many interpreted bytecodes /
+    /// optimized ops. `0` means unlimited. Differential harnesses set
+    /// this so candidate programs with runaway loops terminate
+    /// deterministically instead of hanging the oracle.
+    pub step_budget: u64,
 }
 
 impl Default for EngineConfig {
@@ -73,9 +79,15 @@ impl Default for EngineConfig {
             gc_threshold_words: 6 << 20,
             max_deopts: 8,
             class_cache: ClassCacheConfig::default(),
+            step_budget: 0,
         }
     }
 }
+
+/// Error message produced when [`EngineConfig::step_budget`] runs out.
+/// Shared with the reference interpreter so a runaway program produces
+/// the *same* observable under every executor.
+pub const STEP_BUDGET_MSG: &str = "step budget exceeded";
 
 /// A runtime error (njs has no exception system; errors abort execution).
 #[derive(Debug, Clone, PartialEq)]
@@ -302,6 +314,9 @@ pub struct Vm {
     optimizer: Option<Rc<dyn OptimizerHook>>,
     /// Recursion depth guard.
     pub depth: u32,
+    /// Steps left before the VM aborts (`u64::MAX` when
+    /// [`EngineConfig::step_budget`] is `0`, i.e. unlimited).
+    pub steps_remaining: u64,
 }
 
 impl fmt::Debug for Vm {
@@ -336,6 +351,7 @@ impl Vm {
             stats: VmStats::default(),
             optimizer: None,
             depth: 0,
+            steps_remaining: if config.step_budget == 0 { u64::MAX } else { config.step_budget },
         };
         vm.install_globals();
         vm

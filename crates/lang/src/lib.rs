@@ -27,9 +27,11 @@
 pub mod ast;
 pub mod lexer;
 pub mod parser;
+pub mod pretty;
 pub mod token;
 
 pub use ast::{BinOp, Expr, FuncDecl, LogOp, Program, Stmt, UnOp, UpdateOp};
 pub use lexer::{LexError, Lexer};
 pub use parser::{parse_program, ParseError, Parser};
+pub use pretty::{node_count, normalize, print_expr, print_program};
 pub use token::{Span, Token, TokenKind};

@@ -1,0 +1,661 @@
+//! An njs AST pretty-printer.
+//!
+//! The printer exists so tools (most importantly the `checkelide-xcheck`
+//! differential oracle) can dump a generated or shrunk [`Program`] as
+//! source text that **reparses to a structurally identical AST**. The
+//! strategy is maximal parenthesization: every compound expression is
+//! wrapped in its own parentheses, and the parser treats parentheses as
+//! the identity on expressions (see `parenthesization_is_identity` in
+//! `crates/lang/tests/proptests.rs`), so no precedence or associativity
+//! reasoning is required to prove the round trip.
+//!
+//! # Round-trip caveats
+//!
+//! * `FuncDecl::line` is diagnostic-only and changes with layout; compare
+//!   ASTs through [`normalize`], which zeroes it everywhere.
+//! * Number literals that the lexer cannot spell (`NaN`, infinities and
+//!   negative values — njs has no sign in numeric literals) are printed
+//!   as equivalent *expressions* (`(0 / 0)`, `(1 / 0)`, unary minus), so
+//!   they reparse to a semantically equal but structurally different
+//!   node. Printing ASTs whose literals came from the parser (or from
+//!   the xcheck generator, which only emits finite non-negative
+//!   literals) round-trips exactly.
+//! * A non-`Block` `if` branch whose tail is an `else`-less `if` would
+//!   re-associate a following `else` (the dangling-else ambiguity);
+//!   callers that need exact round trips should use `Block` bodies, as
+//!   the parser-facing generators in this workspace do.
+
+use crate::ast::{Expr, FuncDecl, Program, Stmt, UnOp, UpdateOp};
+use crate::token::TokenKind;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Render a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for s in &p.body {
+        print_stmt(&mut out, s, 0);
+    }
+    out
+}
+
+/// Render a single expression (maximally parenthesized).
+pub fn print_expr(e: &Expr) -> String {
+    let mut s = String::new();
+    expr(&mut s, e);
+    s
+}
+
+/// A copy of `p` with every `FuncDecl::line` forced to zero, for
+/// structural comparison across print/reparse round trips.
+pub fn normalize(p: &Program) -> Program {
+    Program { body: p.body.iter().map(norm_stmt).collect() }
+}
+
+/// Number of AST nodes in a program (statements + expressions; function
+/// declarations count their bodies). Used by the xcheck shrinker to
+/// report reproducer sizes.
+pub fn node_count(p: &Program) -> usize {
+    p.body.iter().map(stmt_nodes).sum()
+}
+
+// ---------------------------------------------------------------------------
+// statements
+// ---------------------------------------------------------------------------
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
+    indent(out, level);
+    match s {
+        Stmt::Var { name, init } => {
+            out.push_str("var ");
+            out.push_str(name);
+            if let Some(e) = init {
+                out.push_str(" = ");
+                expr(out, e);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Expr(e) => {
+            // An expression statement must not start with `{`; compound
+            // expressions are already self-parenthesized, so only bare
+            // object literals need the wrap.
+            if matches!(e, Expr::Object(_)) {
+                out.push('(');
+                expr(out, e);
+                out.push(')');
+            } else {
+                expr(out, e);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::If { cond, then, els } => {
+            out.push_str("if (");
+            expr(out, cond);
+            out.push_str(") ");
+            print_body(out, then, level);
+            if let Some(e) = els {
+                indent(out, level);
+                out.push_str("else ");
+                print_body(out, e, level);
+            }
+        }
+        Stmt::While { cond, body } => {
+            out.push_str("while (");
+            expr(out, cond);
+            out.push_str(") ");
+            print_body(out, body, level);
+        }
+        Stmt::DoWhile { body, cond } => {
+            out.push_str("do ");
+            print_body(out, body, level);
+            indent(out, level);
+            out.push_str("while (");
+            expr(out, cond);
+            out.push_str(");\n");
+        }
+        Stmt::For { init, cond, update, body } => {
+            out.push_str("for (");
+            match init.as_deref() {
+                None => {}
+                Some(Stmt::Var { name, init }) => {
+                    out.push_str("var ");
+                    out.push_str(name);
+                    if let Some(e) = init {
+                        out.push_str(" = ");
+                        expr(out, e);
+                    }
+                }
+                Some(Stmt::Block(decls)) => {
+                    // Multi-declarator `var a = .., b = ..` (the parser
+                    // desugars it to a block of `Var`s in this position).
+                    out.push_str("var ");
+                    for (i, d) in decls.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        if let Stmt::Var { name, init } = d {
+                            out.push_str(name);
+                            if let Some(e) = init {
+                                out.push_str(" = ");
+                                expr(out, e);
+                            }
+                        }
+                    }
+                }
+                Some(Stmt::Expr(e)) => expr(out, e),
+                // Not producible by the parser in this position.
+                Some(_) => {}
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                expr(out, c);
+            }
+            out.push_str("; ");
+            if let Some(u) = update {
+                expr(out, u);
+            }
+            out.push_str(") ");
+            print_body(out, body, level);
+        }
+        Stmt::Break => out.push_str("break;\n"),
+        Stmt::Continue => out.push_str("continue;\n"),
+        Stmt::Return(None) => out.push_str("return;\n"),
+        Stmt::Return(Some(e)) => {
+            out.push_str("return ");
+            expr(out, e);
+            out.push_str(";\n");
+        }
+        Stmt::Function(f) => print_func(out, f, level, false),
+        Stmt::Block(body) => {
+            out.push_str("{\n");
+            for s in body {
+                print_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::Empty => out.push_str(";\n"),
+    }
+}
+
+/// Print a statement in `if`/loop body position. Blocks keep their braces
+/// (trailing on the header line); other statements are printed on their
+/// own line.
+fn print_body(out: &mut String, s: &Stmt, level: usize) {
+    match s {
+        Stmt::Block(body) => {
+            out.push_str("{\n");
+            for inner in body {
+                print_stmt(out, inner, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        other => {
+            out.push('\n');
+            print_stmt(out, other, level + 1);
+        }
+    }
+}
+
+fn print_func(out: &mut String, f: &FuncDecl, level: usize, as_expr: bool) {
+    out.push_str("function ");
+    out.push_str(&f.name);
+    out.push('(');
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(p);
+    }
+    out.push_str(") {\n");
+    for s in &f.body {
+        print_stmt(out, s, level + 1);
+    }
+    indent(out, level);
+    out.push('}');
+    if !as_expr {
+        out.push('\n');
+    }
+}
+
+// ---------------------------------------------------------------------------
+// expressions
+// ---------------------------------------------------------------------------
+
+fn expr(out: &mut String, e: &Expr) {
+    match e {
+        Expr::Num(f) => num(out, *f),
+        Expr::Str(s) => str_lit(out, s),
+        Expr::Bool(true) => out.push_str("true"),
+        Expr::Bool(false) => out.push_str("false"),
+        Expr::Null => out.push_str("null"),
+        Expr::Undefined => out.push_str("undefined"),
+        Expr::This => out.push_str("this"),
+        Expr::Ident(n) => out.push_str(n),
+        Expr::Array(items) => {
+            out.push('[');
+            for (i, it) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(out, it);
+            }
+            out.push(']');
+        }
+        Expr::Object(pairs) => {
+            out.push('{');
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push(' ');
+                key(out, k);
+                out.push_str(": ");
+                expr(out, v);
+            }
+            if !pairs.is_empty() {
+                out.push(' ');
+            }
+            out.push('}');
+        }
+        Expr::Member { obj, prop } => {
+            base(out, obj);
+            out.push('.');
+            out.push_str(prop);
+        }
+        Expr::Index { obj, index } => {
+            base(out, obj);
+            out.push('[');
+            expr(out, index);
+            out.push(']');
+        }
+        Expr::Call { callee, args } => {
+            // A `Member` callee is a method call; printing it bare keeps
+            // the receiver/`this` pairing intact.
+            base(out, callee);
+            arg_list(out, args);
+        }
+        Expr::New { callee, args } => {
+            out.push_str("new ");
+            match callee.as_ref() {
+                Expr::Ident(n) => out.push_str(n),
+                other => {
+                    out.push('(');
+                    expr(out, other);
+                    out.push(')');
+                }
+            }
+            arg_list(out, args);
+        }
+        Expr::Assign { target, op, value } => {
+            out.push('(');
+            expr(out, target);
+            match op {
+                Some(b) => {
+                    let _ = write!(out, " {b}= ");
+                }
+                None => out.push_str(" = "),
+            }
+            expr(out, value);
+            out.push(')');
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            out.push('(');
+            expr(out, lhs);
+            let _ = write!(out, " {op} ");
+            expr(out, rhs);
+            out.push(')');
+        }
+        Expr::Logical { op, lhs, rhs } => {
+            out.push('(');
+            expr(out, lhs);
+            out.push_str(match op {
+                crate::ast::LogOp::And => " && ",
+                crate::ast::LogOp::Or => " || ",
+            });
+            expr(out, rhs);
+            out.push(')');
+        }
+        Expr::Unary { op, expr: inner } => {
+            out.push('(');
+            out.push_str(match op {
+                UnOp::Neg => "- ",
+                UnOp::Plus => "+ ",
+                UnOp::Not => "! ",
+                UnOp::BitNot => "~ ",
+            });
+            expr(out, inner);
+            out.push(')');
+        }
+        Expr::Update { op, prefix, target } => {
+            let tok = match op {
+                UpdateOp::Inc => "++",
+                UpdateOp::Dec => "--",
+            };
+            out.push('(');
+            if *prefix {
+                out.push_str(tok);
+                expr(out, target);
+            } else {
+                expr(out, target);
+                out.push_str(tok);
+            }
+            out.push(')');
+        }
+        Expr::Cond { cond, then, els } => {
+            out.push('(');
+            expr(out, cond);
+            out.push_str(" ? ");
+            expr(out, then);
+            out.push_str(" : ");
+            expr(out, els);
+            out.push(')');
+        }
+        Expr::Function(f) => {
+            out.push('(');
+            print_func(out, f, 0, true);
+            out.push(')');
+        }
+    }
+}
+
+fn arg_list(out: &mut String, args: &[Expr]) {
+    out.push('(');
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        expr(out, a);
+    }
+    out.push(')');
+}
+
+/// Print an expression in member/index/call base position: primaries and
+/// postfix chains are valid bases as-is; everything else gets wrapped.
+fn base(out: &mut String, e: &Expr) {
+    match e {
+        Expr::Ident(_)
+        | Expr::This
+        | Expr::Str(_)
+        | Expr::Member { .. }
+        | Expr::Index { .. }
+        | Expr::Call { .. } => expr(out, e),
+        // Compound expressions self-parenthesize already.
+        Expr::Assign { .. }
+        | Expr::Binary { .. }
+        | Expr::Logical { .. }
+        | Expr::Unary { .. }
+        | Expr::Update { .. }
+        | Expr::Cond { .. }
+        | Expr::Function(_) => expr(out, e),
+        other => {
+            out.push('(');
+            expr(out, other);
+            out.push(')');
+        }
+    }
+}
+
+fn key(out: &mut String, k: &str) {
+    let ident_shaped = !k.is_empty()
+        && k.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '$')
+        && k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
+        && TokenKind::keyword(k).is_none();
+    if ident_shaped {
+        out.push_str(k);
+    } else {
+        str_lit(out, k);
+    }
+}
+
+fn str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\0' => out.push_str("\\0"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn num(out: &mut String, f: f64) {
+    if f.is_nan() {
+        out.push_str("(0 / 0)");
+    } else if f == f64::INFINITY {
+        out.push_str("(1 / 0)");
+    } else if f == f64::NEG_INFINITY {
+        out.push_str("(- (1 / 0))");
+    } else if f.is_sign_negative() {
+        // Covers negative values and -0.0; njs numeric literals are
+        // unsigned, so spell the sign as unary minus.
+        out.push_str("(- ");
+        let _ = write!(out, "{}", -f);
+        out.push(')');
+    } else {
+        // Rust's shortest-roundtrip Display never uses exponent notation
+        // and the njs lexer accepts plain decimal forms, so this is both
+        // lexable and value-exact.
+        let _ = write!(out, "{f}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// normalization + node counting
+// ---------------------------------------------------------------------------
+
+fn norm_stmt(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::Var { name, init } => {
+            Stmt::Var { name: name.clone(), init: init.as_ref().map(norm_expr) }
+        }
+        Stmt::Expr(e) => Stmt::Expr(norm_expr(e)),
+        Stmt::If { cond, then, els } => Stmt::If {
+            cond: norm_expr(cond),
+            then: Box::new(norm_stmt(then)),
+            els: els.as_ref().map(|e| Box::new(norm_stmt(e))),
+        },
+        Stmt::While { cond, body } => {
+            Stmt::While { cond: norm_expr(cond), body: Box::new(norm_stmt(body)) }
+        }
+        Stmt::DoWhile { body, cond } => {
+            Stmt::DoWhile { body: Box::new(norm_stmt(body)), cond: norm_expr(cond) }
+        }
+        Stmt::For { init, cond, update, body } => Stmt::For {
+            init: init.as_ref().map(|s| Box::new(norm_stmt(s))),
+            cond: cond.as_ref().map(norm_expr),
+            update: update.as_ref().map(norm_expr),
+            body: Box::new(norm_stmt(body)),
+        },
+        Stmt::Break => Stmt::Break,
+        Stmt::Continue => Stmt::Continue,
+        Stmt::Return(e) => Stmt::Return(e.as_ref().map(norm_expr)),
+        Stmt::Function(f) => Stmt::Function(norm_func(f)),
+        Stmt::Block(body) => Stmt::Block(body.iter().map(norm_stmt).collect()),
+        Stmt::Empty => Stmt::Empty,
+    }
+}
+
+fn norm_func(f: &FuncDecl) -> Rc<FuncDecl> {
+    Rc::new(FuncDecl {
+        name: f.name.clone(),
+        params: f.params.clone(),
+        body: f.body.iter().map(norm_stmt).collect(),
+        line: 0,
+    })
+}
+
+fn norm_expr(e: &Expr) -> Expr {
+    match e {
+        Expr::Num(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Null | Expr::Undefined
+        | Expr::This | Expr::Ident(_) => e.clone(),
+        Expr::Assign { target, op, value } => Expr::Assign {
+            target: Box::new(norm_expr(target)),
+            op: *op,
+            value: Box::new(norm_expr(value)),
+        },
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(norm_expr(lhs)),
+            rhs: Box::new(norm_expr(rhs)),
+        },
+        Expr::Logical { op, lhs, rhs } => Expr::Logical {
+            op: *op,
+            lhs: Box::new(norm_expr(lhs)),
+            rhs: Box::new(norm_expr(rhs)),
+        },
+        Expr::Unary { op, expr } => {
+            Expr::Unary { op: *op, expr: Box::new(norm_expr(expr)) }
+        }
+        Expr::Update { op, prefix, target } => {
+            Expr::Update { op: *op, prefix: *prefix, target: Box::new(norm_expr(target)) }
+        }
+        Expr::Cond { cond, then, els } => Expr::Cond {
+            cond: Box::new(norm_expr(cond)),
+            then: Box::new(norm_expr(then)),
+            els: Box::new(norm_expr(els)),
+        },
+        Expr::Call { callee, args } => Expr::Call {
+            callee: Box::new(norm_expr(callee)),
+            args: args.iter().map(norm_expr).collect(),
+        },
+        Expr::New { callee, args } => Expr::New {
+            callee: Box::new(norm_expr(callee)),
+            args: args.iter().map(norm_expr).collect(),
+        },
+        Expr::Member { obj, prop } => {
+            Expr::Member { obj: Box::new(norm_expr(obj)), prop: prop.clone() }
+        }
+        Expr::Index { obj, index } => Expr::Index {
+            obj: Box::new(norm_expr(obj)),
+            index: Box::new(norm_expr(index)),
+        },
+        Expr::Array(items) => Expr::Array(items.iter().map(norm_expr).collect()),
+        Expr::Object(pairs) => {
+            Expr::Object(pairs.iter().map(|(k, v)| (k.clone(), norm_expr(v))).collect())
+        }
+        Expr::Function(f) => Expr::Function(norm_func(f)),
+    }
+}
+
+fn stmt_nodes(s: &Stmt) -> usize {
+    1 + match s {
+        Stmt::Var { init, .. } => init.as_ref().map_or(0, expr_nodes),
+        Stmt::Expr(e) => expr_nodes(e),
+        Stmt::If { cond, then, els } => {
+            expr_nodes(cond)
+                + stmt_nodes(then)
+                + els.as_ref().map_or(0, |e| stmt_nodes(e))
+        }
+        Stmt::While { cond, body } => expr_nodes(cond) + stmt_nodes(body),
+        Stmt::DoWhile { body, cond } => stmt_nodes(body) + expr_nodes(cond),
+        Stmt::For { init, cond, update, body } => {
+            init.as_ref().map_or(0, |s| stmt_nodes(s))
+                + cond.as_ref().map_or(0, expr_nodes)
+                + update.as_ref().map_or(0, expr_nodes)
+                + stmt_nodes(body)
+        }
+        Stmt::Break | Stmt::Continue | Stmt::Empty => 0,
+        Stmt::Return(e) => e.as_ref().map_or(0, expr_nodes),
+        Stmt::Function(f) => f.body.iter().map(stmt_nodes).sum(),
+        Stmt::Block(body) => body.iter().map(stmt_nodes).sum(),
+    }
+}
+
+fn expr_nodes(e: &Expr) -> usize {
+    1 + match e {
+        Expr::Num(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Null | Expr::Undefined
+        | Expr::This | Expr::Ident(_) => 0,
+        Expr::Assign { target, value, .. } => expr_nodes(target) + expr_nodes(value),
+        Expr::Binary { lhs, rhs, .. } | Expr::Logical { lhs, rhs, .. } => {
+            expr_nodes(lhs) + expr_nodes(rhs)
+        }
+        Expr::Unary { expr, .. } => expr_nodes(expr),
+        Expr::Update { target, .. } => expr_nodes(target),
+        Expr::Cond { cond, then, els } => {
+            expr_nodes(cond) + expr_nodes(then) + expr_nodes(els)
+        }
+        Expr::Call { callee, args } | Expr::New { callee, args } => {
+            expr_nodes(callee) + args.iter().map(expr_nodes).sum::<usize>()
+        }
+        Expr::Member { obj, .. } => expr_nodes(obj),
+        Expr::Index { obj, index } => expr_nodes(obj) + expr_nodes(index),
+        Expr::Array(items) => items.iter().map(expr_nodes).sum(),
+        Expr::Object(pairs) => pairs.iter().map(|(_, v)| expr_nodes(v)).sum(),
+        Expr::Function(f) => f.body.iter().map(stmt_nodes).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse_program(src).expect("first parse");
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+        assert_eq!(
+            normalize(&p1),
+            normalize(&p2),
+            "round trip changed the AST\n--- printed ---\n{printed}"
+        );
+    }
+
+    #[test]
+    fn roundtrips_statements() {
+        roundtrip("var x = 1; var y; x = x + y;");
+        roundtrip("if (x) { y = 1; } else { y = 2; }");
+        roundtrip("while (i < 10) { i = i + 1; }");
+        roundtrip("do { i++; } while (i < 3);");
+        roundtrip("for (var i = 0; i < 4; i++) { s += i; }");
+        roundtrip("for (var i = 0, j = 9; i < j; i++) { j--; }");
+        roundtrip("for (; ; ) { break; }");
+        roundtrip("function f(a, b) { return a + b; } f(1, 2);");
+        roundtrip("{ var a = 1; ; { a = 2; } }");
+    }
+
+    #[test]
+    fn roundtrips_expressions() {
+        roundtrip("x = a + b * c - d / e % f;");
+        roundtrip("x = (a | b) ^ (c & d) << e >> f >>> g;");
+        roundtrip("x = a < b && c >= d || !(e == f) && g !== h;");
+        roundtrip("x = a ? b : c ? d : e;");
+        roundtrip("x = -y; x = +y; x = ~y; x = --y; x = y-- - --y;");
+        roundtrip("o.p = o.q += 2; a[i + 1] = a[i] * 2; a[0]--;");
+        roundtrip("var o = { a: 1, b: \"two\", c: [1, 2.5, \"x\"] };");
+        roundtrip("var f = function (x) { return x * 2; }; f(3);");
+        roundtrip("var p = new Point(1, 2); p.norm(); Math.sqrt(p.x);");
+        roundtrip("s = \"a\\\"b\\\\c\\nd\" + 'e';");
+        roundtrip("x = 0.5 + 1e21 + 0.1 + 123456789.25;");
+        roundtrip("({ a: 1 });");
+    }
+
+    #[test]
+    fn prints_unlexable_numbers_as_expressions() {
+        assert_eq!(print_expr(&Expr::Num(f64::NAN)), "(0 / 0)");
+        assert_eq!(print_expr(&Expr::Num(f64::INFINITY)), "(1 / 0)");
+        assert_eq!(print_expr(&Expr::Num(-2.5)), "(- 2.5)");
+        assert_eq!(print_expr(&Expr::Num(-0.0)), "(- 0)");
+    }
+
+    #[test]
+    fn counts_nodes() {
+        let p = parse_program("var x = 1 + 2;").unwrap();
+        // Var + Binary + Num + Num
+        assert_eq!(node_count(&p), 4);
+    }
+}

@@ -1,5 +1,6 @@
 //! Property-based tests for the njs front end.
 
+use checkelide_lang::pretty::{normalize, print_program};
 use checkelide_lang::{parse_program, Expr, Stmt};
 use proptest::prelude::*;
 
@@ -29,6 +30,48 @@ fn arb_expr_src(depth: u32) -> BoxedStrategy<String> {
         (inner.clone(), inner.clone()).prop_map(|(o, i)| format!("({o})[{i}]")),
         inner.clone().prop_map(|o| format!("({o}).prop")),
         (inner.clone(), inner).prop_map(|(f, a)| format!("f({f}, {a})")),
+    ]
+    .boxed()
+}
+
+/// Generate random well-formed statements as source text. Branch/loop
+/// bodies are always blocks, matching the pretty-printer's round-trip
+/// contract (see `crates/lang/src/pretty.rs`).
+fn arb_stmt_src(depth: u32) -> BoxedStrategy<String> {
+    let e = arb_expr_src(2);
+    if depth == 0 {
+        return prop_oneof![
+            e.clone().prop_map(|e| format!("var v = {e};")),
+            e.clone().prop_map(|e| format!("x = {e};")),
+            e.clone().prop_map(|e| format!("o.p = {e};")),
+            e.clone().prop_map(|e| format!("a[2] = {e};")),
+            e.clone().prop_map(|e| format!("f({e});")),
+            e.clone().prop_map(|e| format!("o.m({e});")),
+            e.prop_map(|e| format!("var n = new C({e});")),
+            Just("x++;".to_string()),
+            Just("--o.p;".to_string()),
+            Just(";".to_string()),
+            Just("var q = { a: 1, b: [1, 2.5] };".to_string()),
+        ]
+        .boxed();
+    }
+    let inner = arb_stmt_src(depth - 1);
+    prop_oneof![
+        inner.clone(),
+        (e.clone(), inner.clone(), inner.clone())
+            .prop_map(|(c, t, f)| format!("if ({c}) {{ {t} }} else {{ {f} }}")),
+        (e.clone(), inner.clone()).prop_map(|(c, b)| format!("if ({c}) {{ {b} }}")),
+        (e.clone(), inner.clone())
+            .prop_map(|(c, b)| format!("while ({c}) {{ break; {b} }}")),
+        (e.clone(), inner.clone())
+            .prop_map(|(c, b)| format!("do {{ {b} }} while ({c} && false);")),
+        inner.clone().prop_map(|b| format!("for (var i = 0; i < 3; i++) {{ {b} }}")),
+        inner
+            .clone()
+            .prop_map(|b| format!("for (var i = 0, j = 9; i < j; i += 2) {{ {b} }}")),
+        (e, inner.clone())
+            .prop_map(|(r, b)| format!("function fn(p, q) {{ {b} return {r}; }}")),
+        inner.prop_map(|b| format!("{{ {b} }}")),
     ]
     .boxed()
 }
@@ -84,5 +127,27 @@ proptest! {
     #[test]
     fn parser_total_on_garbage(src in "[ -~\\n]{0,120}") {
         let _ = parse_program(&src);
+    }
+
+    /// Pretty-printing a parsed expression and reparsing it yields a
+    /// structurally identical AST (modulo diagnostic line numbers).
+    #[test]
+    fn pretty_print_expr_roundtrips(src in arb_expr_src(3)) {
+        let p1 = parse_program(&format!("x = {src};")).expect("parses");
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(normalize(&p1), normalize(&p2), "printed:\n{}", printed);
+    }
+
+    /// Pretty-printing a parsed program (statements, control flow,
+    /// functions) and reparsing it yields a structurally identical AST.
+    #[test]
+    fn pretty_print_program_roundtrips(src in arb_stmt_src(2)) {
+        let p1 = parse_program(&src).expect("parses");
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(normalize(&p1), normalize(&p2), "printed:\n{}", printed);
     }
 }

@@ -314,6 +314,10 @@ impl<'a> Exec<'a> {
         let bc = self.body.bc.clone();
         let mut pc = 0usize;
         loop {
+            if self.vm.steps_remaining == 0 {
+                return ExecResult::Error(VmError::new(checkelide_engine::STEP_BUDGET_MSG));
+            }
+            self.vm.steps_remaining -= 1;
             self.em.at(self.code_base + pc as u64 * 64);
             let flow = self.step(sink, &bc, pc);
             match flow {

@@ -1,0 +1,407 @@
+//! Seeded, deterministic njs program generator.
+//!
+//! [`generate_source`] maps a `u64` seed to a self-contained njs program
+//! biased toward the engine's soft spots rather than uniform over the
+//! grammar:
+//!
+//! * **constructor transition chains** — 1–3 constructors sharing field
+//!   names, with conditional property adds so the same constructor
+//!   produces several hidden-class shapes;
+//! * **SMI → double → tagged flips** — object fields and array elements
+//!   initialized as small integers and later overwritten with doubles or
+//!   strings, some of them mid-loop inside already-optimized code (the
+//!   misspeculation path);
+//! * **elements-kind transitions** — a shared `data` array whose stores
+//!   move through the Smi/Double/Tagged lattice on a phase schedule, plus
+//!   occasional `push`/`pop` traffic to exercise stale-slot resurrection;
+//! * **megamorphic sites** — worker functions whose `o.a`/`o.b` accesses
+//!   see objects from every constructor, chosen per loop iteration.
+//!
+//! Programs are built from templates with randomized parameters, so they
+//! always parse, never recurse (worker *k* only calls workers *j < k*),
+//! and loop bounds are literal and small. A small fraction deliberately
+//! ends in a runtime error; the differential oracle requires both sides
+//! to agree on the message. All randomness comes from the vendored
+//! [`proptest::TestRng`], so the same seed yields byte-identical source
+//! on every platform.
+
+use proptest::TestRng;
+use std::fmt::Write as _;
+
+/// Generate the njs program for `seed`. Deterministic: same seed, same
+/// bytes.
+pub fn generate_source(seed: u64) -> String {
+    let mut g = Gen { rng: TestRng::new(seed), out: String::new() };
+    g.program(seed);
+    g.out
+}
+
+struct Gen {
+    rng: TestRng,
+    out: String,
+}
+
+impl Gen {
+    // ----- randomness helpers -----
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.rng.below(n)
+    }
+
+    /// True with probability `num`/`den`.
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    fn pick<'a>(&mut self, items: &[&'a str]) -> &'a str {
+        items[self.below(items.len() as u64) as usize]
+    }
+
+    /// A literal: small int, quarter-step double, or (rarely) a string.
+    fn literal(&mut self) -> String {
+        match self.below(12) {
+            0..=6 => format!("{}", self.below(17) as i64 - 3),
+            7..=9 => format!("{}.{}", self.below(9), ["25", "5", "75"][self.below(3) as usize]),
+            10 => format!("\"s{}\"", self.below(5)),
+            _ => self.pick(&["true", "false", "null", "undefined"]).to_string(),
+        }
+    }
+
+    // ----- expressions -----
+
+    /// A side-effect-free expression over `env` names, depth-bounded.
+    fn expr(&mut self, env: &[String], depth: u32) -> String {
+        if depth == 0 || self.chance(2, 5) {
+            return self.leaf(env);
+        }
+        match self.below(10) {
+            0..=4 => {
+                let op = self.pick(&["+", "+", "-", "*", "*", "&", "|", "^", "<<", ">>", ">>>", "/", "%"]);
+                let l = self.expr(env, depth - 1);
+                let r = self.expr(env, depth - 1);
+                format!("({l} {op} {r})")
+            }
+            5 => {
+                let op = self.pick(&["<", "<=", ">", ">=", "==", "!=", "===", "!=="]);
+                let l = self.expr(env, depth - 1);
+                let r = self.expr(env, depth - 1);
+                format!("({l} {op} {r})")
+            }
+            6 => {
+                let op = self.pick(&["-", "~", "!", "+"]);
+                let e = self.expr(env, depth - 1);
+                format!("({op} {e})")
+            }
+            7 => {
+                let c = self.expr(env, depth - 1);
+                let t = self.expr(env, depth - 1);
+                let e = self.expr(env, depth - 1);
+                format!("({c} ? {t} : {e})")
+            }
+            8 => self.builtin_call(env, depth),
+            _ => {
+                let op = self.pick(&["&&", "||"]);
+                let l = self.expr(env, depth - 1);
+                let r = self.expr(env, depth - 1);
+                format!("({l} {op} {r})")
+            }
+        }
+    }
+
+    fn leaf(&mut self, env: &[String]) -> String {
+        if !env.is_empty() && self.chance(3, 5) {
+            env[self.below(env.len() as u64) as usize].clone()
+        } else {
+            self.literal()
+        }
+    }
+
+    fn builtin_call(&mut self, env: &[String], depth: u32) -> String {
+        match self.below(10) {
+            0 => format!("Math.floor({})", self.expr(env, depth - 1)),
+            1 => format!("Math.abs({})", self.expr(env, depth - 1)),
+            2 => format!("Math.sqrt({})", self.expr(env, depth - 1)),
+            3 => format!("Math.min({}, {})", self.expr(env, depth - 1), self.expr(env, depth - 1)),
+            4 => format!("Math.max({}, {})", self.expr(env, depth - 1), self.expr(env, depth - 1)),
+            5 => format!("Math.pow({}, {})", self.expr(env, depth - 1), self.below(4)),
+            6 => format!("parseInt(\"{}{}\")", if self.chance(1, 3) { "0x" } else { "" }, self.below(300)),
+            7 => format!("(\"abcdef\").charCodeAt({})", self.expr(env, depth - 1)),
+            8 => format!("(\"xcheck\").indexOf(\"{}\")", self.pick(&["c", "he", "z", "ck"])),
+            _ => "Math.random()".to_string(),
+        }
+    }
+
+    // ----- program skeleton -----
+
+    fn program(&mut self, seed: u64) {
+        let _ = writeln!(self.out, "// xcheck seed {seed}");
+        let n_ctors = 1 + self.below(3) as usize;
+        let n_workers = 1 + self.below(4) as usize;
+        for k in 0..n_ctors {
+            self.constructor(k);
+        }
+        for k in 0..n_workers {
+            self.worker(k);
+        }
+        self.main(n_ctors, n_workers);
+    }
+
+    /// `function Ck(i, v) { this.a = ..; this.b = ..; [conditional adds] }`
+    fn constructor(&mut self, k: usize) {
+        let _ = writeln!(self.out, "function C{k}(i, v) {{");
+        // `a` is the speculation target: usually numeric, sometimes a
+        // double or (rarely) a string from birth.
+        let a = match self.below(8) {
+            0..=3 => format!("(i + {})", self.below(9)),
+            4..=5 => "v".to_string(),
+            6 => format!("((i * {}) + 0.5)", 1 + self.below(4)),
+            _ => format!("(\"a{k}\" + i)"),
+        };
+        let _ = writeln!(self.out, "  this.a = {a};");
+        let bm = 1 + self.below(5);
+        let _ = writeln!(self.out, "  this.b = ((i * {bm}) + {k});");
+        if self.chance(1, 2) {
+            let env = vec!["i".to_string(), "v".to_string()];
+            let e = self.expr(&env, 1);
+            let _ = writeln!(self.out, "  this.c = {e};");
+        }
+        if self.chance(1, 4) {
+            // Transition chain: same constructor, two shapes.
+            let m = 2 + self.below(3);
+            let r = self.below(m);
+            let _ = writeln!(self.out, "  if ((i % {m}) == {r}) {{ this.d = (i * 2); }}");
+        }
+        if self.chance(1, 4) {
+            let _ = writeln!(self.out, "  this.e = [i, (i + 1)];");
+        }
+        let _ = writeln!(self.out, "}}");
+    }
+
+    /// `function wk(o, i, a) { ... }` — field reads, array traffic, calls
+    /// into lower-numbered workers.
+    fn worker(&mut self, k: usize) {
+        let _ = writeln!(self.out, "function w{k}(o, i, a) {{");
+        let mut env: Vec<String> =
+            ["o.a", "o.b", "i"].iter().map(|s| s.to_string()).collect();
+        let e0 = self.expr(&env, 2);
+        let _ = writeln!(self.out, "  var t0 = {e0};");
+        let mut locals = 1usize;
+        env.push("t0".to_string());
+        let n_stmts = 2 + self.below(4);
+        for _ in 0..n_stmts {
+            match self.below(10) {
+                0..=1 => {
+                    let e = self.expr(&env, 2);
+                    let _ = writeln!(self.out, "  var t{locals} = {e};");
+                    env.push(format!("t{locals}"));
+                    locals += 1;
+                }
+                2..=3 => {
+                    let t = self.below(locals as u64);
+                    let e = self.expr(&env, 2);
+                    let _ = writeln!(self.out, "  t{t} = (t{t} + {e});");
+                }
+                4 => {
+                    let c = self.expr(&env, 1);
+                    let t = self.below(locals as u64);
+                    let e1 = self.expr(&env, 1);
+                    let e2 = self.expr(&env, 1);
+                    let _ = writeln!(
+                        self.out,
+                        "  if ({c}) {{ t{t} = {e1}; }} else {{ t{t} = {e2}; }}"
+                    );
+                }
+                5 => {
+                    let bound = 2 + self.below(5);
+                    let t = self.below(locals as u64);
+                    let mut inner = env.clone();
+                    inner.push("j".to_string());
+                    let e = self.expr(&inner, 1);
+                    let _ = writeln!(
+                        self.out,
+                        "  for (var j = 0; j < {bound}; j++) {{ t{t} = (t{t} + {e}); }}"
+                    );
+                }
+                6 => {
+                    let c = self.below(8);
+                    let _ = writeln!(self.out, "  var t{locals} = a[((i + {c}) & 7)];");
+                    env.push(format!("t{locals}"));
+                    locals += 1;
+                }
+                7 => {
+                    let c = 1 + self.below(7);
+                    let e = self.expr(&env, 1);
+                    let _ = writeln!(self.out, "  a[((i + {c}) % 8)] = {e};");
+                }
+                8 => {
+                    // Property store inside a callee: usually type-stable,
+                    // sometimes a type flip the optimizer must survive.
+                    if self.chance(1, 5) {
+                        let _ = writeln!(self.out, "  o.a = (\"m\" + i);");
+                    } else {
+                        let e = self.expr(&env, 1);
+                        let _ = writeln!(self.out, "  o.b = {e};");
+                    }
+                }
+                _ => {
+                    if k > 0 {
+                        let j = self.below(k as u64);
+                        let _ = writeln!(self.out, "  var t{locals} = w{j}(o, (i + 1), a);");
+                        env.push(format!("t{locals}"));
+                        locals += 1;
+                    } else {
+                        let e = self.expr(&env, 1);
+                        let _ = writeln!(self.out, "  t0 = (t0 - {e});");
+                    }
+                }
+            }
+        }
+        let ret = self.expr(&env, 2);
+        let _ = writeln!(self.out, "  return {ret};");
+        let _ = writeln!(self.out, "}}");
+    }
+
+    fn main(&mut self, n_ctors: usize, n_workers: usize) {
+        // Seed `data` with a handful of SMIs so stores start at the bottom
+        // of the elements-kind lattice.
+        let init_len = 2 + self.below(5);
+        let inits: Vec<String> = (0..init_len).map(|i| format!("{}", i * 2)).collect();
+        let _ = writeln!(self.out, "var data = [{}];", inits.join(", "));
+        let _ = writeln!(self.out, "var objs = [];");
+        let _ = writeln!(self.out, "var acc = 0;");
+
+        let n = 8 + self.below(33); // 8..=40 iterations: crosses opt_threshold=2
+        let _ = writeln!(self.out, "for (var i = 0; i < {n}; i++) {{");
+
+        // Constructor choice: if/else chain over `i % n_ctors`, one `new`
+        // site per constructor, megamorphic uses downstream.
+        let _ = writeln!(self.out, "  var o;");
+        let env = vec!["i".to_string(), "acc".to_string()];
+        for k in 0..n_ctors {
+            let v = self.expr(&env, 1);
+            if k == 0 && n_ctors == 1 {
+                let _ = writeln!(self.out, "  o = new C0(i, {v});");
+            } else if k == 0 {
+                let _ = writeln!(self.out, "  if ((i % {n_ctors}) == 0) {{ o = new C0(i, {v}); }}");
+            } else if k == n_ctors - 1 {
+                let _ = writeln!(self.out, "  else {{ o = new C{k}(i, {v}); }}");
+            } else {
+                let _ =
+                    writeln!(self.out, "  else if ((i % {n_ctors}) == {k}) {{ o = new C{k}(i, {v}); }}");
+            }
+        }
+        let _ = writeln!(self.out, "  objs[i] = o;");
+
+        // 1–2 worker calls feeding the accumulator.
+        let calls = 1 + self.below(2);
+        for _ in 0..calls {
+            let w = self.below(n_workers as u64);
+            let _ = writeln!(self.out, "  acc = (acc + w{w}(o, i, data));");
+        }
+
+        // Phased element stores: SMI, then double, then (maybe) tagged.
+        let p1 = n / 3;
+        let p2 = 2 * n / 3;
+        let step = 1 + self.below(3);
+        let tagged = self.chance(2, 3);
+        let last = if tagged { "(\"x\" + i)".to_string() } else { format!("(i * {}.5)", self.below(3)) };
+        let _ = writeln!(
+            self.out,
+            "  if (i < {p1}) {{ data[((i * {step}) % 8)] = (i - 2); }}\n  else if (i < {p2}) {{ data[((i * {step}) % 8)] = (i * 0.25); }}\n  else {{ data[((i * {step}) % 8)] = {last}; }}"
+        );
+
+        // Mid-loop misspeculation flips inside the optimized region.
+        if self.chance(3, 4) {
+            let kf = p2 + self.below((n - p2).max(1));
+            let val = if self.chance(1, 2) { "\"flip\"".to_string() } else { "0.125".to_string() };
+            let _ = writeln!(self.out, "  if (i == {kf}) {{ objs[0].a = {val}; }}");
+        }
+        if self.chance(1, 3) {
+            let kf = 1 + self.below(n - 1);
+            let _ = writeln!(self.out, "  if (i == {kf}) {{ objs[0].b = (\"b\" + i); }}");
+        }
+        // Stale-slot resurrection: pop then later in-capacity stores.
+        if self.chance(1, 3) {
+            let kp = 1 + self.below(n - 1);
+            let _ = writeln!(self.out, "  if (i == {kp}) {{ data.pop(); }}");
+        }
+        if self.chance(1, 4) {
+            let e = self.expr(&env, 1);
+            let _ = writeln!(self.out, "  data.push({e});");
+        }
+        if self.chance(1, 8) {
+            let _ = writeln!(self.out, "  if ((i & 31) == 29) {{ continue; }}");
+        }
+        let _ = writeln!(self.out, "}}");
+
+        // Observations: accumulator, lengths, a window of elements (holes
+        // read their kind-dependent fill, so this sees the lattice), and a
+        // probe of every object field the loop may have flipped.
+        let _ = writeln!(self.out, "print(acc);");
+        let _ = writeln!(self.out, "print(data.length, objs.length);");
+        let _ = writeln!(self.out, "for (var p = 0; p < 10; p++) {{ print(data[p]); }}");
+        let _ = writeln!(self.out, "print(objs[0].a, objs[0].b, objs[0].c, objs[0].d);");
+        let probe = self.below(8);
+        let _ = writeln!(
+            self.out,
+            "print(objs[{probe}].a, objs[{probe}].b, objs[{probe}].c);"
+        );
+
+        // Post-loop misspeculation probe: call a now-optimized worker one
+        // more time with an argument that contradicts its in-loop profile
+        // (a double / string / null in the integer parameter). Elided
+        // checks fire here *outside* the loop, so a divergence at this
+        // call shrinks to a tiny reproducer — the warm-up loop unrolls to
+        // a couple of bare calls while the probe stays.
+        if self.chance(2, 3) {
+            let w = self.below(n_workers as u64);
+            let bad = self.pick(&["0.5", "\"probe\"", "null", "1e9"]);
+            let _ = writeln!(self.out, "print(w{w}(objs[0], {bad}, data));");
+        }
+
+        // A small fraction of programs ends in a deliberate runtime error;
+        // the oracle requires both sides to agree on the message.
+        if self.chance(1, 16) {
+            let err = self.pick(&[
+                "objs[9999].a;",
+                "var z = null; z.q;",
+                "acc();",
+                "var u; u[0];",
+                "data[0].nope.deeper;",
+            ]);
+            let _ = writeln!(self.out, "{err}");
+        }
+        let _ = writeln!(self.out, "return ((acc + \"#\") + data.length);");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use checkelide_lang::parse_program;
+
+    #[test]
+    fn same_seed_same_bytes() {
+        assert_eq!(generate_source(7), generate_source(7));
+        assert_ne!(generate_source(7), generate_source(8));
+    }
+
+    #[test]
+    fn every_seed_parses() {
+        for seed in 0..300 {
+            let src = generate_source(seed);
+            parse_program(&src)
+                .unwrap_or_else(|e| panic!("seed {seed} failed to parse: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn generator_hits_the_soft_spots() {
+        // Across a window of seeds, the biased templates must actually
+        // produce each soft-spot construct.
+        let all: String = (0..64).map(generate_source).collect();
+        for needle in ["new C0", "objs[0].a = ", ".pop()", ".push(", "% 8)] = (i * 0.25)", "this.d"] {
+            assert!(all.contains(needle), "no seed in 0..64 produced `{needle}`");
+        }
+    }
+}

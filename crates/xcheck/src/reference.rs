@@ -1,0 +1,1506 @@
+//! The reference interpreter: ground truth for njs observable behaviour.
+//!
+//! A deliberately naive tree-walking evaluator over the
+//! [`checkelide_lang`] AST. It shares **no code** with the engine's
+//! execution tiers: no bytecode, no hidden classes, no SMI/double
+//! tagging, no inline caches, no optimizer. Numbers are plain `f64`,
+//! objects are insertion-ordered property lists, and control flow is
+//! plain recursion. What it *does* model — carefully — is every piece of
+//! engine behaviour that is observable through `print`, the program's
+//! final value, or thrown errors:
+//!
+//! * the exact error messages and the points at which they are raised
+//!   (evaluation order mirrors the bytecode compiler's desugarings, e.g.
+//!   compound assignment reads the old value *before* evaluating the
+//!   right-hand side);
+//! * elements-kind semantics: hole reads are kind-dependent (`0` for
+//!   SMI/double stores past the end, `undefined` for tagged), kind
+//!   transitions and backing-store growth discard stale out-of-length
+//!   slots, while in-capacity length bumps resurrect them (`pop` then
+//!   sparse store);
+//! * allocation-site feedback: a constructor whose instances ever
+//!   reached a more general elements kind starts subsequent instances at
+//!   that kind (so their hole fills differ) — observable in every engine
+//!   configuration, so the reference models it too;
+//! * the engine's SMI/heap-number split in the *one* place it leaks into
+//!   semantics: `n[i]` errors with "cannot index a number" only when `n`
+//!   is SMI-representable, and yields `undefined` otherwise;
+//! * deterministic `Math.random` (the same xorshift64* stream) and the
+//!   exact builtin quirks (`charCodeAt` with a NaN index reads byte 0,
+//!   `parseInt`'s radix handling, `Math.round` as `floor(x + 0.5)`, ...).
+//!
+//! Known deliberate divergence: duplicate parameter names (never
+//! produced by the generator) — the engine's slot allocator aliases
+//! them, the reference binds positionally.
+
+use checkelide_lang::{parse_program, BinOp, Expr, FuncDecl, LogOp, Stmt, UnOp, UpdateOp};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A reference-interpreter value.
+#[derive(Debug, Clone)]
+pub enum RVal {
+    /// Any number (the engine's SMI/HeapNumber split is modelled where
+    /// observable via [`f64_fits_smi`]).
+    Num(f64),
+    /// String (content-compared; the engine interns, same observables).
+    Str(Rc<str>),
+    /// Boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// `undefined`.
+    Undefined,
+    /// Object handle into the interpreter's arena.
+    Obj(usize),
+    /// Function value.
+    Func(RFunc),
+}
+
+/// Function identity: user functions by registration index (one per
+/// declaration/expression site, mirroring the engine's per-site cached
+/// function objects), builtins by discriminant (the engine allocates one
+/// function object per installed builtin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RFunc {
+    /// User function (index into the interpreter's function table).
+    User(usize),
+    /// Native builtin.
+    Builtin(RBuiltin),
+}
+
+/// Builtins that exist as *values* (Math members, `String.fromCharCode`,
+/// the global functions). String/array methods are method-dispatched
+/// only and never appear as values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum RBuiltin {
+    Sqrt,
+    Abs,
+    Floor,
+    Ceil,
+    Round,
+    Sin,
+    Cos,
+    Tan,
+    Atan,
+    Atan2,
+    Pow,
+    Exp,
+    Log,
+    Min,
+    Max,
+    Random,
+    FromCharCode,
+    Print,
+    ParseInt,
+    ParseFloat,
+}
+
+/// Elements kind lattice (mirrors `checkelide_runtime::ElemKind`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EKind {
+    Smi,
+    Double,
+    Tagged,
+}
+
+impl EKind {
+    fn join(a: EKind, b: EKind) -> EKind {
+        match (a, b) {
+            (EKind::Smi, k) | (k, EKind::Smi) => k,
+            (EKind::Double, EKind::Double) => EKind::Double,
+            _ => EKind::Tagged,
+        }
+    }
+}
+
+/// An object's elements store: `slots.len()` is the capacity; `len` is
+/// the observable array length. Slots between `len` and capacity hold
+/// either the kind's fill value or stale data (after `pop`), exactly as
+/// in the engine's backing stores.
+#[derive(Debug, Clone)]
+struct RElems {
+    kind: EKind,
+    len: usize,
+    slots: Vec<RVal>,
+}
+
+impl RElems {
+    fn new(kind: EKind) -> RElems {
+        RElems { kind, len: 0, slots: Vec::new() }
+    }
+
+    fn fill(kind: EKind) -> RVal {
+        match kind {
+            EKind::Smi | EKind::Double => RVal::Num(0.0),
+            EKind::Tagged => RVal::Undefined,
+        }
+    }
+}
+
+/// A heap object: insertion-ordered named properties plus elements.
+#[derive(Debug, Clone)]
+struct RObj {
+    props: Vec<(Rc<str>, RVal)>,
+    elems: RElems,
+}
+
+/// Whether an `f64` is SMI-representable in the engine (integral, i32
+/// range, not `-0`). Mirrors `Value::f64_fits_smi`.
+pub fn f64_fits_smi(v: f64) -> bool {
+    v.trunc() == v
+        && v >= i32::MIN as f64
+        && v <= i32::MAX as f64
+        && !(v == 0.0 && v.is_sign_negative())
+}
+
+/// Format an `f64` the way the engine's `format_f64` does.
+fn format_num(f: f64) -> String {
+    if f.is_nan() {
+        return "NaN".into();
+    }
+    if f.is_infinite() {
+        return if f > 0.0 { "Infinity".into() } else { "-Infinity".into() };
+    }
+    if f == f.trunc() && f.abs() < 1e21 {
+        format!("{}", f as i64)
+    } else {
+        format!("{f}")
+    }
+}
+
+/// Statement-level control flow.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(RVal),
+}
+
+type RResult<T> = Result<T, String>;
+
+/// Reference-interpreter fuel: statements + expressions evaluated before
+/// aborting. Generated programs use a few tens of thousands of steps at
+/// most; only genuinely runaway candidates (e.g. a shrink edit that
+/// turns `i++` into `i`) get anywhere near this. The engine side uses
+/// [`ENGINE_STEP_BUDGET`](crate::diff) for the same purpose — both
+/// bounds sit orders of magnitude above any legitimate program, so a
+/// program either terminates under all executors or exceeds the budget
+/// under all of them.
+pub const REF_STEP_BUDGET: u64 = 500_000;
+
+/// What a program run observably produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefOutput {
+    /// Lines emitted by `print`.
+    pub output: Vec<String>,
+    /// Display string of the final value, or the runtime error message.
+    pub result: Result<String, String>,
+}
+
+/// Parse and run a program under the reference interpreter.
+///
+/// Parse errors are reported through `result`'s error side with the
+/// same message the engine would produce (`parse error at ...`).
+pub fn run_reference(src: &str) -> RefOutput {
+    let program = match parse_program(src) {
+        Ok(p) => p,
+        Err(e) => return RefOutput { output: Vec::new(), result: Err(e.to_string()) },
+    };
+    let main = Rc::new(FuncDecl {
+        name: "<main>".into(),
+        params: vec![],
+        body: program.body,
+        line: 1,
+    });
+    let mut interp = Interp::new();
+    let r = interp.call_decl(&main, RVal::Undefined, &[], true);
+    RefOutput {
+        output: std::mem::take(&mut interp.output),
+        result: r.map(|v| interp.display(&v)),
+    }
+}
+
+struct Interp {
+    objs: Vec<RObj>,
+    globals: HashMap<String, RVal>,
+    funcs: Vec<Rc<FuncDecl>>,
+    func_ix: HashMap<usize, usize>,
+    /// Allocation-site elements-kind feedback, per constructor.
+    ctor_kind: Vec<EKind>,
+    output: Vec<String>,
+    prng: u64,
+    depth: u32,
+    /// Evaluation-step fuel; hitting zero aborts with the same
+    /// `step budget exceeded` error the engine produces, so runaway
+    /// shrink candidates fail *identically* under every executor.
+    steps: u64,
+}
+
+struct Scope {
+    /// `None` for the global (main) scope: names resolve to globals.
+    locals: Option<HashMap<String, RVal>>,
+    this: RVal,
+}
+
+impl Interp {
+    fn new() -> Interp {
+        let mut it = Interp {
+            objs: Vec::new(),
+            globals: HashMap::new(),
+            funcs: Vec::new(),
+            func_ix: HashMap::new(),
+            ctor_kind: Vec::new(),
+            output: Vec::new(),
+            prng: 0x9E37_79B9_7F4A_7C15,
+            depth: 0,
+            steps: REF_STEP_BUDGET,
+        };
+        it.install_globals();
+        it
+    }
+
+    fn alloc(&mut self, kind: EKind) -> usize {
+        self.objs.push(RObj { props: Vec::new(), elems: RElems::new(kind) });
+        self.objs.len() - 1
+    }
+
+    fn install_globals(&mut self) {
+        use RBuiltin::*;
+        let math = self.alloc(EKind::Smi);
+        for (n, b) in [
+            ("sqrt", Sqrt),
+            ("abs", Abs),
+            ("floor", Floor),
+            ("ceil", Ceil),
+            ("round", Round),
+            ("sin", Sin),
+            ("cos", Cos),
+            ("tan", Tan),
+            ("atan", Atan),
+            ("atan2", Atan2),
+            ("pow", Pow),
+            ("exp", Exp),
+            ("log", Log),
+            ("min", Min),
+            ("max", Max),
+            ("random", Random),
+        ] {
+            self.objs[math].props.push((n.into(), RVal::Func(RFunc::Builtin(b))));
+        }
+        self.globals.insert("Math".into(), RVal::Obj(math));
+
+        let string = self.alloc(EKind::Smi);
+        self.objs[string].props.push(("fromCharCode".into(), RVal::Func(RFunc::Builtin(FromCharCode))));
+        self.globals.insert("String".into(), RVal::Obj(string));
+
+        self.globals.insert("print".into(), RVal::Func(RFunc::Builtin(Print)));
+        self.globals.insert("parseInt".into(), RVal::Func(RFunc::Builtin(ParseInt)));
+        self.globals.insert("parseFloat".into(), RVal::Func(RFunc::Builtin(ParseFloat)));
+    }
+
+    /// Register a function declaration site (idempotent per `Rc`
+    /// identity, mirroring the engine's per-site function table).
+    fn register(&mut self, decl: &Rc<FuncDecl>) -> usize {
+        let key = Rc::as_ptr(decl) as usize;
+        if let Some(&ix) = self.func_ix.get(&key) {
+            return ix;
+        }
+        let ix = self.funcs.len();
+        self.funcs.push(decl.clone());
+        self.ctor_kind.push(EKind::Smi);
+        self.func_ix.insert(key, ix);
+        ix
+    }
+
+    // ----- conversions -----
+
+    fn to_f64(&self, v: &RVal) -> f64 {
+        match v {
+            RVal::Num(f) => *f,
+            RVal::Bool(b) => *b as u32 as f64,
+            RVal::Null => 0.0,
+            RVal::Undefined => f64::NAN,
+            RVal::Str(s) => {
+                let t = s.trim();
+                if t.is_empty() {
+                    0.0
+                } else {
+                    t.parse::<f64>().unwrap_or(f64::NAN)
+                }
+            }
+            RVal::Func(_) | RVal::Obj(_) => f64::NAN,
+        }
+    }
+
+    fn to_int32(&self, v: &RVal) -> i32 {
+        let f = self.to_f64(v);
+        if !f.is_finite() {
+            return 0;
+        }
+        (f.trunc() as i64 as u64) as u32 as i32
+    }
+
+    fn to_uint32(&self, v: &RVal) -> u32 {
+        self.to_int32(v) as u32
+    }
+
+    fn is_truthy(&self, v: &RVal) -> bool {
+        match v {
+            RVal::Num(f) => *f != 0.0 && !f.is_nan(),
+            RVal::Str(s) => !s.is_empty(),
+            RVal::Bool(b) => *b,
+            RVal::Null | RVal::Undefined => false,
+            RVal::Obj(_) | RVal::Func(_) => true,
+        }
+    }
+
+    fn display(&self, v: &RVal) -> String {
+        match v {
+            RVal::Num(f) => format_num(*f),
+            RVal::Str(s) => s.to_string(),
+            RVal::Bool(b) => format!("{b}"),
+            RVal::Null => "null".into(),
+            RVal::Undefined => "undefined".into(),
+            RVal::Func(_) => "function".into(),
+            RVal::Obj(_) => "[object Object]".into(),
+        }
+    }
+
+    // ----- equality & comparison -----
+
+    fn strict_eq(&self, a: &RVal, b: &RVal) -> bool {
+        match (a, b) {
+            (RVal::Num(x), RVal::Num(y)) => x == y,
+            (RVal::Str(x), RVal::Str(y)) => x == y,
+            (RVal::Bool(x), RVal::Bool(y)) => x == y,
+            (RVal::Null, RVal::Null) | (RVal::Undefined, RVal::Undefined) => true,
+            (RVal::Obj(x), RVal::Obj(y)) => x == y,
+            (RVal::Func(x), RVal::Func(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// njs loose equality: mirrors `numops::loose_eq` arm-for-arm
+    /// (notably `null == 0` is `true` here — njs coerces null through
+    /// `ToNumber` for the numeric arm).
+    fn loose_eq(&self, a: &RVal, b: &RVal) -> bool {
+        match (a, b) {
+            (RVal::Null, RVal::Undefined) | (RVal::Undefined, RVal::Null) => true,
+            (RVal::Null, RVal::Null) | (RVal::Undefined, RVal::Undefined) => true,
+            (RVal::Obj(x), RVal::Obj(y)) => x == y,
+            (RVal::Func(x), RVal::Func(y)) => x == y,
+            (RVal::Str(x), RVal::Str(y)) => x == y,
+            (RVal::Obj(_) | RVal::Func(_), _) | (_, RVal::Obj(_) | RVal::Func(_)) => false,
+            _ => self.to_f64(a) == self.to_f64(b),
+        }
+    }
+
+    fn compare(&self, op: BinOp, a: &RVal, b: &RVal) -> bool {
+        if let (RVal::Str(x), RVal::Str(y)) = (a, b) {
+            return match op {
+                BinOp::Lt => x < y,
+                BinOp::Le => x <= y,
+                BinOp::Gt => x > y,
+                BinOp::Ge => x >= y,
+                _ => unreachable!(),
+            };
+        }
+        let (x, y) = (self.to_f64(a), self.to_f64(b));
+        match op {
+            BinOp::Lt => x < y,
+            BinOp::Le => x <= y,
+            BinOp::Gt => x > y,
+            BinOp::Ge => x >= y,
+            _ => unreachable!(),
+        }
+    }
+
+    fn binop(&mut self, op: BinOp, a: &RVal, b: &RVal) -> RVal {
+        match op {
+            BinOp::Add => {
+                if matches!(a, RVal::Str(_)) || matches!(b, RVal::Str(_)) {
+                    RVal::Str(format!("{}{}", self.display(a), self.display(b)).into())
+                } else {
+                    RVal::Num(self.to_f64(a) + self.to_f64(b))
+                }
+            }
+            BinOp::Sub => RVal::Num(self.to_f64(a) - self.to_f64(b)),
+            BinOp::Mul => RVal::Num(self.to_f64(a) * self.to_f64(b)),
+            BinOp::Div => RVal::Num(self.to_f64(a) / self.to_f64(b)),
+            BinOp::Mod => RVal::Num(self.to_f64(a) % self.to_f64(b)),
+            BinOp::BitAnd => RVal::Num((self.to_int32(a) & self.to_int32(b)) as f64),
+            BinOp::BitOr => RVal::Num((self.to_int32(a) | self.to_int32(b)) as f64),
+            BinOp::BitXor => RVal::Num((self.to_int32(a) ^ self.to_int32(b)) as f64),
+            BinOp::Shl => RVal::Num((self.to_int32(a) << (self.to_uint32(b) & 31)) as f64),
+            BinOp::Sar => RVal::Num((self.to_int32(a) >> (self.to_uint32(b) & 31)) as f64),
+            BinOp::Shr => {
+                RVal::Num(((self.to_int32(a) as u32) >> (self.to_uint32(b) & 31)) as f64)
+            }
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => RVal::Bool(self.compare(op, a, b)),
+            BinOp::Eq => RVal::Bool(self.loose_eq(a, b)),
+            BinOp::NotEq => RVal::Bool(!self.loose_eq(a, b)),
+            BinOp::StrictEq => RVal::Bool(self.strict_eq(a, b)),
+            BinOp::StrictNotEq => RVal::Bool(!self.strict_eq(a, b)),
+        }
+    }
+
+    // ----- elements -----
+
+    fn required_kind(v: &RVal) -> EKind {
+        match v {
+            RVal::Num(f) if f64_fits_smi(*f) => EKind::Smi,
+            RVal::Num(_) => EKind::Double,
+            _ => EKind::Tagged,
+        }
+    }
+
+    /// Mirror of `Runtime::store_element`: kind transition (converting
+    /// only `0..len`, refilling the rest), capacity growth (copying only
+    /// `0..len`), length bump, and kind-directed slot representation.
+    fn store_element(&mut self, obj: usize, index: i64, value: RVal) {
+        assert!(index >= 0, "negative element index");
+        let index = index as usize;
+        let e = &mut self.objs[obj].elems;
+        let want = EKind::join(e.kind, Interp::required_kind(&value));
+
+        if want != e.kind {
+            let cap = e.slots.len().max(index + 1).max(4);
+            let mut slots = vec![RElems::fill(want); cap];
+            slots[..e.len].clone_from_slice(&e.slots[..e.len]);
+            e.kind = want;
+            e.slots = slots;
+        }
+        if index >= e.slots.len() {
+            let cap = (e.slots.len() * 2).max(index + 1).max(4);
+            let mut slots = vec![RElems::fill(e.kind); cap];
+            slots[..e.len].clone_from_slice(&e.slots[..e.len]);
+            e.slots = slots;
+        }
+        if index >= e.len {
+            e.len = index + 1;
+        }
+        e.slots[index] = match e.kind {
+            EKind::Double => RVal::Num(self_to_f64_static(&value)),
+            EKind::Smi | EKind::Tagged => value,
+        };
+    }
+
+    fn load_element(&self, obj: usize, index: i64) -> RVal {
+        let e = &self.objs[obj].elems;
+        if index < 0 || index as usize >= e.len {
+            return RVal::Undefined;
+        }
+        e.slots[index as usize].clone()
+    }
+
+    // ----- properties -----
+
+    fn get_prop(&self, v: &RVal, name: &str) -> RResult<RVal> {
+        match v {
+            RVal::Obj(o) => {
+                if let Some((_, pv)) = self.objs[*o].props.iter().find(|(n, _)| &**n == name) {
+                    return Ok(pv.clone());
+                }
+                if name == "length" {
+                    return Ok(RVal::Num(self.objs[*o].elems.len as u64 as i32 as f64));
+                }
+                Ok(RVal::Undefined)
+            }
+            RVal::Str(s) => {
+                if name == "length" {
+                    Ok(RVal::Num(s.len() as i32 as f64))
+                } else {
+                    Ok(RVal::Undefined)
+                }
+            }
+            RVal::Null | RVal::Undefined => Err(format!(
+                "cannot read property `{}` of {}",
+                name,
+                self.display(v)
+            )),
+            _ => Ok(RVal::Undefined),
+        }
+    }
+
+    /// Mirror of `ip_set_prop`: silent on primitive receivers, errors on
+    /// null/undefined, stores (adding the property) on objects.
+    fn set_prop(&mut self, recv: &RVal, name: &str, value: RVal) -> RResult<()> {
+        match recv {
+            RVal::Obj(o) => {
+                let o = *o;
+                if let Some(slot) =
+                    self.objs[o].props.iter_mut().find(|(n, _)| &**n == name)
+                {
+                    slot.1 = value;
+                } else {
+                    self.objs[o].props.push((name.into(), value));
+                }
+                Ok(())
+            }
+            RVal::Null | RVal::Undefined => Err(format!(
+                "cannot set property `{}` of {}",
+                name,
+                self.display(recv)
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    /// Mirror of `integral_index`.
+    fn integral_index(&self, v: &RVal) -> Option<i64> {
+        if let RVal::Num(f) = v {
+            if f64_fits_smi(*f) {
+                return if *f >= 0.0 { Some(*f as i64) } else { None };
+            }
+            if f.trunc() == *f && (0.0..2_147_483_648.0).contains(f) {
+                return Some(*f as i64);
+            }
+        }
+        None
+    }
+
+    fn get_elem(&mut self, obj: &RVal, ix: &RVal) -> RResult<RVal> {
+        match obj {
+            // The engine only errors for SMI receivers; heap numbers fall
+            // through to the generic "undefined" arm.
+            RVal::Num(f) if f64_fits_smi(*f) => Err("cannot index a number".into()),
+            RVal::Str(s) => Ok(match self.integral_index(ix) {
+                Some(i) => RVal::Str(char_at(s, i)),
+                None => RVal::Undefined,
+            }),
+            RVal::Obj(o) => Ok(match self.integral_index(ix) {
+                Some(i) => self.load_element(*o, i),
+                None => RVal::Undefined,
+            }),
+            RVal::Null | RVal::Undefined => Err("cannot index null/undefined".into()),
+            _ => Ok(RVal::Undefined),
+        }
+    }
+
+    fn set_elem(&mut self, obj: &RVal, ix: &RVal, value: RVal) -> RResult<()> {
+        let RVal::Obj(o) = obj else {
+            return Err("cannot index-assign a non-object".into());
+        };
+        if let Some(i) = self.integral_index(ix) {
+            self.store_element(*o, i, value);
+        }
+        Ok(())
+    }
+
+    // ----- calls -----
+
+    fn call_value(&mut self, callee: &RVal, this: RVal, args: Vec<RVal>) -> RResult<RVal> {
+        let RVal::Func(f) = callee else {
+            return Err("callee is not a function".into());
+        };
+        match *f {
+            RFunc::Builtin(b) => self.call_builtin(b, this, &args),
+            RFunc::User(ix) => {
+                let decl = self.funcs[ix].clone();
+                self.call_decl(&decl, this, &args, false)
+            }
+        }
+    }
+
+    /// Execute a user function (or, with `global_scope`, the program's
+    /// top level): hoist `var`s and nested function declarations, bind
+    /// parameters, run the body.
+    fn call_decl(
+        &mut self,
+        decl: &Rc<FuncDecl>,
+        this: RVal,
+        args: &[RVal],
+        global_scope: bool,
+    ) -> RResult<RVal> {
+        let limit = if cfg!(debug_assertions) { 120 } else { 800 };
+        if self.depth >= limit {
+            return Err("stack overflow".into());
+        }
+        self.depth += 1;
+        let r = self.call_decl_inner(decl, this, args, global_scope);
+        self.depth -= 1;
+        r
+    }
+
+    fn call_decl_inner(
+        &mut self,
+        decl: &Rc<FuncDecl>,
+        this: RVal,
+        args: &[RVal],
+        global_scope: bool,
+    ) -> RResult<RVal> {
+        let mut hoisted_vars = Vec::new();
+        let mut hoisted_funcs = Vec::new();
+        hoist(&decl.body, &mut hoisted_vars, &mut hoisted_funcs);
+
+        let mut scope = if global_scope {
+            Scope { locals: None, this }
+        } else {
+            let mut locals: HashMap<String, RVal> = HashMap::new();
+            for (i, p) in decl.params.iter().enumerate() {
+                locals.insert(
+                    p.clone(),
+                    args.get(i).cloned().unwrap_or(RVal::Undefined),
+                );
+            }
+            for v in &hoisted_vars {
+                locals.entry(v.clone()).or_insert(RVal::Undefined);
+            }
+            for (name, _) in &hoisted_funcs {
+                locals.entry(name.clone()).or_insert(RVal::Undefined);
+            }
+            Scope { locals: Some(locals), this }
+        };
+
+        // Materialize hoisted function declarations at entry, in
+        // hoist-traversal order.
+        for (name, fdecl) in &hoisted_funcs {
+            let ix = self.register(fdecl);
+            self.store_var(&mut scope, name, RVal::Func(RFunc::User(ix)));
+        }
+
+        for s in &decl.body {
+            match self.stmt(&mut scope, s)? {
+                Flow::Return(v) => return Ok(v),
+                Flow::Normal => {}
+                Flow::Break | Flow::Continue => {
+                    unreachable!("break/continue escaped a loop (parser bug)")
+                }
+            }
+        }
+        Ok(RVal::Undefined)
+    }
+
+    fn load_var(&self, scope: &Scope, name: &str) -> RVal {
+        if let Some(locals) = &scope.locals {
+            if let Some(v) = locals.get(name) {
+                return v.clone();
+            }
+        }
+        self.globals.get(name).cloned().unwrap_or(RVal::Undefined)
+    }
+
+    fn store_var(&mut self, scope: &mut Scope, name: &str, v: RVal) {
+        if let Some(locals) = &mut scope.locals {
+            if let Some(slot) = locals.get_mut(name) {
+                *slot = v;
+                return;
+            }
+        }
+        self.globals.insert(name.to_string(), v);
+    }
+
+    // ----- statements -----
+
+    /// Burn one unit of fuel; errors once [`REF_STEP_BUDGET`] is spent.
+    fn tick(&mut self) -> RResult<()> {
+        if self.steps == 0 {
+            return Err("step budget exceeded".into());
+        }
+        self.steps -= 1;
+        Ok(())
+    }
+
+    fn stmt(&mut self, scope: &mut Scope, s: &Stmt) -> RResult<Flow> {
+        self.tick()?;
+        match s {
+            Stmt::Var { name, init } => {
+                if let Some(e) = init {
+                    let v = self.expr(scope, e)?;
+                    self.store_var(scope, name, v);
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(e) => {
+                self.expr(scope, e)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If { cond, then, els } => {
+                let c = self.expr(scope, cond)?;
+                if self.is_truthy(&c) {
+                    self.stmt(scope, then)
+                } else if let Some(e) = els {
+                    self.stmt(scope, e)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::While { cond, body } => {
+                loop {
+                    let c = self.expr(scope, cond)?;
+                    if !self.is_truthy(&c) {
+                        break;
+                    }
+                    match self.stmt(scope, body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::DoWhile { body, cond } => {
+                loop {
+                    match self.stmt(scope, body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    let c = self.expr(scope, cond)?;
+                    if !self.is_truthy(&c) {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For { init, cond, update, body } => {
+                if let Some(i) = init {
+                    match self.stmt(scope, i)? {
+                        Flow::Normal => {}
+                        _ => unreachable!("non-normal flow in for-init"),
+                    }
+                }
+                loop {
+                    if let Some(c) = cond {
+                        let cv = self.expr(scope, c)?;
+                        if !self.is_truthy(&cv) {
+                            break;
+                        }
+                    }
+                    match self.stmt(scope, body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    if let Some(u) = update {
+                        self.expr(scope, u)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.expr(scope, e)?,
+                    None => RVal::Undefined,
+                };
+                Ok(Flow::Return(v))
+            }
+            // Hoisted at entry; nothing at the declaration site.
+            Stmt::Function(_) => Ok(Flow::Normal),
+            Stmt::Block(b) => {
+                for s in b {
+                    match self.stmt(scope, s)? {
+                        Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Empty => Ok(Flow::Normal),
+        }
+    }
+
+    // ----- expressions -----
+
+    #[allow(clippy::too_many_lines)]
+    fn expr(&mut self, scope: &mut Scope, e: &Expr) -> RResult<RVal> {
+        self.tick()?;
+        match e {
+            Expr::Num(n) => Ok(RVal::Num(*n)),
+            Expr::Str(s) => Ok(RVal::Str(s.clone())),
+            Expr::Bool(b) => Ok(RVal::Bool(*b)),
+            Expr::Null => Ok(RVal::Null),
+            Expr::Undefined => Ok(RVal::Undefined),
+            Expr::This => Ok(scope.this.clone()),
+            Expr::Ident(name) => Ok(self.load_var(scope, name)),
+            Expr::Assign { target, op, value } => self.assign(scope, target, *op, value),
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.expr(scope, lhs)?;
+                let b = self.expr(scope, rhs)?;
+                Ok(self.binop(*op, &a, &b))
+            }
+            Expr::Logical { op, lhs, rhs } => {
+                let a = self.expr(scope, lhs)?;
+                let take_lhs = match op {
+                    LogOp::And => !self.is_truthy(&a),
+                    LogOp::Or => self.is_truthy(&a),
+                };
+                if take_lhs {
+                    Ok(a)
+                } else {
+                    self.expr(scope, rhs)
+                }
+            }
+            Expr::Unary { op, expr } => {
+                let v = self.expr(scope, expr)?;
+                Ok(match op {
+                    UnOp::Neg => RVal::Num(-self.to_f64(&v)),
+                    // `+x` compiles to `x - 0`.
+                    UnOp::Plus => RVal::Num(self.to_f64(&v) - 0.0),
+                    UnOp::Not => RVal::Bool(!self.is_truthy(&v)),
+                    UnOp::BitNot => RVal::Num(!self.to_int32(&v) as f64),
+                })
+            }
+            Expr::Update { op, prefix, target } => {
+                let bop = match op {
+                    UpdateOp::Inc => BinOp::Add,
+                    UpdateOp::Dec => BinOp::Sub,
+                };
+                if *prefix {
+                    // ++x ≡ x += 1 (string `++` concatenates "1", like
+                    // the engine's Add-based desugaring).
+                    return self.assign_with(scope, target, Some(bop), &Expr::Num(1.0));
+                }
+                // Postfix: result is the old value.
+                match &**target {
+                    Expr::Ident(name) => {
+                        let old = self.load_var(scope, name);
+                        let new = self.binop(bop, &old, &RVal::Num(1.0));
+                        self.store_var(scope, name, new);
+                        Ok(old)
+                    }
+                    Expr::Member { obj, prop } => {
+                        let o = self.expr(scope, obj)?;
+                        let old = self.get_prop(&o, prop)?;
+                        let new = self.binop(bop, &old, &RVal::Num(1.0));
+                        self.set_prop(&o, prop, new)?;
+                        Ok(old)
+                    }
+                    Expr::Index { obj, index } => {
+                        let o = self.expr(scope, obj)?;
+                        let i = self.expr(scope, index)?;
+                        let old = self.get_elem(&o, &i)?;
+                        let new = self.binop(bop, &old, &RVal::Num(1.0));
+                        self.set_elem(&o, &i, new)?;
+                        Ok(old)
+                    }
+                    other => unreachable!("invalid update target {other:?}"),
+                }
+            }
+            Expr::Cond { cond, then, els } => {
+                let c = self.expr(scope, cond)?;
+                if self.is_truthy(&c) {
+                    self.expr(scope, then)
+                } else {
+                    self.expr(scope, els)
+                }
+            }
+            Expr::Call { callee, args } => match &**callee {
+                Expr::Member { obj, prop } => {
+                    let recv = self.expr(scope, obj)?;
+                    let mut a = Vec::with_capacity(args.len());
+                    for arg in args {
+                        a.push(self.expr(scope, arg)?);
+                    }
+                    self.call_method(&recv, prop, a)
+                }
+                other => {
+                    let f = self.expr(scope, other)?;
+                    let mut a = Vec::with_capacity(args.len());
+                    for arg in args {
+                        a.push(self.expr(scope, arg)?);
+                    }
+                    self.call_value(&f, RVal::Undefined, a)
+                }
+            },
+            Expr::New { callee, args } => {
+                let f = self.expr(scope, callee)?;
+                let mut a = Vec::with_capacity(args.len());
+                for arg in args {
+                    a.push(self.expr(scope, arg)?);
+                }
+                let RVal::Func(rf) = f else {
+                    return Err("`new` target is not a function".into());
+                };
+                let RFunc::User(fi) = rf else {
+                    return Err("builtins are not constructors".into());
+                };
+                // Allocation-site feedback: start at the constructor's
+                // learned elements kind (hole fills differ by kind).
+                let obj = self.alloc(self.ctor_kind[fi]);
+                let decl = self.funcs[fi].clone();
+                let ret = self.call_decl(&decl, RVal::Obj(obj), &a, false)?;
+                let kind = self.objs[obj].elems.kind;
+                self.ctor_kind[fi] = EKind::join(self.ctor_kind[fi], kind);
+                if let RVal::Obj(_) = ret {
+                    Ok(ret)
+                } else {
+                    Ok(RVal::Obj(obj))
+                }
+            }
+            Expr::Member { obj, prop } => {
+                let o = self.expr(scope, obj)?;
+                self.get_prop(&o, prop)
+            }
+            Expr::Index { obj, index } => {
+                let o = self.expr(scope, obj)?;
+                let i = self.expr(scope, index)?;
+                self.get_elem(&o, &i)
+            }
+            Expr::Array(items) => {
+                let mut vals = Vec::with_capacity(items.len());
+                for it in items {
+                    vals.push(self.expr(scope, it)?);
+                }
+                let arr = self.alloc(EKind::Smi);
+                for (i, v) in vals.into_iter().enumerate() {
+                    self.store_element(arr, i as i64, v);
+                }
+                Ok(RVal::Obj(arr))
+            }
+            Expr::Object(props) => {
+                let o = self.alloc(EKind::Smi);
+                for (k, v) in props {
+                    let val = self.expr(scope, v)?;
+                    self.set_prop(&RVal::Obj(o), k, val)?;
+                }
+                Ok(RVal::Obj(o))
+            }
+            Expr::Function(decl) => {
+                let ix = self.register(decl);
+                Ok(RVal::Func(RFunc::User(ix)))
+            }
+        }
+    }
+
+    fn assign(
+        &mut self,
+        scope: &mut Scope,
+        target: &Expr,
+        op: Option<BinOp>,
+        value: &Expr,
+    ) -> RResult<RVal> {
+        self.assign_with(scope, target, op, value)
+    }
+
+    /// Assignment and compound assignment, mirroring the compiler's
+    /// evaluation order: for compound member/index targets the old value
+    /// is loaded (and may error) *before* the right-hand side runs.
+    fn assign_with(
+        &mut self,
+        scope: &mut Scope,
+        target: &Expr,
+        op: Option<BinOp>,
+        value: &Expr,
+    ) -> RResult<RVal> {
+        match target {
+            Expr::Ident(name) => {
+                let r = match op {
+                    Some(op) => {
+                        let old = self.load_var(scope, name);
+                        let v = self.expr(scope, value)?;
+                        self.binop(op, &old, &v)
+                    }
+                    None => self.expr(scope, value)?,
+                };
+                self.store_var(scope, name, r.clone());
+                Ok(r)
+            }
+            Expr::Member { obj, prop } => {
+                let o = self.expr(scope, obj)?;
+                let r = match op {
+                    Some(op) => {
+                        let old = self.get_prop(&o, prop)?;
+                        let v = self.expr(scope, value)?;
+                        self.binop(op, &old, &v)
+                    }
+                    None => self.expr(scope, value)?,
+                };
+                self.set_prop(&o, prop, r.clone())?;
+                Ok(r)
+            }
+            Expr::Index { obj, index } => {
+                let o = self.expr(scope, obj)?;
+                let i = self.expr(scope, index)?;
+                let r = match op {
+                    Some(op) => {
+                        let old = self.get_elem(&o, &i)?;
+                        let v = self.expr(scope, value)?;
+                        self.binop(op, &old, &v)
+                    }
+                    None => self.expr(scope, value)?,
+                };
+                self.set_elem(&o, &i, r.clone())?;
+                Ok(r)
+            }
+            other => unreachable!("invalid assignment target {other:?}"),
+        }
+    }
+
+    fn call_method(&mut self, recv: &RVal, name: &str, args: Vec<RVal>) -> RResult<RVal> {
+        match recv {
+            RVal::Str(s) => {
+                let s = s.clone();
+                match name {
+                    "charCodeAt" => Ok(self.char_code_at(&s, &args)),
+                    "charAt" => {
+                        let i = self.to_f64(args.first().unwrap_or(&RVal::Undefined)) as i64;
+                        Ok(RVal::Str(char_at(&s, i)))
+                    }
+                    "substring" => Ok(self.substring(&s, &args)),
+                    "indexOf" => Ok(self.index_of(&s, &args)),
+                    other => Err(format!("string has no method `{other}`")),
+                }
+            }
+            RVal::Obj(o) => {
+                let o = *o;
+                // Named properties shadow the builtin array methods.
+                if let Some((_, pv)) =
+                    self.objs[o].props.iter().find(|(n, _)| &**n == name)
+                {
+                    let callee = pv.clone();
+                    return self.call_value(&callee, RVal::Obj(o), args);
+                }
+                match name {
+                    "push" => {
+                        let mut len = self.objs[o].elems.len;
+                        for a in args {
+                            self.store_element(o, len as i64, a);
+                            len += 1;
+                        }
+                        Ok(RVal::Num(len as u64 as i32 as f64))
+                    }
+                    "pop" => {
+                        let len = self.objs[o].elems.len;
+                        if len == 0 {
+                            return Ok(RVal::Undefined);
+                        }
+                        let v = self.load_element(o, len as i64 - 1);
+                        // Length shrinks; the slot keeps its stale value
+                        // (observable on a later in-capacity store).
+                        self.objs[o].elems.len = len - 1;
+                        Ok(v)
+                    }
+                    other => Err(format!("object has no method `{other}`")),
+                }
+            }
+            _ => Err("method call on non-object".into()),
+        }
+    }
+
+    // ----- builtins -----
+
+    fn num_arg(&self, args: &[RVal], i: usize) -> f64 {
+        self.to_f64(args.get(i).unwrap_or(&RVal::Undefined))
+    }
+
+    fn call_builtin(&mut self, b: RBuiltin, _this: RVal, args: &[RVal]) -> RResult<RVal> {
+        use RBuiltin::*;
+        Ok(match b {
+            Sqrt => RVal::Num(self.num_arg(args, 0).sqrt()),
+            Abs => RVal::Num(self.num_arg(args, 0).abs()),
+            Floor => RVal::Num(self.num_arg(args, 0).floor()),
+            Ceil => RVal::Num(self.num_arg(args, 0).ceil()),
+            // JS Math.round: floor(x + 0.5), as in the engine.
+            Round => RVal::Num((self.num_arg(args, 0) + 0.5).floor()),
+            Sin => RVal::Num(self.num_arg(args, 0).sin()),
+            Cos => RVal::Num(self.num_arg(args, 0).cos()),
+            Tan => RVal::Num(self.num_arg(args, 0).tan()),
+            Atan => RVal::Num(self.num_arg(args, 0).atan()),
+            Atan2 => RVal::Num(self.num_arg(args, 0).atan2(self.num_arg(args, 1))),
+            Pow => RVal::Num(self.num_arg(args, 0).powf(self.num_arg(args, 1))),
+            Exp => RVal::Num(self.num_arg(args, 0).exp()),
+            Log => RVal::Num(self.num_arg(args, 0).ln()),
+            Min => {
+                let mut best = f64::INFINITY;
+                for i in 0..args.len() {
+                    let v = self.num_arg(args, i);
+                    if v.is_nan() {
+                        return Ok(RVal::Num(f64::NAN));
+                    }
+                    if v < best {
+                        best = v;
+                    }
+                }
+                RVal::Num(best)
+            }
+            Max => {
+                let mut best = f64::NEG_INFINITY;
+                for i in 0..args.len() {
+                    let v = self.num_arg(args, i);
+                    if v.is_nan() {
+                        return Ok(RVal::Num(f64::NAN));
+                    }
+                    if v > best {
+                        best = v;
+                    }
+                }
+                RVal::Num(best)
+            }
+            Random => {
+                // xorshift64*, identical stream to Runtime::random_f64.
+                let mut x = self.prng;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.prng = x;
+                let bits = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                RVal::Num((bits >> 11) as f64 / (1u64 << 53) as f64)
+            }
+            FromCharCode => {
+                let mut s = String::new();
+                for i in 0..args.len() {
+                    s.push(self.num_arg(args, i) as u32 as u8 as char);
+                }
+                RVal::Str(s.into())
+            }
+            Print => {
+                let parts: Vec<String> = args.iter().map(|a| self.display(a)).collect();
+                self.output.push(parts.join(" "));
+                RVal::Undefined
+            }
+            ParseInt => {
+                let s = self.display(args.first().unwrap_or(&RVal::Undefined));
+                let radix = if args.len() > 1 { self.num_arg(args, 1) as u32 } else { 10 };
+                parse_int(&s, radix)
+            }
+            ParseFloat => {
+                let s = self.display(args.first().unwrap_or(&RVal::Undefined));
+                parse_float(&s)
+            }
+        })
+    }
+
+    fn char_code_at(&self, s: &str, args: &[RVal]) -> RVal {
+        // `num_arg as i64` in the engine: NaN saturates to 0.
+        let i = self.num_arg(args, 0) as i64;
+        let bytes = s.as_bytes();
+        if i < 0 || i as usize >= bytes.len() {
+            RVal::Num(f64::NAN)
+        } else {
+            RVal::Num(bytes[i as usize] as f64)
+        }
+    }
+
+    fn substring(&self, s: &str, args: &[RVal]) -> RVal {
+        let len = s.len() as i64;
+        let a = (self.num_arg(args, 0) as i64).clamp(0, len);
+        let b = if args.len() > 1 { (self.num_arg(args, 1) as i64).clamp(0, len) } else { len };
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        RVal::Str(s[lo as usize..hi as usize].into())
+    }
+
+    fn index_of(&self, s: &str, args: &[RVal]) -> RVal {
+        let needle = self.display(args.first().unwrap_or(&RVal::Undefined));
+        let from = if args.len() > 1 { self.num_arg(args, 1) as usize } else { 0 };
+        let r = if from <= s.len() {
+            s[from..].find(&needle).map(|p| (p + from) as i32).unwrap_or(-1)
+        } else {
+            -1
+        };
+        RVal::Num(r as f64)
+    }
+}
+
+/// Standalone `ToNumber` used where borrowing `self` is inconvenient.
+/// Matches `Interp::to_f64` (only called on values already stored in
+/// elements, which never need the interner).
+fn self_to_f64_static(v: &RVal) -> f64 {
+    match v {
+        RVal::Num(f) => *f,
+        RVal::Bool(b) => *b as u32 as f64,
+        RVal::Null => 0.0,
+        RVal::Undefined => f64::NAN,
+        RVal::Str(s) => {
+            let t = s.trim();
+            if t.is_empty() {
+                0.0
+            } else {
+                t.parse::<f64>().unwrap_or(f64::NAN)
+            }
+        }
+        RVal::Func(_) | RVal::Obj(_) => f64::NAN,
+    }
+}
+
+fn char_at(s: &str, i: i64) -> Rc<str> {
+    if i < 0 || i as usize >= s.len() {
+        "".into()
+    } else {
+        s[i as usize..i as usize + 1].into()
+    }
+}
+
+fn parse_int(s: &str, radix: u32) -> RVal {
+    let t = s.trim();
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t.strip_prefix('+').unwrap_or(t)),
+    };
+    let (radix, t) = if radix == 16 || (radix == 10 && t.starts_with("0x")) {
+        (16, t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")).unwrap_or(t))
+    } else {
+        (radix.clamp(2, 36), t)
+    };
+    let digits: String = t.chars().take_while(|c| c.is_digit(radix)).collect();
+    if digits.is_empty() {
+        return RVal::Num(f64::NAN);
+    }
+    let mut v = 0f64;
+    for c in digits.chars() {
+        v = v * radix as f64 + c.to_digit(radix).unwrap() as f64;
+    }
+    RVal::Num(if neg { -v } else { v })
+}
+
+fn parse_float(s: &str) -> RVal {
+    let t = s.trim();
+    let mut end = 0;
+    for i in (0..=t.len()).rev() {
+        if t[..i].parse::<f64>().is_ok() {
+            end = i;
+            break;
+        }
+    }
+    if end == 0 {
+        RVal::Num(f64::NAN)
+    } else {
+        RVal::Num(t[..end].parse::<f64>().unwrap())
+    }
+}
+
+/// Hoist `var` names and nested function declarations in the same
+/// traversal order as the bytecode compiler's `hoist_stmt`.
+fn hoist(body: &[Stmt], vars: &mut Vec<String>, funcs: &mut Vec<(String, Rc<FuncDecl>)>) {
+    for s in body {
+        hoist_stmt(s, vars, funcs);
+    }
+}
+
+fn hoist_stmt(s: &Stmt, vars: &mut Vec<String>, funcs: &mut Vec<(String, Rc<FuncDecl>)>) {
+    match s {
+        Stmt::Var { name, .. } => vars.push(name.clone()),
+        Stmt::Function(decl) => funcs.push((decl.name.clone(), decl.clone())),
+        Stmt::If { then, els, .. } => {
+            hoist_stmt(then, vars, funcs);
+            if let Some(e) = els {
+                hoist_stmt(e, vars, funcs);
+            }
+        }
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => hoist_stmt(body, vars, funcs),
+        Stmt::For { init, body, .. } => {
+            if let Some(i) = init {
+                hoist_stmt(i, vars, funcs);
+            }
+            hoist_stmt(body, vars, funcs);
+        }
+        Stmt::Block(b) => hoist(b, vars, funcs),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> RefOutput {
+        run_reference(src)
+    }
+
+    fn value(src: &str) -> String {
+        run(src).result.expect("program should succeed")
+    }
+
+    fn error(src: &str) -> String {
+        run(src).result.expect_err("program should fail")
+    }
+
+    #[test]
+    fn arithmetic_and_display() {
+        assert_eq!(value("return 1 + 2 * 3;"), "7");
+        assert_eq!(value("return 7 / 2;"), "3.5");
+        assert_eq!(value("return -6 % 3;"), "0");
+        assert_eq!(value("return 1 / 0;"), "Infinity");
+        assert_eq!(value("return 0 / 0;"), "NaN");
+        assert_eq!(value("return \"a\" + 1;"), "a1");
+        assert_eq!(value("return 1 + \"a\";"), "1a");
+        assert_eq!(value("return true + 1;"), "2");
+        assert_eq!(value("return {} + 1;"), "NaN");
+    }
+
+    #[test]
+    fn equality_matrix() {
+        assert_eq!(value("return null == undefined;"), "true");
+        assert_eq!(value("return null === undefined;"), "false");
+        assert_eq!(value("return \"3\" == 3;"), "true");
+        assert_eq!(value("return \"3\" === 3;"), "false");
+        // njs quirk: null coerces to 0 in the numeric arm.
+        assert_eq!(value("return null == 0;"), "true");
+        assert_eq!(value("return undefined == 0;"), "false");
+        let two_objects = "var a = {}; var b = {}; return a == b;";
+        assert_eq!(value(two_objects), "false");
+        assert_eq!(value("var a = {}; var b = a; return a === b;"), "true");
+    }
+
+    #[test]
+    fn elements_holes_are_kind_dependent() {
+        // SMI store past the end: holes read 0.
+        assert_eq!(value("var a = []; a[3] = 7; return a[1];"), "0");
+        // Tagged store past the end: holes read undefined.
+        assert_eq!(value("var a = []; a[3] = \"s\"; return a[1];"), "undefined");
+        // Double array: holes read 0.
+        assert_eq!(value("var a = []; a[3] = 1.5; return a[1];"), "0");
+        // Transition converts only the live prefix.
+        assert_eq!(
+            value("var a = [1, 2]; a[5] = 1.5; return a[0] + a[3];"),
+            "1"
+        );
+    }
+
+    #[test]
+    fn pop_resurrects_stale_slots() {
+        // pop leaves the slot value in place; a later in-capacity store
+        // that bumps the length back re-exposes it.
+        assert_eq!(
+            value("var a = [1, 2, 3]; a.pop(); a[3] = 9; return a[2];"),
+            "3"
+        );
+    }
+
+    #[test]
+    fn allocation_site_feedback_changes_hole_fill() {
+        // First instance goes Tagged; the second *starts* Tagged, so its
+        // sparse-store holes read undefined, not 0.
+        let src = "function C() { this.a = []; this.a[0] = \"s\"; }
+                   var x = new C();
+                   var y = new C();
+                   var z = new C();
+                   z.a[2] = 1;
+                   return z.a[1];";
+        // z's own constructor stores \"s\" into z.a[0], so z.a is Tagged
+        // before the sparse store: the hole reads undefined.
+        assert_eq!(value(src), "undefined");
+
+        // Feedback on the constructed object itself.
+        let src2 = "function C(v) { this[0] = v; }
+                    var x = new C(\"s\");
+                    var y = new C(1);
+                    y[2] = 1;
+                    return y[1];";
+        // x reached Tagged, so y starts Tagged: hole is undefined.
+        assert_eq!(value(src2), "undefined");
+    }
+
+    #[test]
+    fn smi_heap_split_in_get_elem() {
+        assert_eq!(error("var x = 2; return x[0];"), "cannot index a number");
+        // Non-SMI numbers fall through to undefined.
+        assert_eq!(value("var x = 2.5; return x[0];"), "undefined");
+    }
+
+    #[test]
+    fn error_messages_match_engine() {
+        assert_eq!(error("var o = null; return o.x;"), "cannot read property `x` of null");
+        assert_eq!(
+            error("var o; return o.x;"),
+            "cannot read property `x` of undefined"
+        );
+        assert_eq!(error("var o = null; o.x = 1;"), "cannot set property `x` of null");
+        assert_eq!(error("return null[0];"), "cannot index null/undefined");
+        assert_eq!(error("var x = 1; x[0] = 2;"), "cannot index-assign a non-object");
+        assert_eq!(error("var f = 3; f();"), "callee is not a function");
+        assert_eq!(error("new Math.sqrt();"), "builtins are not constructors");
+        assert_eq!(error("var s = \"x\"; s.zap();"), "string has no method `zap`");
+        assert_eq!(error("var o = {}; o.zap();"), "object has no method `zap`");
+        assert_eq!(error("var n = 1; n.zap();"), "method call on non-object");
+        assert_eq!(error("new 3();"), "`new` target is not a function");
+    }
+
+    #[test]
+    fn hoisting_and_scopes() {
+        // Function declarations are usable before their site.
+        assert_eq!(value("return f(); function f() { return 4; }"), "4");
+        // `var` in a function is function-scoped even inside blocks.
+        assert_eq!(
+            value("function g() { if (true) { var x = 3; } return x; } return g();"),
+            "3"
+        );
+        // Undeclared identifiers read undefined, assignment creates a
+        // global visible across functions.
+        assert_eq!(value("function s() { q = 8; } s(); return q;"), "8");
+        assert_eq!(value("return nothing_here;"), "undefined");
+    }
+
+    #[test]
+    fn update_and_compound_semantics() {
+        assert_eq!(value("var x = 3; var y = x++; return x * 10 + y;"), "43");
+        assert_eq!(value("var x = 3; var y = ++x; return x * 10 + y;"), "44");
+        // String ++ concatenates "1" (Add-based desugaring).
+        assert_eq!(value("var s = \"a\"; s++; return s;"), "a1");
+        // But -- coerces numerically.
+        assert_eq!(value("var s = \"3\"; s--; return s;"), "2");
+        // Compound index assign reads the old value before the RHS.
+        assert_eq!(value("var a = [5]; a[0] += 2; return a[0];"), "7");
+    }
+
+    #[test]
+    fn builtins_quirks() {
+        assert_eq!(value("return Math.round(-0.5);"), "0");
+        assert_eq!(value("return Math.round(2.5);"), "3");
+        assert_eq!(value("return parseInt(\"0xff\");"), "255");
+        assert_eq!(value("return parseInt(\"42px\");"), "42");
+        assert_eq!(value("return parseFloat(\"3.5rest\");"), "3.5");
+        assert_eq!(value("return \"hello\".charCodeAt(1);"), "101");
+        assert_eq!(value("return \"hello\".substring(3, 1);"), "el");
+        assert_eq!(value("return \"hello\".indexOf(\"lo\");"), "3");
+        assert_eq!(value("return String.fromCharCode(104, 105);"), "hi");
+        // Math members are plain mutable properties.
+        assert_eq!(
+            value("Math.sqrt = function(x) { return 99; }; return Math.sqrt(4);"),
+            "99"
+        );
+        // Builtin identity is stable.
+        assert_eq!(value("return Math.abs === Math.abs;"), "true");
+    }
+
+    #[test]
+    fn array_methods_and_length() {
+        assert_eq!(value("var a = []; return a.push(1, 2);"), "2");
+        assert_eq!(value("var a = [1, 2, 3]; a.pop(); return a.length;"), "2");
+        assert_eq!(value("var a = []; a[9] = 1; return a.length;"), "10");
+        assert_eq!(value("return \"abc\".length;"), "3");
+        // A named property shadows the builtin and the length fallback.
+        assert_eq!(
+            value("var a = [1]; a.push = function() { return 7; }; return a.push(9);"),
+            "7"
+        );
+        assert_eq!(value("var o = {}; o.length = 5; return o.length;"), "5");
+    }
+
+    #[test]
+    fn print_and_output_order() {
+        let out = run("print(\"x =\", 3); print([1][0]); print({});");
+        assert_eq!(out.output, vec!["x = 3", "1", "[object Object]"]);
+    }
+
+    #[test]
+    fn math_random_stream_matches_engine_seed() {
+        // Fixed seed: the first draw of the xorshift64* stream.
+        let out = run("var r = Math.random(); return r > 0 && r < 1;");
+        assert_eq!(out.result.unwrap(), "true");
+    }
+
+    #[test]
+    fn stack_overflow_guard() {
+        assert_eq!(
+            error("function f() { return f(); } return f();"),
+            "stack overflow"
+        );
+    }
+
+    #[test]
+    fn constructor_return_override() {
+        assert_eq!(
+            value("function C() { this.a = 1; return { b: 9 }; } return (new C()).b;"),
+            "9"
+        );
+        assert_eq!(
+            value("function C() { this.a = 1; return 5; } return (new C()).a;"),
+            "1"
+        );
+    }
+}

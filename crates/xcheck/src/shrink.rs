@@ -1,0 +1,874 @@
+//! Reproducer minimization.
+//!
+//! Given a failing program and an oracle (`still_fails`), [`shrink_source`]
+//! greedily reduces the program while the oracle keeps failing:
+//!
+//! 1. **statement deletion** — every statement position (at any nesting
+//!    depth, including inside function declarations) is a removal
+//!    candidate; positions held by a `Box<Stmt>` (loop bodies, `if`
+//!    branches) are replaced by the empty statement;
+//! 2. **statement unwrapping** — loops are replaced by one copy of their
+//!    body, `if` statements by their then-branch, blocks by their
+//!    contents; this peels control structure that deletion alone cannot
+//!    remove without losing the interesting statements inside;
+//! 3. **loop unrolling** — a loop is replaced by *three* copies of its
+//!    body (with the `for` update between them). This temporarily grows
+//!    the program, but a warm-up loop whose only job is to cross
+//!    `opt_threshold` then collapses to a couple of bare calls under the
+//!    deletion passes — the step that takes reproducers below the loop
+//!    scaffold's ~40-node floor;
+//! 4. **expression edits** — any expression is replaced by one of its
+//!    direct children (`(a + b)` → `a`, `f(x)` → `x`, `o.p` → `o`), a
+//!    call argument is dropped, or a subexpression is replaced by `0`;
+//!    neither statement deletion nor literal reduction can simplify
+//!    *inside* an expression that must stay;
+//! 5. **literal reduction** — numeric literals step toward zero by
+//!    halving (which also shrinks loop trip counts), strings collapse to
+//!    `""`.
+//!
+//! Each pass restarts after a successful reduction and the whole cycle
+//! repeats to a fixpoint or until the oracle-invocation budget
+//! ([`ShrinkOptions::max_checks`]) is exhausted. Because unrolling can
+//! grow a candidate, the driver tracks the smallest validated form ever
+//! seen and returns that. Candidates are rendered through the
+//! `checkelide-lang` pretty-printer before being tested, so the returned
+//! reproducer is exactly what was validated.
+
+use checkelide_lang::{node_count, parse_program, print_program, Expr, FuncDecl, Program, Stmt};
+use std::rc::Rc;
+
+/// Shrinking limits.
+#[derive(Debug, Clone)]
+pub struct ShrinkOptions {
+    /// Maximum number of `still_fails` invocations.
+    pub max_checks: usize,
+}
+
+impl Default for ShrinkOptions {
+    fn default() -> Self {
+        ShrinkOptions { max_checks: 2000 }
+    }
+}
+
+/// Reduce `src` while `still_fails` keeps returning `true`.
+///
+/// Returns the pretty-printed minimal form, or `src` unchanged when it
+/// does not parse or the normalized form no longer fails.
+pub fn shrink_source(
+    src: &str,
+    opts: &ShrinkOptions,
+    still_fails: &mut dyn FnMut(&str) -> bool,
+) -> String {
+    let Ok(cur) = parse_program(src) else {
+        return src.to_string();
+    };
+    let mut budget = opts.max_checks;
+
+    // The oracle must fail on the *normalized* form, otherwise every
+    // candidate comparison would be against a different baseline.
+    let cur_src = print_program(&cur);
+    if budget == 0 {
+        return cur_src;
+    }
+    budget -= 1;
+    if !still_fails(&cur_src) {
+        return src.to_string();
+    }
+
+    let mut st = Driver {
+        best_src: cur_src.clone(),
+        best_nodes: node_count(&cur),
+        cur,
+        cur_src,
+        budget,
+        improved: false,
+    };
+
+    loop {
+        st.improved = false;
+
+        for action in [Action::Delete, Action::Unwrap] {
+            st.stmt_pass(action, still_fails);
+        }
+        st.expr_pass(still_fails);
+        st.literal_pass(still_fails);
+        // Unrolling grows the candidate; run it only once the cheap
+        // passes are at a fixpoint, so the growth is immediately
+        // attacked by the next cycle.
+        st.stmt_pass(Action::Unroll, still_fails);
+
+        if !st.improved || st.budget == 0 {
+            break;
+        }
+    }
+
+    st.best_src
+}
+
+/// Mutable state threaded through the shrink passes.
+struct Driver {
+    cur: Program,
+    cur_src: String,
+    /// Smallest *validated* form seen so far (unrolling can grow `cur`
+    /// past it).
+    best_src: String,
+    best_nodes: usize,
+    budget: usize,
+    improved: bool,
+}
+
+impl Driver {
+    /// Accept `cand` (already validated) as the current form.
+    fn accept(&mut self, cand: Program, s: String) {
+        let nodes = node_count(&cand);
+        if nodes < self.best_nodes {
+            self.best_nodes = nodes;
+            self.best_src = s.clone();
+        }
+        self.cur = cand;
+        self.cur_src = s;
+        self.improved = true;
+    }
+
+    /// One statement-level pass, restarting after each hit (indices
+    /// shift under edits).
+    fn stmt_pass(&mut self, action: Action, still_fails: &mut dyn FnMut(&str) -> bool) {
+        loop {
+            let n = count_stmts(&self.cur);
+            let mut hit = false;
+            for k in 0..n {
+                if self.budget == 0 {
+                    break;
+                }
+                let Some(cand) = edit_program(&self.cur, k, action) else { continue };
+                let s = print_program(&cand);
+                if s == self.cur_src {
+                    // Structurally different but observably identical
+                    // (e.g. an `Empty` dropped from a block): taking it
+                    // re-tests nothing, so treat it as free progress
+                    // without consulting the oracle.
+                    self.cur = cand;
+                    continue;
+                }
+                self.budget -= 1;
+                if still_fails(&s) {
+                    self.accept(cand, s);
+                    hit = true;
+                    break;
+                }
+            }
+            if !hit || self.budget == 0 {
+                break;
+            }
+        }
+    }
+
+    /// One expression-level pass: hoist a child, drop a call argument,
+    /// or replace a subexpression with `0`.
+    fn expr_pass(&mut self, still_fails: &mut dyn FnMut(&str) -> bool) {
+        loop {
+            let n = count_exprs(&self.cur);
+            let mut hit = false;
+            'outer: for k in 0..n {
+                let edits = (0..MAX_HOIST_CHILDREN)
+                    .map(ExprEdit::Hoist)
+                    .chain((0..MAX_HOIST_CHILDREN).map(ExprEdit::DropArg))
+                    .chain(std::iter::once(ExprEdit::Zero));
+                for edit in edits {
+                    if self.budget == 0 {
+                        break 'outer;
+                    }
+                    let Some(cand) = edit_expr(&self.cur, k, edit) else { continue };
+                    let s = print_program(&cand);
+                    if s == self.cur_src {
+                        continue;
+                    }
+                    self.budget -= 1;
+                    if still_fails(&s) {
+                        self.accept(cand, s);
+                        hit = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !hit || self.budget == 0 {
+                break;
+            }
+        }
+    }
+
+    /// One literal-reduction pass.
+    fn literal_pass(&mut self, still_fails: &mut dyn FnMut(&str) -> bool) {
+        loop {
+            let n = count_literals(&self.cur);
+            let mut hit = false;
+            'outer: for k in 0..n {
+                for edit in [LitEdit::Zero, LitEdit::Half, LitEdit::Empty] {
+                    if self.budget == 0 {
+                        break 'outer;
+                    }
+                    let Some(cand) = edit_literal(&self.cur, k, edit) else { continue };
+                    let s = print_program(&cand);
+                    if s == self.cur_src {
+                        continue;
+                    }
+                    self.budget -= 1;
+                    if still_fails(&s) {
+                        self.accept(cand, s);
+                        hit = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !hit || self.budget == 0 {
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Statement edits
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    /// Remove the statement (empty statement at `Box<Stmt>` positions).
+    Delete,
+    /// Replace the statement with its structural children.
+    Unwrap,
+    /// Replace a loop with three copies of its body (`for` updates
+    /// interleaved, init kept) — enough iterations to cross the
+    /// differential configs' `opt_threshold = 2` without the loop.
+    Unroll,
+}
+
+/// Preorder statement count, matching [`edit_program`]'s traversal.
+fn count_stmts(p: &Program) -> usize {
+    fn vec(stmts: &[Stmt]) -> usize {
+        stmts.iter().map(one).sum()
+    }
+    fn one(s: &Stmt) -> usize {
+        1 + match s {
+            Stmt::If { then, els, .. } => {
+                one(then) + els.as_deref().map_or(0, one)
+            }
+            Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => one(body),
+            Stmt::For { init, body, .. } => init.as_deref().map_or(0, one) + one(body),
+            Stmt::Function(f) => vec(&f.body),
+            Stmt::Block(b) => vec(b),
+            _ => 0,
+        }
+    }
+    vec(&p.body)
+}
+
+/// Apply `action` to the `target`-th statement (preorder); `None` when
+/// the action does not apply there (e.g. unwrapping a `var`).
+fn edit_program(p: &Program, target: usize, action: Action) -> Option<Program> {
+    let mut counter = 0usize;
+    let mut changed = false;
+    let body = edit_vec(&p.body, &mut counter, target, action, &mut changed);
+    changed.then_some(Program { body })
+}
+
+/// The structural children a statement unwraps to, if any.
+fn unwrap_stmt(s: &Stmt) -> Option<Vec<Stmt>> {
+    match s {
+        Stmt::Block(b) => Some(b.clone()),
+        Stmt::If { then, .. } => Some(vec![(**then).clone()]),
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } | Stmt::For { body, .. } => {
+            Some(vec![(**body).clone()])
+        }
+        _ => None,
+    }
+}
+
+/// Three copies of a loop body (`for` init first, update between
+/// copies), or `None` for non-loops.
+fn unroll_stmt(s: &Stmt) -> Option<Vec<Stmt>> {
+    match s {
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => {
+            Some(vec![(**body).clone(), (**body).clone(), (**body).clone()])
+        }
+        Stmt::For { init, update, body, .. } => {
+            let mut out = Vec::new();
+            if let Some(i) = init {
+                out.push((**i).clone());
+            }
+            for copy in 0..3 {
+                if copy > 0 {
+                    if let Some(u) = update {
+                        out.push(Stmt::Expr(u.clone()));
+                    }
+                }
+                out.push((**body).clone());
+            }
+            Some(out)
+        }
+        _ => None,
+    }
+}
+
+/// The statements `s` expands to under an [`Action`], if any.
+fn expand_stmt(s: &Stmt, action: Action) -> Option<Vec<Stmt>> {
+    match action {
+        Action::Unwrap => unwrap_stmt(s),
+        Action::Unroll => unroll_stmt(s),
+        Action::Delete => None,
+    }
+}
+
+fn edit_vec(
+    stmts: &[Stmt],
+    counter: &mut usize,
+    target: usize,
+    action: Action,
+    changed: &mut bool,
+) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for s in stmts {
+        let my = *counter;
+        *counter += 1;
+        if my == target {
+            if action == Action::Delete {
+                *changed = true;
+                continue;
+            }
+            if let Some(kids) = expand_stmt(s, action) {
+                *changed = true;
+                out.extend(kids);
+                continue;
+            }
+        }
+        out.push(edit_children(s, counter, target, action, changed));
+    }
+    out
+}
+
+/// Edit a statement held in a `Box<Stmt>` position: deletion yields the
+/// empty statement, unwrapping a single-statement block.
+fn edit_boxed(
+    s: &Stmt,
+    counter: &mut usize,
+    target: usize,
+    action: Action,
+    changed: &mut bool,
+) -> Stmt {
+    let my = *counter;
+    *counter += 1;
+    if my == target {
+        match action {
+            // Deleting an already-empty statement would "succeed" while
+            // producing an identical program — an infinite shrink loop.
+            Action::Delete if !matches!(s, Stmt::Empty) => {
+                *changed = true;
+                return Stmt::Empty;
+            }
+            Action::Delete => {}
+            Action::Unwrap | Action::Unroll => {
+                if let Some(kids) = expand_stmt(s, action) {
+                    *changed = true;
+                    return Stmt::Block(kids);
+                }
+            }
+        }
+    }
+    edit_children(s, counter, target, action, changed)
+}
+
+/// Recurse into the statement's children without editing the statement
+/// itself.
+fn edit_children(
+    s: &Stmt,
+    counter: &mut usize,
+    target: usize,
+    action: Action,
+    changed: &mut bool,
+) -> Stmt {
+    match s {
+        Stmt::If { cond, then, els } => Stmt::If {
+            cond: cond.clone(),
+            then: Box::new(edit_boxed(then, counter, target, action, changed)),
+            els: els
+                .as_deref()
+                .map(|e| Box::new(edit_boxed(e, counter, target, action, changed))),
+        },
+        Stmt::While { cond, body } => Stmt::While {
+            cond: cond.clone(),
+            body: Box::new(edit_boxed(body, counter, target, action, changed)),
+        },
+        Stmt::DoWhile { body, cond } => Stmt::DoWhile {
+            body: Box::new(edit_boxed(body, counter, target, action, changed)),
+            cond: cond.clone(),
+        },
+        Stmt::For { init, cond, update, body } => Stmt::For {
+            init: init
+                .as_deref()
+                .map(|i| Box::new(edit_boxed(i, counter, target, action, changed))),
+            cond: cond.clone(),
+            update: update.clone(),
+            body: Box::new(edit_boxed(body, counter, target, action, changed)),
+        },
+        Stmt::Function(f) => Stmt::Function(Rc::new(FuncDecl {
+            name: f.name.clone(),
+            params: f.params.clone(),
+            body: edit_vec(&f.body, counter, target, action, changed),
+            line: f.line,
+        })),
+        Stmt::Block(b) => Stmt::Block(edit_vec(b, counter, target, action, changed)),
+        other => other.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression edits
+// ---------------------------------------------------------------------------
+
+/// Upper bound on direct expression children tried per position (calls
+/// can have more arguments, but the generator caps at three and hoisting
+/// any one of them already removes the call node).
+const MAX_HOIST_CHILDREN: usize = 3;
+
+/// One expression-level reduction at a preorder expression position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExprEdit {
+    /// Replace the expression with its n-th direct child.
+    Hoist(usize),
+    /// Remove the n-th argument of a call / `new`.
+    DropArg(usize),
+    /// Replace the expression with the literal `0`.
+    Zero,
+}
+
+/// Preorder count of every expression, matching [`edit_hoist`]'s
+/// traversal.
+fn count_exprs(p: &Program) -> usize {
+    let mut n = 0usize;
+    walk_program(p, &mut |_| n += 1);
+    n
+}
+
+/// The direct children an expression may be replaced by. Lvalue
+/// positions (`Assign`/`Update` targets) are excluded: hoisting the
+/// target of `(a = b)` would just produce `a`, losing the side effect
+/// the oracle likely depends on, while hoisting the *value* keeps it.
+fn hoist_children(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::Assign { value, .. } => vec![(**value).clone()],
+        Expr::Binary { lhs, rhs, .. } | Expr::Logical { lhs, rhs, .. } => {
+            vec![(**lhs).clone(), (**rhs).clone()]
+        }
+        Expr::Unary { expr, .. } => vec![(**expr).clone()],
+        Expr::Update { target, .. } => vec![(**target).clone()],
+        Expr::Cond { cond, then, els } => {
+            vec![(**then).clone(), (**els).clone(), (**cond).clone()]
+        }
+        Expr::Call { args, .. } | Expr::New { args, .. } => args.clone(),
+        Expr::Member { obj, .. } => vec![(**obj).clone()],
+        Expr::Index { obj, index } => vec![(**obj).clone(), (**index).clone()],
+        Expr::Array(items) => items.clone(),
+        _ => Vec::new(),
+    }
+}
+
+/// Apply `edit` to the `target`-th expression (preorder); `None` when
+/// the edit does not apply there.
+fn edit_expr(p: &Program, target: usize, edit: ExprEdit) -> Option<Program> {
+    let mut counter = 0usize;
+    let mut changed = false;
+    let mut map = |e: &Expr, counter: &mut usize, changed: &mut bool| -> Option<Expr> {
+        let my = *counter;
+        *counter += 1;
+        if my != target {
+            return None;
+        }
+        let repl = match edit {
+            ExprEdit::Hoist(child) => hoist_children(e).into_iter().nth(child)?,
+            ExprEdit::DropArg(arg) => match e {
+                Expr::Call { callee, args } if arg < args.len() => {
+                    let mut args = args.clone();
+                    args.remove(arg);
+                    Expr::Call { callee: callee.clone(), args }
+                }
+                Expr::New { callee, args } if arg < args.len() => {
+                    let mut args = args.clone();
+                    args.remove(arg);
+                    Expr::New { callee: callee.clone(), args }
+                }
+                _ => return None,
+            },
+            // `0` for anything that isn't already a number (numbers are
+            // the literal pass's job).
+            ExprEdit::Zero => match e {
+                Expr::Num(_) => return None,
+                _ => Expr::Num(0.0),
+            },
+        };
+        *changed = true;
+        Some(repl)
+    };
+    let body: Vec<Stmt> =
+        p.body.iter().map(|s| map_stmt(s, &mut counter, &mut changed, &mut map)).collect();
+    changed.then_some(Program { body })
+}
+
+// ---------------------------------------------------------------------------
+// Literal edits
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LitEdit {
+    /// Num → 0.
+    Zero,
+    /// Num → trunc(n / 2).
+    Half,
+    /// Str → "".
+    Empty,
+}
+
+/// Preorder count of `Num` and `Str` literals (statement order, then
+/// expression order), matching [`edit_literal`]'s traversal.
+fn count_literals(p: &Program) -> usize {
+    let mut n = 0usize;
+    walk_program(p, &mut |e| {
+        if matches!(e, Expr::Num(_) | Expr::Str(_)) {
+            n += 1;
+        }
+    });
+    n
+}
+
+fn walk_program(p: &Program, f: &mut dyn FnMut(&Expr)) {
+    for s in &p.body {
+        walk_stmt(s, f);
+    }
+}
+
+fn walk_stmt(s: &Stmt, f: &mut dyn FnMut(&Expr)) {
+    match s {
+        Stmt::Var { init, .. } => {
+            if let Some(e) = init {
+                walk_expr(e, f);
+            }
+        }
+        Stmt::Expr(e) => walk_expr(e, f),
+        Stmt::If { cond, then, els } => {
+            walk_expr(cond, f);
+            walk_stmt(then, f);
+            if let Some(e) = els {
+                walk_stmt(e, f);
+            }
+        }
+        Stmt::While { cond, body } => {
+            walk_expr(cond, f);
+            walk_stmt(body, f);
+        }
+        Stmt::DoWhile { body, cond } => {
+            walk_stmt(body, f);
+            walk_expr(cond, f);
+        }
+        Stmt::For { init, cond, update, body } => {
+            if let Some(i) = init {
+                walk_stmt(i, f);
+            }
+            if let Some(c) = cond {
+                walk_expr(c, f);
+            }
+            if let Some(u) = update {
+                walk_expr(u, f);
+            }
+            walk_stmt(body, f);
+        }
+        Stmt::Return(Some(e)) => walk_expr(e, f),
+        Stmt::Function(d) => {
+            for s in &d.body {
+                walk_stmt(s, f);
+            }
+        }
+        Stmt::Block(b) => {
+            for s in b {
+                walk_stmt(s, f);
+            }
+        }
+        Stmt::Break | Stmt::Continue | Stmt::Return(None) | Stmt::Empty => {}
+    }
+}
+
+fn walk_expr(e: &Expr, f: &mut dyn FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::Assign { target, value, .. } => {
+            walk_expr(target, f);
+            walk_expr(value, f);
+        }
+        Expr::Binary { lhs, rhs, .. } | Expr::Logical { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        Expr::Unary { expr, .. } => walk_expr(expr, f),
+        Expr::Update { target, .. } => walk_expr(target, f),
+        Expr::Cond { cond, then, els } => {
+            walk_expr(cond, f);
+            walk_expr(then, f);
+            walk_expr(els, f);
+        }
+        Expr::Call { callee, args } | Expr::New { callee, args } => {
+            walk_expr(callee, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Member { obj, .. } => walk_expr(obj, f),
+        Expr::Index { obj, index } => {
+            walk_expr(obj, f);
+            walk_expr(index, f);
+        }
+        Expr::Array(items) => {
+            for a in items {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Object(props) => {
+            for (_, v) in props {
+                walk_expr(v, f);
+            }
+        }
+        Expr::Function(d) => {
+            for s in &d.body {
+                walk_stmt(s, f);
+            }
+        }
+        Expr::Num(_)
+        | Expr::Str(_)
+        | Expr::Bool(_)
+        | Expr::Null
+        | Expr::Undefined
+        | Expr::This
+        | Expr::Ident(_) => {}
+    }
+}
+
+/// Apply `edit` to the `target`-th literal; `None` when it would not
+/// change the literal (already 0 / already empty).
+fn edit_literal(p: &Program, target: usize, edit: LitEdit) -> Option<Program> {
+    let mut counter = 0usize;
+    let mut changed = false;
+    let mut map = |e: &Expr, counter: &mut usize, changed: &mut bool| -> Option<Expr> {
+        match e {
+            Expr::Num(n) => {
+                let my = *counter;
+                *counter += 1;
+                if my != target {
+                    return None;
+                }
+                match edit {
+                    LitEdit::Zero if *n != 0.0 => {
+                        *changed = true;
+                        Some(Expr::Num(0.0))
+                    }
+                    LitEdit::Half if n.is_finite() && n.abs() >= 2.0 => {
+                        *changed = true;
+                        Some(Expr::Num((n / 2.0).trunc()))
+                    }
+                    _ => None,
+                }
+            }
+            Expr::Str(s) => {
+                let my = *counter;
+                *counter += 1;
+                if my != target {
+                    return None;
+                }
+                match edit {
+                    LitEdit::Empty if !s.is_empty() => {
+                        *changed = true;
+                        Some(Expr::Str("".into()))
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    };
+    let body: Vec<Stmt> =
+        p.body.iter().map(|s| map_stmt(s, &mut counter, &mut changed, &mut map)).collect();
+    changed.then_some(Program { body })
+}
+
+type LitMap<'a> = dyn FnMut(&Expr, &mut usize, &mut bool) -> Option<Expr> + 'a;
+
+fn map_stmt(s: &Stmt, counter: &mut usize, changed: &mut bool, f: &mut LitMap) -> Stmt {
+    match s {
+        Stmt::Var { name, init } => Stmt::Var {
+            name: name.clone(),
+            init: init.as_ref().map(|e| map_expr(e, counter, changed, f)),
+        },
+        Stmt::Expr(e) => Stmt::Expr(map_expr(e, counter, changed, f)),
+        Stmt::If { cond, then, els } => Stmt::If {
+            cond: map_expr(cond, counter, changed, f),
+            then: Box::new(map_stmt(then, counter, changed, f)),
+            els: els.as_deref().map(|e| Box::new(map_stmt(e, counter, changed, f))),
+        },
+        Stmt::While { cond, body } => Stmt::While {
+            cond: map_expr(cond, counter, changed, f),
+            body: Box::new(map_stmt(body, counter, changed, f)),
+        },
+        Stmt::DoWhile { body, cond } => Stmt::DoWhile {
+            body: Box::new(map_stmt(body, counter, changed, f)),
+            cond: map_expr(cond, counter, changed, f),
+        },
+        Stmt::For { init, cond, update, body } => Stmt::For {
+            init: init.as_deref().map(|i| Box::new(map_stmt(i, counter, changed, f))),
+            cond: cond.as_ref().map(|c| map_expr(c, counter, changed, f)),
+            update: update.as_ref().map(|u| map_expr(u, counter, changed, f)),
+            body: Box::new(map_stmt(body, counter, changed, f)),
+        },
+        Stmt::Return(e) => Stmt::Return(e.as_ref().map(|e| map_expr(e, counter, changed, f))),
+        Stmt::Function(d) => Stmt::Function(Rc::new(FuncDecl {
+            name: d.name.clone(),
+            params: d.params.clone(),
+            body: d.body.iter().map(|s| map_stmt(s, counter, changed, f)).collect(),
+            line: d.line,
+        })),
+        Stmt::Block(b) => {
+            Stmt::Block(b.iter().map(|s| map_stmt(s, counter, changed, f)).collect())
+        }
+        Stmt::Break | Stmt::Continue | Stmt::Empty => s.clone(),
+    }
+}
+
+fn map_expr(e: &Expr, counter: &mut usize, changed: &mut bool, f: &mut LitMap) -> Expr {
+    if let Some(repl) = f(e, counter, changed) {
+        return repl;
+    }
+    match e {
+        Expr::Assign { target, op, value } => Expr::Assign {
+            target: Box::new(map_expr(target, counter, changed, f)),
+            op: *op,
+            value: Box::new(map_expr(value, counter, changed, f)),
+        },
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(map_expr(lhs, counter, changed, f)),
+            rhs: Box::new(map_expr(rhs, counter, changed, f)),
+        },
+        Expr::Logical { op, lhs, rhs } => Expr::Logical {
+            op: *op,
+            lhs: Box::new(map_expr(lhs, counter, changed, f)),
+            rhs: Box::new(map_expr(rhs, counter, changed, f)),
+        },
+        Expr::Unary { op, expr } => {
+            Expr::Unary { op: *op, expr: Box::new(map_expr(expr, counter, changed, f)) }
+        }
+        Expr::Update { op, prefix, target } => Expr::Update {
+            op: *op,
+            prefix: *prefix,
+            target: Box::new(map_expr(target, counter, changed, f)),
+        },
+        Expr::Cond { cond, then, els } => Expr::Cond {
+            cond: Box::new(map_expr(cond, counter, changed, f)),
+            then: Box::new(map_expr(then, counter, changed, f)),
+            els: Box::new(map_expr(els, counter, changed, f)),
+        },
+        Expr::Call { callee, args } => Expr::Call {
+            callee: Box::new(map_expr(callee, counter, changed, f)),
+            args: args.iter().map(|a| map_expr(a, counter, changed, f)).collect(),
+        },
+        Expr::New { callee, args } => Expr::New {
+            callee: Box::new(map_expr(callee, counter, changed, f)),
+            args: args.iter().map(|a| map_expr(a, counter, changed, f)).collect(),
+        },
+        Expr::Member { obj, prop } => Expr::Member {
+            obj: Box::new(map_expr(obj, counter, changed, f)),
+            prop: prop.clone(),
+        },
+        Expr::Index { obj, index } => Expr::Index {
+            obj: Box::new(map_expr(obj, counter, changed, f)),
+            index: Box::new(map_expr(index, counter, changed, f)),
+        },
+        Expr::Array(items) => {
+            Expr::Array(items.iter().map(|a| map_expr(a, counter, changed, f)).collect())
+        }
+        Expr::Object(props) => Expr::Object(
+            props
+                .iter()
+                .map(|(k, v)| (k.clone(), map_expr(v, counter, changed, f)))
+                .collect(),
+        ),
+        Expr::Function(d) => Expr::Function(Rc::new(FuncDecl {
+            name: d.name.clone(),
+            params: d.params.clone(),
+            body: d.body.iter().map(|s| map_stmt(s, counter, changed, f)).collect(),
+            line: d.line,
+        })),
+        Expr::Num(_)
+        | Expr::Str(_)
+        | Expr::Bool(_)
+        | Expr::Null
+        | Expr::Undefined
+        | Expr::This
+        | Expr::Ident(_) => e.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use checkelide_lang::node_count;
+
+    #[test]
+    fn deletes_irrelevant_statements() {
+        let src = "var a = 1; var b = 2; print(\"keep\"); var c = 3; for (var i = 0; i < 9; i++) { a = a + i; }";
+        let out = shrink_source(src, &ShrinkOptions::default(), &mut |s| s.contains("keep"));
+        let p = parse_program(&out).unwrap();
+        assert!(out.contains("keep"));
+        assert!(node_count(&p) <= 4, "not minimal: {out}");
+    }
+
+    #[test]
+    fn unwraps_loops_and_ifs_to_reach_inner_statements() {
+        let src =
+            "for (var i = 0; i < 3; i++) { if (i < 2) { print(\"inner\"); } else { print(\"x\"); } }";
+        let out = shrink_source(src, &ShrinkOptions::default(), &mut |s| s.contains("inner"));
+        assert!(out.contains("inner"));
+        assert!(!out.contains("for"), "loop should be peeled: {out}");
+    }
+
+    #[test]
+    fn hoists_subexpressions() {
+        let src = "print(((1 + (2 * 3)) + \"x\"));";
+        let out = shrink_source(src, &ShrinkOptions::default(), &mut |s| s.contains("print"));
+        let p = parse_program(&out).unwrap();
+        assert!(out.contains("print"));
+        // `print((...))` reduces to `print(<leaf>)`: call + one leaf + stmt.
+        assert!(node_count(&p) <= 4, "expression not hoisted: {out}");
+    }
+
+    #[test]
+    fn halves_numeric_literals() {
+        let src = "var n = 1000; print(n);";
+        let out = shrink_source(src, &ShrinkOptions::default(), &mut |s| s.contains("print"));
+        // 1000 halves down to 1 (or 0 via the Zero edit).
+        assert!(!out.contains("1000"), "literal not reduced: {out}");
+    }
+
+    #[test]
+    fn respects_the_check_budget() {
+        let src = "var a = 1; var b = 2; var c = 3; var d = 4; print(9);";
+        let mut calls = 0usize;
+        let opts = ShrinkOptions { max_checks: 5 };
+        let _ = shrink_source(src, &opts, &mut |_s| {
+            calls += 1;
+            true
+        });
+        assert!(calls <= 5, "budget exceeded: {calls}");
+    }
+
+    #[test]
+    fn returns_input_when_oracle_rejects_normalized_form() {
+        let src = "var a = 1;";
+        let out = shrink_source(src, &ShrinkOptions::default(), &mut |_s| false);
+        assert_eq!(out, src);
+    }
+}

@@ -1,0 +1,155 @@
+//! Hand-written reference-vs-engine battery.
+//!
+//! Each program targets a semantic corner where the multi-tier engine
+//! could plausibly diverge from the language definition: tagging
+//! boundaries, elements-kind transitions, hidden-class growth,
+//! speculative optimization and deoptimization, error propagation. The
+//! oracle ([`checkelide_xcheck::check_source`]) runs every program under
+//! the reference interpreter and all four engine configurations and
+//! requires identical observables.
+
+use checkelide_xcheck::check_source;
+
+fn agree(programs: &[&str]) {
+    for src in programs {
+        if let Some(m) = check_source(src) {
+            panic!(
+                "divergence on `{}`:\n  reference: {:?} {:?}\n  engine[{}]: {:?} {:?}\n--- src ---\n{src}",
+                m.config, m.expected.result, m.expected.output, m.config, m.actual.result,
+                m.actual.output,
+            );
+        }
+    }
+}
+
+#[test]
+fn numbers_and_tagging_boundaries() {
+    agree(&[
+        // SMI overflow into doubles, both directions.
+        "var x = 1073741823; return x + 1;",
+        "var x = -1073741824; return x - 1;",
+        "var s = 0; for (var i = 0; i < 40; i++) { s = s * 3 + i; } return s;",
+        // Double arithmetic that lands back on an integral value.
+        "return 0.5 + 0.5;",
+        "return 1e9 * 1e9;",
+        "print(0.1 + 0.2, 1 / 3, -0.0); return 2147483648;",
+        // Int32/UInt32 coercions.
+        "return ((-5 >>> 1) + (7 << 30)) | 0;",
+        "return (4294967295 >>> 0) + (-1 >> 31);",
+        // NaN / Infinity display and propagation.
+        "print(0 / 0, 1 / 0, -1 / 0); return (0 / 0) == (0 / 0);",
+    ]);
+}
+
+#[test]
+fn strings_and_coercions() {
+    agree(&[
+        "return (\"a\" + 1) + (1 + \"a\");",
+        "return \"5\" * \"4\";",
+        "return \"abc\".length + \"abc\".charCodeAt(1);",
+        "return \"hello\".substring(1, 3) + \"hello\".indexOf(\"llo\");",
+        "return String.fromCharCode(104, 105);",
+        "print(\"\" + null, \"\" + undefined, \"\" + true);",
+        "return parseInt(\"0x1f\") + parseFloat(\"2.5e1\");",
+        "return (\"b\" > \"a\") + (\"10\" < \"9\") + (10 < 9);",
+    ]);
+}
+
+#[test]
+fn equality_and_truthiness() {
+    agree(&[
+        "return (null == undefined) + (null === undefined) + (0 == \"0\") + (0 === \"0\");",
+        "print(1 == true, \"1\" == true, \"\" == false, [] == 0);",
+        "var n = 0; if (\"\") n += 1; if (\"0\") n += 2; if (0.0) n += 4; if ([]) n += 8; return n;",
+        "return (NaN != NaN) && !(null < 1 && null > -1) || (undefined == null);",
+    ]);
+}
+
+#[test]
+fn objects_and_hidden_class_growth() {
+    agree(&[
+        // Property addition order ⇒ different hidden classes, same values.
+        "function A() { this.x = 1; this.y = 2; } function B() { this.y = 2; this.x = 1; } \
+         var a = new A(); var b = new B(); return a.x + a.y + b.x + b.y;",
+        // Long transition chain (forces line-1+ property storage).
+        "var o = {}; o.a = 1; o.b = 2; o.c = 3; o.d = 4; o.e = 5; o.f = 6; o.g = 7; o.h = 8; \
+         return o.a + o.h;",
+        // Missing properties read undefined; writes create them.
+        "var o = { a: 1 }; var before = o.b; o.b = 2; return \"\" + before + o.b;",
+        // Object display strings.
+        "print({}, { a: 1 }, [1, [2, 3]]);",
+        // `this` in methods vs. bare calls.
+        "function C() { this.v = 7; } var c = new C(); return c.v;",
+        // Constructor returning an object overrides `this`.
+        "function D() { this.v = 1; return { v: 42 }; } return (new D()).v;",
+    ]);
+}
+
+#[test]
+fn elements_kinds_and_holes() {
+    agree(&[
+        // SMI → double → tagged transitions preserve values.
+        "var a = [1, 2, 3]; a[0] = 0.5; a[1] = \"s\"; return \"\" + a[0] + a[1] + a[2];",
+        // Holes read undefined at every kind.
+        "var a = [1]; a[4] = 2; print(a[2], a.length); a[2] = 0.5; return a[2];",
+        "var a = []; a[3] = 0.25; return \"\" + a[0] + a[3];",
+        // pop/push and length interplay.
+        "var a = [1, 2, 3]; a.pop(); a.push(9.5); a.push(\"x\"); return a.length + \"\" + a[2];",
+        // Out-of-range and negative indices.
+        "var a = [1, 2]; return \"\" + a[-1] + a[99] + a[1];",
+        // Array display after transitions.
+        "var a = [1, 2]; a[0] = \"q\"; print(a); return a.length;",
+    ]);
+}
+
+#[test]
+fn optimization_and_deopt_transparency() {
+    agree(&[
+        // Hot monomorphic loop: tier-up must not change the sum.
+        "function f(o) { return o.v + 1; } function C() { this.v = 2; } var s = 0; \
+         for (var i = 0; i < 30; i++) { s += f(new C()); } return s;",
+        // Shape flip mid-loop: misspeculation deopt must be transparent.
+        "function f(o) { return o.v; } function C() { this.v = 1; } \
+         var c = new C(); var s = \"\"; \
+         for (var i = 0; i < 25; i++) { if (i == 20) { c.v = \"str\"; } s = s + f(c); } return s;",
+        // SMI → double flip on an accumulator inside optimized code.
+        "function g(x) { return x * 2; } var s = 0; \
+         for (var i = 0; i < 25; i++) { s += g(i == 22 ? 0.5 : 1); } return s;",
+        // Element kind flip under an optimized indexed load.
+        "function h(a, i) { return a[i & 3]; } var a = [1, 2, 3, 4]; var s = \"\"; \
+         for (var i = 0; i < 24; i++) { if (i == 18) { a[1] = \"e\"; } s = s + h(a, i); } return s;",
+        // Megamorphic property access.
+        "function A() { this.v = 1; } function B() { this.w = 0; this.v = 2; } \
+         function C() { this.x = 0; this.y = 0; this.v = 3; } \
+         function get(o) { return o.v; } var s = 0; \
+         for (var i = 0; i < 30; i++) { var o; if (i % 3 == 0) o = new A(); \
+         else if (i % 3 == 1) o = new B(); else o = new C(); s += get(o); } return s;",
+    ]);
+}
+
+#[test]
+fn runtime_errors_match() {
+    agree(&[
+        "var o = null; return o.x;",
+        "var u; return u.prop;",
+        "var n = 5; n();",
+        "var a; a[0];",
+        "print(\"side\"); var z = null; z.q.r;",
+        // Error after optimization warm-up.
+        "function f(o) { return o.v; } function C() { this.v = 1; } \
+         for (var i = 0; i < 20; i++) { f(new C()); } f(null);",
+    ]);
+}
+
+#[test]
+fn builtins_and_math() {
+    agree(&[
+        "return Math.floor(2.7) + Math.ceil(2.1) + Math.round(2.5) + Math.abs(-3);",
+        "return Math.min(1, 2.5, -1) + Math.max(0, \"3\");",
+        "return Math.sqrt(16) + Math.pow(2, 10);",
+        "print(Math.floor(-2.5), Math.round(-2.5), Math.sqrt(-1));",
+        // Math.random must be the same seeded stream on both sides.
+        "var a = Math.random(); var b = Math.random(); print(a == a, b == b, a == b); \
+         return (a >= 0) && (a < 1) && (b >= 0) && (b < 1);",
+    ]);
+}

@@ -1,0 +1,119 @@
+//! End-to-end misspeculation regression test.
+//!
+//! The optimizer speculates on the profiled type feedback (monomorphic
+//! receiver map, smi operands). This test runs a hot loop long enough to
+//! tier up, then breaks the speculated monomorphism mid-iteration: the
+//! optimized code must take a misspeculation deoptimization and the
+//! interpreter must finish the iteration such that the observable result
+//! is identical to a never-optimized baseline run. We assert both the
+//! value/output equality *and* that a deopt actually happened, so the
+//! test cannot silently pass by never tiering up.
+
+use checkelide::engine::{EngineConfig, Mechanism, Vm};
+use checkelide::isa::NullSink;
+
+/// The property read in `f` is monomorphic smi for the first 30
+/// iterations; at i == 30 the receiver's `v` flips to a string, which
+/// invalidates both the speculated map check and the speculated smi
+/// arithmetic inside the optimized body of `f`.
+const PROGRAM: &str = r#"
+function C() { this.v = 2; }
+function f(o) { return o.v + 1; }
+var c = new C();
+var s = "";
+for (var i = 0; i < 40; i++) {
+  if (i == 30) { c.v = "str"; }
+  s = s + f(c);
+}
+print(s);
+return s;
+"#;
+
+struct Run {
+    value: String,
+    output: Vec<String>,
+    deopts: u32,
+    optimized_entries: u64,
+}
+
+fn run(config: EngineConfig) -> Run {
+    let opt = config.opt_enabled;
+    let mut vm = Vm::new(config);
+    if opt {
+        checkelide::opt::install_optimizer(&mut vm);
+    }
+    // Drain any output left behind by a previously failing test.
+    let _ = checkelide::runtime::take_output();
+    let mut sink = NullSink::new();
+    let value = vm.run_program(PROGRAM, &mut sink).expect("program runs");
+    Run {
+        value: vm.rt.to_display_string(value),
+        output: checkelide::runtime::take_output(),
+        deopts: vm.funcs.iter().map(|f| f.deopt_count).sum(),
+        optimized_entries: vm.stats.opt_entries,
+    }
+}
+
+fn baseline() -> Run {
+    run(EngineConfig { mechanism: Mechanism::Off, opt_enabled: false, ..Default::default() })
+}
+
+#[test]
+fn deopt_after_shape_flip_is_transparent() {
+    let base = baseline();
+    // Sanity: the baseline itself is deopt-free and produces the string
+    // tail only after iteration 30.
+    assert_eq!(base.deopts, 0);
+    assert!(
+        base.value.contains("3str1") && base.value.ends_with("str1"),
+        "unexpected baseline value {}",
+        base.value
+    );
+
+    for mechanism in [Mechanism::ProfileOnly, Mechanism::Full] {
+        let opt = run(EngineConfig {
+            mechanism,
+            opt_enabled: true,
+            opt_threshold: 2,
+            ..Default::default()
+        });
+        assert_eq!(opt.value, base.value, "final value diverged under {mechanism:?}");
+        assert_eq!(opt.output, base.output, "printed output diverged under {mechanism:?}");
+        assert!(
+            opt.optimized_entries > 0,
+            "loop never entered optimized code under {mechanism:?}; the test is vacuous"
+        );
+        assert!(
+            opt.deopts > 0,
+            "shape flip at i == 30 did not trigger a deopt under {mechanism:?}"
+        );
+    }
+}
+
+#[test]
+fn deopt_budget_exhaustion_is_transparent() {
+    // With max_deopts = 1 the function is permanently kicked back to the
+    // interpreter after its first misspeculation; observables must still
+    // match the baseline.
+    let base = baseline();
+    let opt = run(EngineConfig {
+        mechanism: Mechanism::Full,
+        opt_enabled: true,
+        opt_threshold: 2,
+        max_deopts: 1,
+        ..Default::default()
+    });
+    assert_eq!(opt.value, base.value, "final value diverged under low deopt budget");
+    assert_eq!(opt.output, base.output, "printed output diverged under low deopt budget");
+    assert!(opt.deopts > 0, "expected at least one deopt before the budget kicked in");
+}
+
+#[test]
+fn reference_interpreter_agrees_on_the_misspeculation_program() {
+    // The same program must also clear the full differential oracle
+    // (reference interpreter vs all four engine configurations).
+    assert!(
+        checkelide_xcheck::check_source(PROGRAM).is_none(),
+        "xcheck oracle found a divergence on the misspeculation program"
+    );
+}
