@@ -11,11 +11,21 @@
 //! * `table1_classlist` — the Class List build/render path.
 //! * `classcache_microbench` — raw Class Cache store-request throughput
 //!   (the §5.3.2 "no penalty on hits" structure).
+//! * `uop_pipeline/*` — the batched trace pipeline itself: the
+//!   interpreter dispatch loop feeding a discarding sink (the warm-up
+//!   configuration) and `CoreSim::emit_batch` replay, both reported in
+//!   µops/sec via the shim's `Throughput::Elements` support.
 
 use checkelide_bench::{find, run_benchmark, RunConfig};
 use checkelide_core::{ClassCache, ClassId, ClassList, StoreRequest};
-use checkelide_engine::Mechanism;
-use criterion::{criterion_group, criterion_main, Criterion};
+use checkelide_engine::{EngineConfig, Mechanism, Vm};
+use checkelide_isa::trace::VecSink;
+use checkelide_isa::uop::Uop;
+use checkelide_isa::{NullSink, TraceSink, BATCH_CAPACITY};
+use checkelide_opt::install_optimizer;
+use checkelide_runtime::Value;
+use checkelide_uarch::{CoreConfig, CoreSim};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 const QUICK_SCALE: i32 = 2;
@@ -116,12 +126,88 @@ fn classcache_microbench(c: &mut Criterion) {
     });
 }
 
+/// Workload for the pipeline benches: hidden-class property traffic,
+/// elements arrays, SMI and double arithmetic, and enough iterations for
+/// the optimized tier to be active (same shape as the batch-equivalence
+/// regression test).
+const PIPELINE_SRC: &str = "
+function Vec(x, y) { this.x = x; this.y = y; }
+function dot(a, b) { return a.x * b.x + a.y * b.y; }
+function bench(n) {
+    var u = new Vec(3, 4);
+    var v = new Vec(5, 6);
+    var arr = [];
+    for (var i = 0; i < 64; i++) arr[i] = i * 1.5;
+    var acc = 0;
+    for (var j = 0; j < n; j++) {
+        acc = acc + dot(u, v) + arr[j % 64];
+        u.x = (u.x + 1) % 97;
+    }
+    return acc;
+}";
+
+/// A warmed VM ready to run `bench(N)`, plus the µop count one call
+/// retires (recorded once, so the benches can report µops/sec).
+fn pipeline_vm(n: i32) -> (Vm, Vec<Uop>) {
+    let mut vm = Vm::new(EngineConfig {
+        mechanism: Mechanism::ProfileOnly,
+        opt_enabled: true,
+        ..EngineConfig::default()
+    });
+    install_optimizer(&mut vm);
+    let mut null = NullSink::new();
+    vm.run_program(PIPELINE_SRC, &mut null).expect("setup");
+    let args = [Value::smi(n)];
+    for _ in 0..2 {
+        vm.call_global("bench", &args, &mut null).expect("warmup");
+    }
+    let mut rec = VecSink::new();
+    vm.call_global("bench", &args, &mut rec).expect("record");
+    (vm, rec.uops)
+}
+
+fn uop_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uop_pipeline");
+    g.sample_size(10);
+    const N: i32 = 2000;
+    let (mut vm, trace) = pipeline_vm(N);
+    let uops = trace.len() as u64;
+
+    // The engine's hot loop in the warm-up configuration: both execution
+    // tiers dispatching into a discarding sink, where the batched
+    // pipeline skips µop construction and token allocation entirely.
+    g.throughput(Throughput::Elements(uops));
+    g.bench_function("interp_dispatch", |bench| {
+        let args = [Value::smi(N)];
+        bench.iter(|| {
+            let mut null = NullSink::new();
+            black_box(vm.call_global("bench", &args, &mut null).expect("run"))
+        });
+    });
+
+    // The consumer side: replaying the recorded trace into the cycle
+    // model one `emit_batch` call per BATCH_CAPACITY µops.
+    g.throughput(Throughput::Elements(uops));
+    g.bench_function("coresim_emit_batch", |bench| {
+        bench.iter(|| {
+            let mut sim = CoreSim::new(CoreConfig::nehalem());
+            for chunk in trace.chunks(BATCH_CAPACITY) {
+                sim.emit_batch(chunk);
+            }
+            sim.finish();
+            black_box(sim.result())
+        });
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     fig1_breakdown,
     fig3_monomorphism,
     fig8_speedup,
     table1_classlist,
-    classcache_microbench
+    classcache_microbench,
+    uop_pipeline
 );
 criterion_main!(benches);

@@ -1,0 +1,267 @@
+//! Simulation-throughput measurement: how fast does the harness retire
+//! µops, and what did batching buy?
+//!
+//! Three probes, written to `results/BENCH_perf.json`:
+//!
+//! * **micro** — a sink-bound replay of a recorded trace. A steady-state
+//!   window of the trace (small enough to stay cache-resident, so DRAM
+//!   bandwidth does not mask the interface cost being measured) is handed
+//!   to a consumer one `dyn` call per µop (the pre-batching pipeline) and
+//!   one `dyn` call per [`BATCH_CAPACITY`] slice
+//!   ([`TraceSink::emit_batch`]). The ratio isolates the virtual dispatch
+//!   and per-call bookkeeping that batching amortizes, for both a cheap
+//!   consumer ([`CounterSink`]) and the cycle model ([`CoreSim`]). A
+//!   secondary *stream* probe replays the full trace once per pass — the
+//!   memory-bound regime, where both interfaces converge on bandwidth.
+//! * **cell** — wall-clock and retired-µop count for one full
+//!   characterization cell (setup + warm-ups + measured iteration), i.e.
+//!   the end-to-end cost per dynamic instruction of the whole stack.
+//! * **grid** — wall-clock of the single-job Figure 1 grid, the number
+//!   EXPERIMENTS.md tracks across harness changes.
+//!
+//!     cargo run --release -p checkelide-bench --bin perfstat -- [--quick] [bench]
+
+use checkelide_bench::figures::{fig1_report, save_json};
+use checkelide_bench::runner::{try_run_benchmark, RunConfig};
+use checkelide_bench::{find, Cli, Json};
+use checkelide_engine::{EngineConfig, Mechanism, Vm};
+use checkelide_isa::trace::VecSink;
+use checkelide_isa::uop::Uop;
+use checkelide_isa::{CounterSink, NullSink, TraceSink, BATCH_CAPACITY};
+use checkelide_opt::install_optimizer;
+use checkelide_runtime::Value;
+use checkelide_uarch::{CoreConfig, CoreSim};
+use std::time::Instant;
+
+/// Record the measured-iteration trace of one benchmark (a few warm-ups
+/// first, so the optimized tier is active and the trace is representative
+/// of steady state).
+fn record_trace(bench: &str, scale: i32) -> Vec<Uop> {
+    let b = find(bench).unwrap_or_else(|| panic!("unknown benchmark `{bench}`"));
+    let mut vm = Vm::new(EngineConfig {
+        mechanism: Mechanism::ProfileOnly,
+        opt_enabled: true,
+        ..EngineConfig::default()
+    });
+    install_optimizer(&mut vm);
+    let mut null = NullSink::new();
+    vm.run_program(b.source, &mut null).expect("setup");
+    let args = [Value::smi(scale)];
+    for _ in 0..3 {
+        vm.rt.reset_prng();
+        vm.call_global("bench", &args, &mut null).expect("warmup");
+    }
+    vm.rt.reset_prng();
+    let mut rec = VecSink::new();
+    vm.call_global("bench", &args, &mut rec).expect("measured");
+    rec.uops
+}
+
+/// Cache-resident replay window, in µops. 512 µops x 48 B = 24 KiB —
+/// resident in L1d, so a replay pass is bound by the consumer interface,
+/// not by streaming the trace from cache or DRAM.
+const WINDOW: usize = 512;
+
+/// One `dyn` call per µop: the pre-batching consumer interface. Replays
+/// `trace` round-robin until `total` µops have been emitted.
+#[inline(never)]
+fn replay_per_uop(sink: &mut dyn TraceSink, trace: &[Uop], total: usize) {
+    let mut left = total;
+    while left > 0 {
+        let n = left.min(trace.len());
+        for u in &trace[..n] {
+            sink.emit(u);
+        }
+        left -= n;
+    }
+}
+
+/// One `dyn` call per [`BATCH_CAPACITY`] µops, same round-robin replay.
+#[inline(never)]
+fn replay_batched(sink: &mut dyn TraceSink, trace: &[Uop], total: usize) {
+    let mut left = total;
+    while left > 0 {
+        let n = left.min(trace.len());
+        for chunk in trace[..n].chunks(BATCH_CAPACITY) {
+            sink.emit_batch(chunk);
+        }
+        left -= n;
+    }
+}
+
+/// Best-of-`reps` throughput in million µops per second for a run that
+/// retires `total` µops.
+fn mops(total: usize, reps: u32, mut run: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        run();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    total as f64 / best / 1e6
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let bench = cli.positional_or("ai-astar");
+    let (scale, reps) = if cli.quick { (2, 2) } else { (4, 3) };
+
+    // --- micro: sink-bound replay -------------------------------------
+    eprintln!("recording {bench} trace (scale {scale}) ...");
+    let trace = record_trace(&bench, scale);
+    eprintln!("  {} µops ({} bytes/µop)", trace.len(), std::mem::size_of::<Uop>());
+
+    // Cache-resident window from the middle of the trace (steady state),
+    // replayed round-robin so each pass retires a fixed µop budget.
+    let start = (trace.len() / 2).min(trace.len().saturating_sub(WINDOW));
+    let window: Vec<Uop> = trace[start..(start + WINDOW).min(trace.len())].to_vec();
+    let total = if cli.quick { 8_000_000 } else { 32_000_000 };
+
+    // Interface-bound case: a consumer that does no per-µop work at all.
+    // This is the warm-up pipeline (9 of 10 iterations in every grid cell
+    // feed a discarding sink), and the regime where the `dyn` boundary is
+    // the entire cost: the ratio is the pure dispatch amortization win.
+    let null_per_uop = mops(total, reps, || {
+        let mut n = NullSink::new();
+        replay_per_uop(std::hint::black_box(&mut n), &window, total);
+    });
+    let null_batched = mops(total, reps, || {
+        let mut n = NullSink::new();
+        replay_batched(std::hint::black_box(&mut n), &window, total);
+    });
+
+    let counter_per_uop = mops(total, reps, || {
+        let mut c = CounterSink::new();
+        replay_per_uop(std::hint::black_box(&mut c), &window, total);
+    });
+    let counter_batched = mops(total, reps, || {
+        let mut c = CounterSink::new();
+        replay_batched(std::hint::black_box(&mut c), &window, total);
+    });
+    let coresim_per_uop = mops(total, reps, || {
+        let mut s = CoreSim::new(CoreConfig::nehalem());
+        replay_per_uop(std::hint::black_box(&mut s), &window, total);
+    });
+    let coresim_batched = mops(total, reps, || {
+        let mut s = CoreSim::new(CoreConfig::nehalem());
+        replay_batched(std::hint::black_box(&mut s), &window, total);
+    });
+
+    // Secondary probe: stream the whole trace once per pass (memory-bound
+    // regime; shows the two interfaces converging on DRAM bandwidth).
+    let stream_per_uop = mops(trace.len(), reps, || {
+        let mut c = CounterSink::new();
+        replay_per_uop(std::hint::black_box(&mut c), &trace, trace.len());
+    });
+    let stream_batched = mops(trace.len(), reps, || {
+        let mut c = CounterSink::new();
+        replay_batched(std::hint::black_box(&mut c), &trace, trace.len());
+    });
+    drop(trace);
+
+    // --- cell: one end-to-end characterization cell -------------------
+    let b = find(&bench).expect("benchmark exists");
+    let cfg = RunConfig::characterize().with_scale(scale);
+    let t0 = Instant::now();
+    let out = try_run_benchmark(b, cfg).expect("cell runs");
+    let cell_ms = t0.elapsed().as_secs_f64() * 1e3;
+    // All iterations execute the same workload; approximate the per-µop
+    // cost of the full stack from the measured iteration's count.
+    let total_uops = out.uops * u64::from(cfg.iterations);
+    let cell_ns_per_uop = cell_ms * 1e6 / total_uops as f64;
+
+    // --- grid: single-job Figure 1 wall-clock -------------------------
+    eprintln!("timing fig1 grid (quick={}, jobs=1) ...", cli.quick);
+    let t0 = Instant::now();
+    let report = fig1_report(cli.quick, 1);
+    let grid_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(report.failures.is_empty(), "fig1 cells failed: {:?}", report.failures);
+
+    let json = Json::Obj(vec![
+        (
+            "micro",
+            Json::Obj(vec![
+                ("bench", Json::Str(bench.clone())),
+                ("trace_uops", Json::UInt(out.uops)),
+                ("window_uops", Json::UInt(WINDOW as u64)),
+                ("replayed_uops", Json::UInt(total as u64)),
+                ("null_per_uop_mops", Json::Num(null_per_uop)),
+                ("null_batched_mops", Json::Num(null_batched)),
+                ("null_speedup", Json::Num(null_batched / null_per_uop)),
+                ("counter_per_uop_mops", Json::Num(counter_per_uop)),
+                ("counter_batched_mops", Json::Num(counter_batched)),
+                ("counter_speedup", Json::Num(counter_batched / counter_per_uop)),
+                ("coresim_per_uop_mops", Json::Num(coresim_per_uop)),
+                ("coresim_batched_mops", Json::Num(coresim_batched)),
+                ("coresim_speedup", Json::Num(coresim_batched / coresim_per_uop)),
+                ("stream_per_uop_mops", Json::Num(stream_per_uop)),
+                ("stream_batched_mops", Json::Num(stream_batched)),
+            ]),
+        ),
+        (
+            "cell",
+            Json::Obj(vec![
+                ("bench", Json::Str(bench.clone())),
+                ("iterations", Json::UInt(u64::from(cfg.iterations))),
+                ("measured_uops", Json::UInt(out.uops)),
+                ("wall_ms", Json::Num(cell_ms)),
+                ("ns_per_uop", Json::Num(cell_ns_per_uop)),
+            ]),
+        ),
+        (
+            "grid",
+            Json::Obj(vec![
+                ("figure", Json::Str("fig1".into())),
+                ("quick", Json::Bool(cli.quick)),
+                ("jobs", Json::UInt(1)),
+                ("wall_ms", Json::Num(grid_ms)),
+            ]),
+        ),
+    ]);
+    save_json("BENCH_perf", &json).expect("write results/BENCH_perf.json");
+
+    println!("== sink-bound µop replay ({bench}, {WINDOW}-µop window) ==");
+    println!(
+        "  NullSink     per-µop {null_per_uop:8.1} Mµops/s   batched {null_batched:8.1} \
+         Mµops/s   speedup {:.2}x",
+        null_batched / null_per_uop
+    );
+    println!(
+        "  CounterSink  per-µop {counter_per_uop:8.1} Mµops/s   batched {counter_batched:8.1} \
+         Mµops/s   speedup {:.2}x",
+        counter_batched / counter_per_uop
+    );
+    println!(
+        "  CoreSim      per-µop {coresim_per_uop:8.1} Mµops/s   batched {coresim_batched:8.1} \
+         Mµops/s   speedup {:.2}x",
+        coresim_batched / coresim_per_uop
+    );
+    println!(
+        "  full-trace stream (CounterSink): per-µop {stream_per_uop:8.1} Mµops/s   batched \
+         {stream_batched:8.1} Mµops/s"
+    );
+    println!("== end-to-end cell ({bench}) ==");
+    println!(
+        "  {cell_ms:.0} ms for ~{total_uops} µops across {} iterations  ({cell_ns_per_uop:.1} \
+         ns/µop full-stack)",
+        cfg.iterations
+    );
+    {
+        use checkelide_isa::{Category, Region};
+        for r in [Region::Baseline, Region::Optimized, Region::Runtime] {
+            let t = out.counters.total_in(r);
+            print!("  {r:<10?} {t:>12}");
+            for c in Category::ALL {
+                print!("  {:?}={}", c, out.counters.count(r, c));
+            }
+            println!();
+        }
+        println!(
+            "  vm: calls={} opt_entries={} deopts={} gcs={}",
+            out.vm_stats.calls, out.vm_stats.opt_entries, out.vm_stats.deopts, out.vm_stats.gc_runs
+        );
+    }
+    println!("== fig1 grid (jobs=1, quick={}) ==", cli.quick);
+    println!("  {grid_ms:.0} ms");
+    println!("wrote results/BENCH_perf.json");
+}

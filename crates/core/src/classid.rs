@@ -36,6 +36,14 @@ impl ClassId {
         self.0
     }
 
+    /// Reconstruct from a raw encoding, round-tripping [`ClassId::raw`]
+    /// exactly (`0xFF` becomes [`ClassId::SMI`]). Crate-internal: used by
+    /// the dense load-stat tables to recover keys from array indices.
+    #[inline]
+    pub(crate) fn from_raw_u8(raw: u8) -> ClassId {
+        ClassId(raw)
+    }
+
     /// Whether this is the SMI encoding.
     #[inline]
     pub fn is_smi(self) -> bool {

@@ -11,13 +11,32 @@ use crate::classid::ClassId;
 use crate::classlist::{ClassList, ELEMENTS_SLOT};
 use std::collections::HashMap;
 
+/// Number of property positions tracked densely per (class, line). Engine
+/// call sites always pass `pos = offset % 8`, so 8 covers them all; wider
+/// positions (possible through the public API) spill to a side map.
+const DENSE_POS: usize = 8;
+/// Dense table size: 256 classes x 256 lines x [`DENSE_POS`] positions.
+const DENSE_LEN: usize = 256 * 256 * DENSE_POS;
+
 /// Per-slot dynamic load counters.
+///
+/// Recording runs on every profiled object load — the hottest profiling
+/// path in a characterization run — so the counters are a flat dense
+/// table indexed by `(class, line, pos)` rather than a hash map: one add
+/// with no hashing. The table is allocated lazily (and zero-filled by the
+/// allocator, so untouched pages stay unmapped); classification walks it
+/// once at the end of the run.
 #[derive(Debug, Default, Clone)]
 pub struct LoadAccessStats {
-    /// Loads of named properties, keyed by (holder class, line, pos).
-    property_loads: HashMap<(ClassId, u8, u8), u64>,
-    /// Loads from elements arrays, keyed by holder class.
-    elements_loads: HashMap<ClassId, u64>,
+    /// Dense named-property load counts, indexed by
+    /// `class << 11 | line << 3 | pos` (`pos < DENSE_POS`). Empty until
+    /// the first record.
+    property_dense: Vec<u64>,
+    /// Named-property loads whose `pos >= DENSE_POS` (unreachable from
+    /// the engine, but the API accepts any `u8`).
+    property_spill: HashMap<(ClassId, u8, u8), u64>,
+    /// Loads from elements arrays, indexed by holder class.
+    elements_loads: Vec<u64>,
 }
 
 /// Figure 3 row: the four stacked fractions (they sum to 100 when any
@@ -47,25 +66,64 @@ impl LoadAccessStats {
         LoadAccessStats::default()
     }
 
-    /// Reset counters (steady-state boundary).
+    /// Reset counters (steady-state boundary). Drops the dense tables;
+    /// they are re-allocated (zeroed by the allocator) on first use.
     pub fn reset(&mut self) {
-        self.property_loads.clear();
-        self.elements_loads.clear();
+        self.property_dense = Vec::new();
+        self.property_spill.clear();
+        self.elements_loads = Vec::new();
     }
 
     /// Record a named-property load from `(holder, line, pos)`.
+    #[inline]
     pub fn record_property_load(&mut self, holder: ClassId, line: u8, pos: u8) {
-        *self.property_loads.entry((holder, line, pos)).or_insert(0) += 1;
+        if (pos as usize) < DENSE_POS {
+            if self.property_dense.is_empty() {
+                self.property_dense = vec![0; DENSE_LEN];
+            }
+            let ix = (holder.raw() as usize) << 11 | (line as usize) << 3 | pos as usize;
+            self.property_dense[ix] += 1;
+        } else {
+            *self.property_spill.entry((holder, line, pos)).or_insert(0) += 1;
+        }
     }
 
     /// Record an elements-array load from an object of class `holder`.
+    #[inline]
     pub fn record_elements_load(&mut self, holder: ClassId) {
-        *self.elements_loads.entry(holder).or_insert(0) += 1;
+        if self.elements_loads.is_empty() {
+            self.elements_loads = vec![0; 256];
+        }
+        self.elements_loads[holder.raw() as usize] += 1;
+    }
+
+    /// Visit every nonzero named-property counter as `((class, line, pos), n)`.
+    fn for_each_property(&self, mut f: impl FnMut(ClassId, u8, u8, u64)) {
+        for (ix, &n) in self.property_dense.iter().enumerate() {
+            if n != 0 {
+                let class = ClassId::from_raw_u8((ix >> 11) as u8);
+                f(class, ((ix >> 3) & 0xFF) as u8, (ix & 0x7) as u8, n);
+            }
+        }
+        for (&(class, line, pos), &n) in &self.property_spill {
+            f(class, line, pos, n);
+        }
+    }
+
+    /// Visit every nonzero elements counter as `(class, n)`.
+    fn for_each_elements(&self, mut f: impl FnMut(ClassId, u64)) {
+        for (ix, &n) in self.elements_loads.iter().enumerate() {
+            if n != 0 {
+                f(ClassId::from_raw_u8(ix as u8), n);
+            }
+        }
     }
 
     /// Total recorded object loads.
     pub fn total(&self) -> u64 {
-        self.property_loads.values().sum::<u64>() + self.elements_loads.values().sum::<u64>()
+        self.property_dense.iter().sum::<u64>()
+            + self.property_spill.values().sum::<u64>()
+            + self.elements_loads.iter().sum::<u64>()
     }
 
     /// Classify with caller-provided monomorphism predicates (used by the
@@ -82,22 +140,22 @@ impl LoadAccessStats {
         }
         let mut mono_props = 0u64;
         let mut poly_props = 0u64;
-        for (&(class, line, pos), &n) in &self.property_loads {
+        self.for_each_property(|class, line, pos, n| {
             if prop_mono(class, line, pos) {
                 mono_props += n;
             } else {
                 poly_props += n;
             }
-        }
+        });
         let mut mono_elems = 0u64;
         let mut poly_elems = 0u64;
-        for (&class, &n) in &self.elements_loads {
+        self.for_each_elements(|class, n| {
             if elem_mono(class) {
                 mono_elems += n;
             } else {
                 poly_elems += n;
             }
-        }
+        });
         let pct = |n: u64| 100.0 * n as f64 / total as f64;
         Fig3Row {
             mono_properties: pct(mono_props),
@@ -116,22 +174,22 @@ impl LoadAccessStats {
         }
         let mut mono_props = 0u64;
         let mut poly_props = 0u64;
-        for (&(class, line, pos), &n) in &self.property_loads {
+        self.for_each_property(|class, line, pos, n| {
             if list.monomorphic_class(class, line, pos).is_some() {
                 mono_props += n;
             } else {
                 poly_props += n;
             }
-        }
+        });
         let mut mono_elems = 0u64;
         let mut poly_elems = 0u64;
-        for (&class, &n) in &self.elements_loads {
+        self.for_each_elements(|class, n| {
             if list.monomorphic_class(class, 0, ELEMENTS_SLOT).is_some() {
                 mono_elems += n;
             } else {
                 poly_elems += n;
             }
-        }
+        });
         let pct = |n: u64| 100.0 * n as f64 / total as f64;
         Fig3Row {
             mono_properties: pct(mono_props),

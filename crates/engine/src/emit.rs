@@ -13,14 +13,22 @@
 
 use checkelide_isa::layout::RUNTIME_CODE_BASE;
 use checkelide_isa::uop::{Category, MemRef, Region, Tok, Uop, UopKind};
-use checkelide_isa::TraceSink;
-use std::sync::atomic::{AtomicU32, Ordering};
+use checkelide_isa::BatchSink;
+use std::cell::Cell;
 
-// One token namespace for the whole process: emitters are created per
-// activation (frames, optimized bodies, builtin calls), and dataflow
-// tokens must never collide across them — a collision fabricates a
-// dependency in the timing model.
-static NEXT_TOK: AtomicU32 = AtomicU32::new(1);
+thread_local! {
+    // One token namespace per worker thread: emitters are created per
+    // activation (frames, optimized bodies, builtin calls), and dataflow
+    // tokens must never collide across live emitters — a collision
+    // fabricates a dependency in the timing model. A VM (and its sink)
+    // never crosses threads, so per-thread uniqueness is per-run
+    // uniqueness; keeping the counter thread-local turns the hottest
+    // allocation in the whole simulator (one token per µop) from a
+    // `lock xadd` into two plain moves, and makes the token *distances*
+    // a worker observes independent of sibling workers — which is what
+    // the timing model's 16-bit dependency slots actually key on.
+    static NEXT_TOK: Cell<u32> = const { Cell::new(1) };
+}
 
 /// Fixed stub entry points in the runtime-code region (one cache line of
 /// simulated code per stub keeps the IL1 behaviour sane).
@@ -78,16 +86,20 @@ impl Emitter {
         self.region
     }
 
-    /// Fresh dataflow token (globally unique until `u32` wrap-around; the
-    /// timing model's generation check treats a wrapped collision as "no
-    /// dependency").
+    /// Fresh dataflow token (unique within this thread until `u32`
+    /// wrap-around; the timing model's generation check treats a wrapped
+    /// collision as "no dependency").
     #[inline]
     pub fn fresh(&mut self) -> Tok {
-        let mut t = NEXT_TOK.fetch_add(1, Ordering::Relaxed);
-        if t == 0 {
-            t = NEXT_TOK.fetch_add(1, Ordering::Relaxed);
-        }
-        Tok(t)
+        NEXT_TOK.with(|c| {
+            let mut t = c.get();
+            c.set(t.wrapping_add(1));
+            if t == 0 {
+                t = c.get();
+                c.set(t.wrapping_add(1));
+            }
+            Tok(t)
+        })
     }
 
     /// Current accumulator token (top-of-stack dataflow).
@@ -112,7 +124,10 @@ impl Emitter {
     /// Emit one µop chained off the accumulator: srcs = [acc], dst = fresh,
     /// accumulator updated.
     #[inline]
-    pub fn chain(&mut self, sink: &mut dyn TraceSink, kind: UopKind, cat: Category) -> Tok {
+    pub fn chain(&mut self, sink: &mut BatchSink<'_>, kind: UopKind, cat: Category) -> Tok {
+        if sink.discarding() {
+            return Tok::NONE;
+        }
         let dst = self.fresh();
         let u = Uop {
             kind,
@@ -125,7 +140,7 @@ impl Emitter {
             region: self.region,
             taken: false,
         };
-        sink.emit(&u);
+        sink.push(u);
         self.acc = dst;
         dst
     }
@@ -135,7 +150,10 @@ impl Emitter {
     /// pointer plus an immediate): no source operands, fresh destination,
     /// accumulator reset to it.
     #[inline]
-    pub fn root(&mut self, sink: &mut dyn TraceSink, kind: UopKind, cat: Category) -> Tok {
+    pub fn root(&mut self, sink: &mut BatchSink<'_>, kind: UopKind, cat: Category) -> Tok {
+        if sink.discarding() {
+            return Tok::NONE;
+        }
         let dst = self.fresh();
         let u = Uop {
             kind,
@@ -148,14 +166,17 @@ impl Emitter {
             region: self.region,
             taken: false,
         };
-        sink.emit(&u);
+        sink.push(u);
         self.acc = dst;
         dst
     }
 
     /// Emit a dependency-free load (frame slot / global cell).
     #[inline]
-    pub fn root_load(&mut self, sink: &mut dyn TraceSink, addr: u64, cat: Category) -> Tok {
+    pub fn root_load(&mut self, sink: &mut BatchSink<'_>, addr: u64, cat: Category) -> Tok {
+        if sink.discarding() {
+            return Tok::NONE;
+        }
         let dst = self.fresh();
         let u = Uop {
             kind: UopKind::Load,
@@ -168,14 +189,17 @@ impl Emitter {
             region: self.region,
             taken: false,
         };
-        sink.emit(&u);
+        sink.push(u);
         self.acc = dst;
         dst
     }
 
     /// Emit a chained memory load from `addr`.
     #[inline]
-    pub fn chain_load(&mut self, sink: &mut dyn TraceSink, addr: u64, cat: Category) -> Tok {
+    pub fn chain_load(&mut self, sink: &mut BatchSink<'_>, addr: u64, cat: Category) -> Tok {
+        if sink.discarding() {
+            return Tok::NONE;
+        }
         let dst = self.fresh();
         let u = Uop {
             kind: UopKind::Load,
@@ -188,14 +212,17 @@ impl Emitter {
             region: self.region,
             taken: false,
         };
-        sink.emit(&u);
+        sink.push(u);
         self.acc = dst;
         dst
     }
 
     /// Emit a chained store to `addr` (accumulator is the stored data).
     #[inline]
-    pub fn chain_store(&mut self, sink: &mut dyn TraceSink, addr: u64, cat: Category) {
+    pub fn chain_store(&mut self, sink: &mut BatchSink<'_>, addr: u64, cat: Category) {
+        if sink.discarding() {
+            return;
+        }
         let u = Uop {
             kind: UopKind::Store,
             category: cat,
@@ -207,12 +234,15 @@ impl Emitter {
             region: self.region,
             taken: false,
         };
-        sink.emit(&u);
+        sink.push(u);
     }
 
     /// Emit a chained conditional branch.
     #[inline]
-    pub fn chain_branch(&mut self, sink: &mut dyn TraceSink, taken: bool, cat: Category) {
+    pub fn chain_branch(&mut self, sink: &mut BatchSink<'_>, taken: bool, cat: Category) {
+        if sink.discarding() {
+            return;
+        }
         let u = Uop {
             kind: UopKind::Branch,
             category: cat,
@@ -224,12 +254,15 @@ impl Emitter {
             region: self.region,
             taken,
         };
-        sink.emit(&u);
+        sink.push(u);
     }
 
     /// Emit a jump/call/return µop.
     #[inline]
-    pub fn jump(&mut self, sink: &mut dyn TraceSink, cat: Category) {
+    pub fn jump(&mut self, sink: &mut BatchSink<'_>, cat: Category) {
+        if sink.discarding() {
+            return;
+        }
         let u = Uop {
             kind: UopKind::Jump,
             category: cat,
@@ -241,15 +274,18 @@ impl Emitter {
             region: self.region,
             taken: true,
         };
-        sink.emit(&u);
+        sink.push(u);
     }
 
     /// Emit a raw µop (full control).
     #[inline]
-    pub fn raw(&mut self, sink: &mut dyn TraceSink, mut uop: Uop) {
+    pub fn raw(&mut self, sink: &mut BatchSink<'_>, mut uop: Uop) {
+        if sink.discarding() {
+            return;
+        }
         uop.pc = self.next_pc();
         uop.region = self.region;
-        sink.emit(&uop);
+        sink.push(uop);
     }
 
     /// Emit `n` generic ALU µops at a stub address (modelling a runtime
@@ -259,7 +295,10 @@ impl Emitter {
     /// serial chain: real helper routines have internal ILP, so their cost
     /// is fetch/issue bandwidth (and their memory traffic), not a latency
     /// chain proportional to their length.
-    pub fn stub_call(&mut self, sink: &mut dyn TraceSink, stub: u64, n_alu: u64, n_mem: u64) {
+    pub fn stub_call(&mut self, sink: &mut BatchSink<'_>, stub: u64, n_alu: u64, n_mem: u64) {
+        if sink.discarding() {
+            return;
+        }
         let saved_pc = self.pc;
         let saved_k = self.k;
         self.jump(sink, Category::RestOfCode);
@@ -285,7 +324,7 @@ impl Emitter {
             } else {
                 last = dst;
             }
-            sink.emit(&u);
+            sink.push(u);
         }
         for i in 0..n_mem {
             let dst = self.fresh();
@@ -300,7 +339,7 @@ impl Emitter {
                 region: self.region,
                 taken: false,
             };
-            sink.emit(&u);
+            sink.push(u);
             last = dst;
         }
         self.jump(sink, Category::RestOfCode);
@@ -319,9 +358,11 @@ mod tests {
     fn chain_threads_tokens() {
         let mut e = Emitter::new(Region::Baseline);
         let mut s = VecSink::new();
+        let mut b = BatchSink::new(&mut s);
         e.at(0x1000);
-        let t1 = e.chain(&mut s, UopKind::Alu, Category::RestOfCode);
-        let t2 = e.chain(&mut s, UopKind::Alu, Category::RestOfCode);
+        let t1 = e.chain(&mut b, UopKind::Alu, Category::RestOfCode);
+        let t2 = e.chain(&mut b, UopKind::Alu, Category::RestOfCode);
+        drop(b);
         assert_ne!(t1, t2);
         assert_eq!(s.uops[1].srcs[0], t1, "second op consumes first's result");
         assert_eq!(s.uops[0].pc, 0x1000);
@@ -332,9 +373,11 @@ mod tests {
     fn memory_uops_carry_addresses() {
         let mut e = Emitter::new(Region::Optimized);
         let mut s = VecSink::new();
+        let mut b = BatchSink::new(&mut s);
         e.at(0x2000);
-        e.chain_load(&mut s, 0xabc0, Category::Check);
-        e.chain_store(&mut s, 0xdef0, Category::OtherOptimized);
+        e.chain_load(&mut b, 0xabc0, Category::Check);
+        e.chain_store(&mut b, 0xdef0, Category::OtherOptimized);
+        drop(b);
         assert_eq!(s.uops[0].mem.unwrap().addr, 0xabc0);
         assert!(!s.uops[0].mem.unwrap().is_store);
         assert_eq!(s.uops[1].mem.unwrap().addr, 0xdef0);
@@ -346,10 +389,12 @@ mod tests {
     fn stub_call_restores_pc() {
         let mut e = Emitter::new(Region::Baseline);
         let mut s = VecSink::new();
+        let mut b = BatchSink::new(&mut s);
         e.at(0x3000);
-        e.chain(&mut s, UopKind::Alu, Category::RestOfCode);
-        e.stub_call(&mut s, stubs::IC_MISS, 10, 2);
-        e.chain(&mut s, UopKind::Alu, Category::RestOfCode);
+        e.chain(&mut b, UopKind::Alu, Category::RestOfCode);
+        e.stub_call(&mut b, stubs::IC_MISS, 10, 2);
+        e.chain(&mut b, UopKind::Alu, Category::RestOfCode);
+        drop(b);
         let last = s.uops.last().unwrap();
         assert!(last.pc >= 0x3000 && last.pc < 0x3100, "pc back in op blob: {:#x}", last.pc);
         // Stub µops landed in the runtime-code region.

@@ -9,7 +9,7 @@ use crate::bytecode::Bc;
 use crate::emit::{stubs, Emitter};
 use crate::vm::{Frame, Vm, VmError};
 use checkelide_isa::uop::{Category, Region, Tok, UopKind};
-use checkelide_isa::TraceSink;
+use checkelide_isa::BatchSink;
 use checkelide_runtime::numops::{self, BitwiseOp, CmpOp};
 use checkelide_runtime::{maps::fixed, Builtin, ElemKind, NumPath, Value};
 
@@ -23,8 +23,9 @@ impl Vm {
     /// Propagates runtime errors.
     pub fn interpret(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         func: u32,
+        bc: &std::rc::Rc<crate::bytecode::BytecodeFunc>,
         frame: Frame,
         start_pc: u32,
     ) -> Result<Value, VmError> {
@@ -32,19 +33,21 @@ impl Vm {
         frame.toks.resize(frame.stack.len(), Tok::NONE);
         frame.local_toks.resize(frame.locals.len(), Tok::NONE);
         self.frames.push(frame);
-        let r = self.interp_loop(sink, func, start_pc);
-        self.frames.pop();
+        let r = self.interp_loop(sink, func, bc, start_pc);
+        if let Some(f) = self.frames.pop() {
+            self.recycle_frame(f);
+        }
         r
     }
 
     #[allow(clippy::too_many_lines)]
     fn interp_loop(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         func: u32,
+        bc: &crate::bytecode::BytecodeFunc,
         start_pc: u32,
     ) -> Result<Value, VmError> {
-        let bc = self.funcs[func as usize].bytecode.clone().expect("bytecode compiled");
         let fx = self.frames.len() - 1;
         let code_base = Vm::code_base(func);
         let mut em = Emitter::new(Region::Baseline);
@@ -396,7 +399,7 @@ impl Vm {
 
     fn ip_emit_arith(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         em: &mut Emitter,
         path: NumPath,
         is_div: bool,
@@ -441,7 +444,7 @@ impl Vm {
     #[allow(clippy::too_many_arguments)]
     fn ip_get_prop(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         em: &mut Emitter,
         func: u32,
         obj: Value,
@@ -522,7 +525,7 @@ impl Vm {
     #[allow(clippy::too_many_arguments)]
     fn ip_set_prop(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         em: &mut Emitter,
         func: u32,
         obj: Value,
@@ -593,7 +596,7 @@ impl Vm {
     /// Baseline `obj[ix]`.
     fn ip_get_elem(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         em: &mut Emitter,
         func: u32,
         obj: Value,
@@ -668,7 +671,7 @@ impl Vm {
     #[allow(clippy::too_many_arguments)]
     fn ip_set_elem(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         em: &mut Emitter,
         func: u32,
         obj: Value,
@@ -720,7 +723,7 @@ impl Vm {
     #[allow(clippy::too_many_arguments)]
     fn ip_call(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         em: &mut Emitter,
         func: u32,
         fx: usize,
@@ -861,7 +864,7 @@ impl Vm {
     /// Baseline `new F(...)`.
     fn ip_new(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         em: &mut Emitter,
         func: u32,
         fx: usize,

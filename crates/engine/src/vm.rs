@@ -12,7 +12,7 @@ use checkelide_core::{
 };
 use checkelide_isa::layout::{class_list_entry_addr, BASELINE_CODE_BASE, STACK_BASE};
 use checkelide_isa::uop::{Category, MemRef, Region, Tok, Uop, UopKind};
-use checkelide_isa::TraceSink;
+use checkelide_isa::{BatchSink, TraceSink};
 use checkelide_lang::{parse_program, FuncDecl, ParseError};
 use checkelide_runtime::{
     Builtin, ElemKind, FuncRef, MapIx, NameId, Runtime, Value,
@@ -161,7 +161,7 @@ pub trait OptimizedCode {
     fn execute(
         &self,
         vm: &mut Vm,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         this: Value,
         args: &[Value],
     ) -> ExecResult;
@@ -300,6 +300,9 @@ pub struct Vm {
     pub load_stats: LoadAccessStats,
     /// Interpreter shadow stack.
     pub frames: Vec<Frame>,
+    /// Recycled interpreter frames: per-call locals/stack/token vectors
+    /// are reused across activations instead of reallocated.
+    frame_pool: Vec<Frame>,
     /// Tagged vreg files of active optimized activations (GC roots).
     pub opt_frames: Vec<Vec<Value>>,
     /// Transition-tree root → constructor function (for allocation-site
@@ -345,6 +348,7 @@ impl Vm {
             special_regs: SpecialRegs::new(),
             load_stats: LoadAccessStats::new(),
             frames: Vec::new(),
+            frame_pool: Vec::new(),
             opt_frames: Vec::new(),
             ctor_of_root: HashMap::new(),
             value_profiled: [false; 256],
@@ -411,7 +415,12 @@ impl Vm {
     ) -> Result<Value, VmError> {
         let main = self.load_program(src).map_err(|e| VmError::new(e.to_string()))?;
         let undef = self.rt.odd.undefined;
-        self.call_user(sink, main, undef, &[])
+        // Cross the `dyn` boundary once: everything below threads the
+        // concrete `BatchSink`, and µops reach `sink` in batches.
+        let mut batch = BatchSink::new(sink);
+        let r = self.call_user(&mut batch, main, undef, &[]);
+        batch.flush();
+        r
     }
 
     /// Parse a program and register its top level as a function; returns
@@ -455,7 +464,10 @@ impl Vm {
             .ok_or_else(|| VmError::new(format!("no global `{name}`")))?;
         let callee = self.globals[g as usize];
         let undef = self.rt.odd.undefined;
-        self.call_value(sink, callee, undef, args)
+        let mut batch = BatchSink::new(sink);
+        let r = self.call_value(&mut batch, callee, undef, args);
+        batch.flush();
+        r
     }
 
     /// The (cached) function object for a function-table entry.
@@ -519,7 +531,7 @@ impl Vm {
     /// `VmError` when the callee is not a function or the call fails.
     pub fn call_value(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         callee: Value,
         this: Value,
         args: &[Value],
@@ -537,7 +549,7 @@ impl Vm {
     /// Invoke a builtin, charging its µop cost.
     pub fn call_builtin_traced(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         b: Builtin,
         this: Value,
         args: &[Value],
@@ -557,7 +569,7 @@ impl Vm {
     /// Runtime errors from the function body.
     pub fn call_user(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         func: u32,
         this: Value,
         args: &[Value],
@@ -577,7 +589,7 @@ impl Vm {
 
     fn call_user_inner(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         func: u32,
         this: Value,
         args: &[Value],
@@ -604,34 +616,58 @@ impl Vm {
                 ExecResult::Error(e) => return Err(e),
                 ExecResult::Deopt(state) => {
                     self.on_deopt(sink, func, state.reason);
-                    // Resume in the interpreter at the deopt point.
-                    let frame = Frame {
-                        func,
-                        this,
-                        locals: state.locals,
-                        stack: state.stack,
-                        toks: Vec::new(),
-                        local_toks: Vec::new(),
-                    };
-                    return self.interpret(sink, func, frame, state.bc_pc);
+                    // Resume in the interpreter at the deopt point. The
+                    // reconstructed locals/stack move straight into the
+                    // frame (and are recycled into the pool afterwards).
+                    let mut frame = self.take_frame(func, this);
+                    frame.locals = state.locals;
+                    frame.stack = state.stack;
+                    return self.interpret(sink, func, &bc, frame, state.bc_pc);
                 }
             }
         }
 
-        // Baseline path.
-        let mut locals = vec![self.rt.odd.undefined; bc.n_locals as usize];
+        // Baseline path: a pooled frame, so the per-activation vectors
+        // (locals/stack/token mirrors) are recycled instead of allocated.
+        let mut frame = self.take_frame(func, this);
+        let undef = self.rt.odd.undefined;
+        frame.locals.resize(bc.n_locals as usize, undef);
         for (i, &a) in args.iter().take(bc.params as usize).enumerate() {
-            locals[i] = a;
+            frame.locals[i] = a;
         }
-        let frame = Frame {
-            func,
-            this,
-            locals,
-            stack: Vec::with_capacity(16),
-            toks: Vec::new(),
-            local_toks: Vec::new(),
-        };
-        self.interpret(sink, func, frame, 0)
+        self.interpret(sink, func, &bc, frame, 0)
+    }
+
+    /// A recycled (or fresh) interpreter frame with cleared vectors.
+    /// Counterpart of [`Vm::recycle_frame`].
+    pub(crate) fn take_frame(&mut self, func: u32, this: Value) -> Frame {
+        match self.frame_pool.pop() {
+            Some(mut f) => {
+                f.func = func;
+                f.this = this;
+                f.locals.clear();
+                f.stack.clear();
+                f.toks.clear();
+                f.local_toks.clear();
+                f
+            }
+            None => Frame {
+                func,
+                this,
+                locals: Vec::with_capacity(16),
+                stack: Vec::with_capacity(16),
+                toks: Vec::with_capacity(16),
+                local_toks: Vec::with_capacity(16),
+            },
+        }
+    }
+
+    /// Return a finished frame's vectors to the pool (bounded, so deep
+    /// recursion cannot pin unbounded memory).
+    pub(crate) fn recycle_frame(&mut self, frame: Frame) {
+        if self.frame_pool.len() < 64 {
+            self.frame_pool.push(frame);
+        }
     }
 
     fn maybe_optimize(&mut self, func: u32) {
@@ -654,7 +690,7 @@ impl Vm {
     }
 
     /// Record a deopt of `func` and discard its optimized code.
-    pub fn on_deopt(&mut self, sink: &mut dyn TraceSink, func: u32, reason: DeoptReason) {
+    pub fn on_deopt(&mut self, sink: &mut BatchSink<'_>, func: u32, reason: DeoptReason) {
         self.stats.deopts += 1;
         if std::env::var_os("CHECKELIDE_TRACE_DEOPT").is_some() {
             eprintln!(
@@ -693,7 +729,7 @@ impl Vm {
     /// `current` itself was deoptimized (the caller must OSR-out).
     pub fn handle_misspeculation(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         exc: &MisspeculationException,
         current: Option<u32>,
     ) -> bool {
@@ -754,7 +790,7 @@ impl Vm {
     /// slots; returns `true` when `current` was among them.
     pub fn note_map_transition(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         old_map: MapIx,
         current: Option<u32>,
     ) -> bool {
@@ -779,7 +815,7 @@ impl Vm {
     /// born with the general kind, so hot code never sees the kind ramp.
     pub fn note_kind_transition(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         new_map: MapIx,
         current: Option<u32>,
     ) -> bool {
@@ -801,14 +837,22 @@ impl Vm {
 
     /// Collect garbage if the allocation budget is exhausted. `extra` are
     /// additional roots (receiver/args not yet in a frame).
-    pub fn gc_safepoint(&mut self, sink: &mut dyn TraceSink, extra: &[Value], extra2: &[Value]) {
-        if self.rt.heap.words_since_gc() < self.config.gc_threshold_words {
+    pub fn gc_safepoint(&mut self, sink: &mut BatchSink<'_>, extra: &[Value], extra2: &[Value]) {
+        if !self.gc_due() {
             return;
         }
         self.collect_garbage(sink, extra, extra2);
     }
 
-    fn collect_garbage(&mut self, sink: &mut dyn TraceSink, extra: &[Value], extra2: &[Value]) {
+    /// Whether the next [`Vm::gc_safepoint`] will actually collect. Lets
+    /// callers skip the work of rooting their frame (cloning locals/stack
+    /// into [`Vm::opt_frames`]) on the overwhelmingly common no-op path.
+    #[inline]
+    pub fn gc_due(&self) -> bool {
+        self.rt.heap.words_since_gc() >= self.config.gc_threshold_words
+    }
+
+    fn collect_garbage(&mut self, sink: &mut BatchSink<'_>, extra: &[Value], extra2: &[Value]) {
         self.stats.gc_runs += 1;
         let mut roots: Vec<Value> = Vec::with_capacity(256);
         roots.extend_from_slice(&self.globals);
@@ -881,7 +925,7 @@ impl Vm {
     #[allow(clippy::too_many_arguments)]
     pub fn store_property_profiled(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         em: &mut Emitter,
         obj: Value,
         holder_map: MapIx,
@@ -922,7 +966,7 @@ impl Vm {
     #[allow(clippy::too_many_arguments)]
     pub fn store_element_profiled(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         em: &mut Emitter,
         holder: Value,
         holder_map: MapIx,
@@ -983,7 +1027,7 @@ impl Vm {
     #[allow(clippy::too_many_arguments)]
     fn full_store(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         em: &mut Emitter,
         slot_addr: u64,
         holder_map: MapIx,
@@ -1261,9 +1305,10 @@ mod tests {
         let obj = vm.rt.alloc_object(m2, 1);
         let h = vm.rt.make_number(0.5);
         let mut sink = NullSink::new();
+        let mut batch = BatchSink::new(&mut sink);
         let mut em = Emitter::new(Region::Optimized);
         let deopted =
-            vm.store_property_profiled(&mut sink, &mut em, obj, m2, off_x, h, Some(7));
+            vm.store_property_profiled(&mut batch, &mut em, obj, m2, off_x, h, Some(7));
         assert!(deopted, "self-deopt signalled");
         assert_eq!(vm.stats.misspec_exceptions, 1);
     }
@@ -1274,9 +1319,11 @@ mod tests {
         let root = vm.rt.maps.new_constructor_root("T");
         let obj = vm.rt.alloc_object(root, 1);
         let mut sink = checkelide_isa::trace::VecSink::new();
+        let mut batch = BatchSink::new(&mut sink);
         let mut em = Emitter::new(Region::Baseline);
         em.at(0x1000);
-        vm.store_property_profiled(&mut sink, &mut em, obj, root, 1, Value::smi(1), None);
+        vm.store_property_profiled(&mut batch, &mut em, obj, root, 1, Value::smi(1), None);
+        drop(batch);
         assert_eq!(sink.len(), 1);
         assert_eq!(sink.uops[0].kind, UopKind::Store);
         assert_eq!(vm.class_cache.stats().accesses, 0);
@@ -1288,9 +1335,11 @@ mod tests {
         let root = vm.rt.maps.new_constructor_root("T");
         let obj = vm.rt.alloc_object(root, 1);
         let mut sink = checkelide_isa::trace::VecSink::new();
+        let mut batch = BatchSink::new(&mut sink);
         let mut em = Emitter::new(Region::Baseline);
         em.at(0x1000);
-        vm.store_property_profiled(&mut sink, &mut em, obj, root, 1, Value::smi(1), None);
+        vm.store_property_profiled(&mut batch, &mut em, obj, root, 1, Value::smi(1), None);
+        drop(batch);
         let kinds: Vec<_> = sink.uops.iter().map(|u| u.kind).collect();
         assert!(kinds.contains(&UopKind::MovClassId));
         assert!(kinds.contains(&UopKind::MovStoreClassCache));

@@ -38,5 +38,5 @@ pub mod trace;
 pub mod uop;
 
 pub use counters::CounterSink;
-pub use trace::{NullSink, TraceSink};
+pub use trace::{BatchSink, NullSink, TraceSink, BATCH_CAPACITY};
 pub use uop::{Category, MemRef, Provenance, Region, Uop, UopKind};

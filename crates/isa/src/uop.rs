@@ -82,6 +82,7 @@ pub enum UopKind {
 impl UopKind {
     /// Whether this µop performs a data-memory access by itself
     /// (loads, stores, and the Class Cache store instructions).
+    #[inline]
     pub fn is_memory(self) -> bool {
         matches!(
             self,
@@ -93,6 +94,7 @@ impl UopKind {
     }
 
     /// Whether this µop is one of the paper's four new machine instructions.
+    #[inline]
     pub fn is_class_cache_isa(self) -> bool {
         matches!(
             self,
@@ -217,11 +219,13 @@ pub struct MemRef {
 
 impl MemRef {
     /// An 8-byte load at `addr`.
+    #[inline]
     pub fn load(addr: u64) -> MemRef {
         MemRef { addr, size: 8, is_store: false }
     }
 
     /// An 8-byte store at `addr`.
+    #[inline]
     pub fn store(addr: u64) -> MemRef {
         MemRef { addr, size: 8, is_store: true }
     }
@@ -253,6 +257,7 @@ pub struct Uop {
 
 impl Uop {
     /// A plain µop with no operands and no memory access.
+    #[inline]
     pub fn new(kind: UopKind, pc: u64, category: Category, region: Region) -> Uop {
         Uop {
             kind,
@@ -268,11 +273,13 @@ impl Uop {
     }
 
     /// Convenience constructor for an ALU µop.
+    #[inline]
     pub fn alu(pc: u64, category: Category, region: Region) -> Uop {
         Uop::new(UopKind::Alu, pc, category, region)
     }
 
     /// Convenience constructor for a load µop.
+    #[inline]
     pub fn load(pc: u64, addr: u64, category: Category, region: Region) -> Uop {
         let mut u = Uop::new(UopKind::Load, pc, category, region);
         u.mem = Some(MemRef::load(addr));
@@ -280,6 +287,7 @@ impl Uop {
     }
 
     /// Convenience constructor for a store µop.
+    #[inline]
     pub fn store(pc: u64, addr: u64, category: Category, region: Region) -> Uop {
         let mut u = Uop::new(UopKind::Store, pc, category, region);
         u.mem = Some(MemRef::store(addr));
@@ -287,6 +295,7 @@ impl Uop {
     }
 
     /// Convenience constructor for a branch µop.
+    #[inline]
     pub fn branch(pc: u64, taken: bool, category: Category, region: Region) -> Uop {
         let mut u = Uop::new(UopKind::Branch, pc, category, region);
         u.taken = taken;
@@ -294,18 +303,21 @@ impl Uop {
     }
 
     /// Builder-style: set source tokens.
+    #[inline]
     pub fn with_srcs(mut self, a: Tok, b: Tok) -> Uop {
         self.srcs = [a, b];
         self
     }
 
     /// Builder-style: set destination token.
+    #[inline]
     pub fn with_dst(mut self, dst: Tok) -> Uop {
         self.dst = dst;
         self
     }
 
     /// Builder-style: set check provenance.
+    #[inline]
     pub fn with_provenance(mut self, p: Provenance) -> Uop {
         self.provenance = p;
         self

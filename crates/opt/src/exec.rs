@@ -20,7 +20,7 @@ use checkelide_engine::{
 };
 use checkelide_isa::layout::OPT_CODE_BASE;
 use checkelide_isa::uop::{Category, MemRef, Provenance, Region, Tok, Uop, UopKind};
-use checkelide_isa::TraceSink;
+use checkelide_isa::BatchSink;
 use checkelide_runtime::numops::{self, BitwiseOp, CmpOp};
 use checkelide_runtime::{maps::fixed, Builtin, ElemKind, FuncRef, Value};
 use std::rc::Rc;
@@ -41,7 +41,7 @@ impl OptimizedCode for OptimizedBody {
     fn execute(
         &self,
         vm: &mut Vm,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         this: Value,
         args: &[Value],
     ) -> ExecResult {
@@ -131,11 +131,14 @@ impl<'a> Exec<'a> {
 
     fn emit_check_map(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         v: Value,
         cat: Category,
         prov: Provenance,
     ) {
+        if sink.discarding() {
+            return;
+        }
         // Check Map performs a memory access to fetch the hidden-class
         // identifier (§5.1), then compares and branches.
         let addr = if v.is_ptr() { v.addr() } else { self.code_base };
@@ -156,7 +159,10 @@ impl<'a> Exec<'a> {
         self.em.raw(sink, br);
     }
 
-    fn emit_check_tag(&mut self, sink: &mut dyn TraceSink, cat: Category, prov: Provenance) {
+    fn emit_check_tag(&mut self, sink: &mut BatchSink<'_>, cat: Category, prov: Provenance) {
+        if sink.discarding() {
+            return;
+        }
         let mut t = Uop::new(UopKind::Alu, 0, cat, Region::Optimized);
         t.provenance = prov;
         t.srcs = [self.em.acc(), Tok::NONE];
@@ -171,7 +177,7 @@ impl<'a> Exec<'a> {
     /// Execute a planned check; returns whether the value passes.
     fn run_check(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         check: CheckKind,
         v: Value,
         cat: Category,
@@ -218,7 +224,7 @@ impl<'a> Exec<'a> {
     /// Tags/Untags category (§3.3).
     fn untag_f64(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         v: Value,
         plan: &OperandPlan,
     ) -> Option<f64> {
@@ -238,7 +244,7 @@ impl<'a> Exec<'a> {
     }
 
     /// Box a double result (tag).
-    fn box_f64(&mut self, sink: &mut dyn TraceSink, f: f64) -> Value {
+    fn box_f64(&mut self, sink: &mut BatchSink<'_>, f: f64) -> Value {
         let v = self.vm.rt.make_number(f);
         if v.is_smi() {
             self.em.chain(sink, UopKind::Alu, Category::TagUntag);
@@ -269,13 +275,13 @@ impl<'a> Exec<'a> {
     /// relocation fixups.
     fn call_out(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         callee: Value,
         this: Value,
         args: &[Value],
     ) -> Result<Value, VmError> {
-        self.vm.opt_frames.push(self.locals.clone());
-        self.vm.opt_frames.push(self.stack.clone());
+        self.vm.opt_frames.push(std::mem::take(&mut self.locals));
+        self.vm.opt_frames.push(std::mem::take(&mut self.stack));
         let mut extra = vec![this, callee];
         extra.extend_from_slice(args);
         self.vm.opt_frames.push(extra);
@@ -288,13 +294,13 @@ impl<'a> Exec<'a> {
 
     fn call_user_out(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         func: u32,
         this: Value,
         args: &[Value],
     ) -> Result<Value, VmError> {
-        self.vm.opt_frames.push(self.locals.clone());
-        self.vm.opt_frames.push(self.stack.clone());
+        self.vm.opt_frames.push(std::mem::take(&mut self.locals));
+        self.vm.opt_frames.push(std::mem::take(&mut self.stack));
         let mut extra = vec![this];
         extra.extend_from_slice(args);
         self.vm.opt_frames.push(extra);
@@ -310,8 +316,14 @@ impl<'a> Exec<'a> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn run(&mut self, sink: &mut dyn TraceSink) -> ExecResult {
-        let bc = self.body.bc.clone();
+    fn run(&mut self, sink: &mut BatchSink<'_>) -> ExecResult {
+        // Reborrow the shared body through the copied `&'a` reference so
+        // per-op plans can be passed to the handlers by reference while
+        // `self` stays mutably borrowable: no per-op `OpPlan` clones (the
+        // property/call plans own `Vec`s, so cloning them per dynamic
+        // operation was a heap allocation on the hottest path).
+        let body = self.body;
+        let bc: &BytecodeFunc = &body.bc;
         let mut pc = 0usize;
         loop {
             if self.vm.steps_remaining == 0 {
@@ -319,7 +331,7 @@ impl<'a> Exec<'a> {
             }
             self.vm.steps_remaining -= 1;
             self.em.at(self.code_base + pc as u64 * 64);
-            let flow = self.step(sink, &bc, pc);
+            let flow = self.step(sink, bc, &body.plans[pc], pc);
             match flow {
                 Flow::Next => pc += 1,
                 Flow::Jump(t) => pc = t,
@@ -331,9 +343,14 @@ impl<'a> Exec<'a> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn step(&mut self, sink: &mut dyn TraceSink, bc: &BytecodeFunc, pc: usize) -> Flow {
+    fn step(
+        &mut self,
+        sink: &mut BatchSink<'_>,
+        bc: &BytecodeFunc,
+        plan: &OpPlan,
+        pc: usize,
+    ) -> Flow {
         let op = bc.code[pc];
-        let plan = &self.body.plans[pc];
         if matches!(plan, OpPlan::ColdDeopt) {
             return self.cold_deopt(pc, &op);
         }
@@ -445,37 +462,37 @@ impl<'a> Exec<'a> {
                 return Flow::Return(u);
             }
             Bc::LoopHead => {
-                return self.do_loop_head(sink, plan.clone(), pc);
+                return self.do_loop_head(sink, plan, pc);
             }
             Bc::GetProp(name, _) => {
-                return self.do_get_prop(sink, plan.clone(), name, pc);
+                return self.do_get_prop(sink, plan, name, pc);
             }
             Bc::SetProp(name, _) => {
-                return self.do_set_prop(sink, plan.clone(), name, pc);
+                return self.do_set_prop(sink, plan, name, pc);
             }
             Bc::GetElem(_) => {
-                return self.do_get_elem(sink, plan.clone(), pc);
+                return self.do_get_elem(sink, plan, pc);
             }
             Bc::SetElem(_) => {
-                return self.do_set_elem(sink, plan.clone(), pc);
+                return self.do_set_elem(sink, plan, pc);
             }
             Bc::Add(_) | Bc::Sub(_) | Bc::Mul(_) | Bc::Div(_) | Bc::Mod(_) | Bc::BitAnd(_)
             | Bc::BitOr(_) | Bc::BitXor(_) | Bc::Shl(_) | Bc::Sar(_) | Bc::Shr(_)
             | Bc::TestLt(_) | Bc::TestLe(_) | Bc::TestGt(_) | Bc::TestGe(_) | Bc::TestEq(_)
             | Bc::TestNe(_) | Bc::TestStrictEq(_) | Bc::TestStrictNe(_) => {
-                return self.do_binary(sink, plan.clone(), op, pc);
+                return self.do_binary(sink, plan, op, pc);
             }
             Bc::Neg(_) | Bc::BitNot(_) => {
-                return self.do_unary(sink, plan.clone(), op, pc);
+                return self.do_unary(sink, plan, op, pc);
             }
             Bc::Call(argc, _) => {
-                return self.do_call(sink, plan.clone(), argc, pc);
+                return self.do_call(sink, plan, argc, pc);
             }
             Bc::CallMethod(name, argc, _) => {
-                return self.do_call_method(sink, plan.clone(), name, argc, pc);
+                return self.do_call_method(sink, plan, name, argc, pc);
             }
             Bc::New(argc, _) => {
-                return self.do_new(sink, plan.clone(), argc, pc);
+                return self.do_new(sink, plan, argc, pc);
             }
             Bc::NewObject => {
                 // Inline allocation.
@@ -534,12 +551,17 @@ impl<'a> Exec<'a> {
         })
     }
 
-    fn do_loop_head(&mut self, sink: &mut dyn TraceSink, plan: OpPlan, pc: usize) -> Flow {
-        self.vm.opt_frames.push(self.locals.clone());
-        self.vm.opt_frames.push(self.stack.clone());
-        self.vm.gc_safepoint(sink, &[self.this], &[]);
-        self.vm.opt_frames.pop();
-        self.vm.opt_frames.pop();
+    fn do_loop_head(&mut self, sink: &mut BatchSink<'_>, plan: &OpPlan, pc: usize) -> Flow {
+        if self.vm.gc_due() {
+            // Root the suspended frame only when a collection will run:
+            // unconditionally cloning locals+stack here was two heap
+            // allocations per loop iteration in steady state.
+            self.vm.opt_frames.push(std::mem::take(&mut self.locals));
+            self.vm.opt_frames.push(std::mem::take(&mut self.stack));
+            self.vm.gc_safepoint(sink, &[self.this], &[]);
+            self.stack = self.vm.opt_frames.pop().expect("opt frame");
+            self.locals = self.vm.opt_frames.pop().expect("opt frame");
+        }
         // Interrupt/epoch guard.
         self.em.chain_load(sink, stubs::DEOPT + 0x80, Category::OtherOptimized);
         self.em.chain_branch(sink, false, Category::OtherOptimized);
@@ -575,8 +597,8 @@ impl<'a> Exec<'a> {
 
     fn do_get_prop(
         &mut self,
-        sink: &mut dyn TraceSink,
-        plan: OpPlan,
+        sink: &mut BatchSink<'_>,
+        plan: &OpPlan,
         name: checkelide_runtime::NameId,
         pc: usize,
     ) -> Flow {
@@ -660,7 +682,7 @@ impl<'a> Exec<'a> {
 
     fn generic_get_prop(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         recv: Value,
         name: checkelide_runtime::NameId,
         pc: usize,
@@ -716,8 +738,8 @@ impl<'a> Exec<'a> {
 
     fn do_set_prop(
         &mut self,
-        sink: &mut dyn TraceSink,
-        plan: OpPlan,
+        sink: &mut BatchSink<'_>,
+        plan: &OpPlan,
         name: checkelide_runtime::NameId,
         pc: usize,
     ) -> Flow {
@@ -811,7 +833,7 @@ impl<'a> Exec<'a> {
         Flow::Next
     }
 
-    fn do_get_elem(&mut self, sink: &mut dyn TraceSink, plan: OpPlan, pc: usize) -> Flow {
+    fn do_get_elem(&mut self, sink: &mut BatchSink<'_>, plan: &OpPlan, pc: usize) -> Flow {
         let (ix, _it) = self.pop();
         let (recv, rt_) = self.pop();
         self.em.set_acc(rt_);
@@ -886,7 +908,7 @@ impl<'a> Exec<'a> {
         Flow::Next
     }
 
-    fn do_set_elem(&mut self, sink: &mut dyn TraceSink, plan: OpPlan, pc: usize) -> Flow {
+    fn do_set_elem(&mut self, sink: &mut BatchSink<'_>, plan: &OpPlan, pc: usize) -> Flow {
         let (value, vt) = self.pop();
         let (ix, _it) = self.pop();
         let (recv, rt_) = self.pop();
@@ -993,7 +1015,7 @@ impl<'a> Exec<'a> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn do_binary(&mut self, sink: &mut dyn TraceSink, plan: OpPlan, op: Bc, pc: usize) -> Flow {
+    fn do_binary(&mut self, sink: &mut BatchSink<'_>, plan: &OpPlan, op: Bc, pc: usize) -> Flow {
         let (rhs, _rt) = self.pop();
         let (lhs, lt_) = self.pop();
         self.em.set_acc(lt_);
@@ -1119,7 +1141,7 @@ impl<'a> Exec<'a> {
     /// SMI-mode arithmetic; `None` = overflow/precision deopt.
     fn eval_smi_arith(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         op: Bc,
         a: i32,
         b: i32,
@@ -1252,7 +1274,7 @@ impl<'a> Exec<'a> {
         }
     }
 
-    fn do_unary(&mut self, sink: &mut dyn TraceSink, plan: OpPlan, op: Bc, pc: usize) -> Flow {
+    fn do_unary(&mut self, sink: &mut BatchSink<'_>, plan: &OpPlan, op: Bc, pc: usize) -> Flow {
         let (v, vt) = self.pop();
         self.em.set_acc(vt);
         let OpPlan::Bin(p) = plan else {
@@ -1330,7 +1352,7 @@ impl<'a> Exec<'a> {
         args
     }
 
-    fn do_call(&mut self, sink: &mut dyn TraceSink, plan: OpPlan, argc: u8, pc: usize) -> Flow {
+    fn do_call(&mut self, sink: &mut BatchSink<'_>, plan: &OpPlan, argc: u8, pc: usize) -> Flow {
         let args = self.pop_args(argc);
         let (callee, _) = self.pop();
         let known = match plan {
@@ -1370,8 +1392,8 @@ impl<'a> Exec<'a> {
     #[allow(clippy::too_many_lines)]
     fn do_call_method(
         &mut self,
-        sink: &mut dyn TraceSink,
-        plan: OpPlan,
+        sink: &mut BatchSink<'_>,
+        plan: &OpPlan,
         _name: checkelide_runtime::NameId,
         argc: u8,
         pc: usize,
@@ -1386,7 +1408,7 @@ impl<'a> Exec<'a> {
             }
         };
         match mplan {
-            MethodPlan::StringBuiltin { builtin, recv_check } => {
+            &MethodPlan::StringBuiltin { builtin, recv_check } => {
                 let checked =
                     self.run_check(sink, recv_check, recv, Category::Check, Provenance::None);
                 let is_str = recv.is_ptr()
@@ -1402,7 +1424,7 @@ impl<'a> Exec<'a> {
                 self.push(v, t);
                 Flow::Next
             }
-            MethodPlan::ArrayBuiltin { builtin, map, recv_check_needed } => {
+            &MethodPlan::ArrayBuiltin { builtin, map, recv_check_needed } => {
                 if recv_check_needed {
                     self.emit_check_map(sink, recv, Category::Check, Provenance::None);
                 }
@@ -1464,8 +1486,8 @@ impl<'a> Exec<'a> {
                     None
                 };
                 let matched = actual.and_then(|m| cases.iter().position(|c| c.map == m));
-                if recv_check_needed {
-                    self.emit_check_map(sink, recv, Category::Check, recv_provenance);
+                if *recv_check_needed {
+                    self.emit_check_map(sink, recv, Category::Check, *recv_provenance);
                 }
                 let Some(cix) = matched else {
                     let mut ops = vec![recv];
@@ -1489,7 +1511,7 @@ impl<'a> Exec<'a> {
                     self.vm.rt.slot_addr(recv, case.offset),
                     Category::OtherOptimized,
                 );
-                if let Some(k) = known {
+                if let Some(k) = *known {
                     self.emit_check_map(sink, callee, Category::Check, Provenance::PropertyLoad);
                     let matches = callee.is_ptr()
                         && matches!(
@@ -1519,7 +1541,7 @@ impl<'a> Exec<'a> {
         }
     }
 
-    fn do_new(&mut self, sink: &mut dyn TraceSink, plan: OpPlan, argc: u8, pc: usize) -> Flow {
+    fn do_new(&mut self, sink: &mut BatchSink<'_>, plan: &OpPlan, argc: u8, pc: usize) -> Flow {
         let args = self.pop_args(argc);
         let (callee, _) = self.pop();
         let ctor = match plan {
@@ -1577,7 +1599,7 @@ impl<'a> Exec<'a> {
 
     fn generic_set_prop(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         recv: Value,
         value: Value,
         vt: Tok,
@@ -1660,7 +1682,7 @@ impl<'a> Exec<'a> {
 
     fn generic_get_elem(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         recv: Value,
         ix: Value,
         pc: usize,
@@ -1686,7 +1708,7 @@ impl<'a> Exec<'a> {
 
     fn generic_set_elem(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         recv: Value,
         ix: Value,
         value: Value,
@@ -1730,7 +1752,7 @@ impl<'a> Exec<'a> {
 
     fn generic_call_method(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         recv: Value,
         name: checkelide_runtime::NameId,
         args: &[Value],
@@ -1805,7 +1827,7 @@ impl<'a> Exec<'a> {
 
     fn generic_new(
         &mut self,
-        sink: &mut dyn TraceSink,
+        sink: &mut BatchSink<'_>,
         callee: Value,
         args: &[Value],
         pc: usize,

@@ -61,6 +61,7 @@ impl Cache {
     }
 
     /// Access `addr`; returns whether it hit. Misses allocate.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
         self.stats.accesses += 1;
@@ -111,6 +112,7 @@ impl Tlb {
     }
 
     /// Translate the page of `addr`; returns whether it hit.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
         self.stats.accesses += 1;
@@ -168,6 +170,7 @@ impl BranchPredictor {
     }
 
     /// Predict and train on one branch; returns whether it mispredicted.
+    #[inline]
     pub fn access(&mut self, pc: u64, taken: bool) -> bool {
         self.lookups += 1;
         let ix = ((pc >> 2) & 0xFFF) as usize;

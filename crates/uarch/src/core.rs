@@ -19,7 +19,7 @@ use checkelide_isa::uop::{Region, Uop, UopKind};
 use std::collections::VecDeque;
 
 /// Per-region accumulators.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RegionTotals {
     /// Retired µops.
     pub uops: u64,
@@ -30,7 +30,12 @@ pub struct RegionTotals {
 }
 
 /// Final simulation results.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every field (including the `f64` energy totals
+/// bit-for-bit via the derived impl), which is exactly what the
+/// batched-vs-per-µop equivalence tests need: batching must not perturb a
+/// single count or a single floating-point accumulation.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimResult {
     /// Total cycles.
     pub cycles: u64,
@@ -263,9 +268,20 @@ impl CoreSim {
     }
 }
 
-impl TraceSink for CoreSim {
+impl CoreSim {
+    /// Advance the pipeline model by one retired µop.
+    ///
+    /// This is the whole per-µop pipeline walk (fetch, window, operands,
+    /// memory, branch, frontier attribution). It is factored out of the
+    /// trait impl so that [`TraceSink::emit_batch`] can run it in a tight
+    /// monomorphized loop — one virtual call per batch instead of one per
+    /// µop. The arithmetic (including the order of the `dynamic_pj`
+    /// floating-point accumulations) is byte-for-byte the same on both
+    /// paths, so batched and per-µop replays of the same trace produce
+    /// identical [`SimResult`]s.
+    #[inline]
     #[allow(clippy::cast_possible_truncation)]
-    fn emit(&mut self, uop: &Uop) {
+    fn emit_one(&mut self, uop: &Uop) {
         self.uops += 1;
         let region = uop.region.index();
         self.regions[region].uops += 1;
@@ -391,6 +407,23 @@ impl TraceSink for CoreSim {
             self.frontier = complete;
         }
         self.regions[region].dynamic_pj += energy;
+    }
+}
+
+impl TraceSink for CoreSim {
+    #[inline]
+    fn emit(&mut self, uop: &Uop) {
+        self.emit_one(uop);
+    }
+
+    /// One virtual call per batch. The per-µop work is unchanged (the
+    /// model is order- and state-dependent, so nothing can be reordered),
+    /// but dispatch overhead and the `&mut self` aliasing barriers are
+    /// amortized across the whole slice.
+    fn emit_batch(&mut self, uops: &[Uop]) {
+        for u in uops {
+            self.emit_one(u);
+        }
     }
 }
 

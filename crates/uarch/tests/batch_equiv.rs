@@ -1,0 +1,154 @@
+//! Sink-equivalence regression test for the batched trace pipeline.
+//!
+//! The batching rework ([`TraceSink::emit_batch`] + the producer-side
+//! `BatchSink` staging buffer) must be a pure interface optimization: for
+//! the same µop sequence, batched and per-µop consumption have to produce
+//! bit-identical statistics in every consumer. This test records a real
+//! program trace through the full engine stack (both execution tiers,
+//! inline caches, GC-free steady state) and replays it into fresh
+//! [`CounterSink`] and [`CoreSim`] pairs through both interfaces,
+//! asserting identical [`SimResult`]s and counter totals. A third replay
+//! goes through the producer-side [`BatchSink`] wrapper (arbitrary flush
+//! boundaries from capacity-triggered auto-flushes), which must also be
+//! equivalent.
+
+use checkelide_engine::{EngineConfig, Mechanism, Vm};
+use checkelide_isa::trace::VecSink;
+use checkelide_isa::uop::{Category, Region, Uop};
+use checkelide_isa::{BatchSink, CounterSink, NullSink, TraceSink, BATCH_CAPACITY};
+use checkelide_opt::install_optimizer;
+use checkelide_runtime::Value;
+use checkelide_uarch::{CoreConfig, CoreSim};
+
+/// A small but representative workload: hidden-class property traffic,
+/// elements-array loads/stores, SMI and double arithmetic, calls, and
+/// enough iterations that the optimized tier is active in the recorded
+/// trace.
+const SRC: &str = "
+function Vec(x, y) { this.x = x; this.y = y; }
+function dot(a, b) { return a.x * b.x + a.y * b.y; }
+function bench(n) {
+    var u = new Vec(3, 4);
+    var v = new Vec(5, 6);
+    var arr = [];
+    for (var i = 0; i < 64; i++) arr[i] = i * 1.5;
+    var acc = 0;
+    for (var j = 0; j < n; j++) {
+        acc = acc + dot(u, v) + arr[j % 64];
+        u.x = (u.x + 1) % 97;
+    }
+    return acc;
+}";
+
+/// Record the steady-state trace of one `bench(400)` call (two warm-up
+/// calls first so the optimized tier is entered).
+fn record_trace() -> Vec<Uop> {
+    let mut vm = Vm::new(EngineConfig {
+        mechanism: Mechanism::ProfileOnly,
+        opt_enabled: true,
+        ..EngineConfig::default()
+    });
+    install_optimizer(&mut vm);
+    let mut null = NullSink::new();
+    vm.run_program(SRC, &mut null).expect("setup");
+    let args = [Value::smi(400)];
+    for _ in 0..2 {
+        vm.call_global("bench", &args, &mut null).expect("warmup");
+    }
+    let mut rec = VecSink::new();
+    vm.call_global("bench", &args, &mut rec).expect("measured");
+    rec.uops
+}
+
+/// All externally observable [`CounterSink`] totals, for equality checks.
+fn counter_fingerprint(c: &CounterSink) -> Vec<u64> {
+    let mut v = Vec::new();
+    for r in [Region::Baseline, Region::Optimized, Region::Runtime] {
+        for cat in Category::ALL {
+            v.push(c.count(r, cat));
+        }
+    }
+    v.push(c.after_object_load());
+    v.push(c.after_object_load_optimized());
+    v
+}
+
+#[test]
+fn batched_and_per_uop_consumption_are_equivalent() {
+    let trace = record_trace();
+    assert!(
+        trace.len() > 3 * BATCH_CAPACITY,
+        "trace too short ({} µops) to exercise batching",
+        trace.len()
+    );
+    assert!(
+        trace.iter().any(|u| u.region == Region::Optimized),
+        "trace must include optimized-tier µops to be representative"
+    );
+
+    // --- CounterSink ---------------------------------------------------
+    let mut per_uop = CounterSink::new();
+    for u in &trace {
+        per_uop.emit(u);
+    }
+    per_uop.finish();
+
+    let mut batched = CounterSink::new();
+    for chunk in trace.chunks(BATCH_CAPACITY) {
+        batched.emit_batch(chunk);
+    }
+    batched.finish();
+
+    assert_eq!(
+        counter_fingerprint(&per_uop),
+        counter_fingerprint(&batched),
+        "CounterSink totals must not depend on batch boundaries"
+    );
+    assert_eq!(per_uop.total(), trace.len() as u64);
+
+    // Producer-side staging buffer: per-µop pushes, capacity-triggered
+    // flushes at arbitrary (non-chunk-aligned) boundaries.
+    let mut via_batch_sink = CounterSink::new();
+    {
+        let mut b = BatchSink::new(&mut via_batch_sink);
+        for u in &trace {
+            b.push(*u);
+        }
+        b.finish();
+    }
+    assert_eq!(
+        counter_fingerprint(&per_uop),
+        counter_fingerprint(&via_batch_sink),
+        "BatchSink staging must preserve the exact µop stream"
+    );
+
+    // --- CoreSim -------------------------------------------------------
+    let mut sim_per_uop = CoreSim::new(CoreConfig::nehalem());
+    for u in &trace {
+        sim_per_uop.emit(u);
+    }
+    sim_per_uop.finish();
+
+    let mut sim_batched = CoreSim::new(CoreConfig::nehalem());
+    for chunk in trace.chunks(BATCH_CAPACITY) {
+        sim_batched.emit_batch(chunk);
+    }
+    sim_batched.finish();
+
+    let (a, b) = (sim_per_uop.result(), sim_batched.result());
+    assert_eq!(
+        a, b,
+        "SimResult (cycles, energy, caches, TLBs, branches) must be \
+         identical between per-µop and batched replay"
+    );
+    assert!(a.cycles > 0 && a.uops == trace.len() as u64);
+
+    // Odd, non-power-of-two batch boundaries must not matter either (the
+    // model is order-dependent, not boundary-dependent).
+    let mut sim_odd = CoreSim::new(CoreConfig::nehalem());
+    for chunk in trace.chunks(97) {
+        sim_odd.emit_batch(chunk);
+    }
+    sim_odd.finish();
+    assert_eq!(a, sim_odd.result(), "batch size must not affect the model");
+}

@@ -31,7 +31,12 @@ fn main() {
     let mut trace = VecSink::new();
     let f = vm.function_value(dot_ix);
     let undef = vm.rt.odd.undefined;
-    let r = vm.call_value(&mut trace, f, undef, &[u, v]).unwrap();
+    // `call_value` threads the concrete batching sink; wrap the recorder
+    // once at the boundary (dropping the wrapper flushes the tail batch).
+    let r = {
+        let mut batch = checkelide::isa::BatchSink::new(&mut trace);
+        vm.call_value(&mut batch, f, undef, &[u, v]).unwrap()
+    };
     println!("dot(u, v) = {}", vm.rt.to_display_string(r));
     println!("=== optimized-tier µops for one call ===");
     for u in trace.uops.iter().filter(|u| u.region == Region::Optimized) {

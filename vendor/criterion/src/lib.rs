@@ -12,6 +12,33 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Units processed per iteration of the routine, used to report a
+/// throughput figure alongside the timing. Mirrors criterion's
+/// `Throughput` (the shim reports `Melem/s` / `MiB/s` from the median
+/// sample instead of a full distribution).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many elements (e.g. µops) per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+impl Throughput {
+    /// Render a rate line for one iteration of duration `median`.
+    fn rate(self, median: Duration) -> String {
+        let secs = median.as_secs_f64().max(1e-12);
+        match self {
+            Throughput::Elements(n) => {
+                format!("{:.1} Melem/s", n as f64 / secs / 1e6)
+            }
+            Throughput::Bytes(n) => {
+                format!("{:.1} MiB/s", n as f64 / secs / (1024.0 * 1024.0))
+            }
+        }
+    }
+}
+
 /// Top-level benchmark driver.
 pub struct Criterion {
     sample_size: usize,
@@ -35,20 +62,27 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&name.into(), self.sample_size, f);
+        run_one(&name.into(), self.sample_size, None, f);
         self
     }
 
     /// Open a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
     }
 }
 
-/// A named group; the shim only tracks the group name and sample size.
+/// A named group; the shim tracks the group name, sample size, and an
+/// optional per-iteration throughput unit.
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
     _parent: &'a mut Criterion,
 }
 
@@ -59,13 +93,21 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declare how many units each iteration of subsequent benchmarks in
+    /// this group processes; the report then includes a rate (e.g.
+    /// `Melem/s` for µops/sec) computed from the median sample.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     /// Run one benchmark inside the group.
     pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, self.throughput, f);
         self
     }
 
@@ -106,7 +148,12 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
     let mut b =
         Bencher { samples: Vec::new(), iters_per_sample: 1, target_samples: sample_size };
     let t0 = Instant::now();
@@ -120,8 +167,13 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
     let median = b.samples[b.samples.len() / 2];
     let lo = b.samples[0];
     let hi = b.samples[b.samples.len() - 1];
+    let rate = match throughput {
+        Some(t) => format!("  thrpt: {}", t.rate(median)),
+        None => String::new(),
+    };
     println!(
-        "{name:<44} time: [{lo:>10.2?} {median:>10.2?} {hi:>10.2?}]  ({} samples x {} iters)",
+        "{name:<44} time: [{lo:>10.2?} {median:>10.2?} {hi:>10.2?}]  ({} samples x {} \
+         iters){rate}",
         b.samples.len(),
         b.iters_per_sample,
     );
@@ -168,6 +220,28 @@ mod tests {
             });
             g.finish();
         }
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn throughput_reports_a_rate() {
+        // 1000 elements in 1ms -> 1.0 Melem/s; 1 MiB in 1s -> 1.0 MiB/s.
+        let ms = Duration::from_millis(1);
+        assert_eq!(Throughput::Elements(1000).rate(ms), "1.0 Melem/s");
+        assert_eq!(Throughput::Bytes(1024 * 1024).rate(Duration::from_secs(1)), "1.0 MiB/s");
+
+        // And the group plumbing runs with a throughput set.
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("thrpt");
+        g.sample_size(2).throughput(Throughput::Elements(64));
+        let mut ran = 0u32;
+        g.bench_function("elems", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        g.finish();
         assert!(ran > 0);
     }
 }
