@@ -1,11 +1,12 @@
 //! Regenerate Figure 2: check/untag overhead after object load accesses.
 //!
-//!     fig2 [--quick] [--jobs N]
+//!     fig2 [--quick] [--jobs N] [--trace-cache DIR|off]
 
 fn main() {
     let cli = checkelide_bench::Cli::parse();
     let (quick, jobs) = (cli.quick, cli.jobs);
-    let report = checkelide_bench::figures::fig2_report(quick, jobs);
+    let cache = checkelide_bench::TraceCache::from_cli(&cli, false);
+    let report = checkelide_bench::figures::fig2_report_cached(quick, jobs, &cache);
     print!("{}", checkelide_bench::figures::render_fig2(&report.rows));
     checkelide_bench::figures::save_json("fig2", &report.rows)
         .expect("write results/fig2.json");

@@ -1,12 +1,13 @@
 //! Regenerate Figure 3: object loads from monomorphic properties and
 //! elements arrays.
 //!
-//!     fig3 [--quick] [--jobs N]
+//!     fig3 [--quick] [--jobs N] [--trace-cache DIR|off]
 
 fn main() {
     let cli = checkelide_bench::Cli::parse();
     let (quick, jobs) = (cli.quick, cli.jobs);
-    let report = checkelide_bench::figures::fig3_report(quick, jobs);
+    let cache = checkelide_bench::TraceCache::from_cli(&cli, false);
+    let report = checkelide_bench::figures::fig3_report_cached(quick, jobs, &cache);
     print!("{}", checkelide_bench::figures::render_fig3(&report.rows));
     checkelide_bench::figures::save_json("fig3", &report.rows)
         .expect("write results/fig3.json");

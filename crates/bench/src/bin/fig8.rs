@@ -2,7 +2,7 @@
 //! runs, Figure 9 (energy). Use `--detail <name>` for the §5.1 ai-astar
 //! style memory-hierarchy analysis of one benchmark.
 //!
-//!     fig8 [--quick] [--jobs N] [--detail <benchmark>]
+//!     fig8 [--quick] [--jobs N] [--detail <benchmark>] [--trace-cache DIR|off]
 
 fn main() {
     let cli = checkelide_bench::Cli::parse();
@@ -21,7 +21,8 @@ fn main() {
         println!("  Class Cache hit rate   {:.5}", row.class_cache_hit);
         return;
     }
-    let report = checkelide_bench::figures::fig89_report(quick, cli.jobs);
+    let cache = checkelide_bench::TraceCache::from_cli(&cli, false);
+    let report = checkelide_bench::figures::fig89_report_cached(quick, cli.jobs, &cache);
     print!("{}", checkelide_bench::figures::render_fig89(&report.rows));
     checkelide_bench::figures::save_json("fig8_fig9", &report.rows).expect("write results");
     eprintln!("saved results/fig8_fig9.json");

@@ -1,11 +1,12 @@
 //! Regenerate Figure 9: energy reduction (shares its runs with Figure 8).
 //!
-//!     fig9 [--quick] [--jobs N]
+//!     fig9 [--quick] [--jobs N] [--trace-cache DIR|off]
 
 fn main() {
     let cli = checkelide_bench::Cli::parse();
     let (quick, jobs) = (cli.quick, cli.jobs);
-    let report = checkelide_bench::figures::fig89_report(quick, jobs);
+    let cache = checkelide_bench::TraceCache::from_cli(&cli, false);
+    let report = checkelide_bench::figures::fig89_report_cached(quick, jobs, &cache);
     let rows = &report.rows;
     println!("{:<34} {:>12} {:>10}", "benchmark", "energy red.", "(opt)");
     for r in rows {

@@ -1,12 +1,13 @@
 //! §5.3 incurred overheads: warm-up, Class Cache hit rates, larger
 //! objects, line-0 access fraction.
 //!
-//!     overheads [--quick] [--jobs N]
+//!     overheads [--quick] [--jobs N] [--trace-cache DIR|off]
 
 fn main() {
     let cli = checkelide_bench::Cli::parse();
     let (quick, jobs) = (cli.quick, cli.jobs);
-    let report = checkelide_bench::figures::overheads_report(quick, jobs);
+    let cache = checkelide_bench::TraceCache::from_cli(&cli, false);
+    let report = checkelide_bench::figures::overheads_report_cached(quick, jobs, &cache);
     let rows = &report.rows;
     print!("{}", checkelide_bench::figures::render_overheads(rows));
     let avg_hit =

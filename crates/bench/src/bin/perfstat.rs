@@ -13,18 +13,25 @@
 //!   consumer ([`CounterSink`]) and the cycle model ([`CoreSim`]). A
 //!   secondary *stream* probe replays the full trace once per pass — the
 //!   memory-bound regime, where both interfaces converge on bandwidth.
+//! * **codec** — the binary trace codec: encode throughput, the on-disk
+//!   size per µop (vs the 48-byte in-memory form), and streaming-replay
+//!   throughput into a [`NullSink`] (framing-only fast path) and a
+//!   [`CounterSink`] (full decode).
 //! * **cell** — wall-clock and retired-µop count for one full
 //!   characterization cell (setup + warm-ups + measured iteration), i.e.
 //!   the end-to-end cost per dynamic instruction of the whole stack.
 //! * **grid** — wall-clock of the single-job Figure 1 grid, the number
-//!   EXPERIMENTS.md tracks across harness changes.
+//!   EXPERIMENTS.md tracks across harness changes, plus cache-cold and
+//!   cache-warm reruns of the same grid against a fresh trace-cache
+//!   directory (the warm row is the record-once/replay-many win).
 //!
 //!     cargo run --release -p checkelide-bench --bin perfstat -- [--quick] [bench]
 
-use checkelide_bench::figures::{fig1_report, save_json};
+use checkelide_bench::figures::{fig1_report, fig1_report_cached, save_json};
 use checkelide_bench::runner::{try_run_benchmark, RunConfig};
-use checkelide_bench::{find, Cli, Json};
+use checkelide_bench::{find, Cli, Json, TraceCache};
 use checkelide_engine::{EngineConfig, Mechanism, Vm};
+use checkelide_isa::codec::{encode_trace, TraceReader};
 use checkelide_isa::trace::VecSink;
 use checkelide_isa::uop::Uop;
 use checkelide_isa::{CounterSink, NullSink, TraceSink, BATCH_CAPACITY};
@@ -157,6 +164,32 @@ fn main() {
         let mut c = CounterSink::new();
         replay_batched(std::hint::black_box(&mut c), &trace, trace.len());
     });
+
+    // --- codec: binary trace encode/replay ----------------------------
+    let encoded = encode_trace(&trace);
+    let in_memory_bytes = trace.len() * std::mem::size_of::<Uop>();
+    let bytes_per_uop = encoded.len() as f64 / trace.len().max(1) as f64;
+    let compression = in_memory_bytes as f64 / encoded.len().max(1) as f64;
+    let trace_encode_mops = mops(trace.len(), reps, || {
+        std::hint::black_box(encode_trace(std::hint::black_box(&trace)));
+    });
+    let trace_replay_null_mops = mops(trace.len(), reps, || {
+        let mut sink = NullSink::new();
+        let mut rd =
+            TraceReader::new(std::io::Cursor::new(&encoded[..])).expect("header");
+        let n = rd.replay(std::hint::black_box(&mut sink)).expect("replay");
+        assert_eq!(n, trace.len() as u64);
+    });
+    let trace_replay_counter_mops = mops(trace.len(), reps, || {
+        let mut sink = CounterSink::new();
+        let mut rd =
+            TraceReader::new(std::io::Cursor::new(&encoded[..])).expect("header");
+        let n = rd.replay(std::hint::black_box(&mut sink)).expect("replay");
+        assert_eq!(n, trace.len() as u64);
+    });
+    let trace_len = trace.len();
+    let encoded_len = encoded.len();
+    drop(encoded);
     drop(trace);
 
     // --- cell: one end-to-end characterization cell -------------------
@@ -176,6 +209,27 @@ fn main() {
     let report = fig1_report(cli.quick, 1);
     let grid_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert!(report.failures.is_empty(), "fig1 cells failed: {:?}", report.failures);
+
+    // Same grid against a fresh trace-cache directory: one cold pass
+    // (records every cell) and one warm pass (replays every cell).
+    let cache_dir = std::env::temp_dir()
+        .join(format!("checkelide-perfstat-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cache = TraceCache::at(&cache_dir);
+    eprintln!("timing fig1 grid, cache-cold (recording) ...");
+    let t0 = Instant::now();
+    let cold = fig1_report_cached(cli.quick, 1, &cache);
+    let grid_cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(cold.failures.is_empty(), "cold fig1 cells failed: {:?}", cold.failures);
+    assert!(cache.stats().stores > 0, "cold pass must record traces");
+    eprintln!("timing fig1 grid, cache-warm (replaying) ...");
+    let t0 = Instant::now();
+    let warm = fig1_report_cached(cli.quick, 1, &cache);
+    let grid_warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(warm.failures.is_empty(), "warm fig1 cells failed: {:?}", warm.failures);
+    let warm_hits = cache.stats().hits;
+    assert!(warm_hits as usize >= warm.cells.len(), "warm pass must hit every cell");
+    let _ = std::fs::remove_dir_all(&cache_dir);
 
     let json = Json::Obj(vec![
         (
@@ -199,6 +253,20 @@ fn main() {
             ]),
         ),
         (
+            "codec",
+            Json::Obj(vec![
+                ("bench", Json::Str(bench.clone())),
+                ("trace_uops", Json::UInt(trace_len as u64)),
+                ("encoded_bytes", Json::UInt(encoded_len as u64)),
+                ("in_memory_bytes", Json::UInt(in_memory_bytes as u64)),
+                ("bytes_per_uop", Json::Num(bytes_per_uop)),
+                ("compression_ratio", Json::Num(compression)),
+                ("trace_encode_mops", Json::Num(trace_encode_mops)),
+                ("trace_replay_null_mops", Json::Num(trace_replay_null_mops)),
+                ("trace_replay_counter_mops", Json::Num(trace_replay_counter_mops)),
+            ]),
+        ),
+        (
             "cell",
             Json::Obj(vec![
                 ("bench", Json::Str(bench.clone())),
@@ -215,6 +283,10 @@ fn main() {
                 ("quick", Json::Bool(cli.quick)),
                 ("jobs", Json::UInt(1)),
                 ("wall_ms", Json::Num(grid_ms)),
+                ("cache_cold_wall_ms", Json::Num(grid_cold_ms)),
+                ("cache_warm_wall_ms", Json::Num(grid_warm_ms)),
+                ("cache_warm_speedup", Json::Num(grid_cold_ms / grid_warm_ms)),
+                ("cache_warm_hits", Json::UInt(warm_hits)),
             ]),
         ),
     ]);
@@ -240,6 +312,17 @@ fn main() {
         "  full-trace stream (CounterSink): per-µop {stream_per_uop:8.1} Mµops/s   batched \
          {stream_batched:8.1} Mµops/s"
     );
+    println!("== binary trace codec ({bench}, {trace_len} µops) ==");
+    println!(
+        "  {encoded_len} B encoded ({bytes_per_uop:.2} B/µop, {compression:.1}x smaller than \
+         the {}-byte in-memory µop)",
+        std::mem::size_of::<Uop>()
+    );
+    println!(
+        "  encode {trace_encode_mops:8.1} Mµops/s   replay(Null) \
+         {trace_replay_null_mops:8.1} Mµops/s   replay(Counter) \
+         {trace_replay_counter_mops:8.1} Mµops/s"
+    );
     println!("== end-to-end cell ({bench}) ==");
     println!(
         "  {cell_ms:.0} ms for ~{total_uops} µops across {} iterations  ({cell_ns_per_uop:.1} \
@@ -262,6 +345,11 @@ fn main() {
         );
     }
     println!("== fig1 grid (jobs=1, quick={}) ==", cli.quick);
-    println!("  {grid_ms:.0} ms");
+    println!("  {grid_ms:.0} ms uncached");
+    println!(
+        "  {grid_cold_ms:.0} ms cache-cold (recording)   {grid_warm_ms:.0} ms cache-warm \
+         (replaying, {warm_hits} hits)   warm speedup {:.2}x",
+        grid_cold_ms / grid_warm_ms
+    );
     println!("wrote results/BENCH_perf.json");
 }

@@ -2,11 +2,18 @@
 //! `results/`, fanning (benchmark × config) cells across a panic-isolated
 //! worker pool.
 //!
-//!     reproduce [--quick] [--jobs N]
+//!     reproduce [--quick] [--jobs N] [--trace-cache DIR|off]
 //!
 //! * `--quick` — reduced-scale smoke run.
 //! * `--jobs N` (or `-j N`, or env `CHECKELIDE_JOBS`) — worker threads;
 //!   defaults to the machine's available parallelism.
+//! * `--trace-cache DIR|off` (or env `CHECKELIDE_TRACE_CACHE`) — µop trace
+//!   record/replay cache. `reproduce` defaults it ON at
+//!   `target/trace-cache`: each engine configuration executes at most once
+//!   per run, and every figure sharing that configuration (fig2/fig3 reuse
+//!   fig1's characterization traces; overheads reuses fig8/fig9's
+//!   mechanism traces) replays the recording instead of re-executing.
+//!   Hit/miss counts and byte totals land in `results/run_meta.json`.
 //!
 //! A failing benchmark no longer aborts the run: its cell is reported in
 //! the failure summary (and in `results/run_meta.json`), every other
@@ -15,7 +22,7 @@
 
 use checkelide_bench::figures::{self, FigureReport, RunMeta};
 use checkelide_bench::pool::CellError;
-use checkelide_bench::ToJson;
+use checkelide_bench::{ToJson, TraceCache};
 
 fn stage<R: ToJson>(
     title: &str,
@@ -36,7 +43,18 @@ fn stage<R: ToJson>(
 fn main() {
     let cli = checkelide_bench::Cli::parse();
     let (quick, jobs) = (cli.quick, cli.jobs);
-    eprintln!("reproduce: {} mode, {jobs} worker(s)", if quick { "quick" } else { "full" });
+    // `reproduce` runs the same engine configurations across multiple
+    // figures, so the trace cache defaults ON here (standalone figure
+    // binaries default OFF).
+    let cache = TraceCache::from_cli(&cli, true);
+    eprintln!(
+        "reproduce: {} mode, {jobs} worker(s), trace cache {}",
+        if quick { "quick" } else { "full" },
+        match cache.dir() {
+            Some(d) => format!("at {}", d.display()),
+            None => "off".to_string(),
+        },
+    );
 
     let start = std::time::Instant::now();
     let mut meta = RunMeta::new(jobs, quick);
@@ -46,7 +64,7 @@ fn main() {
         "=== Figure 1: dynamic instruction breakdown ===",
         "fig1",
         figures::render_fig1,
-        figures::fig1_report(quick, jobs),
+        figures::fig1_report_cached(quick, jobs, &cache),
         &mut meta,
         &mut failures,
     );
@@ -54,7 +72,7 @@ fn main() {
         "\n=== Figure 2: checks/untags after object loads ===",
         "fig2",
         figures::render_fig2,
-        figures::fig2_report(quick, jobs),
+        figures::fig2_report_cached(quick, jobs, &cache),
         &mut meta,
         &mut failures,
     );
@@ -62,7 +80,7 @@ fn main() {
         "\n=== Figure 3: monomorphic object loads ===",
         "fig3",
         figures::render_fig3,
-        figures::fig3_report(quick, jobs),
+        figures::fig3_report_cached(quick, jobs, &cache),
         &mut meta,
         &mut failures,
     );
@@ -70,7 +88,7 @@ fn main() {
         "\n=== Figures 8 & 9: speedup and energy ===",
         "fig8_fig9",
         figures::render_fig89,
-        figures::fig89_report(quick, jobs),
+        figures::fig89_report_cached(quick, jobs, &cache),
         &mut meta,
         &mut failures,
     );
@@ -78,20 +96,28 @@ fn main() {
         "\n=== §5.3 overheads ===",
         "overheads",
         figures::render_overheads,
-        figures::overheads_report(quick, jobs),
+        figures::overheads_report_cached(quick, jobs, &cache),
         &mut meta,
         &mut failures,
     );
 
     meta.total_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    meta.set_trace_cache(&cache);
     meta.save().expect("write results/run_meta.json");
 
+    let s = cache.stats();
     println!(
         "\nAll results saved under results/ ({} cells, {} worker(s), {:.1}s wall).",
         meta.cells.len(),
         jobs,
         meta.total_wall_ms / 1e3,
     );
+    if cache.enabled() {
+        println!(
+            "Trace cache: {} hit(s), {} miss(es), {} store(s); {} B read, {} B written.",
+            s.hits, s.misses, s.stores, s.bytes_read, s.bytes_written,
+        );
+    }
     if !failures.is_empty() {
         eprint!("\n{}", figures::render_failures(&failures));
         eprintln!("reproduce: completed WITH FAILURES (see above and results/run_meta.json)");

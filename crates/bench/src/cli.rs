@@ -17,8 +17,16 @@ use crate::pool::jobs_from_args;
 
 /// Flags that consume the following argument as their value. Needed to
 /// tell `--jobs 4 foo` (positional `foo`) apart from `--jobs 4` alone.
-const VALUE_FLAGS: &[&str] =
-    &["--jobs", "-j", "--detail", "--seed", "--count", "--dump-dir", "--max-shrink"];
+const VALUE_FLAGS: &[&str] = &[
+    "--jobs",
+    "-j",
+    "--detail",
+    "--seed",
+    "--count",
+    "--dump-dir",
+    "--max-shrink",
+    "--trace-cache",
+];
 
 /// Parsed command line shared by the harness binaries.
 #[derive(Debug, Clone)]

@@ -11,8 +11,11 @@
 
 use crate::json::{json_obj, Json, ToJson};
 use crate::pool::{self, CellError};
-use crate::runner::{try_run_benchmark, RunConfig, RunError, RunOutput};
+use crate::runner::{
+    try_run_benchmark_cached, CacheDisposition, RunConfig, RunError, RunOutput,
+};
 use crate::suite::{selected, Benchmark, Suite, BENCHMARKS};
+use crate::tracecache::TraceCache;
 
 fn cfg_scale(b: &Benchmark, quick: bool) -> i32 {
     if quick {
@@ -58,13 +61,15 @@ pub struct CellMeta {
     pub uops_per_sec: f64,
     /// Whether the cell succeeded.
     pub ok: bool,
+    /// Trace-cache disposition: `"off"`, `"hit"` or `"miss"`.
+    pub cache: String,
     /// Failure message, if any.
     pub error: Option<String>,
 }
 
 impl ToJson for CellMeta {
     fn to_json(&self) -> Json {
-        json_obj!(self, figure, benchmark, worker, wall_ms, uops, uops_per_sec, ok, error)
+        json_obj!(self, figure, benchmark, worker, wall_ms, uops, uops_per_sec, ok, cache, error)
     }
 }
 
@@ -113,8 +118,8 @@ pub fn render_failures(failures: &[CellError]) -> String {
 
 /// Fan one figure's benchmark cells across the pool and assemble a report.
 ///
-/// `f` runs one benchmark and returns its row plus the dynamic-µop count
-/// for the throughput metadata.
+/// `f` runs one benchmark and returns its row, the dynamic-µop count for
+/// the throughput metadata, and the trace-cache disposition.
 fn run_figure<R, F>(
     figure: &'static str,
     benches: Vec<&'static Benchmark>,
@@ -123,7 +128,7 @@ fn run_figure<R, F>(
 ) -> FigureReport<R>
 where
     R: Send,
-    F: Fn(&'static Benchmark) -> Result<(R, u64), RunError> + Sync,
+    F: Fn(&'static Benchmark) -> Result<(R, u64, CacheDisposition), RunError> + Sync,
 {
     // Static proof that the cell inputs and outputs may cross threads.
     // (The engine's `Rc`-based internals never do: each cell builds its
@@ -155,10 +160,12 @@ where
             uops: 0,
             uops_per_sec: 0.0,
             ok: false,
+            cache: CacheDisposition::Off.label().to_string(),
             error: None,
         };
         match outcome.result {
-            Ok(Ok((row, uops))) => {
+            Ok(Ok((row, uops, cache))) => {
+                meta.cache = cache.label().to_string();
                 meta.uops = uops;
                 meta.uops_per_sec =
                     if wall_ms > 0.0 { uops as f64 / (wall_ms / 1e3) } else { 0.0 };
@@ -180,6 +187,47 @@ where
     report
 }
 
+/// Trace-cache activity summary persisted inside `run_meta.json`.
+#[derive(Debug, Clone)]
+pub struct TraceCacheMeta {
+    /// Whether the cache was enabled for the run.
+    pub enabled: bool,
+    /// Cache directory (empty when disabled).
+    pub dir: String,
+    /// Cells served from recorded traces.
+    pub hits: u64,
+    /// Cells executed live.
+    pub misses: u64,
+    /// Entries recorded to disk.
+    pub stores: u64,
+    /// Bytes read from cache files.
+    pub bytes_read: u64,
+    /// Bytes written to cache files.
+    pub bytes_written: u64,
+}
+
+impl TraceCacheMeta {
+    /// Snapshot a cache's current counters.
+    pub fn snapshot(cache: &TraceCache) -> TraceCacheMeta {
+        let s = cache.stats();
+        TraceCacheMeta {
+            enabled: cache.enabled(),
+            dir: cache.dir().map(|d| d.display().to_string()).unwrap_or_default(),
+            hits: s.hits,
+            misses: s.misses,
+            stores: s.stores,
+            bytes_read: s.bytes_read,
+            bytes_written: s.bytes_written,
+        }
+    }
+}
+
+impl ToJson for TraceCacheMeta {
+    fn to_json(&self) -> Json {
+        json_obj!(self, enabled, dir, hits, misses, stores, bytes_read, bytes_written)
+    }
+}
+
 /// Whole-run metadata accumulated across figure reports and persisted to
 /// `results/run_meta.json`.
 #[derive(Debug)]
@@ -190,6 +238,8 @@ pub struct RunMeta {
     pub quick: bool,
     /// Total wall-clock milliseconds of the whole run (filled at save).
     pub total_wall_ms: f64,
+    /// Trace-cache activity (`None` until [`RunMeta::set_trace_cache`]).
+    pub trace_cache: Option<TraceCacheMeta>,
     /// Every executed cell, in execution-registry order.
     pub cells: Vec<CellMeta>,
 }
@@ -197,7 +247,7 @@ pub struct RunMeta {
 impl RunMeta {
     /// Start collecting for a run with `jobs` workers.
     pub fn new(jobs: usize, quick: bool) -> RunMeta {
-        RunMeta { jobs, quick, total_wall_ms: 0.0, cells: Vec::new() }
+        RunMeta { jobs, quick, total_wall_ms: 0.0, trace_cache: None, cells: Vec::new() }
     }
 
     /// Absorb one figure report's cell metadata.
@@ -205,9 +255,19 @@ impl RunMeta {
         self.cells.extend(report.cells.iter().cloned());
     }
 
+    /// Record the run's final trace-cache counters.
+    pub fn set_trace_cache(&mut self, cache: &TraceCache) {
+        self.trace_cache = Some(TraceCacheMeta::snapshot(cache));
+    }
+
     /// Number of failed cells.
     pub fn failed_cells(&self) -> usize {
         self.cells.iter().filter(|c| !c.ok).count()
+    }
+
+    /// Number of cells served from the trace cache.
+    pub fn cache_hits(&self) -> usize {
+        self.cells.iter().filter(|c| c.cache == "hit").count()
     }
 
     /// Persist to `results/run_meta.json`.
@@ -222,7 +282,7 @@ impl RunMeta {
 
 impl ToJson for RunMeta {
     fn to_json(&self) -> Json {
-        json_obj!(self, jobs, quick, total_wall_ms, cells)
+        json_obj!(self, jobs, quick, total_wall_ms, trace_cache, cells)
     }
 }
 
@@ -264,14 +324,25 @@ impl ToJson for Fig1Row {
     }
 }
 
-/// Run the Figure 1 characterization across the pool.
+/// Run the Figure 1 characterization across the pool (no trace cache).
 pub fn fig1_report(quick: bool, jobs: usize) -> FigureReport<Fig1Row> {
+    fig1_report_cached(quick, jobs, &TraceCache::disabled())
+}
+
+/// Run the Figure 1 characterization across the pool, recording to /
+/// replaying from `cache` where possible.
+pub fn fig1_report_cached(
+    quick: bool,
+    jobs: usize,
+    cache: &TraceCache,
+) -> FigureReport<Fig1Row> {
     run_figure("fig1", BENCHMARKS.iter().collect(), jobs, move |b| {
-        let out = try_run_benchmark(
+        let (out, disp) = try_run_benchmark_cached(
             b,
             RunConfig::characterize()
                 .with_scale(cfg_scale(b, quick))
                 .with_iterations(iters(quick)),
+            cache,
         )?;
         let row = out.counters.fig1_row();
         Ok((
@@ -285,6 +356,7 @@ pub fn fig1_report(quick: bool, jobs: usize) -> FigureReport<Fig1Row> {
                 rest_of_code: row[4],
             },
             out.uops,
+            disp,
         ))
     })
 }
@@ -357,14 +429,27 @@ impl ToJson for Fig2Row {
     }
 }
 
-/// Run the Figure 2 characterization across the pool.
+/// Run the Figure 2 characterization across the pool (no trace cache).
 pub fn fig2_report(quick: bool, jobs: usize) -> FigureReport<Fig2Row> {
+    fig2_report_cached(quick, jobs, &TraceCache::disabled())
+}
+
+/// Run the Figure 2 characterization across the pool, reusing `cache`.
+///
+/// Figure 2 uses the same `RunConfig::characterize()` key as Figure 1, so
+/// a warm cache serves every cell from Figure 1's recorded traces.
+pub fn fig2_report_cached(
+    quick: bool,
+    jobs: usize,
+    cache: &TraceCache,
+) -> FigureReport<Fig2Row> {
     run_figure("fig2", BENCHMARKS.iter().collect(), jobs, move |b| {
-        let out = try_run_benchmark(
+        let (out, disp) = try_run_benchmark_cached(
             b,
             RunConfig::characterize()
                 .with_scale(cfg_scale(b, quick))
                 .with_iterations(iters(quick)),
+            cache,
         )?;
         let whole = out.counters.fig2_whole_pct();
         Ok((
@@ -376,6 +461,7 @@ pub fn fig2_report(quick: bool, jobs: usize) -> FigureReport<Fig2Row> {
                 selected_by_threshold: whole > 1.0,
             },
             out.uops,
+            disp,
         ))
     })
 }
@@ -449,14 +535,27 @@ impl ToJson for Fig3RowOut {
     }
 }
 
-/// Run Figure 3 over the selected benchmarks across the pool.
+/// Run Figure 3 over the selected benchmarks across the pool (no cache).
 pub fn fig3_report(quick: bool, jobs: usize) -> FigureReport<Fig3RowOut> {
+    fig3_report_cached(quick, jobs, &TraceCache::disabled())
+}
+
+/// Run Figure 3 across the pool, reusing `cache`.
+///
+/// Figure 3 shares Figure 1's `RunConfig::characterize()` cache key, so a
+/// warm cache serves its (selected-benchmark) cells without re-executing.
+pub fn fig3_report_cached(
+    quick: bool,
+    jobs: usize,
+    cache: &TraceCache,
+) -> FigureReport<Fig3RowOut> {
     run_figure("fig3", selected().collect(), jobs, move |b| {
-        let out = try_run_benchmark(
+        let (out, disp) = try_run_benchmark_cached(
             b,
             RunConfig::characterize()
                 .with_scale(cfg_scale(b, quick))
                 .with_iterations(iters(quick)),
+            cache,
         )?;
         Ok((
             Fig3RowOut {
@@ -468,6 +567,7 @@ pub fn fig3_report(quick: bool, jobs: usize) -> FigureReport<Fig3RowOut> {
                 poly_elements: out.fig3.poly_elements,
             },
             out.uops,
+            disp,
         ))
     })
 }
@@ -565,11 +665,23 @@ impl ToJson for Fig89Row {
     }
 }
 
-/// Run Figures 8 and 9 over the selected benchmarks across the pool.
+/// Run Figures 8 and 9 over the selected benchmarks across the pool (no
+/// trace cache).
 pub fn fig89_report(quick: bool, jobs: usize) -> FigureReport<Fig89Row> {
+    fig89_report_cached(quick, jobs, &TraceCache::disabled())
+}
+
+/// Run Figures 8 and 9 across the pool, reusing `cache`.
+///
+/// Each cell records/replays two traces (baseline + mechanism); a cell is
+/// a `hit` only when both configurations replayed from the cache.
+pub fn fig89_report_cached(
+    quick: bool,
+    jobs: usize,
+    cache: &TraceCache,
+) -> FigureReport<Fig89Row> {
     run_figure("fig8_fig9", selected().collect(), jobs, move |b| {
-        let (row, uops) = fig89_one_cell(b, quick)?;
-        Ok((row, uops))
+        fig89_one_cell(b, quick, cache)
     })
 }
 
@@ -589,22 +701,33 @@ pub fn fig89(quick: bool) -> Vec<Fig89Row> {
 ///
 /// Any [`RunError`] from either configuration, or the checksum mismatch.
 pub fn try_fig89_one(b: &Benchmark, quick: bool) -> Result<Fig89Row, RunError> {
-    fig89_one_cell(b, quick).map(|(row, _)| row)
+    fig89_one_cell(b, quick, &TraceCache::disabled()).map(|(row, _, _)| row)
 }
 
-fn fig89_one_cell(b: &Benchmark, quick: bool) -> Result<(Fig89Row, u64), RunError> {
-    let base = try_run_benchmark(
+fn fig89_one_cell(
+    b: &Benchmark,
+    quick: bool,
+    cache: &TraceCache,
+) -> Result<(Fig89Row, u64, CacheDisposition), RunError> {
+    let (base, base_disp) = try_run_benchmark_cached(
         b,
         RunConfig::baseline_timed()
             .with_scale(cfg_scale(b, quick))
             .with_iterations(iters(quick)),
+        cache,
     )?;
-    let full = try_run_benchmark(
+    let (full, full_disp) = try_run_benchmark_cached(
         b,
         RunConfig::mechanism_timed()
             .with_scale(cfg_scale(b, quick))
             .with_iterations(iters(quick)),
+        cache,
     )?;
+    let disp = match (base_disp, full_disp) {
+        (CacheDisposition::Hit, CacheDisposition::Hit) => CacheDisposition::Hit,
+        (CacheDisposition::Off, CacheDisposition::Off) => CacheDisposition::Off,
+        _ => CacheDisposition::Miss,
+    };
     if base.checksum != full.checksum {
         return Err(RunError::ChecksumMismatch {
             bench: b.name.to_string(),
@@ -630,7 +753,7 @@ fn fig89_one_cell(b: &Benchmark, quick: bool) -> Result<(Fig89Row, u64), RunErro
         dtlb_hit: (bs.dtlb.hit_rate(), fs.dtlb.hit_rate()),
         class_cache_hit: full.class_cache.hit_rate(),
     };
-    Ok((row, base.uops + full.uops))
+    Ok((row, base.uops + full.uops, disp))
 }
 
 /// Run Figures 8/9 for one benchmark, panicking on failure (compat
@@ -734,17 +857,34 @@ impl ToJson for OverheadRow {
 }
 
 /// Run the §5.3 overheads analysis over the selected benchmarks across the
-/// pool.
+/// pool (no trace cache).
 pub fn overheads_report(quick: bool, jobs: usize) -> FigureReport<OverheadRow> {
+    overheads_report_cached(quick, jobs, &TraceCache::disabled())
+}
+
+/// Run the §5.3 overheads analysis across the pool, reusing `cache`.
+///
+/// The rows never read the timing model, so the cells run with
+/// `with_timing(false)` — the resulting cache key matches Figures 8/9's
+/// mechanism configuration (timing is deliberately excluded from the key:
+/// `CoreSim` is a pure trace consumer), letting a warm cache serve every
+/// cell from the fig8/fig9 recordings.
+pub fn overheads_report_cached(
+    quick: bool,
+    jobs: usize,
+    cache: &TraceCache,
+) -> FigureReport<OverheadRow> {
     run_figure("overheads", selected().collect(), jobs, move |b| {
-        let out = try_run_benchmark(
+        let (out, disp) = try_run_benchmark_cached(
             b,
             RunConfig::mechanism_timed()
+                .with_timing(false)
                 .with_scale(cfg_scale(b, quick))
                 .with_iterations(iters(quick)),
+            cache,
         )?;
         let uops = out.uops;
-        Ok((overhead_row(b.name, &out), uops))
+        Ok((overhead_row(b.name, &out), uops, disp))
     })
 }
 
@@ -872,10 +1012,13 @@ mod tests {
             uops: 1000,
             uops_per_sec: 80000.0,
             ok: true,
+            cache: "off".into(),
             error: None,
         };
         let json = crate::json::to_string_pretty(&meta);
-        for key in ["figure", "benchmark", "worker", "wall_ms", "uops", "uops_per_sec", "ok"] {
+        for key in
+            ["figure", "benchmark", "worker", "wall_ms", "uops", "uops_per_sec", "ok", "cache"]
+        {
             assert!(json.contains(&format!("\"{key}\"")), "missing {key} in {json}");
         }
     }

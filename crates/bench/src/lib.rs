@@ -12,6 +12,9 @@
 //!   (benchmark × config) cells fan out across `--jobs N` /
 //!   `CHECKELIDE_JOBS` scoped worker threads; per-cell panics become
 //!   reported [`CellError`]s and results return in registry order.
+//! * [`tracecache`] — the record-once/replay-many µop trace cache: each
+//!   engine configuration executes at most once per key, and every other
+//!   figure (or `CoreSim` pass) replays the recorded trace from disk.
 //! * [`json`] — dependency-free, byte-deterministic JSON output for
 //!   `results/*.json` and the per-run `results/run_meta.json` metadata.
 //! * [`cli`] — the shared `--quick` / `--jobs` / value-flag / positional
@@ -23,9 +26,14 @@ pub mod json;
 pub mod pool;
 pub mod runner;
 pub mod suite;
+pub mod tracecache;
 
 pub use cli::Cli;
 pub use json::{Json, ToJson};
 pub use pool::{default_jobs, jobs_from_args, run_cells, CellError, CellOutcome};
-pub use runner::{run_benchmark, try_run_benchmark, RunConfig, RunError, RunOutput};
+pub use runner::{
+    run_benchmark, try_run_benchmark, try_run_benchmark_cached, CacheDisposition, RunConfig,
+    RunError, RunOutput,
+};
 pub use suite::{find, selected, Benchmark, Suite, BENCHMARKS};
+pub use tracecache::{TraceCache, TraceCacheStats, TRACE_CACHE_ENV};

@@ -6,13 +6,17 @@
 //! taking statistics from the tenth iteration", §5).
 
 use crate::suite::Benchmark;
+use crate::tracecache::{CacheEntry, Sidecar, TraceCache};
 use checkelide_core::{loadstats::Fig3Row, ClassCacheConfig, ClassCacheStats};
 use checkelide_engine::{EngineConfig, Mechanism, Vm, VmStats};
+use checkelide_isa::codec::{TraceError, TraceReader, TraceWriter};
 use checkelide_isa::trace::Tee;
 use checkelide_isa::{CounterSink, NullSink, TraceSink};
 use checkelide_opt::install_optimizer;
 use checkelide_runtime::Value;
 use checkelide_uarch::{CoreConfig, CoreSim, SimResult};
+use std::fs;
+use std::io::BufWriter;
 
 /// How to run a benchmark.
 #[derive(Debug, Clone, Copy)]
@@ -79,6 +83,14 @@ impl RunConfig {
     /// Set iteration count.
     pub fn with_iterations(mut self, iterations: u32) -> RunConfig {
         self.iterations = iterations;
+        self
+    }
+
+    /// Enable or disable the cycle-level core model. Timing never changes
+    /// the µop stream (the core model is a pure trace consumer), so this
+    /// does not affect the trace-cache key.
+    pub fn with_timing(mut self, timing: bool) -> RunConfig {
+        self.timing = timing;
         self
     }
 }
@@ -189,6 +201,176 @@ pub fn run_benchmark(bench: &Benchmark, cfg: RunConfig) -> RunOutput {
 /// Any parse/runtime failure during setup, warm-up or the measured
 /// iteration.
 pub fn try_run_benchmark(bench: &Benchmark, cfg: RunConfig) -> Result<RunOutput, RunError> {
+    run_live(bench, cfg, None)
+}
+
+/// How a cached run was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDisposition {
+    /// The trace cache was disabled for this cell.
+    Off,
+    /// Served from a recorded trace (no engine execution).
+    Hit,
+    /// Executed live; a recording was attempted for future runs.
+    Miss,
+}
+
+impl CacheDisposition {
+    /// Stable lowercase label for `run_meta.json`.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheDisposition::Off => "off",
+            CacheDisposition::Hit => "hit",
+            CacheDisposition::Miss => "miss",
+        }
+    }
+}
+
+/// Run one benchmark through the trace cache: on a hit, rebuild the
+/// [`RunOutput`] from the recorded sidecar (replaying the µop trace
+/// through a fresh `CoreSim` when `cfg.timing`) without executing the
+/// engine; on a miss, run live while recording the measured iteration for
+/// future runs.
+///
+/// Outputs are bit-identical across hit/miss/off: a hit replays the exact
+/// µops the recorded execution emitted, and the engine itself is
+/// deterministic. Recording failures (disk full, unwritable directory)
+/// degrade to an unrecorded live run, never to a run failure.
+///
+/// # Errors
+///
+/// Any live-run [`RunError`]; cache-layer problems are not errors.
+pub fn try_run_benchmark_cached(
+    bench: &Benchmark,
+    cfg: RunConfig,
+    cache: &TraceCache,
+) -> Result<(RunOutput, CacheDisposition), RunError> {
+    let scale = cfg.scale.unwrap_or(bench.scale);
+    let Some(entry) = cache.entry(bench.name, scale, &cfg) else {
+        return run_live(bench, cfg, None).map(|o| (o, CacheDisposition::Off));
+    };
+
+    if let Some(side) = cache.load_sidecar(&entry) {
+        match replay_output(&entry, &side, cfg.timing) {
+            Ok((out, bytes_read)) => {
+                cache.note_hit(bytes_read);
+                return Ok((out, CacheDisposition::Hit));
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: trace cache entry for {} unusable ({e}); re-recording",
+                    bench.name
+                );
+                cache.evict(&entry);
+            }
+        }
+    }
+
+    cache.note_miss();
+    let tmp = cache.tmp_trace_path(&entry);
+    let writer = fs::File::create(&tmp)
+        .and_then(|f| TraceWriter::new(BufWriter::with_capacity(1 << 16, f)));
+    let mut writer = match writer {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("warning: trace cache cannot record {}: {e}", bench.name);
+            return run_live(bench, cfg, None).map(|o| (o, CacheDisposition::Miss));
+        }
+    };
+    let out = match run_live(bench, cfg, Some(&mut writer)) {
+        Ok(out) => out,
+        Err(e) => {
+            drop(writer);
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+    };
+    match writer.finish_file() {
+        Ok((_, stats)) if stats.uops == out.uops => {
+            let side = Sidecar {
+                key: entry.key.clone(),
+                counters: out.counters.snapshot(),
+                fig3: out.fig3,
+                class_cache: out.class_cache,
+                vm_stats: out.vm_stats,
+                obj_stats: out.obj_stats,
+                hidden_classes: out.hidden_classes as u64,
+                uops: out.uops,
+                trace_bytes: stats.bytes,
+                checksum: out.checksum.clone(),
+            };
+            if let Err(e) = cache.commit(&entry, &side, &tmp) {
+                eprintln!("warning: trace cache store for {} failed: {e}", bench.name);
+                let _ = fs::remove_file(&tmp);
+            }
+        }
+        Ok((_, stats)) => {
+            eprintln!(
+                "warning: recorded {} µops but measured {} for {}; discarding recording",
+                stats.uops, out.uops, bench.name
+            );
+            let _ = fs::remove_file(&tmp);
+        }
+        Err(e) => {
+            eprintln!("warning: trace recording for {} failed: {e}", bench.name);
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+    Ok((out, CacheDisposition::Miss))
+}
+
+/// Rebuild a [`RunOutput`] from a cache entry without running the engine.
+/// Returns the output plus the cache bytes read. Timed configurations
+/// replay the recorded trace into a fresh `CoreSim` — exactly what the
+/// live path does with the µops as they are produced, so the `SimResult`
+/// is identical.
+fn replay_output(
+    entry: &CacheEntry,
+    side: &Sidecar,
+    timing: bool,
+) -> Result<(RunOutput, u64), TraceError> {
+    let counters = CounterSink::from_snapshot(&side.counters);
+    if counters.total() != side.uops {
+        return Err(TraceError::Corrupt { offset: 0, what: "sidecar counters/µops mismatch" });
+    }
+    let mut bytes_read = side.encode().len() as u64;
+    let sim = if timing {
+        let mut reader = TraceReader::open(&entry.trace_path)?;
+        let mut sim = CoreSim::new(CoreConfig::nehalem());
+        let replayed = reader.replay(&mut sim)?;
+        if replayed != side.uops {
+            return Err(TraceError::Corrupt { offset: 0, what: "trace/sidecar µop mismatch" });
+        }
+        bytes_read += side.trace_bytes;
+        Some(sim.result())
+    } else {
+        None
+    };
+    Ok((
+        RunOutput {
+            counters,
+            sim,
+            fig3: side.fig3,
+            class_cache: side.class_cache,
+            vm_stats: side.vm_stats,
+            hidden_classes: side.hidden_classes as usize,
+            obj_stats: side.obj_stats,
+            checksum: side.checksum.clone(),
+            uops: side.uops,
+        },
+        bytes_read,
+    ))
+}
+
+/// The live execution path: setup, warm-ups, measured iteration. When
+/// `record` is given, it is tee'd onto the measured-iteration sink and
+/// receives exactly the µops the measurement sees (warm-ups still go to a
+/// discarding sink and are never recorded).
+fn run_live(
+    bench: &Benchmark,
+    cfg: RunConfig,
+    record: Option<&mut dyn TraceSink>,
+) -> Result<RunOutput, RunError> {
     let engine_cfg = EngineConfig {
         mechanism: cfg.mechanism,
         opt_enabled: cfg.opt,
@@ -229,16 +411,35 @@ pub fn try_run_benchmark(bench: &Benchmark, cfg: RunConfig) -> Result<RunOutput,
         message: e.to_string(),
     };
     let mut counters = CounterSink::new();
-    let (result, sim) = if cfg.timing {
-        let mut sim = CoreSim::new(CoreConfig::nehalem());
-        let result = {
-            let mut tee = Tee::new(&mut counters, &mut sim);
-            vm.call_global("bench", &args, &mut tee).map_err(measured_err)?
-        };
-        (result, Some(sim.result()))
-    } else {
-        let result = vm.call_global("bench", &args, &mut counters).map_err(measured_err)?;
-        (result, None)
+    let (result, sim) = match (cfg.timing, record) {
+        (true, None) => {
+            let mut sim = CoreSim::new(CoreConfig::nehalem());
+            let result = {
+                let mut tee = Tee::new(&mut counters, &mut sim);
+                vm.call_global("bench", &args, &mut tee).map_err(measured_err)?
+            };
+            (result, Some(sim.result()))
+        }
+        (true, Some(rec)) => {
+            let mut sim = CoreSim::new(CoreConfig::nehalem());
+            let result = {
+                let mut pair = Tee::new(&mut counters, &mut sim);
+                let mut tee: Tee<'_, _, dyn TraceSink> = Tee::new(&mut pair, rec);
+                vm.call_global("bench", &args, &mut tee).map_err(measured_err)?
+            };
+            (result, Some(sim.result()))
+        }
+        (false, None) => {
+            let result = vm.call_global("bench", &args, &mut counters).map_err(measured_err)?;
+            (result, None)
+        }
+        (false, Some(rec)) => {
+            let result = {
+                let mut tee: Tee<'_, _, dyn TraceSink> = Tee::new(&mut counters, rec);
+                vm.call_global("bench", &args, &mut tee).map_err(measured_err)?
+            };
+            (result, None)
+        }
     };
     counters.finish();
 

@@ -254,7 +254,7 @@ pub struct Frame {
 }
 
 /// Aggregate VM statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VmStats {
     /// User-function calls.
     pub calls: u64,

@@ -104,6 +104,30 @@ impl CounterSink {
         }
     }
 
+    /// Serialize all counters into a flat word array (row-major `counts`,
+    /// then the two provenance arrays). The trace cache stores this sidecar
+    /// next to a recorded trace so a warm run can skip the engine entirely.
+    pub fn snapshot(&self) -> [u64; 21] {
+        let mut s = [0u64; 21];
+        for (r, row) in self.counts.iter().enumerate() {
+            s[r * 5..r * 5 + 5].copy_from_slice(row);
+        }
+        s[15..18].copy_from_slice(&self.after_property_load);
+        s[18..21].copy_from_slice(&self.after_elements_load);
+        s
+    }
+
+    /// Rebuild counters from a [`CounterSink::snapshot`] word array.
+    pub fn from_snapshot(s: &[u64; 21]) -> CounterSink {
+        let mut c = CounterSink::default();
+        for (r, row) in c.counts.iter_mut().enumerate() {
+            row.copy_from_slice(&s[r * 5..r * 5 + 5]);
+        }
+        c.after_property_load.copy_from_slice(&s[15..18]);
+        c.after_elements_load.copy_from_slice(&s[18..21]);
+        c
+    }
+
     /// Figure 1 row: percentage of all dynamic instructions per category,
     /// in [`Category::ALL`] order. Sums to 100 (up to rounding) when any
     /// instructions were retired.
@@ -220,6 +244,26 @@ mod tests {
         assert_eq!(c.fig2_whole_pct(), 0.0);
         assert_eq!(c.fig2_optimized_pct(), 0.0);
         assert_eq!(c.fig1_row(), [0.0; 5]);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut c = CounterSink::new();
+        c.emit(&check_after_prop(Region::Optimized));
+        c.emit(&Uop::alu(0, Category::TagUntag, Region::Baseline));
+        c.emit(
+            &Uop::alu(0, Category::Check, Region::Runtime)
+                .with_provenance(Provenance::ElementsLoad),
+        );
+        let back = CounterSink::from_snapshot(&c.snapshot());
+        assert_eq!(back.total(), c.total());
+        for r in [Region::Optimized, Region::Baseline, Region::Runtime] {
+            for cat in Category::ALL {
+                assert_eq!(back.count(r, cat), c.count(r, cat));
+            }
+        }
+        assert_eq!(back.after_object_load(), c.after_object_load());
+        assert_eq!(back.after_object_load_optimized(), c.after_object_load_optimized());
     }
 
     #[test]

@@ -32,11 +32,13 @@
 //! assert_eq!(counters.total(), 1);
 //! ```
 
+pub mod codec;
 pub mod counters;
 pub mod layout;
 pub mod trace;
 pub mod uop;
 
+pub use codec::{TraceError, TraceReader, TraceWriter};
 pub use counters::CounterSink;
 pub use trace::{BatchSink, NullSink, TraceSink, BATCH_CAPACITY};
 pub use uop::{Category, MemRef, Provenance, Region, Uop, UopKind};

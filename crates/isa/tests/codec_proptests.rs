@@ -1,0 +1,115 @@
+//! Property-based tests for the binary trace codec.
+//!
+//! Three properties:
+//!
+//! * **round trip** — arbitrary µop sequences encode→decode to an
+//!   identical sequence (bitwise `Uop` equality, including token values,
+//!   memory addresses and branch direction),
+//! * **truncation** — every strict prefix of a valid trace fails with a
+//!   typed [`TraceError`], never a panic and never a silent success,
+//! * **corruption** — flipping arbitrary bytes either decodes cleanly
+//!   (the flip may land in a value field, changing data but not
+//!   structure) or fails with a typed error; it must never panic.
+
+use checkelide_isa::codec::{decode_trace, encode_trace, TraceError, TraceReader};
+use checkelide_isa::trace::VecSink;
+use checkelide_isa::uop::{Category, MemRef, Provenance, Region, Tok, Uop, UopKind};
+use proptest::prelude::*;
+
+const KINDS: [UopKind; 15] = [
+    UopKind::Alu,
+    UopKind::Mul,
+    UopKind::Div,
+    UopKind::FpAdd,
+    UopKind::FpMul,
+    UopKind::FpDiv,
+    UopKind::Load,
+    UopKind::Store,
+    UopKind::Branch,
+    UopKind::Jump,
+    UopKind::Move,
+    UopKind::MovClassId,
+    UopKind::MovClassIdArray,
+    UopKind::MovStoreClassCache,
+    UopKind::MovStoreClassCacheArray,
+];
+const CATEGORIES: [Category; 5] = Category::ALL;
+const REGIONS: [Region; 3] = [Region::Optimized, Region::Baseline, Region::Runtime];
+const PROVS: [Provenance; 3] =
+    [Provenance::None, Provenance::PropertyLoad, Provenance::ElementsLoad];
+
+/// One arbitrary µop. Tokens span the full `u32` range (including
+/// `Tok::NONE`), PCs and addresses the full `u64` range — far wilder than
+/// anything the engine emits, which is the point. The memory width is
+/// capped at the format's 6-bit field.
+fn arb_uop() -> BoxedStrategy<Uop> {
+    (
+        (0usize..KINDS.len(), 0usize..CATEGORIES.len(), 0usize..REGIONS.len()),
+        (0usize..PROVS.len(), any::<bool>()),
+        any::<u64>(),
+        (any::<bool>(), any::<u64>(), 1u8..64, any::<bool>()),
+        (any::<u32>(), any::<u32>(), any::<u32>()),
+    )
+        .prop_map(|((k, c, r), (p, taken), pc, (has_mem, addr, size, is_store), (s0, s1, d))| {
+            Uop {
+                kind: KINDS[k],
+                category: CATEGORIES[c],
+                pc,
+                mem: has_mem.then_some(MemRef { addr, size, is_store }),
+                srcs: [Tok(s0), Tok(s1)],
+                dst: Tok(d),
+                provenance: PROVS[p],
+                region: REGIONS[r],
+                taken,
+            }
+        })
+        .boxed()
+}
+
+fn arb_trace() -> BoxedStrategy<Vec<Uop>> {
+    proptest::collection::vec(arb_uop(), 0..700).boxed()
+}
+
+proptest! {
+    #[test]
+    fn round_trip_identity(trace in arb_trace()) {
+        let bytes = encode_trace(&trace);
+        let back = decode_trace(&bytes).expect("valid trace decodes");
+        prop_assert_eq!(&trace, &back);
+
+        // The streaming replay path must agree with frame-wise decode.
+        let mut r = TraceReader::new(&bytes[..]).expect("header");
+        let mut sink = VecSink::new();
+        let n = r.replay(&mut sink).expect("replays");
+        prop_assert_eq!(n, trace.len() as u64);
+        prop_assert_eq!(&sink.uops, &trace);
+    }
+
+    #[test]
+    fn truncation_is_typed(trace in arb_trace(), cut in any::<u64>()) {
+        let bytes = encode_trace(&trace);
+        let len = (cut % bytes.len() as u64) as usize; // strict prefix
+        match decode_trace(&bytes[..len]) {
+            Err(TraceError::Truncated { .. }) | Err(TraceError::Corrupt { .. }) => {}
+            Err(TraceError::BadMagic) | Err(TraceError::BadVersion(_)) => {
+                prop_assert!(len < 5, "magic errors only from header prefixes");
+            }
+            Ok(_) => prop_assert!(false, "strict prefix of {len} bytes decoded"),
+            Err(TraceError::Io(e)) => prop_assert!(false, "unexpected io error: {e}"),
+        }
+    }
+
+    #[test]
+    fn corruption_never_panics(
+        trace in arb_trace(),
+        flips in proptest::collection::vec((any::<u64>(), 1u8..=255), 1..8),
+    ) {
+        let mut bytes = encode_trace(&trace);
+        for (pos, xor) in flips {
+            let ix = (pos % bytes.len() as u64) as usize;
+            bytes[ix] ^= xor;
+        }
+        // Either outcome is acceptable; a panic or abort is not.
+        let _ = decode_trace(&bytes);
+    }
+}

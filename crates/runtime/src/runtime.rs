@@ -74,7 +74,7 @@ pub struct Oddballs {
 }
 
 /// Object-allocation statistics (for §5.3.4: larger objects).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ObjectStats {
     /// Ordinary objects allocated.
     pub objects: u64,

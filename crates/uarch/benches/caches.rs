@@ -1,0 +1,78 @@
+//! Microbenchmarks for the memory-hierarchy models' hot `access` paths.
+//!
+//! The victim-scan fusion in [`Cache::access`] / [`Tlb::access`] (one
+//! pass doing both the tag probe and the LRU election, with the tag
+//! shift hoisted to construction) is exercised over three address
+//! streams: a hit-heavy working set, a same-set conflict stream that
+//! evicts on almost every access (the worst case for the victim scan),
+//! and a wide random stream.
+//!
+//!     cargo bench -p checkelide-uarch --bench caches
+
+use checkelide_uarch::{Cache, CacheGeometry, Tlb};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+const STREAM: usize = 64 * 1024;
+
+/// Deterministic xorshift address stream.
+fn addresses(seed: u64, f: impl Fn(u64, u64) -> u64) -> Vec<u64> {
+    let mut state = seed;
+    (0..STREAM as u64)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            f(i, state)
+        })
+        .collect()
+}
+
+fn dl1() -> Cache {
+    // Nehalem-style DL1: 32 KiB, 8-way, 64 B lines.
+    Cache::new(CacheGeometry { size: 32 * 1024, ways: 8, line: 64 })
+}
+
+fn bench_caches(c: &mut Criterion) {
+    let hits = addresses(0x1234_5678_9ABC_DEF0, |_, r| (r >> 8) % (16 * 1024));
+    let conflicts = addresses(0xFEED_FACE_0123_4567, |_, r| ((r >> 8) % 64) * 32 * 1024);
+    let wide = addresses(0x0BAD_F00D_5EED_CAFE, |_, r| (r >> 8) % (1 << 30));
+
+    let mut g = c.benchmark_group("cache_access");
+    g.throughput(Throughput::Elements(STREAM as u64));
+    for (name, stream) in
+        [("hit_heavy", &hits), ("same_set_conflicts", &conflicts), ("wide_random", &wide)]
+    {
+        g.bench_function(name, |b| {
+            let mut cache = dl1();
+            b.iter(|| {
+                let mut h = 0u64;
+                for &a in stream.iter() {
+                    h += cache.access(black_box(a)) as u64;
+                }
+                black_box(h)
+            });
+        });
+    }
+    g.finish();
+
+    let pages_hot = addresses(0x1111_2222_3333_4444, |_, r| (r >> 8) % (48 * 4096));
+    let pages_thrash = addresses(0x5555_6666_7777_8888, |_, r| (r >> 8) % (256 * 4096));
+    let mut g = c.benchmark_group("tlb_access");
+    g.throughput(Throughput::Elements(STREAM as u64));
+    for (name, stream) in [("resident", &pages_hot), ("thrashing", &pages_thrash)] {
+        g.bench_function(name, |b| {
+            let mut tlb = Tlb::new(64);
+            b.iter(|| {
+                let mut h = 0u64;
+                for &a in stream.iter() {
+                    h += tlb.access(black_box(a)) as u64;
+                }
+                black_box(h)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_caches);
+criterion_main!(benches);

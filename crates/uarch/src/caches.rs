@@ -37,6 +37,9 @@ pub struct Cache {
     sets: Vec<Vec<Line>>,
     line_shift: u32,
     set_mask: u64,
+    /// `log2(sets)`, hoisted at construction: the hot `access` path used
+    /// to recompute it via `set_mask.count_ones()` on every probe.
+    tag_shift: u32,
     tick: u64,
     stats: CacheStats,
 }
@@ -55,33 +58,57 @@ impl Cache {
             sets: vec![vec![Line { tag: 0, lru: 0, valid: false }; geom.ways]; sets],
             line_shift: geom.line.trailing_zeros(),
             set_mask: (sets - 1) as u64,
+            tag_shift: sets.trailing_zeros(),
             tick: 0,
             stats: CacheStats::default(),
         }
     }
 
     /// Access `addr`; returns whether it hit. Misses allocate.
+    ///
+    /// One pass over the set does both the tag probe and the victim
+    /// election (the previous implementation probed with `find` and then
+    /// re-scanned with `min_by_key` on a miss). Fills never invalidate,
+    /// so the valid lines always form a prefix of the set: the first
+    /// invalid way both terminates the probe early (no later way can
+    /// hold the tag) and is the preferred victim, exactly as the old
+    /// `min_by_key(|l| if l.valid { l.lru } else { 0 })` elected it.
+    /// `tick` is bumped per access so LRU stamps are unique; tracking the
+    /// first strict minimum therefore reproduces `min_by_key`'s
+    /// first-tie-wins semantics bit for bit.
     #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
         self.stats.accesses += 1;
         let line_addr = addr >> self.line_shift;
         let set = (line_addr & self.set_mask) as usize;
-        let tag = line_addr >> self.set_mask.count_ones();
+        let tag = line_addr >> self.tag_shift;
         let ways = &mut self.sets[set];
-        if let Some(l) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
-            l.lru = self.tick;
-            self.stats.hits += 1;
-            return true;
+        let mut victim = 0usize;
+        let mut best = u64::MAX;
+        let mut i = 0;
+        while i < ways.len() {
+            let l = &ways[i];
+            if !l.valid {
+                victim = i;
+                break;
+            }
+            if l.tag == tag {
+                ways[i].lru = self.tick;
+                self.stats.hits += 1;
+                return true;
+            }
+            if l.lru < best {
+                best = l.lru;
+                victim = i;
+            }
+            i += 1;
         }
         self.stats.misses += 1;
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru } else { 0 })
-            .expect("at least one way");
-        victim.tag = tag;
-        victim.lru = self.tick;
-        victim.valid = true;
+        let v = &mut ways[victim];
+        v.tag = tag;
+        v.lru = self.tick;
+        v.valid = true;
         false
     }
 
@@ -112,26 +139,34 @@ impl Tlb {
     }
 
     /// Translate the page of `addr`; returns whether it hit.
+    ///
+    /// Like [`Cache::access`], the probe and the LRU victim election
+    /// share one pass (the old code re-scanned with `min_by_key` on a
+    /// miss). Ticks are unique, so the first strict minimum matches
+    /// `min_by_key`'s first-tie-wins element exactly.
     #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
         self.stats.accesses += 1;
         let page = addr >> 12;
-        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
-            e.1 = self.tick;
-            self.stats.hits += 1;
-            return true;
+        let mut victim = 0usize;
+        let mut best = u64::MAX;
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if e.0 == page {
+                e.1 = self.tick;
+                self.stats.hits += 1;
+                return true;
+            }
+            if e.1 < best {
+                best = e.1;
+                victim = i;
+            }
         }
         self.stats.misses += 1;
         if self.entries.len() < self.capacity {
             self.entries.push((page, self.tick));
         } else {
-            let victim = self
-                .entries
-                .iter_mut()
-                .min_by_key(|(_, lru)| *lru)
-                .expect("nonempty TLB");
-            *victim = (page, self.tick);
+            self.entries[victim] = (page, self.tick);
         }
         false
     }
@@ -267,5 +302,137 @@ mod tests {
         c.reset_stats();
         assert_eq!(c.stats().accesses, 0);
         assert!(c.access(0x1000), "contents survive the reset");
+    }
+
+    /// Naive reference for the fused probe/victim scan: the pre-
+    /// optimization two-pass implementation (`find` + `min_by_key`),
+    /// kept verbatim so the single-pass rewrite is checked against the
+    /// exact original semantics, tie-breaking included.
+    struct RefCache {
+        sets: Vec<Vec<Line>>,
+        line_shift: u32,
+        set_mask: u64,
+        tick: u64,
+    }
+
+    impl RefCache {
+        fn new(geom: CacheGeometry) -> RefCache {
+            let sets = geom.sets();
+            RefCache {
+                sets: vec![vec![Line { tag: 0, lru: 0, valid: false }; geom.ways]; sets],
+                line_shift: geom.line.trailing_zeros(),
+                set_mask: (sets - 1) as u64,
+                tick: 0,
+            }
+        }
+
+        fn access(&mut self, addr: u64) -> bool {
+            self.tick += 1;
+            let line_addr = addr >> self.line_shift;
+            let set = (line_addr & self.set_mask) as usize;
+            let tag = line_addr >> self.set_mask.count_ones();
+            let ways = &mut self.sets[set];
+            if let Some(l) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+                l.lru = self.tick;
+                return true;
+            }
+            let victim = ways
+                .iter_mut()
+                .min_by_key(|l| if l.valid { l.lru } else { 0 })
+                .expect("at least one way");
+            victim.tag = tag;
+            victim.lru = self.tick;
+            victim.valid = true;
+            false
+        }
+    }
+
+    /// Naive reference TLB (two-pass `find` + `min_by_key`).
+    struct RefTlb {
+        entries: Vec<(u64, u64)>,
+        capacity: usize,
+        tick: u64,
+    }
+
+    impl RefTlb {
+        fn access(&mut self, addr: u64) -> bool {
+            self.tick += 1;
+            let page = addr >> 12;
+            if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+                e.1 = self.tick;
+                return true;
+            }
+            if self.entries.len() < self.capacity {
+                self.entries.push((page, self.tick));
+            } else {
+                let victim =
+                    self.entries.iter_mut().min_by_key(|(_, lru)| *lru).expect("nonempty");
+                *victim = (page, self.tick);
+            }
+            false
+        }
+    }
+
+    /// Tiny deterministic xorshift for the differential streams.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn fused_scan_matches_naive_reference_on_random_streams() {
+        // Several geometries, including ways=1 (no scan) and a set count
+        // small enough that evictions are constant.
+        for (size, ways, line) in
+            [(2 * 64, 1, 64), (4 * 64 * 2, 2, 64), (8 * 64 * 4, 4, 64), (16 * 64 * 8, 8, 64)]
+        {
+            let geom = CacheGeometry { size, ways, line };
+            let mut opt = Cache::new(geom);
+            let mut naive = RefCache::new(geom);
+            let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (size as u64);
+            for i in 0..20_000u64 {
+                // Mix of tight reuse (hits), conflict misses, and cold
+                // misses; occasionally revisit a recent address.
+                let r = xorshift(&mut state);
+                let addr = match r % 4 {
+                    0 => (r >> 8) % 0x2000,          // small working set
+                    1 => ((r >> 8) % 64) * 0x1000,   // same-set conflicts
+                    2 => (r >> 8) % 0x100_0000,      // wide
+                    _ => (i.wrapping_mul(0x40)) % 0x4000, // streaming
+                };
+                assert_eq!(
+                    opt.access(addr),
+                    naive.access(addr),
+                    "divergence at access {i} (addr {addr:#x}, geom {size}/{ways})"
+                );
+            }
+            assert_eq!(opt.stats().accesses, 20_000);
+            assert!(opt.stats().hits > 0 && opt.stats().misses > 0, "stream must mix");
+        }
+    }
+
+    #[test]
+    fn tlb_fused_scan_matches_naive_reference() {
+        for cap in [1usize, 2, 16, 64] {
+            let mut opt = Tlb::new(cap);
+            let mut naive = RefTlb { entries: Vec::with_capacity(cap), capacity: cap, tick: 0 };
+            let mut state = 0xDEAD_BEEF_CAFE_F00Du64 ^ (cap as u64);
+            for i in 0..20_000u64 {
+                let r = xorshift(&mut state);
+                let addr = match r % 3 {
+                    0 => (r >> 8) % (4 * 0x1000 * cap as u64 + 1),
+                    1 => (r >> 8) % 0x1_0000_0000,
+                    _ => (i * 0x800) % (0x1000 * 3 * cap as u64 + 1),
+                };
+                assert_eq!(
+                    opt.access(addr),
+                    naive.access(addr),
+                    "divergence at access {i} (addr {addr:#x}, cap {cap})"
+                );
+            }
+            assert_eq!(opt.stats().accesses, 20_000);
+        }
     }
 }

@@ -11,8 +11,15 @@
 //! goes through the producer-side [`BatchSink`] wrapper (arbitrary flush
 //! boundaries from capacity-triggered auto-flushes), which must also be
 //! equivalent.
+//!
+//! The same property must hold through the binary trace codec: recording
+//! the live trace with [`TraceWriter`] and streaming it back with
+//! [`TraceReader::replay`] has to reproduce bit-identical consumer state
+//! — that equivalence is what lets the bench trace cache substitute a
+//! recorded trace for a re-execution.
 
 use checkelide_engine::{EngineConfig, Mechanism, Vm};
+use checkelide_isa::codec::{decode_trace, encode_trace, TraceReader};
 use checkelide_isa::trace::VecSink;
 use checkelide_isa::uop::{Category, Region, Uop};
 use checkelide_isa::{BatchSink, CounterSink, NullSink, TraceSink, BATCH_CAPACITY};
@@ -151,4 +158,64 @@ fn batched_and_per_uop_consumption_are_equivalent() {
     }
     sim_odd.finish();
     assert_eq!(a, sim_odd.result(), "batch size must not affect the model");
+}
+
+/// Recording a real engine trace through the binary codec and replaying
+/// it must be invisible to every consumer: the [`CounterSink`]
+/// fingerprint and the [`CoreSim`] [`SimResult`] after a
+/// [`TraceReader::replay`] have to equal the live (in-memory) run's. This
+/// is the end-to-end correctness contract behind the bench trace cache's
+/// record-once/replay-many protocol.
+#[test]
+fn codec_replay_is_equivalent_to_live_consumption() {
+    let trace = record_trace();
+    assert!(trace.len() > 3 * BATCH_CAPACITY, "trace too short to be representative");
+
+    // Live fingerprints.
+    let mut live_counters = CounterSink::new();
+    live_counters.emit_batch(&trace);
+    live_counters.finish();
+    let mut live_sim = CoreSim::new(CoreConfig::nehalem());
+    live_sim.emit_batch(&trace);
+    live_sim.finish();
+    let live_result = live_sim.result();
+
+    // Encode through TraceWriter, decode eagerly: exact µop identity.
+    let bytes = encode_trace(&trace);
+    assert!(
+        bytes.len() * 8 <= trace.len() * std::mem::size_of::<Uop>(),
+        "encoded trace ({} B) must be at least 8x smaller than the \
+         in-memory form ({} B)",
+        bytes.len(),
+        trace.len() * std::mem::size_of::<Uop>()
+    );
+    let decoded = decode_trace(&bytes).expect("decode");
+    assert_eq!(decoded, trace, "codec round trip must preserve every µop field");
+
+    // Streaming replay into a CounterSink.
+    let mut replay_counters = CounterSink::new();
+    let mut rd = TraceReader::new(std::io::Cursor::new(&bytes[..])).expect("header");
+    let n = rd.replay(&mut replay_counters).expect("replay");
+    assert_eq!(n, trace.len() as u64);
+    assert_eq!(
+        counter_fingerprint(&live_counters),
+        counter_fingerprint(&replay_counters),
+        "counter totals must survive the codec round trip"
+    );
+
+    // Streaming replay into a fresh CoreSim.
+    let mut replay_sim = CoreSim::new(CoreConfig::nehalem());
+    let mut rd = TraceReader::new(std::io::Cursor::new(&bytes[..])).expect("header");
+    rd.replay(&mut replay_sim).expect("replay");
+    assert_eq!(
+        live_result,
+        replay_sim.result(),
+        "SimResult (cycles, energy, caches, TLBs, branches) must be \
+         identical between live consumption and codec replay"
+    );
+
+    // NullSink fast path still validates framing and counts every µop.
+    let mut null = NullSink::new();
+    let mut rd = TraceReader::new(std::io::Cursor::new(&bytes[..])).expect("header");
+    assert_eq!(rd.replay(&mut null).expect("replay"), trace.len() as u64);
 }
