@@ -25,7 +25,14 @@
 //!   cache-warm reruns of the same grid against a fresh trace-cache
 //!   directory (the warm row is the record-once/replay-many win).
 //!
-//!     cargo run --release -p checkelide-bench --bin perfstat -- [--quick] [bench]
+//! With `--floor FILE` the run doubles as a CI regression gate: FILE is a
+//! previously recorded `BENCH_perf.json` (the committed copy lives at
+//! `golden/perf_baseline.json`), and the run fails when the measured
+//! CoreSim batched-replay throughput drops below `--floor-mult` (default
+//! 0.9, noise margin for shared runners) times the recorded number.
+//!
+//!     cargo run --release -p checkelide-bench --bin perfstat -- \
+//!         [--quick] [--floor FILE [--floor-mult X]] [bench]
 
 use checkelide_bench::figures::{fig1_report, fig1_report_cached, save_json};
 use checkelide_bench::runner::{try_run_benchmark, RunConfig};
@@ -106,6 +113,19 @@ fn mops(total: usize, reps: u32, mut run: impl FnMut()) -> f64 {
         best = best.min(t0.elapsed().as_secs_f64());
     }
     total as f64 / best / 1e6
+}
+
+/// Extract the first `"key": <number>` value from a JSON text. The
+/// workspace JSON layer is write-only by design, so reading one number
+/// back out of a recorded baseline is a small hand-rolled scan.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 fn main() {
@@ -352,4 +372,32 @@ fn main() {
         grid_cold_ms / grid_warm_ms
     );
     println!("wrote results/BENCH_perf.json");
+
+    // --- floor: throughput regression gate ----------------------------
+    if let Some(path) = cli.value_of("--floor") {
+        let mult: f64 = cli
+            .value_of("--floor-mult")
+            .map(|v| v.parse().expect("--floor-mult takes a number"))
+            .unwrap_or(0.9);
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--floor {path}: {e}"));
+        let base = json_number(&text, "coresim_batched_mops")
+            .unwrap_or_else(|| panic!("--floor {path}: no coresim_batched_mops value"));
+        let floor = base * mult;
+        println!(
+            "== throughput floor ==\n  CoreSim batched {coresim_batched:.1} Mµops/s vs floor \
+             {floor:.1} Mµops/s ({mult:.2}x of recorded {base:.1})"
+        );
+        assert!(
+            base > 0.0 && base.is_finite(),
+            "--floor {path}: implausible baseline {base}"
+        );
+        if coresim_batched < floor {
+            eprintln!(
+                "error: CoreSim batched replay regressed below the recorded floor \
+                 ({coresim_batched:.1} < {floor:.1} Mµops/s)"
+            );
+            std::process::exit(1);
+        }
+    }
 }

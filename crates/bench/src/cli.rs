@@ -26,6 +26,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--dump-dir",
     "--max-shrink",
     "--trace-cache",
+    "--floor",
+    "--floor-mult",
 ];
 
 /// Parsed command line shared by the harness binaries.

@@ -194,18 +194,30 @@ impl TraceCache {
     }
 
     /// Load and validate an entry's sidecar. Any failure (missing file,
-    /// corrupt contents, key mismatch, absent trace file) is a miss.
+    /// corrupt contents, key mismatch, absent or size-mismatched trace
+    /// file) is a miss.
     pub(crate) fn load_sidecar(&self, entry: &CacheEntry) -> Option<Sidecar> {
         let bytes = fs::read(&entry.meta_path).ok()?;
         let side = Sidecar::decode(&bytes)?;
         if side.key != entry.key {
-            // Hash collision or stale file: treat as a miss.
+            // Hash collision or stale file: treat as a miss — the entry
+            // legitimately belongs to another key, so do NOT evict it.
             return None;
         }
-        if !entry.trace_path.exists() {
-            return None;
+        // The sidecar records the exact encoded size of its companion
+        // trace, so validate the body before reporting a hit. An untimed
+        // hit never opens the trace file, which used to let a sidecar
+        // whose trace was truncated (interrupted write) or deleted serve
+        // stale statistics forever: the `.exists()` check passed (or the
+        // orphaned sidecar survived eviction, which only replay-time
+        // corruption triggered). A mismatch now drops both files.
+        match fs::metadata(&entry.trace_path) {
+            Ok(m) if m.len() == side.trace_bytes => Some(side),
+            _ => {
+                self.evict(entry);
+                None
+            }
         }
-        Some(side)
     }
 
     /// Drop an entry from disk (corrupt trace detected during replay).
@@ -570,6 +582,33 @@ mod tests {
             cache_key("ai-astar", 4, &RunConfig::characterize()),
             cache_key("ai-astar", 4, &timed)
         );
+    }
+
+    #[test]
+    fn load_sidecar_validates_trace_size_and_evicts_corrupt_pairs() {
+        let dir =
+            std::env::temp_dir().join(format!("checkelide-sidecar-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = TraceCache::at(&dir);
+        let entry = cache.entry("ai-astar", 4, &RunConfig::characterize()).expect("enabled");
+        let mut side = sample_sidecar();
+        side.key = entry.key.clone();
+        side.trace_bytes = 10;
+        fs::write(&entry.meta_path, side.encode()).expect("write meta");
+        fs::write(&entry.trace_path, [0u8; 10]).expect("write trace");
+        assert_eq!(cache.load_sidecar(&entry), Some(side.clone()), "intact pair loads");
+
+        // Truncated body: a miss, and the corrupt pair is evicted.
+        fs::write(&entry.trace_path, [0u8; 7]).expect("truncate trace");
+        assert!(cache.load_sidecar(&entry).is_none(), "size mismatch must miss");
+        assert!(!entry.trace_path.exists(), "corrupt trace evicted");
+        assert!(!entry.meta_path.exists(), "its sidecar evicted too");
+
+        // Missing body: the orphaned sidecar is reclaimed.
+        fs::write(&entry.meta_path, side.encode()).expect("rewrite meta");
+        assert!(cache.load_sidecar(&entry).is_none(), "missing body must miss");
+        assert!(!entry.meta_path.exists(), "orphaned sidecar reclaimed");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Corrupt-entry eviction in the on-disk trace cache.
+//!
+//! A sidecar records the exact encoded size of its companion `.trace`
+//! file. If the trace body is truncated (interrupted write) or deleted
+//! while the sidecar survives, the entry must read as a **miss** and
+//! both files must be dropped from disk — an untimed lookup never opens
+//! the trace body, so without the size validation a corrupt entry would
+//! keep serving its stale statistics forever and the orphaned sidecar
+//! would never be reclaimed.
+
+use checkelide_bench::runner::{try_run_benchmark_cached, CacheDisposition, RunConfig};
+use checkelide_bench::{find, TraceCache};
+use std::fs::{self, OpenOptions};
+use std::path::PathBuf;
+
+fn fresh_cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("checkelide-evict-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run(cache: &TraceCache, cfg: RunConfig) -> CacheDisposition {
+    let bench = find("ai-astar").expect("suite has ai-astar");
+    let (out, disp) = try_run_benchmark_cached(bench, cfg, cache).expect("benchmark runs");
+    assert!(out.uops > 0);
+    disp
+}
+
+#[test]
+fn truncated_trace_body_is_a_miss_and_evicts_the_sidecar() {
+    let dir = fresh_cache_dir("truncate");
+    let cache = TraceCache::at(&dir);
+    let mut cfg = RunConfig::characterize();
+    cfg.scale = Some(1);
+    cfg.iterations = 2;
+
+    assert_eq!(run(&cache, cfg), CacheDisposition::Miss, "cold lookup records");
+    assert_eq!(run(&cache, cfg), CacheDisposition::Hit, "second lookup replays");
+
+    // Truncate the trace body, keeping its (valid) sidecar.
+    let entry = cache.entry("ai-astar", 1, &cfg).expect("cache enabled");
+    let full = fs::metadata(&entry.trace_path).expect("trace recorded").len();
+    assert!(full > 8);
+    OpenOptions::new()
+        .write(true)
+        .open(&entry.trace_path)
+        .expect("open trace")
+        .set_len(full / 2)
+        .expect("truncate");
+
+    // The corrupt pair must not serve a hit — not even for this untimed
+    // configuration, which never opens the trace body on a hit — and
+    // both files must be gone afterwards (no orphaned sidecar).
+    assert_eq!(run(&cache, cfg), CacheDisposition::Miss, "truncated body must miss");
+    assert_eq!(run(&cache, cfg), CacheDisposition::Hit, "re-recorded entry hits again");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deleted_trace_body_reclaims_the_orphaned_sidecar() {
+    let dir = fresh_cache_dir("orphan");
+    let cache = TraceCache::at(&dir);
+    let mut cfg = RunConfig::characterize();
+    cfg.scale = Some(1);
+    cfg.iterations = 2;
+
+    assert_eq!(run(&cache, cfg), CacheDisposition::Miss);
+    let entry = cache.entry("ai-astar", 1, &cfg).expect("cache enabled");
+    fs::remove_file(&entry.trace_path).expect("delete trace body");
+    assert!(entry.meta_path.exists());
+
+    assert_eq!(run(&cache, cfg), CacheDisposition::Miss, "missing body must miss");
+    // The lookup itself must have evicted the orphaned sidecar before
+    // the re-recording published a fresh pair.
+    assert!(entry.trace_path.exists() && entry.meta_path.exists(), "fresh pair published");
+    let meta = fs::metadata(&entry.trace_path).expect("trace").len();
+    assert!(meta > 8, "re-recorded trace has a real body");
+
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -845,8 +845,34 @@ impl<R: Read> TraceReader<R> {
             }
             return Ok(self.decoded);
         }
+        // Frames are written at [`BATCH_CAPACITY`], but writer flushes at
+        // sink boundaries can leave short frames mid-file. Coalesce those
+        // through a staging buffer so the consumer always sees
+        // full-capacity batches: batch boundaries are semantically inert
+        // (pinned by the uarch equivalence suites), and full batches
+        // amortize the per-call setup of batched consumers such as the
+        // timing model's structure-of-arrays walk. Full frames with an
+        // empty stage — the entire steady state of a real trace — are
+        // handed through without a copy.
+        let mut stage: Vec<Uop> = Vec::new();
         while let Some(frame) = self.next_frame()? {
-            sink.emit_batch(frame);
+            if stage.is_empty() && frame.len() == BATCH_CAPACITY {
+                sink.emit_batch(frame);
+                continue;
+            }
+            let mut rest = frame;
+            while !rest.is_empty() {
+                let take = (BATCH_CAPACITY - stage.len()).min(rest.len());
+                stage.extend_from_slice(&rest[..take]);
+                rest = &rest[take..];
+                if stage.len() == BATCH_CAPACITY {
+                    sink.emit_batch(&stage);
+                    stage.clear();
+                }
+            }
+        }
+        if !stage.is_empty() {
+            sink.emit_batch(&stage);
         }
         Ok(self.decoded)
     }
@@ -965,6 +991,44 @@ mod tests {
         let mut r = TraceReader::new(&bytes[..]).expect("header ok");
         let mut null = NullSink::new();
         assert_eq!(r.replay(&mut null).expect("replays"), trace.len() as u64);
+    }
+
+    #[test]
+    fn replay_coalesces_short_frames_into_full_batches() {
+        // Writer flushes at sink boundaries leave short frames mid-file;
+        // replay must still hand the consumer full-capacity batches (plus
+        // one short tail), without perturbing the µop stream.
+        let trace = sample_trace();
+        let mut w = TraceWriter::new(Vec::new()).expect("vec");
+        for chunk in trace.chunks(100) {
+            w.emit_batch(chunk);
+            w.finish(); // frame boundary: 100-µop frames mid-file
+        }
+        let (bytes, stats) = w.finish_file().expect("vec");
+        assert_eq!(stats.uops, trace.len() as u64);
+
+        struct BatchSizes(Vec<usize>, Vec<Uop>);
+        impl TraceSink for BatchSizes {
+            fn emit(&mut self, u: &Uop) {
+                self.0.push(1);
+                self.1.push(*u);
+            }
+            fn emit_batch(&mut self, uops: &[Uop]) {
+                self.0.push(uops.len());
+                self.1.extend_from_slice(uops);
+            }
+        }
+        let mut s = BatchSizes(Vec::new(), Vec::new());
+        let mut r = TraceReader::new(&bytes[..]).expect("header");
+        assert_eq!(r.replay(&mut s).expect("replays"), trace.len() as u64);
+        assert_eq!(s.1, trace, "coalescing must preserve the µop stream");
+        let (last, body) = s.0.split_last().expect("at least one batch");
+        assert!(
+            body.iter().all(|&n| n == BATCH_CAPACITY),
+            "every batch but the tail must be full: {:?}",
+            s.0
+        );
+        assert_eq!(*last, trace.len() % BATCH_CAPACITY);
     }
 
     #[test]

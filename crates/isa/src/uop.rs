@@ -80,6 +80,36 @@ pub enum UopKind {
 }
 
 impl UopKind {
+    /// Number of kinds (the length of [`UopKind::ALL`]).
+    pub const COUNT: usize = 15;
+
+    /// All kinds in discriminant order, for building kind-indexed lookup
+    /// tables (latency, energy) that replace per-µop `match`es in hot
+    /// loops.
+    pub const ALL: [UopKind; UopKind::COUNT] = [
+        UopKind::Alu,
+        UopKind::Mul,
+        UopKind::Div,
+        UopKind::FpAdd,
+        UopKind::FpMul,
+        UopKind::FpDiv,
+        UopKind::Load,
+        UopKind::Store,
+        UopKind::Branch,
+        UopKind::Jump,
+        UopKind::Move,
+        UopKind::MovClassId,
+        UopKind::MovClassIdArray,
+        UopKind::MovStoreClassCache,
+        UopKind::MovStoreClassCacheArray,
+    ];
+
+    /// Stable dense index (the discriminant) for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Whether this µop performs a data-memory access by itself
     /// (loads, stores, and the Class Cache store instructions).
     #[inline]
@@ -334,6 +364,17 @@ mod tests {
         for c in Category::ALL {
             assert!(!seen[c.index()], "duplicate index for {c:?}");
             seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn kind_indices_are_dense_and_match_all_order() {
+        let mut seen = [false; UopKind::COUNT];
+        for (pos, k) in UopKind::ALL.into_iter().enumerate() {
+            assert_eq!(k.index(), pos, "ALL must list kinds in index order");
+            assert!(!seen[k.index()]);
+            seen[k.index()] = true;
         }
         assert!(seen.iter().all(|&s| s));
     }

@@ -1,4 +1,16 @@
 //! Set-associative cache and TLB models with LRU replacement.
+//!
+//! Both structures are laid out for the structure-of-arrays batch pipeline
+//! in [`crate::core`]: the cache keeps all its lines in one flat array
+//! (16 bytes per way, no per-set `Vec` indirection), and the TLB pairs its
+//! entry arrays with an open-addressing page→slot index so steady-state
+//! hits cost one hash probe instead of a linear scan of every entry — at
+//! 256 data-TLB entries the scan was the single hottest loop in the
+//! timing model.
+//!
+//! Replacement semantics are pinned by in-module differential tests
+//! against the original two-pass (`find` + `min_by_key`) implementations,
+//! tie-breaking included.
 
 use crate::config::CacheGeometry;
 
@@ -27,14 +39,21 @@ impl CacheStats {
 #[derive(Debug, Clone, Copy)]
 struct Line {
     tag: u64,
+    /// LRU stamp; `0` means the way was never filled. Ticks start at 1
+    /// and every fill stamps the current tick, so the encoding is exact —
+    /// no separate `valid` flag (the old layout spent 8 padded bytes on
+    /// one bool, pushing a set past a cache line).
     lru: u64,
-    valid: bool,
 }
+
+const INVALID: Line = Line { tag: 0, lru: 0 };
 
 /// A set-associative cache keyed by line address.
 #[derive(Debug)]
 pub struct Cache {
-    sets: Vec<Vec<Line>>,
+    /// All ways of all sets, flat: set `s` owns `lines[s*ways..(s+1)*ways]`.
+    lines: Vec<Line>,
+    ways: usize,
     line_shift: u32,
     set_mask: u64,
     /// `log2(sets)`, hoisted at construction: the hot `access` path used
@@ -54,8 +73,10 @@ impl Cache {
         let sets = geom.sets();
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         assert!(geom.line.is_power_of_two());
+        assert!(geom.ways >= 1, "cache needs at least one way");
         Cache {
-            sets: vec![vec![Line { tag: 0, lru: 0, valid: false }; geom.ways]; sets],
+            lines: vec![INVALID; sets * geom.ways],
+            ways: geom.ways,
             line_shift: geom.line.trailing_zeros(),
             set_mask: (sets - 1) as u64,
             tag_shift: sets.trailing_zeros(),
@@ -67,11 +88,10 @@ impl Cache {
     /// Access `addr`; returns whether it hit. Misses allocate.
     ///
     /// One pass over the set does both the tag probe and the victim
-    /// election (the previous implementation probed with `find` and then
-    /// re-scanned with `min_by_key` on a miss). Fills never invalidate,
-    /// so the valid lines always form a prefix of the set: the first
-    /// invalid way both terminates the probe early (no later way can
-    /// hold the tag) and is the preferred victim, exactly as the old
+    /// election. Fills never invalidate, so the valid lines always form a
+    /// prefix of the set: the first never-filled way (LRU stamp 0) both
+    /// terminates the probe early (no later way can hold the tag) and is
+    /// the preferred victim, exactly as the original
     /// `min_by_key(|l| if l.valid { l.lru } else { 0 })` elected it.
     /// `tick` is bumped per access so LRU stamps are unique; tracking the
     /// first strict minimum therefore reproduces `min_by_key`'s
@@ -83,13 +103,14 @@ impl Cache {
         let line_addr = addr >> self.line_shift;
         let set = (line_addr & self.set_mask) as usize;
         let tag = line_addr >> self.tag_shift;
-        let ways = &mut self.sets[set];
+        let base = set * self.ways;
+        let ways = &mut self.lines[base..base + self.ways];
         let mut victim = 0usize;
         let mut best = u64::MAX;
         let mut i = 0;
         while i < ways.len() {
-            let l = &ways[i];
-            if !l.valid {
+            let l = ways[i];
+            if l.lru == 0 {
                 victim = i;
                 break;
             }
@@ -105,10 +126,7 @@ impl Cache {
             i += 1;
         }
         self.stats.misses += 1;
-        let v = &mut ways[victim];
-        v.tag = tag;
-        v.lru = self.tick;
-        v.valid = true;
+        ways[victim] = Line { tag, lru: self.tick };
         false
     }
 
@@ -123,10 +141,27 @@ impl Cache {
     }
 }
 
+/// Empty sentinel for the TLB's page→slot hash table.
+const EMPTY_SLOT: u32 = u32::MAX;
+
 /// A fully-associative TLB with LRU replacement (4 KiB pages).
+///
+/// Entry state is structure-of-arrays (`pages` parallel to `lru`), plus an
+/// open-addressing hash index mapping resident pages to their slot. Hits —
+/// the overwhelmingly common case — cost one multiplicative-hash probe and
+/// one stamp write; only misses pay the full LRU victim scan, whose
+/// slot-order first-strict-minimum election is unchanged from the linear
+/// implementation.
 #[derive(Debug)]
 pub struct Tlb {
-    entries: Vec<(u64, u64)>, // (page, lru)
+    /// Resident pages, in fill order (slot index is stable until evicted).
+    pages: Vec<u64>,
+    /// LRU stamp per slot, parallel to `pages`.
+    lru: Vec<u64>,
+    /// Open-addressing index: `map_keys[i]` is meaningful only when
+    /// `map_slots[i] != EMPTY_SLOT`. Sized to keep load factor ≤ 25%.
+    map_keys: Vec<u64>,
+    map_slots: Vec<u32>,
     capacity: usize,
     tick: u64,
     stats: CacheStats,
@@ -135,38 +170,107 @@ pub struct Tlb {
 impl Tlb {
     /// A TLB with `entries` slots.
     pub fn new(entries: usize) -> Tlb {
-        Tlb { entries: Vec::with_capacity(entries), capacity: entries, tick: 0, stats: CacheStats::default() }
+        let table = (entries * 4).next_power_of_two().max(8);
+        Tlb {
+            pages: Vec::with_capacity(entries),
+            lru: Vec::with_capacity(entries),
+            map_keys: vec![0; table],
+            map_slots: vec![EMPTY_SLOT; table],
+            capacity: entries,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    #[inline]
+    fn hash(page: u64) -> usize {
+        // Fibonacci multiplicative hash; the table mask selects from the
+        // well-mixed upper half of the product.
+        (page.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize
+    }
+
+    #[inline]
+    fn map_find(&self, page: u64) -> Option<u32> {
+        let mask = self.map_keys.len() - 1;
+        let mut p = Self::hash(page) & mask;
+        loop {
+            let s = self.map_slots[p];
+            if s == EMPTY_SLOT {
+                return None;
+            }
+            if self.map_keys[p] == page {
+                return Some(s);
+            }
+            p = (p + 1) & mask;
+        }
+    }
+
+    fn map_insert(&mut self, page: u64, slot: u32) {
+        let mask = self.map_keys.len() - 1;
+        let mut p = Self::hash(page) & mask;
+        while self.map_slots[p] != EMPTY_SLOT {
+            p = (p + 1) & mask;
+        }
+        self.map_keys[p] = page;
+        self.map_slots[p] = slot;
+    }
+
+    /// Remove `page` from the index with backshift deletion: entries after
+    /// the hole slide up iff the hole does not precede their home bucket
+    /// (cyclically), so linear-probe chains stay unbroken without
+    /// tombstones.
+    fn map_remove(&mut self, page: u64) {
+        let mask = self.map_keys.len() - 1;
+        let mut p = Self::hash(page) & mask;
+        while !(self.map_slots[p] != EMPTY_SLOT && self.map_keys[p] == page) {
+            debug_assert!(self.map_slots[p] != EMPTY_SLOT, "removing absent page");
+            p = (p + 1) & mask;
+        }
+        let mut q = (p + 1) & mask;
+        while self.map_slots[q] != EMPTY_SLOT {
+            let home = Self::hash(self.map_keys[q]) & mask;
+            if (q.wrapping_sub(home) & mask) >= (q.wrapping_sub(p) & mask) {
+                self.map_keys[p] = self.map_keys[q];
+                self.map_slots[p] = self.map_slots[q];
+                p = q;
+            }
+            q = (q + 1) & mask;
+        }
+        self.map_slots[p] = EMPTY_SLOT;
     }
 
     /// Translate the page of `addr`; returns whether it hit.
-    ///
-    /// Like [`Cache::access`], the probe and the LRU victim election
-    /// share one pass (the old code re-scanned with `min_by_key` on a
-    /// miss). Ticks are unique, so the first strict minimum matches
-    /// `min_by_key`'s first-tie-wins element exactly.
     #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
         self.stats.accesses += 1;
         let page = addr >> 12;
-        let mut victim = 0usize;
-        let mut best = u64::MAX;
-        for (i, e) in self.entries.iter_mut().enumerate() {
-            if e.0 == page {
-                e.1 = self.tick;
-                self.stats.hits += 1;
-                return true;
-            }
-            if e.1 < best {
-                best = e.1;
-                victim = i;
-            }
+        if let Some(slot) = self.map_find(page) {
+            self.lru[slot as usize] = self.tick;
+            self.stats.hits += 1;
+            return true;
         }
         self.stats.misses += 1;
-        if self.entries.len() < self.capacity {
-            self.entries.push((page, self.tick));
+        if self.pages.len() < self.capacity {
+            let slot = self.pages.len() as u32;
+            self.pages.push(page);
+            self.lru.push(self.tick);
+            self.map_insert(page, slot);
         } else {
-            self.entries[victim] = (page, self.tick);
+            // First strict minimum in slot order — the same victim the
+            // old interleaved scan elected.
+            let mut victim = 0usize;
+            let mut best = u64::MAX;
+            for (i, &stamp) in self.lru.iter().enumerate() {
+                if stamp < best {
+                    best = stamp;
+                    victim = i;
+                }
+            }
+            self.map_remove(self.pages[victim]);
+            self.pages[victim] = page;
+            self.lru[victim] = self.tick;
+            self.map_insert(page, victim as u32);
         }
         false
     }
@@ -179,6 +283,21 @@ impl Tlb {
     /// Reset statistics, keeping contents.
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+    }
+
+    /// Check that the hash index and the entry arrays agree (test aid).
+    #[cfg(test)]
+    fn check_index(&self) {
+        assert_eq!(self.pages.len(), self.lru.len());
+        let occupied = self.map_slots.iter().filter(|&&s| s != EMPTY_SLOT).count();
+        assert_eq!(occupied, self.pages.len(), "index occupancy mismatch");
+        for (slot, &page) in self.pages.iter().enumerate() {
+            assert_eq!(
+                self.map_find(page),
+                Some(slot as u32),
+                "page {page:#x} not indexed at slot {slot}"
+            );
+        }
     }
 }
 
@@ -304,12 +423,20 @@ mod tests {
         assert!(c.access(0x1000), "contents survive the reset");
     }
 
+    #[derive(Clone, Copy)]
+    struct RefLine {
+        tag: u64,
+        lru: u64,
+        valid: bool,
+    }
+
     /// Naive reference for the fused probe/victim scan: the pre-
-    /// optimization two-pass implementation (`find` + `min_by_key`),
-    /// kept verbatim so the single-pass rewrite is checked against the
-    /// exact original semantics, tie-breaking included.
+    /// optimization two-pass implementation (`find` + `min_by_key`, with
+    /// an explicit `valid` flag and nested per-set `Vec`s), kept verbatim
+    /// so the flat single-pass rewrite is checked against the exact
+    /// original semantics, tie-breaking included.
     struct RefCache {
-        sets: Vec<Vec<Line>>,
+        sets: Vec<Vec<RefLine>>,
         line_shift: u32,
         set_mask: u64,
         tick: u64,
@@ -319,7 +446,7 @@ mod tests {
         fn new(geom: CacheGeometry) -> RefCache {
             let sets = geom.sets();
             RefCache {
-                sets: vec![vec![Line { tag: 0, lru: 0, valid: false }; geom.ways]; sets],
+                sets: vec![vec![RefLine { tag: 0, lru: 0, valid: false }; geom.ways]; sets],
                 line_shift: geom.line.trailing_zeros(),
                 set_mask: (sets - 1) as u64,
                 tick: 0,
@@ -347,7 +474,8 @@ mod tests {
         }
     }
 
-    /// Naive reference TLB (two-pass `find` + `min_by_key`).
+    /// Naive reference TLB (two-pass `find` + `min_by_key` over one flat
+    /// entry vector — the pre-index implementation).
     struct RefTlb {
         entries: Vec<(u64, u64)>,
         capacity: usize,
@@ -433,6 +561,35 @@ mod tests {
                 );
             }
             assert_eq!(opt.stats().accesses, 20_000);
+        }
+    }
+
+    #[test]
+    fn tlb_index_survives_heavy_eviction_churn() {
+        // Small capacities force constant evictions, exercising the
+        // backshift deletion path; the index must stay consistent with
+        // the entry arrays throughout.
+        for cap in [1usize, 3, 7, 64, 256] {
+            let mut t = Tlb::new(cap);
+            let mut naive = RefTlb { entries: Vec::with_capacity(cap), capacity: cap, tick: 0 };
+            let mut state = 0x1234_5678_9ABC_DEF0u64 ^ (cap as u64);
+            for i in 0..30_000u64 {
+                let r = xorshift(&mut state);
+                // Cluster pages so probe chains form: pages share high
+                // bits and differ only in a few low bits.
+                let addr = match r % 4 {
+                    0 => ((r >> 8) % (2 * cap as u64 + 1)) << 12,
+                    1 => (0x4000_0000 + ((r >> 8) % 16) * 0x1000) << 4,
+                    2 => (r >> 8) % 0x10_0000_0000,
+                    _ => (i % (cap as u64 + 2)) << 12,
+                };
+                assert_eq!(t.access(addr), naive.access(addr), "cap {cap} access {i}");
+                if i % 4096 == 0 {
+                    t.check_index();
+                }
+            }
+            t.check_index();
+            assert!(t.pages.len() <= cap);
         }
     }
 }

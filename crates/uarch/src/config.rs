@@ -78,6 +78,39 @@ impl CoreConfig {
         }
     }
 
+    /// Check that the configuration is simulable: every structural
+    /// capacity must be at least one (the pipeline walk pops from the
+    /// window and the MSHR ring unconditionally once they are "full",
+    /// so zero-sized structures would underflow), and cache geometries
+    /// need power-of-two set counts and line sizes.
+    pub fn validate(&self) -> Result<(), String> {
+        let caps = [
+            (self.issue_width as usize, "issue_width"),
+            (self.window_size, "window_size"),
+            (self.issue_queue, "issue_queue"),
+            (self.outstanding_mem, "outstanding_mem"),
+            (self.itlb_entries, "itlb_entries"),
+            (self.dtlb_entries, "dtlb_entries"),
+        ];
+        for (v, name) in caps {
+            if v == 0 {
+                return Err(format!("{name} must be at least 1"));
+            }
+        }
+        for (g, name) in [(self.il1, "il1"), (self.dl1, "dl1"), (self.l2, "l2")] {
+            if g.ways == 0 {
+                return Err(format!("{name}: ways must be at least 1"));
+            }
+            if !g.line.is_power_of_two() {
+                return Err(format!("{name}: line size must be a power of two"));
+            }
+            if g.size % (g.ways * g.line) != 0 || !g.sets().is_power_of_two() {
+                return Err(format!("{name}: set count must be a power of two"));
+            }
+        }
+        Ok(())
+    }
+
     /// Render the Table 2 rows.
     pub fn table2(&self) -> String {
         format!(
@@ -136,6 +169,21 @@ mod tests {
         assert_eq!(c.dl1.ways, 8);
         assert_eq!(c.l2.size, 256 << 10);
         assert_eq!(c.class_cache.entries, 128);
+    }
+
+    #[test]
+    fn validate_accepts_table2_and_rejects_zero_capacities() {
+        assert!(CoreConfig::nehalem().validate().is_ok());
+        let mut c = CoreConfig::nehalem();
+        c.window_size = 0;
+        assert!(c.validate().is_err());
+        let mut c = CoreConfig::nehalem();
+        c.issue_queue = 0;
+        assert!(c.validate().is_err());
+        let mut c = CoreConfig::nehalem();
+        c.dl1.size = 3 * 64; // 1.5 sets at 2 ways
+        c.dl1.ways = 2;
+        assert!(c.validate().is_err());
     }
 
     #[test]

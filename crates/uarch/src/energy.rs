@@ -89,6 +89,16 @@ impl EnergyParams {
         };
         exec + self.pipeline
     }
+
+    /// Kind-indexed table of [`EnergyParams::uop_energy`], for hot loops
+    /// that would otherwise re-run the `match` per µop.
+    pub fn uop_energy_table(&self) -> [f64; UopKind::COUNT] {
+        let mut t = [0.0; UopKind::COUNT];
+        for k in UopKind::ALL {
+            t[k.index()] = self.uop_energy(k);
+        }
+        t
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +114,15 @@ mod tests {
         // The Class Cache access energy is small relative to a DL1 access
         // (§5.4: negligible impact).
         assert!(p.class_cache_access < p.l1_access / 5.0);
+    }
+
+    #[test]
+    fn energy_table_matches_per_kind_match() {
+        let p = EnergyParams::default();
+        let t = p.uop_energy_table();
+        for k in UopKind::ALL {
+            assert_eq!(t[k.index()], p.uop_energy(k), "{k:?}");
+        }
     }
 
     #[test]
