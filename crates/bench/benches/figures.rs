@@ -38,6 +38,7 @@ fn quick(mech: Mechanism, timing: bool) -> RunConfig {
         scale: Some(QUICK_SCALE),
         timing,
         class_cache: checkelide_core::classcache::ClassCacheConfig::default(),
+        bbv: false,
     }
 }
 

@@ -43,6 +43,7 @@ fn main() {
                 scale: if quick { Some(2) } else { None },
                 timing: false,
                 class_cache: geom,
+                bbv: false,
             };
             cells.push((format!("ccsweep/{}e{}w/{}", geom.entries, geom.ways, name), (b, cfg)));
         }

@@ -20,6 +20,10 @@
 //! * **cell** — wall-clock and retired-µop count for one full
 //!   characterization cell (setup + warm-ups + measured iteration), i.e.
 //!   the end-to-end cost per dynamic instruction of the whole stack.
+//! * **mechanisms** — the same cell under each head-to-head configuration
+//!   (baseline / opt-noelide / cc-full / bbv / cc+bbv): check µops
+//!   retired, checks elided vs `opt-noelide`, total µops, and BBV
+//!   version-table activity.
 //! * **grid** — wall-clock of the single-job Figure 1 grid, the number
 //!   EXPERIMENTS.md tracks across harness changes, plus cache-cold and
 //!   cache-warm reruns of the same grid against a fresh trace-cache
@@ -34,7 +38,7 @@
 //!     cargo run --release -p checkelide-bench --bin perfstat -- \
 //!         [--quick] [--floor FILE [--floor-mult X]] [bench]
 
-use checkelide_bench::figures::{fig1_report, fig1_report_cached, save_json};
+use checkelide_bench::figures::{fig1_report, fig1_report_cached, save_json, BBV_CONFIGS};
 use checkelide_bench::runner::{try_run_benchmark, RunConfig};
 use checkelide_bench::{find, Cli, Json, TraceCache};
 use checkelide_engine::{EngineConfig, Mechanism, Vm};
@@ -223,6 +227,47 @@ fn main() {
     let total_uops = out.uops * u64::from(cfg.iterations);
     let cell_ns_per_uop = cell_ms * 1e6 / total_uops as f64;
 
+    // --- mechanisms: per-configuration check/elision counts -----------
+    // The same cell under each head-to-head configuration (untimed):
+    // check µops retired, checks elided relative to `opt-noelide`, total
+    // µops, and BBV version-table activity.
+    eprintln!("per-mechanism check counts ({bench}) ...");
+    let mech_cfgs: [RunConfig; 5] = [
+        RunConfig::baseline_timed().with_timing(false),
+        RunConfig::characterize(),
+        RunConfig::mechanism_timed().with_timing(false),
+        RunConfig::characterize().with_bbv(true),
+        RunConfig::mechanism_timed().with_timing(false).with_bbv(true),
+    ];
+    let mut mech_rows = Vec::new();
+    for (label, mcfg) in BBV_CONFIGS.iter().zip(mech_cfgs) {
+        let m = try_run_benchmark(b, mcfg.with_scale(scale)).expect("mechanism cell");
+        assert_eq!(m.checksum, out.checksum, "{label} diverged from the characterize cell");
+        mech_rows.push((
+            *label,
+            m.counters.by_category(checkelide_isa::Category::Check),
+            m.uops,
+            m.vm_stats.bbv_versions,
+            m.vm_stats.bbv_cap_fallbacks,
+        ));
+    }
+    let noelide_checks = mech_rows[1].1;
+    let mechanisms = Json::Arr(
+        mech_rows
+            .iter()
+            .map(|&(label, checks, uops, versions, fallbacks)| {
+                Json::Obj(vec![
+                    ("config", Json::Str(label.to_string())),
+                    ("checks", Json::UInt(checks)),
+                    ("elided", Json::UInt(noelide_checks.saturating_sub(checks))),
+                    ("uops", Json::UInt(uops)),
+                    ("bbv_versions", Json::UInt(versions)),
+                    ("bbv_cap_fallbacks", Json::UInt(fallbacks)),
+                ])
+            })
+            .collect(),
+    );
+
     // --- grid: single-job Figure 1 wall-clock -------------------------
     eprintln!("timing fig1 grid (quick={}, jobs=1) ...", cli.quick);
     let t0 = Instant::now();
@@ -296,6 +341,7 @@ fn main() {
                 ("ns_per_uop", Json::Num(cell_ns_per_uop)),
             ]),
         ),
+        ("mechanisms", mechanisms),
         (
             "grid",
             Json::Obj(vec![
@@ -363,6 +409,17 @@ fn main() {
             "  vm: calls={} opt_entries={} deopts={} gcs={}",
             out.vm_stats.calls, out.vm_stats.opt_entries, out.vm_stats.deopts, out.vm_stats.gc_runs
         );
+    }
+    println!("== per-mechanism checks ({bench}) ==");
+    for &(label, checks, uops, versions, fallbacks) in &mech_rows {
+        print!(
+            "  {label:<12} checks={checks:<10} elided={:<10} uops={uops}",
+            noelide_checks.saturating_sub(checks)
+        );
+        if versions > 0 {
+            print!("  bbv_versions={versions} cap_fallbacks={fallbacks}");
+        }
+        println!();
     }
     println!("== fig1 grid (jobs=1, quick={}) ==", cli.quick);
     println!("  {grid_ms:.0} ms uncached");

@@ -814,6 +814,208 @@ pub fn render_fig89(rows: &[Fig89Row]) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// BBV head-to-head: software check elision vs the hardware Class Cache
+// ---------------------------------------------------------------------------
+
+/// Column labels of the BBV head-to-head table, in order.
+///
+/// * `baseline` — plain engine ([`Mechanism::Off`]), optimized tier on.
+/// * `opt-noelide` — software profiling, no elision; the reference point
+///   the `elided` column is derived from.
+/// * `cc-full` — the paper's hardware Class Cache.
+/// * `bbv` — pure-software lazy basic-block versioning.
+/// * `cc+bbv` — both mechanisms combined.
+///
+/// [`Mechanism::Off`]: checkelide_engine::Mechanism::Off
+pub const BBV_CONFIGS: [&str; 5] = ["baseline", "opt-noelide", "cc-full", "bbv", "cc+bbv"];
+
+/// BBV head-to-head row: one benchmark, five configurations.
+///
+/// Each metric vector is indexed by [`BBV_CONFIGS`]. `elided` is derived,
+/// not measured: check µops the `opt-noelide` run retired that this
+/// configuration did not (saturating at zero, so the `baseline` column —
+/// which runs *more* checks than the profiled build — reads 0).
+#[derive(Debug, Clone)]
+pub struct FigBbvRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Suite.
+    pub suite: String,
+    /// Check-category µops retired, per configuration.
+    pub checks: Vec<u64>,
+    /// Checks elided relative to `opt-noelide`, per configuration.
+    pub elided: Vec<u64>,
+    /// Dynamic µops on the measured iteration, per configuration.
+    pub uops: Vec<u64>,
+    /// Simulated cycles, per configuration.
+    pub cycles: Vec<u64>,
+}
+
+impl ToJson for FigBbvRow {
+    fn to_json(&self) -> Json {
+        json_obj!(self, name, suite, checks, elided, uops, cycles)
+    }
+}
+
+/// Run the BBV head-to-head over the selected benchmarks (no trace cache).
+pub fn fig_bbv_report(quick: bool, jobs: usize) -> FigureReport<FigBbvRow> {
+    fig_bbv_report_cached(quick, jobs, &TraceCache::disabled())
+}
+
+/// Run the BBV head-to-head across the pool, reusing `cache`.
+///
+/// Each cell records/replays five traces; a cell is a `hit` only when all
+/// five configurations replayed from the cache.
+pub fn fig_bbv_report_cached(
+    quick: bool,
+    jobs: usize,
+    cache: &TraceCache,
+) -> FigureReport<FigBbvRow> {
+    run_figure("fig_bbv", selected().collect(), jobs, move |b| {
+        fig_bbv_one_cell(b, quick, cache)
+    })
+}
+
+/// Run the BBV head-to-head serially (compat wrapper).
+pub fn fig_bbv(quick: bool) -> Vec<FigBbvRow> {
+    fig_bbv_report(quick, 1).expect_rows()
+}
+
+/// Run the head-to-head for one benchmark, reporting failures as data.
+///
+/// # Errors
+///
+/// Any [`RunError`] from any of the five configurations, or a checksum
+/// divergence between any configuration and the baseline run.
+pub fn try_fig_bbv_one(b: &Benchmark, quick: bool) -> Result<FigBbvRow, RunError> {
+    fig_bbv_one_cell(b, quick, &TraceCache::disabled()).map(|(row, _, _)| row)
+}
+
+fn fig_bbv_one_cell(
+    b: &Benchmark,
+    quick: bool,
+    cache: &TraceCache,
+) -> Result<(FigBbvRow, u64, CacheDisposition), RunError> {
+    use checkelide_isa::uop::Category;
+    let configs: [RunConfig; 5] = [
+        RunConfig::baseline_timed(),
+        RunConfig::characterize().with_timing(true),
+        RunConfig::mechanism_timed(),
+        RunConfig::characterize().with_timing(true).with_bbv(true),
+        RunConfig::mechanism_timed().with_bbv(true),
+    ];
+    let mut checks = Vec::with_capacity(5);
+    let mut uops = Vec::with_capacity(5);
+    let mut cycles = Vec::with_capacity(5);
+    let mut disps = Vec::with_capacity(5);
+    let mut checksum: Option<String> = None;
+    let mut total_uops = 0u64;
+    for cfg in configs {
+        let (out, disp) = try_run_benchmark_cached(
+            b,
+            cfg.with_scale(cfg_scale(b, quick)).with_iterations(iters(quick)),
+            cache,
+        )?;
+        match &checksum {
+            Some(base) if *base != out.checksum => {
+                return Err(RunError::ChecksumMismatch {
+                    bench: b.name.to_string(),
+                    base: base.clone(),
+                    full: out.checksum,
+                });
+            }
+            Some(_) => {}
+            None => checksum = Some(out.checksum.clone()),
+        }
+        checks.push(out.counters.by_category(Category::Check));
+        uops.push(out.uops);
+        cycles.push(out.sim.as_ref().expect("timed").cycles);
+        total_uops += out.uops;
+        disps.push(disp);
+    }
+    let disp = if disps.iter().all(|d| *d == CacheDisposition::Hit) {
+        CacheDisposition::Hit
+    } else if disps.iter().all(|d| *d == CacheDisposition::Off) {
+        CacheDisposition::Off
+    } else {
+        CacheDisposition::Miss
+    };
+    let noelide = checks[1];
+    let elided: Vec<u64> = checks.iter().map(|&c| noelide.saturating_sub(c)).collect();
+    let row = FigBbvRow {
+        name: b.name.to_string(),
+        suite: b.suite.name().to_string(),
+        checks,
+        elided,
+        uops,
+        cycles,
+    };
+    Ok((row, total_uops, disp))
+}
+
+/// Render the BBV head-to-head table: per-benchmark checks executed and
+/// elided under each configuration, then µop/cycle ratios vs `opt-noelide`,
+/// then a software-vs-hardware elision summary (bbv elided as a fraction of
+/// cc-full elided).
+pub fn render_fig_bbv(rows: &[FigBbvRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<34} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "benchmark (checks retired)",
+        BBV_CONFIGS[0],
+        BBV_CONFIGS[1],
+        BBV_CONFIGS[2],
+        BBV_CONFIGS[3],
+        BBV_CONFIGS[4],
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            r.name, r.checks[0], r.checks[1], r.checks[2], r.checks[3], r.checks[4],
+        );
+    }
+    let pct = |part: u64, whole: u64| {
+        if whole == 0 {
+            0.0
+        } else {
+            100.0 * part as f64 / whole as f64
+        }
+    };
+    let _ = writeln!(
+        out,
+        "\n{:<34} {:>9} {:>9} {:>9} | {:>9} {:>9}",
+        "elided vs opt-noelide (%)", "cc-full", "bbv", "cc+bbv", "uops*", "cycles*"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>8.1}% {:>8.1}% {:>8.1}% | {:>8.3} {:>8.3}",
+            r.name,
+            pct(r.elided[2], r.checks[1]),
+            pct(r.elided[3], r.checks[1]),
+            pct(r.elided[4], r.checks[1]),
+            r.uops[3] as f64 / r.uops[1].max(1) as f64,
+            r.cycles[3] as f64 / r.cycles[1].max(1) as f64,
+        );
+    }
+    let _ = writeln!(out, "  (* bbv run relative to opt-noelide)");
+    let cc: u64 = rows.iter().map(|r| r.elided[2]).sum();
+    let bbv: u64 = rows.iter().map(|r| r.elided[3]).sum();
+    if cc > 0 {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>8.1}%   (software BBV / hardware Class Cache)",
+            "bbv elision vs cc-full",
+            100.0 * bbv as f64 / cc as f64,
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // §5.3 overheads
 // ---------------------------------------------------------------------------
 

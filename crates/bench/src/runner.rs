@@ -34,6 +34,9 @@ pub struct RunConfig {
     /// Class Cache geometry (Table 2 default; the `ccsweep` ablation
     /// varies it).
     pub class_cache: ClassCacheConfig,
+    /// Software check elision via lazy basic-block versioning
+    /// (orthogonal to `mechanism`; see `EngineConfig::bbv`).
+    pub bbv: bool,
 }
 
 impl RunConfig {
@@ -47,6 +50,7 @@ impl RunConfig {
             scale: None,
             timing: false,
             class_cache: ClassCacheConfig::default(),
+            bbv: false,
         }
     }
 
@@ -59,6 +63,7 @@ impl RunConfig {
             scale: None,
             timing: true,
             class_cache: ClassCacheConfig::default(),
+            bbv: false,
         }
     }
 
@@ -71,6 +76,7 @@ impl RunConfig {
             scale: None,
             timing: true,
             class_cache: ClassCacheConfig::default(),
+            bbv: false,
         }
     }
 
@@ -91,6 +97,13 @@ impl RunConfig {
     /// does not affect the trace-cache key.
     pub fn with_timing(mut self, timing: bool) -> RunConfig {
         self.timing = timing;
+        self
+    }
+
+    /// Enable or disable BBV (software check elision). Changes the µop
+    /// stream, so it IS part of the trace-cache key.
+    pub fn with_bbv(mut self, bbv: bool) -> RunConfig {
+        self.bbv = bbv;
         self
     }
 }
@@ -375,6 +388,7 @@ fn run_live(
         mechanism: cfg.mechanism,
         opt_enabled: cfg.opt,
         class_cache: cfg.class_cache,
+        bbv: cfg.bbv,
         ..EngineConfig::default()
     };
     let mut vm = Vm::new(engine_cfg);
@@ -401,9 +415,15 @@ fn run_live(
     }
 
     // Steady-state boundary: reset statistics, keep all warm state.
+    // The BBV version-table counters are cumulative warm-up state (like
+    // `hidden_classes`), not per-iteration events — carry them across.
     vm.class_cache.reset_stats();
     vm.load_stats.reset();
+    let (bbv_versions, bbv_cap_fallbacks) =
+        (vm.stats.bbv_versions, vm.stats.bbv_cap_fallbacks);
     vm.stats = VmStats::default();
+    vm.stats.bbv_versions = bbv_versions;
+    vm.stats.bbv_cap_fallbacks = bbv_cap_fallbacks;
     vm.rt.reset_prng();
 
     let measured_err = |e: checkelide_engine::vm::VmError| RunError::Measured {
@@ -503,6 +523,7 @@ mod tests {
                 scale: Some(6),
                 timing: false,
                 class_cache: ClassCacheConfig::default(),
+                bbv: false,
             };
             run_benchmark(b, cfg).checksum
         };

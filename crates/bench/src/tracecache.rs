@@ -279,8 +279,9 @@ pub fn cache_key(bench: &str, scale: i32, cfg: &RunConfig) -> String {
         Mechanism::Full => "full",
     };
     format!(
-        "{bench}|s{scale}|{mech}|opt{}|it{}|cc{}x{}|e{}|c{}",
+        "{bench}|s{scale}|{mech}|opt{}|bbv{}|it{}|cc{}x{}|e{}|c{}",
         cfg.opt,
+        cfg.bbv,
         cfg.iterations,
         cfg.class_cache.entries,
         cfg.class_cache.ways,
@@ -304,8 +305,9 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 
 /// Sidecar magic.
 const META_MAGIC: [u8; 4] = *b"CKMT";
-/// Sidecar format version.
-const META_VERSION: u8 = 1;
+/// Sidecar format version. v2 added the BBV fields of
+/// [`VmStats`] (`bbv_versions`, `bbv_cap_fallbacks`).
+const META_VERSION: u8 = 2;
 
 /// Everything a [`crate::runner::RunOutput`] needs besides the µop trace
 /// itself. Stored as a small self-describing binary file (the workspace's
@@ -411,6 +413,8 @@ impl Sidecar {
             v.gc_runs,
             v.line0_accesses,
             v.linen_accesses,
+            v.bbv_versions,
+            v.bbv_cap_fallbacks,
         ] {
             put_u64(&mut out, w);
         }
@@ -461,6 +465,8 @@ impl Sidecar {
             gc_runs: c.u64()?,
             line0_accesses: c.u64()?,
             linen_accesses: c.u64()?,
+            bbv_versions: c.u64()?,
+            bbv_cap_fallbacks: c.u64()?,
         };
         let obj_stats = ObjectStats {
             objects: c.u64()?,
@@ -522,6 +528,8 @@ mod tests {
                 gc_runs: 7,
                 line0_accesses: 8,
                 linen_accesses: 9,
+                bbv_versions: 18,
+                bbv_cap_fallbacks: 19,
             },
             obj_stats: ObjectStats {
                 objects: 11,
@@ -570,6 +578,11 @@ mod tests {
         let mut it = base;
         it.iterations = 3;
         assert_ne!(k0, cache_key("ai-astar", 4, &it));
+        // BBV changes the µop stream (checks drop out of specialized
+        // block versions): its traces must never collide with non-BBV
+        // traces of the same mechanism.
+        let bbv = base.with_bbv(true);
+        assert_ne!(k0, cache_key("ai-astar", 4, &bbv));
     }
 
     #[test]

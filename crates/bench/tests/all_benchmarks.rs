@@ -13,6 +13,7 @@ fn quick(mech: Mechanism, opt: bool) -> RunConfig {
         scale: Some(2),
         timing: false,
         class_cache: checkelide_core::classcache::ClassCacheConfig::default(),
+        bbv: false,
     }
 }
 

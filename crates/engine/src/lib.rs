@@ -53,7 +53,7 @@ pub use vm::{
 /// into [`trace_salt`], which keys the on-disk trace cache: bumping it
 /// invalidates every recorded trace at once, so stale traces can never be
 /// replayed against a harness that would no longer produce them.
-pub const TRACE_SCHEMA_REV: u32 = 1;
+pub const TRACE_SCHEMA_REV: u32 = 2;
 
 /// Cache-invalidation salt identifying the µop-producing side of the
 /// system: the crate version plus the manually-bumped

@@ -62,6 +62,14 @@ pub struct EngineConfig {
     pub max_deopts: u32,
     /// Class Cache geometry.
     pub class_cache: ClassCacheConfig,
+    /// Software check elision via lazy basic-block versioning: the
+    /// optimizing tier specializes block versions on typed contexts
+    /// (locals/operand tags + known maps established by dominating
+    /// checks) instead of — or in addition to — the hardware Class
+    /// Cache profile. Orthogonal to [`Mechanism`]: `bbv` alone is the
+    /// pure-software competitor, `bbv` + [`Mechanism::Full`] is the
+    /// combined configuration.
+    pub bbv: bool,
     /// Execution step budget: the VM aborts with a `step budget
     /// exceeded` runtime error after this many interpreted bytecodes /
     /// optimized ops. `0` means unlimited. Differential harnesses set
@@ -79,6 +87,7 @@ impl Default for EngineConfig {
             gc_threshold_words: 6 << 20,
             max_deopts: 8,
             class_cache: ClassCacheConfig::default(),
+            bbv: false,
             step_budget: 0,
         }
     }
@@ -275,6 +284,13 @@ pub struct VmStats {
     pub line0_accesses: u64,
     /// Property accesses beyond line 0.
     pub linen_accesses: u64,
+    /// Basic-block versions materialized by the BBV tier (0 unless
+    /// [`EngineConfig::bbv`]). Cumulative warm-up state, like hidden
+    /// classes: the bench runner carries it across the steady-state
+    /// statistics reset.
+    pub bbv_versions: u64,
+    /// BBV version-cap fallbacks to the generic block version.
+    pub bbv_cap_fallbacks: u64,
 }
 
 /// The virtual machine.

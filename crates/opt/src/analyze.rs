@@ -201,6 +201,54 @@ pub fn analyze(vm: &Vm, func: u32, bc: &BytecodeFunc) -> Analysis {
     Analysis { plans, speculations: a.speculations, elided_sites: a.elided_sites }
 }
 
+/// Products of materializing one straight-line BBV block version:
+/// the specialized plans for `[leader ..= end]`, the abstract state
+/// flowing out of `end` (collapsed by the caller into the successor
+/// versions' contexts), and the speculations the plans rely on.
+pub(crate) struct BlockAnalysis {
+    /// Plans for pcs `leader..=end`, indexed `pc - leader`.
+    pub plans: Vec<OpPlan>,
+    /// Last pc of the block (inclusive).
+    pub end: usize,
+    /// Abstract state after `end` (shared by all out-edges; the
+    /// transfer function does not refine on branch outcomes).
+    pub exit: AbsState,
+    /// Class-Cache speculations the plans rely on (non-empty only when
+    /// `elide`); the caller must register them or re-materialize with
+    /// `elide: false`.
+    pub speculations: Vec<(MapIx, u8, u8)>,
+}
+
+/// Plan one basic block for the BBV tier, seeded from an incoming
+/// typed context instead of the fixpoint's merged entry state. Blocks
+/// are single-entry straight-line by construction (every jump target
+/// is a version leader), so one forward transfer pass is exact — no
+/// fixpoint needed. The `movClassIDArray` hoisting post-pass is
+/// deliberately skipped: versions execute the non-hoisted sequences.
+pub(crate) fn analyze_block(
+    vm: &Vm,
+    func: u32,
+    bc: &BytecodeFunc,
+    leader: usize,
+    is_leader: &[bool],
+    seed: AbsState,
+    elide: bool,
+) -> BlockAnalysis {
+    let mut a = Analyzer { vm, func, bc, elide, speculations: Vec::new(), elided_sites: 0 };
+    let mut s = seed;
+    let mut plans = Vec::new();
+    let mut pc = leader;
+    loop {
+        plans.push(a.transfer(&mut s, pc, true));
+        let succs = successors(&bc.code[pc], pc);
+        let falls_through = succs.len() == 1 && succs[0] == pc + 1 && !is_leader[pc + 1];
+        if !falls_through {
+            return BlockAnalysis { plans, end: pc, exit: s, speculations: a.speculations };
+        }
+        pc += 1;
+    }
+}
+
 struct Analyzer<'v> {
     vm: &'v Vm,
     func: u32,
@@ -1145,7 +1193,7 @@ impl<'v> Analyzer<'v> {
 }
 
 /// Successor pcs of an op.
-fn successors(op: &Bc, pc: usize) -> Vec<usize> {
+pub(crate) fn successors(op: &Bc, pc: usize) -> Vec<usize> {
     match op {
         Bc::Jump(t) => vec![*t as usize],
         Bc::JumpIfFalse(t) | Bc::JumpIfTrue(t) => vec![pc + 1, *t as usize],

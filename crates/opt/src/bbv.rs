@@ -1,0 +1,277 @@
+//! Lazy basic-block versioning: the software check-elision competitor
+//! tier (Chevalier-Boisvert & Feeley, extended with typed object
+//! shapes).
+//!
+//! Where the paper's Class Cache removes checks with a *hardware*
+//! profile, this tier removes them in *software* by keeping, per basic
+//! block, up to [`VERSION_CAP`] specialized versions keyed by the
+//! incoming [`TypeCtx`] — the tags established by dominating checks,
+//! literal loads, and entry-point observation of argument types. A
+//! check executed once in a version's block makes every later check on
+//! the same value in that version [`CheckKind::None`]; a dominating
+//! `CheckKind::Map` extends the context with the exact hidden class,
+//! so downstream property loads become unchecked slot loads
+//! (shape-extended contexts).
+//!
+//! Versions are materialized lazily, on first entry of a block with a
+//! given context, by re-running the analyzer's transfer function over
+//! the straight-line block seeded from the context
+//! ([`analyze::analyze_block`]). Past the cap, entry falls back to the
+//! all-`Unknown` generic version — always sound, never counted against
+//! the cap. Deopt semantics are untouched: specialized plans reuse the
+//! exact plan vocabulary and deopt paths of the scalar tier, so a
+//! broken assumption (map transition, SMI overflow, epoch bump,
+//! misspeculation) resumes the baseline interpreter exactly as before.
+//!
+//! [`CheckKind::None`]: crate::plan::CheckKind::None
+//! [`CheckKind::Map`]: crate::plan::CheckKind::Map
+
+use crate::analyze::{analyze_block, successors};
+use crate::context::TypeCtx;
+use crate::plan::OpPlan;
+use checkelide_engine::bytecode::{Bc, BytecodeFunc};
+use checkelide_engine::{Mechanism, Vm};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Maximum specialized versions per block; past it, entry falls back
+/// to the generic (all-`Unknown`) version, which is exempt from the
+/// cap.
+pub const VERSION_CAP: u32 = 5;
+
+/// One materialized block version: plans for `leader..=end`
+/// specialized on an incoming context, plus the collapsed exit context
+/// every out-edge hands to the successor leader.
+#[derive(Debug)]
+pub struct BlockVersion {
+    /// First pc of the block (a leader).
+    pub leader: usize,
+    /// Last pc of the block (inclusive).
+    pub end: usize,
+    /// Plans for `leader..=end`, indexed `pc - leader`.
+    pub plans: Vec<OpPlan>,
+    /// Context flowing out of `end` into every successor leader.
+    pub exit: TypeCtx,
+}
+
+/// Per-function version table, attached to an `OptimizedBody` when the
+/// engine runs with `EngineConfig::bbv`.
+#[derive(Debug)]
+pub struct BbvState {
+    /// `leaders[pc]`: pc starts a basic block (entry, jump targets,
+    /// fallthrough successors of conditional branches).
+    leaders: Vec<bool>,
+    /// Materialized versions keyed by (leader, incoming context).
+    versions: HashMap<(u32, TypeCtx), Rc<BlockVersion>>,
+    /// Non-generic versions per leader (cap accounting).
+    specialized: HashMap<u32, u32>,
+    /// Total versions materialized (generic included; reporting).
+    pub versions_materialized: u32,
+    /// Entries redirected to the generic version by the cap.
+    pub cap_fallbacks: u32,
+}
+
+/// Compute the block-leader set of a bytecode function.
+pub fn leaders(bc: &BytecodeFunc) -> Vec<bool> {
+    let n = bc.code.len();
+    let mut l = vec![false; n];
+    if n > 0 {
+        l[0] = true;
+    }
+    for (pc, op) in bc.code.iter().enumerate() {
+        match *op {
+            Bc::Jump(t) => l[t as usize] = true,
+            Bc::JumpIfFalse(t) | Bc::JumpIfTrue(t) => {
+                l[t as usize] = true;
+                if pc + 1 < n {
+                    l[pc + 1] = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    l
+}
+
+impl BbvState {
+    /// Empty version table for a function.
+    pub fn new(bc: &BytecodeFunc) -> BbvState {
+        BbvState {
+            leaders: leaders(bc),
+            versions: HashMap::new(),
+            specialized: HashMap::new(),
+            versions_materialized: 0,
+            cap_fallbacks: 0,
+        }
+    }
+
+    /// Whether `pc` starts a basic block.
+    pub fn is_leader(&self, pc: usize) -> bool {
+        self.leaders[pc]
+    }
+
+    /// Look up — lazily materializing — the version of the block at
+    /// `leader` for incoming context `ctx`. Applies the version cap
+    /// (generic fallback) and registers any Class-Cache speculations
+    /// the specialized plans rely on; if a slot lost monomorphism in
+    /// the meantime, the block is re-planned without elision.
+    pub fn version(
+        &mut self,
+        vm: &mut Vm,
+        func: u32,
+        bc: &BytecodeFunc,
+        leader: usize,
+        ctx: TypeCtx,
+    ) -> Rc<BlockVersion> {
+        debug_assert!(self.leaders[leader], "version lookup at non-leader pc {leader}");
+        let mut ctx = ctx;
+        if let Some(v) = self.versions.get(&(leader as u32, ctx.clone())) {
+            return v.clone();
+        }
+        if !ctx.is_generic()
+            && self.specialized.get(&(leader as u32)).copied().unwrap_or(0) >= VERSION_CAP
+        {
+            self.cap_fallbacks += 1;
+            vm.stats.bbv_cap_fallbacks += 1;
+            ctx = ctx.generic_of();
+            if let Some(v) = self.versions.get(&(leader as u32, ctx.clone())) {
+                return v.clone();
+            }
+        }
+        let elide = vm.config.mechanism == Mechanism::Full;
+        let mut ba = analyze_block(vm, func, bc, leader, &self.leaders, ctx.seed_state(), elide);
+        if !ba.speculations.is_empty() {
+            let registered = ba
+                .speculations
+                .iter()
+                .all(|&(intro, line, pos)| vm.speculate_on(intro, line, pos, func));
+            if !registered {
+                // A slot lost monomorphism between feedback collection
+                // and now; unlike the function-granular compiler we
+                // cannot defer mid-execution, so plan the block without
+                // Class-Cache elision (already-registered speculations
+                // are harmless extra invalidation edges).
+                ba = analyze_block(vm, func, bc, leader, &self.leaders, ctx.seed_state(), false);
+            }
+        }
+        let ver = Rc::new(BlockVersion {
+            leader,
+            end: ba.end,
+            plans: ba.plans,
+            exit: TypeCtx::of_state(&ba.exit),
+        });
+        if !ctx.is_generic() {
+            *self.specialized.entry(leader as u32).or_insert(0) += 1;
+        }
+        self.versions_materialized += 1;
+        vm.stats.bbv_versions += 1;
+        self.versions.insert((leader as u32, ctx), ver.clone());
+        ver
+    }
+}
+
+/// Debug aid: the out-edges of the block ending at `end`.
+pub fn block_successors(bc: &BytecodeFunc, end: usize) -> Vec<usize> {
+    successors(&bc.code[end], end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use checkelide_runtime::Value;
+
+    fn bc_of(src: &str) -> (Vm, u32, Rc<BytecodeFunc>) {
+        use checkelide_engine::EngineConfig;
+        use checkelide_isa::NullSink;
+        let mut vm = Vm::new(EngineConfig { opt_enabled: false, ..EngineConfig::default() });
+        let mut sink = NullSink::new();
+        vm.run_program(src, &mut sink).unwrap();
+        let func = vm
+            .funcs
+            .iter()
+            .position(|f| f.decl.name == "f")
+            .expect("function f defined") as u32;
+        let bc = vm.ensure_bytecode(func);
+        (vm, func, bc)
+    }
+
+    #[test]
+    fn leaders_cover_entry_targets_and_fallthroughs() {
+        let (_vm, _func, bc) = bc_of("function f(x) { if (x) { x = 1; } return x; } f(0);");
+        let l = leaders(&bc);
+        assert!(l[0], "entry is a leader");
+        for (pc, op) in bc.code.iter().enumerate() {
+            match *op {
+                Bc::Jump(t) => assert!(l[t as usize]),
+                Bc::JumpIfFalse(t) | Bc::JumpIfTrue(t) => {
+                    assert!(l[t as usize]);
+                    assert!(l[pc + 1], "fallthrough of conditional at {pc} is a leader");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn entry_block_materializes_and_chains() {
+        // Walk versions from the entry block along exit contexts until
+        // a terminal block; every hop must stay inside the function and
+        // carry plans for exactly its pc range.
+        let (mut vm, func, bc) = bc_of(
+            "function f(x) { var s = 0; for (var i = 0; i < x; i++) { s = s + i; } return s; } f(5);",
+        );
+        let mut st = BbvState::new(&bc);
+        let entry = TypeCtx::entry(&vm, bc.n_locals as usize, bc.params as usize, Value::smi(0), &[Value::smi(5)]);
+        let mut ver = st.version(&mut vm, func, &bc, 0, entry);
+        let mut seen = std::collections::HashSet::new();
+        loop {
+            assert!(ver.end < bc.code.len());
+            assert_eq!(ver.plans.len(), ver.end - ver.leader + 1);
+            if !seen.insert(Rc::as_ptr(&ver) as usize) {
+                break; // back edge reached an already-materialized version
+            }
+            let succs = block_successors(&bc, ver.end);
+            let Some(&next) = succs.first() else { break };
+            assert!(st.is_leader(next), "block exits only into leaders");
+            let ctx = ver.exit.clone();
+            ver = st.version(&mut vm, func, &bc, next, ctx);
+            assert!(seen.len() < 64, "version chain diverged");
+        }
+        assert!(st.versions_materialized >= 2);
+    }
+
+    #[test]
+    fn version_cap_redirects_to_generic() {
+        let (mut vm, func, bc) = bc_of("function f(x) { return x; } f(1);");
+        let mut st = BbvState::new(&bc);
+        let mk = |tag| TypeCtx {
+            locals: vec![tag; bc.n_locals as usize],
+            this: crate::context::TypeTag::Unknown,
+            stack: Vec::new(),
+        };
+        use crate::context::TypeTag;
+        let tags = [
+            TypeTag::Smi,
+            TypeTag::Number,
+            TypeTag::HeapNum,
+            TypeTag::Str,
+            TypeTag::Bool,
+            TypeTag::Map(checkelide_runtime::MapIx(0)),
+            TypeTag::Map(checkelide_runtime::MapIx(1)),
+        ];
+        let mut distinct = std::collections::HashSet::new();
+        for t in tags {
+            let v = st.version(&mut vm, func, &bc, 0, mk(t));
+            distinct.insert(Rc::as_ptr(&v) as usize);
+        }
+        // 5 specialized versions, then the 6th/7th context share one
+        // generic fallback.
+        assert_eq!(st.cap_fallbacks, 2);
+        assert_eq!(distinct.len(), VERSION_CAP as usize + 1);
+        // The generic version is reused, not re-materialized.
+        let before = st.versions_materialized;
+        let g = st.version(&mut vm, func, &bc, 0, mk(TypeTag::Map(checkelide_runtime::MapIx(9))));
+        assert_eq!(st.versions_materialized, before);
+        assert!(distinct.contains(&(Rc::as_ptr(&g) as usize)));
+    }
+}

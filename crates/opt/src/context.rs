@@ -1,0 +1,201 @@
+//! Typed contexts for lazy basic-block versioning (BBV).
+//!
+//! A [`TypeCtx`] is the versioning key of the software check-elision
+//! tier: the collapsed type knowledge — one [`TypeTag`] per local, for
+//! `this`, and per operand-stack slot — holding at a basic-block
+//! boundary. Block versions are materialized per distinct incoming
+//! context, so a check executed (or a type observed at function entry)
+//! in one block makes every downstream check on the same value
+//! redundant *in that version*, without any hardware profile.
+//!
+//! The tag lattice deliberately collapses the analyzer's [`Abs`]
+//! lattice: alias and provenance information is dropped, and
+//! Class-Cache provenance (`cc` bits) is cleared, so two abstract
+//! states that agree on tags share a version. Re-seeding every fact as
+//! a *check-derived* fact (`cc: false`) is strictly conservative — such
+//! facts are killed across calls and map transitions by the existing
+//! transfer function, which is exactly what keeps a version's plans
+//! sound for every activation that enters with matching tags.
+
+use crate::analyze::{Abs, AbsState, AEntry, Alias};
+use checkelide_engine::Vm;
+use checkelide_isa::uop::Provenance;
+use checkelide_runtime::{MapIx, Value, VKind};
+
+/// One value's collapsed type knowledge in a versioning context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeTag {
+    /// Nothing known.
+    Unknown,
+    /// Small integer.
+    Smi,
+    /// SMI or boxed double.
+    Number,
+    /// Boxed double.
+    HeapNum,
+    /// String.
+    Str,
+    /// Boolean.
+    Bool,
+    /// Object with this exact hidden class.
+    Map(MapIx),
+}
+
+impl TypeTag {
+    /// Collapse an abstract value to its versioning tag (drops alias,
+    /// provenance and Class-Cache origin).
+    pub fn of_abs(a: Abs) -> TypeTag {
+        match a {
+            Abs::Unknown => TypeTag::Unknown,
+            Abs::Smi => TypeTag::Smi,
+            Abs::Number => TypeTag::Number,
+            Abs::HeapNum { .. } => TypeTag::HeapNum,
+            Abs::Str => TypeTag::Str,
+            Abs::Bool => TypeTag::Bool,
+            Abs::KnownMap { map, .. } => TypeTag::Map(map),
+        }
+    }
+
+    /// Expand back to an abstract fact. Always check-derived
+    /// (`cc: false`): the conservative end of the provenance dimension.
+    pub fn to_abs(self) -> Abs {
+        match self {
+            TypeTag::Unknown => Abs::Unknown,
+            TypeTag::Smi => Abs::Smi,
+            TypeTag::Number => Abs::Number,
+            TypeTag::HeapNum => Abs::HeapNum { cc: false },
+            TypeTag::Str => Abs::Str,
+            TypeTag::Bool => Abs::Bool,
+            TypeTag::Map(m) => Abs::KnownMap { map: m, cc: false },
+        }
+    }
+
+    /// The tag of a concrete runtime value — what entry-point
+    /// specialization observes about an argument. Plain objects carry
+    /// their exact hidden class (the shape-extended part of the
+    /// context); functions and oddballs stay `Unknown` (the [`Abs`]
+    /// lattice has no point for them).
+    pub fn of_value(vm: &Vm, v: Value) -> TypeTag {
+        match vm.rt.kind_of(v) {
+            VKind::Smi => TypeTag::Smi,
+            VKind::Number => TypeTag::HeapNum,
+            VKind::Str => TypeTag::Str,
+            VKind::Bool(_) => TypeTag::Bool,
+            VKind::Object => TypeTag::Map(vm.rt.object_map(v)),
+            VKind::Func | VKind::Null | VKind::Undefined => TypeTag::Unknown,
+        }
+    }
+}
+
+/// The versioning key: collapsed tags for every local, `this`, and the
+/// operand stack at a block boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TypeCtx {
+    /// Per-local tag.
+    pub locals: Vec<TypeTag>,
+    /// Tag of `this`.
+    pub this: TypeTag,
+    /// Per-stack-slot tag (same depth on every edge into a leader —
+    /// the bytecode's balanced-stack invariant).
+    pub stack: Vec<TypeTag>,
+}
+
+impl TypeCtx {
+    /// Collapse an analyzer state to its versioning key.
+    pub fn of_state(s: &AbsState) -> TypeCtx {
+        TypeCtx {
+            locals: s.locals.iter().map(|&(a, _)| TypeTag::of_abs(a)).collect(),
+            this: TypeTag::of_abs(s.this),
+            stack: s.stack.iter().map(|e| TypeTag::of_abs(e.abs)).collect(),
+        }
+    }
+
+    /// Seed an analyzer state from the context: every fact re-enters
+    /// the lattice check-derived with no alias/provenance, which is
+    /// the sound lower bound for any state that collapses to this key.
+    pub fn seed_state(&self) -> AbsState {
+        AbsState {
+            locals: self.locals.iter().map(|t| (t.to_abs(), Provenance::None)).collect(),
+            this: self.this.to_abs(),
+            stack: self
+                .stack
+                .iter()
+                .map(|t| AEntry { abs: t.to_abs(), alias: Alias::None, origin: Provenance::None })
+                .collect(),
+        }
+    }
+
+    /// The generic (version-cap fallback) context at this shape: all
+    /// tags `Unknown`. Always materializable; its plans are exactly the
+    /// conservative no-knowledge specialization.
+    pub fn generic_of(&self) -> TypeCtx {
+        TypeCtx {
+            locals: vec![TypeTag::Unknown; self.locals.len()],
+            this: TypeTag::Unknown,
+            stack: vec![TypeTag::Unknown; self.stack.len()],
+        }
+    }
+
+    /// Whether this is the all-`Unknown` generic context.
+    pub fn is_generic(&self) -> bool {
+        self.this == TypeTag::Unknown
+            && self.locals.iter().all(|&t| t == TypeTag::Unknown)
+            && self.stack.iter().all(|&t| t == TypeTag::Unknown)
+    }
+
+    /// The entry context of an activation: argument and `this` tags
+    /// observed from the concrete values (entry-point specialization),
+    /// unset locals `Unknown`, stack empty.
+    pub fn entry(vm: &Vm, n_locals: usize, params: usize, this: Value, args: &[Value]) -> TypeCtx {
+        let mut locals = vec![TypeTag::Unknown; n_locals];
+        for (i, slot) in locals.iter_mut().enumerate().take(params.min(n_locals)) {
+            if let Some(&v) = args.get(i) {
+                *slot = TypeTag::of_value(vm, v);
+            }
+        }
+        TypeCtx { locals, this: TypeTag::of_value(vm, this), stack: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_round_trip_clears_cc() {
+        let cc_fact = Abs::KnownMap { map: MapIx(7), cc: true };
+        let tag = TypeTag::of_abs(cc_fact);
+        assert_eq!(tag, TypeTag::Map(MapIx(7)));
+        assert_eq!(tag.to_abs(), Abs::KnownMap { map: MapIx(7), cc: false });
+        assert_eq!(TypeTag::of_abs(Abs::HeapNum { cc: true }).to_abs(), Abs::HeapNum { cc: false });
+    }
+
+    #[test]
+    fn generic_ctx_preserves_shape_only() {
+        let ctx = TypeCtx {
+            locals: vec![TypeTag::Smi, TypeTag::Map(MapIx(3))],
+            this: TypeTag::Str,
+            stack: vec![TypeTag::Bool],
+        };
+        assert!(!ctx.is_generic());
+        let g = ctx.generic_of();
+        assert!(g.is_generic());
+        assert_eq!(g.locals.len(), 2);
+        assert_eq!(g.stack.len(), 1);
+    }
+
+    #[test]
+    fn seed_state_has_no_aliases() {
+        let ctx = TypeCtx {
+            locals: vec![TypeTag::Smi],
+            this: TypeTag::Map(MapIx(1)),
+            stack: vec![TypeTag::HeapNum],
+        };
+        let s = ctx.seed_state();
+        assert_eq!(s.locals[0], (Abs::Smi, Provenance::None));
+        assert_eq!(s.this, Abs::KnownMap { map: MapIx(1), cc: false });
+        assert_eq!(s.stack[0].abs, Abs::HeapNum { cc: false });
+        assert_eq!(s.stack[0].alias, Alias::None);
+        assert_eq!(TypeCtx::of_state(&s), ctx);
+    }
+}

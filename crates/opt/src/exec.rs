@@ -11,6 +11,8 @@
 //! (deoptimization, §3.2); misspeculation exceptions raised by this
 //! function's own stores resume after the offending store (§4.2.2).
 
+use crate::bbv::{BbvState, BlockVersion};
+use crate::context::TypeCtx;
 use crate::plan::*;
 use checkelide_engine::bytecode::{Bc, BytecodeFunc};
 use checkelide_engine::emit::{stubs, Emitter};
@@ -23,6 +25,7 @@ use checkelide_isa::uop::{Category, MemRef, Provenance, Region, Tok, Uop, UopKin
 use checkelide_isa::BatchSink;
 use checkelide_runtime::numops::{self, BitwiseOp, CmpOp};
 use checkelide_runtime::{maps::fixed, Builtin, ElemKind, FuncRef, Value};
+use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Optimized code for one function.
@@ -35,6 +38,10 @@ pub struct OptimizedBody {
     pub plans: Vec<OpPlan>,
     /// Check sites removed thanks to the Class Cache profile.
     pub elided_sites: u32,
+    /// Lazy block-version table, present when the engine runs with
+    /// `EngineConfig::bbv`. `None` keeps the scalar plan-walking path
+    /// (the differential reference) byte-identical to before.
+    pub bbv: Option<RefCell<BbvState>>,
 }
 
 impl OptimizedCode for OptimizedBody {
@@ -325,21 +332,64 @@ impl<'a> Exec<'a> {
         let body = self.body;
         let bc: &BytecodeFunc = &body.bc;
         let mut pc = 0usize;
+        // BBV: the current block version. Entered at pc 0 with the
+        // context observed from the activation's concrete `this` and
+        // arguments (entry-point specialization); every later block
+        // transition hands the predecessor's exit context to the
+        // successor leader. The `Rc` is cloned out of the version
+        // table so no `RefCell` borrow is held while ops execute
+        // (nested activations of the same function re-enter it).
+        let mut cur: Option<Rc<BlockVersion>> = if body.bbv.is_some() {
+            let ctx = TypeCtx::entry(
+                self.vm,
+                bc.n_locals as usize,
+                bc.params as usize,
+                self.this,
+                &self.locals[..(bc.params as usize).min(self.locals.len())],
+            );
+            Some(self.enter_block(0, ctx))
+        } else {
+            None
+        };
         loop {
             if self.vm.steps_remaining == 0 {
                 return ExecResult::Error(VmError::new(checkelide_engine::STEP_BUDGET_MSG));
             }
             self.vm.steps_remaining -= 1;
             self.em.at(self.code_base + pc as u64 * 64);
-            let flow = self.step(sink, bc, &body.plans[pc], pc);
+            let flow = match &cur {
+                Some(v) => self.step(sink, bc, &v.plans[pc - v.leader], pc),
+                None => self.step(sink, bc, &body.plans[pc], pc),
+            };
             match flow {
-                Flow::Next => pc += 1,
-                Flow::Jump(t) => pc = t,
+                Flow::Next => {
+                    pc += 1;
+                    if let Some(v) = &cur {
+                        if pc > v.end {
+                            let ctx = v.exit.clone();
+                            cur = Some(self.enter_block(pc, ctx));
+                        }
+                    }
+                }
+                Flow::Jump(t) => {
+                    pc = t;
+                    if let Some(v) = &cur {
+                        let ctx = v.exit.clone();
+                        cur = Some(self.enter_block(pc, ctx));
+                    }
+                }
                 Flow::Return(v) => return ExecResult::Return(v),
                 Flow::Deopt(state) => return ExecResult::Deopt(state),
                 Flow::Error(e) => return ExecResult::Error(e),
             }
         }
+    }
+
+    /// BBV: look up — lazily materializing — the version of the block
+    /// at `pc` for incoming context `ctx`.
+    fn enter_block(&mut self, pc: usize, ctx: TypeCtx) -> Rc<BlockVersion> {
+        let cell = self.body.bbv.as_ref().expect("bbv state");
+        cell.borrow_mut().version(self.vm, self.body.func, &self.body.bc, pc, ctx)
     }
 
     #[allow(clippy::too_many_lines)]

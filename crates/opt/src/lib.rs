@@ -41,14 +41,19 @@
 //! ```
 
 pub mod analyze;
+pub mod bbv;
+pub mod context;
 pub mod exec;
 pub mod plan;
 
 use checkelide_core::FuncId;
 use checkelide_engine::{CompileOutcome, OptimizerHook, Vm};
+use std::cell::RefCell;
 use std::rc::Rc;
 
 pub use analyze::{analyze, Abs, Analysis};
+pub use bbv::{BbvState, BlockVersion, VERSION_CAP};
+pub use context::{TypeCtx, TypeTag};
 pub use exec::OptimizedBody;
 pub use plan::{CheckKind, NumMode, OpPlan};
 
@@ -78,11 +83,18 @@ impl OptimizerHook for Optimizer {
                 return CompileOutcome::Defer;
             }
         }
+        // With BBV enabled, attach an (empty) version table: block
+        // versions materialize lazily as execution reaches them. The
+        // scalar plans above stay in place as the differential
+        // reference and the `elided_sites` metadata source.
+        let bbv_state =
+            if vm.config.bbv { Some(RefCell::new(BbvState::new(&bc))) } else { None };
         CompileOutcome::Code(Rc::new(OptimizedBody {
             func,
             bc,
             plans: analysis.plans,
             elided_sites: analysis.elided_sites,
+            bbv: bbv_state,
         }))
     }
 }

@@ -202,6 +202,16 @@ pub struct MapTable {
     maps: Vec<Map>,
     /// Allocator for the dense 8-bit hardware identifiers.
     pub class_ids: ClassIdAllocator,
+    /// Reverse index `ClassId.raw() -> MapIx`, maintained by [`create`]
+    /// — the only site that assigns class ids, which are dense, stable
+    /// and never reused, so each slot is written at most once. Makes
+    /// [`map_of_class`] / [`label_of_class`] O(1) instead of a linear
+    /// scan (they sit on per-block BBV context-lookup paths).
+    ///
+    /// [`create`]: MapTable::create
+    /// [`map_of_class`]: MapTable::map_of_class
+    /// [`label_of_class`]: MapTable::label_of_class
+    by_class: [Option<MapIx>; 256],
 }
 
 impl Default for MapTable {
@@ -213,7 +223,11 @@ impl Default for MapTable {
 impl MapTable {
     /// Create the table with the fixed runtime maps preinstalled.
     pub fn new() -> MapTable {
-        let mut t = MapTable { maps: Vec::new(), class_ids: ClassIdAllocator::new() };
+        let mut t = MapTable {
+            maps: Vec::new(),
+            class_ids: ClassIdAllocator::new(),
+            by_class: [None; 256],
+        };
         t.create(MapKind::Oddball, ElemKind::Smi, None, "Oddball");
         t.create(MapKind::HeapNumber, ElemKind::Smi, None, "HeapNumber");
         t.create(MapKind::StringObj, ElemKind::Smi, None, "String");
@@ -235,6 +249,10 @@ impl MapTable {
     ) -> MapIx {
         let ix = MapIx(self.maps.len() as u32);
         let class_id = self.class_ids.get_or_alloc(ix.0);
+        if let Some(c) = class_id {
+            debug_assert!(self.by_class[c.raw() as usize].is_none(), "class id reassigned");
+            self.by_class[c.raw() as usize] = Some(ix);
+        }
         let (prop_offsets, props_order) = match parent {
             Some(p) => (self.maps[p.0 as usize].prop_offsets.clone(),
                         self.maps[p.0 as usize].props_order.clone()),
@@ -329,15 +347,13 @@ impl MapTable {
         Some((child, off))
     }
 
-    /// Resolve a ClassId back to its map, if any (≤255 candidates).
+    /// Resolve a ClassId back to its map, if any. O(1) via the reverse
+    /// index maintained at map creation.
     pub fn map_of_class(&self, class: ClassId) -> Option<MapIx> {
         if class.is_smi() {
             return None;
         }
-        self.maps
-            .iter()
-            .position(|m| m.class_id == Some(class))
-            .map(|i| MapIx(i as u32))
+        self.by_class[class.raw() as usize]
     }
 
     /// The map in `ix`'s ancestor chain that *introduced* property `name`
@@ -387,12 +403,10 @@ impl MapTable {
         if class.is_smi() {
             return "SMI".to_string();
         }
-        for m in &self.maps {
-            if m.class_id == Some(class) {
-                return m.label.clone();
-            }
+        match self.map_of_class(class) {
+            Some(m) => self.get(m).label.clone(),
+            None => format!("{class}"),
         }
-        format!("{class}")
     }
 }
 
@@ -528,6 +542,30 @@ mod tests {
         assert_eq!(maps.get(fixed::ARRAY_ROOT).kind, MapKind::Object);
         // Fixed maps get dense class ids starting at 0.
         assert_eq!(maps.get(fixed::ODDBALL).class_id.unwrap().raw(), 0);
+    }
+
+    #[test]
+    fn reverse_class_index_matches_linear_scan() {
+        let mut maps = MapTable::new();
+        let root = maps.new_constructor_root("Pt");
+        let x = NameId(0);
+        let y = NameId(1);
+        let (m1, _) = maps.transition_add_prop(root, x);
+        let (m2, _) = maps.transition_add_prop(m1, y);
+        let _ = maps.transition_elem_kind(fixed::ARRAY_ROOT, ElemKind::Double);
+        for raw in 0..=255u8 {
+            let class = ClassId::new(raw).unwrap_or(ClassId::SMI);
+            let linear = if class.is_smi() {
+                None
+            } else {
+                maps.maps
+                    .iter()
+                    .position(|m| m.class_id == Some(class))
+                    .map(|i| MapIx(i as u32))
+            };
+            assert_eq!(maps.map_of_class(class), linear, "class {raw}");
+        }
+        assert_eq!(maps.map_of_class(maps.get(m2).class_id.unwrap()), Some(m2));
     }
 
     #[test]

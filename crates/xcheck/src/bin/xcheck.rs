@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Generates `--count` programs from consecutive seeds starting at
-//! `--seed`, runs each under the reference interpreter and the four
+//! `--seed`, runs each under the reference interpreter and the six
 //! engine configurations, and reports divergences. Every mismatch is
 //! shrunk to a minimal reproducer and dumped under `--dump-dir`
 //! (default `results/xcheck`). The stdout report depends only on the
@@ -32,8 +32,9 @@ fn main() {
     let report = sweep(&opts);
     print!("{}", report.render());
     eprintln!(
-        "[xcheck] {} seeds x 4 configs in {:.2?} ({} jobs)",
+        "[xcheck] {} seeds x {} configs in {:.2?} ({} jobs)",
         opts.count,
+        checkelide_xcheck::config_matrix().len(),
         t0.elapsed(),
         opts.jobs
     );

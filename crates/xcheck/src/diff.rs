@@ -92,6 +92,12 @@ pub fn run_engine(src: &str, config: EngineConfig) -> Observed {
 /// * `cc-lowdeopt` — full mechanism with `max_deopts = 1`, so a single
 ///   misspeculation permanently banishes a function to the baseline
 ///   tier: exercises the epoch-bump / OSR-out path.
+/// * `bbv` — software check elision: lazy basic-block versioning with
+///   typed shape contexts, hardware mechanism off (profiling only, like
+///   `opt-noelide`, so the two differ exactly by the versioning tier).
+/// * `cc+bbv` — both elision mechanisms at once: BBV block versions on
+///   top of the full Class Cache, exercising the interaction between
+///   version-local facts and registered speculations.
 ///
 /// `opt_threshold` is lowered to 2 so the short generated loops actually
 /// tier up.
@@ -127,6 +133,26 @@ pub fn config_matrix() -> Vec<(String, EngineConfig)> {
                 opt_threshold: 2,
                 mechanism: Mechanism::Full,
                 max_deopts: 1,
+                ..base
+            },
+        ),
+        (
+            "bbv".into(),
+            EngineConfig {
+                opt_enabled: true,
+                opt_threshold: 2,
+                mechanism: Mechanism::ProfileOnly,
+                bbv: true,
+                ..base
+            },
+        ),
+        (
+            "cc+bbv".into(),
+            EngineConfig {
+                opt_enabled: true,
+                opt_threshold: 2,
+                mechanism: Mechanism::Full,
+                bbv: true,
                 ..base
             },
         ),
@@ -346,13 +372,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn matrix_has_the_four_configs() {
+    fn matrix_has_the_six_configs() {
         let m = config_matrix();
         let names: Vec<&str> = m.iter().map(|(n, _)| n.as_str()).collect();
-        assert_eq!(names, ["baseline", "opt-noelide", "cc-full", "cc-lowdeopt"]);
+        assert_eq!(
+            names,
+            ["baseline", "opt-noelide", "cc-full", "cc-lowdeopt", "bbv", "cc+bbv"]
+        );
         assert!(!m[0].1.opt_enabled);
         assert_eq!(m[3].1.max_deopts, 1);
         assert!(m.iter().skip(1).all(|(_, c)| c.opt_threshold == 2));
+        // The BBV configs differ from opt-noelide / cc-full exactly by
+        // the versioning tier.
+        assert!(m[4].1.bbv && m[4].1.mechanism == Mechanism::ProfileOnly);
+        assert!(m[5].1.bbv && m[5].1.mechanism == Mechanism::Full);
+        assert!(m.iter().take(4).all(|(_, c)| !c.bbv));
     }
 
     #[test]

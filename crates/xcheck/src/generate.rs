@@ -15,7 +15,13 @@
 //!   move through the Smi/Double/Tagged lattice on a phase schedule, plus
 //!   occasional `push`/`pop` traffic to exercise stale-slot resurrection;
 //! * **megamorphic sites** — worker functions whose `o.a`/`o.b` accesses
-//!   see objects from every constructor, chosen per loop iteration.
+//!   see objects from every constructor, chosen per loop iteration;
+//! * **version-explosion stressors** — branchy type-polymorphic diamond
+//!   functions whose locals carry a different type on each arm (SMI /
+//!   double / string / object) and merge with conflicting contexts,
+//!   called with a per-iteration argument-type schedule: exercises
+//!   BBV's entry-point specialization, context merges, and the
+//!   per-block version cap's generic fallback.
 //!
 //! Programs are built from templates with randomized parameters, so they
 //! always parse, never recurse (worker *k* only calls workers *j < k*),
@@ -137,13 +143,17 @@ impl Gen {
         let _ = writeln!(self.out, "// xcheck seed {seed}");
         let n_ctors = 1 + self.below(3) as usize;
         let n_workers = 1 + self.below(4) as usize;
+        let n_diamonds = self.below(3) as usize;
         for k in 0..n_ctors {
             self.constructor(k);
         }
         for k in 0..n_workers {
             self.worker(k);
         }
-        self.main(n_ctors, n_workers);
+        for k in 0..n_diamonds {
+            self.diamond(k);
+        }
+        self.main(n_ctors, n_workers, n_diamonds);
     }
 
     /// `function Ck(i, v) { this.a = ..; this.b = ..; [conditional adds] }`
@@ -261,7 +271,53 @@ impl Gen {
         let _ = writeln!(self.out, "}}");
     }
 
-    fn main(&mut self, n_ctors: usize, n_workers: usize) {
+    /// `function dk(x, i) { ... }` — version-explosion stressor: a
+    /// branchy type-polymorphic CFG. Each arm of an if/else chain gives
+    /// the same local a different type (SMI, double, string, the
+    /// caller-controlled `x`), the arms merge into uses with
+    /// conflicting contexts, and a second diamond re-splits on an
+    /// unrelated predicate so the join sees contexts that disagree on
+    /// two variables at once.
+    fn diamond(&mut self, k: usize) {
+        let _ = writeln!(self.out, "function d{k}(x, i) {{");
+        let arms = ["(i + 1)", "(i * 0.5)", "(\"d\" + i)", "x", "(i & 7)", "(x + i)"];
+        let m = 2 + self.below(3); // 2..=4 arms
+        let _ = writeln!(self.out, "  var u;");
+        for a in 0..m {
+            let e = arms[self.below(arms.len() as u64) as usize];
+            if a == 0 {
+                let _ = writeln!(self.out, "  if ((i % {m}) == 0) {{ u = {e}; }}");
+            } else if a == m - 1 {
+                let _ = writeln!(self.out, "  else {{ u = {e}; }}");
+            } else {
+                let _ = writeln!(self.out, "  else if ((i % {m}) == {a}) {{ u = {e}; }}");
+            }
+        }
+        // Merge: the join block's context must reconcile the arms.
+        let b = 2 + self.below(9);
+        let _ = writeln!(self.out, "  var s = 0;");
+        let _ = writeln!(self.out, "  if (i < {b}) {{ s = (u + i); }} else {{ s = (u + u); }}");
+        if self.chance(1, 2) {
+            // Second diamond on an unrelated predicate: contexts now
+            // disagree on both `s` and `x` at the join below.
+            let _ = writeln!(
+                self.out,
+                "  if ((i & 1) == 0) {{ s = (s + 1); x = (i + 2); }} else {{ x = (i + 0.5); }}"
+            );
+            let _ = writeln!(self.out, "  s = (s + x);");
+        }
+        if self.chance(1, 3) {
+            let bound = 2 + self.below(4);
+            let _ = writeln!(
+                self.out,
+                "  for (var j = 0; j < {bound}; j++) {{ s = (s + (u + j)); }}"
+            );
+        }
+        let _ = writeln!(self.out, "  return s;");
+        let _ = writeln!(self.out, "}}");
+    }
+
+    fn main(&mut self, n_ctors: usize, n_workers: usize, n_diamonds: usize) {
         // Seed `data` with a handful of SMIs so stores start at the bottom
         // of the elements-kind lattice.
         let init_len = 2 + self.below(5);
@@ -297,6 +353,21 @@ impl Gen {
         for _ in 0..calls {
             let w = self.below(n_workers as u64);
             let _ = writeln!(self.out, "  acc = (acc + w{w}(o, i, data));");
+        }
+
+        // Diamond calls with a per-iteration argument-type schedule:
+        // the same call site feeds SMIs, doubles, strings and (maybe)
+        // objects into the callee's entry, so entry-point
+        // specialization must version — and eventually cap — it.
+        for k in 0..n_diamonds {
+            let alts = ["i", "(i * 0.25)", "(\"q\" + i)", "o", "(i - 8)"];
+            let n_alts = 2 + self.below(3); // 2..=4 argument types
+            let mut arg = alts[self.below(alts.len() as u64) as usize].to_string();
+            for a in 1..n_alts {
+                let alt = alts[self.below(alts.len() as u64) as usize];
+                arg = format!("((i % {n_alts}) == {} ? {alt} : {arg})", a - 1);
+            }
+            let _ = writeln!(self.out, "  acc = (acc + d{k}({arg}, i));");
         }
 
         // Phased element stores: SMI, then double, then (maybe) tagged.
@@ -400,7 +471,19 @@ mod tests {
         // Across a window of seeds, the biased templates must actually
         // produce each soft-spot construct.
         let all: String = (0..64).map(generate_source).collect();
-        for needle in ["new C0", "objs[0].a = ", ".pop()", ".push(", "% 8)] = (i * 0.25)", "this.d"] {
+        for needle in [
+            "new C0",
+            "objs[0].a = ",
+            ".pop()",
+            ".push(",
+            "% 8)] = (i * 0.25)",
+            "this.d",
+            // Version-explosion stressors: a diamond function with a
+            // type-conflicting merge, and a polymorphic-argument call.
+            "function d0(",
+            "s = (u + u);",
+            "acc = (acc + d0(",
+        ] {
             assert!(all.contains(needle), "no seed in 0..64 produced `{needle}`");
         }
     }

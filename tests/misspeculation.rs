@@ -34,9 +34,15 @@ struct Run {
     output: Vec<String>,
     deopts: u32,
     optimized_entries: u64,
+    bbv_versions: u64,
+    bbv_cap_fallbacks: u64,
 }
 
 fn run(config: EngineConfig) -> Run {
+    run_src(config, PROGRAM)
+}
+
+fn run_src(config: EngineConfig, src: &str) -> Run {
     let opt = config.opt_enabled;
     let mut vm = Vm::new(config);
     if opt {
@@ -45,12 +51,14 @@ fn run(config: EngineConfig) -> Run {
     // Drain any output left behind by a previously failing test.
     let _ = checkelide::runtime::take_output();
     let mut sink = NullSink::new();
-    let value = vm.run_program(PROGRAM, &mut sink).expect("program runs");
+    let value = vm.run_program(src, &mut sink).expect("program runs");
     Run {
         value: vm.rt.to_display_string(value),
         output: checkelide::runtime::take_output(),
         deopts: vm.funcs.iter().map(|f| f.deopt_count).sum(),
         optimized_entries: vm.stats.opt_entries,
+        bbv_versions: vm.stats.bbv_versions,
+        bbv_cap_fallbacks: vm.stats.bbv_cap_fallbacks,
     }
 }
 
@@ -70,22 +78,93 @@ fn deopt_after_shape_flip_is_transparent() {
         base.value
     );
 
-    for mechanism in [Mechanism::ProfileOnly, Mechanism::Full] {
+    // The two scalar tiers, then both again with BBV block versioning on
+    // top: the shape flip lands in a *specialized* block version, whose
+    // deopt must be just as transparent.
+    for (mechanism, bbv) in [
+        (Mechanism::ProfileOnly, false),
+        (Mechanism::Full, false),
+        (Mechanism::ProfileOnly, true),
+        (Mechanism::Full, true),
+    ] {
         let opt = run(EngineConfig {
             mechanism,
             opt_enabled: true,
             opt_threshold: 2,
+            bbv,
             ..Default::default()
         });
-        assert_eq!(opt.value, base.value, "final value diverged under {mechanism:?}");
-        assert_eq!(opt.output, base.output, "printed output diverged under {mechanism:?}");
+        assert_eq!(opt.value, base.value, "final value diverged under {mechanism:?}/bbv={bbv}");
+        assert_eq!(
+            opt.output, base.output,
+            "printed output diverged under {mechanism:?}/bbv={bbv}"
+        );
         assert!(
             opt.optimized_entries > 0,
-            "loop never entered optimized code under {mechanism:?}; the test is vacuous"
+            "loop never entered optimized code under {mechanism:?}/bbv={bbv}; the test is vacuous"
         );
         assert!(
             opt.deopts > 0,
-            "shape flip at i == 30 did not trigger a deopt under {mechanism:?}"
+            "shape flip at i == 30 did not trigger a deopt under {mechanism:?}/bbv={bbv}"
+        );
+        if bbv {
+            assert!(opt.bbv_versions > 0, "bbv run materialized no block versions");
+        }
+    }
+}
+
+/// Seven distinct argument type shapes hit `f`'s entry block: SMI,
+/// heap number, string, bool, and three hidden classes. That exceeds the
+/// per-block version cap (5), so later shapes must fall back to the
+/// generic version — with observables identical to the never-optimized
+/// baseline.
+const CAP_PROGRAM: &str = r#"
+function A() { this.v = 1; }
+function B() { this.w = 1; this.v = 2; }
+function C() { this.u = 1; this.t = 2; this.v = 3; }
+function f(x) {
+  var s = 0;
+  for (var i = 0; i < 6; i++) { s = s + i; }
+  return s;
+}
+var a = new A();
+var b = new B();
+var c = new C();
+var t = 0;
+for (var j = 0; j < 40; j++) {
+  t = t + f(1) + f(1.5) + f("s") + f(true) + f(a) + f(b) + f(c);
+}
+print(t);
+return t;
+"#;
+
+#[test]
+fn bbv_version_cap_falls_back_to_generic_transparently() {
+    let base = run_src(
+        EngineConfig { mechanism: Mechanism::Off, opt_enabled: false, ..Default::default() },
+        CAP_PROGRAM,
+    );
+    assert_eq!(base.deopts, 0);
+    for mechanism in [Mechanism::ProfileOnly, Mechanism::Full] {
+        let opt = run_src(
+            EngineConfig {
+                mechanism,
+                opt_enabled: true,
+                opt_threshold: 2,
+                bbv: true,
+                ..Default::default()
+            },
+            CAP_PROGRAM,
+        );
+        assert_eq!(opt.value, base.value, "final value diverged under {mechanism:?}+bbv");
+        assert_eq!(opt.output, base.output, "printed output diverged under {mechanism:?}+bbv");
+        assert!(
+            opt.optimized_entries > 0,
+            "f never entered optimized code under {mechanism:?}+bbv; the test is vacuous"
+        );
+        assert!(
+            opt.bbv_cap_fallbacks > 0,
+            "seven entry shapes never overflowed the version cap under {mechanism:?}+bbv"
         );
     }
 }
@@ -111,7 +190,8 @@ fn deopt_budget_exhaustion_is_transparent() {
 #[test]
 fn reference_interpreter_agrees_on_the_misspeculation_program() {
     // The same program must also clear the full differential oracle
-    // (reference interpreter vs all four engine configurations).
+    // (reference interpreter vs all six engine configurations,
+    // including the BBV ones).
     assert!(
         checkelide_xcheck::check_source(PROGRAM).is_none(),
         "xcheck oracle found a divergence on the misspeculation program"
