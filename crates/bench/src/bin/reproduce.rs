@@ -50,9 +50,10 @@ fn main() {
     eprintln!(
         "reproduce: {} mode, {jobs} worker(s), trace cache {}",
         if quick { "quick" } else { "full" },
-        match cache.dir() {
-            Some(d) => format!("at {}", d.display()),
-            None => "off".to_string(),
+        match (cache.remote_addr(), cache.dir()) {
+            (Some(addr), _) => format!("at tcp://{addr}"),
+            (None, Some(d)) => format!("at {}", d.display()),
+            (None, None) => "off".to_string(),
         },
     );
 
@@ -114,9 +115,22 @@ fn main() {
     );
     if cache.enabled() {
         println!(
-            "Trace cache: {} hit(s), {} miss(es), {} store(s); {} B read, {} B written.",
-            s.hits, s.misses, s.stores, s.bytes_read, s.bytes_written,
+            "Trace cache ({}): {} hit(s) ({} local, {} remote), {} miss(es), \
+             {} store(s) ({} deduped); {} B read, {} B written ({} B raw).",
+            cache.backend_label(),
+            s.hits,
+            s.local_hits,
+            s.remote_hits,
+            s.misses,
+            s.stores,
+            s.dedup_stores,
+            s.bytes_read,
+            s.bytes_written,
+            s.raw_bytes_written,
         );
+        if s.remote_errors > 0 {
+            eprintln!("Trace store: {} remote request(s) failed and degraded to a miss.", s.remote_errors);
+        }
     }
     if !failures.is_empty() {
         eprint!("\n{}", figures::render_failures(&failures));

@@ -26,8 +26,12 @@ const VALUE_FLAGS: &[&str] = &[
     "--dump-dir",
     "--max-shrink",
     "--trace-cache",
+    "--trace-compress",
     "--floor",
     "--floor-mult",
+    "--store",
+    "--addr",
+    "--max-store-bytes",
 ];
 
 /// Parsed command line shared by the harness binaries.

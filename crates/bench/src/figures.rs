@@ -192,18 +192,32 @@ where
 pub struct TraceCacheMeta {
     /// Whether the cache was enabled for the run.
     pub enabled: bool,
-    /// Cache directory (empty when disabled).
+    /// Backend kind: `"off"`, `"local"`, or `"tcp"`.
+    pub backend: String,
+    /// Cache directory (empty when disabled or remote-only).
     pub dir: String,
-    /// Cells served from recorded traces.
+    /// Server address (empty unless the backend is `"tcp"`).
+    pub remote: String,
+    /// Cells served from recorded traces (local + remote).
     pub hits: u64,
+    /// Hits satisfied by the local store.
+    pub local_hits: u64,
+    /// Hits satisfied by a trace-store server.
+    pub remote_hits: u64,
     /// Cells executed live.
     pub misses: u64,
-    /// Entries recorded to disk.
+    /// Entries recorded to the store.
     pub stores: u64,
-    /// Bytes read from cache files.
+    /// Recordings whose object body already existed (content dedup).
+    pub dedup_stores: u64,
+    /// Bytes read from store objects (stored, possibly compressed, form).
     pub bytes_read: u64,
-    /// Bytes written to cache files.
+    /// Bytes written to store objects (stored form; 0 for deduped puts).
     pub bytes_written: u64,
+    /// Uncompressed trace bytes behind the writes.
+    pub raw_bytes_written: u64,
+    /// Remote requests that failed and degraded to a miss.
+    pub remote_errors: u64,
 }
 
 impl TraceCacheMeta {
@@ -212,19 +226,42 @@ impl TraceCacheMeta {
         let s = cache.stats();
         TraceCacheMeta {
             enabled: cache.enabled(),
+            backend: cache.backend_label().to_string(),
             dir: cache.dir().map(|d| d.display().to_string()).unwrap_or_default(),
+            remote: cache.remote_addr().unwrap_or_default().to_string(),
             hits: s.hits,
+            local_hits: s.local_hits,
+            remote_hits: s.remote_hits,
             misses: s.misses,
             stores: s.stores,
+            dedup_stores: s.dedup_stores,
             bytes_read: s.bytes_read,
             bytes_written: s.bytes_written,
+            raw_bytes_written: s.raw_bytes_written,
+            remote_errors: s.remote_errors,
         }
     }
 }
 
 impl ToJson for TraceCacheMeta {
     fn to_json(&self) -> Json {
-        json_obj!(self, enabled, dir, hits, misses, stores, bytes_read, bytes_written)
+        json_obj!(
+            self,
+            enabled,
+            backend,
+            dir,
+            remote,
+            hits,
+            local_hits,
+            remote_hits,
+            misses,
+            stores,
+            dedup_stores,
+            bytes_read,
+            bytes_written,
+            raw_bytes_written,
+            remote_errors
+        )
     }
 }
 

@@ -14,7 +14,13 @@
 //!   reported [`CellError`]s and results return in registry order.
 //! * [`tracecache`] — the record-once/replay-many µop trace cache: each
 //!   engine configuration executes at most once per key, and every other
-//!   figure (or `CoreSim` pass) replays the recorded trace from disk.
+//!   figure (or `CoreSim` pass) replays the recorded trace.
+//! * [`store`] — the content-addressed, sharded on-disk trace store
+//!   behind the cache (manifest index → SHA-256-addressed objects,
+//!   cross-key dedup, LZ compression, orphan sweep, `--gc`).
+//! * [`proto`] — the length-prefixed binary GET/PUT/STAT/LIST protocol,
+//!   the `tracestored` serve loop, and the [`proto::RemoteStore`] client
+//!   behind `--trace-cache tcp://host:port`.
 //! * [`json`] — dependency-free, byte-deterministic JSON output for
 //!   `results/*.json` and the per-run `results/run_meta.json` metadata.
 //! * [`cli`] — the shared `--quick` / `--jobs` / value-flag / positional
@@ -24,7 +30,9 @@ pub mod cli;
 pub mod figures;
 pub mod json;
 pub mod pool;
+pub mod proto;
 pub mod runner;
+pub mod store;
 pub mod suite;
 pub mod tracecache;
 
@@ -35,5 +43,6 @@ pub use runner::{
     run_benchmark, try_run_benchmark, try_run_benchmark_cached, CacheDisposition, RunConfig,
     RunError, RunOutput,
 };
+pub use store::{GcStats, Sidecar, StoreStats, TraceStore};
 pub use suite::{find, selected, Benchmark, Suite, BENCHMARKS};
 pub use tracecache::{TraceCache, TraceCacheStats, TRACE_CACHE_ENV};

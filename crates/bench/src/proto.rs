@@ -1,0 +1,666 @@
+//! The trace-store wire protocol and the `tracestored` serve loop.
+//!
+//! A deliberately small, std-only protocol so N worker processes (or
+//! machines) can share one warm [`crate::store::TraceStore`] instead of
+//! each paying the cold recording. Every message is one length-prefixed
+//! frame:
+//!
+//! ```text
+//! frame    := len:u32le | body            (len = body length, <= 1 GiB)
+//! request  := 'S' key                     STAT  — manifest only
+//!           | 'G' key                     GET   — manifest + object
+//!           | 'P' klen:u32le key slen:u32le sidecar object-image
+//!                                         PUT   — publish a recording
+//!           | 'L'                         LIST  — server statistics
+//! response := status:u8 payload
+//! status   := 0 OK | 1 NOT FOUND | 2 ERROR (payload = UTF-8 message)
+//! ```
+//!
+//! `OK` payloads: STAT → encoded [`Sidecar`]; GET → `slen:u32le sidecar
+//! object-image` (the object in stored form, so the server never
+//! recompresses); PUT → `deduped:u8`; LIST → an encoded [`ServerStats`].
+//!
+//! Trust model: both ends re-validate everything. The server decodes and
+//! content-hash-verifies every PUT before storing it; the client verifies
+//! every GET body against the manifest CID. A corrupt or truncated frame
+//! on either side produces a typed [`ProtoError`] (server: an `ERROR`
+//! frame, then connection close) and degrades to a cache miss — neither
+//! end ever panics on wire data.
+//!
+//! The server ([`serve`]) follows the crate's pool idiom: a scoped thread
+//! per connection with panic isolation, plus a poll-based accept loop so
+//! an in-process server (tests, `perfstat`'s loopback benchmark) can be
+//! stopped through an [`AtomicBool`].
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::store::{ObjectImage, Sidecar, TraceStore};
+
+/// Largest accepted frame body. PUT frames carry whole trace objects
+/// (~100 MB compressed at full scale); this is a corruption guard.
+pub const MAX_FRAME_BYTES: u64 = 1 << 30;
+
+/// Response status: success.
+pub const STATUS_OK: u8 = 0;
+/// Response status: no entry under the requested key.
+pub const STATUS_NOT_FOUND: u8 = 1;
+/// Response status: typed failure (payload is a UTF-8 message).
+pub const STATUS_ERROR: u8 = 2;
+
+const OP_STAT: u8 = b'S';
+const OP_GET: u8 = b'G';
+const OP_PUT: u8 = b'P';
+const OP_LIST: u8 = b'L';
+
+/// A typed protocol failure.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// Structurally invalid frame.
+    Malformed(&'static str),
+    /// The peer replied with an `ERROR` frame.
+    Remote(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "i/o: {e}"),
+            ProtoError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            ProtoError::Remote(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> ProtoError {
+        ProtoError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+fn write_frame(stream: &mut TcpStream, body: &[u8]) -> io::Result<()> {
+    stream.write_all(&(body.len() as u32).to_le_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Read one frame. `Ok(None)` on clean EOF before the first length byte.
+fn read_frame(stream: &mut TcpStream, stop: Option<&AtomicBool>) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut len = [0u8; 4];
+    if !read_full(stream, &mut len, stop, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len) as u64;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtoError::Malformed("frame exceeds size cap"));
+    }
+    let mut body = vec![0u8; len as usize];
+    if !read_full(stream, &mut body, stop, false)? {
+        return Err(ProtoError::Malformed("frame truncated"));
+    }
+    Ok(Some(body))
+}
+
+/// Read exactly `buf.len()` bytes, tolerating read timeouts while `stop`
+/// stays false (the server uses short timeouts so shutdown is prompt).
+/// Returns `false` on EOF: clean when `eof_ok` and no bytes were read,
+/// an error mid-buffer.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: Option<&AtomicBool>,
+    eof_ok: bool,
+) -> Result<bool, ProtoError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+            return Ok(false);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && eof_ok {
+                    return Ok(false);
+                }
+                return Err(ProtoError::Malformed("unexpected end of stream"));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+                    && stop.is_some() =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(true)
+}
+
+fn take_u32(body: &[u8], at: usize) -> Option<(u32, usize)> {
+    let bytes = body.get(at..at + 4)?;
+    Some((u32::from_le_bytes(bytes.try_into().ok()?), at + 4))
+}
+
+// ---------------------------------------------------------------------------
+// Server statistics (LIST payload)
+// ---------------------------------------------------------------------------
+
+const LIST_MAGIC: [u8; 4] = *b"CKLS";
+const LIST_VERSION: u8 = 1;
+
+/// Store-wide statistics returned by the `LIST` op.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Manifest entries in the store.
+    pub entries: u64,
+    /// Distinct objects (deduplicated trace bodies).
+    pub objects: u64,
+    /// Total on-disk object bytes (stored, possibly compressed).
+    pub object_bytes: u64,
+    /// Total raw (pre-compression) trace bytes the entries describe.
+    pub raw_bytes: u64,
+    /// Lookups served (STAT + GET).
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Manifests published.
+    pub puts: u64,
+    /// Publishes whose body already existed (cross-key dedup).
+    pub dedup_puts: u64,
+    /// Store bytes read since the server started.
+    pub bytes_read: u64,
+    /// Store bytes written since the server started.
+    pub bytes_written: u64,
+    /// Corrupt entries evicted.
+    pub evictions: u64,
+}
+
+impl ServerStats {
+    fn gather(store: &TraceStore) -> ServerStats {
+        let (entries, objects, object_bytes, raw_bytes) = store.summary();
+        let s = store.stats();
+        ServerStats {
+            entries,
+            objects,
+            object_bytes,
+            raw_bytes,
+            hits: s.hits,
+            misses: s.misses,
+            puts: s.puts,
+            dedup_puts: s.dedup_puts,
+            bytes_read: s.bytes_read,
+            bytes_written: s.bytes_written,
+            evictions: s.evictions,
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 1 + 11 * 8);
+        out.extend_from_slice(&LIST_MAGIC);
+        out.push(LIST_VERSION);
+        for w in [
+            self.entries,
+            self.objects,
+            self.object_bytes,
+            self.raw_bytes,
+            self.hits,
+            self.misses,
+            self.puts,
+            self.dedup_puts,
+            self.bytes_read,
+            self.bytes_written,
+            self.evictions,
+        ] {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<ServerStats> {
+        if bytes.len() != 4 + 1 + 11 * 8 || bytes[..4] != LIST_MAGIC || bytes[4] != LIST_VERSION
+        {
+            return None;
+        }
+        let mut w = [0u64; 11];
+        for (i, word) in w.iter_mut().enumerate() {
+            *word = u64::from_le_bytes(bytes[5 + 8 * i..13 + 8 * i].try_into().ok()?);
+        }
+        Some(ServerStats {
+            entries: w[0],
+            objects: w[1],
+            object_bytes: w[2],
+            raw_bytes: w[3],
+            hits: w[4],
+            misses: w[5],
+            puts: w[6],
+            dedup_puts: w[7],
+            bytes_read: w[8],
+            bytes_written: w[9],
+            evictions: w[10],
+        })
+    }
+
+    /// Compression ratio of the stored corpus (raw / stored), 1.0 when
+    /// empty.
+    #[must_use]
+    pub fn compression_ratio(&self) -> f64 {
+        if self.object_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.object_bytes as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Serve `store` on `listener` until `stop` becomes true. One scoped
+/// thread per connection, panic-isolated like [`crate::pool`]; a poll
+/// loop on a non-blocking listener keeps shutdown prompt.
+///
+/// # Errors
+///
+/// Listener configuration failure; per-connection failures are contained.
+pub fn serve(listener: &TcpListener, store: &TraceStore, stop: &AtomicBool) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    std::thread::scope(|scope| {
+        while !stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    scope.spawn(move || {
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            handle_connection(stream, store, stop);
+                        }));
+                        if result.is_err() {
+                            eprintln!("tracestored: connection handler panicked (isolated)");
+                        }
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    eprintln!("tracestored: accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    });
+    Ok(())
+}
+
+fn handle_connection(mut stream: TcpStream, store: &TraceStore, stop: &AtomicBool) {
+    let _ = stream.set_nodelay(true);
+    // Short read timeout: read_full spins on it while checking `stop`, so
+    // an idle keep-alive connection cannot block shutdown.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    loop {
+        let body = match read_frame(&mut stream, Some(stop)) {
+            Ok(Some(body)) => body,
+            Ok(None) => return, // clean EOF or shutdown
+            Err(ProtoError::Io(_)) => return,
+            Err(e) => {
+                // Corrupt framing: answer with a typed error, then drop
+                // the connection (resynchronizing a byte stream after a
+                // bad length prefix is not possible).
+                let _ = respond_error(&mut stream, &e.to_string());
+                return;
+            }
+        };
+        match handle_request(&mut stream, store, &body) {
+            Ok(()) => {}
+            Err(ProtoError::Io(_)) => return,
+            Err(e) => {
+                // Malformed request body: typed error frame, then close.
+                let _ = respond_error(&mut stream, &e.to_string());
+                return;
+            }
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u8, payload: &[u8]) -> io::Result<()> {
+    let mut body = Vec::with_capacity(1 + payload.len());
+    body.push(status);
+    body.extend_from_slice(payload);
+    write_frame(stream, &body)
+}
+
+fn respond_error(stream: &mut TcpStream, msg: &str) -> io::Result<()> {
+    respond(stream, STATUS_ERROR, msg.as_bytes())
+}
+
+fn handle_request(
+    stream: &mut TcpStream,
+    store: &TraceStore,
+    body: &[u8],
+) -> Result<(), ProtoError> {
+    match body.first().copied() {
+        Some(OP_STAT) => {
+            let key = std::str::from_utf8(&body[1..])
+                .map_err(|_| ProtoError::Malformed("key is not UTF-8"))?;
+            match store.stat(key) {
+                Some(side) => respond(stream, STATUS_OK, &side.encode())?,
+                None => respond(stream, STATUS_NOT_FOUND, &[])?,
+            }
+            Ok(())
+        }
+        Some(OP_GET) => {
+            let key = std::str::from_utf8(&body[1..])
+                .map_err(|_| ProtoError::Malformed("key is not UTF-8"))?;
+            match store.get_image(key) {
+                Some((side, image)) => {
+                    let side_bytes = side.encode();
+                    let mut payload =
+                        Vec::with_capacity(4 + side_bytes.len() + image.len());
+                    payload.extend_from_slice(&(side_bytes.len() as u32).to_le_bytes());
+                    payload.extend_from_slice(&side_bytes);
+                    payload.extend_from_slice(&image);
+                    respond(stream, STATUS_OK, &payload)?;
+                }
+                None => respond(stream, STATUS_NOT_FOUND, &[])?,
+            }
+            Ok(())
+        }
+        Some(OP_PUT) => {
+            let (side, image) = parse_put(body)?;
+            // Verify content end to end before storing: the image must
+            // decode and hash to the CID the manifest declares.
+            let raw = ObjectImage::decode_verify(image, &side.cid)
+                .ok_or(ProtoError::Malformed("object image fails verification"))?;
+            if raw.len() as u64 != side.trace_bytes
+                || image.len() as u64 != side.stored_bytes
+            {
+                return Err(ProtoError::Malformed("manifest/object size mismatch"));
+            }
+            match store.put_prepared(&side, image) {
+                Ok(outcome) => respond(stream, STATUS_OK, &[u8::from(outcome.deduped)])?,
+                Err(e) => respond_error(stream, &format!("store write failed: {e}"))?,
+            }
+            Ok(())
+        }
+        Some(OP_LIST) => {
+            respond(stream, STATUS_OK, &ServerStats::gather(store).encode())?;
+            Ok(())
+        }
+        _ => Err(ProtoError::Malformed("unknown op")),
+    }
+}
+
+fn parse_put(body: &[u8]) -> Result<(Sidecar, &[u8]), ProtoError> {
+    let (key_len, at) = take_u32(body, 1).ok_or(ProtoError::Malformed("PUT header"))?;
+    let key_end = at
+        .checked_add(key_len as usize)
+        .filter(|&e| e <= body.len())
+        .ok_or(ProtoError::Malformed("PUT key length"))?;
+    let key = std::str::from_utf8(&body[at..key_end])
+        .map_err(|_| ProtoError::Malformed("key is not UTF-8"))?;
+    let (side_len, at) = take_u32(body, key_end).ok_or(ProtoError::Malformed("PUT header"))?;
+    let side_end = at
+        .checked_add(side_len as usize)
+        .filter(|&e| e <= body.len())
+        .ok_or(ProtoError::Malformed("PUT sidecar length"))?;
+    let side = Sidecar::decode(&body[at..side_end])
+        .ok_or(ProtoError::Malformed("PUT sidecar fails to decode"))?;
+    if side.key != key {
+        return Err(ProtoError::Malformed("PUT key/sidecar mismatch"));
+    }
+    Ok((side, &body[side_end..]))
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Client handle to a `tracestored` server. Thread-safe: one persistent
+/// connection shared behind a mutex (requests are small and the pool's
+/// workers spend their time simulating, not talking), re-established
+/// once per failed request. All lookup failures — network, protocol, or
+/// verification — degrade to `None`, i.e. a cache miss.
+#[derive(Debug)]
+pub struct RemoteStore {
+    addr: String,
+    conn: Mutex<Option<TcpStream>>,
+    errors: AtomicU64,
+}
+
+impl RemoteStore {
+    /// Connect to `addr` (`host:port`) and verify the server speaks the
+    /// protocol with a `LIST` ping.
+    ///
+    /// # Errors
+    ///
+    /// Unresolvable address, connection failure, or a non-protocol peer.
+    pub fn connect(addr: &str) -> io::Result<RemoteStore> {
+        let store = RemoteStore {
+            addr: addr.to_string(),
+            conn: Mutex::new(None),
+            errors: AtomicU64::new(0),
+        };
+        store
+            .request(&[OP_LIST])
+            .ok()
+            .filter(|(status, payload)| {
+                *status == STATUS_OK && ServerStats::decode(payload).is_some()
+            })
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    format!("no trace store service at {addr}"),
+                )
+            })?;
+        Ok(store)
+    }
+
+    /// The server address this client talks to.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Requests that failed (network or protocol) since connect.
+    #[must_use]
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    fn dial(&self) -> io::Result<TcpStream> {
+        let mut last = io::Error::new(io::ErrorKind::AddrNotAvailable, "no addresses");
+        for sockaddr in self.addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sockaddr, Duration::from_secs(2)) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+                    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+                    return Ok(stream);
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    fn request(&self, body: &[u8]) -> Result<(u8, Vec<u8>), ProtoError> {
+        let mut guard = self.conn.lock().unwrap_or_else(|e| e.into_inner());
+        // One retry on a fresh connection: the common failure is a server
+        // restart or idle-connection teardown between figure stages.
+        for attempt in 0..2 {
+            if guard.is_none() {
+                match self.dial() {
+                    Ok(stream) => *guard = Some(stream),
+                    Err(e) => {
+                        if attempt == 1 {
+                            self.errors.fetch_add(1, Ordering::Relaxed);
+                            return Err(e.into());
+                        }
+                        continue;
+                    }
+                }
+            }
+            let stream = guard.as_mut().expect("connection established");
+            let outcome = write_frame(stream, body)
+                .map_err(ProtoError::from)
+                .and_then(|()| read_frame(stream, None));
+            match outcome {
+                Ok(Some(resp)) if !resp.is_empty() => {
+                    let (status, payload) = (resp[0], resp[1..].to_vec());
+                    if status == STATUS_ERROR {
+                        // Typed server error: the connection itself is
+                        // suspect (the server closes after errors).
+                        *guard = None;
+                        self.errors.fetch_add(1, Ordering::Relaxed);
+                        return Err(ProtoError::Remote(
+                            String::from_utf8_lossy(&payload).into_owned(),
+                        ));
+                    }
+                    return Ok((status, payload));
+                }
+                Ok(_) => {
+                    *guard = None;
+                    if attempt == 1 {
+                        self.errors.fetch_add(1, Ordering::Relaxed);
+                        return Err(ProtoError::Malformed("empty response"));
+                    }
+                }
+                Err(e) => {
+                    *guard = None;
+                    if attempt == 1 {
+                        self.errors.fetch_add(1, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns on second attempt")
+    }
+
+    /// STAT: fetch and validate the manifest for `key`.
+    #[must_use]
+    pub fn stat(&self, key: &str) -> Option<Sidecar> {
+        let (status, payload) = self.request(&stat_request(key)).ok()?;
+        if status != STATUS_OK {
+            return None;
+        }
+        Sidecar::decode(&payload).filter(|side| side.key == key)
+    }
+
+    /// GET: fetch the manifest and the raw trace bytes for `key`,
+    /// verifying the body against the manifest CID locally.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<(Sidecar, Vec<u8>)> {
+        let mut body = Vec::with_capacity(1 + key.len());
+        body.push(OP_GET);
+        body.extend_from_slice(key.as_bytes());
+        let (status, payload) = self.request(&body).ok()?;
+        if status != STATUS_OK {
+            return None;
+        }
+        let (side_len, at) = take_u32(&payload, 0)?;
+        let side_end = at.checked_add(side_len as usize).filter(|&e| e <= payload.len())?;
+        let side = Sidecar::decode(&payload[at..side_end]).filter(|s| s.key == key)?;
+        let raw = ObjectImage::decode_verify(&payload[side_end..], &side.cid)?;
+        if raw.len() as u64 != side.trace_bytes {
+            return None;
+        }
+        Some((side, raw))
+    }
+
+    /// PUT: publish a manifest + pre-built object image. `false` (a
+    /// non-event: the run keeps its live results) on any failure.
+    #[must_use]
+    pub fn put(&self, side: &Sidecar, image: &[u8]) -> bool {
+        let side_bytes = side.encode();
+        let mut body =
+            Vec::with_capacity(1 + 8 + side.key.len() + side_bytes.len() + image.len());
+        body.push(OP_PUT);
+        body.extend_from_slice(&(side.key.len() as u32).to_le_bytes());
+        body.extend_from_slice(side.key.as_bytes());
+        body.extend_from_slice(&(side_bytes.len() as u32).to_le_bytes());
+        body.extend_from_slice(&side_bytes);
+        body.extend_from_slice(image);
+        matches!(self.request(&body), Ok((STATUS_OK, _)))
+    }
+
+    /// LIST: fetch server-side statistics.
+    #[must_use]
+    pub fn list(&self) -> Option<ServerStats> {
+        let (status, payload) = self.request(&[OP_LIST]).ok()?;
+        if status != STATUS_OK {
+            return None;
+        }
+        ServerStats::decode(&payload)
+    }
+}
+
+fn stat_request(key: &str) -> Vec<u8> {
+    let mut body = Vec::with_capacity(1 + key.len());
+    body.push(OP_STAT);
+    body.extend_from_slice(key.as_bytes());
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_stats_round_trip() {
+        let s = ServerStats {
+            entries: 1,
+            objects: 2,
+            object_bytes: 3,
+            raw_bytes: 12,
+            hits: 4,
+            misses: 5,
+            puts: 6,
+            dedup_puts: 7,
+            bytes_read: 8,
+            bytes_written: 9,
+            evictions: 10,
+        };
+        let bytes = s.encode();
+        assert_eq!(ServerStats::decode(&bytes), Some(s));
+        assert!((s.compression_ratio() - 4.0).abs() < 1e-12);
+        for len in 0..bytes.len() {
+            assert!(ServerStats::decode(&bytes[..len]).is_none());
+        }
+        let mut bad = bytes;
+        bad[0] = b'X';
+        assert!(ServerStats::decode(&bad).is_none());
+    }
+
+    #[test]
+    fn parse_put_rejects_malformed_bodies() {
+        assert!(parse_put(&[OP_PUT]).is_err());
+        assert!(parse_put(&[OP_PUT, 255, 255, 255, 255]).is_err());
+        // key_len pointing past the end
+        let mut body = vec![OP_PUT];
+        body.extend_from_slice(&100u32.to_le_bytes());
+        body.extend_from_slice(b"short");
+        assert!(parse_put(&body).is_err());
+        // valid key, garbage sidecar
+        let mut body = vec![OP_PUT];
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.push(b'k');
+        body.extend_from_slice(&4u32.to_le_bytes());
+        body.extend_from_slice(b"junk");
+        assert!(parse_put(&body).is_err());
+    }
+}

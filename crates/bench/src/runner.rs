@@ -5,8 +5,9 @@
 //! ("we focus on the steady state … executing the benchmark ten times and
 //! taking statistics from the tenth iteration", §5).
 
+use crate::store::{Sidecar, COMPRESS_NONE};
 use crate::suite::Benchmark;
-use crate::tracecache::{CacheEntry, Sidecar, TraceCache};
+use crate::tracecache::TraceCache;
 use checkelide_core::{loadstats::Fig3Row, ClassCacheConfig, ClassCacheStats};
 use checkelide_engine::{EngineConfig, Mechanism, Vm, VmStats};
 use checkelide_isa::codec::{TraceError, TraceReader, TraceWriter};
@@ -15,8 +16,6 @@ use checkelide_isa::{CounterSink, NullSink, TraceSink};
 use checkelide_opt::install_optimizer;
 use checkelide_runtime::Value;
 use checkelide_uarch::{CoreConfig, CoreSim, SimResult};
-use std::fs;
-use std::io::BufWriter;
 
 /// How to run a benchmark.
 #[derive(Debug, Clone, Copy)]
@@ -263,13 +262,14 @@ pub fn try_run_benchmark_cached(
         return run_live(bench, cfg, None).map(|o| (o, CacheDisposition::Off));
     };
 
-    if let Some(side) = cache.load_sidecar(&entry) {
-        match replay_output(&entry, &side, cfg.timing) {
-            Ok((out, bytes_read)) => {
-                cache.note_hit(bytes_read);
-                return Ok((out, CacheDisposition::Hit));
-            }
+    // Timed configurations need the trace body for the CoreSim replay;
+    // untimed ones are satisfied by the manifest alone.
+    if let Some((side, raw, _bytes_read)) = cache.fetch(&entry, cfg.timing) {
+        match replay_output(&side, raw.as_deref(), cfg.timing) {
+            Ok(out) => return Ok((out, CacheDisposition::Hit)),
             Err(e) => {
+                // Hash-valid but codec-invalid (or internally
+                // inconsistent) recording: drop it and re-record.
                 eprintln!(
                     "warning: trace cache entry for {} unusable ({e}); re-recording",
                     bench.name
@@ -280,27 +280,20 @@ pub fn try_run_benchmark_cached(
     }
 
     cache.note_miss();
-    let tmp = cache.tmp_trace_path(&entry);
-    let writer = fs::File::create(&tmp)
-        .and_then(|f| TraceWriter::new(BufWriter::with_capacity(1 << 16, f)));
-    let mut writer = match writer {
+    // Record into memory: the raw encoded body is what the store hashes
+    // for its content ID, so it has to exist as one buffer anyway. Peak
+    // size is the encoded trace (~5 B/µop), tens of MB at full scale.
+    let mut writer = match TraceWriter::new(Vec::with_capacity(1 << 16)) {
         Ok(w) => w,
         Err(e) => {
             eprintln!("warning: trace cache cannot record {}: {e}", bench.name);
             return run_live(bench, cfg, None).map(|o| (o, CacheDisposition::Miss));
         }
     };
-    let out = match run_live(bench, cfg, Some(&mut writer)) {
-        Ok(out) => out,
-        Err(e) => {
-            drop(writer);
-            let _ = fs::remove_file(&tmp);
-            return Err(e);
-        }
-    };
+    let out = run_live(bench, cfg, Some(&mut writer))?;
     match writer.finish_file() {
-        Ok((_, stats)) if stats.uops == out.uops => {
-            let side = Sidecar {
+        Ok((raw, stats)) if stats.uops == out.uops => {
+            let mut side = Sidecar {
                 key: entry.key.clone(),
                 counters: out.counters.snapshot(),
                 fig3: out.fig3,
@@ -311,68 +304,67 @@ pub fn try_run_benchmark_cached(
                 uops: out.uops,
                 trace_bytes: stats.bytes,
                 checksum: out.checksum.clone(),
+                cid: [0u8; 32],
+                compression: COMPRESS_NONE,
+                stored_bytes: 0,
             };
-            if let Err(e) = cache.commit(&entry, &side, &tmp) {
-                eprintln!("warning: trace cache store for {} failed: {e}", bench.name);
-                let _ = fs::remove_file(&tmp);
-            }
+            // publish() fills the content-store location fields and
+            // warns (never fails the run) on store/network problems.
+            cache.publish(&entry, &mut side, &raw);
         }
         Ok((_, stats)) => {
             eprintln!(
                 "warning: recorded {} µops but measured {} for {}; discarding recording",
                 stats.uops, out.uops, bench.name
             );
-            let _ = fs::remove_file(&tmp);
         }
         Err(e) => {
             eprintln!("warning: trace recording for {} failed: {e}", bench.name);
-            let _ = fs::remove_file(&tmp);
         }
     }
     Ok((out, CacheDisposition::Miss))
 }
 
-/// Rebuild a [`RunOutput`] from a cache entry without running the engine.
-/// Returns the output plus the cache bytes read. Timed configurations
-/// replay the recorded trace into a fresh `CoreSim` — exactly what the
+/// Rebuild a [`RunOutput`] from a cached sidecar (and, for timed
+/// configurations, the raw trace bytes) without running the engine. The
+/// timed path replays the trace into a fresh `CoreSim` — exactly what the
 /// live path does with the µops as they are produced, so the `SimResult`
 /// is identical.
 fn replay_output(
-    entry: &CacheEntry,
     side: &Sidecar,
+    raw: Option<&[u8]>,
     timing: bool,
-) -> Result<(RunOutput, u64), TraceError> {
+) -> Result<RunOutput, TraceError> {
     let counters = CounterSink::from_snapshot(&side.counters);
     if counters.total() != side.uops {
         return Err(TraceError::Corrupt { offset: 0, what: "sidecar counters/µops mismatch" });
     }
-    let mut bytes_read = side.encode().len() as u64;
     let sim = if timing {
-        let mut reader = TraceReader::open(&entry.trace_path)?;
+        let raw = raw.ok_or(TraceError::Corrupt {
+            offset: 0,
+            what: "timed replay without a trace body",
+        })?;
+        let mut reader = TraceReader::new(raw)?;
         let mut sim = CoreSim::new(CoreConfig::nehalem());
         let replayed = reader.replay(&mut sim)?;
         if replayed != side.uops {
             return Err(TraceError::Corrupt { offset: 0, what: "trace/sidecar µop mismatch" });
         }
-        bytes_read += side.trace_bytes;
         Some(sim.result())
     } else {
         None
     };
-    Ok((
-        RunOutput {
-            counters,
-            sim,
-            fig3: side.fig3,
-            class_cache: side.class_cache,
-            vm_stats: side.vm_stats,
-            hidden_classes: side.hidden_classes as usize,
-            obj_stats: side.obj_stats,
-            checksum: side.checksum.clone(),
-            uops: side.uops,
-        },
-        bytes_read,
-    ))
+    Ok(RunOutput {
+        counters,
+        sim,
+        fig3: side.fig3,
+        class_cache: side.class_cache,
+        vm_stats: side.vm_stats,
+        hidden_classes: side.hidden_classes as usize,
+        obj_stats: side.obj_stats,
+        checksum: side.checksum.clone(),
+        uops: side.uops,
+    })
 }
 
 /// The live execution path: setup, warm-ups, measured iteration. When

@@ -1,0 +1,1297 @@
+//! Content-addressed, sharded on-disk trace store.
+//!
+//! This is the storage layer behind [`crate::tracecache::TraceCache`] and
+//! the `tracestored` server. It replaces the PR-4 flat directory of
+//! `<stem>.trace` / `<stem>.meta` pairs with a two-level design borrowed
+//! from content-addressed object stores:
+//!
+//! ```text
+//! <root>/
+//!   manifest/<bench>-<fnv64(key)>.m    logical key -> Sidecar (incl. CID)
+//!   objects/<ab>/<cid-hex>            trace body, addressed by content
+//! ```
+//!
+//! * A **manifest** maps one logical cache key (benchmark × engine
+//!   configuration × schema salt) to a [`Sidecar`]: every statistic the
+//!   runner measured, plus the content ID of the trace body. Manifests
+//!   are small (~400 B) and rewritten atomically (tmp + rename).
+//! * An **object** is one encoded µop trace, stored under the hex SHA-256
+//!   of its *raw* encoded bytes, in a 256-way fan-out of shard
+//!   directories keyed by the first hex byte (so no single directory
+//!   grows unbounded at fleet scale). Objects are immutable: two logical
+//!   keys whose executions emit identical µop streams (geometry sweeps
+//!   that only vary the simulated cache, schema-salt bumps that do not
+//!   change emission) share one object — that is the dedup the flat
+//!   layout could not express.
+//! * Object payloads are optionally compressed with the std-only
+//!   [`checkelide_isa::lz`] codec ([`COMPRESS_LZ`]); the raw form is kept
+//!   when compression does not help. The CID is always the hash of the
+//!   **raw** bytes, so the same trace stored compressed and uncompressed
+//!   dedups to one identity and every read re-verifies content integrity
+//!   end to end (decompress, hash, compare).
+//!
+//! # Crash safety and reclamation
+//!
+//! Publishes are ordered object-first, manifest-last, each through a
+//! same-directory tmp + rename, so a crash can never produce a manifest
+//! pointing at a missing body. The inverse orphans — `*.tmp.*` files from
+//! interrupted writes and objects whose manifest publish failed — are
+//! swept on [`TraceStore::open`]. [`TraceStore::gc`] additionally drops
+//! manifests whose key carries a stale schema salt, bounds total store
+//! size (LRU by manifest mtime; hits refresh the mtime), removes
+//! unreferenced objects, and clears legacy flat-layout files.
+//!
+//! Corruption degrades to a miss, never to wrong data or a panic: a size
+//! or hash mismatch evicts the offending entry and the caller re-records.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::SystemTime;
+
+use checkelide_core::{loadstats::Fig3Row, ClassCacheStats};
+use checkelide_engine::VmStats;
+use checkelide_isa::lz;
+use checkelide_runtime::runtime::ObjectStats;
+
+// ---------------------------------------------------------------------------
+// SHA-256 (std-only)
+// ---------------------------------------------------------------------------
+
+const SHA_K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2,
+];
+
+fn sha_block(h: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for (i, word) in w.iter_mut().take(16).enumerate() {
+        *word = u32::from_be_bytes([
+            block[4 * i],
+            block[4 * i + 1],
+            block[4 * i + 2],
+            block[4 * i + 3],
+        ]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = *h;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = hh
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(SHA_K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        hh = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    for (s, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+        *s = s.wrapping_add(v);
+    }
+}
+
+/// SHA-256 of `data` (the store's content-ID function).
+#[must_use]
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+    let mut chunks = data.chunks_exact(64);
+    for chunk in &mut chunks {
+        sha_block(&mut h, chunk.try_into().expect("exact chunk"));
+    }
+    let rem = chunks.remainder();
+    let mut block = [0u8; 64];
+    block[..rem.len()].copy_from_slice(rem);
+    block[rem.len()] = 0x80;
+    if rem.len() >= 56 {
+        sha_block(&mut h, &block);
+        block = [0u8; 64];
+    }
+    block[56..].copy_from_slice(&(data.len() as u64 * 8).to_be_bytes());
+    sha_block(&mut h, &block);
+    let mut out = [0u8; 32];
+    for (i, word) in h.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Lowercase hex rendering of a content ID.
+#[must_use]
+pub fn cid_hex(cid: &[u8; 32]) -> String {
+    let mut s = String::with_capacity(64);
+    for b in cid {
+        use std::fmt::Write as _;
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Object image
+// ---------------------------------------------------------------------------
+
+/// Object file magic.
+pub const OBJECT_MAGIC: [u8; 4] = *b"CKOB";
+/// Object file format version.
+pub const OBJECT_VERSION: u8 = 1;
+/// Object header length (`magic + version + compression + raw_len`).
+pub const OBJECT_HEADER_LEN: usize = 4 + 1 + 1 + 8;
+/// Payload stored raw.
+pub const COMPRESS_NONE: u8 = 0;
+/// Payload compressed with [`checkelide_isa::lz`].
+pub const COMPRESS_LZ: u8 = 1;
+/// Largest raw trace body an object may declare (full-scale timed traces
+/// are ~100 MB; this is a corruption guard, not a design limit).
+pub const MAX_OBJECT_RAW_LEN: u64 = 1 << 32;
+
+/// One encoded object file: `CKOB | version | compression | raw_len:u64le
+/// | payload`, self-describing so a reader needs no manifest to decode it.
+#[derive(Debug, Clone)]
+pub struct ObjectImage {
+    /// SHA-256 of the raw (uncompressed) trace bytes.
+    pub cid: [u8; 32],
+    /// [`COMPRESS_NONE`] or [`COMPRESS_LZ`].
+    pub compression: u8,
+    /// Raw (uncompressed) payload size.
+    pub raw_len: u64,
+    /// The full file image, header included.
+    pub bytes: Vec<u8>,
+}
+
+impl ObjectImage {
+    /// Build the file image for a raw trace body, compressing when asked
+    /// *and* when compression actually shrinks the payload.
+    #[must_use]
+    pub fn build(raw: &[u8], compress: bool) -> ObjectImage {
+        let cid = sha256(raw);
+        let (compression, payload) = if compress {
+            let packed = lz::compress(raw);
+            if packed.len() < raw.len() {
+                (COMPRESS_LZ, packed)
+            } else {
+                (COMPRESS_NONE, raw.to_vec())
+            }
+        } else {
+            (COMPRESS_NONE, raw.to_vec())
+        };
+        let mut bytes = Vec::with_capacity(OBJECT_HEADER_LEN + payload.len());
+        bytes.extend_from_slice(&OBJECT_MAGIC);
+        bytes.push(OBJECT_VERSION);
+        bytes.push(compression);
+        bytes.extend_from_slice(&(raw.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        ObjectImage { cid, compression, raw_len: raw.len() as u64, bytes }
+    }
+
+    /// Decode an object file image back to the raw trace bytes and verify
+    /// them against the expected content ID. `None` on any structural
+    /// defect, decompression failure, or hash mismatch — never panics.
+    #[must_use]
+    pub fn decode_verify(image: &[u8], expect_cid: &[u8; 32]) -> Option<Vec<u8>> {
+        if image.len() < OBJECT_HEADER_LEN
+            || image[..4] != OBJECT_MAGIC
+            || image[4] != OBJECT_VERSION
+        {
+            return None;
+        }
+        let compression = image[5];
+        let raw_len = u64::from_le_bytes(image[6..14].try_into().ok()?);
+        if raw_len > MAX_OBJECT_RAW_LEN {
+            return None;
+        }
+        let payload = &image[OBJECT_HEADER_LEN..];
+        let raw = match compression {
+            COMPRESS_NONE => {
+                if payload.len() as u64 != raw_len {
+                    return None;
+                }
+                payload.to_vec()
+            }
+            COMPRESS_LZ => lz::decompress(payload, raw_len as usize).ok()?,
+            _ => return None,
+        };
+        if sha256(&raw) != *expect_cid {
+            return None;
+        }
+        Some(raw)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sidecar (manifest payload)
+// ---------------------------------------------------------------------------
+
+/// Sidecar magic.
+const META_MAGIC: [u8; 4] = *b"CKMT";
+/// Sidecar format version. v2 added the BBV fields of [`VmStats`]; v3
+/// added the content-store location fields (`cid`, `compression`,
+/// `stored_bytes`) when sidecars became manifest payloads.
+const META_VERSION: u8 = 3;
+
+/// Everything a [`crate::runner::RunOutput`] needs besides the µop trace
+/// itself, plus the trace body's location in the content store. Stored as
+/// a small self-describing binary file (the workspace's JSON layer is
+/// write-only, so JSON is not an option here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sidecar {
+    /// Canonical cache key (collision guard).
+    pub key: String,
+    /// [`checkelide_isa::CounterSink::snapshot`] words.
+    pub counters: [u64; 21],
+    /// Figure 3 classification row.
+    pub fig3: Fig3Row,
+    /// Class Cache statistics.
+    pub class_cache: ClassCacheStats,
+    /// VM statistics.
+    pub vm_stats: VmStats,
+    /// Object allocation statistics.
+    pub obj_stats: ObjectStats,
+    /// Hidden classes created over the whole run.
+    pub hidden_classes: u64,
+    /// Measured-iteration µop count (must equal both the counters total
+    /// and the trace length).
+    pub uops: u64,
+    /// Raw encoded size of the trace body (pre-compression).
+    pub trace_bytes: u64,
+    /// Benchmark checksum string.
+    pub checksum: String,
+    /// SHA-256 of the raw encoded trace body (the object address).
+    pub cid: [u8; 32],
+    /// Object payload encoding ([`COMPRESS_NONE`] / [`COMPRESS_LZ`]).
+    pub compression: u8,
+    /// On-disk object file size (header + possibly-compressed payload).
+    pub stored_bytes: u64,
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct MetaCur<'a>(&'a [u8]);
+
+impl MetaCur<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        if self.0.len() < n {
+            return None;
+        }
+        let (head, rest) = self.0.split_at(n);
+        self.0 = rest;
+        Some(head)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = u32::from_le_bytes(self.take(4)?.try_into().ok()?) as usize;
+        if len > 1 << 20 {
+            return None;
+        }
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+}
+
+impl Sidecar {
+    /// Serialize to the binary sidecar image.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(512);
+        out.extend_from_slice(&META_MAGIC);
+        out.push(META_VERSION);
+        put_str(&mut out, &self.key);
+        put_str(&mut out, &self.checksum);
+        for w in self.counters {
+            put_u64(&mut out, w);
+        }
+        for f in [
+            self.fig3.mono_properties,
+            self.fig3.mono_elements,
+            self.fig3.poly_properties,
+            self.fig3.poly_elements,
+        ] {
+            put_u64(&mut out, f.to_bits());
+        }
+        for w in [
+            self.class_cache.accesses,
+            self.class_cache.hits,
+            self.class_cache.misses,
+            self.class_cache.evictions,
+        ] {
+            put_u64(&mut out, w);
+        }
+        let v = &self.vm_stats;
+        for w in [
+            v.calls,
+            v.opt_entries,
+            v.deopts,
+            v.misspec_exceptions,
+            v.ic_hits,
+            v.ic_misses,
+            v.gc_runs,
+            v.line0_accesses,
+            v.linen_accesses,
+            v.bbv_versions,
+            v.bbv_cap_fallbacks,
+        ] {
+            put_u64(&mut out, w);
+        }
+        let o = &self.obj_stats;
+        for w in [o.objects, o.multi_line_objects, o.object_words, o.extra_header_words] {
+            put_u64(&mut out, w);
+        }
+        put_u64(&mut out, self.hidden_classes);
+        put_u64(&mut out, self.uops);
+        put_u64(&mut out, self.trace_bytes);
+        out.extend_from_slice(&self.cid);
+        out.push(self.compression);
+        put_u64(&mut out, self.stored_bytes);
+        out
+    }
+
+    /// Parse a binary sidecar image. `None` on any structural problem.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Sidecar> {
+        let mut c = MetaCur(bytes);
+        if c.take(4)? != META_MAGIC {
+            return None;
+        }
+        if *c.take(1)?.first()? != META_VERSION {
+            return None;
+        }
+        let key = c.str()?;
+        let checksum = c.str()?;
+        let mut counters = [0u64; 21];
+        for w in &mut counters {
+            *w = c.u64()?;
+        }
+        let fig3 = Fig3Row {
+            mono_properties: c.f64()?,
+            mono_elements: c.f64()?,
+            poly_properties: c.f64()?,
+            poly_elements: c.f64()?,
+        };
+        let class_cache = ClassCacheStats {
+            accesses: c.u64()?,
+            hits: c.u64()?,
+            misses: c.u64()?,
+            evictions: c.u64()?,
+        };
+        let vm_stats = VmStats {
+            calls: c.u64()?,
+            opt_entries: c.u64()?,
+            deopts: c.u64()?,
+            misspec_exceptions: c.u64()?,
+            ic_hits: c.u64()?,
+            ic_misses: c.u64()?,
+            gc_runs: c.u64()?,
+            line0_accesses: c.u64()?,
+            linen_accesses: c.u64()?,
+            bbv_versions: c.u64()?,
+            bbv_cap_fallbacks: c.u64()?,
+        };
+        let obj_stats = ObjectStats {
+            objects: c.u64()?,
+            multi_line_objects: c.u64()?,
+            object_words: c.u64()?,
+            extra_header_words: c.u64()?,
+        };
+        let hidden_classes = c.u64()?;
+        let uops = c.u64()?;
+        let trace_bytes = c.u64()?;
+        let cid: [u8; 32] = c.take(32)?.try_into().ok()?;
+        let compression = *c.take(1)?.first()?;
+        let stored_bytes = c.u64()?;
+        if !c.0.is_empty() {
+            return None;
+        }
+        Some(Sidecar {
+            key,
+            counters,
+            fig3,
+            class_cache,
+            vm_stats,
+            obj_stats,
+            hidden_classes,
+            uops,
+            trace_bytes,
+            checksum,
+            cid,
+            compression,
+            stored_bytes,
+        })
+    }
+
+    /// Read + parse a sidecar file, returning the image size too.
+    #[must_use]
+    pub fn load(path: &Path) -> Option<(Sidecar, u64)> {
+        let bytes = fs::read(path).ok()?;
+        Some((Sidecar::decode(&bytes)?, bytes.len() as u64))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TraceStore
+// ---------------------------------------------------------------------------
+
+/// Outcome of one [`TraceStore::put`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutOutcome {
+    /// The object body already existed (identical trace under another
+    /// key); only the manifest was written.
+    pub deduped: bool,
+    /// On-disk object size (header + payload).
+    pub stored_bytes: u64,
+}
+
+/// Snapshot of store activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Manifest lookups that found a valid entry.
+    pub hits: u64,
+    /// Manifest lookups that found nothing (or evicted corruption).
+    pub misses: u64,
+    /// Manifests published.
+    pub puts: u64,
+    /// Publishes whose object body already existed.
+    pub dedup_puts: u64,
+    /// Bytes read from store files.
+    pub bytes_read: u64,
+    /// Bytes written to store files.
+    pub bytes_written: u64,
+    /// Raw (pre-compression) trace bytes accepted by `put`.
+    pub raw_bytes: u64,
+    /// Corrupt entries dropped.
+    pub evictions: u64,
+    /// Orphaned files reclaimed by the open-time sweep.
+    pub orphans_reclaimed: u64,
+}
+
+/// Totals for a [`TraceStore::gc`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Manifests dropped for carrying a stale schema salt.
+    pub stale_entries: u64,
+    /// Manifests dropped by the LRU size bound.
+    pub lru_entries: u64,
+    /// Objects no surviving manifest references.
+    pub orphan_objects: u64,
+    /// Legacy flat-layout files (`*.trace` / `*.meta`) removed.
+    pub legacy_files: u64,
+    /// Bytes freed (manifests + objects + legacy files).
+    pub bytes_freed: u64,
+    /// Manifests kept.
+    pub entries_kept: u64,
+    /// Bytes kept (manifests + referenced objects).
+    pub bytes_kept: u64,
+}
+
+/// The content-addressed trace store. Thread-safe: share by reference.
+#[derive(Debug)]
+pub struct TraceStore {
+    root: PathBuf,
+    compress: bool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+    dedup_puts: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    raw_bytes: AtomicU64,
+    evictions: AtomicU64,
+    orphans_reclaimed: AtomicU64,
+}
+
+impl TraceStore {
+    /// Open (creating if needed) a store rooted at `root` and sweep
+    /// orphaned files left by crashed runs.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation failure.
+    pub fn open(root: impl Into<PathBuf>, compress: bool) -> io::Result<TraceStore> {
+        let root = root.into();
+        fs::create_dir_all(root.join("manifest"))?;
+        fs::create_dir_all(root.join("objects"))?;
+        let store = TraceStore {
+            root,
+            compress,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            dedup_puts: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            raw_bytes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            orphans_reclaimed: AtomicU64::new(0),
+        };
+        store.sweep_orphans();
+        Ok(store)
+    }
+
+    /// Store root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Whether new objects are LZ-compressed.
+    #[must_use]
+    pub fn compress(&self) -> bool {
+        self.compress
+    }
+
+    /// Current activity counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            dedup_puts: self.dedup_puts.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            raw_bytes: self.raw_bytes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            orphans_reclaimed: self.orphans_reclaimed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Manifest file stem for a key: a readable benchmark prefix plus the
+    /// FNV-1a 64 hash of the whole key (the full key inside the manifest
+    /// guards against hash collisions).
+    #[must_use]
+    pub fn stem(key: &str) -> String {
+        let bench: String = key
+            .split('|')
+            .next()
+            .unwrap_or("")
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' })
+            .collect();
+        format!("{bench}-{:016x}", fnv1a64(key.as_bytes()))
+    }
+
+    /// Path of the manifest file for `key`.
+    #[must_use]
+    pub fn manifest_path(&self, key: &str) -> PathBuf {
+        self.root.join("manifest").join(format!("{}.m", TraceStore::stem(key)))
+    }
+
+    /// Path of the object file for `cid` (`objects/<ab>/<cid>`).
+    #[must_use]
+    pub fn object_path(&self, cid: &[u8; 32]) -> PathBuf {
+        let hex = cid_hex(cid);
+        self.root.join("objects").join(&hex[..2]).join(hex)
+    }
+
+    fn tmp_path(base: &Path) -> PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let mut name = base.file_name().map(|s| s.to_os_string()).unwrap_or_default();
+        name.push(format!(".tmp.{}.{n}", std::process::id()));
+        base.with_file_name(name)
+    }
+
+    fn publish(base: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = TraceStore::tmp_path(base);
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.flush()?;
+        drop(f);
+        fs::rename(&tmp, base).inspect_err(|_| {
+            let _ = fs::remove_file(&tmp);
+        })
+    }
+
+    /// Load + validate the manifest for `key` without touching the object
+    /// body beyond an existence/size check. Any failure is a miss;
+    /// corruption (size-mismatched object) evicts the entry.
+    #[must_use]
+    pub fn stat(&self, key: &str) -> Option<Sidecar> {
+        let side = self.lookup(key)?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(side)
+    }
+
+    /// Load the manifest *and* the raw trace bytes for `key`, verifying
+    /// the body's content hash. Any failure is a miss; corruption evicts.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<(Sidecar, Vec<u8>)> {
+        let (side, _image, raw) = self.fetch(key)?;
+        Some((side, raw))
+    }
+
+    /// Like [`TraceStore::get`], but return the object in *stored* form
+    /// (header + possibly-compressed payload), still hash-verified. The
+    /// server's GET path uses this so the wire carries the compressed
+    /// body and nothing is ever recompressed.
+    #[must_use]
+    pub fn get_image(&self, key: &str) -> Option<(Sidecar, Vec<u8>)> {
+        let (side, image, _raw) = self.fetch(key)?;
+        Some((side, image))
+    }
+
+    fn fetch(&self, key: &str) -> Option<(Sidecar, Vec<u8>, Vec<u8>)> {
+        let side = self.lookup(key)?;
+        let opath = self.object_path(&side.cid);
+        let image = match fs::read(&opath) {
+            Ok(b) => b,
+            Err(_) => {
+                self.evict_entry(key, None);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        self.bytes_read.fetch_add(image.len() as u64, Ordering::Relaxed);
+        let raw = ObjectImage::decode_verify(&image, &side.cid);
+        match raw {
+            Some(raw) if raw.len() as u64 == side.trace_bytes => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((side, image, raw))
+            }
+            _ => {
+                // The body failed its own hash (or declared the wrong raw
+                // size): drop it and the manifest that pointed at it —
+                // other manifests sharing the CID evict themselves the
+                // same way on their next lookup.
+                self.evict_entry(key, Some(&side.cid));
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Shared manifest-side validation for `stat` / `get`: decode, key
+    /// check, object existence + stored-size check, LRU touch.
+    fn lookup(&self, key: &str) -> Option<Sidecar> {
+        let mpath = self.manifest_path(key);
+        let Ok(bytes) = fs::read(&mpath) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        self.bytes_read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        let Some(side) = Sidecar::decode(&bytes) else {
+            // Corrupt manifest: reclaim it.
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            let _ = fs::remove_file(&mpath);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        if side.key != key {
+            // Hash collision or stale file: the entry legitimately belongs
+            // to another key — a miss, but do NOT evict it.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        // The manifest records the exact on-disk object size; validate the
+        // body before reporting a hit so a truncated or deleted object can
+        // never serve stale statistics through the untimed path.
+        match fs::metadata(self.object_path(&side.cid)) {
+            Ok(m) if m.len() == side.stored_bytes => {
+                // Refresh the manifest mtime (atomic rewrite of identical
+                // bytes) so the GC's LRU bound tracks use, not publish age.
+                let _ = TraceStore::publish(&mpath, &bytes);
+                Some(side)
+            }
+            Ok(_) => {
+                // Wrong size: the object is corrupt for every key that
+                // references it.
+                self.evict_entry(key, Some(&side.cid));
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(_) => {
+                // Missing body: reclaim the dangling manifest only.
+                self.evict_entry(key, None);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Drop an entry's manifest (and, when `cid` is given, its object).
+    pub fn evict_entry(&self, key: &str, cid: Option<&[u8; 32]>) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        let _ = fs::remove_file(self.manifest_path(key));
+        if let Some(cid) = cid {
+            let _ = fs::remove_file(self.object_path(cid));
+        }
+    }
+
+    /// Publish a recorded trace under `key`. Fills the store-location
+    /// fields of `side` (`cid`, `compression`, `stored_bytes`,
+    /// `trace_bytes`), writes the object body first (skipping it when an
+    /// identical trace is already stored — the dedup path), then the
+    /// manifest, each via atomic tmp + rename.
+    ///
+    /// # Errors
+    ///
+    /// Object or manifest write failure (the store is left consistent).
+    pub fn put(&self, key: &str, side: &mut Sidecar, raw: &[u8]) -> io::Result<PutOutcome> {
+        let image = ObjectImage::build(raw, self.compress);
+        side.key = key.to_string();
+        side.cid = image.cid;
+        side.compression = image.compression;
+        side.trace_bytes = raw.len() as u64;
+        side.stored_bytes = image.bytes.len() as u64;
+        self.put_prepared(side, &image.bytes)
+    }
+
+    /// Publish with a pre-built object image (the server path: the image
+    /// arrived over the wire already verified against `side.cid`).
+    ///
+    /// # Errors
+    ///
+    /// Object or manifest write failure.
+    pub fn put_prepared(&self, side: &Sidecar, image: &[u8]) -> io::Result<PutOutcome> {
+        let opath = self.object_path(&side.cid);
+        let deduped = match fs::metadata(&opath) {
+            Ok(m) if m.len() == image.len() as u64 => true,
+            _ => {
+                if let Some(shard) = opath.parent() {
+                    fs::create_dir_all(shard)?;
+                }
+                TraceStore::publish(&opath, image)?;
+                self.bytes_written.fetch_add(image.len() as u64, Ordering::Relaxed);
+                false
+            }
+        };
+        let mbytes = side.encode();
+        TraceStore::publish(&self.manifest_path(&side.key), &mbytes)?;
+        self.bytes_written.fetch_add(mbytes.len() as u64, Ordering::Relaxed);
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.raw_bytes.fetch_add(side.trace_bytes, Ordering::Relaxed);
+        if deduped {
+            self.dedup_puts.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(PutOutcome { deduped, stored_bytes: image.len() as u64 })
+    }
+
+    /// Enumerate all valid manifests: `(path, sidecar, file_size, mtime)`.
+    pub fn manifests(&self) -> Vec<(PathBuf, Sidecar, u64, SystemTime)> {
+        let mut out = Vec::new();
+        let Ok(dir) = fs::read_dir(self.root.join("manifest")) else { return out };
+        for entry in dir.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("m") {
+                continue;
+            }
+            let Ok(bytes) = fs::read(&path) else { continue };
+            let Some(side) = Sidecar::decode(&bytes) else { continue };
+            let mtime = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(SystemTime::UNIX_EPOCH);
+            out.push((path, side, bytes.len() as u64, mtime));
+        }
+        out
+    }
+
+    /// Enumerate object files: `(path, cid, size)`.
+    fn objects(&self) -> Vec<(PathBuf, [u8; 32], u64)> {
+        let mut out = Vec::new();
+        let Ok(shards) = fs::read_dir(self.root.join("objects")) else { return out };
+        for shard in shards.flatten() {
+            let Ok(files) = fs::read_dir(shard.path()) else { continue };
+            for entry in files.flatten() {
+                let path = entry.path();
+                let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+                let Some(cid) = parse_cid(name) else { continue };
+                let size = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                out.push((path, cid, size));
+            }
+        }
+        out
+    }
+
+    /// Store-wide summary for the protocol `LIST` op:
+    /// `(entries, objects, object_bytes, raw_bytes)`.
+    #[must_use]
+    pub fn summary(&self) -> (u64, u64, u64, u64) {
+        let manifests = self.manifests();
+        let raw: u64 = manifests.iter().map(|(_, s, _, _)| s.trace_bytes).sum();
+        let objects = self.objects();
+        let obytes: u64 = objects.iter().map(|(_, _, n)| n).sum();
+        (manifests.len() as u64, objects.len() as u64, obytes, raw)
+    }
+
+    /// Reclaim files a crashed run left behind: `*.tmp.*` intermediates
+    /// anywhere in the store, and objects no manifest references (a body
+    /// whose manifest publish failed would otherwise linger forever —
+    /// object-side eviction only runs through manifest-load paths).
+    pub fn sweep_orphans(&self) {
+        let mut reclaimed = 0u64;
+        let sweep_tmp = |dir: &Path| {
+            let Ok(entries) = fs::read_dir(dir) else { return 0u64 };
+            let mut n = 0u64;
+            for entry in entries.flatten() {
+                let path = entry.path();
+                let is_tmp = path
+                    .file_name()
+                    .and_then(|s| s.to_str())
+                    .is_some_and(|s| s.contains(".tmp."));
+                if path.is_file() && is_tmp && fs::remove_file(&path).is_ok() {
+                    n += 1;
+                }
+            }
+            n
+        };
+        reclaimed += sweep_tmp(&self.root);
+        reclaimed += sweep_tmp(&self.root.join("manifest"));
+        if let Ok(shards) = fs::read_dir(self.root.join("objects")) {
+            for shard in shards.flatten() {
+                reclaimed += sweep_tmp(&shard.path());
+            }
+        }
+        let referenced: std::collections::HashSet<[u8; 32]> =
+            self.manifests().into_iter().map(|(_, s, _, _)| s.cid).collect();
+        for (path, cid, _) in self.objects() {
+            if !referenced.contains(&cid) && fs::remove_file(&path).is_ok() {
+                reclaimed += 1;
+            }
+        }
+        self.orphans_reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
+    }
+
+    /// Garbage-collect the store: drop manifests whose key does not end
+    /// with `keep_suffix` (the current schema salt, so a
+    /// `TRACE_SCHEMA_REV` / codec bump reclaims every stale entry), bound
+    /// total size to `max_bytes` evicting least-recently-used manifests
+    /// first (mtime; refreshed on every hit), remove objects no surviving
+    /// manifest references, and clear legacy flat-layout files.
+    pub fn gc(&self, keep_suffix: &str, max_bytes: Option<u64>) -> GcStats {
+        let mut stats = GcStats::default();
+        let mut survivors = Vec::new();
+        for (path, side, size, mtime) in self.manifests() {
+            if side.key.ends_with(keep_suffix) {
+                survivors.push((path, side, size, mtime));
+            } else {
+                stats.stale_entries += 1;
+                stats.bytes_freed += size;
+                let _ = fs::remove_file(&path);
+            }
+        }
+        if let Some(cap) = max_bytes {
+            // Newest first; charge each object the first time its CID
+            // appears so shared bodies are not double-counted.
+            survivors.sort_by(|a, b| b.3.cmp(&a.3).then_with(|| a.0.cmp(&b.0)));
+            let mut kept_cids = std::collections::HashSet::new();
+            let mut used = 0u64;
+            let mut kept = Vec::new();
+            for (path, side, size, mtime) in survivors {
+                let mut cost = size;
+                if !kept_cids.contains(&side.cid) {
+                    cost += side.stored_bytes;
+                }
+                if used + cost <= cap {
+                    used += cost;
+                    kept_cids.insert(side.cid);
+                    kept.push((path, side, size, mtime));
+                } else {
+                    stats.lru_entries += 1;
+                    stats.bytes_freed += size;
+                    let _ = fs::remove_file(&path);
+                }
+            }
+            survivors = kept;
+        }
+        let referenced: std::collections::HashSet<[u8; 32]> =
+            survivors.iter().map(|(_, s, _, _)| s.cid).collect();
+        let mut object_bytes_kept = 0u64;
+        for (path, cid, size) in self.objects() {
+            if referenced.contains(&cid) {
+                object_bytes_kept += size;
+            } else {
+                stats.orphan_objects += 1;
+                stats.bytes_freed += size;
+                let _ = fs::remove_file(&path);
+            }
+        }
+        // Legacy flat-layout files from the pre-store cache.
+        if let Ok(entries) = fs::read_dir(&self.root) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                let legacy = path
+                    .extension()
+                    .and_then(|e| e.to_str())
+                    .is_some_and(|e| e == "trace" || e == "meta");
+                if path.is_file() && legacy {
+                    stats.legacy_files += 1;
+                    stats.bytes_freed += entry.metadata().map(|m| m.len()).unwrap_or(0);
+                    let _ = fs::remove_file(&path);
+                }
+            }
+        }
+        stats.entries_kept = survivors.len() as u64;
+        stats.bytes_kept =
+            survivors.iter().map(|(_, _, n, _)| n).sum::<u64>() + object_bytes_kept;
+        stats
+    }
+}
+
+fn parse_cid(name: &str) -> Option<[u8; 32]> {
+    if name.len() != 64 {
+        return None;
+    }
+    let mut cid = [0u8; 32];
+    for (i, byte) in cid.iter_mut().enumerate() {
+        *byte = u8::from_str_radix(name.get(2 * i..2 * i + 2)?, 16).ok()?;
+    }
+    Some(cid)
+}
+
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_sidecar(key: &str) -> Sidecar {
+        Sidecar {
+            key: key.to_string(),
+            counters: std::array::from_fn(|i| i as u64 * 3 + 1),
+            fig3: Fig3Row {
+                mono_properties: 61.25,
+                mono_elements: 5.5,
+                poly_properties: 30.0,
+                poly_elements: 3.25,
+            },
+            class_cache: ClassCacheStats { accesses: 10, hits: 9, misses: 1, evictions: 0 },
+            vm_stats: VmStats {
+                calls: 1,
+                opt_entries: 2,
+                deopts: 3,
+                misspec_exceptions: 4,
+                ic_hits: 5,
+                ic_misses: 6,
+                gc_runs: 7,
+                line0_accesses: 8,
+                linen_accesses: 9,
+                bbv_versions: 18,
+                bbv_cap_fallbacks: 19,
+            },
+            obj_stats: ObjectStats {
+                objects: 11,
+                multi_line_objects: 12,
+                object_words: 13,
+                extra_header_words: 14,
+            },
+            hidden_classes: 15,
+            uops: 16,
+            trace_bytes: 17,
+            checksum: "42.5".into(),
+            cid: [0u8; 32],
+            compression: COMPRESS_NONE,
+            stored_bytes: 0,
+        }
+    }
+
+    fn temp_store(tag: &str) -> (PathBuf, TraceStore) {
+        let dir = std::env::temp_dir()
+            .join(format!("checkelide-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = TraceStore::open(&dir, true).expect("open");
+        (dir, store)
+    }
+
+    #[test]
+    fn sha256_matches_nist_vectors() {
+        assert_eq!(
+            cid_hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            cid_hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            cid_hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // Length straddling the padding boundary (55/56/64 bytes).
+        for n in [55usize, 56, 63, 64, 65, 119, 120] {
+            let _ = sha256(&vec![0xaau8; n]); // must not panic
+        }
+        assert_eq!(
+            cid_hex(&sha256(&[0x61u8; 1_000_000])),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn object_image_round_trips_and_verifies() {
+        let raw = b"abcdabcdabcdabcd-trailer".repeat(50);
+        let img = ObjectImage::build(&raw, true);
+        assert_eq!(img.compression, COMPRESS_LZ);
+        assert!(img.bytes.len() < raw.len(), "repetitive payload should shrink");
+        assert_eq!(
+            ObjectImage::decode_verify(&img.bytes, &img.cid).expect("verifies"),
+            raw
+        );
+        // Wrong CID is rejected.
+        let mut wrong = img.cid;
+        wrong[0] ^= 1;
+        assert!(ObjectImage::decode_verify(&img.bytes, &wrong).is_none());
+        // Corruption at every byte is rejected or detected by the hash.
+        for i in 0..img.bytes.len() {
+            let mut bad = img.bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                ObjectImage::decode_verify(&bad, &img.cid).is_none(),
+                "flip at {i} accepted"
+            );
+        }
+        for len in 0..img.bytes.len() {
+            assert!(ObjectImage::decode_verify(&img.bytes[..len], &img.cid).is_none());
+        }
+        // Incompressible payloads are stored raw.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let noise: Vec<u8> = (0..4096)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect();
+        let img = ObjectImage::build(&noise, true);
+        assert_eq!(img.compression, COMPRESS_NONE);
+        assert_eq!(
+            ObjectImage::decode_verify(&img.bytes, &img.cid).expect("verifies"),
+            noise
+        );
+    }
+
+    #[test]
+    fn sidecar_round_trips() {
+        let mut s = sample_sidecar("k|s4|profile|opttrue|it10|cc128x2|e0.1.0+rev1|c1");
+        s.cid = sha256(b"body");
+        s.compression = COMPRESS_LZ;
+        s.stored_bytes = 99;
+        let bytes = s.encode();
+        assert_eq!(Sidecar::decode(&bytes).expect("decodes"), s);
+    }
+
+    #[test]
+    fn sidecar_rejects_corruption() {
+        let bytes = sample_sidecar("k").encode();
+        for len in 0..bytes.len() {
+            assert!(Sidecar::decode(&bytes[..len]).is_none(), "prefix {len} decoded");
+        }
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(Sidecar::decode(&bad).is_none());
+        let mut long = bytes;
+        long.push(0);
+        assert!(Sidecar::decode(&long).is_none(), "trailing bytes accepted");
+    }
+
+    #[test]
+    fn put_get_stat_round_trip_with_dedup() {
+        let (dir, store) = temp_store("roundtrip");
+        let raw = b"trace-body trace-body trace-body".repeat(30);
+        let mut side = sample_sidecar("");
+        let out = store.put("key-a|e1|c1", &mut side, &raw).expect("put");
+        assert!(!out.deduped);
+        assert_eq!(side.trace_bytes, raw.len() as u64);
+        assert_eq!(side.cid, sha256(&raw));
+
+        let got = store.stat("key-a|e1|c1").expect("stat hit");
+        assert_eq!(got, side);
+        let (got, body) = store.get("key-a|e1|c1").expect("get hit");
+        assert_eq!(got, side);
+        assert_eq!(body, raw);
+        assert!(store.stat("key-missing").is_none());
+
+        // Identical trace under a second key: manifest only, one object.
+        let mut side2 = sample_sidecar("");
+        let out2 = store.put("key-b|e1|c1", &mut side2, &raw).expect("put");
+        assert!(out2.deduped, "identical body must dedup");
+        assert_eq!(side2.cid, side.cid);
+        let (entries, objects, _, _) = store.summary();
+        assert_eq!((entries, objects), (2, 1));
+        assert_eq!(store.stats().dedup_puts, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_missing_object_evicts_and_misses() {
+        let (dir, store) = temp_store("corrupt");
+        let raw = vec![7u8; 500];
+        let mut side = sample_sidecar("");
+        store.put("k|e1|c1", &mut side, &raw).expect("put");
+        let opath = store.object_path(&side.cid);
+
+        // Truncated object: stat's size check evicts manifest + object.
+        let image = fs::read(&opath).expect("object exists");
+        fs::write(&opath, &image[..image.len() - 1]).expect("truncate");
+        assert!(store.stat("k|e1|c1").is_none(), "size mismatch must miss");
+        assert!(!opath.exists(), "corrupt object evicted");
+        assert!(!store.manifest_path("k|e1|c1").exists(), "manifest evicted");
+
+        // Right size, flipped payload byte: get's hash check evicts.
+        store.put("k|e1|c1", &mut side, &raw).expect("re-put");
+        let mut image = fs::read(&opath).expect("object exists");
+        let last = image.len() - 1;
+        image[last] ^= 0xff;
+        fs::write(&opath, &image).expect("corrupt");
+        assert!(store.get("k|e1|c1").is_none(), "hash mismatch must miss");
+        assert!(!opath.exists(), "hash-corrupt object evicted");
+
+        // Missing object: manifest reclaimed, nothing to evict.
+        store.put("k|e1|c1", &mut side, &raw).expect("re-put");
+        fs::remove_file(&opath).expect("remove object");
+        assert!(store.get("k|e1|c1").is_none(), "missing body must miss");
+        assert!(!store.manifest_path("k|e1|c1").exists(), "dangling manifest reclaimed");
+
+        // Corrupt manifest bytes: reclaimed.
+        store.put("k|e1|c1", &mut side, &raw).expect("re-put");
+        fs::write(store.manifest_path("k|e1|c1"), b"garbage").expect("corrupt manifest");
+        assert!(store.stat("k|e1|c1").is_none());
+        assert!(!store.manifest_path("k|e1|c1").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_tmp_files_and_unreferenced_objects() {
+        let (dir, store) = temp_store("sweep");
+        let raw = vec![1u8; 100];
+        let mut side = sample_sidecar("");
+        store.put("live|e1|c1", &mut side, &raw).expect("put");
+
+        // Crashed-run debris: tmp files at every level, an object whose
+        // manifest publish failed, and a legacy-style tmp trace.
+        fs::write(dir.join("bench-0.trace.tmp.123.0"), b"x").expect("tmp");
+        fs::write(dir.join("manifest").join("a.m.tmp.123.1"), b"x").expect("tmp");
+        let orphan = ObjectImage::build(b"orphan body", true);
+        let opath = store.object_path(&orphan.cid);
+        fs::create_dir_all(opath.parent().expect("shard")).expect("mkdir");
+        fs::write(&opath, &orphan.bytes).expect("orphan object");
+        fs::write(
+            opath.with_file_name(format!("{}.tmp.9.9", cid_hex(&orphan.cid))),
+            b"x",
+        )
+        .expect("tmp");
+
+        let reopened = TraceStore::open(&dir, true).expect("reopen");
+        assert!(!dir.join("bench-0.trace.tmp.123.0").exists(), "root tmp swept");
+        assert!(!dir.join("manifest").join("a.m.tmp.123.1").exists(), "manifest tmp swept");
+        assert!(!opath.exists(), "unreferenced object swept");
+        assert!(reopened.stats().orphans_reclaimed >= 4);
+        // The referenced entry survived.
+        assert!(reopened.get("live|e1|c1").is_some(), "live entry untouched");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_drops_stale_salt_bounds_size_and_clears_legacy() {
+        let (dir, store) = temp_store("gc");
+        let raw_old = vec![9u8; 400];
+        let raw_a = vec![1u8; 400];
+        let raw_b = vec![2u8; 400];
+        let raw_c = vec![3u8; 400];
+        let mut side = sample_sidecar("");
+        store.put("old|e0.0.9+rev1|c1", &mut side, &raw_old).expect("put stale");
+        store.put("a|e1+rev2|c1", &mut side, &raw_a).expect("put");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        store.put("b|e1+rev2|c1", &mut side, &raw_b).expect("put");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        store.put("c|e1+rev2|c1", &mut side, &raw_c).expect("put");
+        fs::write(dir.join("legacy-deadbeef.trace"), b"old").expect("legacy");
+        fs::write(dir.join("legacy-deadbeef.meta"), b"old").expect("legacy");
+
+        // Keep only current-salt entries, bounded so just the two most
+        // recent (b, c) fit; a's object becomes unreferenced.
+        let keep = store
+            .manifests()
+            .iter()
+            .filter(|(_, s, _, _)| s.key.ends_with("|e1+rev2|c1") && s.key != "a|e1+rev2|c1")
+            .map(|(_, s, n, _)| n + s.stored_bytes)
+            .sum::<u64>();
+        let stats = store.gc("|e1+rev2|c1", Some(keep));
+        assert_eq!(stats.stale_entries, 1, "stale-salt entry dropped");
+        assert_eq!(stats.lru_entries, 1, "oldest current entry LRU-evicted");
+        assert_eq!(stats.entries_kept, 2);
+        assert_eq!(stats.legacy_files, 2);
+        assert!(stats.orphan_objects >= 2, "stale + evicted objects reclaimed");
+        assert!(stats.bytes_freed > 0);
+        assert!(store.stat("old|e0.0.9+rev1|c1").is_none());
+        assert!(store.stat("a|e1+rev2|c1").is_none());
+        assert!(store.get("b|e1+rev2|c1").is_some());
+        assert!(store.get("c|e1+rev2|c1").is_some());
+        assert!(!dir.join("legacy-deadbeef.trace").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hits_refresh_lru_order() {
+        let (dir, store) = temp_store("lru");
+        let mut side = sample_sidecar("");
+        store.put("a|e1|c1", &mut side, &vec![1u8; 300]).expect("put");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        store.put("b|e1|c1", &mut side, &vec![2u8; 300]).expect("put");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Touch a: it becomes the most recently used.
+        assert!(store.stat("a|e1|c1").is_some());
+        let keep = store
+            .manifests()
+            .iter()
+            .find(|(_, s, _, _)| s.key == "a|e1|c1")
+            .map(|(_, s, n, _)| n + s.stored_bytes)
+            .expect("a present");
+        let stats = store.gc("|e1|c1", Some(keep));
+        assert_eq!(stats.entries_kept, 1);
+        assert!(store.stat("a|e1|c1").is_some(), "recently-hit entry survives");
+        assert!(store.stat("b|e1|c1").is_none(), "stale entry evicted");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

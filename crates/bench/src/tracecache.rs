@@ -1,277 +1,428 @@
-//! Content-keyed on-disk cache of recorded µop traces.
+//! The record-once/replay-many µop trace cache.
 //!
 //! The paper's methodology is trace-driven: each V8 execution is captured
 //! once and fed to the simulator for every microarchitectural
-//! configuration (§5). [`TraceCache`] is that record-once/replay-many
-//! layer for this harness. An entry memoizes one *measured-iteration*
-//! engine execution:
+//! configuration (§5). [`TraceCache`] is that layer for this harness. An
+//! entry memoizes one *measured-iteration* engine execution: a sidecar
+//! with everything the runner measures ([`checkelide_isa::CounterSink`]
+//! snapshot, Figure 3 row, Class Cache / VM / object statistics,
+//! checksum), plus the µop stream in the compact binary format of
+//! [`checkelide_isa::codec`] — so an untimed hit never touches the trace
+//! body at all and a timed hit replays it through a fresh `CoreSim`
+//! instead of re-running the engine.
 //!
-//! * `<stem>.trace` — the µop stream in the compact binary format of
-//!   [`checkelide_isa::codec`], and
-//! * `<stem>.meta` — a sidecar with everything else the runner measures
-//!   ([`checkelide_isa::CounterSink`] snapshot, Figure 3 row, Class Cache
-//!   / VM / object statistics, checksum), so an untimed hit never touches
-//!   the trace file at all and a timed hit replays it through a fresh
-//!   `CoreSim` instead of re-running the engine.
+//! Since the content-addressed store rework, `TraceCache` is a thin
+//! front-end over one of three backends:
+//!
+//! * **Off** — lookups never hit, nothing is recorded.
+//! * **Local** — a [`crate::store::TraceStore`] directory (manifest index
+//!   → SHA-256-addressed, deduplicated, LZ-compressed objects).
+//! * **Remote** — a [`crate::proto::RemoteStore`] client speaking the
+//!   `tracestored` protocol, so N processes share one warm store. Remote
+//!   failures degrade: an unreachable server at resolve time falls back
+//!   to the local directory, and a mid-run failure is just a miss (live
+//!   execution) — a cache problem is never a run failure.
 //!
 //! # Key schema
 //!
 //! Entries are keyed by every input that can influence the µop stream:
 //!
 //! ```text
-//! bench|s<scale>|<mechanism>|opt<bool>|it<iterations>|cc<entries>x<ways>
-//!      |e<engine salt>|c<codec version>
+//! bench|s<scale>|<mechanism>|opt<bool>|bbv<bool>|it<iterations>
+//!      |cc<entries>x<ways>|e<engine salt>|c<codec version>
 //! ```
 //!
 //! The engine salt is [`checkelide_engine::trace_salt`] (crate version +
 //! manually-bumped `TRACE_SCHEMA_REV`), so any harness change that alters
-//! µop emission invalidates every entry at once. `RunConfig::timing` is
-//! deliberately **not** part of the key: the timing model is a pure
-//! consumer of the trace, so a trace recorded by an untimed
-//! characterization run can be replayed through `CoreSim` for a timed one
-//! and vice versa — this is exactly what lets `fig2`/`fig3` reuse `fig1`'s
-//! executions and `overheads` reuse `fig8`/`fig9`'s.
+//! µop emission invalidates every entry at once ([`current_key_suffix`]
+//! is what `tracestored --gc` keeps). `RunConfig::timing` is deliberately
+//! **not** part of the key: the timing model is a pure consumer of the
+//! trace, so a trace recorded by an untimed characterization run can be
+//! replayed through `CoreSim` for a timed one and vice versa — this is
+//! exactly what lets `fig2`/`fig3` reuse `fig1`'s executions and
+//! `overheads` reuse `fig8`/`fig9`'s.
 //!
-//! The key is hashed (FNV-1a 64) into the file stem; the full key string
-//! is stored inside the sidecar and compared on load, so a hash collision
-//! degrades to a cache miss, never to wrong data.
+//! The key is hashed (FNV-1a 64) into the manifest file stem; the full
+//! key string is stored inside the manifest and compared on load, so a
+//! hash collision degrades to a cache miss, never to wrong data.
 //!
 //! # Activation
 //!
-//! Resolution order: the `--trace-cache DIR|off` flag, then the
-//! `CHECKELIDE_TRACE_CACHE` environment variable (`off`/`0`/`none`
-//! disables), then the binary's default (`reproduce` defaults to
+//! Resolution order: the `--trace-cache DIR|tcp://HOST:PORT|off` flag,
+//! then the `CHECKELIDE_TRACE_CACHE` environment variable (`off`/`0`/
+//! `none` disables), then the binary's default (`reproduce` defaults to
 //! `target/trace-cache`; standalone figure binaries default off so a
-//! single-figure run never pays recording overhead unasked).
+//! single-figure run never pays recording overhead unasked). Object
+//! compression is on unless `CHECKELIDE_TRACE_COMPRESS` (or
+//! `--trace-compress`) says `off`.
 //!
 //! All statistics are atomics: one `TraceCache` is shared by reference
-//! across the [`crate::pool`] workers, each of which streams the same
-//! cached file independently on replay.
+//! across the [`crate::pool`] workers.
 
-use std::fs::{self, File};
-use std::io::{self, Read, Write};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::cli::Cli;
+use crate::proto::RemoteStore;
 use crate::runner::RunConfig;
-use checkelide_core::{loadstats::Fig3Row, ClassCacheStats};
-use checkelide_engine::{Mechanism, VmStats};
-use checkelide_runtime::runtime::ObjectStats;
+use crate::store::{fnv1a64, ObjectImage, Sidecar, TraceStore};
+use checkelide_engine::Mechanism;
 
-/// Environment variable selecting the cache directory (`off`/`0`/`none`
-/// disables the cache).
+/// Environment variable selecting the cache backend: a directory,
+/// `tcp://host:port`, or `off`/`0`/`none` to disable.
 pub const TRACE_CACHE_ENV: &str = "CHECKELIDE_TRACE_CACHE";
 
-/// Default cache directory for binaries that enable the cache by default.
+/// Environment variable disabling object compression (`off`/`0`/`none`).
+pub const TRACE_COMPRESS_ENV: &str = "CHECKELIDE_TRACE_COMPRESS";
+
+/// Default cache directory for binaries that enable the cache by default
+/// (and the fallback when a `tcp://` server is unreachable).
 pub const DEFAULT_TRACE_CACHE_DIR: &str = "target/trace-cache";
 
-/// Snapshot of cache activity counters.
+/// Snapshot of cache activity counters (the *client* view; the store and
+/// server keep their own).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TraceCacheStats {
-    /// Entries served from disk.
+    /// Entries served without engine execution (local + remote).
     pub hits: u64,
+    /// Hits served by the local store backend.
+    pub local_hits: u64,
+    /// Hits served over the protocol.
+    pub remote_hits: u64,
     /// Lookups that had to execute the engine.
     pub misses: u64,
-    /// Entries recorded to disk.
+    /// Entries recorded (local puts + accepted remote puts).
     pub stores: u64,
-    /// Bytes read from cache files (sidecars + replayed traces).
+    /// Recorded entries whose trace body already existed (cross-key
+    /// dedup).
+    pub dedup_stores: u64,
+    /// Cache bytes read (manifests + stored trace bodies).
     pub bytes_read: u64,
-    /// Bytes written to cache files.
+    /// Cache bytes written (manifests + stored trace bodies, i.e.
+    /// post-compression).
     pub bytes_written: u64,
+    /// Raw (pre-compression) trace bytes recorded; with `bytes_written`
+    /// this yields the effective compression+dedup ratio.
+    pub raw_bytes_written: u64,
+    /// Failed remote requests (each degrades to a miss).
+    pub remote_errors: u64,
 }
 
-/// The on-disk trace cache. Thread-safe: share by reference across pool
-/// workers.
+#[derive(Debug)]
+enum Backend {
+    Off,
+    Local(TraceStore),
+    Remote(RemoteStore),
+}
+
+/// The trace cache. Thread-safe: share by reference across pool workers.
 #[derive(Debug)]
 pub struct TraceCache {
-    dir: Option<PathBuf>,
-    hits: AtomicU64,
+    backend: Backend,
+    compress: bool,
+    local_hits: AtomicU64,
+    remote_hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
+    dedup_stores: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    raw_bytes_written: AtomicU64,
+}
+
+fn is_off(spec: &str) -> bool {
+    matches!(spec, "off" | "0" | "none" | "")
+}
+
+fn compress_default() -> bool {
+    !matches!(std::env::var(TRACE_COMPRESS_ENV).ok().as_deref(), Some(v) if is_off(v))
 }
 
 impl TraceCache {
-    fn with_dir(dir: Option<PathBuf>) -> TraceCache {
+    fn with_backend(backend: Backend, compress: bool) -> TraceCache {
         TraceCache {
-            dir,
-            hits: AtomicU64::new(0),
+            backend,
+            compress,
+            local_hits: AtomicU64::new(0),
+            remote_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
+            dedup_stores: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
+            raw_bytes_written: AtomicU64::new(0),
         }
     }
 
     /// A cache that never hits and never records (all lookups report
     /// [`crate::runner::CacheDisposition::Off`]).
+    #[must_use]
     pub fn disabled() -> TraceCache {
-        TraceCache::with_dir(None)
+        TraceCache::with_backend(Backend::Off, false)
     }
 
-    /// A cache rooted at `dir` (created if missing; falls back to disabled
-    /// with a warning when the directory cannot be created).
-    pub fn at(dir: impl Into<PathBuf>) -> TraceCache {
-        let dir = dir.into();
-        match fs::create_dir_all(&dir) {
-            Ok(()) => TraceCache::with_dir(Some(dir)),
+    /// A cache over a local store rooted at `dir` (created if missing;
+    /// falls back to disabled with a warning when the directory cannot be
+    /// created).
+    pub fn at(dir: impl AsRef<Path>) -> TraceCache {
+        let compress = compress_default();
+        match TraceStore::open(dir.as_ref(), compress) {
+            Ok(store) => TraceCache::with_backend(Backend::Local(store), compress),
             Err(e) => {
                 eprintln!(
-                    "warning: trace cache disabled: cannot create {}: {e}",
-                    dir.display()
+                    "warning: trace cache disabled: cannot open store at {}: {e}",
+                    dir.as_ref().display()
                 );
                 TraceCache::disabled()
             }
         }
     }
 
-    /// Resolve from an explicit `--trace-cache` value, the
-    /// [`TRACE_CACHE_ENV`] variable, or the binary's default.
-    pub fn resolve(flag: Option<&str>, default_on: bool) -> TraceCache {
-        let spec =
-            flag.map(str::to_string).or_else(|| std::env::var(TRACE_CACHE_ENV).ok());
-        match spec.as_deref() {
-            Some("off") | Some("0") | Some("none") | Some("") => TraceCache::disabled(),
-            Some(dir) => TraceCache::at(dir),
-            None if default_on => TraceCache::at(DEFAULT_TRACE_CACHE_DIR),
+    /// A cache speaking the `tracestored` protocol at `addr`
+    /// (`host:port`). Falls back to the local store at `fallback_dir`
+    /// with a warning when the server is unreachable.
+    pub fn remote_or(addr: &str, fallback_dir: &str) -> TraceCache {
+        match RemoteStore::connect(addr) {
+            Ok(remote) => {
+                TraceCache::with_backend(Backend::Remote(remote), compress_default())
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: trace store server {addr} unreachable ({e}); \
+                     falling back to local store at {fallback_dir}"
+                );
+                TraceCache::at(fallback_dir)
+            }
+        }
+    }
+
+    /// Resolve a cache spec: `off`/`0`/`none`/empty disables,
+    /// `tcp://HOST:PORT` selects the protocol client (falling back to
+    /// `fallback_dir` when unreachable), anything else is a local store
+    /// directory.
+    #[must_use]
+    pub fn resolve_spec(
+        spec: Option<&str>,
+        default_on: bool,
+        fallback_dir: &str,
+    ) -> TraceCache {
+        match spec {
+            Some(s) if is_off(s) => TraceCache::disabled(),
+            Some(s) => match s.strip_prefix("tcp://") {
+                Some(addr) => TraceCache::remote_or(addr, fallback_dir),
+                None => TraceCache::at(s),
+            },
+            None if default_on => TraceCache::at(fallback_dir),
             None => TraceCache::disabled(),
         }
     }
 
-    /// Resolve from a parsed [`Cli`] (`--trace-cache DIR|off`).
+    /// Resolve from an explicit `--trace-cache` value, the
+    /// [`TRACE_CACHE_ENV`] variable, or the binary's default.
+    #[must_use]
+    pub fn resolve(flag: Option<&str>, default_on: bool) -> TraceCache {
+        let spec =
+            flag.map(str::to_string).or_else(|| std::env::var(TRACE_CACHE_ENV).ok());
+        TraceCache::resolve_spec(spec.as_deref(), default_on, DEFAULT_TRACE_CACHE_DIR)
+    }
+
+    /// Resolve from a parsed [`Cli`]
+    /// (`--trace-cache DIR|tcp://HOST:PORT|off`, `--trace-compress off`).
+    #[must_use]
     pub fn from_cli(cli: &Cli, default_on: bool) -> TraceCache {
+        if let Some(v) = cli.value_of("--trace-compress") {
+            // The env var is how the flag reaches TraceStore::open; the
+            // figure binaries are single-threaded at this point.
+            std::env::set_var(TRACE_COMPRESS_ENV, v);
+        }
         TraceCache::resolve(cli.value_of("--trace-cache"), default_on)
     }
 
     /// Whether lookups can ever hit.
+    #[must_use]
     pub fn enabled(&self) -> bool {
-        self.dir.is_some()
+        !matches!(self.backend, Backend::Off)
     }
 
-    /// The cache directory, when enabled.
-    pub fn dir(&self) -> Option<&Path> {
-        self.dir.as_deref()
-    }
-
-    /// Current activity counters.
-    pub fn stats(&self) -> TraceCacheStats {
-        TraceCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            stores: self.stores.load(Ordering::Relaxed),
-            bytes_read: self.bytes_read.load(Ordering::Relaxed),
-            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+    /// Stable label of the active backend (`off` / `local` / `tcp`).
+    #[must_use]
+    pub fn backend_label(&self) -> &'static str {
+        match self.backend {
+            Backend::Off => "off",
+            Backend::Local(_) => "local",
+            Backend::Remote(_) => "tcp",
         }
     }
 
-    pub(crate) fn note_hit(&self, bytes_read: u64) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
-        self.bytes_read.fetch_add(bytes_read, Ordering::Relaxed);
+    /// The local store directory, when the local backend is active.
+    #[must_use]
+    pub fn dir(&self) -> Option<&Path> {
+        match &self.backend {
+            Backend::Local(store) => Some(store.root()),
+            _ => None,
+        }
+    }
+
+    /// The server address, when the remote backend is active.
+    #[must_use]
+    pub fn remote_addr(&self) -> Option<&str> {
+        match &self.backend {
+            Backend::Remote(remote) => Some(remote.addr()),
+            _ => None,
+        }
+    }
+
+    /// The underlying local store, when the local backend is active.
+    #[must_use]
+    pub fn local_store(&self) -> Option<&TraceStore> {
+        match &self.backend {
+            Backend::Local(store) => Some(store),
+            _ => None,
+        }
+    }
+
+    /// Current activity counters.
+    #[must_use]
+    pub fn stats(&self) -> TraceCacheStats {
+        let local_hits = self.local_hits.load(Ordering::Relaxed);
+        let remote_hits = self.remote_hits.load(Ordering::Relaxed);
+        TraceCacheStats {
+            hits: local_hits + remote_hits,
+            local_hits,
+            remote_hits,
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            dedup_stores: self.dedup_stores.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            raw_bytes_written: self.raw_bytes_written.load(Ordering::Relaxed),
+            remote_errors: match &self.backend {
+                Backend::Remote(remote) => remote.errors(),
+                _ => 0,
+            },
+        }
     }
 
     pub(crate) fn note_miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn note_store(&self, bytes_written: u64) {
-        self.stores.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written.fetch_add(bytes_written, Ordering::Relaxed);
-    }
-
     /// The cache entry for one `(benchmark, resolved scale, config)` cell,
     /// or `None` when the cache is disabled.
+    #[must_use]
     pub fn entry(&self, bench: &str, scale: i32, cfg: &RunConfig) -> Option<CacheEntry> {
-        let dir = self.dir.as_ref()?;
-        let key = cache_key(bench, scale, cfg);
-        let stem = format!("{bench}-{:016x}", fnv1a64(key.as_bytes()));
-        Some(CacheEntry {
-            trace_path: dir.join(format!("{stem}.trace")),
-            meta_path: dir.join(format!("{stem}.meta")),
-            key,
-        })
-    }
-
-    /// Load and validate an entry's sidecar. Any failure (missing file,
-    /// corrupt contents, key mismatch, absent or size-mismatched trace
-    /// file) is a miss.
-    pub(crate) fn load_sidecar(&self, entry: &CacheEntry) -> Option<Sidecar> {
-        let bytes = fs::read(&entry.meta_path).ok()?;
-        let side = Sidecar::decode(&bytes)?;
-        if side.key != entry.key {
-            // Hash collision or stale file: treat as a miss — the entry
-            // legitimately belongs to another key, so do NOT evict it.
+        if !self.enabled() {
             return None;
         }
-        // The sidecar records the exact encoded size of its companion
-        // trace, so validate the body before reporting a hit. An untimed
-        // hit never opens the trace file, which used to let a sidecar
-        // whose trace was truncated (interrupted write) or deleted serve
-        // stale statistics forever: the `.exists()` check passed (or the
-        // orphaned sidecar survived eviction, which only replay-time
-        // corruption triggered). A mismatch now drops both files.
-        match fs::metadata(&entry.trace_path) {
-            Ok(m) if m.len() == side.trace_bytes => Some(side),
-            _ => {
-                self.evict(entry);
-                None
+        Some(CacheEntry { key: cache_key(bench, scale, cfg) })
+    }
+
+    /// Look up an entry. `need_trace` controls whether the trace body is
+    /// fetched (timed replay) or only the manifest (untimed hit). Any
+    /// failure — absence, corruption, network — is a `None` miss; the
+    /// caller records live. Returns the sidecar, the raw trace bytes when
+    /// requested, and the cache bytes this lookup read.
+    pub(crate) fn fetch(
+        &self,
+        entry: &CacheEntry,
+        need_trace: bool,
+    ) -> Option<(Sidecar, Option<Vec<u8>>, u64)> {
+        let (side, raw, counter) = match &self.backend {
+            Backend::Off => return None,
+            Backend::Local(store) => {
+                if need_trace {
+                    let (side, raw) = store.get(&entry.key)?;
+                    (side, Some(raw), &self.local_hits)
+                } else {
+                    (store.stat(&entry.key)?, None, &self.local_hits)
+                }
+            }
+            Backend::Remote(remote) => {
+                if need_trace {
+                    let (side, raw) = remote.get(&entry.key)?;
+                    (side, Some(raw), &self.remote_hits)
+                } else {
+                    (remote.stat(&entry.key)?, None, &self.remote_hits)
+                }
+            }
+        };
+        let bytes_read =
+            side.encode().len() as u64 + raw.as_ref().map_or(0, |r| r.len() as u64);
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes_read, Ordering::Relaxed);
+        Some((side, raw, bytes_read))
+    }
+
+    /// Publish a recording. Fills `side`'s store-location fields, writes
+    /// through the active backend, and counts the store. Failures warn
+    /// and return; a cache problem is never a run failure.
+    pub(crate) fn publish(&self, entry: &CacheEntry, side: &mut Sidecar, raw: &[u8]) {
+        side.key = entry.key.clone();
+        match &self.backend {
+            Backend::Off => {}
+            Backend::Local(store) => match store.put(&entry.key, side, raw) {
+                Ok(outcome) => self.note_store(
+                    outcome.deduped,
+                    raw.len() as u64,
+                    side.encode().len() as u64
+                        + if outcome.deduped { 0 } else { outcome.stored_bytes },
+                ),
+                Err(e) => {
+                    eprintln!("warning: trace cache store for {} failed: {e}", entry.key);
+                }
+            },
+            Backend::Remote(remote) => {
+                let image = ObjectImage::build(raw, self.compress);
+                side.cid = image.cid;
+                side.compression = image.compression;
+                side.trace_bytes = raw.len() as u64;
+                side.stored_bytes = image.bytes.len() as u64;
+                if remote.put(side, &image.bytes) {
+                    self.note_store(
+                        false,
+                        raw.len() as u64,
+                        side.encode().len() as u64 + image.bytes.len() as u64,
+                    );
+                } else {
+                    eprintln!(
+                        "warning: trace store server rejected recording for {}",
+                        entry.key
+                    );
+                }
             }
         }
     }
 
-    /// Drop an entry from disk (corrupt trace detected during replay).
+    fn note_store(&self, deduped: bool, raw_bytes: u64, bytes_written: u64) {
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        if deduped {
+            self.dedup_stores.fetch_add(1, Ordering::Relaxed);
+        }
+        self.raw_bytes_written.fetch_add(raw_bytes, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes_written, Ordering::Relaxed);
+    }
+
+    /// Drop an entry (replay-time corruption the store's own hash checks
+    /// did not catch, i.e. a hash-valid but codec-invalid recording).
+    /// Remote entries are left to the server's own validation; the
+    /// re-recorded PUT overwrites the manifest.
     pub(crate) fn evict(&self, entry: &CacheEntry) {
-        let _ = fs::remove_file(&entry.trace_path);
-        let _ = fs::remove_file(&entry.meta_path);
-    }
-
-    /// A unique temporary path next to the entry's trace file, so the
-    /// final publish is an atomic same-directory rename.
-    pub(crate) fn tmp_trace_path(&self, entry: &CacheEntry) -> PathBuf {
-        use std::sync::atomic::AtomicU32;
-        static SEQ: AtomicU32 = AtomicU32::new(0);
-        let n = SEQ.fetch_add(1, Ordering::Relaxed);
-        entry
-            .trace_path
-            .with_extension(format!("trace.tmp.{}.{n}", std::process::id()))
-    }
-
-    /// Publish a recorded entry: rename the trace into place, then write
-    /// the sidecar (tmp + rename). The sidecar is published last so a
-    /// crash can never leave a sidecar pointing at a missing trace.
-    pub(crate) fn commit(
-        &self,
-        entry: &CacheEntry,
-        side: &Sidecar,
-        tmp_trace: &Path,
-    ) -> io::Result<()> {
-        fs::rename(tmp_trace, &entry.trace_path)?;
-        let bytes = side.encode();
-        let tmp_meta = self.tmp_trace_path(entry).with_extension("meta.tmp");
-        let mut f = File::create(&tmp_meta)?;
-        f.write_all(&bytes)?;
-        f.flush()?;
-        drop(f);
-        fs::rename(&tmp_meta, &entry.meta_path)?;
-        self.note_store(side.trace_bytes + bytes.len() as u64);
-        Ok(())
+        if let Backend::Local(store) = &self.backend {
+            store.evict_entry(&entry.key, None);
+        }
     }
 }
 
-/// Paths + canonical key of one cache entry.
+/// Canonical key of one cache entry.
 #[derive(Debug, Clone)]
 pub struct CacheEntry {
-    /// Full canonical key string (also stored in the sidecar).
+    /// Full canonical key string (also stored in the manifest).
     pub key: String,
-    /// The `.trace` file.
-    pub trace_path: PathBuf,
-    /// The `.meta` sidecar file.
-    pub meta_path: PathBuf,
 }
 
 /// Canonical key string for one cell. Everything that can influence the
 /// measured µop stream is included; `timing` is not (see module docs).
+#[must_use]
 pub fn cache_key(bench: &str, scale: i32, cfg: &RunConfig) -> String {
     let mech = match cfg.mechanism {
         Mechanism::Off => "off",
@@ -279,291 +430,39 @@ pub fn cache_key(bench: &str, scale: i32, cfg: &RunConfig) -> String {
         Mechanism::Full => "full",
     };
     format!(
-        "{bench}|s{scale}|{mech}|opt{}|bbv{}|it{}|cc{}x{}|e{}|c{}",
+        "{bench}|s{scale}|{mech}|opt{}|bbv{}|it{}|cc{}x{}{}",
         cfg.opt,
         cfg.bbv,
         cfg.iterations,
         cfg.class_cache.entries,
         cfg.class_cache.ways,
+        current_key_suffix(),
+    )
+}
+
+/// The schema-salt suffix every *current* key ends with
+/// (`|e<salt>|c<codec version>`). `tracestored --gc` drops entries whose
+/// stored key carries any other suffix.
+#[must_use]
+pub fn current_key_suffix() -> String {
+    format!(
+        "|e{}|c{}",
         checkelide_engine::trace_salt(),
         checkelide_isa::codec::TRACE_VERSION,
     )
 }
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-// ---------------------------------------------------------------------------
-// Sidecar
-// ---------------------------------------------------------------------------
-
-/// Sidecar magic.
-const META_MAGIC: [u8; 4] = *b"CKMT";
-/// Sidecar format version. v2 added the BBV fields of
-/// [`VmStats`] (`bbv_versions`, `bbv_cap_fallbacks`).
-const META_VERSION: u8 = 2;
-
-/// Everything a [`crate::runner::RunOutput`] needs besides the µop trace
-/// itself. Stored as a small self-describing binary file (the workspace's
-/// JSON layer is write-only, so JSON is not an option here).
-#[derive(Debug, Clone, PartialEq)]
-pub struct Sidecar {
-    /// Canonical cache key (collision guard).
-    pub key: String,
-    /// [`checkelide_isa::CounterSink::snapshot`] words.
-    pub counters: [u64; 21],
-    /// Figure 3 classification row.
-    pub fig3: Fig3Row,
-    /// Class Cache statistics.
-    pub class_cache: ClassCacheStats,
-    /// VM statistics.
-    pub vm_stats: VmStats,
-    /// Object allocation statistics.
-    pub obj_stats: ObjectStats,
-    /// Hidden classes created over the whole run.
-    pub hidden_classes: u64,
-    /// Measured-iteration µop count (must equal both the counters total
-    /// and the trace length).
-    pub uops: u64,
-    /// Encoded size of the companion `.trace` file.
-    pub trace_bytes: u64,
-    /// Benchmark checksum string.
-    pub checksum: String,
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
-    out.extend_from_slice(s.as_bytes());
-}
-
-struct MetaCur<'a>(&'a [u8]);
-
-impl MetaCur<'_> {
-    fn take(&mut self, n: usize) -> Option<&[u8]> {
-        if self.0.len() < n {
-            return None;
-        }
-        let (head, rest) = self.0.split_at(n);
-        self.0 = rest;
-        Some(head)
-    }
-
-    fn u64(&mut self) -> Option<u64> {
-        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
-    }
-
-    fn f64(&mut self) -> Option<f64> {
-        Some(f64::from_bits(self.u64()?))
-    }
-
-    fn str(&mut self) -> Option<String> {
-        let len = u32::from_le_bytes(self.take(4)?.try_into().ok()?) as usize;
-        if len > 1 << 20 {
-            return None;
-        }
-        String::from_utf8(self.take(len)?.to_vec()).ok()
-    }
-}
-
-impl Sidecar {
-    /// Serialize to the binary sidecar image.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(512);
-        out.extend_from_slice(&META_MAGIC);
-        out.push(META_VERSION);
-        put_str(&mut out, &self.key);
-        put_str(&mut out, &self.checksum);
-        for w in self.counters {
-            put_u64(&mut out, w);
-        }
-        for f in [
-            self.fig3.mono_properties,
-            self.fig3.mono_elements,
-            self.fig3.poly_properties,
-            self.fig3.poly_elements,
-        ] {
-            put_u64(&mut out, f.to_bits());
-        }
-        for w in [
-            self.class_cache.accesses,
-            self.class_cache.hits,
-            self.class_cache.misses,
-            self.class_cache.evictions,
-        ] {
-            put_u64(&mut out, w);
-        }
-        let v = &self.vm_stats;
-        for w in [
-            v.calls,
-            v.opt_entries,
-            v.deopts,
-            v.misspec_exceptions,
-            v.ic_hits,
-            v.ic_misses,
-            v.gc_runs,
-            v.line0_accesses,
-            v.linen_accesses,
-            v.bbv_versions,
-            v.bbv_cap_fallbacks,
-        ] {
-            put_u64(&mut out, w);
-        }
-        let o = &self.obj_stats;
-        for w in [o.objects, o.multi_line_objects, o.object_words, o.extra_header_words] {
-            put_u64(&mut out, w);
-        }
-        put_u64(&mut out, self.hidden_classes);
-        put_u64(&mut out, self.uops);
-        put_u64(&mut out, self.trace_bytes);
-        out
-    }
-
-    /// Parse a binary sidecar image. `None` on any structural problem.
-    pub fn decode(bytes: &[u8]) -> Option<Sidecar> {
-        let mut c = MetaCur(bytes);
-        if c.take(4)? != META_MAGIC {
-            return None;
-        }
-        if *c.take(1)?.first()? != META_VERSION {
-            return None;
-        }
-        let key = c.str()?;
-        let checksum = c.str()?;
-        let mut counters = [0u64; 21];
-        for w in &mut counters {
-            *w = c.u64()?;
-        }
-        let fig3 = Fig3Row {
-            mono_properties: c.f64()?,
-            mono_elements: c.f64()?,
-            poly_properties: c.f64()?,
-            poly_elements: c.f64()?,
-        };
-        let class_cache = ClassCacheStats {
-            accesses: c.u64()?,
-            hits: c.u64()?,
-            misses: c.u64()?,
-            evictions: c.u64()?,
-        };
-        let vm_stats = VmStats {
-            calls: c.u64()?,
-            opt_entries: c.u64()?,
-            deopts: c.u64()?,
-            misspec_exceptions: c.u64()?,
-            ic_hits: c.u64()?,
-            ic_misses: c.u64()?,
-            gc_runs: c.u64()?,
-            line0_accesses: c.u64()?,
-            linen_accesses: c.u64()?,
-            bbv_versions: c.u64()?,
-            bbv_cap_fallbacks: c.u64()?,
-        };
-        let obj_stats = ObjectStats {
-            objects: c.u64()?,
-            multi_line_objects: c.u64()?,
-            object_words: c.u64()?,
-            extra_header_words: c.u64()?,
-        };
-        let hidden_classes = c.u64()?;
-        let uops = c.u64()?;
-        let trace_bytes = c.u64()?;
-        if !c.0.is_empty() {
-            return None;
-        }
-        Some(Sidecar {
-            key,
-            counters,
-            fig3,
-            class_cache,
-            vm_stats,
-            obj_stats,
-            hidden_classes,
-            uops,
-            trace_bytes,
-            checksum,
-        })
-    }
-
-    /// Read + parse a sidecar file, returning the image size too.
-    pub fn load(path: &Path) -> Option<(Sidecar, u64)> {
-        let mut bytes = Vec::new();
-        File::open(path).ok()?.read_to_end(&mut bytes).ok()?;
-        Some((Sidecar::decode(&bytes)?, bytes.len() as u64))
-    }
+/// FNV-1a 64 of the key (the manifest stem hash; see
+/// [`crate::store::TraceStore::stem`]).
+#[must_use]
+pub fn key_hash(key: &str) -> u64 {
+    fnv1a64(key.as_bytes())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::runner::RunConfig;
-
-    fn sample_sidecar() -> Sidecar {
-        Sidecar {
-            key: "k|s4|profile|opttrue|it10|cc128x2|e0.1.0+rev1|c1".into(),
-            counters: std::array::from_fn(|i| i as u64 * 3 + 1),
-            fig3: Fig3Row {
-                mono_properties: 61.25,
-                mono_elements: 5.5,
-                poly_properties: 30.0,
-                poly_elements: 3.25,
-            },
-            class_cache: ClassCacheStats { accesses: 10, hits: 9, misses: 1, evictions: 0 },
-            vm_stats: VmStats {
-                calls: 1,
-                opt_entries: 2,
-                deopts: 3,
-                misspec_exceptions: 4,
-                ic_hits: 5,
-                ic_misses: 6,
-                gc_runs: 7,
-                line0_accesses: 8,
-                linen_accesses: 9,
-                bbv_versions: 18,
-                bbv_cap_fallbacks: 19,
-            },
-            obj_stats: ObjectStats {
-                objects: 11,
-                multi_line_objects: 12,
-                object_words: 13,
-                extra_header_words: 14,
-            },
-            hidden_classes: 15,
-            uops: 16,
-            trace_bytes: 17,
-            checksum: "42.5".into(),
-        }
-    }
-
-    #[test]
-    fn sidecar_round_trips() {
-        let s = sample_sidecar();
-        let bytes = s.encode();
-        assert_eq!(Sidecar::decode(&bytes).expect("decodes"), s);
-    }
-
-    #[test]
-    fn sidecar_rejects_corruption() {
-        let bytes = sample_sidecar().encode();
-        for len in 0..bytes.len() {
-            assert!(Sidecar::decode(&bytes[..len]).is_none(), "prefix {len} decoded");
-        }
-        let mut bad = bytes.clone();
-        bad[0] = b'X';
-        assert!(Sidecar::decode(&bad).is_none());
-        let mut long = bytes;
-        long.push(0);
-        assert!(Sidecar::decode(&long).is_none(), "trailing bytes accepted");
-    }
 
     #[test]
     fn key_distinguishes_configs() {
@@ -598,36 +497,16 @@ mod tests {
     }
 
     #[test]
-    fn load_sidecar_validates_trace_size_and_evicts_corrupt_pairs() {
-        let dir =
-            std::env::temp_dir().join(format!("checkelide-sidecar-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
-        let cache = TraceCache::at(&dir);
-        let entry = cache.entry("ai-astar", 4, &RunConfig::characterize()).expect("enabled");
-        let mut side = sample_sidecar();
-        side.key = entry.key.clone();
-        side.trace_bytes = 10;
-        fs::write(&entry.meta_path, side.encode()).expect("write meta");
-        fs::write(&entry.trace_path, [0u8; 10]).expect("write trace");
-        assert_eq!(cache.load_sidecar(&entry), Some(side.clone()), "intact pair loads");
-
-        // Truncated body: a miss, and the corrupt pair is evicted.
-        fs::write(&entry.trace_path, [0u8; 7]).expect("truncate trace");
-        assert!(cache.load_sidecar(&entry).is_none(), "size mismatch must miss");
-        assert!(!entry.trace_path.exists(), "corrupt trace evicted");
-        assert!(!entry.meta_path.exists(), "its sidecar evicted too");
-
-        // Missing body: the orphaned sidecar is reclaimed.
-        fs::write(&entry.meta_path, side.encode()).expect("rewrite meta");
-        assert!(cache.load_sidecar(&entry).is_none(), "missing body must miss");
-        assert!(!entry.meta_path.exists(), "orphaned sidecar reclaimed");
-        let _ = fs::remove_dir_all(&dir);
+    fn keys_end_with_the_current_salt_suffix() {
+        let key = cache_key("ai-astar", 4, &RunConfig::characterize());
+        assert!(key.ends_with(&current_key_suffix()), "gc keep-suffix must match {key}");
     }
 
     #[test]
     fn disabled_cache_has_no_entries() {
         let c = TraceCache::disabled();
         assert!(!c.enabled());
+        assert_eq!(c.backend_label(), "off");
         assert!(c.entry("ai-astar", 4, &RunConfig::characterize()).is_none());
     }
 
@@ -636,5 +515,22 @@ mod tests {
         for s in ["off", "0", "none", ""] {
             assert!(!TraceCache::resolve(Some(s), true).enabled());
         }
+    }
+
+    #[test]
+    fn unreachable_server_falls_back_to_local_store() {
+        let dir = std::env::temp_dir()
+            .join(format!("checkelide-fallback-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Port 1 on loopback: reserved, nothing listens there.
+        let cache = TraceCache::resolve_spec(
+            Some("tcp://127.0.0.1:1"),
+            true,
+            dir.to_str().expect("utf-8 temp dir"),
+        );
+        assert!(cache.enabled(), "fallback must keep the cache usable");
+        assert_eq!(cache.backend_label(), "local");
+        assert_eq!(cache.dir(), Some(dir.as_path()));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,295 @@
+//! Integration tests for the content-addressed trace store service:
+//! concurrent recording through atomic publish, the loopback protocol
+//! path (cold record → warm replay, multiple clients sharing one warm
+//! store), resilience to corrupt frames on both ends of the wire, and
+//! the `tracestored --gc` maintenance pass.
+
+use checkelide_bench::proto::{serve, RemoteStore};
+use checkelide_bench::runner::{try_run_benchmark_cached, CacheDisposition, RunConfig};
+use checkelide_bench::{find, Benchmark, TraceCache, TraceStore};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("checkelide-tstore-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quick_cfg() -> RunConfig {
+    let mut cfg = RunConfig::characterize();
+    cfg.scale = Some(1);
+    cfg.iterations = 2;
+    cfg
+}
+
+fn bench() -> &'static Benchmark {
+    find("ai-astar").expect("suite has ai-astar")
+}
+
+/// Racing recorders of the same cell must converge on one valid entry:
+/// every thread produces a correct output, and tmp-file + rename publish
+/// means the store ends up with exactly one manifest and one object no
+/// matter how the writes interleave.
+#[test]
+fn concurrent_recordings_of_one_key_converge() {
+    let dir = fresh_dir("race");
+    let cache = TraceCache::at(&dir);
+    let cfg = quick_cfg();
+
+    let checksums: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    let (out, _) =
+                        try_run_benchmark_cached(bench(), cfg, &cache).expect("cell runs");
+                    out.checksum
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+    });
+    assert!(checksums.windows(2).all(|w| w[0] == w[1]), "racers disagree: {checksums:?}");
+
+    let store = cache.local_store().expect("local backend");
+    let (entries, objects, _, _) = store.summary();
+    assert_eq!(entries, 1, "exactly one manifest after the race");
+    assert_eq!(objects, 1, "exactly one object after the race");
+    assert_eq!(
+        run_one(&cache, cfg),
+        CacheDisposition::Hit,
+        "post-race lookup replays the published entry"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn run_one(cache: &TraceCache, cfg: RunConfig) -> CacheDisposition {
+    let (out, disp) = try_run_benchmark_cached(bench(), cfg, cache).expect("cell runs");
+    assert!(out.uops > 0);
+    disp
+}
+
+/// Spawn a store server over `dir` on a loopback port and run `body`
+/// against its address. The server thread exits when `body` returns.
+fn with_server<R>(dir: &Path, body: impl FnOnce(&str) -> R) -> R {
+    let store = TraceStore::open(dir, true).expect("open server store");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| serve(&listener, &store, &stop));
+        let out = body(&addr);
+        stop.store(true, Ordering::Release);
+        server.join().expect("server thread").expect("server exits cleanly");
+        out
+    })
+}
+
+/// The full protocol path: a cold client records through PUT, a second
+/// client (a separate connection, as a separate process would be) replays
+/// through GET, and both produce the output a cache-off run produces.
+/// Per-client hit counters stay distinct — that is what run_meta.json
+/// reports when several figure binaries share one warm server.
+#[test]
+fn loopback_server_round_trip_and_shared_warm_store() {
+    let dir = fresh_dir("loopback");
+    let cfg = quick_cfg();
+    let (reference, _) = try_run_benchmark_cached(bench(), cfg, &TraceCache::disabled())
+        .expect("cache-off reference run");
+
+    with_server(&dir, |addr| {
+        let fallback = fresh_dir("loopback-unused-fallback");
+        let writer = TraceCache::remote_or(addr, fallback.to_str().expect("utf8 path"));
+        assert_eq!(writer.backend_label(), "tcp", "server must be reachable");
+
+        // Cold: miss, record, PUT.
+        let (cold, disp) = try_run_benchmark_cached(bench(), cfg, &writer).expect("cold");
+        assert_eq!(disp, CacheDisposition::Miss);
+        assert_eq!(cold.checksum, reference.checksum);
+        assert_eq!(cold.uops, reference.uops);
+        let ws = writer.stats();
+        assert_eq!(ws.stores, 1, "cold client stored through PUT");
+
+        // Two more clients share the now-warm store concurrently; each
+        // tracks its own hits (the per-process counters run_meta keeps).
+        std::thread::scope(|scope| {
+            let readers: Vec<_> = (0..2)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let c = TraceCache::remote_or(addr, "unused-fallback");
+                        assert_eq!(c.backend_label(), "tcp");
+                        let (out, disp) =
+                            try_run_benchmark_cached(bench(), cfg, &c).expect("warm");
+                        (out, disp, c.stats())
+                    })
+                })
+                .collect();
+            for r in readers {
+                let (out, disp, stats) = r.join().expect("no panic");
+                assert_eq!(disp, CacheDisposition::Hit, "warm client must hit");
+                assert_eq!(out.checksum, reference.checksum, "replay differs from live");
+                assert_eq!(out.uops, reference.uops);
+                assert_eq!(stats.remote_hits, 1, "hit tracked on this client");
+                assert_eq!(stats.local_hits, 0);
+                assert_eq!(stats.remote_errors, 0);
+            }
+        });
+
+        // The server-side view agrees: one object, served several times.
+        let probe = RemoteStore::connect(addr).expect("probe connection");
+        let stats = probe.list().expect("LIST");
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.objects, 1);
+        assert_eq!(stats.puts, 1);
+        assert!(stats.hits >= 2, "server counted the warm GETs");
+        let _ = std::fs::remove_dir_all(&fallback);
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn send_raw(addr: &str, bytes: &[u8]) -> Vec<u8> {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(bytes).expect("write");
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let mut buf = Vec::new();
+    let _ = s.read_to_end(&mut buf); // server may close without replying
+    buf
+}
+
+/// Malformed input must never take the server down: each abusive
+/// connection gets an error frame (or a plain close), and a well-formed
+/// request on a fresh connection still succeeds afterwards.
+#[test]
+fn server_survives_corrupt_and_truncated_frames() {
+    let dir = fresh_dir("server-abuse");
+    // Seed one entry so the final liveness probe has something to STAT.
+    let seed = TraceCache::at(&dir);
+    let cfg = quick_cfg();
+    assert_eq!(run_one(&seed, cfg), CacheDisposition::Miss);
+    let key = seed.entry("ai-astar", 1, &cfg).expect("enabled").key;
+    drop(seed);
+
+    with_server(&dir, |addr| {
+        // Oversized length prefix (2 GiB claim).
+        send_raw(addr, &(2u32 << 30).to_le_bytes());
+        // Truncated frame: claims 100 bytes, delivers 5, then closes.
+        let mut trunc = 100u32.to_le_bytes().to_vec();
+        trunc.extend_from_slice(b"stub!");
+        send_raw(addr, &trunc);
+        // Empty frame (no op byte).
+        send_raw(addr, &0u32.to_le_bytes());
+        // Unknown op.
+        let mut unk = 1u32.to_le_bytes().to_vec();
+        unk.push(b'?');
+        let resp = send_raw(addr, &unk);
+        assert!(resp.len() >= 5, "unknown op earns an error frame");
+        assert_eq!(resp[4], 2, "STATUS_ERROR");
+        // Malformed PUT: op + garbage that cannot parse as key/sidecar.
+        let mut put = Vec::new();
+        let body = [b'P', 0xff, 0xff, 0xff, 0xff, 1, 2, 3];
+        put.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        put.extend_from_slice(&body);
+        let resp = send_raw(addr, &put);
+        assert!(resp.len() >= 5, "malformed PUT earns an error frame");
+        assert_eq!(resp[4], 2, "STATUS_ERROR");
+
+        // The server is still alive and still correct.
+        let probe = RemoteStore::connect(addr).expect("fresh connection");
+        let side = probe.stat(&key).expect("seeded entry still served");
+        assert_eq!(side.key, key);
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A server speaking garbage must never panic the client: a nonsense
+/// response degrades the lookup to a miss (or the connect to the local
+/// fallback), and a server that dies mid-session turns every later
+/// request into a miss.
+#[test]
+fn client_degrades_to_miss_on_garbage_or_dead_server() {
+    // Garbage-speaking "server": replies to anything with a short junk
+    // frame. The connect-time LIST ping fails to parse, so the cache
+    // falls back to its local directory.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let garbler = std::thread::spawn(move || {
+        for stream in listener.incoming().take(1) {
+            let Ok(mut s) = stream else { break };
+            let mut junk = 7u32.to_le_bytes().to_vec();
+            junk.extend_from_slice(b"garbage");
+            let _ = s.write_all(&junk);
+        }
+    });
+    let fallback = fresh_dir("client-fallback");
+    let cache = TraceCache::remote_or(&addr, fallback.to_str().expect("utf8 path"));
+    assert_eq!(
+        cache.backend_label(),
+        "local",
+        "garbage server rejected at connect time; local fallback wins"
+    );
+    garbler.join().expect("garbler exits");
+
+    // Dead-server degradation: a healthy session whose server goes away
+    // answers every subsequent lookup with a miss, never a panic.
+    let dir = fresh_dir("dead-server");
+    let cfg = quick_cfg();
+    let seed = TraceCache::at(&dir);
+    assert_eq!(run_one(&seed, cfg), CacheDisposition::Miss);
+    let key = seed.entry("ai-astar", 1, &cfg).expect("enabled").key;
+    drop(seed);
+    let orphaned = with_server(&dir, |addr| {
+        let remote = RemoteStore::connect(addr).expect("connect while alive");
+        assert!(remote.stat(&key).is_some(), "warm while the server lives");
+        remote
+    });
+    // `with_server` has now shut the server down.
+    assert!(orphaned.stat(&key).is_none(), "dead server degrades to a miss");
+    assert!(orphaned.errors() > 0, "failure surfaced in the error counter");
+    let _ = std::fs::remove_dir_all(&fallback);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `tracestored --gc` pass: stale-salt entries are dropped while
+/// current entries survive, and `--max-store-bytes` applies the LRU
+/// bound (a 1-byte budget empties the store).
+#[test]
+fn gc_binary_drops_stale_salt_and_bounds_size() {
+    let dir = fresh_dir("gc-bin");
+    let cache = TraceCache::at(&dir);
+    let cfg = quick_cfg();
+    assert_eq!(run_one(&cache, cfg), CacheDisposition::Miss);
+    let live_key = cache.entry("ai-astar", 1, &cfg).expect("enabled").key;
+
+    // Hand-plant an entry recorded under an obsolete schema salt.
+    let store = cache.local_store().expect("local backend");
+    let stale_key = "ai-astar|s1|profile|optfalse|bbvfalse|it2|cc0x0|e0.0.0+rev0|c0";
+    let mut stale = store.stat(&live_key).expect("live entry").clone();
+    store.put(stale_key, &mut stale, b"stale trace body").expect("plant stale");
+    assert!(store.stat(stale_key).is_some());
+
+    let gc = |extra: &[&str]| {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_tracestored"))
+            .arg("--gc")
+            .arg("--store")
+            .arg(&dir)
+            .args(extra)
+            .output()
+            .expect("run tracestored --gc");
+        assert!(out.status.success(), "gc failed: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    let report = gc(&[]);
+    assert!(report.contains("stale"), "gc reports its work: {report}");
+    assert!(store.stat(stale_key).is_none(), "stale-salt entry dropped");
+    assert!(store.stat(&live_key).is_some(), "current entry survives");
+
+    gc(&["--max-store-bytes", "1"]);
+    assert!(store.stat(&live_key).is_none(), "LRU bound evicts beyond the budget");
+    let (entries, objects, _, _) = store.summary();
+    assert_eq!((entries, objects), (0, 0), "1-byte budget empties the store");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,12 +1,13 @@
-//! Corrupt-entry eviction in the on-disk trace cache.
+//! Corrupt-entry eviction in the content-addressed trace store.
 //!
-//! A sidecar records the exact encoded size of its companion `.trace`
-//! file. If the trace body is truncated (interrupted write) or deleted
-//! while the sidecar survives, the entry must read as a **miss** and
-//! both files must be dropped from disk — an untimed lookup never opens
-//! the trace body, so without the size validation a corrupt entry would
-//! keep serving its stale statistics forever and the orphaned sidecar
-//! would never be reclaimed.
+//! A manifest records the on-disk size and content hash of the object it
+//! references. If the object body is truncated (interrupted write),
+//! bit-flipped, or deleted while the manifest survives, the entry must
+//! read as a **miss** and the corrupt files must be dropped — an untimed
+//! lookup never decodes the object body, so without the size validation
+//! a corrupt entry would keep serving its stale statistics forever, and
+//! without manifest-side reclamation a dangling manifest would shadow
+//! re-recordings.
 
 use checkelide_bench::runner::{try_run_benchmark_cached, CacheDisposition, RunConfig};
 use checkelide_bench::{find, TraceCache};
@@ -27,8 +28,16 @@ fn run(cache: &TraceCache, cfg: RunConfig) -> CacheDisposition {
     disp
 }
 
+/// The store paths behind a cache entry: `(manifest, object)`.
+fn paths(cache: &TraceCache, cfg: &RunConfig) -> (PathBuf, PathBuf) {
+    let store = cache.local_store().expect("local backend");
+    let entry = cache.entry("ai-astar", 1, cfg).expect("cache enabled");
+    let side = store.stat(&entry.key).expect("entry recorded");
+    (store.manifest_path(&entry.key), store.object_path(&side.cid))
+}
+
 #[test]
-fn truncated_trace_body_is_a_miss_and_evicts_the_sidecar() {
+fn truncated_object_body_is_a_miss_and_evicts_the_manifest() {
     let dir = fresh_cache_dir("truncate");
     let cache = TraceCache::at(&dir);
     let mut cfg = RunConfig::characterize();
@@ -38,28 +47,29 @@ fn truncated_trace_body_is_a_miss_and_evicts_the_sidecar() {
     assert_eq!(run(&cache, cfg), CacheDisposition::Miss, "cold lookup records");
     assert_eq!(run(&cache, cfg), CacheDisposition::Hit, "second lookup replays");
 
-    // Truncate the trace body, keeping its (valid) sidecar.
-    let entry = cache.entry("ai-astar", 1, &cfg).expect("cache enabled");
-    let full = fs::metadata(&entry.trace_path).expect("trace recorded").len();
+    // Truncate the object body, keeping its (valid) manifest.
+    let (manifest, object) = paths(&cache, &cfg);
+    let full = fs::metadata(&object).expect("object recorded").len();
     assert!(full > 8);
     OpenOptions::new()
         .write(true)
-        .open(&entry.trace_path)
-        .expect("open trace")
+        .open(&object)
+        .expect("open object")
         .set_len(full / 2)
         .expect("truncate");
 
-    // The corrupt pair must not serve a hit — not even for this untimed
-    // configuration, which never opens the trace body on a hit — and
-    // both files must be gone afterwards (no orphaned sidecar).
+    // The corrupt entry must not serve a hit — not even for this untimed
+    // configuration, which never decodes the object body on a hit — and
+    // both files must be gone afterwards (no dangling manifest).
     assert_eq!(run(&cache, cfg), CacheDisposition::Miss, "truncated body must miss");
     assert_eq!(run(&cache, cfg), CacheDisposition::Hit, "re-recorded entry hits again");
+    assert!(manifest.exists() && object.exists(), "fresh entry published");
 
     let _ = fs::remove_dir_all(&dir);
 }
 
 #[test]
-fn deleted_trace_body_reclaims_the_orphaned_sidecar() {
+fn deleted_object_body_reclaims_the_dangling_manifest() {
     let dir = fresh_cache_dir("orphan");
     let cache = TraceCache::at(&dir);
     let mut cfg = RunConfig::characterize();
@@ -67,16 +77,65 @@ fn deleted_trace_body_reclaims_the_orphaned_sidecar() {
     cfg.iterations = 2;
 
     assert_eq!(run(&cache, cfg), CacheDisposition::Miss);
-    let entry = cache.entry("ai-astar", 1, &cfg).expect("cache enabled");
-    fs::remove_file(&entry.trace_path).expect("delete trace body");
-    assert!(entry.meta_path.exists());
+    let (manifest, object) = paths(&cache, &cfg);
+    fs::remove_file(&object).expect("delete object body");
+    assert!(manifest.exists());
 
     assert_eq!(run(&cache, cfg), CacheDisposition::Miss, "missing body must miss");
-    // The lookup itself must have evicted the orphaned sidecar before
-    // the re-recording published a fresh pair.
-    assert!(entry.trace_path.exists() && entry.meta_path.exists(), "fresh pair published");
-    let meta = fs::metadata(&entry.trace_path).expect("trace").len();
-    assert!(meta > 8, "re-recorded trace has a real body");
+    // The lookup itself must have evicted the dangling manifest before
+    // the re-recording published a fresh entry.
+    assert!(manifest.exists() && object.exists(), "fresh entry published");
+    let size = fs::metadata(&object).expect("object").len();
+    assert!(size > 8, "re-recorded object has a real body");
 
     let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hash_corrupt_object_fails_timed_replay_and_reheals() {
+    let dir = fresh_cache_dir("bitflip");
+    let cache = TraceCache::at(&dir);
+    let mut cfg = RunConfig::baseline_timed();
+    cfg.scale = Some(1);
+    cfg.iterations = 2;
+
+    assert_eq!(run(&cache, cfg), CacheDisposition::Miss, "cold timed run records");
+    let (_, object) = paths(&cache, &cfg);
+
+    // Flip one payload byte without changing the size: the untimed size
+    // check cannot see this, but the timed GET re-hashes the body.
+    let mut image = fs::read(&object).expect("object bytes");
+    let last = image.len() - 1;
+    image[last] ^= 0x01;
+    fs::write(&object, &image).expect("rewrite corrupted object");
+
+    assert_eq!(run(&cache, cfg), CacheDisposition::Miss, "hash mismatch must miss");
+    assert!(!image.is_empty());
+    assert_eq!(run(&cache, cfg), CacheDisposition::Hit, "re-recorded entry hits again");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Recording the same configuration twice in one process must produce
+/// byte-identical traces (and therefore one shared content ID): the
+/// store's cross-cell dedup is only as good as this determinism. Guards
+/// against process-global state (token counters, interning tables)
+/// leaking into the encoded byte stream.
+#[test]
+fn repeated_recordings_share_one_content_id() {
+    let mut cfg = RunConfig::characterize();
+    cfg.scale = Some(1);
+    cfg.iterations = 2;
+    let mut cids = Vec::new();
+    for tag in ["det-a", "det-b"] {
+        let dir = fresh_cache_dir(tag);
+        let cache = TraceCache::at(&dir);
+        assert_eq!(run(&cache, cfg), CacheDisposition::Miss);
+        let store = cache.local_store().expect("local");
+        let entry = cache.entry("ai-astar", 1, &cfg).expect("entry");
+        let side = store.stat(&entry.key).expect("recorded");
+        cids.push((checkelide_bench::store::cid_hex(&side.cid), side.trace_bytes));
+        let _ = fs::remove_dir_all(&dir);
+    }
+    assert_eq!(cids[0], cids[1], "recordings differ across fresh stores");
 }

@@ -30,6 +30,21 @@ thread_local! {
     static NEXT_TOK: Cell<u32> = const { Cell::new(1) };
 }
 
+/// Rewind the thread's token namespace to its initial state.
+///
+/// Called once per VM construction: every trace consumer keys on token
+/// *distances*, not absolute values, so restarting from 1 at a point
+/// where no emitter is live changes nothing observable — but it makes
+/// the encoded µop trace a pure function of (program, configuration)
+/// instead of also depending on how many runs this thread completed
+/// earlier. Content-addressed trace storage relies on exactly that:
+/// identical sweep cells must hash to identical bytes to dedup. Safe
+/// because a VM never shares its thread with another live VM (every
+/// call site builds one, runs it to completion, and drops it).
+pub fn reset_token_namespace() {
+    NEXT_TOK.with(|c| c.set(1));
+}
+
 /// Fixed stub entry points in the runtime-code region (one cache line of
 /// simulated code per stub keeps the IL1 behaviour sane).
 pub mod stubs {

@@ -352,6 +352,9 @@ impl Vm {
     /// Build a VM and install the standard globals (`Math`, `String`,
     /// `print`, `parseInt`, `parseFloat`).
     pub fn new(config: EngineConfig) -> Vm {
+        // Fresh token namespace: keeps the emitted trace byte-identical
+        // across repeated runs in one process (see `emit::reset_token_namespace`).
+        crate::emit::reset_token_namespace();
         let mut vm = Vm {
             rt: Runtime::new(),
             config,

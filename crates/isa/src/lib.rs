@@ -35,6 +35,7 @@
 pub mod codec;
 pub mod counters;
 pub mod layout;
+pub mod lz;
 pub mod trace;
 pub mod uop;
 
