@@ -16,6 +16,7 @@ use crate::runner::{
 };
 use crate::suite::{selected, Benchmark, Suite, BENCHMARKS};
 use crate::tracecache::TraceCache;
+use checkelide_engine::VmStats;
 
 fn cfg_scale(b: &Benchmark, quick: bool) -> i32 {
     if quick {
@@ -63,13 +64,39 @@ pub struct CellMeta {
     pub ok: bool,
     /// Trace-cache disposition: `"off"`, `"hit"` or `"miss"`.
     pub cache: String,
+    /// Regions compiled by the cell's VM (region execution tier).
+    pub regions_compiled: u64,
+    /// Plan-walk → compiled-region tier-up events.
+    pub tier_up_events: u64,
+    /// Code-cache occupancy (bytes) at the end of the run.
+    pub code_cache_bytes: u64,
+    /// Code-cache LRU evictions.
+    pub evictions: u64,
+    /// Region-exit deopt bridges taken.
+    pub deopt_bridges: u64,
     /// Failure message, if any.
     pub error: Option<String>,
 }
 
 impl ToJson for CellMeta {
     fn to_json(&self) -> Json {
-        json_obj!(self, figure, benchmark, worker, wall_ms, uops, uops_per_sec, ok, cache, error)
+        json_obj!(
+            self,
+            figure,
+            benchmark,
+            worker,
+            wall_ms,
+            uops,
+            uops_per_sec,
+            ok,
+            cache,
+            regions_compiled,
+            tier_up_events,
+            code_cache_bytes,
+            evictions,
+            deopt_bridges,
+            error
+        )
     }
 }
 
@@ -128,7 +155,7 @@ fn run_figure<R, F>(
 ) -> FigureReport<R>
 where
     R: Send,
-    F: Fn(&'static Benchmark) -> Result<(R, u64, CacheDisposition), RunError> + Sync,
+    F: Fn(&'static Benchmark) -> Result<(R, u64, CacheDisposition, VmStats), RunError> + Sync,
 {
     // Static proof that the cell inputs and outputs may cross threads.
     // (The engine's `Rc`-based internals never do: each cell builds its
@@ -161,15 +188,25 @@ where
             uops_per_sec: 0.0,
             ok: false,
             cache: CacheDisposition::Off.label().to_string(),
+            regions_compiled: 0,
+            tier_up_events: 0,
+            code_cache_bytes: 0,
+            evictions: 0,
+            deopt_bridges: 0,
             error: None,
         };
         match outcome.result {
-            Ok(Ok((row, uops, cache))) => {
+            Ok(Ok((row, uops, cache, stats))) => {
                 meta.cache = cache.label().to_string();
                 meta.uops = uops;
                 meta.uops_per_sec =
                     if wall_ms > 0.0 { uops as f64 / (wall_ms / 1e3) } else { 0.0 };
                 meta.ok = true;
+                meta.regions_compiled = stats.regions_compiled;
+                meta.tier_up_events = stats.tier_up_events;
+                meta.code_cache_bytes = stats.code_cache_bytes;
+                meta.evictions = stats.evictions;
+                meta.deopt_bridges = stats.deopt_bridges;
                 report.rows.push(row);
             }
             Ok(Err(run_err)) => {
@@ -394,6 +431,7 @@ pub fn fig1_report_cached(
             },
             out.uops,
             disp,
+            out.vm_stats,
         ))
     })
 }
@@ -499,6 +537,7 @@ pub fn fig2_report_cached(
             },
             out.uops,
             disp,
+            out.vm_stats,
         ))
     })
 }
@@ -605,6 +644,7 @@ pub fn fig3_report_cached(
             },
             out.uops,
             disp,
+            out.vm_stats,
         ))
     })
 }
@@ -738,14 +778,14 @@ pub fn fig89(quick: bool) -> Vec<Fig89Row> {
 ///
 /// Any [`RunError`] from either configuration, or the checksum mismatch.
 pub fn try_fig89_one(b: &Benchmark, quick: bool) -> Result<Fig89Row, RunError> {
-    fig89_one_cell(b, quick, &TraceCache::disabled()).map(|(row, _, _)| row)
+    fig89_one_cell(b, quick, &TraceCache::disabled()).map(|(row, _, _, _)| row)
 }
 
 fn fig89_one_cell(
     b: &Benchmark,
     quick: bool,
     cache: &TraceCache,
-) -> Result<(Fig89Row, u64, CacheDisposition), RunError> {
+) -> Result<(Fig89Row, u64, CacheDisposition, VmStats), RunError> {
     let (base, base_disp) = try_run_benchmark_cached(
         b,
         RunConfig::baseline_timed()
@@ -790,7 +830,7 @@ fn fig89_one_cell(
         dtlb_hit: (bs.dtlb.hit_rate(), fs.dtlb.hit_rate()),
         class_cache_hit: full.class_cache.hit_rate(),
     };
-    Ok((row, base.uops + full.uops, disp))
+    Ok((row, base.uops + full.uops, disp, full.vm_stats))
 }
 
 /// Run Figures 8/9 for one benchmark, panicking on failure (compat
@@ -925,14 +965,14 @@ pub fn fig_bbv(quick: bool) -> Vec<FigBbvRow> {
 /// Any [`RunError`] from any of the five configurations, or a checksum
 /// divergence between any configuration and the baseline run.
 pub fn try_fig_bbv_one(b: &Benchmark, quick: bool) -> Result<FigBbvRow, RunError> {
-    fig_bbv_one_cell(b, quick, &TraceCache::disabled()).map(|(row, _, _)| row)
+    fig_bbv_one_cell(b, quick, &TraceCache::disabled()).map(|(row, _, _, _)| row)
 }
 
 fn fig_bbv_one_cell(
     b: &Benchmark,
     quick: bool,
     cache: &TraceCache,
-) -> Result<(FigBbvRow, u64, CacheDisposition), RunError> {
+) -> Result<(FigBbvRow, u64, CacheDisposition, VmStats), RunError> {
     use checkelide_isa::uop::Category;
     let configs: [RunConfig; 5] = [
         RunConfig::baseline_timed(),
@@ -947,7 +987,11 @@ fn fig_bbv_one_cell(
     let mut disps = Vec::with_capacity(5);
     let mut checksum: Option<String> = None;
     let mut total_uops = 0u64;
-    for cfg in configs {
+    // Engine telemetry from the `cc-full` configuration (index 2): the
+    // BBV configurations pin hot bodies in their versioning tier, so the
+    // scalar full-mechanism run is the representative region-tier cell.
+    let mut stats = VmStats::default();
+    for (i, cfg) in configs.into_iter().enumerate() {
         let (out, disp) = try_run_benchmark_cached(
             b,
             cfg.with_scale(cfg_scale(b, quick)).with_iterations(iters(quick)),
@@ -969,6 +1013,9 @@ fn fig_bbv_one_cell(
         cycles.push(out.sim.as_ref().expect("timed").cycles);
         total_uops += out.uops;
         disps.push(disp);
+        if i == 2 {
+            stats = out.vm_stats;
+        }
     }
     let disp = if disps.iter().all(|d| *d == CacheDisposition::Hit) {
         CacheDisposition::Hit
@@ -987,7 +1034,7 @@ fn fig_bbv_one_cell(
         uops,
         cycles,
     };
-    Ok((row, total_uops, disp))
+    Ok((row, total_uops, disp, stats))
 }
 
 /// Render the BBV head-to-head table: per-benchmark checks executed and
@@ -1123,7 +1170,7 @@ pub fn overheads_report_cached(
             cache,
         )?;
         let uops = out.uops;
-        Ok((overhead_row(b.name, &out), uops, disp))
+        Ok((overhead_row(b.name, &out), uops, disp, out.vm_stats))
     })
 }
 
@@ -1252,12 +1299,29 @@ mod tests {
             uops_per_sec: 80000.0,
             ok: true,
             cache: "off".into(),
+            regions_compiled: 4,
+            tier_up_events: 2,
+            code_cache_bytes: 4096,
+            evictions: 1,
+            deopt_bridges: 3,
             error: None,
         };
         let json = crate::json::to_string_pretty(&meta);
-        for key in
-            ["figure", "benchmark", "worker", "wall_ms", "uops", "uops_per_sec", "ok", "cache"]
-        {
+        for key in [
+            "figure",
+            "benchmark",
+            "worker",
+            "wall_ms",
+            "uops",
+            "uops_per_sec",
+            "ok",
+            "cache",
+            "regions_compiled",
+            "tier_up_events",
+            "code_cache_bytes",
+            "evictions",
+            "deopt_bridges",
+        ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing {key} in {json}");
         }
     }

@@ -254,8 +254,9 @@ impl ObjectImage {
 const META_MAGIC: [u8; 4] = *b"CKMT";
 /// Sidecar format version. v2 added the BBV fields of [`VmStats`]; v3
 /// added the content-store location fields (`cid`, `compression`,
-/// `stored_bytes`) when sidecars became manifest payloads.
-const META_VERSION: u8 = 3;
+/// `stored_bytes`) when sidecars became manifest payloads; v4 added
+/// the region-tier / code-cache fields of [`VmStats`].
+const META_VERSION: u8 = 4;
 
 /// Everything a [`crate::runner::RunOutput`] needs besides the µop trace
 /// itself, plus the trace body's location in the content store. Stored as
@@ -371,6 +372,11 @@ impl Sidecar {
             v.linen_accesses,
             v.bbv_versions,
             v.bbv_cap_fallbacks,
+            v.regions_compiled,
+            v.tier_up_events,
+            v.code_cache_bytes,
+            v.evictions,
+            v.deopt_bridges,
         ] {
             put_u64(&mut out, w);
         }
@@ -427,6 +433,11 @@ impl Sidecar {
             linen_accesses: c.u64()?,
             bbv_versions: c.u64()?,
             bbv_cap_fallbacks: c.u64()?,
+            regions_compiled: c.u64()?,
+            tier_up_events: c.u64()?,
+            code_cache_bytes: c.u64()?,
+            evictions: c.u64()?,
+            deopt_bridges: c.u64()?,
         };
         let obj_stats = ObjectStats {
             objects: c.u64()?,
@@ -1016,6 +1027,11 @@ mod tests {
                 linen_accesses: 9,
                 bbv_versions: 18,
                 bbv_cap_fallbacks: 19,
+                regions_compiled: 20,
+                tier_up_events: 21,
+                code_cache_bytes: 22,
+                evictions: 23,
+                deopt_bridges: 24,
             },
             obj_stats: ObjectStats {
                 objects: 11,

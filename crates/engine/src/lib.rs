@@ -42,8 +42,8 @@ pub use compile::{compile_function, CompileEnv};
 pub use emit::Emitter;
 pub use feedback::{BinFeedback, CallFeedback, FeedbackSlot, SiteFeedback};
 pub use vm::{
-    CompileOutcome, DeoptReason, DeoptState, EngineConfig, ExecResult, Frame, FunctionInfo,
-    Mechanism, OptimizedCode, OptimizerHook, Vm, VmError, VmStats, STEP_BUDGET_MSG,
+    CompileOutcome, DeoptReason, DeoptState, EngineConfig, ExecResult, ExecScratch, Frame,
+    FunctionInfo, Mechanism, OptimizedCode, OptimizerHook, Vm, VmError, VmStats, STEP_BUDGET_MSG,
 };
 
 /// Revision of the µop emission schema. **Bump this whenever a change

@@ -76,6 +76,23 @@ pub struct EngineConfig {
     /// this so candidate programs with runaway loops terminate
     /// deterministically instead of hanging the oracle.
     pub step_budget: u64,
+    /// Region execution tier (tier 3). When enabled, an optimized
+    /// function whose activation count exceeds [`region_threshold`]
+    /// has its plans compiled into direct-threaded regions held in the
+    /// per-VM managed code cache. Byte-identical to the plan-walking
+    /// tier by construction; `CHECKELIDE_SCALAR_EXEC=1` forces the
+    /// plan-walking reference regardless of this flag.
+    ///
+    /// [`region_threshold`]: EngineConfig::region_threshold
+    pub regions: bool,
+    /// Plan-walking activations of an optimized body before it tiers
+    /// up to compiled regions (`1` = tier up after one activation).
+    pub region_threshold: u32,
+    /// Managed code-cache capacity in accounted bytes. When an insert
+    /// pushes occupancy past this bound the least-recently-used region
+    /// sets are evicted (the newest entry is always retained, so a
+    /// single oversized function still runs tiered).
+    pub code_cache_bytes: u64,
 }
 
 impl Default for EngineConfig {
@@ -89,6 +106,9 @@ impl Default for EngineConfig {
             class_cache: ClassCacheConfig::default(),
             bbv: false,
             step_budget: 0,
+            regions: true,
+            region_threshold: 2,
+            code_cache_bytes: 16 << 20,
         }
     }
 }
@@ -291,9 +311,40 @@ pub struct VmStats {
     pub bbv_versions: u64,
     /// BBV version-cap fallbacks to the generic block version.
     pub bbv_cap_fallbacks: u64,
+    /// Regions compiled into the managed code cache (cumulative; a
+    /// recompile after eviction counts again). Cumulative warm-up
+    /// state, carried across the steady-state reset like
+    /// [`bbv_versions`](VmStats::bbv_versions).
+    pub regions_compiled: u64,
+    /// Function-level tier-ups from plan-walking to compiled regions
+    /// (one per region-set compilation). Cumulative warm-up state.
+    pub tier_up_events: u64,
+    /// Current managed code-cache occupancy in accounted bytes
+    /// (a gauge, not a counter; carried across the steady-state reset).
+    pub code_cache_bytes: u64,
+    /// Region sets evicted from the code cache under capacity
+    /// pressure. Cumulative warm-up state.
+    pub evictions: u64,
+    /// Deopts that exited compiled-region code (bridged back to the
+    /// interpreter from tier 3 rather than from the plan walker).
+    pub deopt_bridges: u64,
 }
 
 /// The virtual machine.
+/// One optimized activation's pooled register file (see
+/// [`Vm::exec_scratch`]).
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    /// Local slots.
+    pub locals: Vec<Value>,
+    /// Operand stack.
+    pub stack: Vec<Value>,
+    /// Operand-stack dataflow tokens.
+    pub stoks: Vec<Tok>,
+    /// Local-slot dataflow tokens.
+    pub ltoks: Vec<Tok>,
+}
+
 pub struct Vm {
     /// Object model.
     pub rt: Runtime,
@@ -321,6 +372,12 @@ pub struct Vm {
     frame_pool: Vec<Frame>,
     /// Tagged vreg files of active optimized activations (GC roots).
     pub opt_frames: Vec<Vec<Value>>,
+    /// Recycled optimized-activation register files: the opt tier's
+    /// per-call locals/stack/token vectors, reused across activations
+    /// instead of reallocated (four heap allocations per optimized
+    /// call otherwise). Pooled contents are dead values — never GC
+    /// roots — and are cleared before reuse.
+    pub exec_scratch: Vec<ExecScratch>,
     /// Transition-tree root → constructor function (for allocation-site
     /// elements-kind feedback).
     pub ctor_of_root: HashMap<MapIx, u32>,
@@ -369,6 +426,7 @@ impl Vm {
             frames: Vec::new(),
             frame_pool: Vec::new(),
             opt_frames: Vec::new(),
+            exec_scratch: Vec::new(),
             ctor_of_root: HashMap::new(),
             value_profiled: [false; 256],
             stats: VmStats::default(),

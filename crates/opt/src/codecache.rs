@@ -1,0 +1,208 @@
+//! The managed code cache: byte-accounted LRU storage for compiled
+//! [`RegionSet`]s, one cache per `Vm`.
+//!
+//! Entries are keyed by `(function, deopt epoch)`. The epoch acts as
+//! the region tier's function-identity guard: a deopt bumps the
+//! function's epoch, so the next tier-up lookup sees a stale entry,
+//! drops it, and recompiles against the fresh plans — a cached region
+//! can never run on behalf of plans that were invalidated.
+//!
+//! Capacity is advisory-per-entry but strict in aggregate: an insert
+//! that pushes occupancy past the configured byte capacity evicts
+//! least-recently-used entries until the cache fits again, except that
+//! the entry being inserted is always retained (a single oversized
+//! function still runs tiered; it just monopolizes the cache).
+//! Eviction order is a pure function of the access sequence — ticks
+//! are unique, so the LRU victim is unique — which keeps runs
+//! deterministic.
+//!
+//! Storage is a dense vector indexed by function id (function ids are
+//! small and dense per `Vm`): the lookup on the tier-up fast path is a
+//! bounds-checked index, not a hash.
+//!
+//! Telemetry (`regions_compiled`, `tier_up_events`, `code_cache_bytes`,
+//! `evictions`) is pushed straight into [`VmStats`] so the bench
+//! runner, run_meta, and the perfstat `engine` section all see it.
+
+use crate::region::RegionSet;
+use checkelide_engine::VmStats;
+use std::rc::Rc;
+
+#[derive(Debug)]
+struct Entry {
+    epoch: u32,
+    set: Rc<RegionSet>,
+    bytes: u64,
+    last_use: u64,
+}
+
+/// Per-VM managed code cache.
+#[derive(Debug, Default)]
+pub struct CodeCache {
+    capacity: u64,
+    used: u64,
+    tick: u64,
+    /// `func -> entry`, dense by function id.
+    entries: Vec<Option<Entry>>,
+}
+
+impl CodeCache {
+    /// New empty cache (capacity is set from `EngineConfig` at first
+    /// use).
+    #[must_use]
+    pub fn new() -> CodeCache {
+        CodeCache::default()
+    }
+
+    /// (Re)set the byte capacity. Does not evict retroactively; the
+    /// next insert enforces the new bound.
+    pub fn set_capacity(&mut self, bytes: u64) {
+        self.capacity = bytes;
+    }
+
+    /// Current occupancy in accounted bytes.
+    #[must_use]
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of cached region sets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up `func`'s regions. A hit refreshes recency; an entry
+    /// compiled under a different deopt epoch is stale and is dropped
+    /// (the function-identity guard).
+    pub fn get(&mut self, func: u32, epoch: u32, stats: &mut VmStats) -> Option<Rc<RegionSet>> {
+        let slot = self.entries.get_mut(func as usize)?;
+        let e = slot.as_mut()?;
+        if e.epoch != epoch {
+            let e = slot.take().expect("entry present");
+            self.used -= e.bytes;
+            stats.code_cache_bytes = self.used;
+            return None;
+        }
+        self.tick += 1;
+        e.last_use = self.tick;
+        Some(Rc::clone(&e.set))
+    }
+
+    /// Install `func`'s freshly compiled regions, accounting their
+    /// bytes and evicting LRU entries (never the new one) while over
+    /// capacity.
+    pub fn insert(&mut self, func: u32, epoch: u32, set: Rc<RegionSet>, stats: &mut VmStats) {
+        if self.entries.len() <= func as usize {
+            self.entries.resize_with(func as usize + 1, || None);
+        }
+        if let Some(old) = self.entries[func as usize].take() {
+            self.used -= old.bytes;
+        }
+        let bytes = set.bytes;
+        self.tick += 1;
+        self.used += bytes;
+        stats.tier_up_events += 1;
+        stats.regions_compiled += set.regions.len() as u64;
+        self.entries[func as usize] =
+            Some(Entry { epoch, set, bytes, last_use: self.tick });
+        while self.used > self.capacity && self.len() > 1 {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|&(k, e)| k != func as usize && e.is_some())
+                .min_by_key(|(_, e)| e.as_ref().expect("filtered").last_use)
+                .map(|(k, _)| k)
+                .expect("more than one entry");
+            let e = self.entries[victim].take().expect("victim present");
+            self.used -= e.bytes;
+            stats.evictions += 1;
+        }
+        stats.code_cache_bytes = self.used;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{Region, RegionSet};
+
+    fn set_of(bytes: u64) -> Rc<RegionSet> {
+        Rc::new(RegionSet {
+            regions: vec![Region { entry: 0, ops: Vec::new(), end_pc: 0 }],
+            entry_of: Vec::new(),
+            bytes,
+        })
+    }
+
+    #[test]
+    fn byte_accounting_tracks_inserts_and_drops() {
+        let mut c = CodeCache::new();
+        let mut st = VmStats::default();
+        c.set_capacity(1000);
+        c.insert(0, 0, set_of(300), &mut st);
+        c.insert(1, 0, set_of(400), &mut st);
+        assert_eq!(c.used_bytes(), 700);
+        assert_eq!(st.code_cache_bytes, 700);
+        assert_eq!(st.tier_up_events, 2);
+        assert_eq!(st.regions_compiled, 2);
+        assert_eq!(st.evictions, 0);
+        // Replacing an entry releases the old bytes.
+        c.insert(0, 1, set_of(100), &mut st);
+        assert_eq!(c.used_bytes(), 500);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_lru_first() {
+        let mut c = CodeCache::new();
+        let mut st = VmStats::default();
+        c.set_capacity(1000);
+        c.insert(0, 0, set_of(400), &mut st); // tick 1
+        c.insert(1, 0, set_of(400), &mut st); // tick 2
+        // Touch 0 so 1 becomes the LRU entry.
+        assert!(c.get(0, 0, &mut st).is_some()); // tick 3
+        c.insert(2, 0, set_of(400), &mut st); // over capacity: evict 1
+        assert_eq!(st.evictions, 1);
+        assert_eq!(c.used_bytes(), 800);
+        assert!(c.get(1, 0, &mut st).is_none(), "LRU entry evicted");
+        assert!(c.get(0, 0, &mut st).is_some(), "recently used entry kept");
+        assert!(c.get(2, 0, &mut st).is_some(), "new entry kept");
+    }
+
+    #[test]
+    fn oversized_entry_is_retained_alone() {
+        let mut c = CodeCache::new();
+        let mut st = VmStats::default();
+        c.set_capacity(100);
+        c.insert(0, 0, set_of(50), &mut st);
+        c.insert(1, 0, set_of(500), &mut st);
+        // The oversized set evicted everything else but stays cached
+        // itself.
+        assert_eq!(st.evictions, 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), 500);
+        assert!(c.get(1, 0, &mut st).is_some());
+    }
+
+    #[test]
+    fn stale_epoch_drops_the_entry() {
+        let mut c = CodeCache::new();
+        let mut st = VmStats::default();
+        c.set_capacity(1000);
+        c.insert(7, 3, set_of(200), &mut st);
+        assert!(c.get(7, 4, &mut st).is_none(), "epoch mismatch = stale");
+        assert_eq!(c.used_bytes(), 0);
+        assert_eq!(st.code_cache_bytes, 0);
+        assert!(c.is_empty());
+        // Not a capacity eviction: invalidation is accounted separately.
+        assert_eq!(st.evictions, 0);
+    }
+}

@@ -12,21 +12,31 @@
 //! function's own stores resume after the offending store (§4.2.2).
 
 use crate::bbv::{BbvState, BlockVersion};
+use crate::codecache::CodeCache;
 use crate::context::TypeCtx;
 use crate::plan::*;
+use crate::region::{FusedSrc, FusedTail, RegionSet, ROp};
 use checkelide_engine::bytecode::{Bc, BytecodeFunc};
 use checkelide_engine::emit::{stubs, Emitter};
 use checkelide_engine::vm::CODE_STRIDE;
 use checkelide_engine::{
-    DeoptReason, DeoptState, ExecResult, Mechanism, OptimizedCode, Vm, VmError,
+    DeoptReason, DeoptState, ExecResult, ExecScratch, Mechanism, OptimizedCode, Vm, VmError,
 };
 use checkelide_isa::layout::OPT_CODE_BASE;
 use checkelide_isa::uop::{Category, MemRef, Provenance, Region, Tok, Uop, UopKind};
 use checkelide_isa::BatchSink;
 use checkelide_runtime::numops::{self, BitwiseOp, CmpOp};
-use checkelide_runtime::{maps::fixed, Builtin, ElemKind, FuncRef, Value};
-use std::cell::RefCell;
+use checkelide_runtime::{maps::fixed, Builtin, ElemKind, FuncRef, MapIx, Value};
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+
+/// Environment toggle forcing the plan-walking reference tier: set
+/// `CHECKELIDE_SCALAR_EXEC=1` and every optimized activation walks
+/// `(Bc, OpPlan)` pairs exactly as before the region tier existed.
+/// The region tier must be byte-identical to this path (CI diffs the
+/// figure goldens both ways), mirroring `CHECKELIDE_SCALAR_SIM` for
+/// CoreSim.
+pub const SCALAR_EXEC_ENV: &str = "CHECKELIDE_SCALAR_EXEC";
 
 /// Optimized code for one function.
 pub struct OptimizedBody {
@@ -42,6 +52,41 @@ pub struct OptimizedBody {
     /// `EngineConfig::bbv`. `None` keeps the scalar plan-walking path
     /// (the differential reference) byte-identical to before.
     pub bbv: Option<RefCell<BbvState>>,
+    /// Plan-walking activations so far (the region tier-up trigger).
+    pub activations: Cell<u32>,
+    /// The per-VM managed code cache, shared with the `Optimizer` that
+    /// produced this body (and with every other body it compiles).
+    pub cache: Rc<RefCell<CodeCache>>,
+    /// [`SCALAR_EXEC_ENV`] was set when this body was compiled: pin
+    /// the plan-walking reference tier.
+    pub scalar_forced: bool,
+}
+
+impl OptimizedBody {
+    /// Decide this activation's execution tier: `Some` = compiled
+    /// regions (tier 3, looked up or compiled into the code cache),
+    /// `None` = plan-walking (tier 2). BBV bodies always plan-walk —
+    /// their plans are per-version and materialize lazily, so there is
+    /// no stable plan vector to compile regions from.
+    fn region_set(&self, vm: &mut Vm) -> Option<Rc<RegionSet>> {
+        if self.bbv.is_some() || self.scalar_forced || !vm.config.regions {
+            return None;
+        }
+        let n = self.activations.get().saturating_add(1);
+        self.activations.set(n);
+        if n <= vm.config.region_threshold {
+            return None;
+        }
+        let epoch = vm.deopt_epoch(self.func);
+        let mut cache = self.cache.borrow_mut();
+        cache.set_capacity(vm.config.code_cache_bytes);
+        if let Some(set) = cache.get(self.func, epoch, &mut vm.stats) {
+            return Some(set);
+        }
+        let set = Rc::new(crate::region::compile(self.func, &self.bc, &self.plans));
+        cache.insert(self.func, epoch, Rc::clone(&set), &mut vm.stats);
+        Some(set)
+    }
 }
 
 impl OptimizedCode for OptimizedBody {
@@ -52,25 +97,41 @@ impl OptimizedCode for OptimizedBody {
         this: Value,
         args: &[Value],
     ) -> ExecResult {
-        let mut locals = vec![vm.rt.odd.undefined; self.bc.n_locals as usize];
+        // Pull this activation's register file from the scratch pool —
+        // four heap allocations per optimized call otherwise, a real
+        // cost for small hot callees.
+        let mut scratch = vm.exec_scratch.pop().unwrap_or_default();
+        scratch.locals.clear();
+        scratch.locals.resize(self.bc.n_locals as usize, vm.rt.odd.undefined);
         for (i, &a) in args.iter().take(self.bc.params as usize).enumerate() {
-            locals[i] = a;
+            scratch.locals[i] = a;
         }
+        scratch.stack.clear();
+        scratch.stoks.clear();
+        scratch.ltoks.clear();
+        scratch.ltoks.resize(self.bc.n_locals as usize, Tok::NONE);
+        let set = self.region_set(vm);
         let mut ex = Exec {
             vm,
             body: self,
             this,
-            locals,
-            stack: Vec::with_capacity(16),
-            stoks: Vec::with_capacity(16),
-            ltoks: vec![Tok::NONE; self.bc.n_locals as usize],
+            locals: scratch.locals,
+            stack: scratch.stack,
+            stoks: scratch.stoks,
+            ltoks: scratch.ltoks,
             em: Emitter::new(Region::Optimized),
             epoch: 0,
             hoist_active: [false; 4],
             code_base: OPT_CODE_BASE + self.func as u64 * CODE_STRIDE,
         };
         ex.epoch = ex.vm.deopt_epoch(self.func);
-        ex.run(sink)
+        let result = match set {
+            Some(set) => ex.run_regions(sink, &set),
+            None => ex.run(sink),
+        };
+        let Exec { vm, locals, stack, stoks, ltoks, .. } = ex;
+        vm.exec_scratch.push(ExecScratch { locals, stack, stoks, ltoks });
+        result
     }
 
     fn elided_check_sites(&self) -> u32 {
@@ -98,6 +159,24 @@ enum Flow {
     Return(Value),
     Deopt(DeoptState),
     Error(VmError),
+}
+
+/// Control transfer between compiled regions (tier 3).
+enum RFlow {
+    /// Fall through to the next compiled op.
+    Continue,
+    /// Enter the region at this index.
+    Goto(usize),
+    /// Activation finished: return, deopt bridge, or error.
+    Done(ExecResult),
+}
+
+/// Result of [`Exec::fused_fast`]: `Cmp` keeps the raw comparison
+/// outcome so a fused `JumpIf` tail can branch without materializing
+/// (or truth-testing) the boolean value.
+enum FastBin {
+    Val(Value),
+    Cmp(bool),
 }
 
 impl<'a> Exec<'a> {
@@ -392,6 +471,434 @@ impl<'a> Exec<'a> {
         cell.borrow_mut().version(self.vm, self.body.func, &self.body.bc, pc, ctx)
     }
 
+    /// Map a handler's [`Flow`] back onto region control flow. A deopt
+    /// leaving compiled-region code is a deopt *bridge*: the architected
+    /// interpreter state the handler reconstructed crosses the tier
+    /// boundary here, and we count the crossing.
+    fn bridge(&mut self, flow: Flow, set: &RegionSet) -> RFlow {
+        match flow {
+            Flow::Next => RFlow::Continue,
+            Flow::Jump(t) => RFlow::Goto(set.entry_of[t] as usize),
+            Flow::Return(v) => RFlow::Done(ExecResult::Return(v)),
+            Flow::Deopt(state) => {
+                self.vm.stats.deopt_bridges += 1;
+                RFlow::Done(ExecResult::Deopt(state))
+            }
+            Flow::Error(e) => RFlow::Done(ExecResult::Error(e)),
+        }
+    }
+
+    /// Materialize a fused binary operand. Locals carry the token from
+    /// their token slot (as `LdLocal`'s stack push would); SMI
+    /// immediates mint a fresh token exactly like `LdaSmi` — skipped
+    /// under a discarding sink, where tokens are unobservable.
+    #[inline]
+    fn fused_operand(&mut self, sink: &BatchSink<'_>, src: FusedSrc) -> (Value, Tok) {
+        match src {
+            FusedSrc::Local(i) => (self.locals[i as usize], self.ltoks[i as usize]),
+            FusedSrc::Smi(n) => {
+                let t = if sink.discarding() { Tok::NONE } else { self.em.fresh() };
+                (Value::smi(n), t)
+            }
+        }
+    }
+
+    /// Discarding-sink fast path for a fused binary op: with every µop
+    /// and token unobservable ([`BatchSink::discarding`]; the trace
+    /// layer guarantees sink choice cannot change program behaviour),
+    /// an SMI-mode op whose checks reduce to SMI-tag tests can be
+    /// evaluated directly. This has **no side effects** — no stack or
+    /// emitter writes, no allocation, no profiling — so returning
+    /// `None` (unsupported op, non-SMI operand, overflow, any bail)
+    /// safely re-enters the generic [`Exec::do_binary_vals`] path,
+    /// which re-derives the identical result or deopt.
+    fn fused_fast(&self, plan: Option<&BinPlan>, op: Bc, lv: Value, rv: Value) -> Option<FastBin> {
+        let p = plan?;
+        if !matches!(p.mode, NumMode::Smi)
+            || !matches!(p.lhs.check, CheckKind::None | CheckKind::Smi)
+            || !matches!(p.rhs.check, CheckKind::None | CheckKind::Smi)
+            || !lv.is_smi()
+            || !rv.is_smi()
+        {
+            return None;
+        }
+        let (a, b) = (lv.as_smi(), rv.as_smi());
+        Some(match op {
+            Bc::TestLt(_) => FastBin::Cmp(a < b),
+            Bc::TestLe(_) => FastBin::Cmp(a <= b),
+            Bc::TestGt(_) => FastBin::Cmp(a > b),
+            Bc::TestGe(_) => FastBin::Cmp(a >= b),
+            Bc::TestEq(_) | Bc::TestStrictEq(_) => FastBin::Cmp(a == b),
+            Bc::TestNe(_) | Bc::TestStrictNe(_) => FastBin::Cmp(a != b),
+            Bc::Add(_) => FastBin::Val(Value::smi(a.checked_add(b)?)),
+            Bc::Sub(_) => FastBin::Val(Value::smi(a.checked_sub(b)?)),
+            Bc::BitAnd(_) => FastBin::Val(Value::smi(a & b)),
+            Bc::BitOr(_) => FastBin::Val(Value::smi(a | b)),
+            Bc::BitXor(_) => FastBin::Val(Value::smi(a ^ b)),
+            Bc::Shl(_) => FastBin::Val(Value::smi(a << (b as u32 & 31))),
+            Bc::Sar(_) => FastBin::Val(Value::smi(a >> (b as u32 & 31))),
+            // Mul/Div/Mod/Shr have subtle bail conditions (minus zero,
+            // exactness, out-of-smi-range): leave them to the generic
+            // path, which re-derives the deopt exactly.
+            _ => return None,
+        })
+    }
+
+    /// Tier 3: direct-threaded walk over pre-compiled regions.
+    ///
+    /// Byte-identical to [`Exec::run`] by construction — all dispatch
+    /// work that the plan walker redoes per dynamic op (bytecode decode,
+    /// `ColdDeopt` test, plan destructuring) was folded into the
+    /// [`ROp`]s at region-compile time, and none of it emits µops. Ops
+    /// that cannot emit also skip the per-op emitter cursor move
+    /// (`em.at`): the cursor is only consumed by emitting ops, which
+    /// carry their precomputed address in [`crate::region::COp::at`].
+    #[allow(clippy::too_many_lines)]
+    fn run_regions(&mut self, sink: &mut BatchSink<'_>, set: &RegionSet) -> ExecResult {
+        let body = self.body;
+        let mut ridx = set.entry_of[0] as usize;
+        'regions: loop {
+            let region = &set.regions[ridx];
+            let mut i = 0usize;
+            loop {
+                if i == region.ops.len() {
+                    // Ran off the region end: fall through into the
+                    // next region (regions partition the bytecode, so
+                    // `end_pc` is always the next region's entry).
+                    ridx = set.entry_of[region.end_pc as usize] as usize;
+                    continue 'regions;
+                }
+                let cop = &region.ops[i];
+                i += 1;
+                if self.vm.steps_remaining == 0 {
+                    return ExecResult::Error(VmError::new(checkelide_engine::STEP_BUDGET_MSG));
+                }
+                self.vm.steps_remaining -= 1;
+                let flow = match &cop.op {
+                    ROp::ColdDeopt => self.cold_deopt(cop.pc as usize),
+                    ROp::LdaSmi(n) => {
+                        // Tokens are pure trace metadata: skip the
+                        // thread-local mint when the sink discards.
+                        let t = if sink.discarding() { Tok::NONE } else { self.em.fresh() };
+                        self.push(Value::smi(*n), t);
+                        continue;
+                    }
+                    ROp::LdaNum(f) => {
+                        self.em.at(cop.at);
+                        let v = self.vm.rt.double_constant(*f);
+                        let t = self.em.root(sink, UopKind::Move, Category::OtherOptimized);
+                        self.push(v, t);
+                        continue;
+                    }
+                    ROp::LdaStr(ix) => {
+                        self.em.at(cop.at);
+                        let v = self.vm.rt.string_value(&body.bc.strings[*ix as usize]);
+                        let t = self.em.root(sink, UopKind::Move, Category::OtherOptimized);
+                        self.push(v, t);
+                        continue;
+                    }
+                    ROp::LdaTrue => {
+                        let v = self.vm.rt.odd.true_v;
+                        self.push(v, Tok::NONE);
+                        continue;
+                    }
+                    ROp::LdaFalse => {
+                        let v = self.vm.rt.odd.false_v;
+                        self.push(v, Tok::NONE);
+                        continue;
+                    }
+                    ROp::LdaNull => {
+                        let v = self.vm.rt.odd.null;
+                        self.push(v, Tok::NONE);
+                        continue;
+                    }
+                    ROp::LdaUndef => {
+                        let v = self.vm.rt.odd.undefined;
+                        self.push(v, Tok::NONE);
+                        continue;
+                    }
+                    ROp::LdaThis => {
+                        let (v, t) = (self.this, Tok::NONE);
+                        self.push(v, t);
+                        continue;
+                    }
+                    ROp::LdaFunc(ix) => {
+                        self.em.at(cop.at);
+                        let v = self.vm.function_value(*ix);
+                        let t = self.em.root(sink, UopKind::Move, Category::OtherOptimized);
+                        self.push(v, t);
+                        continue;
+                    }
+                    ROp::LdLocal(i) => {
+                        let (v, t) = (self.locals[*i as usize], self.ltoks[*i as usize]);
+                        self.push(v, t);
+                        continue;
+                    }
+                    ROp::StLocal(i) => {
+                        let (v, t) = self.pop();
+                        self.locals[*i as usize] = v;
+                        self.ltoks[*i as usize] = t;
+                        continue;
+                    }
+                    ROp::LdGlobal(g) => {
+                        self.em.at(cop.at);
+                        let v = self.vm.globals[*g as usize];
+                        let t =
+                            self.em.root_load(sink, Vm::global_addr(*g), Category::OtherOptimized);
+                        self.push(v, t);
+                        continue;
+                    }
+                    ROp::StGlobal(g) => {
+                        self.em.at(cop.at);
+                        let (v, t) = self.pop();
+                        self.em.set_acc(t);
+                        self.em.chain_store(sink, Vm::global_addr(*g), Category::OtherOptimized);
+                        self.vm.globals[*g as usize] = v;
+                        continue;
+                    }
+                    ROp::Jump(t) => {
+                        self.em.at(cop.at);
+                        self.em.jump(sink, Category::OtherOptimized);
+                        ridx = set.entry_of[*t as usize] as usize;
+                        continue 'regions;
+                    }
+                    ROp::JumpIf { target, jif } => {
+                        self.em.at(cop.at);
+                        let (v, vt) = self.pop();
+                        self.em.set_acc(vt);
+                        let truthy = self.vm.rt.is_truthy(v);
+                        if !(v.is_smi()
+                            || matches!(
+                                self.vm.rt.kind_of(v),
+                                checkelide_runtime::VKind::Bool(_)
+                            ))
+                        {
+                            self.em.chain(sink, UopKind::Alu, Category::OtherOptimized);
+                        }
+                        self.em.chain(sink, UopKind::Alu, Category::OtherOptimized);
+                        let taken = if *jif { !truthy } else { truthy };
+                        self.em.chain_branch(sink, taken, Category::OtherOptimized);
+                        if taken {
+                            ridx = set.entry_of[*target as usize] as usize;
+                            continue 'regions;
+                        }
+                        continue;
+                    }
+                    ROp::Dup => {
+                        let (v, t) = self.pop();
+                        self.push(v, t);
+                        self.push(v, t);
+                        continue;
+                    }
+                    ROp::Pop => {
+                        self.pop();
+                        continue;
+                    }
+                    ROp::Not => {
+                        self.em.at(cop.at);
+                        let (v, vt) = self.pop();
+                        self.em.set_acc(vt);
+                        let truthy = self.vm.rt.is_truthy(v);
+                        let t = self.em.chain(sink, UopKind::Alu, Category::OtherOptimized);
+                        let b = self.vm.rt.bool_value(!truthy);
+                        self.push(b, t);
+                        continue;
+                    }
+                    ROp::Return => {
+                        self.em.at(cop.at);
+                        let (v, _) = self.pop();
+                        self.em.jump(sink, Category::OtherOptimized);
+                        return ExecResult::Return(v);
+                    }
+                    ROp::ReturnUndef => {
+                        self.em.at(cop.at);
+                        self.em.jump(sink, Category::OtherOptimized);
+                        let u = self.vm.rt.odd.undefined;
+                        return ExecResult::Return(u);
+                    }
+                    ROp::LoopHead(hoists) => {
+                        self.em.at(cop.at);
+                        self.do_loop_head(sink, hoists, cop.pc as usize)
+                    }
+                    ROp::GetProp { name, plan } => {
+                        self.em.at(cop.at);
+                        self.do_get_prop(sink, plan.as_ref(), *name, cop.pc as usize)
+                    }
+                    ROp::SetProp { name, plan } => {
+                        self.em.at(cop.at);
+                        self.do_set_prop(sink, plan.as_ref(), *name, cop.pc as usize)
+                    }
+                    ROp::GetElem(plan) => {
+                        self.em.at(cop.at);
+                        self.do_get_elem(sink, plan.as_ref(), cop.pc as usize)
+                    }
+                    ROp::SetElem(plan) => {
+                        self.em.at(cop.at);
+                        self.do_set_elem(sink, plan.as_ref(), cop.pc as usize)
+                    }
+                    ROp::Bin { op, plan } => {
+                        self.em.at(cop.at);
+                        self.do_binary(sink, plan.as_ref(), *op, cop.pc as usize)
+                    }
+                    ROp::BinFused { op, plan, lhs, rhs, tail } => {
+                        // A superinstruction stands for 3–4 bytecode
+                        // ops. The walker's per-op decrement above
+                        // covered the first operand load; pay for the
+                        // second load and the binary op here, failing
+                        // exactly where the plan walker would (the
+                        // skipped loads are µop-silent, so erroring
+                        // before them is observably identical).
+                        if self.vm.steps_remaining < 2 {
+                            self.vm.steps_remaining = 0;
+                            return ExecResult::Error(VmError::new(
+                                checkelide_engine::STEP_BUDGET_MSG,
+                            ));
+                        }
+                        self.vm.steps_remaining -= 2;
+                        let (lv, lt) = self.fused_operand(sink, *lhs);
+                        let (rv, _) = self.fused_operand(sink, *rhs);
+                        if sink.discarding() {
+                            if let Some(f) = self.fused_fast(plan.as_ref(), *op, lv, rv) {
+                                match *tail {
+                                    FusedTail::Push => {
+                                        let v = match f {
+                                            FastBin::Val(v) => v,
+                                            FastBin::Cmp(r) => self.vm.rt.bool_value(r),
+                                        };
+                                        self.push(v, Tok::NONE);
+                                        continue;
+                                    }
+                                    FusedTail::St(d) => {
+                                        if self.vm.steps_remaining == 0 {
+                                            return ExecResult::Error(VmError::new(
+                                                checkelide_engine::STEP_BUDGET_MSG,
+                                            ));
+                                        }
+                                        self.vm.steps_remaining -= 1;
+                                        let v = match f {
+                                            FastBin::Val(v) => v,
+                                            FastBin::Cmp(r) => self.vm.rt.bool_value(r),
+                                        };
+                                        self.locals[d as usize] = v;
+                                        self.ltoks[d as usize] = Tok::NONE;
+                                        continue;
+                                    }
+                                    FusedTail::Jump { target, jif, .. } => {
+                                        if self.vm.steps_remaining == 0 {
+                                            return ExecResult::Error(VmError::new(
+                                                checkelide_engine::STEP_BUDGET_MSG,
+                                            ));
+                                        }
+                                        self.vm.steps_remaining -= 1;
+                                        let truthy = match f {
+                                            FastBin::Cmp(r) => r,
+                                            FastBin::Val(v) => self.vm.rt.is_truthy(v),
+                                        };
+                                        let taken = if jif { !truthy } else { truthy };
+                                        if taken {
+                                            ridx = set.entry_of[target as usize] as usize;
+                                            continue 'regions;
+                                        }
+                                        continue;
+                                    }
+                                }
+                            }
+                        }
+                        self.em.at(cop.at);
+                        let flow = self
+                            .do_binary_vals(sink, plan.as_ref(), *op, lv, lt, rv, cop.pc as usize);
+                        if !matches!(flow, Flow::Next) {
+                            match self.bridge(flow, set) {
+                                RFlow::Continue => unreachable!("Flow::Next filtered above"),
+                                RFlow::Goto(r) => {
+                                    ridx = r;
+                                    continue 'regions;
+                                }
+                                RFlow::Done(r) => return r,
+                            }
+                        }
+                        match *tail {
+                            FusedTail::Push => continue,
+                            FusedTail::St(d) => {
+                                if self.vm.steps_remaining == 0 {
+                                    return ExecResult::Error(VmError::new(
+                                        checkelide_engine::STEP_BUDGET_MSG,
+                                    ));
+                                }
+                                self.vm.steps_remaining -= 1;
+                                let (v, t) = self.pop();
+                                self.locals[d as usize] = v;
+                                self.ltoks[d as usize] = t;
+                                continue;
+                            }
+                            FusedTail::Jump { target, jif, at } => {
+                                if self.vm.steps_remaining == 0 {
+                                    return ExecResult::Error(VmError::new(
+                                        checkelide_engine::STEP_BUDGET_MSG,
+                                    ));
+                                }
+                                self.vm.steps_remaining -= 1;
+                                self.em.at(at);
+                                let (v, vt) = self.pop();
+                                self.em.set_acc(vt);
+                                let truthy = self.vm.rt.is_truthy(v);
+                                if !(v.is_smi()
+                                    || matches!(
+                                        self.vm.rt.kind_of(v),
+                                        checkelide_runtime::VKind::Bool(_)
+                                    ))
+                                {
+                                    self.em.chain(sink, UopKind::Alu, Category::OtherOptimized);
+                                }
+                                self.em.chain(sink, UopKind::Alu, Category::OtherOptimized);
+                                let taken = if jif { !truthy } else { truthy };
+                                self.em.chain_branch(sink, taken, Category::OtherOptimized);
+                                if taken {
+                                    ridx = set.entry_of[target as usize] as usize;
+                                    continue 'regions;
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                    ROp::Un { op, plan } => {
+                        self.em.at(cop.at);
+                        self.do_unary(sink, plan.as_ref(), *op, cop.pc as usize)
+                    }
+                    ROp::Call { argc, known } => {
+                        self.em.at(cop.at);
+                        self.do_call(sink, *known, *argc, cop.pc as usize)
+                    }
+                    ROp::CallMethod { name, argc, plan } => {
+                        self.em.at(cop.at);
+                        self.do_call_method(sink, plan.as_ref(), *name, *argc, cop.pc as usize)
+                    }
+                    ROp::New { argc, ctor } => {
+                        self.em.at(cop.at);
+                        self.do_new(sink, *ctor, *argc, cop.pc as usize)
+                    }
+                    ROp::NewObject => {
+                        self.em.at(cop.at);
+                        self.do_new_object(sink);
+                        continue;
+                    }
+                    ROp::NewArray(n) => {
+                        self.em.at(cop.at);
+                        self.do_new_array(sink, *n, cop.pc as usize)
+                    }
+                };
+                match self.bridge(flow, set) {
+                    RFlow::Continue => {}
+                    RFlow::Goto(r) => {
+                        ridx = r;
+                        continue 'regions;
+                    }
+                    RFlow::Done(r) => return r,
+                }
+            }
+        }
+    }
+
     #[allow(clippy::too_many_lines)]
     fn step(
         &mut self,
@@ -402,7 +909,7 @@ impl<'a> Exec<'a> {
     ) -> Flow {
         let op = bc.code[pc];
         if matches!(plan, OpPlan::ColdDeopt) {
-            return self.cold_deopt(pc, &op);
+            return self.cold_deopt(pc);
         }
         match op {
             Bc::LdaSmi(n) => {
@@ -512,79 +1019,83 @@ impl<'a> Exec<'a> {
                 return Flow::Return(u);
             }
             Bc::LoopHead => {
-                return self.do_loop_head(sink, plan, pc);
+                let hoists = match plan {
+                    OpPlan::LoopHead(lp) => &lp.hoists[..],
+                    _ => &[],
+                };
+                return self.do_loop_head(sink, hoists, pc);
             }
             Bc::GetProp(name, _) => {
-                return self.do_get_prop(sink, plan, name, pc);
+                let p = match plan {
+                    OpPlan::GetProp(p) => Some(p),
+                    _ => None,
+                };
+                return self.do_get_prop(sink, p, name, pc);
             }
             Bc::SetProp(name, _) => {
-                return self.do_set_prop(sink, plan, name, pc);
+                let p = match plan {
+                    OpPlan::SetProp(p) => Some(p),
+                    _ => None,
+                };
+                return self.do_set_prop(sink, p, name, pc);
             }
             Bc::GetElem(_) => {
-                return self.do_get_elem(sink, plan, pc);
+                let p = match plan {
+                    OpPlan::GetElem(p) => Some(p),
+                    _ => None,
+                };
+                return self.do_get_elem(sink, p, pc);
             }
             Bc::SetElem(_) => {
-                return self.do_set_elem(sink, plan, pc);
+                let p = match plan {
+                    OpPlan::SetElem(p) => Some(p),
+                    _ => None,
+                };
+                return self.do_set_elem(sink, p, pc);
             }
             Bc::Add(_) | Bc::Sub(_) | Bc::Mul(_) | Bc::Div(_) | Bc::Mod(_) | Bc::BitAnd(_)
             | Bc::BitOr(_) | Bc::BitXor(_) | Bc::Shl(_) | Bc::Sar(_) | Bc::Shr(_)
             | Bc::TestLt(_) | Bc::TestLe(_) | Bc::TestGt(_) | Bc::TestGe(_) | Bc::TestEq(_)
             | Bc::TestNe(_) | Bc::TestStrictEq(_) | Bc::TestStrictNe(_) => {
-                return self.do_binary(sink, plan, op, pc);
+                let p = match plan {
+                    OpPlan::Bin(p) => Some(p),
+                    _ => None,
+                };
+                return self.do_binary(sink, p, op, pc);
             }
             Bc::Neg(_) | Bc::BitNot(_) => {
-                return self.do_unary(sink, plan, op, pc);
+                let p = match plan {
+                    OpPlan::Bin(p) => Some(p),
+                    _ => None,
+                };
+                return self.do_unary(sink, p, op, pc);
             }
             Bc::Call(argc, _) => {
-                return self.do_call(sink, plan, argc, pc);
+                let known = match plan {
+                    OpPlan::Call(c) => c.known,
+                    _ => None,
+                };
+                return self.do_call(sink, known, argc, pc);
             }
             Bc::CallMethod(name, argc, _) => {
-                return self.do_call_method(sink, plan, name, argc, pc);
+                let p = match plan {
+                    OpPlan::CallMethod(m) => Some(m),
+                    _ => None,
+                };
+                return self.do_call_method(sink, p, name, argc, pc);
             }
             Bc::New(argc, _) => {
-                return self.do_new(sink, plan, argc, pc);
+                let ctor = match plan {
+                    OpPlan::New(n) => n.ctor,
+                    _ => None,
+                };
+                return self.do_new(sink, ctor, argc, pc);
             }
             Bc::NewObject => {
-                // Inline allocation.
-                for _ in 0..4 {
-                    self.em.chain(sink, UopKind::Alu, Category::OtherOptimized);
-                }
-                let v = self.vm.rt.alloc_object(fixed::OBJECT_LITERAL_ROOT, 1);
-                self.em.chain_store(sink, v.addr(), Category::OtherOptimized);
-                let t = self.em.fresh();
-                self.push(v, t);
+                self.do_new_object(sink);
             }
             Bc::NewArray(n) => {
-                for _ in 0..5 {
-                    self.em.chain(sink, UopKind::Alu, Category::OtherOptimized);
-                }
-                let mut items = Vec::with_capacity(n as usize);
-                for _ in 0..n {
-                    items.push(self.pop().0);
-                }
-                items.reverse();
-                let arr = self.vm.rt.alloc_object(fixed::ARRAY_ROOT, 1);
-                self.push(arr, Tok::NONE); // root during boxing stores
-                for (i, &v) in items.iter().enumerate() {
-                    let st = self.vm.rt.store_element(arr, i as i64, v);
-                    if let Some(nm) = st.transitioned {
-                        self.vm.note_kind_transition(sink, nm, Some(self.body.func));
-                    }
-                    let map_after = self.vm.rt.object_map(arr);
-                    self.vm.store_element_profiled(
-                        sink,
-                        &mut self.em,
-                        arr,
-                        map_after,
-                        st.kind,
-                        st.slot_addr,
-                        v,
-                        Some(self.body.func),
-                        None,
-                    );
-                }
-                let (arr, t) = self.pop();
-                self.push(arr, t);
+                return self.do_new_array(sink, n, pc);
             }
         }
         Flow::Next
@@ -592,7 +1103,7 @@ impl<'a> Exec<'a> {
 
     /// Reconstruct operand-count for a cold-deopt (operands stay on the
     /// reconstructed stack; the interpreter re-executes the op).
-    fn cold_deopt(&mut self, pc: usize, _op: &Bc) -> Flow {
+    fn cold_deopt(&mut self, pc: usize) -> Flow {
         Flow::Deopt(DeoptState {
             bc_pc: pc as u32,
             locals: self.locals.clone(),
@@ -601,7 +1112,66 @@ impl<'a> Exec<'a> {
         })
     }
 
-    fn do_loop_head(&mut self, sink: &mut BatchSink<'_>, plan: &OpPlan, pc: usize) -> Flow {
+    fn do_new_object(&mut self, sink: &mut BatchSink<'_>) {
+        // Inline allocation.
+        for _ in 0..4 {
+            self.em.chain(sink, UopKind::Alu, Category::OtherOptimized);
+        }
+        let v = self.vm.rt.alloc_object(fixed::OBJECT_LITERAL_ROOT, 1);
+        self.em.chain_store(sink, v.addr(), Category::OtherOptimized);
+        let t = self.em.fresh();
+        self.push(v, t);
+    }
+
+    fn do_new_array(&mut self, sink: &mut BatchSink<'_>, n: u16, pc: usize) -> Flow {
+        for _ in 0..5 {
+            self.em.chain(sink, UopKind::Alu, Category::OtherOptimized);
+        }
+        let mut items = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            items.push(self.pop().0);
+        }
+        items.reverse();
+        let arr = self.vm.rt.alloc_object(fixed::ARRAY_ROOT, 1);
+        self.push(arr, Tok::NONE); // root during boxing stores
+        // A self-deopt raised mid-literal (kind transition or profiled
+        // store) must not abandon the remaining stores: the array is
+        // fully constructed first, then we bail after the op (the
+        // partial-side-effect rule — see DESIGN.md, "Guard & deopt
+        // contract").
+        let mut bail = false;
+        for (i, &v) in items.iter().enumerate() {
+            let st = self.vm.rt.store_element(arr, i as i64, v);
+            if let Some(nm) = st.transitioned {
+                bail |= self.vm.note_kind_transition(sink, nm, Some(self.body.func));
+            }
+            let map_after = self.vm.rt.object_map(arr);
+            bail |= self.vm.store_element_profiled(
+                sink,
+                &mut self.em,
+                arr,
+                map_after,
+                st.kind,
+                st.slot_addr,
+                v,
+                Some(self.body.func),
+                None,
+            );
+        }
+        let (arr, t) = self.pop();
+        if bail {
+            return self.deopt_after(pc, &[arr], DeoptReason::Invalidated);
+        }
+        self.push(arr, t);
+        Flow::Next
+    }
+
+    fn do_loop_head(
+        &mut self,
+        sink: &mut BatchSink<'_>,
+        hoists: &[(u16, usize)],
+        pc: usize,
+    ) -> Flow {
         if self.vm.gc_due() {
             // Root the suspended frame only when a collection will run:
             // unconditionally cloning locals+stack here was two heap
@@ -618,28 +1188,26 @@ impl<'a> Exec<'a> {
         if self.epoch_bumped() {
             return self.deopt(pc, &[], DeoptReason::Invalidated);
         }
-        if let OpPlan::LoopHead(lp) = plan {
-            for &(local, reg) in &lp.hoists {
-                let v = self.locals[local as usize];
-                let active = v.is_ptr()
-                    && matches!(self.vm.rt.kind_of(v), checkelide_runtime::VKind::Object)
-                    && self.vm.rt.class_id_of_value(v).is_some();
-                if active && self.vm.config.mechanism == Mechanism::Full {
-                    let mut mca = Uop::new(
-                        UopKind::MovClassIdArray,
-                        0,
-                        Category::OtherOptimized,
-                        Region::Optimized,
-                    );
-                    mca.mem = Some(MemRef::load(v.addr()));
-                    mca.dst = self.em.fresh();
-                    self.em.raw(sink, mca);
-                    let cid = self.vm.rt.class_id_of_value(v).expect("checked");
-                    self.vm.special_regs.mov_class_id_array(reg, cid);
-                    self.hoist_active[reg] = true;
-                } else {
-                    self.hoist_active[reg] = false;
-                }
+        for &(local, reg) in hoists {
+            let v = self.locals[local as usize];
+            let active = v.is_ptr()
+                && matches!(self.vm.rt.kind_of(v), checkelide_runtime::VKind::Object)
+                && self.vm.rt.class_id_of_value(v).is_some();
+            if active && self.vm.config.mechanism == Mechanism::Full {
+                let mut mca = Uop::new(
+                    UopKind::MovClassIdArray,
+                    0,
+                    Category::OtherOptimized,
+                    Region::Optimized,
+                );
+                mca.mem = Some(MemRef::load(v.addr()));
+                mca.dst = self.em.fresh();
+                self.em.raw(sink, mca);
+                let cid = self.vm.rt.class_id_of_value(v).expect("checked");
+                self.vm.special_regs.mov_class_id_array(reg, cid);
+                self.hoist_active[reg] = true;
+            } else {
+                self.hoist_active[reg] = false;
             }
         }
         Flow::Next
@@ -648,13 +1216,13 @@ impl<'a> Exec<'a> {
     fn do_get_prop(
         &mut self,
         sink: &mut BatchSink<'_>,
-        plan: &OpPlan,
+        plan: Option<&GetPropPlan>,
         name: checkelide_runtime::NameId,
         pc: usize,
     ) -> Flow {
         let (recv, rt_) = self.pop();
         self.em.set_acc(rt_);
-        let OpPlan::GetProp(p) = plan else {
+        let Some(p) = plan else {
             return self.generic_get_prop(sink, recv, name, pc);
         };
         if p.string_length {
@@ -789,14 +1357,14 @@ impl<'a> Exec<'a> {
     fn do_set_prop(
         &mut self,
         sink: &mut BatchSink<'_>,
-        plan: &OpPlan,
+        plan: Option<&SetPropPlan>,
         name: checkelide_runtime::NameId,
         pc: usize,
     ) -> Flow {
         let (value, vt) = self.pop();
         let (recv, rt_) = self.pop();
         self.em.set_acc(rt_);
-        let OpPlan::SetProp(p) = plan else {
+        let Some(p) = plan else {
             // Megamorphic store: runtime-dispatched IC inside optimized
             // code (no deopt — a deopt here would recur every call).
             return self.generic_set_prop(sink, recv, value, vt, name, pc);
@@ -883,11 +1451,16 @@ impl<'a> Exec<'a> {
         Flow::Next
     }
 
-    fn do_get_elem(&mut self, sink: &mut BatchSink<'_>, plan: &OpPlan, pc: usize) -> Flow {
+    fn do_get_elem(
+        &mut self,
+        sink: &mut BatchSink<'_>,
+        plan: Option<&GetElemPlan>,
+        pc: usize,
+    ) -> Flow {
         let (ix, _it) = self.pop();
         let (recv, rt_) = self.pop();
         self.em.set_acc(rt_);
-        let OpPlan::GetElem(p) = plan else {
+        let Some(p) = plan else {
             return self.generic_get_elem(sink, recv, ix, pc);
         };
         if p.recv_check_needed {
@@ -958,12 +1531,17 @@ impl<'a> Exec<'a> {
         Flow::Next
     }
 
-    fn do_set_elem(&mut self, sink: &mut BatchSink<'_>, plan: &OpPlan, pc: usize) -> Flow {
+    fn do_set_elem(
+        &mut self,
+        sink: &mut BatchSink<'_>,
+        plan: Option<&SetElemPlan>,
+        pc: usize,
+    ) -> Flow {
         let (value, vt) = self.pop();
         let (ix, _it) = self.pop();
         let (recv, rt_) = self.pop();
         self.em.set_acc(rt_);
-        let OpPlan::SetElem(p) = plan else {
+        let Some(p) = plan else {
             return self.generic_set_elem(sink, recv, ix, value, vt, pc);
         };
         if p.recv_check_needed {
@@ -1065,11 +1643,37 @@ impl<'a> Exec<'a> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn do_binary(&mut self, sink: &mut BatchSink<'_>, plan: &OpPlan, op: Bc, pc: usize) -> Flow {
+    fn do_binary(
+        &mut self,
+        sink: &mut BatchSink<'_>,
+        plan: Option<&BinPlan>,
+        op: Bc,
+        pc: usize,
+    ) -> Flow {
         let (rhs, _rt) = self.pop();
         let (lhs, lt_) = self.pop();
+        self.do_binary_vals(sink, plan, op, lhs, lt_, rhs, pc)
+    }
+
+    /// Binary op body on already-materialized operands. The plan walker
+    /// reaches it through [`Exec::do_binary`]'s stack pops; the region
+    /// tier's fused superinstructions pass operands straight from
+    /// locals/immediates. Deopts reconstruct `[.., lhs, rhs]` on the
+    /// interpreter stack either way, so both entry paths resume
+    /// identically at `pc`.
+    #[allow(clippy::too_many_arguments)]
+    fn do_binary_vals(
+        &mut self,
+        sink: &mut BatchSink<'_>,
+        plan: Option<&BinPlan>,
+        op: Bc,
+        lhs: Value,
+        lt_: Tok,
+        rhs: Value,
+        pc: usize,
+    ) -> Flow {
         self.em.set_acc(lt_);
-        let OpPlan::Bin(p) = plan else {
+        let Some(p) = plan else {
             // No feedback-specialized plan: generic stub.
             self.em.stub_call(sink, stubs::BINOP_SLOW, 15, 4);
             let v = self.eval_generic_binop(op, lhs, rhs);
@@ -1324,10 +1928,16 @@ impl<'a> Exec<'a> {
         }
     }
 
-    fn do_unary(&mut self, sink: &mut BatchSink<'_>, plan: &OpPlan, op: Bc, pc: usize) -> Flow {
+    fn do_unary(
+        &mut self,
+        sink: &mut BatchSink<'_>,
+        plan: Option<&BinPlan>,
+        op: Bc,
+        pc: usize,
+    ) -> Flow {
         let (v, vt) = self.pop();
         self.em.set_acc(vt);
-        let OpPlan::Bin(p) = plan else {
+        let Some(p) = plan else {
             self.em.stub_call(sink, stubs::BINOP_SLOW, 8, 2);
             let r = match op {
                 Bc::Neg(_) => numops::neg(&mut self.vm.rt, v).0,
@@ -1402,13 +2012,15 @@ impl<'a> Exec<'a> {
         args
     }
 
-    fn do_call(&mut self, sink: &mut BatchSink<'_>, plan: &OpPlan, argc: u8, pc: usize) -> Flow {
+    fn do_call(
+        &mut self,
+        sink: &mut BatchSink<'_>,
+        known: Option<FuncRef>,
+        argc: u8,
+        pc: usize,
+    ) -> Flow {
         let args = self.pop_args(argc);
         let (callee, _) = self.pop();
-        let known = match plan {
-            OpPlan::Call(c) => c.known,
-            _ => None,
-        };
         for _ in 0..argc {
             self.em.chain(sink, UopKind::Move, Category::OtherOptimized);
         }
@@ -1443,7 +2055,7 @@ impl<'a> Exec<'a> {
     fn do_call_method(
         &mut self,
         sink: &mut BatchSink<'_>,
-        plan: &OpPlan,
+        plan: Option<&MethodPlan>,
         _name: checkelide_runtime::NameId,
         argc: u8,
         pc: usize,
@@ -1451,11 +2063,8 @@ impl<'a> Exec<'a> {
         let args = self.pop_args(argc);
         let (recv, rt_) = self.pop();
         self.em.set_acc(rt_);
-        let mplan = match plan {
-            OpPlan::CallMethod(m) => m,
-            _ => {
-                return self.generic_call_method(sink, recv, _name, &args, pc);
-            }
+        let Some(mplan) = plan else {
+            return self.generic_call_method(sink, recv, _name, &args, pc);
         };
         match mplan {
             &MethodPlan::StringBuiltin { builtin, recv_check } => {
@@ -1591,13 +2200,15 @@ impl<'a> Exec<'a> {
         }
     }
 
-    fn do_new(&mut self, sink: &mut BatchSink<'_>, plan: &OpPlan, argc: u8, pc: usize) -> Flow {
+    fn do_new(
+        &mut self,
+        sink: &mut BatchSink<'_>,
+        ctor: Option<(u32, MapIx)>,
+        argc: u8,
+        pc: usize,
+    ) -> Flow {
         let args = self.pop_args(argc);
         let (callee, _) = self.pop();
-        let ctor = match plan {
-            OpPlan::New(n) => n.ctor,
-            _ => None,
-        };
         let Some((fi, _initial)) = ctor else {
             return self.generic_new(sink, callee, &args, pc);
         };

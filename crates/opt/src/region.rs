@@ -1,0 +1,595 @@
+//! Region formation and compilation for the tier-3 executor.
+//!
+//! The plan-walking tier re-inspects a `(Bc, OpPlan)` pair on every
+//! dynamic operation: decode the bytecode, test for `ColdDeopt`, match
+//! the op, destructure the plan. This module performs all of that work
+//! **once per tier-up**: bytecode is grouped into single-entry regions
+//! at the jump-target subset of the BBV leader set
+//! ([`crate::bbv::leaders`]), and each op inside a region is
+//! pre-resolved into a compact [`ROp`] with its plan payload cloned in,
+//! its immediates decoded, and its emitter address precomputed. The
+//! direct-threaded walker ([`crate::exec`]) then dispatches on `ROp`
+//! alone — the steady-state loop never touches `OpPlan` again.
+//!
+//! Guard hoisting here is *dispatch-level* by design: plan-shape guards
+//! (is the site specialized? which `MethodPlan` variant? is the plan a
+//! `ColdDeopt`?) are resolved at region-compile time, while every
+//! architectural check µop (Check Map / Check SMI / math assumptions)
+//! stays at its original site. That is what keeps the region tier
+//! byte-identical to the plan-walking reference — the figure goldens
+//! pin it. See DESIGN.md, "Guard & deopt contract".
+
+use crate::plan::*;
+use checkelide_engine::bytecode::{Bc, BytecodeFunc};
+use checkelide_engine::vm::CODE_STRIDE;
+use checkelide_isa::layout::OPT_CODE_BASE;
+use checkelide_runtime::{FuncRef, MapIx, NameId};
+
+/// Operand source of a fused binary op ([`ROp::BinFused`]).
+#[derive(Debug, Clone, Copy)]
+pub enum FusedSrc {
+    /// Read a local; its dataflow token flows from the local's token
+    /// slot, exactly as `LdLocal` + stack push would carry it.
+    Local(u16),
+    /// SMI immediate; mints a fresh dataflow token like `LdaSmi`.
+    Smi(i32),
+}
+
+/// The op consuming a fused binary op's result ([`ROp::BinFused`]).
+#[derive(Debug, Clone, Copy)]
+pub enum FusedTail {
+    /// No fused consumer: push the result (plain `Bin` stack effect).
+    Push,
+    /// `StLocal` fused in: pop the result into this local.
+    St(u16),
+    /// `JumpIf` fused in: consume the result as the branch condition.
+    Jump {
+        /// Jump target (a region entry by construction).
+        target: u32,
+        /// Jump on falsy (`JumpIfFalse`) vs truthy.
+        jif: bool,
+        /// The fused `JumpIf`'s own emitter address — its µops keep
+        /// their original code addresses.
+        at: u64,
+    },
+}
+
+/// A pre-resolved op: one arm of [`crate::exec`]'s plan walker with the
+/// plan destructuring already performed. `None` plan payloads select
+/// the same generic paths the walker's `let ... else` arms do.
+#[derive(Debug, Clone)]
+pub enum ROp {
+    /// Site never executed during warm-up: unconditional deopt.
+    ColdDeopt,
+    /// Push a SMI constant (consumes one dataflow token).
+    LdaSmi(i32),
+    /// Push a numeric constant.
+    LdaNum(f64),
+    /// Push a string constant.
+    LdaStr(u32),
+    /// Push `true`.
+    LdaTrue,
+    /// Push `false`.
+    LdaFalse,
+    /// Push `null`.
+    LdaNull,
+    /// Push `undefined`.
+    LdaUndef,
+    /// Push `this`.
+    LdaThis,
+    /// Push a function object.
+    LdaFunc(u32),
+    /// Push a local.
+    LdLocal(u16),
+    /// Pop into a local.
+    StLocal(u16),
+    /// Push a global.
+    LdGlobal(u32),
+    /// Pop into a global.
+    StGlobal(u32),
+    /// Unconditional jump (always a region exit).
+    Jump(u32),
+    /// Conditional jump; `jif` = jump-if-false.
+    JumpIf {
+        /// Jump target (a region entry by construction).
+        target: u32,
+        /// Jump on falsy (`JumpIfFalse`) vs truthy.
+        jif: bool,
+    },
+    /// Duplicate the top of stack.
+    Dup,
+    /// Pop and discard.
+    Pop,
+    /// Logical not.
+    Not,
+    /// Return the top of stack.
+    Return,
+    /// Return `undefined`.
+    ReturnUndef,
+    /// Loop header with its hoisted `movClassIDArray` sites.
+    LoopHead(Vec<(u16, usize)>),
+    /// Property load; `None` = megamorphic IC path.
+    GetProp {
+        /// Property name.
+        name: NameId,
+        /// Pre-resolved plan.
+        plan: Option<GetPropPlan>,
+    },
+    /// Property store; `None` = megamorphic IC path.
+    SetProp {
+        /// Property name.
+        name: NameId,
+        /// Pre-resolved plan.
+        plan: Option<SetPropPlan>,
+    },
+    /// Element load; `None` = generic path.
+    GetElem(Option<GetElemPlan>),
+    /// Element store; `None` = generic path.
+    SetElem(Option<SetElemPlan>),
+    /// Binary numeric/compare op; `None` plan = generic stub.
+    Bin {
+        /// The original bytecode op (selects the arithmetic).
+        op: Bc,
+        /// Pre-resolved plan.
+        plan: Option<BinPlan>,
+    },
+    /// Superinstruction: a binary op whose operand loads (and optionally
+    /// the op consuming its result) were fused in by the peephole pass
+    /// ([`fuse`]). Stands for 3–4 bytecode ops; the walker accounts the
+    /// extra step-budget decrements itself. Byte-identical to the
+    /// unfused sequence: operand loads are µop-silent, and the fused
+    /// tail emits at its own original code address.
+    BinFused {
+        /// The original bytecode op (selects the arithmetic).
+        op: Bc,
+        /// Pre-resolved plan.
+        plan: Option<BinPlan>,
+        /// Left operand source.
+        lhs: FusedSrc,
+        /// Right operand source.
+        rhs: FusedSrc,
+        /// What consumes the result.
+        tail: FusedTail,
+    },
+    /// Unary op; `None` plan = generic stub.
+    Un {
+        /// The original bytecode op.
+        op: Bc,
+        /// Pre-resolved plan.
+        plan: Option<BinPlan>,
+    },
+    /// Call; `known` = monomorphic callee identity.
+    Call {
+        /// Argument count.
+        argc: u8,
+        /// Known callee (identity-checked at the site).
+        known: Option<FuncRef>,
+    },
+    /// Method call; `None` plan = generic path.
+    CallMethod {
+        /// Method name.
+        name: NameId,
+        /// Argument count.
+        argc: u8,
+        /// Pre-resolved plan.
+        plan: Option<MethodPlan>,
+    },
+    /// Constructor call; `None` = generic path.
+    New {
+        /// Argument count.
+        argc: u8,
+        /// Known constructor (function index, initial map).
+        ctor: Option<(u32, MapIx)>,
+    },
+    /// Empty object literal.
+    NewObject,
+    /// Array literal from the top `n` stack values.
+    NewArray(u16),
+}
+
+/// A compiled op: the pre-resolved [`ROp`] plus the bytecode index it
+/// came from (deopt reconstruction) and its precomputed emitter
+/// address (`code_base + pc * 64`, saved per dynamic op).
+#[derive(Debug, Clone)]
+pub struct COp {
+    /// Original bytecode index.
+    pub pc: u32,
+    /// Precomputed emitter address for this op's µops.
+    pub at: u64,
+    /// The pre-resolved op.
+    pub op: ROp,
+}
+
+/// One single-entry region: a maximal run of blocks where every
+/// interior block boundary is a conditional fallthrough (never a jump
+/// target).
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Entry bytecode index.
+    pub entry: u32,
+    /// Compiled ops, in bytecode order.
+    pub ops: Vec<COp>,
+    /// Bytecode index just past the last op: the fallthrough target
+    /// when execution runs off the region end.
+    pub end_pc: u32,
+}
+
+/// A function's compiled regions: the unit held (and byte-accounted)
+/// by the managed code cache.
+#[derive(Debug, Clone)]
+pub struct RegionSet {
+    /// Regions, ordered by entry pc (they partition the bytecode).
+    pub regions: Vec<Region>,
+    /// `pc -> region index` for region entries (jump targets land only
+    /// on entries by construction); `u32::MAX` elsewhere.
+    pub entry_of: Vec<u32>,
+    /// Accounted footprint in bytes (LRU currency of the code cache).
+    pub bytes: u64,
+}
+
+/// Region entries: the subset of the BBV leader set that jumps can
+/// actually target (plus the function entry). The remaining leaders —
+/// conditional fallthroughs nothing jumps to — have a single in-edge
+/// from their textual predecessor and are merged into its region.
+fn region_entries(bc: &BytecodeFunc) -> Vec<bool> {
+    let leaders = crate::bbv::leaders(bc);
+    let mut entry = vec![false; bc.code.len()];
+    if !entry.is_empty() {
+        entry[0] = true;
+    }
+    for op in &bc.code {
+        if let Bc::Jump(t) | Bc::JumpIfFalse(t) | Bc::JumpIfTrue(t) = *op {
+            entry[t as usize] = true;
+        }
+    }
+    // Every entry is a leader (sanity: the BBV tier and the region tier
+    // agree on block structure).
+    debug_assert!(entry.iter().zip(&leaders).all(|(&e, &l)| !e || l));
+    entry
+}
+
+/// Pre-resolve one `(Bc, OpPlan)` pair.
+fn translate(op: &Bc, plan: &OpPlan) -> ROp {
+    if matches!(plan, OpPlan::ColdDeopt) {
+        return ROp::ColdDeopt;
+    }
+    match *op {
+        Bc::LdaSmi(n) => ROp::LdaSmi(n),
+        Bc::LdaNum(f) => ROp::LdaNum(f),
+        Bc::LdaStr(ix) => ROp::LdaStr(ix),
+        Bc::LdaTrue => ROp::LdaTrue,
+        Bc::LdaFalse => ROp::LdaFalse,
+        Bc::LdaNull => ROp::LdaNull,
+        Bc::LdaUndef => ROp::LdaUndef,
+        Bc::LdaThis => ROp::LdaThis,
+        Bc::LdaFunc(ix) => ROp::LdaFunc(ix),
+        Bc::LdLocal(i) => ROp::LdLocal(i),
+        Bc::StLocal(i) => ROp::StLocal(i),
+        Bc::LdGlobal(g) => ROp::LdGlobal(g),
+        Bc::StGlobal(g) => ROp::StGlobal(g),
+        Bc::Jump(t) => ROp::Jump(t),
+        Bc::JumpIfFalse(t) => ROp::JumpIf { target: t, jif: true },
+        Bc::JumpIfTrue(t) => ROp::JumpIf { target: t, jif: false },
+        Bc::Dup => ROp::Dup,
+        Bc::Pop => ROp::Pop,
+        Bc::Not => ROp::Not,
+        Bc::Return => ROp::Return,
+        Bc::ReturnUndef => ROp::ReturnUndef,
+        Bc::LoopHead => ROp::LoopHead(match plan {
+            OpPlan::LoopHead(lp) => lp.hoists.clone(),
+            _ => Vec::new(),
+        }),
+        Bc::GetProp(name, _) => ROp::GetProp {
+            name,
+            plan: match plan {
+                OpPlan::GetProp(p) => Some(p.clone()),
+                _ => None,
+            },
+        },
+        Bc::SetProp(name, _) => ROp::SetProp {
+            name,
+            plan: match plan {
+                OpPlan::SetProp(p) => Some(p.clone()),
+                _ => None,
+            },
+        },
+        Bc::GetElem(_) => ROp::GetElem(match plan {
+            OpPlan::GetElem(p) => Some(p.clone()),
+            _ => None,
+        }),
+        Bc::SetElem(_) => ROp::SetElem(match plan {
+            OpPlan::SetElem(p) => Some(p.clone()),
+            _ => None,
+        }),
+        Bc::Add(_) | Bc::Sub(_) | Bc::Mul(_) | Bc::Div(_) | Bc::Mod(_) | Bc::BitAnd(_)
+        | Bc::BitOr(_) | Bc::BitXor(_) | Bc::Shl(_) | Bc::Sar(_) | Bc::Shr(_)
+        | Bc::TestLt(_) | Bc::TestLe(_) | Bc::TestGt(_) | Bc::TestGe(_) | Bc::TestEq(_)
+        | Bc::TestNe(_) | Bc::TestStrictEq(_) | Bc::TestStrictNe(_) => ROp::Bin {
+            op: *op,
+            plan: match plan {
+                OpPlan::Bin(p) => Some(*p),
+                _ => None,
+            },
+        },
+        Bc::Neg(_) | Bc::BitNot(_) => ROp::Un {
+            op: *op,
+            plan: match plan {
+                OpPlan::Bin(p) => Some(*p),
+                _ => None,
+            },
+        },
+        Bc::Call(argc, _) => ROp::Call {
+            argc,
+            known: match plan {
+                OpPlan::Call(c) => c.known,
+                _ => None,
+            },
+        },
+        Bc::CallMethod(name, argc, _) => ROp::CallMethod {
+            name,
+            argc,
+            plan: match plan {
+                OpPlan::CallMethod(m) => Some(m.clone()),
+                _ => None,
+            },
+        },
+        Bc::New(argc, _) => ROp::New {
+            argc,
+            ctor: match plan {
+                OpPlan::New(n) => n.ctor,
+                _ => None,
+            },
+        },
+        Bc::NewObject => ROp::NewObject,
+        Bc::NewArray(n) => ROp::NewArray(n),
+    }
+}
+
+/// A compiled op usable as a fused binary operand: µop-silent loads
+/// whose whole effect is pushing a value/token pair.
+fn fusable_src(op: &ROp) -> Option<FusedSrc> {
+    match *op {
+        ROp::LdLocal(i) => Some(FusedSrc::Local(i)),
+        ROp::LdaSmi(n) => Some(FusedSrc::Smi(n)),
+        _ => None,
+    }
+}
+
+/// Peephole superinstruction formation over one region's ops.
+///
+/// `LdLocal`/`LdaSmi`, `LdLocal`/`LdaSmi`, `Bin` triples collapse into
+/// one [`ROp::BinFused`]; a directly following `StLocal` or `JumpIf`
+/// fuses in as the tail. Safe within a region because only the region
+/// entry (`ops[0]`) can be a jump target — control never enters the
+/// middle of a fused pattern. The fused op keeps the `Bin`'s `pc`/`at`
+/// (the only emitting constituent besides the tail, which carries its
+/// own address), so deopt reconstruction and µop placement are
+/// unchanged.
+fn fuse(ops: &[COp]) -> Vec<COp> {
+    let mut out = Vec::with_capacity(ops.len());
+    let mut i = 0;
+    while i < ops.len() {
+        if i + 2 < ops.len() {
+            if let (Some(lhs), Some(rhs), ROp::Bin { op, plan }) =
+                (fusable_src(&ops[i].op), fusable_src(&ops[i + 1].op), &ops[i + 2].op)
+            {
+                let bin = &ops[i + 2];
+                let (tail, used) = match ops.get(i + 3).map(|c| (&c.op, c.at)) {
+                    Some((&ROp::StLocal(d), _)) => (FusedTail::St(d), 4),
+                    Some((&ROp::JumpIf { target, jif }, at)) => {
+                        (FusedTail::Jump { target, jif, at }, 4)
+                    }
+                    _ => (FusedTail::Push, 3),
+                };
+                out.push(COp {
+                    pc: bin.pc,
+                    at: bin.at,
+                    op: ROp::BinFused { op: *op, plan: *plan, lhs, rhs, tail },
+                });
+                i += used;
+                continue;
+            }
+        }
+        out.push(ops[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Heap payload carried by a compiled op, for byte accounting.
+fn op_heap_bytes(op: &ROp) -> usize {
+    use std::mem::size_of;
+    match op {
+        ROp::LoopHead(h) => h.len() * size_of::<(u16, usize)>(),
+        ROp::GetProp { plan: Some(p), .. } => p.cases.len() * size_of::<PropCase>(),
+        ROp::SetProp { plan: Some(p), .. } => {
+            p.cases.len() * size_of::<(MapIx, SetPropCase, bool)>()
+        }
+        ROp::GetElem(Some(p)) => p.alt.len() * size_of::<(MapIx, checkelide_runtime::ElemKind)>(),
+        ROp::SetElem(Some(p)) => p.alt.len() * size_of::<(MapIx, checkelide_runtime::ElemKind)>(),
+        ROp::CallMethod { plan: Some(MethodPlan::Object { cases, .. }), .. } => {
+            cases.len() * size_of::<PropCase>()
+        }
+        _ => 0,
+    }
+}
+
+/// Compile `func`'s plans into its region set.
+///
+/// Pure function of `(func, bc, plans)`: the same inputs always produce
+/// the same regions, so a recompile after code-cache eviction is
+/// indistinguishable from the original compilation.
+#[must_use]
+pub fn compile(func: u32, bc: &BytecodeFunc, plans: &[OpPlan]) -> RegionSet {
+    let code_base = OPT_CODE_BASE + u64::from(func) * CODE_STRIDE;
+    let entries = region_entries(bc);
+    let mut regions: Vec<Region> = Vec::new();
+    let mut entry_of = vec![u32::MAX; bc.code.len()];
+    for (pc, op) in bc.code.iter().enumerate() {
+        if entries[pc] {
+            entry_of[pc] = regions.len() as u32;
+            regions.push(Region { entry: pc as u32, ops: Vec::new(), end_pc: 0 });
+        }
+        let region = regions.last_mut().expect("pc 0 is an entry");
+        region.ops.push(COp {
+            pc: pc as u32,
+            at: code_base + pc as u64 * 64,
+            op: translate(op, &plans[pc]),
+        });
+        region.end_pc = pc as u32 + 1;
+    }
+    for r in &mut regions {
+        r.ops = fuse(&r.ops);
+    }
+    let mut bytes = std::mem::size_of::<RegionSet>() + entry_of.len() * 4;
+    for r in &regions {
+        bytes += std::mem::size_of::<Region>() + r.ops.len() * std::mem::size_of::<COp>();
+        for c in &r.ops {
+            bytes += op_heap_bytes(&c.op);
+        }
+    }
+    RegionSet { regions, entry_of, bytes: bytes as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use checkelide_engine::{EngineConfig, Mechanism, Vm};
+    use checkelide_isa::NullSink;
+
+    fn bc_of(src: &str, name: &str) -> (Vm, u32, std::rc::Rc<BytecodeFunc>) {
+        let mut vm = Vm::new(EngineConfig {
+            mechanism: Mechanism::Full,
+            ..EngineConfig::default()
+        });
+        crate::install_optimizer(&mut vm);
+        let mut sink = NullSink::new();
+        vm.run_program(src, &mut sink).expect("program runs");
+        let fi = vm
+            .funcs
+            .iter()
+            .position(|f| f.decl.name == name)
+            .expect("function exists") as u32;
+        let bc = vm.ensure_bytecode(fi);
+        (vm, fi, bc)
+    }
+
+    #[test]
+    fn regions_partition_the_bytecode() {
+        let (_vm, fi, bc) = bc_of(
+            "function f(n) {
+                 var s = 0;
+                 for (var i = 0; i < n; i++) { if (i % 2 == 0) s += i; }
+                 return s;
+             }
+             var r = f(10);",
+            "f",
+        );
+        let plans = vec![OpPlan::Generic; bc.code.len()];
+        let set = compile(fi, &bc, &plans);
+        // Every pc falls in exactly one region, in order (fusion can
+        // collapse several pcs into one compiled op, so cop pcs are
+        // strictly increasing within [entry, end_pc) rather than dense).
+        let mut covered = 0usize;
+        for (i, r) in set.regions.iter().enumerate() {
+            assert_eq!(r.entry as usize, covered, "regions are contiguous");
+            assert_eq!(set.entry_of[r.entry as usize], i as u32);
+            assert!(r.end_pc as usize > r.entry as usize);
+            let mut prev = None;
+            for c in &r.ops {
+                assert!(c.pc >= r.entry && c.pc < r.end_pc, "cop inside region");
+                assert!(prev.map_or(true, |p| c.pc > p), "cop pcs increase");
+                prev = Some(c.pc);
+            }
+            covered = r.end_pc as usize;
+        }
+        assert_eq!(covered, bc.code.len());
+        // Loops force more than one region; every jump target is an entry.
+        assert!(set.regions.len() > 1, "loopy function forms multiple regions");
+        for op in &bc.code {
+            if let Bc::Jump(t) | Bc::JumpIfFalse(t) | Bc::JumpIfTrue(t) = *op {
+                assert_ne!(set.entry_of[t as usize], u32::MAX, "jump target is an entry");
+            }
+        }
+        assert!(set.bytes > 0);
+    }
+
+    #[test]
+    fn conditional_fallthrough_merges_into_predecessor_region() {
+        // `if` with no jump back-edge into its fallthrough: the leader
+        // after JumpIfFalse that nothing jumps to stays interior.
+        let (_vm, fi, bc) = bc_of(
+            "function g(x) { var s = 1; if (x > 0) { s = 2; } return s + x; }
+             var r = g(3);",
+            "g",
+        );
+        let plans = vec![OpPlan::Generic; bc.code.len()];
+        let set = compile(fi, &bc, &plans);
+        let leaders = crate::bbv::leaders(&bc);
+        let n_leaders = leaders.iter().filter(|&&l| l).count();
+        assert!(
+            set.regions.len() < n_leaders,
+            "at least one conditional fallthrough merged ({} regions vs {} leaders)",
+            set.regions.len(),
+            n_leaders
+        );
+    }
+
+    #[test]
+    fn loop_counter_patterns_fuse_into_superinstructions() {
+        // `i < n` / `i++`-shaped sequences should collapse: LdLocal,
+        // LdaSmi/LdLocal, Bin (+ StLocal or JumpIf) become one BinFused.
+        let (_vm, fi, bc) = bc_of(
+            "function f(n) {
+                 var s = 0;
+                 for (var i = 0; i < n; i = i + 1) { s = s + i; }
+                 return s;
+             }
+             var r = f(10);",
+            "f",
+        );
+        let plans = vec![OpPlan::Generic; bc.code.len()];
+        let set = compile(fi, &bc, &plans);
+        let total_cops: usize = set.regions.iter().map(|r| r.ops.len()).sum();
+        let fused: Vec<&COp> = set
+            .regions
+            .iter()
+            .flat_map(|r| &r.ops)
+            .filter(|c| matches!(c.op, ROp::BinFused { .. }))
+            .collect();
+        assert!(!fused.is_empty(), "loopy arithmetic fuses");
+        assert!(total_cops < bc.code.len(), "fusion shrinks the op stream");
+        // At least one fused op consumed its St/Jump tail.
+        assert!(
+            fused.iter().any(|c| matches!(
+                c.op,
+                ROp::BinFused { tail: FusedTail::St(_) | FusedTail::Jump { .. }, .. }
+            )),
+            "a consumer fused in"
+        );
+        // Fused ops keep the Bin's pc so deopts reconstruct correctly.
+        for c in &fused {
+            assert!(matches!(
+                bc.code[c.pc as usize],
+                Bc::Add(_)
+                    | Bc::Sub(_)
+                    | Bc::Mul(_)
+                    | Bc::TestLt(_)
+                    | Bc::TestLe(_)
+                    | Bc::TestGt(_)
+                    | Bc::TestGe(_)
+                    | Bc::TestEq(_)
+                    | Bc::TestNe(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn cold_sites_pre_resolve_to_cold_deopt() {
+        let (_vm, fi, bc) = bc_of("function h(a) { return a + 1; } var r = h(1);", "h");
+        let mut plans = vec![OpPlan::Generic; bc.code.len()];
+        plans[0] = OpPlan::ColdDeopt;
+        let set = compile(fi, &bc, &plans);
+        assert!(matches!(set.regions[0].ops[0].op, ROp::ColdDeopt));
+    }
+}
