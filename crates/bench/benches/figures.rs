@@ -16,7 +16,7 @@
 //!   configuration) and `CoreSim::emit_batch` replay, both reported in
 //!   µops/sec via the shim's `Throughput::Elements` support.
 
-use checkelide_bench::{find, run_benchmark, RunConfig};
+use checkelide_bench::{find, run_benchmark, sim_config, RunConfig};
 use checkelide_core::{ClassCache, ClassId, ClassList, StoreRequest};
 use checkelide_engine::{EngineConfig, Mechanism, Vm};
 use checkelide_isa::trace::VecSink;
@@ -24,7 +24,7 @@ use checkelide_isa::uop::Uop;
 use checkelide_isa::{NullSink, TraceSink, BATCH_CAPACITY};
 use checkelide_opt::install_optimizer;
 use checkelide_runtime::Value;
-use checkelide_uarch::{CoreConfig, CoreSim};
+use checkelide_uarch::CoreSim;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -191,7 +191,7 @@ fn uop_pipeline(c: &mut Criterion) {
     g.throughput(Throughput::Elements(uops));
     g.bench_function("coresim_emit_batch", |bench| {
         bench.iter(|| {
-            let mut sim = CoreSim::new(CoreConfig::nehalem());
+            let mut sim = CoreSim::new(sim_config());
             for chunk in trace.chunks(BATCH_CAPACITY) {
                 sim.emit_batch(chunk);
             }

@@ -36,6 +36,10 @@
 //!   EXPERIMENTS.md tracks across harness changes, plus cache-cold and
 //!   cache-warm reruns of the same grid against a fresh trace-cache
 //!   directory (the warm row is the record-once/replay-many win).
+//! * **simcache** — sim-result memoization on the timed fig8/fig9 grid
+//!   (always quick scale): cold, trace-warm with the sim cache off
+//!   (replay + re-simulate), and trace+sim-warm (memoized `SimResult`,
+//!   no body decode) walls, plus the warm hit ratio.
 //!
 //! With `--floor FILE` the run doubles as a CI regression gate: FILE is a
 //! previously recorded `BENCH_perf.json` (the committed copy lives at
@@ -46,14 +50,19 @@
 //! kernel's compiled-region throughput is gated too, at a coarser 0.5x
 //! margin (the quick-scale engine probe is noisier; the gate exists to
 //! catch a dead region tier, which runs at ~0.3x of the baseline).
+//! When the baseline carries the simcache section's `sim_hit_ratio`,
+//! the warm-path hit ratio is gated too (exactly — it is
+//! deterministic): a drop means the warm path silently re-simulates.
 //!
 //!     cargo run --release -p checkelide-bench --bin perfstat -- \
 //!         [--quick] [--floor FILE [--floor-mult X]] [bench]
 
-use checkelide_bench::figures::{fig1_report, fig1_report_cached, save_json, BBV_CONFIGS};
+use checkelide_bench::figures::{
+    fig1_report, fig1_report_cached, fig89_report_cached, save_json, BBV_CONFIGS,
+};
 use checkelide_bench::proto::{serve, RemoteStore};
 use checkelide_bench::runner::{try_run_benchmark, RunConfig};
-use checkelide_bench::{find, Cli, Json, TraceCache};
+use checkelide_bench::{find, sim_config, Cli, Json, SimCacheMode, TraceCache};
 use checkelide_engine::{EngineConfig, Mechanism, Vm, VmStats};
 use checkelide_isa::codec::{encode_trace, TraceReader};
 use checkelide_isa::trace::VecSink;
@@ -61,7 +70,7 @@ use checkelide_isa::uop::Uop;
 use checkelide_isa::{CounterSink, NullSink, TraceSink, BATCH_CAPACITY};
 use checkelide_opt::install_optimizer;
 use checkelide_runtime::Value;
-use checkelide_uarch::{CoreConfig, CoreSim};
+use checkelide_uarch::CoreSim;
 use std::time::Instant;
 
 /// Record the measured-iteration trace of one benchmark (a few warm-ups
@@ -277,11 +286,11 @@ fn main() {
         replay_batched(std::hint::black_box(&mut c), &window, total);
     });
     let coresim_per_uop = mops(total, reps, || {
-        let mut s = CoreSim::new(CoreConfig::nehalem());
+        let mut s = CoreSim::new(sim_config());
         replay_per_uop(std::hint::black_box(&mut s), &window, total);
     });
     let coresim_batched = mops(total, reps, || {
-        let mut s = CoreSim::new(CoreConfig::nehalem());
+        let mut s = CoreSim::new(sim_config());
         replay_batched(std::hint::black_box(&mut s), &window, total);
     });
 
@@ -506,6 +515,43 @@ fn main() {
     });
     let _ = std::fs::remove_dir_all(&cache_dir);
 
+    // --- simcache: sim-result memoization on the timed grid ------------
+    // Figure 1's cells are untimed (no `CoreSim` pass), so the sim cache
+    // is probed on the timed fig8/fig9 grid, always at quick scale so
+    // the probe costs the same in quick and full perfstat runs: one cold
+    // pass (records traces, publishes sim results), one trace-warm pass
+    // with the sim cache off (replays bodies, re-simulates — the PR-4
+    // warm path), and one trace+sim-warm pass (manifest probe + sim
+    // fetch only; the body is never decoded).
+    let sim_dir = std::env::temp_dir()
+        .join(format!("checkelide-perfstat-simcache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&sim_dir);
+    eprintln!("timing fig8/9 grid (quick, jobs=1), sim-cache cold (recording) ...");
+    let sim_cold_cache = TraceCache::at(&sim_dir).with_sim_mode(SimCacheMode::On);
+    let t0 = Instant::now();
+    let sim_cold = fig89_report_cached(true, 1, &sim_cold_cache);
+    let sim_cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(sim_cold.failures.is_empty(), "cold fig8/9 cells failed: {:?}", sim_cold.failures);
+    assert!(sim_cold_cache.stats().sim_stores > 0, "cold pass must publish sim results");
+    eprintln!("timing fig8/9 grid, trace-warm with sim cache off (re-simulating) ...");
+    let sim_off_cache = TraceCache::at(&sim_dir).with_sim_mode(SimCacheMode::Off);
+    let t0 = Instant::now();
+    let sim_off = fig89_report_cached(true, 1, &sim_off_cache);
+    let trace_warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(sim_off.failures.is_empty(), "trace-warm fig8/9 cells failed: {:?}", sim_off.failures);
+    eprintln!("timing fig8/9 grid, trace+sim warm (memoized results) ...");
+    let sim_warm_cache = TraceCache::at(&sim_dir).with_sim_mode(SimCacheMode::On);
+    let t0 = Instant::now();
+    let sim_warm = fig89_report_cached(true, 1, &sim_warm_cache);
+    let sim_warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(sim_warm.failures.is_empty(), "sim-warm fig8/9 cells failed: {:?}", sim_warm.failures);
+    let sw = sim_warm_cache.stats();
+    assert!(sw.sim_hits > 0, "sim-warm pass must serve memoized results");
+    assert_eq!(sw.sim_misses, 0, "sim-warm pass silently re-simulated {} cell(s)", sw.sim_misses);
+    let (sim_hits, sim_misses) = (sw.sim_hits, sw.sim_misses);
+    let sim_hit_ratio = sim_hits as f64 / (sim_hits + sim_misses).max(1) as f64;
+    let _ = std::fs::remove_dir_all(&sim_dir);
+
     let json = Json::Obj(vec![
         (
             "micro",
@@ -581,6 +627,21 @@ fn main() {
                 ("cache_warm_wall_ms", Json::Num(grid_warm_ms)),
                 ("cache_warm_speedup", Json::Num(grid_cold_ms / grid_warm_ms)),
                 ("cache_warm_hits", Json::UInt(warm_hits)),
+            ]),
+        ),
+        (
+            "simcache",
+            Json::Obj(vec![
+                ("figure", Json::Str("fig8_fig9".into())),
+                ("quick", Json::Bool(true)),
+                ("jobs", Json::UInt(1)),
+                ("cold_wall_ms", Json::Num(sim_cold_ms)),
+                ("trace_warm_wall_ms", Json::Num(trace_warm_ms)),
+                ("sim_warm_wall_ms", Json::Num(sim_warm_ms)),
+                ("sim_warm_speedup", Json::Num(trace_warm_ms / sim_warm_ms)),
+                ("sim_hits", Json::UInt(sim_hits)),
+                ("sim_misses", Json::UInt(sim_misses)),
+                ("sim_hit_ratio", Json::Num(sim_hit_ratio)),
             ]),
         ),
     ]);
@@ -687,6 +748,13 @@ fn main() {
          (replaying, {warm_hits} hits)   warm speedup {:.2}x",
         grid_cold_ms / grid_warm_ms
     );
+    println!("== fig8/9 grid, sim-result memoization (jobs=1, quick) ==");
+    println!(
+        "  {sim_cold_ms:.0} ms cold   {trace_warm_ms:.0} ms trace-warm (re-simulating)   \
+         {sim_warm_ms:.0} ms trace+sim warm ({sim_hits} sim hits, {sim_misses} misses)   \
+         sim speedup {:.2}x",
+        trace_warm_ms / sim_warm_ms
+    );
     println!("wrote results/BENCH_perf.json");
 
     // --- floor: throughput regression gate ----------------------------
@@ -741,6 +809,25 @@ fn main() {
                     "error: compiled-region engine throughput regressed below the recorded \
                      floor ({:.1} < {region_floor:.1} Mµops/s)",
                     first_region.mops
+                );
+                std::process::exit(1);
+            }
+        }
+        // Sim-cache gate: the warm-path hit ratio is deterministic (a
+        // populated store must serve every timed cell), so no noise
+        // margin applies — any measured ratio below the recorded one
+        // means the warm path silently re-simulated. A baseline recorded
+        // before the sim cache existed has no `sim_hit_ratio` key and
+        // the gate is skipped.
+        if let Some(base_ratio) = json_number(&text, "sim_hit_ratio") {
+            println!(
+                "  sim-cache warm hit ratio {sim_hit_ratio:.3} vs recorded {base_ratio:.3}"
+            );
+            if sim_hit_ratio < base_ratio {
+                eprintln!(
+                    "error: warm-path sim hit ratio regressed below the recorded baseline \
+                     ({sim_hit_ratio:.3} < {base_ratio:.3}): the warm path is silently \
+                     re-simulating"
                 );
                 std::process::exit(1);
             }

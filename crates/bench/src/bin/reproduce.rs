@@ -48,13 +48,14 @@ fn main() {
     // binaries default OFF).
     let cache = TraceCache::from_cli(&cli, true);
     eprintln!(
-        "reproduce: {} mode, {jobs} worker(s), trace cache {}",
+        "reproduce: {} mode, {jobs} worker(s), trace cache {}, sim cache {}",
         if quick { "quick" } else { "full" },
         match (cache.remote_addr(), cache.dir()) {
             (Some(addr), _) => format!("at tcp://{addr}"),
             (None, Some(d)) => format!("at {}", d.display()),
             (None, None) => "off".to_string(),
         },
+        cache.sim_mode().label(),
     );
 
     let start = std::time::Instant::now();
@@ -130,6 +131,23 @@ fn main() {
         );
         if s.remote_errors > 0 {
             eprintln!("Trace store: {} remote request(s) failed and degraded to a miss.", s.remote_errors);
+        }
+        if cache.sim_mode() != checkelide_bench::SimCacheMode::Off {
+            println!(
+                "Sim cache ({}): {} hit(s), {} miss(es), {} store(s), {} verify mismatch(es).",
+                cache.sim_mode().label(),
+                s.sim_hits,
+                s.sim_misses,
+                s.sim_stores,
+                s.sim_verify_mismatches,
+            );
+            if s.sim_verify_mismatches > 0 {
+                eprintln!(
+                    "reproduce: {} memoized sim result(s) DIVERGED from live re-simulation",
+                    s.sim_verify_mismatches
+                );
+                std::process::exit(1);
+            }
         }
     }
     if !failures.is_empty() {

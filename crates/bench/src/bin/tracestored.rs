@@ -16,9 +16,11 @@
 //! drops entries whose stored key carries a stale schema salt (a
 //! `TRACE_SCHEMA_REV` / codec-version bump invalidates every old key),
 //! bounds the store to `--max-store-bytes` evicting least-recently-used
-//! entries, and reclaims unreferenced objects plus legacy flat-layout
-//! files. The open itself also sweeps `*.tmp.*` debris from crashed
-//! runs.
+//! entries (memoized sim results are charged to the trace they belong
+//! to), and reclaims unreferenced objects, sim-result objects whose
+//! trace CID is gone or whose `SIM_SCHEMA_REV` is stale, plus legacy
+//! flat-layout files. The open itself also sweeps `*.tmp.*` debris from
+//! crashed runs.
 
 use std::net::TcpListener;
 use std::sync::atomic::AtomicBool;
@@ -55,12 +57,15 @@ fn main() {
         let stats = store.gc(&current_key_suffix(), max_bytes);
         println!(
             "tracestored: gc {}: {} stale + {} lru entries dropped, \
-             {} orphan objects, {} legacy files, {} bytes freed; \
+             {} orphan objects, {} stale + {} orphan sim objects, \
+             {} legacy files, {} bytes freed; \
              {} entries ({} bytes) kept",
             dir,
             stats.stale_entries,
             stats.lru_entries,
             stats.orphan_objects,
+            stats.stale_sims,
+            stats.orphan_sims,
             stats.legacy_files,
             stats.bytes_freed,
             stats.entries_kept,

@@ -27,6 +27,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--max-shrink",
     "--trace-cache",
     "--trace-compress",
+    "--sim-cache",
     "--floor",
     "--floor-mult",
     "--store",

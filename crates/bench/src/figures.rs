@@ -12,7 +12,7 @@
 use crate::json::{json_obj, Json, ToJson};
 use crate::pool::{self, CellError};
 use crate::runner::{
-    try_run_benchmark_cached, CacheDisposition, RunConfig, RunError, RunOutput,
+    try_run_benchmark_cached, CacheDisposition, RunConfig, RunError, RunOutput, SimTelemetry,
 };
 use crate::suite::{selected, Benchmark, Suite, BENCHMARKS};
 use crate::tracecache::TraceCache;
@@ -64,6 +64,13 @@ pub struct CellMeta {
     pub ok: bool,
     /// Trace-cache disposition: `"off"`, `"hit"` or `"miss"`.
     pub cache: String,
+    /// Timed runs served from memoized sim results (no `CoreSim` pass).
+    pub sim_hits: u64,
+    /// Timed runs that had to run `CoreSim` live.
+    pub sim_misses: u64,
+    /// Verify-mode hits whose re-simulation diverged from the stored
+    /// result (always 0 on a healthy store).
+    pub sim_verify_mismatches: u64,
     /// Regions compiled by the cell's VM (region execution tier).
     pub regions_compiled: u64,
     /// Plan-walk → compiled-region tier-up events.
@@ -90,6 +97,9 @@ impl ToJson for CellMeta {
             uops_per_sec,
             ok,
             cache,
+            sim_hits,
+            sim_misses,
+            sim_verify_mismatches,
             regions_compiled,
             tier_up_events,
             code_cache_bytes,
@@ -146,7 +156,8 @@ pub fn render_failures(failures: &[CellError]) -> String {
 /// Fan one figure's benchmark cells across the pool and assemble a report.
 ///
 /// `f` runs one benchmark and returns its row, the dynamic-µop count for
-/// the throughput metadata, and the trace-cache disposition.
+/// the throughput metadata, the trace-cache disposition, and the cell's
+/// sim-cache telemetry.
 fn run_figure<R, F>(
     figure: &'static str,
     benches: Vec<&'static Benchmark>,
@@ -155,7 +166,10 @@ fn run_figure<R, F>(
 ) -> FigureReport<R>
 where
     R: Send,
-    F: Fn(&'static Benchmark) -> Result<(R, u64, CacheDisposition, VmStats), RunError> + Sync,
+    F: Fn(
+            &'static Benchmark,
+        ) -> Result<(R, u64, CacheDisposition, SimTelemetry, VmStats), RunError>
+        + Sync,
 {
     // Static proof that the cell inputs and outputs may cross threads.
     // (The engine's `Rc`-based internals never do: each cell builds its
@@ -188,6 +202,9 @@ where
             uops_per_sec: 0.0,
             ok: false,
             cache: CacheDisposition::Off.label().to_string(),
+            sim_hits: 0,
+            sim_misses: 0,
+            sim_verify_mismatches: 0,
             regions_compiled: 0,
             tier_up_events: 0,
             code_cache_bytes: 0,
@@ -196,8 +213,11 @@ where
             error: None,
         };
         match outcome.result {
-            Ok(Ok((row, uops, cache, stats))) => {
+            Ok(Ok((row, uops, cache, sim_tel, stats))) => {
                 meta.cache = cache.label().to_string();
+                meta.sim_hits = sim_tel.hits;
+                meta.sim_misses = sim_tel.misses;
+                meta.sim_verify_mismatches = sim_tel.verify_mismatches;
                 meta.uops = uops;
                 meta.uops_per_sec =
                     if wall_ms > 0.0 { uops as f64 / (wall_ms / 1e3) } else { 0.0 };
@@ -255,6 +275,16 @@ pub struct TraceCacheMeta {
     pub raw_bytes_written: u64,
     /// Remote requests that failed and degraded to a miss.
     pub remote_errors: u64,
+    /// Sim-result cache mode: `"off"`, `"on"`, or `"verify"`.
+    pub sim_mode: String,
+    /// Timed cells served from memoized sim results.
+    pub sim_hits: u64,
+    /// Timed cells that ran `CoreSim` live.
+    pub sim_misses: u64,
+    /// Sim results published to the store.
+    pub sim_stores: u64,
+    /// Verify-mode re-simulations that diverged from the stored result.
+    pub sim_verify_mismatches: u64,
 }
 
 impl TraceCacheMeta {
@@ -276,6 +306,11 @@ impl TraceCacheMeta {
             bytes_written: s.bytes_written,
             raw_bytes_written: s.raw_bytes_written,
             remote_errors: s.remote_errors,
+            sim_mode: cache.sim_mode().label().to_string(),
+            sim_hits: s.sim_hits,
+            sim_misses: s.sim_misses,
+            sim_stores: s.sim_stores,
+            sim_verify_mismatches: s.sim_verify_mismatches,
         }
     }
 }
@@ -297,7 +332,12 @@ impl ToJson for TraceCacheMeta {
             bytes_read,
             bytes_written,
             raw_bytes_written,
-            remote_errors
+            remote_errors,
+            sim_mode,
+            sim_hits,
+            sim_misses,
+            sim_stores,
+            sim_verify_mismatches
         )
     }
 }
@@ -342,6 +382,21 @@ impl RunMeta {
     /// Number of cells served from the trace cache.
     pub fn cache_hits(&self) -> usize {
         self.cells.iter().filter(|c| c.cache == "hit").count()
+    }
+
+    /// Total sim-cache hits across all cells.
+    pub fn sim_hits(&self) -> u64 {
+        self.cells.iter().map(|c| c.sim_hits).sum()
+    }
+
+    /// Total sim-cache misses (live `CoreSim` passes) across all cells.
+    pub fn sim_misses(&self) -> u64 {
+        self.cells.iter().map(|c| c.sim_misses).sum()
+    }
+
+    /// Total verify-mode mismatches across all cells.
+    pub fn sim_verify_mismatches(&self) -> u64 {
+        self.cells.iter().map(|c| c.sim_verify_mismatches).sum()
     }
 
     /// Persist to `results/run_meta.json`.
@@ -411,7 +466,7 @@ pub fn fig1_report_cached(
     cache: &TraceCache,
 ) -> FigureReport<Fig1Row> {
     run_figure("fig1", BENCHMARKS.iter().collect(), jobs, move |b| {
-        let (out, disp) = try_run_benchmark_cached(
+        let (out, disp, sim_tel) = try_run_benchmark_cached(
             b,
             RunConfig::characterize()
                 .with_scale(cfg_scale(b, quick))
@@ -431,6 +486,7 @@ pub fn fig1_report_cached(
             },
             out.uops,
             disp,
+            sim_tel,
             out.vm_stats,
         ))
     })
@@ -519,7 +575,7 @@ pub fn fig2_report_cached(
     cache: &TraceCache,
 ) -> FigureReport<Fig2Row> {
     run_figure("fig2", BENCHMARKS.iter().collect(), jobs, move |b| {
-        let (out, disp) = try_run_benchmark_cached(
+        let (out, disp, sim_tel) = try_run_benchmark_cached(
             b,
             RunConfig::characterize()
                 .with_scale(cfg_scale(b, quick))
@@ -537,6 +593,7 @@ pub fn fig2_report_cached(
             },
             out.uops,
             disp,
+            sim_tel,
             out.vm_stats,
         ))
     })
@@ -626,7 +683,7 @@ pub fn fig3_report_cached(
     cache: &TraceCache,
 ) -> FigureReport<Fig3RowOut> {
     run_figure("fig3", selected().collect(), jobs, move |b| {
-        let (out, disp) = try_run_benchmark_cached(
+        let (out, disp, sim_tel) = try_run_benchmark_cached(
             b,
             RunConfig::characterize()
                 .with_scale(cfg_scale(b, quick))
@@ -644,6 +701,7 @@ pub fn fig3_report_cached(
             },
             out.uops,
             disp,
+            sim_tel,
             out.vm_stats,
         ))
     })
@@ -778,28 +836,30 @@ pub fn fig89(quick: bool) -> Vec<Fig89Row> {
 ///
 /// Any [`RunError`] from either configuration, or the checksum mismatch.
 pub fn try_fig89_one(b: &Benchmark, quick: bool) -> Result<Fig89Row, RunError> {
-    fig89_one_cell(b, quick, &TraceCache::disabled()).map(|(row, _, _, _)| row)
+    fig89_one_cell(b, quick, &TraceCache::disabled()).map(|(row, _, _, _, _)| row)
 }
 
 fn fig89_one_cell(
     b: &Benchmark,
     quick: bool,
     cache: &TraceCache,
-) -> Result<(Fig89Row, u64, CacheDisposition, VmStats), RunError> {
-    let (base, base_disp) = try_run_benchmark_cached(
+) -> Result<(Fig89Row, u64, CacheDisposition, SimTelemetry, VmStats), RunError> {
+    let (base, base_disp, base_sim_tel) = try_run_benchmark_cached(
         b,
         RunConfig::baseline_timed()
             .with_scale(cfg_scale(b, quick))
             .with_iterations(iters(quick)),
         cache,
     )?;
-    let (full, full_disp) = try_run_benchmark_cached(
+    let (full, full_disp, full_sim_tel) = try_run_benchmark_cached(
         b,
         RunConfig::mechanism_timed()
             .with_scale(cfg_scale(b, quick))
             .with_iterations(iters(quick)),
         cache,
     )?;
+    let mut sim_tel = base_sim_tel;
+    sim_tel.absorb(full_sim_tel);
     let disp = match (base_disp, full_disp) {
         (CacheDisposition::Hit, CacheDisposition::Hit) => CacheDisposition::Hit,
         (CacheDisposition::Off, CacheDisposition::Off) => CacheDisposition::Off,
@@ -830,7 +890,7 @@ fn fig89_one_cell(
         dtlb_hit: (bs.dtlb.hit_rate(), fs.dtlb.hit_rate()),
         class_cache_hit: full.class_cache.hit_rate(),
     };
-    Ok((row, base.uops + full.uops, disp, full.vm_stats))
+    Ok((row, base.uops + full.uops, disp, sim_tel, full.vm_stats))
 }
 
 /// Run Figures 8/9 for one benchmark, panicking on failure (compat
@@ -965,14 +1025,14 @@ pub fn fig_bbv(quick: bool) -> Vec<FigBbvRow> {
 /// Any [`RunError`] from any of the five configurations, or a checksum
 /// divergence between any configuration and the baseline run.
 pub fn try_fig_bbv_one(b: &Benchmark, quick: bool) -> Result<FigBbvRow, RunError> {
-    fig_bbv_one_cell(b, quick, &TraceCache::disabled()).map(|(row, _, _, _)| row)
+    fig_bbv_one_cell(b, quick, &TraceCache::disabled()).map(|(row, _, _, _, _)| row)
 }
 
 fn fig_bbv_one_cell(
     b: &Benchmark,
     quick: bool,
     cache: &TraceCache,
-) -> Result<(FigBbvRow, u64, CacheDisposition, VmStats), RunError> {
+) -> Result<(FigBbvRow, u64, CacheDisposition, SimTelemetry, VmStats), RunError> {
     use checkelide_isa::uop::Category;
     let configs: [RunConfig; 5] = [
         RunConfig::baseline_timed(),
@@ -991,12 +1051,14 @@ fn fig_bbv_one_cell(
     // BBV configurations pin hot bodies in their versioning tier, so the
     // scalar full-mechanism run is the representative region-tier cell.
     let mut stats = VmStats::default();
+    let mut sim_tel = SimTelemetry::default();
     for (i, cfg) in configs.into_iter().enumerate() {
-        let (out, disp) = try_run_benchmark_cached(
+        let (out, disp, run_sim_tel) = try_run_benchmark_cached(
             b,
             cfg.with_scale(cfg_scale(b, quick)).with_iterations(iters(quick)),
             cache,
         )?;
+        sim_tel.absorb(run_sim_tel);
         match &checksum {
             Some(base) if *base != out.checksum => {
                 return Err(RunError::ChecksumMismatch {
@@ -1034,7 +1096,7 @@ fn fig_bbv_one_cell(
         uops,
         cycles,
     };
-    Ok((row, total_uops, disp, stats))
+    Ok((row, total_uops, disp, sim_tel, stats))
 }
 
 /// Render the BBV head-to-head table: per-benchmark checks executed and
@@ -1161,7 +1223,7 @@ pub fn overheads_report_cached(
     cache: &TraceCache,
 ) -> FigureReport<OverheadRow> {
     run_figure("overheads", selected().collect(), jobs, move |b| {
-        let (out, disp) = try_run_benchmark_cached(
+        let (out, disp, sim_tel) = try_run_benchmark_cached(
             b,
             RunConfig::mechanism_timed()
                 .with_timing(false)
@@ -1170,7 +1232,7 @@ pub fn overheads_report_cached(
             cache,
         )?;
         let uops = out.uops;
-        Ok((overhead_row(b.name, &out), uops, disp, out.vm_stats))
+        Ok((overhead_row(b.name, &out), uops, disp, sim_tel, out.vm_stats))
     })
 }
 
@@ -1299,6 +1361,9 @@ mod tests {
             uops_per_sec: 80000.0,
             ok: true,
             cache: "off".into(),
+            sim_hits: 2,
+            sim_misses: 1,
+            sim_verify_mismatches: 0,
             regions_compiled: 4,
             tier_up_events: 2,
             code_cache_bytes: 4096,
@@ -1316,6 +1381,9 @@ mod tests {
             "uops_per_sec",
             "ok",
             "cache",
+            "sim_hits",
+            "sim_misses",
+            "sim_verify_mismatches",
             "regions_compiled",
             "tier_up_events",
             "code_cache_bytes",

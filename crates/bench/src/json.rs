@@ -273,4 +273,33 @@ mod tests {
         assert_eq!(to_string_pretty(&Json::Arr(vec![])), "[]");
         assert_eq!(to_string_pretty(&Json::Obj(vec![])), "{}");
     }
+
+    mod float_fixed_point {
+        use super::super::num_to_string;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// `format → parse → format` is a fixed point for arbitrary
+            /// bit patterns: finite values parse back to the exact same
+            /// bits (signed zero included), so re-serializing a figure
+            /// JSON never drifts — the byte-identity comparisons between
+            /// cached and live runs depend on this. Non-finite values
+            /// collapse to `null` and stay there.
+            #[test]
+            fn format_parse_format_is_a_fixed_point(bits in any::<u64>()) {
+                let f = f64::from_bits(bits);
+                let text = num_to_string(f);
+                if f.is_finite() {
+                    let parsed: f64 = text.parse().expect("rendered float parses");
+                    prop_assert_eq!(
+                        parsed.to_bits(), f.to_bits(),
+                        "parse is not exact for {}", text.clone()
+                    );
+                    prop_assert_eq!(num_to_string(parsed), text);
+                } else {
+                    prop_assert_eq!(text, "null");
+                }
+            }
+        }
+    }
 }

@@ -15,6 +15,10 @@
 //! * [`tracecache`] — the record-once/replay-many µop trace cache: each
 //!   engine configuration executes at most once per key, and every other
 //!   figure (or `CoreSim` pass) replays the recorded trace.
+//! * [`simcache`] — the sim-result memoization policy: `CoreSim` runs at
+//!   most once per unique `(trace CID, core-config fingerprint)`, and a
+//!   warm timed cell is served from the stored result without decoding
+//!   the trace body at all.
 //! * [`store`] — the content-addressed, sharded on-disk trace store
 //!   behind the cache (manifest index → SHA-256-addressed objects,
 //!   cross-key dedup, LZ compression, orphan sweep, `--gc`).
@@ -32,6 +36,7 @@ pub mod json;
 pub mod pool;
 pub mod proto;
 pub mod runner;
+pub mod simcache;
 pub mod store;
 pub mod suite;
 pub mod tracecache;
@@ -41,8 +46,9 @@ pub use json::{Json, ToJson};
 pub use pool::{default_jobs, jobs_from_args, run_cells, CellError, CellOutcome};
 pub use runner::{
     run_benchmark, try_run_benchmark, try_run_benchmark_cached, CacheDisposition, RunConfig,
-    RunError, RunOutput,
+    RunError, RunOutput, SimTelemetry,
 };
+pub use simcache::{sim_config, sim_energy, sim_fingerprint, SimCacheMode, SIM_CACHE_ENV};
 pub use store::{GcStats, Sidecar, StoreStats, TraceStore};
 pub use suite::{find, selected, Benchmark, Suite, BENCHMARKS};
 pub use tracecache::{TraceCache, TraceCacheStats, TRACE_CACHE_ENV};

@@ -12,13 +12,22 @@
 //!           | 'P' klen:u32le key slen:u32le sidecar object-image
 //!                                         PUT   — publish a recording
 //!           | 'L'                         LIST  — server statistics
+//!           | 's' cid[32] fp:u64le        SIMSTAT — sim object present?
+//!           | 'g' cid[32] fp:u64le        SIMGET  — fetch a sim object
+//!           | 'p' sim-object              SIMPUT  — publish a sim object
 //! response := status:u8 payload
 //! status   := 0 OK | 1 NOT FOUND | 2 ERROR (payload = UTF-8 message)
 //! ```
 //!
 //! `OK` payloads: STAT → encoded [`Sidecar`]; GET → `slen:u32le sidecar
 //! object-image` (the object in stored form, so the server never
-//! recompresses); PUT → `deduped:u8`; LIST → an encoded [`ServerStats`].
+//! recompresses); PUT → `deduped:u8`; LIST → an encoded [`ServerStats`];
+//! SIMSTAT → empty; SIMGET → an encoded CKSR
+//! [`checkelide_uarch::SimObject`]; SIMPUT → empty. Sim requests address
+//! memoized simulation results by `(trace CID, config fingerprint)` — the
+//! server validates every SIMPUT body (decode + checksum + current
+//! `SIM_SCHEMA_REV`) before storing, and the client re-validates every
+//! SIMGET payload against the requested key.
 //!
 //! Trust model: both ends re-validate everything. The server decodes and
 //! content-hash-verifies every PUT before storing it; the client verifies
@@ -40,6 +49,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use crate::store::{ObjectImage, Sidecar, TraceStore};
+use checkelide_uarch::{SimObject, SIM_OBJECT_LEN};
 
 /// Largest accepted frame body. PUT frames carry whole trace objects
 /// (~100 MB compressed at full scale); this is a corruption guard.
@@ -56,6 +66,9 @@ const OP_STAT: u8 = b'S';
 const OP_GET: u8 = b'G';
 const OP_PUT: u8 = b'P';
 const OP_LIST: u8 = b'L';
+const OP_SIMSTAT: u8 = b's';
+const OP_SIMGET: u8 = b'g';
+const OP_SIMPUT: u8 = b'p';
 
 /// A typed protocol failure.
 #[derive(Debug)]
@@ -159,7 +172,10 @@ fn take_u32(body: &[u8], at: usize) -> Option<(u32, usize)> {
 // ---------------------------------------------------------------------------
 
 const LIST_MAGIC: [u8; 4] = *b"CKLS";
-const LIST_VERSION: u8 = 1;
+/// v2 appended the five sim-cache words (`sim_objects`,
+/// `sim_object_bytes`, `sim_hits`, `sim_misses`, `sim_puts`).
+const LIST_VERSION: u8 = 2;
+const LIST_WORDS: usize = 16;
 
 /// Store-wide statistics returned by the `LIST` op.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -186,11 +202,22 @@ pub struct ServerStats {
     pub bytes_written: u64,
     /// Corrupt entries evicted.
     pub evictions: u64,
+    /// Memoized sim objects in the store.
+    pub sim_objects: u64,
+    /// Total on-disk sim-object bytes.
+    pub sim_object_bytes: u64,
+    /// Sim lookups served.
+    pub sim_hits: u64,
+    /// Sim lookups that missed.
+    pub sim_misses: u64,
+    /// Sim objects published.
+    pub sim_puts: u64,
 }
 
 impl ServerStats {
     fn gather(store: &TraceStore) -> ServerStats {
         let (entries, objects, object_bytes, raw_bytes) = store.summary();
+        let (sim_objects, sim_object_bytes) = store.sim_summary();
         let s = store.stats();
         ServerStats {
             entries,
@@ -204,11 +231,16 @@ impl ServerStats {
             bytes_read: s.bytes_read,
             bytes_written: s.bytes_written,
             evictions: s.evictions,
+            sim_objects,
+            sim_object_bytes,
+            sim_hits: s.sim_hits,
+            sim_misses: s.sim_misses,
+            sim_puts: s.sim_puts,
         }
     }
 
     fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(4 + 1 + 11 * 8);
+        let mut out = Vec::with_capacity(4 + 1 + LIST_WORDS * 8);
         out.extend_from_slice(&LIST_MAGIC);
         out.push(LIST_VERSION);
         for w in [
@@ -223,6 +255,11 @@ impl ServerStats {
             self.bytes_read,
             self.bytes_written,
             self.evictions,
+            self.sim_objects,
+            self.sim_object_bytes,
+            self.sim_hits,
+            self.sim_misses,
+            self.sim_puts,
         ] {
             out.extend_from_slice(&w.to_le_bytes());
         }
@@ -230,11 +267,13 @@ impl ServerStats {
     }
 
     fn decode(bytes: &[u8]) -> Option<ServerStats> {
-        if bytes.len() != 4 + 1 + 11 * 8 || bytes[..4] != LIST_MAGIC || bytes[4] != LIST_VERSION
+        if bytes.len() != 4 + 1 + LIST_WORDS * 8
+            || bytes[..4] != LIST_MAGIC
+            || bytes[4] != LIST_VERSION
         {
             return None;
         }
-        let mut w = [0u64; 11];
+        let mut w = [0u64; LIST_WORDS];
         for (i, word) in w.iter_mut().enumerate() {
             *word = u64::from_le_bytes(bytes[5 + 8 * i..13 + 8 * i].try_into().ok()?);
         }
@@ -250,6 +289,11 @@ impl ServerStats {
             bytes_read: w[8],
             bytes_written: w[9],
             evictions: w[10],
+            sim_objects: w[11],
+            sim_object_bytes: w[12],
+            sim_hits: w[13],
+            sim_misses: w[14],
+            sim_puts: w[15],
         })
     }
 
@@ -400,8 +444,47 @@ fn handle_request(
             respond(stream, STATUS_OK, &ServerStats::gather(store).encode())?;
             Ok(())
         }
+        Some(OP_SIMSTAT) => {
+            let (cid, fp) = parse_sim_key(body)?;
+            match store.sim_get(&cid, fp) {
+                Some(_) => respond(stream, STATUS_OK, &[])?,
+                None => respond(stream, STATUS_NOT_FOUND, &[])?,
+            }
+            Ok(())
+        }
+        Some(OP_SIMGET) => {
+            let (cid, fp) = parse_sim_key(body)?;
+            match store.sim_get(&cid, fp) {
+                Some(obj) => respond(stream, STATUS_OK, &obj.encode())?,
+                None => respond(stream, STATUS_NOT_FOUND, &[])?,
+            }
+            Ok(())
+        }
+        Some(OP_SIMPUT) => {
+            // Full validation before storing: the body must decode (magic,
+            // version, checksum) and carry the current schema revision.
+            let obj = SimObject::decode(&body[1..])
+                .filter(SimObject::is_current)
+                .ok_or(ProtoError::Malformed("sim object fails verification"))?;
+            match store.sim_put(&obj) {
+                Ok(()) => respond(stream, STATUS_OK, &[])?,
+                Err(e) => respond_error(stream, &format!("store write failed: {e}"))?,
+            }
+            Ok(())
+        }
         _ => Err(ProtoError::Malformed("unknown op")),
     }
+}
+
+/// Parse a SIMSTAT/SIMGET request body: `op cid[32] fp:u64le`, exact
+/// length.
+fn parse_sim_key(body: &[u8]) -> Result<([u8; 32], u64), ProtoError> {
+    if body.len() != 1 + 32 + 8 {
+        return Err(ProtoError::Malformed("sim request length"));
+    }
+    let cid: [u8; 32] = body[1..33].try_into().expect("length checked");
+    let fp = u64::from_le_bytes(body[33..41].try_into().expect("length checked"));
+    Ok((cid, fp))
 }
 
 fn parse_put(body: &[u8]) -> Result<(Sidecar, &[u8]), ProtoError> {
@@ -607,6 +690,49 @@ impl RemoteStore {
         }
         ServerStats::decode(&payload)
     }
+
+    /// SIMSTAT: does the server hold a memoized simulation for
+    /// `(cid, fingerprint)`?
+    #[must_use]
+    pub fn sim_stat(&self, cid: &[u8; 32], fingerprint: u64) -> bool {
+        matches!(
+            self.request(&sim_key_request(OP_SIMSTAT, cid, fingerprint)),
+            Ok((STATUS_OK, _))
+        )
+    }
+
+    /// SIMGET: fetch and locally re-validate the memoized simulation for
+    /// `(cid, fingerprint)`.
+    #[must_use]
+    pub fn sim_get(&self, cid: &[u8; 32], fingerprint: u64) -> Option<SimObject> {
+        let (status, payload) =
+            self.request(&sim_key_request(OP_SIMGET, cid, fingerprint)).ok()?;
+        if status != STATUS_OK || payload.len() != SIM_OBJECT_LEN {
+            return None;
+        }
+        SimObject::decode(&payload).filter(|obj| {
+            obj.is_current() && obj.trace_cid == *cid && obj.fingerprint == fingerprint
+        })
+    }
+
+    /// SIMPUT: publish a memoized simulation. `false` (a non-event: the
+    /// run keeps its live results) on any failure.
+    #[must_use]
+    pub fn sim_put(&self, obj: &SimObject) -> bool {
+        let encoded = obj.encode();
+        let mut body = Vec::with_capacity(1 + encoded.len());
+        body.push(OP_SIMPUT);
+        body.extend_from_slice(&encoded);
+        matches!(self.request(&body), Ok((STATUS_OK, _)))
+    }
+}
+
+fn sim_key_request(op: u8, cid: &[u8; 32], fingerprint: u64) -> Vec<u8> {
+    let mut body = Vec::with_capacity(1 + 32 + 8);
+    body.push(op);
+    body.extend_from_slice(cid);
+    body.extend_from_slice(&fingerprint.to_le_bytes());
+    body
 }
 
 fn stat_request(key: &str) -> Vec<u8> {
@@ -634,6 +760,11 @@ mod tests {
             bytes_read: 8,
             bytes_written: 9,
             evictions: 10,
+            sim_objects: 11,
+            sim_object_bytes: 12,
+            sim_hits: 13,
+            sim_misses: 14,
+            sim_puts: 15,
         };
         let bytes = s.encode();
         assert_eq!(ServerStats::decode(&bytes), Some(s));
@@ -644,6 +775,19 @@ mod tests {
         let mut bad = bytes;
         bad[0] = b'X';
         assert!(ServerStats::decode(&bad).is_none());
+    }
+
+    #[test]
+    fn parse_sim_key_rejects_malformed_bodies() {
+        assert!(parse_sim_key(&[OP_SIMGET]).is_err(), "empty key");
+        assert!(parse_sim_key(&[OP_SIMGET; 40]).is_err(), "short key");
+        assert!(parse_sim_key(&[OP_SIMGET; 42]).is_err(), "trailing bytes");
+        let mut ok = vec![OP_SIMSTAT];
+        ok.extend_from_slice(&[7u8; 32]);
+        ok.extend_from_slice(&0x1234u64.to_le_bytes());
+        let (cid, fp) = parse_sim_key(&ok).expect("valid sim key");
+        assert_eq!(cid, [7u8; 32]);
+        assert_eq!(fp, 0x1234);
     }
 
     #[test]

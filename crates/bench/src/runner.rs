@@ -5,9 +5,10 @@
 //! ("we focus on the steady state … executing the benchmark ten times and
 //! taking statistics from the tenth iteration", §5).
 
-use crate::store::{Sidecar, COMPRESS_NONE};
+use crate::simcache::{sim_config, sim_fingerprint, SimCacheMode};
+use crate::store::{cid_hex, Sidecar, COMPRESS_NONE};
 use crate::suite::Benchmark;
-use crate::tracecache::TraceCache;
+use crate::tracecache::{CacheEntry, TraceCache};
 use checkelide_core::{loadstats::Fig3Row, ClassCacheConfig, ClassCacheStats};
 use checkelide_engine::{EngineConfig, Mechanism, Vm, VmStats};
 use checkelide_isa::codec::{TraceError, TraceReader, TraceWriter};
@@ -15,7 +16,7 @@ use checkelide_isa::trace::Tee;
 use checkelide_isa::{CounterSink, NullSink, TraceSink};
 use checkelide_opt::install_optimizer;
 use checkelide_runtime::Value;
-use checkelide_uarch::{CoreConfig, CoreSim, SimResult};
+use checkelide_uarch::{CoreSim, SimObject, SimResult};
 
 /// How to run a benchmark.
 #[derive(Debug, Clone, Copy)]
@@ -238,16 +239,54 @@ impl CacheDisposition {
     }
 }
 
+/// Per-cell sim-result cache telemetry, threaded from
+/// [`try_run_benchmark_cached`] into `run_meta.json`.
+///
+/// For a single timed configuration exactly one of `hits`/`misses` is 1
+/// while the sim cache is active; multi-configuration cells (fig8/9, the
+/// BBV grid) sum their runs via [`SimTelemetry::absorb`]. A `hit` means
+/// `CoreSim` did not run (the memoized result served the cell); a `miss`
+/// means it did, whether on a trace-cache miss (cold live run) or a
+/// trace hit whose sim object was absent or unusable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimTelemetry {
+    /// Timed runs served from a memoized `SimResult`.
+    pub hits: u64,
+    /// Timed runs that executed `CoreSim` while the sim cache was active.
+    pub misses: u64,
+    /// Verify-mode hits whose memoized result was not bit-identical to
+    /// the live re-simulation (must stay 0).
+    pub verify_mismatches: u64,
+}
+
+impl SimTelemetry {
+    /// Accumulate another run's telemetry into this cell's totals.
+    pub fn absorb(&mut self, other: SimTelemetry) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.verify_mismatches += other.verify_mismatches;
+    }
+}
+
 /// Run one benchmark through the trace cache: on a hit, rebuild the
-/// [`RunOutput`] from the recorded sidecar (replaying the µop trace
-/// through a fresh `CoreSim` when `cfg.timing`) without executing the
-/// engine; on a miss, run live while recording the measured iteration for
-/// future runs.
+/// [`RunOutput`] from the recorded sidecar without executing the engine;
+/// on a miss, run live while recording the measured iteration for future
+/// runs.
+///
+/// Timed hits consult the sim-result cache first: when a memoized
+/// `SimResult` exists for `(trace CID, config fingerprint)`, the cell is
+/// served from the manifest and the 332-byte sim object alone — no trace
+/// body decode, no `CoreSim`. A sim miss replays the trace through
+/// `CoreSim` once and publishes the result, so every future run (in any
+/// process sharing the store) hits. In `--sim-cache verify` mode a hit
+/// additionally re-simulates and asserts the memoized result is
+/// bit-identical to the live one.
 ///
 /// Outputs are bit-identical across hit/miss/off: a hit replays the exact
-/// µops the recorded execution emitted, and the engine itself is
-/// deterministic. Recording failures (disk full, unwritable directory)
-/// degrade to an unrecorded live run, never to a run failure.
+/// µops the recorded execution emitted, the engine itself is
+/// deterministic, and sim objects round-trip f64 energy fields as raw
+/// bits. Recording failures (disk full, unwritable directory) degrade to
+/// an unrecorded live run, never to a run failure.
 ///
 /// # Errors
 ///
@@ -256,17 +295,21 @@ pub fn try_run_benchmark_cached(
     bench: &Benchmark,
     cfg: RunConfig,
     cache: &TraceCache,
-) -> Result<(RunOutput, CacheDisposition), RunError> {
+) -> Result<(RunOutput, CacheDisposition, SimTelemetry), RunError> {
+    let mut sim_tel = SimTelemetry::default();
     let scale = cfg.scale.unwrap_or(bench.scale);
     let Some(entry) = cache.entry(bench.name, scale, &cfg) else {
-        return run_live(bench, cfg, None).map(|o| (o, CacheDisposition::Off));
+        return run_live(bench, cfg, None).map(|o| (o, CacheDisposition::Off, sim_tel));
     };
+    let want_sim = cfg.timing && cache.sim_mode() != SimCacheMode::Off;
 
-    // Timed configurations need the trace body for the CoreSim replay;
-    // untimed ones are satisfied by the manifest alone.
-    if let Some((side, raw, _bytes_read)) = cache.fetch(&entry, cfg.timing) {
-        match replay_output(&side, raw.as_deref(), cfg.timing) {
-            Ok(out) => return Ok((out, CacheDisposition::Hit)),
+    // A timed lookup needs the trace body for the CoreSim replay — unless
+    // the sim cache may serve the memoized result, in which case the
+    // manifest alone can satisfy the whole cell: probe manifest-only and
+    // fetch the body lazily only if the sim lookup misses.
+    if let Some((side, raw, _bytes_read)) = cache.fetch(&entry, cfg.timing && !want_sim) {
+        match serve_hit(&side, raw, cfg, cache, &entry, &mut sim_tel) {
+            Ok(out) => return Ok((out, CacheDisposition::Hit, sim_tel)),
             Err(e) => {
                 // Hash-valid but codec-invalid (or internally
                 // inconsistent) recording: drop it and re-record.
@@ -280,6 +323,11 @@ pub fn try_run_benchmark_cached(
     }
 
     cache.note_miss();
+    if want_sim {
+        // The live run below executes CoreSim: a sim miss by definition.
+        sim_tel.misses += 1;
+        cache.note_sim_miss();
+    }
     // Record into memory: the raw encoded body is what the store hashes
     // for its content ID, so it has to exist as one buffer anyway. Peak
     // size is the encoded trace (~5 B/µop), tens of MB at full scale.
@@ -287,7 +335,7 @@ pub fn try_run_benchmark_cached(
         Ok(w) => w,
         Err(e) => {
             eprintln!("warning: trace cache cannot record {}: {e}", bench.name);
-            return run_live(bench, cfg, None).map(|o| (o, CacheDisposition::Miss));
+            return run_live(bench, cfg, None).map(|o| (o, CacheDisposition::Miss, sim_tel));
         }
     };
     let out = run_live(bench, cfg, Some(&mut writer))?;
@@ -311,6 +359,14 @@ pub fn try_run_benchmark_cached(
             // publish() fills the content-store location fields and
             // warns (never fails the run) on store/network problems.
             cache.publish(&entry, &mut side, &raw);
+            // Memoize the live simulation under the freshly-assigned CID:
+            // the live CoreSim saw exactly the µops the recording holds
+            // (one Tee fan-out), so a cold run warms both cache layers.
+            if want_sim {
+                if let Some(sim) = &out.sim {
+                    cache.sim_publish(&side.cid, sim);
+                }
+            }
         }
         Ok((_, stats)) => {
             eprintln!(
@@ -322,7 +378,90 @@ pub fn try_run_benchmark_cached(
             eprintln!("warning: trace recording for {} failed: {e}", bench.name);
         }
     }
-    Ok((out, CacheDisposition::Miss))
+    Ok((out, CacheDisposition::Miss, sim_tel))
+}
+
+/// Serve a trace-cache hit, consulting the sim-result cache for timed
+/// configurations. `raw` is the trace body when the initial fetch already
+/// carried it (sim cache off). Errors mean the *trace* entry is unusable
+/// (the caller evicts and re-records); sim-layer problems degrade to
+/// re-simulation, never to an error.
+fn serve_hit(
+    side: &Sidecar,
+    raw: Option<Vec<u8>>,
+    cfg: RunConfig,
+    cache: &TraceCache,
+    entry: &CacheEntry,
+    sim_tel: &mut SimTelemetry,
+) -> Result<RunOutput, TraceError> {
+    let sim_mode = cache.sim_mode();
+    let want_sim = cfg.timing && sim_mode != SimCacheMode::Off;
+    if want_sim {
+        if let Some(obj) = cache.sim_fetch(&side.cid) {
+            if obj.result.uops == side.uops {
+                if sim_mode == SimCacheMode::Verify {
+                    // Differential mode: replay the trace through CoreSim
+                    // anyway and require the memoized result to be
+                    // bit-identical (compare encoded images so f64
+                    // payloads are held to raw-bit equality, not
+                    // PartialEq's -0.0 == 0.0).
+                    let raw = fetch_body(cache, entry, raw)?;
+                    let out = replay_output(side, Some(&raw), true)?;
+                    let live = out.sim.as_ref().expect("timed replay carries a result");
+                    let live_obj = SimObject::new(side.cid, sim_fingerprint(), live.clone());
+                    sim_tel.hits += 1;
+                    if live_obj.encode() != obj.encode() {
+                        sim_tel.verify_mismatches += 1;
+                        cache.note_sim_verify_mismatch();
+                        eprintln!(
+                            "warning: sim-cache verify mismatch for {} (cid {}); \
+                             using the live result",
+                            side.key,
+                            cid_hex(&side.cid)
+                        );
+                    }
+                    return Ok(out);
+                }
+                sim_tel.hits += 1;
+                return output_from_parts(side, Some(obj.result));
+            }
+            // A sim object that disagrees with its manifest (the store
+            // validated structure, not cross-file consistency): ignore it
+            // and re-simulate; the republish overwrites nothing (the file
+            // is keyed by content) but the warning makes it visible.
+            eprintln!(
+                "warning: memoized sim result for {} disagrees with its manifest; \
+                 re-simulating",
+                side.key
+            );
+        }
+    }
+    let raw = if cfg.timing { Some(fetch_body(cache, entry, raw)?) } else { None };
+    let out = replay_output(side, raw.as_deref(), cfg.timing)?;
+    if want_sim {
+        sim_tel.misses += 1;
+        cache.note_sim_miss();
+        if let Some(sim) = &out.sim {
+            cache.sim_publish(&side.cid, sim);
+        }
+    }
+    Ok(out)
+}
+
+/// The trace body for a hit: what the initial fetch carried, or a lazy
+/// re-fetch (the sim fast path probes manifest-only).
+fn fetch_body(
+    cache: &TraceCache,
+    entry: &CacheEntry,
+    raw: Option<Vec<u8>>,
+) -> Result<Vec<u8>, TraceError> {
+    if let Some(raw) = raw {
+        return Ok(raw);
+    }
+    cache.refetch_body(entry).ok_or(TraceError::Corrupt {
+        offset: 0,
+        what: "trace body vanished between manifest probe and replay",
+    })
 }
 
 /// Rebuild a [`RunOutput`] from a cached sidecar (and, for timed
@@ -335,17 +474,13 @@ fn replay_output(
     raw: Option<&[u8]>,
     timing: bool,
 ) -> Result<RunOutput, TraceError> {
-    let counters = CounterSink::from_snapshot(&side.counters);
-    if counters.total() != side.uops {
-        return Err(TraceError::Corrupt { offset: 0, what: "sidecar counters/µops mismatch" });
-    }
     let sim = if timing {
         let raw = raw.ok_or(TraceError::Corrupt {
             offset: 0,
             what: "timed replay without a trace body",
         })?;
         let mut reader = TraceReader::new(raw)?;
-        let mut sim = CoreSim::new(CoreConfig::nehalem());
+        let mut sim = CoreSim::new(sim_config());
         let replayed = reader.replay(&mut sim)?;
         if replayed != side.uops {
             return Err(TraceError::Corrupt { offset: 0, what: "trace/sidecar µop mismatch" });
@@ -354,6 +489,16 @@ fn replay_output(
     } else {
         None
     };
+    output_from_parts(side, sim)
+}
+
+/// Assemble a [`RunOutput`] from a sidecar and an (optional) simulation
+/// result — the shared tail of the replay and sim-hit paths.
+fn output_from_parts(side: &Sidecar, sim: Option<SimResult>) -> Result<RunOutput, TraceError> {
+    let counters = CounterSink::from_snapshot(&side.counters);
+    if counters.total() != side.uops {
+        return Err(TraceError::Corrupt { offset: 0, what: "sidecar counters/µops mismatch" });
+    }
     Ok(RunOutput {
         counters,
         sim,
@@ -429,7 +574,7 @@ fn run_live(
     let mut counters = CounterSink::new();
     let (result, sim) = match (cfg.timing, record) {
         (true, None) => {
-            let mut sim = CoreSim::new(CoreConfig::nehalem());
+            let mut sim = CoreSim::new(sim_config());
             let result = {
                 let mut tee = Tee::new(&mut counters, &mut sim);
                 vm.call_global("bench", &args, &mut tee).map_err(measured_err)?
@@ -437,7 +582,7 @@ fn run_live(
             (result, Some(sim.result()))
         }
         (true, Some(rec)) => {
-            let mut sim = CoreSim::new(CoreConfig::nehalem());
+            let mut sim = CoreSim::new(sim_config());
             let result = {
                 let mut pair = Tee::new(&mut counters, &mut sim);
                 let mut tee: Tee<'_, _, dyn TraceSink> = Tee::new(&mut pair, rec);

@@ -9,6 +9,8 @@
 //! <root>/
 //!   manifest/<bench>-<fnv64(key)>.m    logical key -> Sidecar (incl. CID)
 //!   objects/<ab>/<cid-hex>            trace body, addressed by content
+//!   sim/<ab>/<cid-hex>-<fp16>.s       memoized SimResult (CKSR) for
+//!                                     (trace CID, config fingerprint)
 //! ```
 //!
 //! * A **manifest** maps one logical cache key (benchmark × engine
@@ -54,6 +56,7 @@ use checkelide_core::{loadstats::Fig3Row, ClassCacheStats};
 use checkelide_engine::VmStats;
 use checkelide_isa::lz;
 use checkelide_runtime::runtime::ObjectStats;
+use checkelide_uarch::{SimObject, SIM_OBJECT_LEN};
 
 // ---------------------------------------------------------------------------
 // SHA-256 (std-only)
@@ -514,6 +517,12 @@ pub struct StoreStats {
     pub evictions: u64,
     /// Orphaned files reclaimed by the open-time sweep.
     pub orphans_reclaimed: u64,
+    /// Sim-object lookups that found a valid entry.
+    pub sim_hits: u64,
+    /// Sim-object lookups that found nothing (or evicted corruption).
+    pub sim_misses: u64,
+    /// Sim objects published.
+    pub sim_puts: u64,
 }
 
 /// Totals for a [`TraceStore::gc`] pass.
@@ -527,11 +536,15 @@ pub struct GcStats {
     pub orphan_objects: u64,
     /// Legacy flat-layout files (`*.trace` / `*.meta`) removed.
     pub legacy_files: u64,
-    /// Bytes freed (manifests + objects + legacy files).
+    /// Sim objects dropped for a stale `SIM_SCHEMA_REV` or corruption.
+    pub stale_sims: u64,
+    /// Sim objects whose trace CID no surviving manifest references.
+    pub orphan_sims: u64,
+    /// Bytes freed (manifests + objects + sim objects + legacy files).
     pub bytes_freed: u64,
     /// Manifests kept.
     pub entries_kept: u64,
-    /// Bytes kept (manifests + referenced objects).
+    /// Bytes kept (manifests + referenced objects + sim objects).
     pub bytes_kept: u64,
 }
 
@@ -549,6 +562,9 @@ pub struct TraceStore {
     raw_bytes: AtomicU64,
     evictions: AtomicU64,
     orphans_reclaimed: AtomicU64,
+    sim_hits: AtomicU64,
+    sim_misses: AtomicU64,
+    sim_puts: AtomicU64,
 }
 
 impl TraceStore {
@@ -562,6 +578,7 @@ impl TraceStore {
         let root = root.into();
         fs::create_dir_all(root.join("manifest"))?;
         fs::create_dir_all(root.join("objects"))?;
+        fs::create_dir_all(root.join("sim"))?;
         let store = TraceStore {
             root,
             compress,
@@ -574,6 +591,9 @@ impl TraceStore {
             raw_bytes: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             orphans_reclaimed: AtomicU64::new(0),
+            sim_hits: AtomicU64::new(0),
+            sim_misses: AtomicU64::new(0),
+            sim_puts: AtomicU64::new(0),
         };
         store.sweep_orphans();
         Ok(store)
@@ -604,6 +624,9 @@ impl TraceStore {
             raw_bytes: self.raw_bytes.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             orphans_reclaimed: self.orphans_reclaimed.load(Ordering::Relaxed),
+            sim_hits: self.sim_hits.load(Ordering::Relaxed),
+            sim_misses: self.sim_misses.load(Ordering::Relaxed),
+            sim_puts: self.sim_puts.load(Ordering::Relaxed),
         }
     }
 
@@ -633,6 +656,71 @@ impl TraceStore {
     pub fn object_path(&self, cid: &[u8; 32]) -> PathBuf {
         let hex = cid_hex(cid);
         self.root.join("objects").join(&hex[..2]).join(hex)
+    }
+
+    /// Path of the sim-object file for `(cid, fingerprint)`
+    /// (`sim/<ab>/<cid>-<fp16>.s`). Sim objects are keyed purely by trace
+    /// *content*, not by logical key: every cell that dedups to one trace
+    /// CID shares one memoized simulation.
+    #[must_use]
+    pub fn sim_path(&self, cid: &[u8; 32], fingerprint: u64) -> PathBuf {
+        let hex = cid_hex(cid);
+        self.root
+            .join("sim")
+            .join(&hex[..2])
+            .join(format!("{hex}-{fingerprint:016x}.s"))
+    }
+
+    /// Load + validate the memoized [`SimObject`] for `(cid, fingerprint)`.
+    /// Any failure is a miss; corruption or a stale `SIM_SCHEMA_REV`
+    /// evicts the file so the caller re-simulates and republishes.
+    #[must_use]
+    pub fn sim_get(&self, cid: &[u8; 32], fingerprint: u64) -> Option<SimObject> {
+        let path = self.sim_path(cid, fingerprint);
+        let Ok(bytes) = fs::read(&path) else {
+            self.sim_misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        self.bytes_read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        match SimObject::decode(&bytes) {
+            Some(obj)
+                if obj.is_current()
+                    && obj.trace_cid == *cid
+                    && obj.fingerprint == fingerprint =>
+            {
+                self.sim_hits.fetch_add(1, Ordering::Relaxed);
+                Some(obj)
+            }
+            _ => {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                let _ = fs::remove_file(&path);
+                self.sim_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publish a memoized simulation result (atomic tmp + rename). A
+    /// correctly-sized file already on disk is left alone — sim objects
+    /// are a pure function of their key, so identical publishes race
+    /// benignly.
+    ///
+    /// # Errors
+    ///
+    /// Shard-directory creation or file write failure.
+    pub fn sim_put(&self, obj: &SimObject) -> io::Result<()> {
+        let path = self.sim_path(&obj.trace_cid, obj.fingerprint);
+        self.sim_puts.fetch_add(1, Ordering::Relaxed);
+        if fs::metadata(&path).is_ok_and(|m| m.len() == SIM_OBJECT_LEN as u64) {
+            return Ok(());
+        }
+        if let Some(shard) = path.parent() {
+            fs::create_dir_all(shard)?;
+        }
+        let bytes = obj.encode();
+        TraceStore::publish(&path, &bytes)?;
+        self.bytes_written.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        Ok(())
     }
 
     fn tmp_path(base: &Path) -> PathBuf {
@@ -855,6 +943,31 @@ impl TraceStore {
         out
     }
 
+    /// Enumerate sim-object files: `(path, cid, fingerprint, size)`.
+    fn sims(&self) -> Vec<(PathBuf, [u8; 32], u64, u64)> {
+        let mut out = Vec::new();
+        let Ok(shards) = fs::read_dir(self.root.join("sim")) else { return out };
+        for shard in shards.flatten() {
+            let Ok(files) = fs::read_dir(shard.path()) else { continue };
+            for entry in files.flatten() {
+                let path = entry.path();
+                let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+                let Some((cid, fp)) = parse_sim_name(name) else { continue };
+                let size = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                out.push((path, cid, fp, size));
+            }
+        }
+        out
+    }
+
+    /// Sim-cache summary: `(sim_objects, sim_object_bytes)`.
+    #[must_use]
+    pub fn sim_summary(&self) -> (u64, u64) {
+        let sims = self.sims();
+        let bytes: u64 = sims.iter().map(|(_, _, _, n)| n).sum();
+        (sims.len() as u64, bytes)
+    }
+
     /// Store-wide summary for the protocol `LIST` op:
     /// `(entries, objects, object_bytes, raw_bytes)`.
     #[must_use]
@@ -894,9 +1007,19 @@ impl TraceStore {
                 reclaimed += sweep_tmp(&shard.path());
             }
         }
+        if let Ok(shards) = fs::read_dir(self.root.join("sim")) {
+            for shard in shards.flatten() {
+                reclaimed += sweep_tmp(&shard.path());
+            }
+        }
         let referenced: std::collections::HashSet<[u8; 32]> =
             self.manifests().into_iter().map(|(_, s, _, _)| s.cid).collect();
         for (path, cid, _) in self.objects() {
+            if !referenced.contains(&cid) && fs::remove_file(&path).is_ok() {
+                reclaimed += 1;
+            }
+        }
+        for (path, cid, _, _) in self.sims() {
             if !referenced.contains(&cid) && fs::remove_file(&path).is_ok() {
                 reclaimed += 1;
             }
@@ -906,10 +1029,13 @@ impl TraceStore {
 
     /// Garbage-collect the store: drop manifests whose key does not end
     /// with `keep_suffix` (the current schema salt, so a
-    /// `TRACE_SCHEMA_REV` / codec bump reclaims every stale entry), bound
-    /// total size to `max_bytes` evicting least-recently-used manifests
-    /// first (mtime; refreshed on every hit), remove objects no surviving
-    /// manifest references, and clear legacy flat-layout files.
+    /// `TRACE_SCHEMA_REV` / codec bump reclaims every stale entry), drop
+    /// sim objects that are corrupt or carry a stale `SIM_SCHEMA_REV`,
+    /// bound total size to `max_bytes` evicting least-recently-used
+    /// manifests first (mtime; refreshed on every hit; a manifest's cost
+    /// includes its object *and* sim bytes), remove objects and sim
+    /// objects no surviving manifest references, and clear legacy
+    /// flat-layout files.
     pub fn gc(&self, keep_suffix: &str, max_bytes: Option<u64>) -> GcStats {
         let mut stats = GcStats::default();
         let mut survivors = Vec::new();
@@ -922,9 +1048,28 @@ impl TraceStore {
                 let _ = fs::remove_file(&path);
             }
         }
+        // Validate sim objects up front: stale-rev and corrupt files go
+        // now; valid ones are charged to their trace CID so the LRU bound
+        // accounts for the whole footprint of keeping an entry warm.
+        let mut sim_by_cid: std::collections::HashMap<[u8; 32], u64> =
+            std::collections::HashMap::new();
+        for (path, cid, fp, size) in self.sims() {
+            let valid = fs::read(&path)
+                .ok()
+                .and_then(|b| SimObject::decode(&b))
+                .is_some_and(|o| o.is_current() && o.trace_cid == cid && o.fingerprint == fp);
+            if valid {
+                *sim_by_cid.entry(cid).or_default() += size;
+            } else {
+                stats.stale_sims += 1;
+                stats.bytes_freed += size;
+                let _ = fs::remove_file(&path);
+            }
+        }
         if let Some(cap) = max_bytes {
-            // Newest first; charge each object the first time its CID
-            // appears so shared bodies are not double-counted.
+            // Newest first; charge each object (and its sim objects) the
+            // first time its CID appears so shared bodies are not
+            // double-counted.
             survivors.sort_by(|a, b| b.3.cmp(&a.3).then_with(|| a.0.cmp(&b.0)));
             let mut kept_cids = std::collections::HashSet::new();
             let mut used = 0u64;
@@ -933,6 +1078,7 @@ impl TraceStore {
                 let mut cost = size;
                 if !kept_cids.contains(&side.cid) {
                     cost += side.stored_bytes;
+                    cost += sim_by_cid.get(&side.cid).copied().unwrap_or(0);
                 }
                 if used + cost <= cap {
                     used += cost;
@@ -954,6 +1100,15 @@ impl TraceStore {
                 object_bytes_kept += size;
             } else {
                 stats.orphan_objects += 1;
+                stats.bytes_freed += size;
+                let _ = fs::remove_file(&path);
+            }
+        }
+        for (path, cid, _, size) in self.sims() {
+            if referenced.contains(&cid) {
+                object_bytes_kept += size;
+            } else {
+                stats.orphan_sims += 1;
                 stats.bytes_freed += size;
                 let _ = fs::remove_file(&path);
             }
@@ -989,6 +1144,20 @@ fn parse_cid(name: &str) -> Option<[u8; 32]> {
         *byte = u8::from_str_radix(name.get(2 * i..2 * i + 2)?, 16).ok()?;
     }
     Some(cid)
+}
+
+/// Parse a sim-object file name (`<cid64>-<fp16>.s`).
+fn parse_sim_name(name: &str) -> Option<([u8; 32], u64)> {
+    let stem = name.strip_suffix(".s")?;
+    if stem.len() != 64 + 1 + 16 {
+        return None;
+    }
+    let cid = parse_cid(stem.get(..64)?)?;
+    if stem.as_bytes().get(64) != Some(&b'-') {
+        return None;
+    }
+    let fp = u64::from_str_radix(stem.get(65..)?, 16).ok()?;
+    Some((cid, fp))
 }
 
 pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -1285,6 +1454,124 @@ mod tests {
         assert!(store.get("b|e1+rev2|c1").is_some());
         assert!(store.get("c|e1+rev2|c1").is_some());
         assert!(!dir.join("legacy-deadbeef.trace").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn sample_sim(cid: [u8; 32], fingerprint: u64) -> SimObject {
+        let r = checkelide_uarch::SimResult {
+            cycles: 1234,
+            uops: 16,
+            energy_pj: 0.1 + 0.2, // deliberately non-representable exactly
+            energy_optimized_pj: -0.0,
+            ..Default::default()
+        };
+        SimObject::new(cid, fingerprint, r)
+    }
+
+    #[test]
+    fn sim_put_get_round_trip_and_eviction() {
+        let (dir, store) = temp_store("sim");
+        let cid = sha256(b"trace body");
+        let fp = 0xdead_beef_cafe_f00d;
+        assert!(store.sim_get(&cid, fp).is_none(), "cold cache misses");
+        let obj = sample_sim(cid, fp);
+        store.sim_put(&obj).expect("put");
+        let got = store.sim_get(&cid, fp).expect("hit");
+        assert_eq!(got.encode(), obj.encode(), "bit-exact round trip");
+        assert!(store.sim_get(&cid, fp.wrapping_add(1)).is_none(), "other config misses");
+        assert_eq!(store.stats().sim_hits, 1);
+        assert_eq!(store.stats().sim_puts, 1);
+
+        // Idempotent re-put leaves the file alone.
+        store.sim_put(&obj).expect("re-put");
+        assert!(store.sim_get(&cid, fp).is_some());
+
+        // Corruption degrades to a miss and evicts the file.
+        let path = store.sim_path(&cid, fp);
+        let mut bytes = fs::read(&path).expect("sim file");
+        bytes[40] ^= 0xff;
+        fs::write(&path, &bytes).expect("corrupt");
+        assert!(store.sim_get(&cid, fp).is_none(), "corrupt sim must miss");
+        assert!(!path.exists(), "corrupt sim evicted");
+
+        // A file whose name disagrees with its content is rejected too.
+        let other_cid = sha256(b"other trace");
+        store.sim_put(&sample_sim(other_cid, fp)).expect("put");
+        fs::rename(store.sim_path(&other_cid, fp), &path).expect("rename");
+        assert!(store.sim_get(&cid, fp).is_none(), "mislabeled sim must miss");
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_orphan_sims_and_tmp_files() {
+        let (dir, store) = temp_store("simsweep");
+        let raw = vec![5u8; 200];
+        let mut side = sample_sidecar("");
+        store.put("live|e1|c1", &mut side, &raw).expect("put");
+        let live_sim = sample_sim(side.cid, 7);
+        store.sim_put(&live_sim).expect("put sim");
+
+        // An orphan sim (no manifest references its CID) plus tmp debris.
+        let orphan_cid = sha256(b"gone trace");
+        store.sim_put(&sample_sim(orphan_cid, 7)).expect("put orphan sim");
+        let orphan_path = store.sim_path(&orphan_cid, 7);
+        fs::write(
+            orphan_path.with_file_name("x.s.tmp.1.2"),
+            b"x",
+        )
+        .expect("tmp");
+
+        let reopened = TraceStore::open(&dir, true).expect("reopen");
+        assert!(!orphan_path.exists(), "orphan sim swept");
+        assert!(
+            reopened.sim_get(&side.cid, 7).is_some(),
+            "referenced sim untouched"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_drops_stale_and_orphan_sims_and_charges_sim_bytes() {
+        let (dir, store) = temp_store("simgc");
+        let raw_a = vec![1u8; 300];
+        let raw_b = vec![2u8; 300];
+        let mut side_a = sample_sidecar("");
+        let mut side_b = sample_sidecar("");
+        store.put("a|e1|c1", &mut side_a, &raw_a).expect("put");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        store.put("b|e1|c1", &mut side_b, &raw_b).expect("put");
+        store.sim_put(&sample_sim(side_a.cid, 7)).expect("sim a");
+        store.sim_put(&sample_sim(side_b.cid, 7)).expect("sim b");
+
+        // A stale-schema-rev sim rides along.
+        let mut stale = sample_sim(side_b.cid, 8);
+        stale.schema_rev = checkelide_uarch::SIM_SCHEMA_REV + 1;
+        let stale_path = store.sim_path(&side_b.cid, 8);
+        fs::create_dir_all(stale_path.parent().expect("shard")).expect("mkdir");
+        fs::write(&stale_path, stale.encode()).expect("write stale");
+
+        // Bound to exactly b's footprint *including* its sim object: a is
+        // LRU-evicted and its sim becomes an orphan.
+        let keep = store
+            .manifests()
+            .iter()
+            .find(|(_, s, _, _)| s.key == "b|e1|c1")
+            .map(|(_, s, n, _)| n + s.stored_bytes + SIM_OBJECT_LEN as u64)
+            .expect("b present");
+        let stats = store.gc("|e1|c1", Some(keep));
+        assert_eq!(stats.stale_sims, 1, "stale-rev sim dropped");
+        assert_eq!(stats.lru_entries, 1, "a evicted under sim-inclusive bound");
+        assert_eq!(stats.orphan_sims, 1, "a's sim reclaimed");
+        assert!(stats.bytes_kept >= keep, "kept bytes include sim object");
+        assert!(store.sim_get(&side_b.cid, 7).is_some(), "b's sim survives");
+        assert!(store.stat("a|e1|c1").is_none());
+
+        // Re-running under a bound that ignores sim bytes would have kept
+        // both entries — prove the charge matters by checking a tighter
+        // bound (without the sim object's bytes) evicts b too.
+        let stats2 = store.gc("|e1|c1", Some(keep - SIM_OBJECT_LEN as u64));
+        assert_eq!(stats2.lru_entries, 1, "sim bytes count against the cap");
         let _ = fs::remove_dir_all(&dir);
     }
 

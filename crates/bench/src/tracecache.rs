@@ -65,8 +65,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use crate::cli::Cli;
 use crate::proto::RemoteStore;
 use crate::runner::RunConfig;
+use crate::simcache::{sim_fingerprint, SimCacheMode};
 use crate::store::{fnv1a64, ObjectImage, Sidecar, TraceStore};
 use checkelide_engine::Mechanism;
+use checkelide_uarch::{SimObject, SimResult, SIM_OBJECT_LEN};
 
 /// Environment variable selecting the cache backend: a directory,
 /// `tcp://host:port`, or `off`/`0`/`none` to disable.
@@ -106,6 +108,17 @@ pub struct TraceCacheStats {
     pub raw_bytes_written: u64,
     /// Failed remote requests (each degrades to a miss).
     pub remote_errors: u64,
+    /// Timed cells served from a memoized sim result (no trace decode,
+    /// no `CoreSim`).
+    pub sim_hits: u64,
+    /// Timed cells that had to run `CoreSim` while the sim cache wanted a
+    /// hit (cold key, evicted object, or remote failure).
+    pub sim_misses: u64,
+    /// Sim results published.
+    pub sim_stores: u64,
+    /// Verify-mode hits whose memoized result was not bit-identical to
+    /// the live re-simulation (must stay 0).
+    pub sim_verify_mismatches: u64,
 }
 
 #[derive(Debug)]
@@ -120,6 +133,7 @@ enum Backend {
 pub struct TraceCache {
     backend: Backend,
     compress: bool,
+    sim_mode: SimCacheMode,
     local_hits: AtomicU64,
     remote_hits: AtomicU64,
     misses: AtomicU64,
@@ -128,6 +142,10 @@ pub struct TraceCache {
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     raw_bytes_written: AtomicU64,
+    sim_hits: AtomicU64,
+    sim_misses: AtomicU64,
+    sim_stores: AtomicU64,
+    sim_verify_mismatches: AtomicU64,
 }
 
 fn is_off(spec: &str) -> bool {
@@ -143,6 +161,8 @@ impl TraceCache {
         TraceCache {
             backend,
             compress,
+            // The env-var default; `from_cli` overrides from `--sim-cache`.
+            sim_mode: SimCacheMode::resolve(None),
             local_hits: AtomicU64::new(0),
             remote_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -151,6 +171,28 @@ impl TraceCache {
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             raw_bytes_written: AtomicU64::new(0),
+            sim_hits: AtomicU64::new(0),
+            sim_misses: AtomicU64::new(0),
+            sim_stores: AtomicU64::new(0),
+            sim_verify_mismatches: AtomicU64::new(0),
+        }
+    }
+
+    /// Override the sim-cache mode (builder style, used by `from_cli`).
+    #[must_use]
+    pub fn with_sim_mode(mut self, mode: SimCacheMode) -> TraceCache {
+        self.sim_mode = mode;
+        self
+    }
+
+    /// The effective sim-cache mode: the configured mode, except that a
+    /// disabled backend forces `Off` (there is nowhere to read or write
+    /// sim objects).
+    #[must_use]
+    pub fn sim_mode(&self) -> SimCacheMode {
+        match self.backend {
+            Backend::Off => SimCacheMode::Off,
+            _ => self.sim_mode,
         }
     }
 
@@ -236,6 +278,7 @@ impl TraceCache {
             std::env::set_var(TRACE_COMPRESS_ENV, v);
         }
         TraceCache::resolve(cli.value_of("--trace-cache"), default_on)
+            .with_sim_mode(SimCacheMode::resolve(cli.value_of("--sim-cache")))
     }
 
     /// Whether lookups can ever hit.
@@ -300,11 +343,72 @@ impl TraceCache {
                 Backend::Remote(remote) => remote.errors(),
                 _ => 0,
             },
+            sim_hits: self.sim_hits.load(Ordering::Relaxed),
+            sim_misses: self.sim_misses.load(Ordering::Relaxed),
+            sim_stores: self.sim_stores.load(Ordering::Relaxed),
+            sim_verify_mismatches: self.sim_verify_mismatches.load(Ordering::Relaxed),
         }
     }
 
     pub(crate) fn note_miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a timed cell that ran `CoreSim` while the sim cache was
+    /// active (the runner calls this so cold live runs count too).
+    pub(crate) fn note_sim_miss(&self) {
+        self.sim_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a verify-mode divergence between a memoized and a live
+    /// result.
+    pub(crate) fn note_sim_verify_mismatch(&self) {
+        self.sim_verify_mismatches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Look up the memoized simulation for a trace CID under the current
+    /// config fingerprint. Counts a hit on success; the caller counts the
+    /// miss when (and only when) it actually simulates.
+    pub(crate) fn sim_fetch(&self, cid: &[u8; 32]) -> Option<SimObject> {
+        let obj = match &self.backend {
+            Backend::Off => return None,
+            Backend::Local(store) => store.sim_get(cid, sim_fingerprint()),
+            Backend::Remote(remote) => remote.sim_get(cid, sim_fingerprint()),
+        }?;
+        self.sim_hits.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(SIM_OBJECT_LEN as u64, Ordering::Relaxed);
+        Some(obj)
+    }
+
+    /// Publish a simulation result for a trace CID. A no-op when the sim
+    /// cache is off; failures warn and return (a cache problem is never a
+    /// run failure).
+    pub(crate) fn sim_publish(&self, cid: &[u8; 32], result: &SimResult) {
+        if self.sim_mode() == SimCacheMode::Off {
+            return;
+        }
+        let obj = SimObject::new(*cid, sim_fingerprint(), result.clone());
+        let stored = match &self.backend {
+            Backend::Off => return,
+            Backend::Local(store) => match store.sim_put(&obj) {
+                Ok(()) => true,
+                Err(e) => {
+                    eprintln!("warning: sim cache store failed: {e}");
+                    false
+                }
+            },
+            Backend::Remote(remote) => {
+                let ok = remote.sim_put(&obj);
+                if !ok {
+                    eprintln!("warning: trace store server rejected sim result");
+                }
+                ok
+            }
+        };
+        if stored {
+            self.sim_stores.fetch_add(1, Ordering::Relaxed);
+            self.bytes_written.fetch_add(SIM_OBJECT_LEN as u64, Ordering::Relaxed);
+        }
     }
 
     /// The cache entry for one `(benchmark, resolved scale, config)` cell,
@@ -351,6 +455,19 @@ impl TraceCache {
         counter.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(bytes_read, Ordering::Relaxed);
         Some((side, raw, bytes_read))
+    }
+
+    /// Re-fetch the trace body for an entry whose manifest was already
+    /// served this cell (the sim-verify and sim-miss paths probe
+    /// manifest-only first). Does not count a second client-level hit.
+    pub(crate) fn refetch_body(&self, entry: &CacheEntry) -> Option<Vec<u8>> {
+        let raw = match &self.backend {
+            Backend::Off => return None,
+            Backend::Local(store) => store.get(&entry.key).map(|(_, raw)| raw),
+            Backend::Remote(remote) => remote.get(&entry.key).map(|(_, raw)| raw),
+        }?;
+        self.bytes_read.fetch_add(raw.len() as u64, Ordering::Relaxed);
+        Some(raw)
     }
 
     /// Publish a recording. Fills `side`'s store-location fields, writes

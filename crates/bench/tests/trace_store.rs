@@ -6,7 +6,8 @@
 
 use checkelide_bench::proto::{serve, RemoteStore};
 use checkelide_bench::runner::{try_run_benchmark_cached, CacheDisposition, RunConfig};
-use checkelide_bench::{find, Benchmark, TraceCache, TraceStore};
+use checkelide_bench::{find, sim_fingerprint, Benchmark, TraceCache, TraceStore};
+use checkelide_uarch::{SimObject, SIM_OBJECT_LEN};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
@@ -44,7 +45,7 @@ fn concurrent_recordings_of_one_key_converge() {
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 scope.spawn(|| {
-                    let (out, _) =
+                    let (out, _, _) =
                         try_run_benchmark_cached(bench(), cfg, &cache).expect("cell runs");
                     out.checksum
                 })
@@ -67,7 +68,7 @@ fn concurrent_recordings_of_one_key_converge() {
 }
 
 fn run_one(cache: &TraceCache, cfg: RunConfig) -> CacheDisposition {
-    let (out, disp) = try_run_benchmark_cached(bench(), cfg, cache).expect("cell runs");
+    let (out, disp, _) = try_run_benchmark_cached(bench(), cfg, cache).expect("cell runs");
     assert!(out.uops > 0);
     disp
 }
@@ -81,10 +82,16 @@ fn with_server<R>(dir: &Path, body: impl FnOnce(&str) -> R) -> R {
     let stop = AtomicBool::new(false);
     std::thread::scope(|scope| {
         let server = scope.spawn(|| serve(&listener, &store, &stop));
-        let out = body(&addr);
+        // A panicking body (failed assertion) must still stop the server:
+        // otherwise the scope joins a thread that never exits and the
+        // test deadlocks instead of failing.
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&addr)));
         stop.store(true, Ordering::Release);
         server.join().expect("server thread").expect("server exits cleanly");
-        out
+        match out {
+            Ok(out) => out,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
     })
 }
 
@@ -97,7 +104,7 @@ fn with_server<R>(dir: &Path, body: impl FnOnce(&str) -> R) -> R {
 fn loopback_server_round_trip_and_shared_warm_store() {
     let dir = fresh_dir("loopback");
     let cfg = quick_cfg();
-    let (reference, _) = try_run_benchmark_cached(bench(), cfg, &TraceCache::disabled())
+    let (reference, _, _) = try_run_benchmark_cached(bench(), cfg, &TraceCache::disabled())
         .expect("cache-off reference run");
 
     with_server(&dir, |addr| {
@@ -106,7 +113,7 @@ fn loopback_server_round_trip_and_shared_warm_store() {
         assert_eq!(writer.backend_label(), "tcp", "server must be reachable");
 
         // Cold: miss, record, PUT.
-        let (cold, disp) = try_run_benchmark_cached(bench(), cfg, &writer).expect("cold");
+        let (cold, disp, _) = try_run_benchmark_cached(bench(), cfg, &writer).expect("cold");
         assert_eq!(disp, CacheDisposition::Miss);
         assert_eq!(cold.checksum, reference.checksum);
         assert_eq!(cold.uops, reference.uops);
@@ -121,7 +128,7 @@ fn loopback_server_round_trip_and_shared_warm_store() {
                     scope.spawn(|| {
                         let c = TraceCache::remote_or(addr, "unused-fallback");
                         assert_eq!(c.backend_label(), "tcp");
-                        let (out, disp) =
+                        let (out, disp, _) =
                             try_run_benchmark_cached(bench(), cfg, &c).expect("warm");
                         (out, disp, c.stats())
                     })
@@ -292,4 +299,202 @@ fn gc_binary_drops_stale_salt_and_bounds_size() {
     let (entries, objects, _, _) = store.summary();
     assert_eq!((entries, objects), (0, 0), "1-byte budget empties the store");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `--gc` pass on the sim-result layer: stale-`SIM_SCHEMA_REV` and
+/// orphaned (trace-less) sim objects are reclaimed while the live one
+/// survives, and a surviving entry's sim bytes count against
+/// `--max-store-bytes` — a budget one byte short of
+/// (manifest + object + sim object) must evict the entry, proving the
+/// sim footprint is charged to the trace it rides on.
+#[test]
+fn gc_binary_reclaims_sim_objects_and_charges_their_bytes() {
+    let dir = fresh_dir("gc-sim");
+    let cache = TraceCache::at(&dir);
+    let cfg = RunConfig::baseline_timed().with_scale(1).with_iterations(2);
+    assert_eq!(run_one(&cache, cfg), CacheDisposition::Miss, "timed cold run records + memoizes");
+    let key = cache.entry("ai-astar", 1, &cfg).expect("enabled").key;
+    let store = cache.local_store().expect("local backend");
+    let side = store.stat(&key).expect("entry recorded");
+    let fp = sim_fingerprint();
+    let good = store.sim_get(&side.cid, fp).expect("cold run published its sim result");
+
+    // Plant a stale-revision sim object (valid checksum, obsolete
+    // schema_rev) under a sibling fingerprint, and a valid sim riding on
+    // a stale-salt trace entry: when gc drops that entry, its sim loses
+    // its last manifest reference and must be reclaimed as an orphan in
+    // the same pass. (A sim with no manifest at all never reaches gc —
+    // the store sweeps those at open.)
+    let stale = SimObject {
+        schema_rev: 0,
+        trace_cid: side.cid,
+        fingerprint: fp ^ 1,
+        result: good.result.clone(),
+    };
+    store.sim_put(&stale).expect("plant stale sim");
+    let stale_key = "ai-astar|s1|profile|optfalse|bbvfalse|it2|cc0x0|e0.0.0+rev0|c0";
+    let mut doomed_side = side.clone();
+    store.put(stale_key, &mut doomed_side, b"stale trace body").expect("plant stale entry");
+    let doomed = SimObject::new(doomed_side.cid, fp, good.result.clone());
+    store.sim_put(&doomed).expect("plant doomed sim");
+    assert_eq!(store.sim_summary().0, 3, "live + stale + doomed planted");
+
+    let gc = |extra: &[&str]| {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_tracestored"))
+            .arg("--gc")
+            .arg("--store")
+            .arg(&dir)
+            .args(extra)
+            .output()
+            .expect("run tracestored --gc");
+        assert!(out.status.success(), "gc failed: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    let report = gc(&[]);
+    assert!(report.contains("1 stale + 1 orphan sim objects"), "gc reports sim work: {report}");
+    assert!(store.sim_get(&side.cid, fp).is_some(), "current sim object survives");
+    assert!(!store.sim_path(&side.cid, fp ^ 1).exists(), "stale-rev sim reclaimed");
+    assert!(store.stat(stale_key).is_none(), "stale-salt entry dropped");
+    assert!(!store.sim_path(&doomed_side.cid, fp).exists(), "orphaned sim reclaimed with it");
+    assert_eq!(store.sim_summary(), (1, SIM_OBJECT_LEN as u64));
+
+    // One byte short of the full footprint: only fails to fit if the sim
+    // object is part of the entry's cost.
+    let manifest_bytes = std::fs::metadata(store.manifest_path(&key)).expect("manifest").len();
+    let footprint = manifest_bytes + side.stored_bytes + SIM_OBJECT_LEN as u64;
+    gc(&["--max-store-bytes", &(footprint - 1).to_string()]);
+    assert!(store.stat(&key).is_none(), "sim bytes must count against the LRU budget");
+    assert_eq!(store.sim_summary(), (0, 0), "evicted entry takes its sim objects along");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Hostile sim-layer frames must never take the server down: malformed
+/// keys and invalid SIMPUT bodies earn error frames, and afterwards the
+/// full SIMSTAT/SIMGET/SIMPUT round trip (plus the LIST counters and the
+/// dead-server degradation on the client) still behaves.
+#[test]
+fn server_survives_hostile_sim_frames_and_serves_sim_round_trip() {
+    let dir = fresh_dir("sim-abuse");
+    let cache = TraceCache::at(&dir);
+    let cfg = RunConfig::baseline_timed().with_scale(1).with_iterations(2);
+    assert_eq!(run_one(&cache, cfg), CacheDisposition::Miss);
+    let key = cache.entry("ai-astar", 1, &cfg).expect("enabled").key;
+    let store = cache.local_store().expect("local backend");
+    let side = store.stat(&key).expect("recorded");
+    let fp = sim_fingerprint();
+    let good = store.sim_get(&side.cid, fp).expect("memoized");
+
+    let frame = |body: &[u8]| {
+        let mut f = (body.len() as u32).to_le_bytes().to_vec();
+        f.extend_from_slice(body);
+        f
+    };
+    let orphaned = with_server(&dir, |addr| {
+        // A well-formed sim key body is op + cid (32) + fingerprint (8).
+        // One byte short, one byte long, and empty payloads must all earn
+        // STATUS_ERROR, not a parse of adjacent memory.
+        for len in [0, 39, 41] {
+            let mut body = vec![b's'];
+            body.resize(1 + len, 0u8);
+            let resp = send_raw(addr, &frame(&body));
+            assert!(resp.len() >= 5, "malformed SIMSTAT key earns an error frame");
+            assert_eq!(resp[4], 2, "STATUS_ERROR for sim key of {len} bytes");
+        }
+        // SIMPUT bodies: garbage of the right length, and a
+        // valid-checksum object carrying a stale schema revision — the
+        // server must refuse to publish either.
+        let mut put = vec![b'p'];
+        put.extend_from_slice(&[0x5a; SIM_OBJECT_LEN]);
+        let resp = send_raw(addr, &frame(&put));
+        assert_eq!(resp[4], 2, "corrupt SIMPUT body refused");
+        let stale = SimObject {
+            schema_rev: 0,
+            trace_cid: side.cid,
+            fingerprint: fp ^ 1,
+            result: good.result.clone(),
+        };
+        let mut put = vec![b'p'];
+        put.extend_from_slice(&stale.encode());
+        let resp = send_raw(addr, &frame(&put));
+        assert_eq!(resp[4], 2, "stale-revision SIMPUT refused");
+        assert_eq!(store.sim_summary().0, 1, "no hostile object published");
+
+        // The server is alive and the sim protocol works end to end.
+        let remote = RemoteStore::connect(addr).expect("fresh connection");
+        assert!(remote.sim_stat(&side.cid, fp), "SIMSTAT sees the memoized result");
+        let back = remote.sim_get(&side.cid, fp).expect("SIMGET serves it");
+        assert_eq!(back.encode(), good.encode(), "wire round trip is bitwise");
+        assert!(!remote.sim_stat(&side.cid, fp ^ 1), "absent key is a clean miss");
+        assert!(remote.sim_get(&side.cid, fp ^ 1).is_none());
+        let fresh = SimObject::new(side.cid, fp ^ 1, good.result.clone());
+        assert!(remote.sim_put(&fresh), "valid SIMPUT accepted");
+        let served = remote.sim_get(&side.cid, fp ^ 1).expect("published object served");
+        assert_eq!(served.encode(), fresh.encode());
+
+        let stats = remote.list().expect("LIST");
+        assert_eq!(stats.sim_objects, 2);
+        assert_eq!(stats.sim_object_bytes, 2 * SIM_OBJECT_LEN as u64);
+        assert!(stats.sim_hits >= 2, "served SIMGETs counted");
+        assert!(stats.sim_misses >= 2, "missed lookups counted");
+        assert!(stats.sim_puts >= 1, "publish counted");
+        remote
+    });
+    // Server gone: sim lookups degrade to misses, never panics.
+    assert!(!orphaned.sim_stat(&side.cid, fp), "dead server degrades SIMSTAT");
+    assert!(orphaned.sim_get(&side.cid, fp).is_none(), "dead server degrades SIMGET");
+    assert!(orphaned.errors() > 0, "failures surfaced in the error counter");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A server that answers `SIMGET` with nonsense (OK status, garbage
+/// payload) must be caught by client-side revalidation: the lookup
+/// degrades to `None`, no panic. The fake peer answers the connect-time
+/// `LIST` ping correctly so the session gets past the handshake.
+#[test]
+fn client_rejects_garbage_simget_payload() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let fake = std::thread::spawn(move || {
+        // Valid empty-store LIST payload: status OK, CKLS magic,
+        // version 2, sixteen zero words.
+        let mut list_ok = vec![0u8; 1];
+        list_ok.extend_from_slice(b"CKLS");
+        list_ok.push(2);
+        list_ok.extend_from_slice(&[0u8; 16 * 8]);
+        for stream in listener.incoming().take(1) {
+            let Ok(mut s) = stream else { break };
+            loop {
+                let mut len = [0u8; 4];
+                if s.read_exact(&mut len).is_err() {
+                    break;
+                }
+                let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+                if s.read_exact(&mut body).is_err() {
+                    break;
+                }
+                let reply = match body.first() {
+                    Some(&b'L') => list_ok.clone(),
+                    // OK status + garbage payload of the right length.
+                    _ => {
+                        let mut r = vec![0u8];
+                        r.extend_from_slice(&[0x77; SIM_OBJECT_LEN]);
+                        r
+                    }
+                };
+                let mut f = (reply.len() as u32).to_le_bytes().to_vec();
+                f.extend_from_slice(&reply);
+                if s.write_all(&f).is_err() {
+                    break;
+                }
+            }
+        }
+    });
+    let remote = RemoteStore::connect(&addr).expect("handshake passes");
+    assert!(
+        remote.sim_get(&[0u8; 32], 7).is_none(),
+        "garbage SIMGET payload must fail client revalidation"
+    );
+    drop(remote);
+    fake.join().expect("fake server exits");
 }

@@ -10,7 +10,7 @@
 //! re-recordings.
 
 use checkelide_bench::runner::{try_run_benchmark_cached, CacheDisposition, RunConfig};
-use checkelide_bench::{find, TraceCache};
+use checkelide_bench::{find, SimCacheMode, TraceCache};
 use std::fs::{self, OpenOptions};
 use std::path::PathBuf;
 
@@ -23,7 +23,7 @@ fn fresh_cache_dir(tag: &str) -> PathBuf {
 
 fn run(cache: &TraceCache, cfg: RunConfig) -> CacheDisposition {
     let bench = find("ai-astar").expect("suite has ai-astar");
-    let (out, disp) = try_run_benchmark_cached(bench, cfg, cache).expect("benchmark runs");
+    let (out, disp, _) = try_run_benchmark_cached(bench, cfg, cache).expect("benchmark runs");
     assert!(out.uops > 0);
     disp
 }
@@ -94,7 +94,10 @@ fn deleted_object_body_reclaims_the_dangling_manifest() {
 #[test]
 fn hash_corrupt_object_fails_timed_replay_and_reheals() {
     let dir = fresh_cache_dir("bitflip");
-    let cache = TraceCache::at(&dir);
+    // Sim-result memoization off: a sim hit would serve this timed cell
+    // from the stored result without ever decoding the (corrupt) body —
+    // this test is about the body-integrity path specifically.
+    let cache = TraceCache::at(&dir).with_sim_mode(SimCacheMode::Off);
     let mut cfg = RunConfig::baseline_timed();
     cfg.scale = Some(1);
     cfg.iterations = 2;

@@ -498,7 +498,7 @@ mod tests {
             let mut prev = None;
             for c in &r.ops {
                 assert!(c.pc >= r.entry && c.pc < r.end_pc, "cop inside region");
-                assert!(prev.map_or(true, |p| c.pc > p), "cop pcs increase");
+                assert!(prev.is_none_or(|p| c.pc > p), "cop pcs increase");
                 prev = Some(c.pc);
             }
             covered = r.end_pc as usize;

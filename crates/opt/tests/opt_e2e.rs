@@ -414,7 +414,7 @@ fn region_tier_matches_plan_walk_observables() {
         run_config(MULTI_HOT_SRC, EngineConfig { regions: false, ..region_cfg() }, "r");
     let (vm_reg, b) = run_config(MULTI_HOT_SRC, region_cfg(), "r");
     assert_eq!(a, b, "region tier diverged from plan walk");
-    assert_eq!(vm_reg.stats.regions_compiled > 0, true, "region tier never engaged");
+    assert!(vm_reg.stats.regions_compiled > 0, "region tier never engaged");
     assert!(vm_reg.stats.tier_up_events >= 4, "all four hot functions tier up");
     assert!(vm_reg.stats.code_cache_bytes > 0);
     assert_eq!(vm_ref.stats.regions_compiled, 0, "plan-walk reference compiled regions");

@@ -30,11 +30,13 @@ pub mod caches;
 pub mod config;
 pub mod core;
 pub mod energy;
+pub mod simresult;
 
 pub use caches::{BranchPredictor, Cache, CacheStats, Tlb};
 pub use config::{CacheGeometry, CoreConfig};
 pub use core::{CoreSim, RegionTotals, SimResult};
 pub use energy::EnergyParams;
+pub use simresult::{config_fingerprint, SimObject, SIM_OBJECT_LEN, SIM_SCHEMA_REV};
 
 use checkelide_isa::uop::Region;
 
